@@ -1,0 +1,103 @@
+//! Star decomposition of query graphs.
+//!
+//! DREAM and CliqueSquare both decompose a BGP into star-shaped
+//! subqueries (all patterns sharing one center vertex) and join the star
+//! results. The greedy decomposition below repeatedly picks the vertex
+//! covering the most uncovered edges as the next star center — the
+//! standard minimal-star heuristic both papers describe.
+
+use gstored_store::EncodedQuery;
+
+/// One star: a center query vertex and the edge indexes it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Star {
+    pub center: usize,
+    pub edges: Vec<usize>,
+}
+
+/// Greedy minimum-star decomposition: every query edge lands in exactly
+/// one star.
+pub fn decompose_stars(q: &EncodedQuery) -> Vec<Star> {
+    let m = q.edge_count();
+    let mut covered = vec![false; m];
+    let mut stars = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        // Vertex covering the most uncovered edges.
+        let center = (0..q.vertex_count())
+            .max_by_key(|&v| {
+                q.incident_edges(v).filter(|&e| !covered[e]).count()
+            })
+            .expect("query has vertices");
+        let edges: Vec<usize> =
+            q.incident_edges(center).filter(|&e| !covered[e]).collect();
+        assert!(!edges.is_empty(), "center must cover something");
+        for &e in &edges {
+            covered[e] = true;
+        }
+        let mut edges = edges;
+        edges.sort_unstable();
+        edges.dedup();
+        stars.push(Star { center, edges });
+    }
+    stars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::{RdfGraph, Term, Triple};
+    use gstored_sparql::{parse_query, QueryGraph};
+
+    fn encode(text: &str) -> EncodedQuery {
+        // Encode against a dictionary holding the predicates used below.
+        let mut g = RdfGraph::new();
+        for p in ["http://p", "http://q", "http://r", "http://s"] {
+            g.insert(&Triple::new(Term::iri("http://x"), Term::iri(p), Term::iri("http://y")));
+        }
+        let q = QueryGraph::from_query(&parse_query(text).unwrap()).unwrap();
+        EncodedQuery::encode(&q, g.dict()).unwrap()
+    }
+
+    #[test]
+    fn star_query_is_one_star() {
+        let q = encode("SELECT * WHERE { ?x <http://p> ?a . ?x <http://q> ?b }");
+        let stars = decompose_stars(&q);
+        assert_eq!(stars.len(), 1);
+        assert_eq!(stars[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn path_splits_into_ceil_half_stars() {
+        let q = encode(
+            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?c <http://r> ?d . ?d <http://s> ?e }",
+        );
+        let stars = decompose_stars(&q);
+        assert_eq!(stars.len(), 2, "two 2-edge stars cover a 4-edge path");
+    }
+
+    #[test]
+    fn every_edge_covered_exactly_once() {
+        let q = encode(
+            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?a <http://r> ?c . ?c <http://s> ?d }",
+        );
+        let stars = decompose_stars(&q);
+        let mut seen = vec![0usize; q.edge_count()];
+        for s in &stars {
+            for &e in &s.edges {
+                seen[e] += 1;
+                // The center is an endpoint of each covered edge.
+                let edge = q.edge(e);
+                assert!(edge.from == s.center || edge.to == s.center);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let q = encode("SELECT * WHERE { ?a <http://p> ?b }");
+        let stars = decompose_stars(&q);
+        assert_eq!(stars.len(), 1);
+        assert_eq!(stars[0].edges, vec![0]);
+    }
+}

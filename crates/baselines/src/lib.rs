@@ -1,0 +1,92 @@
+//! # gstored-baselines
+//!
+//! Simplified-but-faithful-in-shape emulations of the four systems the
+//! paper compares against in Fig. 12. Each implements the *strategy* of
+//! its namesake (the join structure and communication pattern) plus an
+//! explicit cost model for the documented overheads the paper attributes
+//! its behaviour to (Spark/Hadoop round costs, DREAM's replication):
+//!
+//! * [`dream::DreamLike`] — full replication per site, star decomposition,
+//!   one star subquery per site, coordinator joins the intermediates
+//!   (Hammoud et al., PVLDB 2015).
+//! * [`s2x::S2xLike`] — GraphX-style vertex-centric triple candidacy
+//!   validation in supersteps, then partial-result merge (Schätzle et al.).
+//! * [`s2rdf::S2rdfLike`] — vertical partitioning, one Spark-SQL-style
+//!   scan per triple pattern, left-deep hash joins (Schätzle et al.).
+//! * [`cliquesquare::CliqueSquareLike`] — flat plans over n-ary star
+//!   equality joins with per-MapReduce-stage overhead (Goasdoué et al.).
+//!
+//! All four compute **exact results** (verified against the engine and
+//! the centralized matcher in tests); only their cost profiles differ.
+//! Semantics note: the relational evaluation used here coincides with the
+//! paper's Definition 3 on every query without parallel edges between the
+//! same vertex pair; the benchmark query sets contain none.
+
+pub mod cliquesquare;
+pub mod decompose;
+pub mod dream;
+pub mod relalg;
+pub mod s2rdf;
+pub mod s2x;
+
+use std::time::Duration;
+
+use gstored_net::QueryMetrics;
+use gstored_partition::DistributedGraph;
+use gstored_rdf::{RdfGraph, VertexId};
+use gstored_sparql::QueryGraph;
+
+/// Overhead knobs for the cloud-based emulations. Defaults are scaled
+/// from the published systems' per-round costs to laptop scale and are
+/// what gives Fig. 12 its shape; the *structure* (rounds, shuffles) comes
+/// from each emulation's actual execution.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-Spark/Hadoop-stage fixed overhead (job scheduling, container
+    /// startup). CliqueSquare/S2RDF/S2X pay this per round.
+    pub stage_overhead: Duration,
+    /// Per-superstep overhead for the GraphX emulation.
+    pub superstep_overhead: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            stage_overhead: Duration::from_millis(40),
+            superstep_overhead: Duration::from_millis(15),
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with no fixed overheads (for correctness tests).
+    pub fn zero() -> Self {
+        CostModel { stage_overhead: Duration::ZERO, superstep_overhead: Duration::ZERO }
+    }
+}
+
+/// What every baseline produces: complete bindings over the query
+/// vertices plus comparable metrics.
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    /// Complete bindings (one vertex per query vertex), sorted.
+    pub bindings: Vec<Vec<VertexId>>,
+    /// Comparable metrics (wall, shipment, simulated network time).
+    pub metrics: QueryMetrics,
+}
+
+/// A comparison system.
+pub trait Baseline {
+    /// Display name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate the query. `graph` is the full RDF graph (DREAM replicates
+    /// it everywhere; the cloud systems hold it in HDFS), `dist` the
+    /// partitioned view (used for communication accounting).
+    fn run(
+        &self,
+        graph: &RdfGraph,
+        dist: &DistributedGraph,
+        query: &QueryGraph,
+    ) -> BaselineOutput;
+}

@@ -1,0 +1,414 @@
+//! A tiny relational algebra over dictionary-encoded bindings.
+//!
+//! The baselines (and DREAM's coordinator join) evaluate queries as joins
+//! over triple-pattern scans. A [`Relation`] is a bag of rows whose
+//! columns are query-vertex ids; [`scan_pattern`] produces the binding
+//! relation of one triple pattern, [`hash_join`] the natural join of two
+//! relations on their shared columns.
+
+use std::collections::HashMap;
+
+use gstored_rdf::{RdfGraph, VertexId};
+use gstored_store::{EncodedLabel, EncodedQuery, EncodedVertex};
+
+/// A relation: `schema[i]` is the query-vertex id of column `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    pub schema: Vec<usize>,
+    pub rows: Vec<Vec<VertexId>>,
+}
+
+impl Relation {
+    /// The empty relation with an empty schema and one empty row: the
+    /// identity of the natural join.
+    pub fn unit() -> Self {
+        Relation { schema: Vec::new(), rows: vec![Vec::new()] }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate serialized size in bytes (8 bytes per cell): the
+    /// shuffle-size proxy charged by the cloud emulations.
+    pub fn wire_size(&self) -> u64 {
+        (self.rows.len() * self.schema.len() * 8) as u64
+    }
+
+    /// Position of a query-vertex column, if present.
+    pub fn column(&self, qv: usize) -> Option<usize> {
+        self.schema.iter().position(|&c| c == qv)
+    }
+}
+
+/// The binding relation of one triple pattern (one edge of the encoded
+/// query) over the full graph. Constant positions filter and do not
+/// produce columns; a repeated variable (`?x p ?x`) produces one column.
+pub fn scan_pattern(graph: &RdfGraph, q: &EncodedQuery, edge_idx: usize) -> Relation {
+    let e = q.edge(edge_idx);
+    let from_v = q.vertex(e.from);
+    let to_v = q.vertex(e.to);
+
+    let mut schema = Vec::new();
+    if from_v.is_var() {
+        schema.push(e.from);
+    }
+    if to_v.is_var() && e.to != e.from {
+        schema.push(e.to);
+    }
+
+    let mut rows = Vec::new();
+    let mut push_row = |s: VertexId, o: VertexId| {
+        // Repeated variable: subject must equal object.
+        if e.from == e.to && s != o {
+            return;
+        }
+        let mut row = Vec::with_capacity(schema.len());
+        if from_v.is_var() {
+            row.push(s);
+        }
+        if to_v.is_var() && e.to != e.from {
+            row.push(o);
+        }
+        rows.push(row);
+    };
+
+    match (from_v, to_v, e.label) {
+        (_, _, EncodedLabel::Unsatisfiable) => {}
+        (EncodedVertex::Unsatisfiable, _, _) | (_, EncodedVertex::Unsatisfiable, _) => {}
+        // Constant predicate: walk the vertical-partitioning table.
+        (_, _, EncodedLabel::Const(p)) => {
+            for &(s, o) in graph.edges_with_predicate(p) {
+                if let EncodedVertex::Const(c) = from_v {
+                    if s != c {
+                        continue;
+                    }
+                }
+                if let EncodedVertex::Const(c) = to_v {
+                    if o != c {
+                        continue;
+                    }
+                }
+                push_row(s, o);
+            }
+        }
+        // Variable predicate: all edges.
+        (_, _, EncodedLabel::Any) => {
+            let mut seen: Vec<(VertexId, VertexId)> = Vec::new();
+            for edge in graph.edges() {
+                if let EncodedVertex::Const(c) = from_v {
+                    if edge.from != c {
+                        continue;
+                    }
+                }
+                if let EncodedVertex::Const(c) = to_v {
+                    if edge.to != c {
+                        continue;
+                    }
+                }
+                // Labels are not part of the binding: dedup (s, o) pairs.
+                if seen.contains(&(edge.from, edge.to)) {
+                    continue;
+                }
+                seen.push((edge.from, edge.to));
+                push_row(edge.from, edge.to);
+            }
+        }
+    }
+    // Deduplicate rows (a pattern over a multigraph can bind the same
+    // vertices through different labels).
+    rows.sort_unstable();
+    rows.dedup();
+    Relation { schema, rows }
+}
+
+/// Natural hash join on the shared columns; falls back to the cross
+/// product when none are shared.
+pub fn hash_join(a: &Relation, b: &Relation) -> Relation {
+    let shared: Vec<(usize, usize)> = a
+        .schema
+        .iter()
+        .enumerate()
+        .filter_map(|(ai, &qv)| b.column(qv).map(|bi| (ai, bi)))
+        .collect();
+
+    // Output schema: a's columns, then b's non-shared columns.
+    let b_extra: Vec<usize> = (0..b.schema.len())
+        .filter(|bi| !shared.iter().any(|&(_, sbi)| sbi == *bi))
+        .collect();
+    let mut schema = a.schema.clone();
+    schema.extend(b_extra.iter().map(|&bi| b.schema[bi]));
+
+    let mut rows = Vec::new();
+    if shared.is_empty() {
+        for ra in &a.rows {
+            for rb in &b.rows {
+                let mut row = ra.clone();
+                row.extend(b_extra.iter().map(|&bi| rb[bi]));
+                rows.push(row);
+            }
+        }
+        return Relation { schema, rows };
+    }
+
+    // Build on the smaller side.
+    let (build_is_a, build, probe) =
+        if a.len() <= b.len() { (true, a, b) } else { (false, b, a) };
+    let key_of = |row: &[VertexId], is_a: bool| -> Vec<VertexId> {
+        shared
+            .iter()
+            .map(|&(ai, bi)| if is_a { row[ai] } else { row[bi] })
+            .collect()
+    };
+    let mut table: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows.iter().enumerate() {
+        table.entry(key_of(row, build_is_a)).or_default().push(i);
+    }
+    for probe_row in &probe.rows {
+        let key = key_of(probe_row, !build_is_a);
+        if let Some(idxs) = table.get(&key) {
+            for &i in idxs {
+                let (ra, rb) = if build_is_a {
+                    (&build.rows[i], probe_row)
+                } else {
+                    (probe_row, &build.rows[i])
+                };
+                let mut row = ra.clone();
+                row.extend(b_extra.iter().map(|&bi| rb[bi]));
+                rows.push(row);
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    Relation { schema, rows }
+}
+
+/// Join a list of relations left-deep, preferring join partners that
+/// share columns with the accumulated result (avoids cross products on
+/// connected queries).
+pub fn join_all(mut relations: Vec<Relation>) -> Relation {
+    if relations.is_empty() {
+        return Relation::unit();
+    }
+    // Start from the smallest relation.
+    let start = relations
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.len())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut acc = relations.swap_remove(start);
+    while !relations.is_empty() {
+        let next = relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.schema.iter().any(|&c| acc.column(c).is_some()))
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i)
+            // Cross product as a last resort (disconnected remainder).
+            .unwrap_or(0);
+        let r = relations.swap_remove(next);
+        acc = hash_join(&acc, &r);
+        if acc.is_empty() {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Expand a final relation into complete bindings over *all* query
+/// vertices (constants filled from the encoded query), applying the
+/// query's class constraints (gStore vertex signatures) as a final
+/// filter. Rows that miss a variable are dropped (disconnected queries
+/// never reach here).
+pub fn to_bindings(rel: &Relation, q: &EncodedQuery, graph: &RdfGraph) -> Vec<Vec<VertexId>> {
+    let n = q.vertex_count();
+    let mut out = Vec::with_capacity(rel.rows.len());
+    'rows: for row in &rel.rows {
+        let mut binding = Vec::with_capacity(n);
+        for qv in 0..n {
+            match q.vertex(qv) {
+                EncodedVertex::Const(c) => binding.push(c),
+                EncodedVertex::Var => match rel.column(qv) {
+                    Some(col) => binding.push(row[col]),
+                    None => continue 'rows,
+                },
+                EncodedVertex::Unsatisfiable => continue 'rows,
+            }
+            let Some(required) = q.required_classes(qv).ids() else {
+                continue 'rows;
+            };
+            if !required.iter().all(|&c| graph.has_class(binding[qv], c)) {
+                continue 'rows;
+            }
+        }
+        out.push(binding);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The candidate relation of a class-constrained vertex that occurs in no
+/// query edge (pure-type queries like `?x a <C>`).
+pub fn class_relation(graph: &RdfGraph, q: &EncodedQuery, qv: usize) -> Relation {
+    let rows = match (q.vertex(qv), q.required_classes(qv).ids()) {
+        (EncodedVertex::Var, Some([first, rest @ ..])) => graph
+            .vertices_of_class(*first)
+            .iter()
+            .copied()
+            .filter(|&v| rest.iter().all(|&c| graph.has_class(v, c)))
+            .map(|v| vec![v])
+            .collect(),
+        (EncodedVertex::Const(c), Some(required)) => {
+            if required.iter().all(|&cl| graph.has_class(c, cl)) {
+                vec![vec![c]]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    };
+    Relation { schema: vec![qv], rows }
+}
+
+/// Scan relations for every query edge; for zero-edge (pure-type)
+/// queries, falls back to the class relation of the single vertex.
+pub fn pattern_relations(graph: &RdfGraph, q: &EncodedQuery) -> Vec<Relation> {
+    if q.edge_count() == 0 {
+        return (0..q.vertex_count()).map(|v| class_relation(graph, q, v)).collect();
+    }
+    (0..q.edge_count()).map(|i| scan_pattern(graph, q, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::{Term, Triple};
+    use gstored_sparql::{parse_query, QueryGraph};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn graph() -> RdfGraph {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://a", "http://p", "http://c"),
+            t("http://b", "http://q", "http://d"),
+            t("http://c", "http://q", "http://d"),
+            t("http://d", "http://r", "http://d"),
+        ]);
+        g.finalize();
+        g
+    }
+
+    fn encode(g: &RdfGraph, text: &str) -> EncodedQuery {
+        let q = QueryGraph::from_query(&parse_query(text).unwrap()).unwrap();
+        EncodedQuery::encode(&q, g.dict()).unwrap()
+    }
+
+    #[test]
+    fn scan_constant_predicate() {
+        let g = graph();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y }");
+        let r = scan_pattern(&g, &q, 0);
+        assert_eq!(r.schema.len(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn scan_with_constant_object() {
+        let g = graph();
+        let q = encode(&g, "SELECT ?x WHERE { ?x <http://q> <http://d> }");
+        let r = scan_pattern(&g, &q, 0);
+        assert_eq!(r.schema.len(), 1, "constant produces no column");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn scan_repeated_variable_self_loop() {
+        let g = graph();
+        let q = encode(&g, "SELECT ?x WHERE { ?x <http://r> ?x }");
+        let r = scan_pattern(&g, &q, 0);
+        assert_eq!(r.schema.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn scan_variable_predicate_dedups_pairs() {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://a", "http://q", "http://b"),
+        ]);
+        g.finalize();
+        let q = encode(&g, "SELECT ?x ?y WHERE { ?x ?p ?y }");
+        let r = scan_pattern(&g, &q, 0);
+        assert_eq!(r.len(), 1, "labels are not bindings");
+    }
+
+    #[test]
+    fn join_on_shared_column() {
+        let g = graph();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
+        let r0 = scan_pattern(&g, &q, 0);
+        let r1 = scan_pattern(&g, &q, 1);
+        let j = hash_join(&r0, &r1);
+        assert_eq!(j.len(), 2, "a->b->d and a->c->d");
+        assert_eq!(j.schema.len(), 3);
+    }
+
+    #[test]
+    fn cross_product_fallback() {
+        let a = Relation { schema: vec![0], rows: vec![vec![gstored_rdf::TermId(1)], vec![gstored_rdf::TermId(2)]] };
+        let b = Relation { schema: vec![1], rows: vec![vec![gstored_rdf::TermId(3)]] };
+        let j = hash_join(&a, &b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema, vec![0, 1]);
+    }
+
+    #[test]
+    fn join_all_matches_matcher_semantics() {
+        let g = graph();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
+        let rels: Vec<Relation> =
+            (0..q.edge_count()).map(|i| scan_pattern(&g, &q, i)).collect();
+        let joined = join_all(rels);
+        let bindings = to_bindings(&joined, &q, &g);
+        let mut reference = gstored_store::find_matches(&g, &q);
+        reference.sort_unstable();
+        assert_eq!(bindings, reference);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let g = graph();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y }");
+        let r = scan_pattern(&g, &q, 0);
+        let j = hash_join(&Relation::unit(), &r);
+        assert_eq!(j.rows.len(), r.rows.len());
+    }
+
+    #[test]
+    fn wire_size_counts_cells() {
+        let r = Relation {
+            schema: vec![0, 1],
+            rows: vec![vec![gstored_rdf::TermId(1), gstored_rdf::TermId(2)]],
+        };
+        assert_eq!(r.wire_size(), 16);
+    }
+
+    #[test]
+    fn empty_scan_for_unsatisfiable() {
+        let g = graph();
+        let q = encode(&g, "SELECT ?x WHERE { ?x <http://nope> ?y }");
+        assert!(scan_pattern(&g, &q, 0).is_empty());
+    }
+}

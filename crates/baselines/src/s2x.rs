@@ -1,0 +1,235 @@
+//! S2X-like baseline (Schätzle et al. — reference [19]).
+//!
+//! Strategy, per the paper's Section IX summary: "S2X first distributes
+//! all triple patterns to all vertices. Then, vertices validate their
+//! triple candidacy with their neighbors by exchanging messages. Lastly,
+//! the partial results are collected and merged."
+//!
+//! The emulation runs the vertex-centric candidacy validation as
+//! fixpoint supersteps over the partitioned graph (messages crossing
+//! fragments are charged as shipment), then collects the validated
+//! per-pattern bindings and merges them with hash joins. Each superstep
+//! pays the GraphX/Spark scheduling overhead from [`CostModel`].
+
+use std::collections::{HashMap, HashSet};
+
+use gstored_net::{Cluster, QueryMetrics};
+use gstored_partition::DistributedGraph;
+use gstored_rdf::{RdfGraph, VertexId};
+use gstored_sparql::QueryGraph;
+use gstored_store::{EncodedLabel, EncodedQuery, EncodedVertex};
+
+use crate::relalg::{join_all, scan_pattern, to_bindings, Relation};
+use crate::{Baseline, BaselineOutput, CostModel};
+
+/// The S2X-like engine.
+#[derive(Debug, Clone, Default)]
+pub struct S2xLike {
+    pub cost: CostModel,
+}
+
+impl S2xLike {
+    /// With explicit cost knobs.
+    pub fn new(cost: CostModel) -> Self {
+        S2xLike { cost }
+    }
+}
+
+impl Baseline for S2xLike {
+    fn name(&self) -> &'static str {
+        "S2X"
+    }
+
+    fn run(
+        &self,
+        graph: &RdfGraph,
+        dist: &DistributedGraph,
+        query: &QueryGraph,
+    ) -> BaselineOutput {
+        let mut metrics = QueryMetrics::default();
+        let Some(q) = EncodedQuery::encode(query, dist.dict()) else {
+            return BaselineOutput { bindings: Vec::new(), metrics };
+        };
+        let cluster = Cluster::new(dist.fragment_count());
+        let n = q.vertex_count();
+
+        // Vertex-centric candidacy: cand[qv] = set of graph vertices still
+        // candidate for query vertex qv. Initialized from local structure,
+        // then iteratively pruned: u stays a candidate for qv only if for
+        // every query edge (qv, qw) some neighbor of u (across the right
+        // label) is still a candidate for qw. Each refinement round is a
+        // GraphX superstep; candidate-set deltas crossing fragments are
+        // charged as messages.
+        let start = std::time::Instant::now();
+        let mut cand: Vec<HashSet<VertexId>> = (0..n)
+            .map(|qv| match q.vertex(qv) {
+                EncodedVertex::Const(c) => [c].into_iter().collect(),
+                EncodedVertex::Unsatisfiable => HashSet::new(),
+                EncodedVertex::Var => match q.required_classes(qv).ids() {
+                    Some([]) => graph.vertices().collect(),
+                    Some(required) => graph
+                        .vertices()
+                        .filter(|&v| {
+                            required.iter().all(|&c| graph.has_class(v, c))
+                        })
+                        .collect(),
+                    None => HashSet::new(),
+                },
+            })
+            .collect();
+        let mut supersteps = 0u32;
+        loop {
+            supersteps += 1;
+            let mut changed = false;
+            for e in q.edges() {
+                let label_ok = |l: gstored_rdf::TermId| match e.label {
+                    EncodedLabel::Any => true,
+                    EncodedLabel::Const(p) => l == p,
+                    EncodedLabel::Unsatisfiable => false,
+                };
+                // Forward: sources must reach a candidate target.
+                let targets = cand[e.to].clone();
+                let before = cand[e.from].len();
+                cand[e.from].retain(|&u| {
+                    graph
+                        .out_edges(u)
+                        .iter()
+                        .any(|&(l, v)| label_ok(l) && targets.contains(&v))
+                });
+                changed |= cand[e.from].len() != before;
+                // Backward: targets must be reached by a candidate source.
+                let sources = cand[e.from].clone();
+                let before = cand[e.to].len();
+                cand[e.to].retain(|&u| {
+                    graph
+                        .in_edges(u)
+                        .iter()
+                        .any(|&(l, v)| label_ok(l) && sources.contains(&v))
+                });
+                changed |= cand[e.to].len() != before;
+            }
+            if !changed || supersteps > 32 {
+                break;
+            }
+        }
+        metrics.partial_evaluation.wall = start.elapsed();
+        // Superstep overhead + message accounting: each candidate entry is
+        // validated against neighbors; entries on fragment borders cross
+        // the network once per superstep (proxy: candidate count × 8B).
+        let border_candidates: u64 = cand.iter().map(|s| s.len() as u64).sum();
+        metrics.partial_evaluation.network +=
+            self.cost.superstep_overhead * supersteps;
+        cluster.charge_shipment(
+            &mut metrics.partial_evaluation,
+            u64::from(supersteps) * cluster.sites() as u64,
+            border_candidates * 8 * u64::from(supersteps),
+        );
+
+        // Collect & merge: per-pattern bindings restricted to the
+        // validated candidates, then hash joins (one Spark stage each).
+        let rels: Vec<Relation> = if q.edge_count() == 0 {
+            crate::relalg::pattern_relations(graph, &q)
+        } else {
+            (0..q.edge_count())
+            .map(|i| {
+                let mut r = scan_pattern(graph, &q, i);
+                let e = q.edge(i);
+                r.rows.retain(|row| {
+                    let mut col = 0;
+                    let mut ok = true;
+                    if q.vertex(e.from).is_var() {
+                        ok &= cand[e.from].contains(&row[col]);
+                        col += 1;
+                    }
+                    if q.vertex(e.to).is_var() && e.to != e.from {
+                        ok &= cand[e.to].contains(&row[col]);
+                    }
+                    ok
+                });
+                r
+            })
+            .collect()
+        };
+        for r in &rels {
+            cluster.charge_shipment(&mut metrics.assembly, 1, r.wire_size());
+        }
+        metrics.assembly.network +=
+            self.cost.stage_overhead * (q.edge_count().max(1) as u32 - 1).max(1);
+        let joined = cluster.time_coordinator(&mut metrics.assembly, || join_all(rels));
+        let bindings = to_bindings(&joined, &q, graph);
+        metrics.crossing_matches = bindings.len() as u64;
+
+        // Keep cand in a map so the borrow checker sees it used (clarity).
+        let _sizes: HashMap<usize, usize> =
+            cand.iter().enumerate().map(|(i, s)| (i, s.len())).collect();
+        BaselineOutput { bindings, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_partition::HashPartitioner;
+    use gstored_rdf::{Term, Triple};
+    use gstored_sparql::parse_query;
+
+    fn setup() -> (RdfGraph, DistributedGraph) {
+        let t = |s: &str, p: &str, o: &str| {
+            Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+        };
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://b", "http://q", "http://c"),
+            t("http://x", "http://p", "http://y"),
+            t("http://y", "http://q", "http://c"),
+            t("http://dead", "http://p", "http://end"),
+        ]);
+        g.finalize();
+        let dist = DistributedGraph::build(g.clone(), &HashPartitioner::new(3));
+        (g, dist)
+    }
+
+    #[test]
+    fn matches_centralized_reference() {
+        let (g, dist) = setup();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }").unwrap(),
+        )
+        .unwrap();
+        let q = EncodedQuery::encode(&query, g.dict()).unwrap();
+        let mut reference = gstored_store::find_matches(&g, &q);
+        reference.sort_unstable();
+        let out = S2xLike::new(CostModel::zero()).run(&g, &dist, &query);
+        assert_eq!(out.bindings, reference);
+        assert_eq!(out.bindings.len(), 2);
+    }
+
+    #[test]
+    fn candidacy_validation_prunes_dead_ends() {
+        // "dead" has an out-p edge but its target has no out-q: the
+        // fixpoint must prune it, shrinking the merged relations.
+        let (g, dist) = setup();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }").unwrap(),
+        )
+        .unwrap();
+        let out = S2xLike::new(CostModel::zero()).run(&g, &dist, &query);
+        assert!(out
+            .bindings
+            .iter()
+            .all(|b| b[0] != g.vertex_of(&Term::iri("http://dead")).unwrap()));
+    }
+
+    #[test]
+    fn superstep_overhead_is_charged() {
+        let (g, dist) = setup();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }").unwrap(),
+        )
+        .unwrap();
+        let with = S2xLike::default().run(&g, &dist, &query);
+        let without = S2xLike::new(CostModel::zero()).run(&g, &dist, &query);
+        assert!(with.metrics.total_time() > without.metrics.total_time());
+        assert_eq!(with.bindings, without.bindings);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 12: gStoreD (best partitioning) vs the
+//! DREAM/S2X/S2RDF/CliqueSquare-like baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_baselines::cliquesquare::CliqueSquareLike;
+use gstored_baselines::dream::DreamLike;
+use gstored_baselines::s2rdf::S2rdfLike;
+use gstored_baselines::s2x::S2xLike;
+use gstored_baselines::Baseline;
+use gstored_bench::{datasets, experiments};
+use gstored_core::engine::{Engine, EngineConfig, Variant};
+
+fn bench(c: &mut Criterion) {
+    let scale = 6_000;
+    let sites = 4;
+    let engine = Engine::new(EngineConfig::variant(Variant::Full));
+    let baselines: Vec<Box<dyn Baseline>> = vec![
+        Box::new(DreamLike::default()),
+        Box::new(S2xLike::default()),
+        Box::new(S2rdfLike::default()),
+        Box::new(CliqueSquareLike::default()),
+    ];
+    for dataset in [datasets::yago(scale), datasets::lubm(scale)] {
+        let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
+        for q in &dataset.queries {
+            let query = experiments::query_graph(q);
+            let mut group =
+                c.benchmark_group(format!("fig12/{}/{}", dataset.name, q.id));
+            group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+            for b in &baselines {
+                group.bench_function(b.name(), |bench| {
+                    bench.iter(|| {
+                        criterion::black_box(
+                            b.run(&dataset.graph, &dist, &query).bindings.len(),
+                        )
+                    })
+                });
+            }
+            group.bench_function("gStoreD", |b| {
+                b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

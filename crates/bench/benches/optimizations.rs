@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 9: the four engine variants (Basic, LA, LO,
+//! Full) on the non-star queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_bench::{datasets, experiments};
+use gstored_core::engine::{Engine, Variant};
+
+fn bench(c: &mut Criterion) {
+    let scale = 8_000;
+    let sites = 4;
+    for dataset in [datasets::lubm(scale), datasets::yago(scale)] {
+        let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
+        for q in dataset.queries.iter().filter(|q| !q.is_star()) {
+            let query = experiments::query_graph(q);
+            let mut group = c.benchmark_group(format!("fig9/{}/{}", dataset.name, q.id));
+            group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+            for variant in Variant::ALL {
+                group.bench_function(variant.label(), |b| {
+                    let engine = Engine::with_variant(variant);
+                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Table IV: computing CostPartitioning per strategy
+//! (and the partitioning itself, the dominant cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_bench::{datasets, experiments};
+use gstored_partition::cost::partitioning_cost;
+
+fn bench(c: &mut Criterion) {
+    let scale = 8_000;
+    let sites = 4;
+    for dataset in [datasets::lubm(scale), datasets::yago(scale)] {
+        let mut group = c.benchmark_group(format!("table4/{}", dataset.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        for strategy in ["hash", "semantic", "metis"] {
+            group.bench_function(strategy, |b| {
+                b.iter(|| {
+                    let dist = experiments::partition(
+                        dataset.graph.clone(),
+                        strategy,
+                        sites,
+                    );
+                    criterion::black_box(partitioning_cost(&dist).cost)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

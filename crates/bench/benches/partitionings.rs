@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 10: the full engine across hash, semantic
+//! hash and METIS-like partitionings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_bench::{datasets, experiments};
+use gstored_core::engine::{Engine, EngineConfig, Variant};
+
+fn bench(c: &mut Criterion) {
+    let scale = 8_000;
+    let sites = 4;
+    let engine = Engine::new(EngineConfig::variant(Variant::Full));
+    for dataset in [datasets::lubm(scale), datasets::yago(scale)] {
+        for strategy in ["hash", "semantic", "metis"] {
+            let dist = experiments::partition(dataset.graph.clone(), strategy, sites);
+            let mut group =
+                c.benchmark_group(format!("fig10/{}/{strategy}", dataset.name));
+            group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+            for q in dataset.queries.iter().filter(|q| !q.is_star()) {
+                let query = experiments::query_graph(q);
+                group.bench_function(q.id, |b| {
+                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 11: response time vs dataset scale
+//! (1x / 5x / 10x, the paper's 100M/500M/1B ratio).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gstored_bench::{datasets, experiments};
+use gstored_core::engine::{Engine, EngineConfig, Variant};
+
+fn bench(c: &mut Criterion) {
+    let base = 4_000;
+    let sites = 4;
+    let engine = Engine::new(EngineConfig::variant(Variant::Full));
+    let mut group = c.benchmark_group("fig11/LUBM");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+    for scale in [1usize, 5, 10] {
+        let dataset = datasets::lubm(base * scale);
+        let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
+        for q in &dataset.queries {
+            let query = experiments::query_graph(q);
+            group.bench_with_input(
+                BenchmarkId::new(q.id, format!("{scale}x")),
+                &scale,
+                |b, _| {
+                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

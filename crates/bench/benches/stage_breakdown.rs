@@ -1,0 +1,32 @@
+//! Criterion bench for Tables I–III: full-engine stage breakdown per
+//! dataset. One benchmark per (dataset, query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_bench::{datasets, experiments};
+use gstored_core::engine::{Engine, EngineConfig, Variant};
+
+fn bench(c: &mut Criterion) {
+    let scale = 8_000;
+    let sites = 4;
+    let engine = Engine::new(EngineConfig::variant(Variant::Full));
+    for dataset in [datasets::lubm(scale), datasets::yago(scale), datasets::btc(scale)] {
+        let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
+        let mut group = c.benchmark_group(format!("table_stage/{}", dataset.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        for q in &dataset.queries {
+            let query = experiments::query_graph(q);
+            group.bench_function(q.id, |b| {
+                b.iter(|| {
+                    let out = engine.run(&dist, &query);
+                    criterion::black_box(out.rows.len())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

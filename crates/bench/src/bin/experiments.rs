@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [table1|table2|table3|table4|fig9|fig10|fig11|fig12|all]
+//!             [--scale N] [--sites K] [--markdown]
+//! ```
+//!
+//! Default scale is 30k triples per dataset and 12 sites (the paper's
+//! cluster size). `--markdown` prints GitHub tables for EXPERIMENTS.md.
+
+use gstored_bench::{datasets, experiments, format::Table};
+
+struct Args {
+    what: Vec<String>,
+    scale: usize,
+    sites: usize,
+    markdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        what: Vec::new(),
+        scale: datasets::DEFAULT_SCALE,
+        sites: datasets::DEFAULT_SITES,
+        markdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--sites" => {
+                args.sites = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sites needs a number");
+            }
+            "--markdown" => args.markdown = true,
+            other => args.what.push(other.to_string()),
+        }
+    }
+    if args.what.is_empty() {
+        args.what.push("all".to_string());
+    }
+    args
+}
+
+fn emit(table: Table, markdown: bool) {
+    if markdown {
+        print!("{}", table.render_markdown());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |k: &str| args.what.iter().any(|w| w == k || w == "all");
+    eprintln!(
+        "# gstored-rs experiments: scale={} triples/dataset, sites={}",
+        args.scale, args.sites
+    );
+
+    if wants("table1") {
+        let d = datasets::lubm(args.scale);
+        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+    }
+    if wants("table2") {
+        let d = datasets::yago(args.scale);
+        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+    }
+    if wants("table3") {
+        let d = datasets::btc(args.scale);
+        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+    }
+    if wants("table4") {
+        let lubm = datasets::lubm(args.scale);
+        let yago = datasets::yago(args.scale);
+        emit(
+            experiments::table_partitioning_costs(&[&yago, &lubm], args.sites),
+            args.markdown,
+        );
+    }
+    if wants("fig9") {
+        for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
+            emit(experiments::fig_optimizations(&d, args.sites), args.markdown);
+        }
+    }
+    if wants("fig10") {
+        for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
+            emit(experiments::fig_partitionings(&d, args.sites), args.markdown);
+        }
+    }
+    if wants("fig11") {
+        emit(
+            experiments::fig_scalability(datasets::lubm, args.scale / 2, args.sites),
+            args.markdown,
+        );
+    }
+    if wants("fig12") {
+        for d in [
+            datasets::yago(args.scale),
+            datasets::lubm(args.scale),
+            datasets::btc(args.scale),
+        ] {
+            emit(experiments::fig_comparison(&d, args.sites), args.markdown);
+        }
+    }
+    if wants("ablation") {
+        // Not in the paper: the Algorithm 4 bit-vector size trade-off,
+        // measurable here because shipment accounting is byte-accurate.
+        let d = datasets::yago(args.scale);
+        emit(experiments::ablation_candidate_bits(&d, args.sites), args.markdown);
+    }
+}

@@ -1,0 +1,22 @@
+//! # gstored-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (Section VIII), each returning printable rows so both the
+//! `experiments` binary and the Criterion benches drive the same code.
+//!
+//! | Paper artifact | Harness entry |
+//! |---|---|
+//! | Table I (LUBM stage breakdown) | [`experiments::table_stage_breakdown`] with [`datasets::lubm`] |
+//! | Table II (YAGO2 stage breakdown) | same, with [`datasets::yago`] |
+//! | Table III (BTC stage breakdown) | same, with [`datasets::btc`] |
+//! | Table IV (partitioning costs) | [`experiments::table_partitioning_costs`] |
+//! | Fig. 9 (optimization variants) | [`experiments::fig_optimizations`] |
+//! | Fig. 10 (partitioning strategies) | [`experiments::fig_partitionings`] |
+//! | Fig. 11 (scalability) | [`experiments::fig_scalability`] |
+//! | Fig. 12 (system comparison) | [`experiments::fig_comparison`] |
+
+pub mod datasets;
+pub mod experiments;
+pub mod format;
+
+pub use datasets::Dataset;

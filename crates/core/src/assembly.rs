@@ -1,0 +1,367 @@
+//! Assembly of local partial matches into crossing matches.
+//!
+//! Two implementations:
+//!
+//! * [`assemble_lec`] — the LEC feature-based assembly of **Algorithm 3**:
+//!   LPMs are grouped by LECSign (Definition 11), a group join graph is
+//!   built, and a DFS join explores only adjacent groups.
+//! * [`assemble_basic`] — the partitioning-based join of reference [18],
+//!   used by the `gStoreD-Basic` variant in Fig. 9: no LECSign grouping;
+//!   intermediates are joined against every LPM whose pivot-partition
+//!   differs, which is the larger join space the paper improves on.
+//!
+//! Both return the deduplicated set of complete crossing-match bindings.
+
+use std::collections::HashSet;
+
+use gstored_rdf::VertexId;
+use gstored_store::LocalPartialMatch;
+
+use crate::lec::LecFeature;
+use crate::prune::{build_join_graph, FeatureGroup};
+
+/// A complete match binding (one data vertex per query vertex).
+pub type MatchBinding = Vec<VertexId>;
+
+/// Algorithm 3: LEC feature-based assembly.
+///
+/// `query_edges[qe] = (from_vertex, to_vertex)` is needed for the
+/// feature-level joinability checks on the group join graph.
+#[allow(clippy::while_let_loop)] // the loop body mutates `alive`, not just the scrutinee
+pub fn assemble_lec(
+    lpms: &[LocalPartialMatch],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+) -> Vec<MatchBinding> {
+    if lpms.is_empty() {
+        return Vec::new();
+    }
+    // Definition 11: group LPMs by LECSign.
+    let mut groups: Vec<(u64, Vec<&LocalPartialMatch>)> = Vec::new();
+    for lpm in lpms {
+        match groups.iter_mut().find(|(s, _)| *s == lpm.internal_mask) {
+            Some((_, v)) => v.push(lpm),
+            None => groups.push((lpm.internal_mask, vec![lpm])),
+        }
+    }
+    // Group join graph via the groups' feature sets.
+    let feature_groups: Vec<FeatureGroup> = groups
+        .iter()
+        .map(|(sign, members)| {
+            let mut features: Vec<LecFeature> = Vec::new();
+            for m in members {
+                let f = LecFeature::of_lpm(m);
+                if !features.iter().any(|g| g.key() == f.key()) {
+                    features.push(f);
+                }
+            }
+            FeatureGroup { sign: *sign, features }
+        })
+        .collect();
+    let adj = build_join_graph(&feature_groups, query_edges);
+
+    let mut found: HashSet<MatchBinding> = HashSet::new();
+    let mut alive = vec![true; groups.len()];
+    loop {
+        let Some(vmin) = (0..groups.len())
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| groups[v].1.len())
+        else {
+            break;
+        };
+        let seed: Vec<LocalPartialMatch> =
+            groups[vmin].1.iter().map(|m| (*m).clone()).collect();
+        com_par_join(
+            &mut vec![vmin],
+            seed,
+            &groups,
+            &adj,
+            &alive,
+            n_query_vertices,
+            &mut found,
+        );
+        alive[vmin] = false;
+        loop {
+            let mut removed = false;
+            for v in 0..groups.len() {
+                if alive[v] && !adj[v].iter().any(|&u| alive[u]) {
+                    alive[v] = false;
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+    let mut out: Vec<MatchBinding> = found.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The recursive `ComParJoin` of Algorithm 3.
+fn com_par_join(
+    visited: &mut Vec<usize>,
+    current: Vec<LocalPartialMatch>,
+    groups: &[(u64, Vec<&LocalPartialMatch>)],
+    adj: &[Vec<usize>],
+    alive: &[bool],
+    n_query_vertices: usize,
+    found: &mut HashSet<MatchBinding>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    let mut frontier: Vec<usize> = visited
+        .iter()
+        .flat_map(|&v| adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited.contains(&u))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+
+    for v in frontier {
+        let mut next: Vec<LocalPartialMatch> = Vec::new();
+        for a in &current {
+            for b in &groups[v].1 {
+                if !a.joinable(b) {
+                    continue;
+                }
+                let joined = a.join(b);
+                if joined.is_complete(n_query_vertices) {
+                    if let Some(binding) = joined.complete_binding() {
+                        found.insert(binding);
+                    }
+                } else if !next.contains(&joined) {
+                    next.push(joined);
+                }
+            }
+        }
+        if !next.is_empty() {
+            visited.push(v);
+            com_par_join(visited, next, groups, adj, alive, n_query_vertices, found);
+            visited.pop();
+        }
+    }
+}
+
+/// The partitioning-based join of [18] (the `gStoreD-Basic` baseline).
+///
+/// LPMs are partitioned by whether they internally match a **pivot** query
+/// vertex (the variable vertex internally matched by the most LPMs — two
+/// LPMs internally matching the pivot can never join). Intermediates then
+/// join against every original LPM, left-associated, with no LECSign
+/// grouping — the join space Algorithms 2/3 shrink.
+pub fn assemble_basic(
+    lpms: &[LocalPartialMatch],
+    n_query_vertices: usize,
+) -> Vec<MatchBinding> {
+    if lpms.is_empty() {
+        return Vec::new();
+    }
+    // Pivot choice per [18]: the query vertex internally matched most often.
+    let pivot = (0..n_query_vertices)
+        .max_by_key(|&v| lpms.iter().filter(|m| m.is_internal(v)).count())
+        .expect("n_query_vertices > 0");
+
+    let mut found: HashSet<MatchBinding> = HashSet::new();
+    let mut seen: HashSet<(Vec<Option<VertexId>>, u64)> = HashSet::new();
+    // Worklist of intermediates (starting from the originals).
+    let mut work: Vec<LocalPartialMatch> = lpms.to_vec();
+    let mut head = 0;
+    while head < work.len() {
+        let cur = work[head].clone();
+        head += 1;
+        for other in lpms {
+            // Partition pruning from [18]: two LPMs that both internally
+            // match the pivot are in the same partition and never join.
+            if cur.is_internal(pivot) && other.is_internal(pivot) {
+                continue;
+            }
+            if !cur.joinable(other) {
+                continue;
+            }
+            let joined = cur.join(other);
+            if joined.is_complete(n_query_vertices) {
+                if let Some(binding) = joined.complete_binding() {
+                    found.insert(binding);
+                }
+            } else if seen.insert((joined.binding.clone(), joined.internal_mask)) {
+                work.push(joined);
+            }
+        }
+    }
+    let mut out: Vec<MatchBinding> = found.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::{EdgeRef, TermId};
+
+    fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
+        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+    }
+
+    fn lpm(
+        fragment: usize,
+        binding: Vec<Option<u64>>,
+        crossing: Vec<(EdgeRef, usize)>,
+        internal: &[usize],
+    ) -> LocalPartialMatch {
+        let mut mask = 0u64;
+        for &i in internal {
+            mask |= 1 << i;
+        }
+        LocalPartialMatch {
+            fragment,
+            binding: binding.into_iter().map(|o| o.map(TermId)).collect(),
+            crossing,
+            internal_mask: mask,
+        }
+    }
+
+    /// The paper's running example: Fig. 3's LPMs (after pruning PM2_3,
+    /// Example 8) assemble into exactly the crossing matches of the data.
+    /// Query vertices: v1..v5 = indexes 0..4; query edges e0: v2->v4,
+    /// e1: v3->v1, e2: v1->v2, e3: v3->v5.
+    fn paper_lpms() -> (Vec<LocalPartialMatch>, Vec<(usize, usize)>) {
+        let qedges = vec![(1, 3), (2, 0), (0, 1), (2, 4)];
+        let e_1_6 = edge(1, 100, 6);
+        let e_1_12 = edge(1, 100, 12);
+        let e_6_5 = edge(6, 101, 5);
+        let e_14_13 = edge(14, 101, 13);
+        let lpms = vec![
+            // F1 (fragment 0):
+            lpm(0, vec![Some(6), None, Some(1), None, Some(3)], vec![(e_1_6, 1)], &[2, 4]),
+            lpm(0, vec![Some(12), None, Some(1), None, Some(3)], vec![(e_1_12, 1)], &[2, 4]),
+            lpm(0, vec![Some(6), Some(5), None, Some(4), None], vec![(e_6_5, 2)], &[1, 3]),
+            // F2 (fragment 1):
+            lpm(1, vec![Some(6), Some(8), Some(1), Some(9), None], vec![(e_1_6, 1)], &[0, 1, 3]),
+            lpm(1, vec![Some(6), Some(10), Some(1), Some(11), None], vec![(e_1_6, 1)], &[0, 1, 3]),
+            lpm(
+                1,
+                vec![Some(6), Some(5), Some(1), None, None],
+                vec![(e_6_5, 2), (e_1_6, 1)],
+                &[0],
+            ),
+            // F3 (fragment 2):
+            lpm(2, vec![Some(12), Some(13), Some(1), Some(17), None], vec![(e_1_12, 1)], &[0, 1, 3]),
+            lpm(2, vec![Some(14), Some(13), None, Some(17), None], vec![(e_14_13, 2)], &[1, 3]),
+        ];
+        (lpms, qedges)
+    }
+
+    /// The expected crossing matches of the running example. From Fig. 1:
+    /// four matches cross fragments (all share v3=001, v5=003):
+    /// (v1,v2,v4) ∈ {(6,8,9), (6,10,11), (6,5,4), (12,13,17)}.
+    fn expected() -> Vec<MatchBinding> {
+        let m = |v1: u64, v2: u64, v4: u64| {
+            vec![TermId(v1), TermId(v2), TermId(1), TermId(v4), TermId(3)]
+        };
+        let mut e = vec![m(6, 8, 9), m(6, 10, 11), m(6, 5, 4), m(12, 13, 17)];
+        e.sort_unstable();
+        e
+    }
+
+    #[test]
+    fn lec_assembly_reproduces_paper_example() {
+        let (lpms, qedges) = paper_lpms();
+        let out = assemble_lec(&lpms, 5, &qedges);
+        assert_eq!(out, expected());
+    }
+
+    #[test]
+    fn basic_assembly_agrees_with_lec_assembly() {
+        let (lpms, qedges) = paper_lpms();
+        let lec = assemble_lec(&lpms, 5, &qedges);
+        let basic = assemble_basic(&lpms, 5);
+        assert_eq!(lec, basic);
+    }
+
+    #[test]
+    fn pruned_lpm_changes_nothing() {
+        // PM2_3 (the one Algorithm 2 prunes) contributes to no match:
+        // removing it leaves the result identical.
+        let (lpms, qedges) = paper_lpms();
+        let without: Vec<LocalPartialMatch> =
+            lpms.iter().filter(|m| m.binding[0] != Some(TermId(14))).cloned().collect();
+        assert_eq!(without.len(), lpms.len() - 1);
+        assert_eq!(assemble_lec(&without, 5, &qedges), expected());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(assemble_lec(&[], 3, &[(0, 1)]).is_empty());
+        assert!(assemble_basic(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn three_way_join_across_three_fragments() {
+        // Chain v0-v1-v2 split a|b|c across F0|F1|F2.
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(100, 1, 200);
+        let e12 = edge(200, 1, 300);
+        let lpms = vec![
+            lpm(0, vec![Some(100), Some(200), None], vec![(e01, 0)], &[0]),
+            lpm(
+                1,
+                vec![Some(100), Some(200), Some(300)],
+                vec![(e01, 0), (e12, 1)],
+                &[1],
+            ),
+            lpm(2, vec![None, Some(200), Some(300)], vec![(e12, 1)], &[2]),
+        ];
+        let out = assemble_lec(&lpms, 3, &qedges);
+        assert_eq!(out, vec![vec![TermId(100), TermId(200), TermId(300)]]);
+        assert_eq!(assemble_basic(&lpms, 3), out);
+    }
+
+    #[test]
+    fn same_fragment_reentry_in_multiway_join() {
+        // F0 holds both endpoints of a chain whose middle is in F1:
+        // a(F0) - b(F1) - c(F0). F0 contributes two separate LPMs.
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(100, 1, 200);
+        let e12 = edge(200, 1, 300);
+        let lpms = vec![
+            lpm(0, vec![Some(100), Some(200), None], vec![(e01, 0)], &[0]),
+            lpm(0, vec![None, Some(200), Some(300)], vec![(e12, 1)], &[2]),
+            lpm(
+                1,
+                vec![Some(100), Some(200), Some(300)],
+                vec![(e01, 0), (e12, 1)],
+                &[1],
+            ),
+        ];
+        let out = assemble_lec(&lpms, 3, &qedges);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(assemble_basic(&lpms, 3), out);
+    }
+
+    #[test]
+    fn incompatible_bindings_produce_no_match() {
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(100, 1, 200);
+        let e12 = edge(201, 1, 300); // note: from 201, not 200
+        let lpms = vec![
+            lpm(0, vec![Some(100), Some(200), None], vec![(e01, 0)], &[0]),
+            lpm(1, vec![None, Some(201), Some(300)], vec![(e12, 1)], &[2]),
+        ];
+        assert!(assemble_lec(&lpms, 3, &qedges).is_empty());
+        assert!(assemble_basic(&lpms, 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_joins_deduplicated() {
+        // Two identical joins through different DFS orders must yield one
+        // match. Use the 3-way chain where the middle LPM shares edges
+        // with both sides (multiple exploration orders exist).
+        let (lpms, qedges) = paper_lpms();
+        let out = assemble_lec(&lpms, 5, &qedges);
+        let set: HashSet<_> = out.iter().cloned().collect();
+        assert_eq!(set.len(), out.len());
+    }
+}

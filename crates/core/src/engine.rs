@@ -1,0 +1,642 @@
+//! The distributed query engine (Fig. 4 of the paper).
+//!
+//! Execution for a general (non-star) query:
+//!
+//! 1. *(Full only)* Algorithm 4 — exchange candidate bit vectors.
+//! 2. **Partial evaluation** — every site finds its intra-fragment
+//!    complete matches and its local partial matches (Definition 5), in
+//!    parallel.
+//! 3. *(LO/Full)* **LEC optimization** — sites compute LEC features
+//!    (Algorithm 1) and ship them; the coordinator prunes (Algorithm 2)
+//!    and broadcasts the surviving feature ids; sites drop pruned LPMs.
+//! 4. **Assembly** — surviving LPMs ship to the coordinator, which joins
+//!    them: Algorithm 3 for LA/LO/Full, the [18] partition join for Basic.
+//!
+//! Star queries short-circuit per Section VIII-B: every match lives in
+//! the fragment where the star's center is internal, so the sites answer
+//! locally and only the result bindings ship.
+
+use std::collections::HashSet;
+
+use gstored_net::{Cluster, NetworkModel, QueryMetrics};
+use gstored_partition::DistributedGraph;
+use gstored_rdf::{Term, VertexId};
+use gstored_sparql::{analysis, QueryGraph};
+use gstored_store::candidates::CandidateFilter;
+use gstored_store::{
+    enumerate_local_partial_matches, find_star_matches, local_complete_matches, EncodedQuery,
+    LocalPartialMatch,
+};
+
+use crate::assembly::{assemble_basic, assemble_lec};
+use crate::candidates::exchange_candidates;
+use crate::error::EngineError;
+use crate::lec::compute_lec_features;
+use crate::protocol;
+use crate::prune::prune_features;
+
+/// The four engine variants compared in the paper's Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `gStoreD-Basic`: partial evaluation + the [18] partition join.
+    Basic,
+    /// `gStoreD-LA`: + LEC feature-based assembly (Algorithm 3).
+    LecAssembly,
+    /// `gStoreD-LO`: + LEC feature-based pruning (Algorithm 2).
+    LecOptimization,
+    /// `gStoreD`: + assembling variables' internal candidates (Alg. 4).
+    Full,
+}
+
+impl Variant {
+    /// All variants, in the order of Fig. 9's legend.
+    pub const ALL: [Variant; 4] =
+        [Variant::Basic, Variant::LecAssembly, Variant::LecOptimization, Variant::Full];
+
+    /// The paper's label for the variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Basic => "gStoreD-Basic",
+            Variant::LecAssembly => "gStoreD-LA",
+            Variant::LecOptimization => "gStoreD-LO",
+            Variant::Full => "gStoreD",
+        }
+    }
+
+    fn uses_lec_pruning(&self) -> bool {
+        matches!(self, Variant::LecOptimization | Variant::Full)
+    }
+
+    fn uses_candidate_exchange(&self) -> bool {
+        matches!(self, Variant::Full)
+    }
+
+    fn uses_lec_assembly(&self) -> bool {
+        !matches!(self, Variant::Basic)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which optimizations run (default: the full gStoreD).
+    pub variant: Variant,
+    /// Network cost model for shipment pricing.
+    pub network: NetworkModel,
+    /// Bits per candidate bit vector (Algorithm 4). The paper uses a
+    /// "fixed length"; 64 Ki bits (8 KiB) is our default.
+    pub candidate_bits: usize,
+    /// Enable the star-query fast path of Section VIII-B.
+    pub star_fast_path: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            variant: Variant::Full,
+            network: NetworkModel::default(),
+            candidate_bits: 1 << 16,
+            star_fast_path: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config for a specific variant with defaults otherwise.
+    pub fn variant(v: Variant) -> Self {
+        EngineConfig { variant: v, ..Default::default() }
+    }
+}
+
+/// The result of a query: projected rows plus full metrics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Projected rows (one entry per projected variable, in order).
+    pub rows: Vec<Vec<VertexId>>,
+    /// Complete bindings over all query vertices (pre-projection).
+    pub bindings: Vec<Vec<VertexId>>,
+    /// Per-stage metrics (the columns of Tables I–III).
+    pub metrics: QueryMetrics,
+}
+
+impl QueryOutput {
+    /// Decode the projected rows to terms.
+    pub fn decoded_rows(&self, dist: &DistributedGraph) -> Vec<Vec<Term>> {
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&v| dist.dict().resolve(v).clone()).collect())
+            .collect()
+    }
+
+    /// Shorthand used throughout tests and examples.
+    pub fn matches(&self) -> &[Vec<VertexId>] {
+        &self.rows
+    }
+}
+
+/// The distributed SPARQL engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// An engine running a specific variant with default settings.
+    pub fn with_variant(variant: Variant) -> Self {
+        Engine::new(EngineConfig::variant(variant))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Evaluate `query` over the distributed graph. Infallible version of
+    /// [`Engine::try_run`] that panics on unsupported projections.
+    pub fn run(&self, dist: &DistributedGraph, query: &QueryGraph) -> QueryOutput {
+        self.try_run(dist, query).expect("query not supported by the engine")
+    }
+
+    /// Evaluate `query` over the distributed graph.
+    pub fn try_run(
+        &self,
+        dist: &DistributedGraph,
+        query: &QueryGraph,
+    ) -> Result<QueryOutput, EngineError> {
+        if query.vertex_count() > 64 {
+            return Err(EngineError::QueryTooLarge(query.vertex_count()));
+        }
+        let Some(q) = EncodedQuery::encode(query, dist.dict()) else {
+            let var = query
+                .projection()
+                .iter()
+                .find(|v| query.vertex_of_var(v).is_none())
+                .cloned()
+                .unwrap_or_default();
+            return Err(EngineError::PredicateOnlyProjection(var));
+        };
+
+        let cluster =
+            Cluster::new(dist.fragment_count()).with_network(self.config.network);
+        let mut metrics = QueryMetrics::default();
+
+        if q.has_unsatisfiable() {
+            return Ok(self.finish(query, &q, Vec::new(), metrics));
+        }
+
+        // --- Star fast path (Section VIII-B) ---
+        let shape = analysis::analyze(query);
+        if self.config.star_fast_path && shape.is_star() {
+            let center = shape.star_center.expect("stars have centers");
+            let (per_site, stage) =
+                cluster.scatter(|site| find_star_matches(&dist.fragments[site], &q, center));
+            metrics.partial_evaluation = stage;
+            let mut all = Vec::new();
+            for ms in per_site {
+                let bytes = protocol::encode_bindings(&ms).len() as u64;
+                cluster.charge_shipment(&mut metrics.partial_evaluation, 1, bytes);
+                all.extend(ms);
+            }
+            metrics.local_matches = all.len() as u64;
+            return Ok(self.finish(query, &q, all, metrics));
+        }
+
+        // --- Stage 1 (Full only): assemble variables' candidates ---
+        let filter = if self.config.variant.uses_candidate_exchange() {
+            let (filter, stage) =
+                exchange_candidates(&cluster, dist, &q, self.config.candidate_bits);
+            metrics.candidates = stage;
+            filter
+        } else {
+            CandidateFilter::none(q.vertex_count())
+        };
+
+        // --- Stage 2: partial evaluation at every site ---
+        let (per_site, pe_stage) = cluster.scatter(|site| {
+            let fragment = &dist.fragments[site];
+            let local = local_complete_matches(fragment, &q);
+            let lpms = enumerate_local_partial_matches(fragment, &q, &filter);
+            (local, lpms)
+        });
+        metrics.partial_evaluation = pe_stage;
+
+        let mut complete: Vec<Vec<VertexId>> = Vec::new();
+        let mut site_lpms: Vec<Vec<LocalPartialMatch>> = Vec::with_capacity(per_site.len());
+        for (local, lpms) in per_site {
+            // Local complete matches ship immediately (they are final).
+            let bytes = protocol::encode_bindings(&local).len() as u64;
+            cluster.charge_shipment(&mut metrics.partial_evaluation, 1, bytes);
+            metrics.local_matches += local.len() as u64;
+            complete.extend(local);
+            site_lpms.push(lpms);
+        }
+        metrics.local_partial_matches =
+            site_lpms.iter().map(|l| l.len() as u64).sum();
+
+        // --- Stage 3 (LO/Full): LEC feature optimization ---
+        let surviving: Vec<Vec<LocalPartialMatch>> = if self.config.variant.uses_lec_pruning()
+        {
+            let query_edges: Vec<(usize, usize)> =
+                q.edges().iter().map(|e| (e.from, e.to)).collect();
+            // Sites compute features in parallel (Algorithm 1)...
+            let first_ids: Vec<u32> = {
+                // Pre-assign disjoint global id ranges per site. The range
+                // width only needs to exceed the site's feature count; the
+                // LPM count is a safe bound.
+                let mut ids = Vec::with_capacity(site_lpms.len());
+                let mut next = 0u32;
+                for lpms in &site_lpms {
+                    ids.push(next);
+                    next += lpms.len() as u32 + 1;
+                }
+                ids
+            };
+            let (site_features, lec_stage) = cluster.scatter(|site| {
+                compute_lec_features(&site_lpms[site], first_ids[site])
+            });
+            metrics.lec_optimization = lec_stage;
+
+            // ...and ship them to the coordinator.
+            let mut all_features = Vec::new();
+            for (features, _) in &site_features {
+                let bytes = protocol::encode_features(features).len() as u64;
+                cluster.charge_shipment(&mut metrics.lec_optimization, 1, bytes);
+                all_features.extend(features.iter().cloned());
+            }
+            metrics.lec_features = all_features.len() as u64;
+
+            // Coordinator prunes (Algorithm 2)...
+            let useful = cluster.time_coordinator(&mut metrics.lec_optimization, || {
+                prune_features(&all_features, q.vertex_count(), &query_edges)
+            });
+
+            // ...and broadcasts the surviving ids back.
+            let useful_ids: Vec<u32> = {
+                let mut v: Vec<u32> = useful.iter().copied().collect();
+                v.sort_unstable();
+                v
+            };
+            let bytes = protocol::encode_feature_ids(&useful_ids).len() as u64;
+            cluster.charge_shipment(
+                &mut metrics.lec_optimization,
+                cluster.sites() as u64,
+                bytes * cluster.sites() as u64,
+            );
+
+            // Sites drop pruned LPMs (in parallel).
+            let (surviving, drop_stage) = cluster.scatter(|site| {
+                let (features, feature_of_lpm) = &site_features[site];
+                site_lpms[site]
+                    .iter()
+                    .zip(feature_of_lpm)
+                    .filter(|&(_, &fi)| {
+                        features[fi].sources.iter().any(|id| useful.contains(id))
+                    })
+                    .map(|(lpm, _)| lpm.clone())
+                    .collect::<Vec<_>>()
+            });
+            metrics.lec_optimization.absorb(&drop_stage);
+            surviving
+        } else {
+            site_lpms
+        };
+        metrics.surviving_partial_matches =
+            surviving.iter().map(|l| l.len() as u64).sum();
+
+        // --- Stage 4: assembly at the coordinator ---
+        let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
+        for lpms in &surviving {
+            let bytes = protocol::encode_lpms(lpms).len() as u64;
+            cluster.charge_shipment(&mut metrics.assembly, 1, bytes);
+            all_lpms.extend(lpms.iter().cloned());
+        }
+        let query_edges: Vec<(usize, usize)> =
+            q.edges().iter().map(|e| (e.from, e.to)).collect();
+        let crossing = cluster.time_coordinator(&mut metrics.assembly, || {
+            if self.config.variant.uses_lec_assembly() {
+                assemble_lec(&all_lpms, q.vertex_count(), &query_edges)
+            } else {
+                assemble_basic(&all_lpms, q.vertex_count())
+            }
+        });
+        metrics.crossing_matches = crossing.len() as u64;
+        complete.extend(crossing);
+
+        Ok(self.finish(query, &q, complete, metrics))
+    }
+
+    /// Apply projection / DISTINCT / LIMIT and package the output.
+    fn finish(
+        &self,
+        query: &QueryGraph,
+        q: &EncodedQuery,
+        bindings: Vec<Vec<VertexId>>,
+        metrics: QueryMetrics,
+    ) -> QueryOutput {
+        let proj = q.projection();
+        let mut rows: Vec<Vec<VertexId>> = bindings
+            .iter()
+            .map(|b| proj.iter().map(|&v| b[v]).collect())
+            .collect();
+        if query.distinct {
+            let mut seen: HashSet<Vec<VertexId>> = HashSet::new();
+            rows.retain(|r| seen.insert(r.clone()));
+        }
+        rows.sort_unstable();
+        if let Some(limit) = query.limit {
+            rows.truncate(limit);
+        }
+        QueryOutput { rows, bindings, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_partition::{
+        DistributedGraph, ExplicitPartitioner, HashPartitioner, MetisLikePartitioner,
+        Partitioner, SemanticHashPartitioner,
+    };
+    use gstored_rdf::{RdfGraph, Triple};
+    use gstored_sparql::parse_query;
+    use gstored_store::find_matches;
+    use std::collections::HashMap;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// The paper's running example graph (Fig. 1), with the vertex ids of
+    /// the figure as IRI names for readability.
+    fn paper_graph() -> RdfGraph {
+        let influenced = "http://o/influencedBy";
+        let interest = "http://o/mainInterest";
+        let label = "http://o/label";
+        let name = "http://o/name";
+        let birth_date = "http://o/birthDate";
+        let birth_place = "http://o/birthPlace";
+        let e = |n: u32| format!("http://e/{n:03}");
+        let mut g = RdfGraph::new();
+        // F1 content.
+        g.insert(&t(&e(1), name, &e(3))); // 003 = "Crispin Wright"@en
+        g.insert(&t(&e(1), birth_date, &e(2)));
+        g.insert(&t(&e(5), label, &e(4))); // 004 = "Philosophy of language"
+        // F2 content.
+        g.insert(&t(&e(6), name, &e(7))); // 006 = Michael Dummett
+        g.insert(&t(&e(6), interest, &e(8)));
+        g.insert(&t(&e(8), label, &e(9)));
+        g.insert(&t(&e(6), interest, &e(10)));
+        g.insert(&t(&e(10), label, &e(11)));
+        g.insert(&t(&e(14), name, &e(18))); // 014 = s2:Phi4 (Rudolf Carnap)
+        // F3 content.
+        g.insert(&t(&e(12), name, &e(15))); // 012 = Wittgenstein... (name at 015)
+        g.insert(&t(&e(12), birth_date, &e(15)));
+        g.insert(&t(&e(13), label, &e(17))); // 013 = s3:Int4, 017 = "Logic"@en
+        g.insert(&t(&e(19), label, &e(20)));
+        g.insert(&t(&e(14), birth_place, &e(19)));
+        // Crossing edges.
+        g.insert(&t(&e(1), influenced, &e(6))); // 001 -> 006
+        g.insert(&t(&e(6), interest, &e(5))); // 006 -> 005
+        g.insert(&t(&e(1), influenced, &e(12))); // 001 -> 012
+        g.insert(&t(&e(12), interest, &e(13))); // 012 -> 013
+        g.insert(&t(&e(14), interest, &e(13))); // 014 -> 013
+        g.finalize();
+        g
+    }
+
+    fn paper_partitioner(g: &RdfGraph) -> ExplicitPartitioner {
+        let e = |n: u32| Term::iri(format!("http://e/{n:03}"));
+        let mut map = HashMap::new();
+        // Fig. 1 layout: 014 (s2:Phi4) and 018 belong to F2, not F3.
+        for (frag, ids) in [
+            (0usize, vec![1, 2, 3, 4, 5]),
+            (1, vec![6, 7, 8, 9, 10, 11, 14, 18]),
+            (2, vec![12, 13, 15, 16, 17, 19, 20]),
+        ] {
+            for id in ids {
+                if let Some(v) = g.vertex_of(&e(id)) {
+                    map.insert(v, frag);
+                }
+            }
+        }
+        ExplicitPartitioner::new(3, map)
+    }
+
+    fn paper_query() -> QueryGraph {
+        QueryGraph::from_query(
+            &parse_query(
+                r#"SELECT ?p2 ?l WHERE {
+                    ?t <http://o/label> ?l .
+                    ?p1 <http://o/influencedBy> ?p2 .
+                    ?p2 <http://o/mainInterest> ?t .
+                    ?p1 <http://o/name> <http://e/003> .
+                }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_all_variants_match_centralized() {
+        let g = paper_graph();
+        let query = paper_query();
+        let q = {
+            let qe = EncodedQuery::encode(&query, g.dict()).unwrap();
+            qe
+        };
+        let reference = {
+            let mut m = find_matches(&g, &q);
+            m.sort_unstable();
+            m
+        };
+        assert!(!reference.is_empty(), "the running example has matches");
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        assert_eq!(dist.validate(), None);
+        for variant in Variant::ALL {
+            let engine = Engine::with_variant(variant);
+            let out = engine.run(&dist, &query);
+            let mut got = out.bindings.clone();
+            got.sort_unstable();
+            assert_eq!(got, reference, "variant {}", variant.label());
+        }
+    }
+
+    #[test]
+    fn paper_example_lpm_counts_match_fig3() {
+        // The paper's Fig. 3 lists 3 LPMs in F1, 3 in F2, 2 in F3 for the
+        // running example (with the literal spelled as vertex 003).
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let q = EncodedQuery::encode(&query, dist.dict()).unwrap();
+        let filter = CandidateFilter::none(q.vertex_count());
+        let counts: Vec<usize> = dist
+            .fragments
+            .iter()
+            .map(|f| enumerate_local_partial_matches(f, &q, &filter).len())
+            .collect();
+        assert_eq!(counts, vec![3, 3, 2], "Fig. 3 structure");
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_random_partitionings() {
+        let g = paper_graph();
+        let query = paper_query();
+        let q = EncodedQuery::encode(&query, g.dict()).unwrap();
+        let reference = {
+            let mut m = find_matches(&g, &q);
+            m.sort_unstable();
+            m
+        };
+        for seed in 0..6 {
+            let dist = DistributedGraph::build(
+                g.clone(),
+                &HashPartitioner::with_seed(3, seed),
+            );
+            let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+            let mut got = out.bindings.clone();
+            got.sort_unstable();
+            assert_eq!(got, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_fast_path_agrees_with_general_path() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query(
+                "SELECT * WHERE { ?x <http://o/mainInterest> ?a . ?x <http://o/name> ?b }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
+        let fast = Engine::new(EngineConfig {
+            star_fast_path: true,
+            ..EngineConfig::variant(Variant::Full)
+        })
+        .run(&dist, &query);
+        let slow = Engine::new(EngineConfig {
+            star_fast_path: false,
+            ..EngineConfig::variant(Variant::Full)
+        })
+        .run(&dist, &query);
+        assert_eq!(fast.rows, slow.rows);
+        assert!(!fast.rows.is_empty());
+        // The fast path ships no LPMs at all.
+        assert_eq!(fast.metrics.local_partial_matches, 0);
+    }
+
+    #[test]
+    fn variants_agree_across_partitioning_strategies() {
+        let g = paper_graph();
+        let query = paper_query();
+        let q = EncodedQuery::encode(&query, g.dict()).unwrap();
+        let reference = {
+            let mut m = find_matches(&g, &q);
+            m.sort_unstable();
+            m
+        };
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner::new(4)),
+            Box::new(SemanticHashPartitioner::new(4)),
+            Box::new(MetisLikePartitioner::new(4)),
+        ];
+        for p in &partitioners {
+            let dist = DistributedGraph::build(g.clone(), p.as_ref());
+            assert_eq!(dist.validate(), None, "{}", p.name());
+            for variant in [Variant::Basic, Variant::Full] {
+                let out = Engine::with_variant(variant).run(&dist, &query);
+                let mut got = out.bindings.clone();
+                got.sort_unstable();
+                assert_eq!(got, reference, "{} / {}", p.name(), variant.label());
+            }
+        }
+    }
+
+    #[test]
+    fn lec_pruning_reduces_shipped_lpms() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let basic = Engine::with_variant(Variant::Basic).run(&dist, &query);
+        let lo = Engine::with_variant(Variant::LecOptimization).run(&dist, &query);
+        assert_eq!(basic.rows, lo.rows);
+        assert_eq!(basic.metrics.surviving_partial_matches, basic.metrics.local_partial_matches);
+        assert!(
+            lo.metrics.surviving_partial_matches < lo.metrics.local_partial_matches,
+            "the paper's example prunes PM2_3: {} vs {}",
+            lo.metrics.surviving_partial_matches,
+            lo.metrics.local_partial_matches
+        );
+        // Assembly shipment shrinks accordingly.
+        assert!(lo.metrics.assembly.bytes_shipped < basic.metrics.assembly.bytes_shipped);
+    }
+
+    #[test]
+    fn unsatisfiable_query_returns_empty() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT ?x WHERE { ?x <http://o/doesNotExist> ?y }").unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn projection_distinct_and_limit_apply() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query(
+                "SELECT DISTINCT ?p WHERE { ?p <http://o/mainInterest> ?t } LIMIT 2",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
+        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        assert!(out.rows.len() <= 2);
+        let unique: HashSet<_> = out.rows.iter().collect();
+        assert_eq!(unique.len(), out.rows.len());
+    }
+
+    #[test]
+    fn predicate_only_projection_is_an_error() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT ?p WHERE { <http://e/001> ?p ?y }").unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let err = Engine::with_variant(Variant::Full).try_run(&dist, &query);
+        assert!(matches!(err, Err(EngineError::PredicateOnlyProjection(_))));
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        let m = &out.metrics;
+        assert!(m.local_partial_matches > 0);
+        assert!(m.lec_features > 0);
+        assert!(m.candidates.bytes_shipped > 0, "Algorithm 4 ships bit vectors");
+        assert!(m.lec_optimization.bytes_shipped > 0, "features ship");
+        assert!(m.assembly.bytes_shipped > 0, "surviving LPMs ship");
+        assert!(m.total_time() > std::time::Duration::ZERO);
+        assert_eq!(m.total_matches(), out.bindings.len() as u64);
+    }
+}

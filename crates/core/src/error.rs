@@ -1,0 +1,43 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors from the distributed engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query projects a variable that only occurs in predicate
+    /// position. Definition 3 gives predicate variables per-edge "match
+    /// anything" semantics, so they carry no binding to project.
+    PredicateOnlyProjection(String),
+    /// The query has more vertices than the 64-bit LECSign masks support.
+    QueryTooLarge(usize),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::PredicateOnlyProjection(v) => write!(
+                f,
+                "cannot project ?{v}: it only occurs in predicate position"
+            ),
+            EngineError::QueryTooLarge(n) => {
+                write!(f, "query has {n} vertices; LECSign masks support at most 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(EngineError::PredicateOnlyProjection("p".into())
+            .to_string()
+            .contains("?p"));
+        assert!(EngineError::QueryTooLarge(65).to_string().contains("65"));
+    }
+}

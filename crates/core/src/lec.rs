@@ -1,0 +1,386 @@
+//! LEC features (Definitions 6–9, Algorithm 1).
+//!
+//! Local partial matches from the same fragment that contain the same
+//! crossing edges, mapped to the same query edges, are structurally
+//! interchangeable for joining (Theorems 1–2). The **LEC feature** of such
+//! a class keeps only:
+//!
+//! * the fragment identifier,
+//! * the function `g`: crossing data edge → query edge,
+//! * the `LECSign` bitstring over query vertices (bit set ⇔ mapped to an
+//!   internal vertex).
+//!
+//! Joined features track the *set* of participating fragments and the
+//! global ids of their source features, which is what lets Algorithm 2
+//! report exactly which original features contributed to an all-ones
+//! combination.
+
+use gstored_rdf::EdgeRef;
+use gstored_store::LocalPartialMatch;
+
+/// A LEC feature (Definition 8), possibly the join of several features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LecFeature {
+    /// Bitmask of fragments the feature spans (single bit for original
+    /// features produced by Algorithm 1).
+    pub fragments: u64,
+    /// The function `g`: matched crossing edges with their query edge
+    /// index, sorted by query edge index then edge.
+    pub mapping: Vec<(EdgeRef, usize)>,
+    /// The LECSign bitstring as a mask over query vertices.
+    pub sign: u64,
+    /// Global ids of the original features merged into this one (sorted).
+    /// An original feature's `sources` is `[its own id]`.
+    pub sources: Vec<u32>,
+}
+
+impl LecFeature {
+    /// The feature of one local partial match (Algorithm 1 inner loop).
+    pub fn of_lpm(lpm: &LocalPartialMatch) -> LecFeature {
+        let mut mapping = lpm.crossing.clone();
+        mapping.sort_unstable_by_key(|&(e, qe)| (qe, e));
+        LecFeature {
+            fragments: 1u64 << lpm.fragment,
+            mapping,
+            sign: lpm.internal_mask,
+            sources: Vec::new(),
+        }
+    }
+
+    /// Structural identity (fragment + mapping + sign): two LPMs with equal
+    /// keys belong to the same LEC (Definition 6).
+    pub fn key(&self) -> (u64, &[(EdgeRef, usize)], u64) {
+        (self.fragments, &self.mapping, self.sign)
+    }
+
+    /// Whether this is an original (single-fragment, un-joined) feature.
+    pub fn is_original(&self) -> bool {
+        self.fragments.count_ones() == 1
+    }
+
+    /// Definition 9 joinability. Conditions, in order:
+    ///
+    /// 1. not two originals of the same fragment;
+    /// 2. at least one shared `(crossing edge, query edge)` entry;
+    /// 3. no query edge mapped to *different* data edges by the two sides;
+    /// 4. disjoint LECSigns;
+    /// 5. (implied by 3+4 for original pairs — see the Theorem 3 analysis
+    ///    in DESIGN.md — and enforced explicitly for joined intermediates)
+    ///    the endpoint bindings induced by the two mappings agree.
+    pub fn joinable(&self, other: &LecFeature, query_edges: &[(usize, usize)]) -> bool {
+        if self.is_original() && other.is_original() && self.fragments == other.fragments {
+            return false;
+        }
+        if self.sign & other.sign != 0 {
+            return false;
+        }
+        let mut shared = false;
+        for &(e, qe) in &self.mapping {
+            for &(e2, qe2) in &other.mapping {
+                if qe == qe2 {
+                    if e == e2 {
+                        shared = true;
+                    } else {
+                        return false; // condition 3
+                    }
+                }
+            }
+        }
+        if !shared {
+            return false;
+        }
+        // Endpoint consistency: mappings induce query-vertex -> data-vertex
+        // bindings; they must agree where both are defined.
+        endpoint_bindings_agree(&self.mapping, &other.mapping, query_edges)
+    }
+
+    /// Join two features (Algorithm 2 line 6). Caller checks joinability.
+    pub fn join(&self, other: &LecFeature) -> LecFeature {
+        let mut mapping = self.mapping.clone();
+        for &(e, qe) in &other.mapping {
+            if !mapping.contains(&(e, qe)) {
+                mapping.push((e, qe));
+            }
+        }
+        mapping.sort_unstable_by_key(|&(e, qe)| (qe, e));
+        let mut sources = self.sources.clone();
+        sources.extend_from_slice(&other.sources);
+        sources.sort_unstable();
+        sources.dedup();
+        LecFeature {
+            fragments: self.fragments | other.fragments,
+            mapping,
+            sign: self.sign | other.sign,
+            sources,
+        }
+    }
+
+    /// Whether the sign covers all `n` query vertices (Theorem 4 cond. 3).
+    pub fn is_complete(&self, n: usize) -> bool {
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        self.sign == full
+    }
+
+    /// Wire size proxy used in the paper's cost analysis:
+    /// `O(|E^Q| + |V^Q|)` per feature. The real serialized size comes from
+    /// [`crate::protocol`]; this is the analytical bound.
+    pub fn analytical_size(&self, n_vertices: usize) -> usize {
+        1 + self.mapping.len() * 4 + n_vertices.div_ceil(8)
+    }
+}
+
+/// Check that the query-vertex bindings induced by two crossing-edge
+/// mappings agree. `query_edges[qe] = (from_vertex, to_vertex)`.
+fn endpoint_bindings_agree(
+    a: &[(EdgeRef, usize)],
+    b: &[(EdgeRef, usize)],
+    query_edges: &[(usize, usize)],
+) -> bool {
+    // Induced bindings are tiny; a linear scan beats hashing.
+    let mut bindings: Vec<(usize, gstored_rdf::VertexId)> = Vec::new();
+    for &(e, qe) in a.iter().chain(b.iter()) {
+        let (qf, qt) = query_edges[qe];
+        for (qv, dv) in [(qf, e.from), (qt, e.to)] {
+            match bindings.iter().find(|&&(v, _)| v == qv) {
+                Some(&(_, existing)) if existing != dv => return false,
+                Some(_) => {}
+                None => bindings.push((qv, dv)),
+            }
+        }
+    }
+    true
+}
+
+/// Algorithm 1: compress a fragment's local partial matches into its set
+/// of LEC features. Returns the deduplicated features (with `sources` set
+/// to their global ids starting at `first_id`) and, for each LPM, the
+/// index of its feature *within the returned vector*.
+pub fn compute_lec_features(
+    lpms: &[LocalPartialMatch],
+    first_id: u32,
+) -> (Vec<LecFeature>, Vec<usize>) {
+    let mut features: Vec<LecFeature> = Vec::new();
+    let mut feature_of_lpm = Vec::with_capacity(lpms.len());
+    for lpm in lpms {
+        let f = LecFeature::of_lpm(lpm);
+        let idx = match features.iter().position(|g| g.key() == f.key()) {
+            Some(i) => i,
+            None => {
+                let mut f = f;
+                f.sources = vec![first_id + features.len() as u32];
+                features.push(f);
+                features.len() - 1
+            }
+        };
+        feature_of_lpm.push(idx);
+    }
+    (features, feature_of_lpm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::TermId;
+
+    fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
+        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+    }
+
+    fn lpm(
+        fragment: usize,
+        binding: Vec<Option<u64>>,
+        crossing: Vec<(EdgeRef, usize)>,
+        internal: &[usize],
+    ) -> LocalPartialMatch {
+        let mut mask = 0u64;
+        for &i in internal {
+            mask |= 1 << i;
+        }
+        LocalPartialMatch {
+            fragment,
+            binding: binding.into_iter().map(|o| o.map(TermId)).collect(),
+            crossing,
+            internal_mask: mask,
+        }
+    }
+
+    /// Query edges of the paper's Fig. 2, as (from, to) vertex pairs:
+    /// e0: v2->v4 (label), e1: v3->v1 (influencedBy), e2: v1->v2
+    /// (mainInterest), e3: v3->v5 (name). Vertices 0..=4 are v1..v5.
+    fn fig2_edges() -> Vec<(usize, usize)> {
+        vec![(1, 3), (2, 0), (0, 1), (2, 4)]
+    }
+
+    /// The paper's Example 6: PM1_2 and PM2_2 share one LEC feature.
+    #[test]
+    fn algorithm1_compresses_paper_example6() {
+        let ce = edge(1, 100, 6); // 001 -influencedBy-> 006
+        let pm12 = lpm(
+            1,
+            vec![Some(6), Some(8), Some(1), Some(9), None],
+            vec![(ce, 1)],
+            &[0, 1, 3],
+        );
+        let pm22 = lpm(
+            1,
+            vec![Some(6), Some(10), Some(1), Some(11), None],
+            vec![(ce, 1)],
+            &[0, 1, 3],
+        );
+        let ce2 = edge(6, 101, 5); // 006 -mainInterest-> 005
+        let pm32 = lpm(
+            1,
+            vec![Some(6), Some(5), Some(1), None, None],
+            vec![(ce2, 2), (ce, 1)],
+            &[0],
+        );
+        let (features, of) = compute_lec_features(&[pm12, pm22, pm32], 10);
+        assert_eq!(features.len(), 2, "PM1_2 and PM2_2 share a feature");
+        assert_eq!(of[0], of[1]);
+        assert_ne!(of[0], of[2]);
+        assert_eq!(features[0].sources, vec![10]);
+        assert_eq!(features[1].sources, vec![11]);
+        // LF([PM3_2]) has both crossing edges, sorted by query edge.
+        assert_eq!(features[of[2]].mapping, vec![(ce, 1), (ce2, 2)]);
+        // Signs: [11010] over (v1..v5) = bits 0,1,3; [10000] = bit 0.
+        assert_eq!(features[of[0]].sign, 0b01011);
+        assert_eq!(features[of[2]].sign, 0b00001);
+    }
+
+    /// Theorem 3 / Example 5: LF([PM1_1]) joins LF([PM1_2]).
+    #[test]
+    fn paper_features_join() {
+        let ce = edge(1, 100, 6);
+        let lf11 = LecFeature {
+            fragments: 1 << 0,
+            mapping: vec![(ce, 1)],
+            sign: 0b10100, // v3, v5 internal
+            sources: vec![0],
+        };
+        let lf12 = LecFeature {
+            fragments: 1 << 1,
+            mapping: vec![(ce, 1)],
+            sign: 0b01011, // v1, v2, v4 internal
+            sources: vec![1],
+        };
+        assert!(lf11.joinable(&lf12, &fig2_edges()));
+        let j = lf11.join(&lf12);
+        assert!(j.is_complete(5));
+        assert_eq!(j.sources, vec![0, 1]);
+        assert_eq!(j.fragments, 0b11);
+    }
+
+    /// Theorem 5: equal LECSigns are never joinable.
+    #[test]
+    fn equal_signs_never_joinable() {
+        let ce = edge(1, 100, 6);
+        let a = LecFeature {
+            fragments: 1,
+            mapping: vec![(ce, 1)],
+            sign: 0b00101,
+            sources: vec![0],
+        };
+        let b = LecFeature {
+            fragments: 2,
+            mapping: vec![(ce, 1)],
+            sign: 0b00101,
+            sources: vec![1],
+        };
+        assert!(!a.joinable(&b, &fig2_edges()));
+    }
+
+    #[test]
+    fn same_fragment_originals_never_joinable() {
+        let ce = edge(1, 100, 6);
+        let a = LecFeature { fragments: 1, mapping: vec![(ce, 1)], sign: 0b001, sources: vec![0] };
+        let b = LecFeature { fragments: 1, mapping: vec![(ce, 1)], sign: 0b010, sources: vec![1] };
+        assert!(!a.joinable(&b, &fig2_edges()));
+    }
+
+    #[test]
+    fn condition3_same_query_edge_different_data_edges() {
+        let a = LecFeature {
+            fragments: 1,
+            mapping: vec![(edge(1, 100, 6), 1)],
+            sign: 0b001,
+            sources: vec![0],
+        };
+        let b = LecFeature {
+            fragments: 2,
+            mapping: vec![(edge(2, 100, 7), 1)],
+            sign: 0b010,
+            sources: vec![1],
+        };
+        assert!(!a.joinable(&b, &fig2_edges()));
+    }
+
+    #[test]
+    fn endpoint_conflict_detected_across_distinct_query_edges() {
+        // Feature a maps e1 (v3->v1) to edge (1 -> 6): binds v3=1, v1=6.
+        // Feature b maps e2 (v1->v2) to edge (9 -> 8): binds v1=9 (!).
+        // They also share e0 so condition 2 passes; endpoint check must
+        // reject v1 = 6 vs 9.
+        let shared = edge(13, 102, 17);
+        let a = LecFeature {
+            fragments: 1,
+            mapping: vec![(shared, 0), (edge(1, 100, 6), 1)],
+            sign: 1 << 2,
+            sources: vec![0],
+        };
+        let b = LecFeature {
+            fragments: 2,
+            mapping: vec![(shared, 0), (edge(9, 101, 8), 2)],
+            sign: 1 << 3,
+            sources: vec![1],
+        };
+        assert!(!a.joinable(&b, &fig2_edges()));
+    }
+
+    #[test]
+    fn no_shared_edge_not_joinable() {
+        let a = LecFeature {
+            fragments: 1,
+            mapping: vec![(edge(1, 100, 6), 1)],
+            sign: 0b001,
+            sources: vec![0],
+        };
+        let b = LecFeature {
+            fragments: 2,
+            mapping: vec![(edge(6, 101, 5), 2)],
+            sign: 0b010,
+            sources: vec![1],
+        };
+        assert!(!a.joinable(&b, &fig2_edges()));
+    }
+
+    #[test]
+    fn intermediate_can_rejoin_same_fragment() {
+        // The three-fragment case from DESIGN.md: F1 core {a}, F2 core {b},
+        // F1 core {c} — the intermediate (F1|F2) joins another F1 feature.
+        let e01 = edge(10, 1, 20); // between cores a,b
+        let e12 = edge(20, 1, 30); // between cores b,c
+        let qedges = vec![(0, 1), (1, 2)];
+        let f1a = LecFeature { fragments: 1, mapping: vec![(e01, 0)], sign: 0b001, sources: vec![0] };
+        let f2b =
+            LecFeature { fragments: 2, mapping: vec![(e01, 0), (e12, 1)], sign: 0b010, sources: vec![1] };
+        let f1c = LecFeature { fragments: 1, mapping: vec![(e12, 1)], sign: 0b100, sources: vec![2] };
+        assert!(f1a.joinable(&f2b, &qedges));
+        let inter = f1a.join(&f2b);
+        assert!(!f1a.joinable(&f1c, &qedges), "no shared edge between the two F1 features");
+        assert!(inter.joinable(&f1c, &qedges), "intermediate spans F1|F2 and shares e12");
+        let full = inter.join(&f1c);
+        assert!(full.is_complete(3));
+        assert_eq!(full.sources, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn analytical_size_is_linear_in_query() {
+        let f = LecFeature {
+            fragments: 1,
+            mapping: vec![(edge(1, 2, 3), 0), (edge(4, 5, 6), 1)],
+            sign: 1,
+            sources: vec![0],
+        };
+        assert_eq!(f.analytical_size(5), 1 + 8 + 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gstored-core
+//!
+//! The paper's contribution, on top of the substrate crates:
+//!
+//! * [`lec`] — local partial match equivalence classes and **LEC features**
+//!   (Definitions 6–8, Algorithm 1), with the joinability conditions of
+//!   Definition 9 (Theorems 2, 3 and 5 are exercised as tests).
+//! * [`prune`] — the LEC feature-based **pruning** of Algorithm 2: group
+//!   features by LECSign, build the join graph, DFS-join features and keep
+//!   only those participating in an all-ones LECSign combination.
+//! * [`assembly`] — the LEC feature-based **assembly** of Algorithm 3,
+//!   plus the un-grouped baseline join of [18] used by `gStoreD-Basic`.
+//! * [`candidates`] — **assembling variables' internal candidates**
+//!   (Section VI, Algorithm 4) with fixed-length candidate bit vectors.
+//! * [`protocol`] — wire encoding of everything the engine ships, so data
+//!   shipment is measured on real serialized bytes.
+//! * [`engine`] — the distributed engine with the four variants compared
+//!   in Fig. 9: `Basic`, `LA` (LEC assembly), `LO` (+ LEC pruning) and
+//!   `Full` (+ candidate exchange), including the star-query fast path of
+//!   Section VIII-B.
+
+pub mod assembly;
+pub mod candidates;
+pub mod engine;
+pub mod error;
+pub mod lec;
+pub mod protocol;
+pub mod prune;
+
+pub use engine::{Engine, EngineConfig, QueryOutput, Variant};
+pub use error::EngineError;
+pub use lec::LecFeature;

@@ -1,0 +1,295 @@
+//! Wire encoding of everything the engine ships between sites and the
+//! coordinator: local partial matches, LEC features, candidate bit
+//! vectors, surviving-feature id sets, and complete match bindings.
+//!
+//! Shipment numbers in the experiments are the byte lengths produced here
+//! — real serialized sizes, matching how the paper measures "data
+//! shipment" on its MPICH cluster.
+
+use bytes::Bytes;
+use gstored_net::wire::{WireError, WireReader, WireWriter};
+use gstored_rdf::{EdgeRef, TermId, VertexId};
+use gstored_store::candidates::BitVectorFilter;
+use gstored_store::LocalPartialMatch;
+
+use crate::lec::LecFeature;
+
+/// Encode a batch of local partial matches (one site → coordinator).
+pub fn encode_lpms(lpms: &[LocalPartialMatch]) -> Bytes {
+    let mut w = WireWriter::with_capacity(lpms.len() * 32);
+    w.usize(lpms.len());
+    for m in lpms {
+        w.usize(m.fragment);
+        w.usize(m.binding.len());
+        for b in &m.binding {
+            w.opt_u64(b.map(|t| t.0));
+        }
+        w.usize(m.crossing.len());
+        for (e, qe) in &m.crossing {
+            w.u64(e.from.0).u64(e.label.0).u64(e.to.0).usize(*qe);
+        }
+        w.u64(m.internal_mask);
+    }
+    w.finish()
+}
+
+/// Decode a batch of local partial matches.
+pub fn decode_lpms(bytes: Bytes) -> Result<Vec<LocalPartialMatch>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fragment = r.usize()?;
+        let bn = r.usize()?;
+        let mut binding = Vec::with_capacity(bn);
+        for _ in 0..bn {
+            binding.push(r.opt_u64()?.map(TermId));
+        }
+        let cn = r.usize()?;
+        let mut crossing = Vec::with_capacity(cn);
+        for _ in 0..cn {
+            let e = EdgeRef {
+                from: TermId(r.u64()?),
+                label: TermId(r.u64()?),
+                to: TermId(r.u64()?),
+            };
+            crossing.push((e, r.usize()?));
+        }
+        let internal_mask = r.u64()?;
+        out.push(LocalPartialMatch { fragment, binding, crossing, internal_mask });
+    }
+    Ok(out)
+}
+
+/// Encode a batch of LEC features (one site → coordinator).
+pub fn encode_features(features: &[LecFeature]) -> Bytes {
+    let mut w = WireWriter::with_capacity(features.len() * 24);
+    w.usize(features.len());
+    for f in features {
+        w.u64(f.fragments);
+        w.usize(f.mapping.len());
+        for (e, qe) in &f.mapping {
+            w.u64(e.from.0).u64(e.label.0).u64(e.to.0).usize(*qe);
+        }
+        w.u64(f.sign);
+        w.usize(f.sources.len());
+        for s in &f.sources {
+            w.u64(u64::from(*s));
+        }
+    }
+    w.finish()
+}
+
+/// Decode a batch of LEC features.
+pub fn decode_features(bytes: Bytes) -> Result<Vec<LecFeature>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fragments = r.u64()?;
+        let mn = r.usize()?;
+        let mut mapping = Vec::with_capacity(mn);
+        for _ in 0..mn {
+            let e = EdgeRef {
+                from: TermId(r.u64()?),
+                label: TermId(r.u64()?),
+                to: TermId(r.u64()?),
+            };
+            mapping.push((e, r.usize()?));
+        }
+        let sign = r.u64()?;
+        let sn = r.usize()?;
+        let mut sources = Vec::with_capacity(sn);
+        for _ in 0..sn {
+            sources.push(r.u64()? as u32);
+        }
+        out.push(LecFeature { fragments, mapping, sign, sources });
+    }
+    Ok(out)
+}
+
+/// Encode a candidate bit vector (Algorithm 4). Fixed-width words so the
+/// size is independent of density (Section VI: "the length of a bit
+/// vector is fixed, the communication cost is not too expensive").
+pub fn encode_bit_vector(bv: &BitVectorFilter) -> Bytes {
+    let mut w = WireWriter::with_capacity(bv.wire_size() + 8);
+    w.usize(bv.n_bits());
+    for &word in bv.words() {
+        w.u64_fixed(word);
+    }
+    w.finish()
+}
+
+/// Decode a candidate bit vector.
+pub fn decode_bit_vector(bytes: Bytes) -> Result<BitVectorFilter, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n_bits = r.usize()?;
+    let words = n_bits.max(64).div_ceil(64);
+    let mut v = Vec::with_capacity(words);
+    for _ in 0..words {
+        v.push(r.u64_fixed()?);
+    }
+    Ok(BitVectorFilter::from_words(v, n_bits))
+}
+
+/// Encode a set of surviving feature ids (coordinator → site broadcast).
+pub fn encode_feature_ids(ids: &[u32]) -> Bytes {
+    let mut w = WireWriter::with_capacity(ids.len() * 3 + 4);
+    w.usize(ids.len());
+    for &id in ids {
+        w.u64(u64::from(id));
+    }
+    w.finish()
+}
+
+/// Decode a set of surviving feature ids.
+pub fn decode_feature_ids(bytes: Bytes) -> Result<Vec<u32>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()? as u32);
+    }
+    Ok(out)
+}
+
+/// Encode complete match bindings (site → coordinator, e.g. local matches
+/// and star matches).
+pub fn encode_bindings(bindings: &[Vec<VertexId>]) -> Bytes {
+    let mut w = WireWriter::with_capacity(bindings.len() * 16);
+    w.usize(bindings.len());
+    for b in bindings {
+        w.usize(b.len());
+        for v in b {
+            w.u64(v.0);
+        }
+    }
+    w.finish()
+}
+
+/// Decode complete match bindings.
+pub fn decode_bindings(bytes: Bytes) -> Result<Vec<Vec<VertexId>>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.usize()?;
+        let mut b = Vec::with_capacity(m);
+        for _ in 0..m {
+            b.push(TermId(r.u64()?));
+        }
+        out.push(b);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lpm() -> LocalPartialMatch {
+        LocalPartialMatch {
+            fragment: 2,
+            binding: vec![Some(TermId(6)), None, Some(TermId(1))],
+            crossing: vec![(
+                EdgeRef { from: TermId(1), label: TermId(100), to: TermId(6) },
+                1,
+            )],
+            internal_mask: 0b101,
+        }
+    }
+
+    #[test]
+    fn lpm_roundtrip() {
+        let lpms = vec![sample_lpm(), sample_lpm()];
+        let bytes = encode_lpms(&lpms);
+        let decoded = decode_lpms(bytes).unwrap();
+        assert_eq!(decoded, lpms);
+    }
+
+    #[test]
+    fn empty_lpm_batch_roundtrip() {
+        let bytes = encode_lpms(&[]);
+        assert_eq!(decode_lpms(bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn feature_roundtrip() {
+        let f = LecFeature {
+            fragments: 0b101,
+            mapping: vec![
+                (EdgeRef { from: TermId(1), label: TermId(9), to: TermId(6) }, 0),
+                (EdgeRef { from: TermId(6), label: TermId(9), to: TermId(5) }, 2),
+            ],
+            sign: 0b11010,
+            sources: vec![3, 7],
+        };
+        let bytes = encode_features(std::slice::from_ref(&f));
+        let decoded = decode_features(bytes).unwrap();
+        assert_eq!(decoded, vec![f]);
+    }
+
+    #[test]
+    fn bit_vector_roundtrip_and_fixed_size() {
+        let mut bv = BitVectorFilter::new(1024);
+        for i in 0..100u64 {
+            bv.insert(TermId(i * 3));
+        }
+        let sparse = encode_bit_vector(&BitVectorFilter::new(1024));
+        let dense = encode_bit_vector(&bv);
+        assert_eq!(sparse.len(), dense.len(), "size independent of density");
+        let decoded = decode_bit_vector(dense).unwrap();
+        assert_eq!(decoded, bv);
+    }
+
+    #[test]
+    fn feature_ids_roundtrip() {
+        let ids = vec![0u32, 5, 1000, u32::MAX];
+        let decoded = decode_feature_ids(encode_feature_ids(&ids)).unwrap();
+        assert_eq!(decoded, ids);
+    }
+
+    #[test]
+    fn bindings_roundtrip() {
+        let bindings = vec![
+            vec![TermId(1), TermId(2), TermId(3)],
+            vec![TermId(9), TermId(8), TermId(7)],
+        ];
+        let decoded = decode_bindings(encode_bindings(&bindings)).unwrap();
+        assert_eq!(decoded, bindings);
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let bytes = encode_lpms(&[sample_lpm()]);
+        let cut = bytes.slice(0..bytes.len() - 2);
+        assert!(decode_lpms(cut).is_err());
+    }
+
+    #[test]
+    fn lpm_size_scales_with_bound_vertices() {
+        // A mostly-NULL LPM must encode smaller than a mostly-bound one.
+        let sparse = LocalPartialMatch {
+            fragment: 0,
+            binding: vec![None, None, None, None, Some(TermId(1))],
+            crossing: vec![],
+            internal_mask: 1 << 4,
+        };
+        let dense = LocalPartialMatch {
+            fragment: 0,
+            binding: vec![
+                Some(TermId(1000)),
+                Some(TermId(2000)),
+                Some(TermId(3000)),
+                Some(TermId(4000)),
+                Some(TermId(5000)),
+            ],
+            crossing: vec![],
+            internal_mask: 1,
+        };
+        assert!(
+            encode_lpms(std::slice::from_ref(&sparse)).len()
+                < encode_lpms(std::slice::from_ref(&dense)).len()
+        );
+    }
+}

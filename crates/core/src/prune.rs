@@ -1,0 +1,340 @@
+//! LEC feature-based pruning (Algorithm 2 + Theorem 5 grouping).
+//!
+//! The coordinator assembles all sites' LEC features, groups them by
+//! LECSign (features with equal signs are never joinable — Theorem 5),
+//! builds a **join graph** over the groups, and DFS-joins features along
+//! it. Every original feature whose joins reach an all-ones LECSign is
+//! *useful*; the rest — and all their local partial matches — are pruned
+//! before any LPM is shipped.
+
+use std::collections::HashSet;
+
+use crate::lec::LecFeature;
+
+/// One LEC feature group (Definition 10): all features sharing a LECSign.
+#[derive(Debug, Clone)]
+pub struct FeatureGroup {
+    pub sign: u64,
+    pub features: Vec<LecFeature>,
+}
+
+/// Group features by LECSign (Definition 10).
+pub fn group_by_sign(features: &[LecFeature]) -> Vec<FeatureGroup> {
+    let mut groups: Vec<FeatureGroup> = Vec::new();
+    for f in features {
+        match groups.iter_mut().find(|g| g.sign == f.sign) {
+            Some(g) => g.features.push(f.clone()),
+            None => groups.push(FeatureGroup { sign: f.sign, features: vec![f.clone()] }),
+        }
+    }
+    groups
+}
+
+/// The join graph over feature groups: `adj[i]` lists groups with at least
+/// one joinable feature pair with group `i`.
+pub fn build_join_graph(
+    groups: &[FeatureGroup],
+    query_edges: &[(usize, usize)],
+) -> Vec<Vec<usize>> {
+    let n = groups.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Cheap prefilter: disjoint signs are necessary.
+            if groups[i].sign & groups[j].sign != 0 {
+                continue;
+            }
+            let joinable = groups[i].features.iter().any(|a| {
+                groups[j].features.iter().any(|b| a.joinable(b, query_edges))
+            });
+            if joinable {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Algorithm 2: returns the set of **original feature ids** (the `sources`
+/// ids assigned by Algorithm 1) that participate in at least one complete
+/// (all-ones LECSign) combination. LPMs whose feature id is not in the
+/// returned set can be pruned.
+#[allow(clippy::while_let_loop)] // the loop body mutates `alive`, not just the scrutinee
+pub fn prune_features(
+    features: &[LecFeature],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+) -> HashSet<u32> {
+    let mut rs: HashSet<u32> = HashSet::new();
+    let groups = group_by_sign(features);
+    let adj = build_join_graph(&groups, query_edges);
+
+    // Work on a shrinking vertex set, per the algorithm's outer loop.
+    let mut alive: Vec<bool> = vec![true; groups.len()];
+    loop {
+        // Pick the smallest alive group.
+        let Some(vmin) = (0..groups.len())
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| groups[v].features.len())
+        else {
+            break;
+        };
+        com_lecf_join(
+            &mut vec![vmin],
+            groups[vmin].features.clone(),
+            &groups,
+            &adj,
+            &alive,
+            n_query_vertices,
+            query_edges,
+            &mut rs,
+        );
+        alive[vmin] = false;
+        // Remove outliers: groups with no alive neighbor cannot join
+        // anything anymore.
+        loop {
+            let mut removed = false;
+            for v in 0..groups.len() {
+                if alive[v] && !adj[v].iter().any(|&u| alive[u]) {
+                    alive[v] = false;
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+    rs
+}
+
+/// The recursive `ComLECFJoin` of Algorithm 2. `visited` is the vertex set
+/// `V`; `current` the accumulated joined features for that set.
+#[allow(clippy::too_many_arguments)]
+fn com_lecf_join(
+    visited: &mut Vec<usize>,
+    current: Vec<LecFeature>,
+    groups: &[FeatureGroup],
+    adj: &[Vec<usize>],
+    alive: &[bool],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+    rs: &mut HashSet<u32>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    // Neighbors of the visited set (alive, not already visited).
+    let mut frontier: Vec<usize> = visited
+        .iter()
+        .flat_map(|&v| adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited.contains(&u))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+
+    for v in frontier {
+        let mut next: Vec<LecFeature> = Vec::new();
+        for a in &current {
+            for b in &groups[v].features {
+                if !a.joinable(b, query_edges) {
+                    continue;
+                }
+                let joined = a.join(b);
+                if joined.is_complete(n_query_vertices) {
+                    rs.extend(joined.sources.iter().copied());
+                } else {
+                    // Dedup by structure, merging source lineages: two
+                    // different lineages reaching the same joined feature
+                    // are both useful if the feature later completes.
+                    match next.iter_mut().find(|f| {
+                        f.fragments == joined.fragments
+                            && f.sign == joined.sign
+                            && f.mapping == joined.mapping
+                    }) {
+                        Some(f) => {
+                            f.sources.extend(joined.sources.iter().copied());
+                            f.sources.sort_unstable();
+                            f.sources.dedup();
+                        }
+                        None => next.push(joined),
+                    }
+                }
+            }
+        }
+        if !next.is_empty() {
+            visited.push(v);
+            com_lecf_join(
+                visited,
+                next,
+                groups,
+                adj,
+                alive,
+                n_query_vertices,
+                query_edges,
+                rs,
+            );
+            visited.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::{EdgeRef, TermId};
+
+    fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
+        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+    }
+
+    fn feat(id: u32, fragment: usize, mapping: Vec<(EdgeRef, usize)>, sign: u64) -> LecFeature {
+        LecFeature { fragments: 1 << fragment, mapping, sign, sources: vec![id] }
+    }
+
+    /// The paper's running example (Examples 6–7 and Fig. 6): seven LEC
+    /// features in five groups; Algorithm 2 prunes LF([PM2_3]) = P5.
+    ///
+    /// Vertices v1..v5 are bits 0..4. Query edges from Fig. 2:
+    /// e0: v2->v4, e1: v3->v1, e2: v1->v2, e3: v3->v5.
+    fn paper_features() -> (Vec<LecFeature>, Vec<(usize, usize)>) {
+        let qedges = vec![(1, 3), (2, 0), (0, 1), (2, 4)];
+        // Crossing edges of Fig. 1 (ids match the figure).
+        let e_1_6 = edge(1, 100, 6); // 001 influencedBy 006
+        let e_1_12 = edge(1, 100, 12); // 001 influencedBy 012
+        let e_6_5 = edge(6, 101, 5); // 006 mainInterest 005
+        let e_14_13 = edge(14, 101, 13); // 014 mainInterest 013
+        let features = vec![
+            // F1 (fragment 0):
+            feat(0, 0, vec![(e_1_6, 1)], 0b10100),  // LF([PM1_1]) sign 00101 -> v3,v5
+            feat(1, 0, vec![(e_1_12, 1)], 0b10100), // LF([PM2_1])
+            feat(2, 0, vec![(e_6_5, 2)], 0b01010),  // LF([PM3_1]) sign 01010 -> v2,v4
+            // F2 (fragment 1):
+            feat(3, 1, vec![(e_1_6, 1)], 0b01011), // LF([PM1_2]) = LF([PM2_2]) v1,v2,v4
+            feat(4, 1, vec![(e_1_6, 1), (e_6_5, 2)], 0b00001), // LF([PM3_2]) v1
+            // F3 (fragment 2):
+            feat(5, 2, vec![(e_1_12, 1)], 0b01011), // LF([PM1_3])
+            feat(6, 2, vec![(e_14_13, 2)], 0b01010), // LF([PM2_3])
+        ];
+        (features, qedges)
+    }
+
+    #[test]
+    fn paper_example7_grouping() {
+        let (features, _) = paper_features();
+        let groups = group_by_sign(&features);
+        // The paper's Example 7 shows five groups, keeping LF([PM3_1]) and
+        // LF([PM2_3]) apart although they share LECSign [01010]:
+        // Definition 10 only requires each group to be sign-homogeneous,
+        // not maximal. We group maximally (fewer groups, smaller join
+        // graph), which Theorem 5 proves sound — a valid combination never
+        // needs two same-sign features. Hence 4 groups here.
+        assert_eq!(groups.len(), 4);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = groups.iter().map(|g| g.features.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 2, 2]);
+        // Every group is sign-homogeneous (the actual Definition 10).
+        for g in &groups {
+            assert!(g.features.iter().all(|f| f.sign == g.sign));
+        }
+    }
+
+    #[test]
+    fn paper_join_graph_shape() {
+        let (features, qedges) = paper_features();
+        let groups = group_by_sign(&features);
+        let adj = build_join_graph(&groups, &qedges);
+        // Group of sign 01010 containing LF([PM3_1]) and LF([PM2_3]):
+        // LF([PM3_1]) joins LF([PM3_2]) (shared e_6_5). LF([PM2_3]) joins
+        // nothing — but group-level adjacency is about *some* pair, so its
+        // group still has edges via LF([PM3_1]).
+        let degree_sum: usize = adj.iter().map(Vec::len).sum();
+        assert!(degree_sum > 0);
+    }
+
+    #[test]
+    fn paper_pruning_keeps_the_two_real_combinations() {
+        let (features, qedges) = paper_features();
+        let rs = prune_features(&features, 5, &qedges);
+        // Complete combinations: {PM1_1, PM1_2-class} (via e_1_6: signs
+        // 00101 | 11010... check: 0b10100 | 0b01011 = 0b11111 ✓) and
+        // {PM2_1, PM1_3} (via e_1_12: 0b10100 | 0b01011 = full ✓).
+        assert!(rs.contains(&0), "LF([PM1_1]) is useful");
+        assert!(rs.contains(&3), "LF([PM1_2]) is useful");
+        assert!(rs.contains(&1), "LF([PM2_1]) is useful");
+        assert!(rs.contains(&5), "LF([PM1_3]) is useful");
+        // The paper: "P5 = LF([PM2_3]) can be filtered out".
+        assert!(!rs.contains(&6), "LF([PM2_3]) must be pruned");
+    }
+
+    #[test]
+    fn three_way_combination_found() {
+        // Chain query v0-v1-v2 (3 vertices, 2 edges), three fragments.
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(10, 1, 20);
+        let e12 = edge(20, 1, 30);
+        let features = vec![
+            feat(0, 0, vec![(e01, 0)], 0b001),
+            feat(1, 1, vec![(e01, 0), (e12, 1)], 0b010),
+            feat(2, 2, vec![(e12, 1)], 0b100),
+        ];
+        let rs = prune_features(&features, 3, &qedges);
+        assert_eq!(rs, HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn dead_end_features_pruned() {
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(10, 1, 20);
+        let e99 = edge(70, 1, 80); // matches nothing else
+        let features = vec![
+            feat(0, 0, vec![(e01, 0)], 0b001),
+            feat(1, 1, vec![(e01, 0)], 0b110),
+            feat(2, 2, vec![(e99, 1)], 0b100),
+        ];
+        let rs = prune_features(&features, 3, &qedges);
+        assert!(rs.contains(&0));
+        assert!(rs.contains(&1));
+        assert!(!rs.contains(&2), "unjoinable feature must be pruned");
+    }
+
+    #[test]
+    fn empty_input_prunes_everything() {
+        let rs = prune_features(&[], 3, &[(0, 1)]);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn no_complete_combination_prunes_all() {
+        // Two features that join but never cover vertex 2.
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(10, 1, 20);
+        let features = vec![
+            feat(0, 0, vec![(e01, 0)], 0b001),
+            feat(1, 1, vec![(e01, 0)], 0b010),
+        ];
+        let rs = prune_features(&features, 3, &qedges);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn same_sign_features_share_group_and_fate_independently() {
+        // Two same-sign features in one group; only one joins to complete.
+        let qedges = vec![(0, 1)];
+        let e = edge(10, 1, 20);
+        let e_dead = edge(30, 1, 40);
+        let features = vec![
+            feat(0, 0, vec![(e, 0)], 0b01),
+            feat(1, 0, vec![(e_dead, 0)], 0b01),
+            feat(2, 1, vec![(e, 0)], 0b10),
+        ];
+        let rs = prune_features(&features, 2, &qedges);
+        assert!(rs.contains(&0));
+        assert!(rs.contains(&2));
+        assert!(!rs.contains(&1));
+    }
+}

@@ -1,0 +1,210 @@
+//! A BTC-like generator: a multi-publisher web crawl mix.
+//!
+//! The Billion Triples Challenge dataset is a crawl across many
+//! publishers with heterogeneous vocabularies. The traits this generator
+//! preserves for the paper's experiments:
+//!
+//! * many **publisher domains** (`http://pub{i}.example.org/...`) — the
+//!   administratively-distributed setting of the paper's introduction;
+//! * per-publisher vocabulary mixes (FOAF-ish people data, DC-ish
+//!   documents, custom link predicates);
+//! * sparse **cross-publisher citation/sameAs-style links** — the only
+//!   sources of crossing matches.
+
+use gstored_rdf::vocab::{foaf, rdf};
+use gstored_rdf::{Term, Triple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Custom predicates used by the crawl mix.
+pub mod vocab {
+    pub const CITES: &str = "http://purl.org/ontology/cites";
+    pub const CREATOR: &str = "http://purl.org/dc/terms/creator";
+    pub const TITLE: &str = "http://purl.org/dc/terms/title";
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    pub const DOCUMENT: &str = "http://purl.org/ontology/Document";
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct BtcConfig {
+    /// Number of publisher domains.
+    pub publishers: usize,
+    /// People per publisher.
+    pub people_per_publisher: usize,
+    /// Documents per publisher.
+    pub docs_per_publisher: usize,
+    /// Probability that a citation crosses publishers.
+    pub cross_publisher_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BtcConfig {
+    fn default() -> Self {
+        BtcConfig {
+            publishers: 12,
+            people_per_publisher: 40,
+            docs_per_publisher: 60,
+            cross_publisher_ratio: 0.15,
+            seed: 11,
+        }
+    }
+}
+
+impl BtcConfig {
+    /// Size so the triple count lands near `target` (~6 triples per
+    /// person + ~5 per document at the default mix).
+    pub fn with_target_triples(target: usize, seed: u64) -> Self {
+        let per_pub = 40 * 6 + 60 * 5; // ≈ 540
+        BtcConfig {
+            publishers: (target / per_pub).max(2),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn person(&self, p: usize, i: usize) -> String {
+        format!("http://pub{p}.example.org/person/{i}")
+    }
+
+    fn doc(&self, p: usize, i: usize) -> String {
+        format!("http://pub{p}.example.org/doc/{i}")
+    }
+}
+
+/// Generate the dataset.
+pub fn generate(config: &BtcConfig) -> Vec<Triple> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut triples = Vec::new();
+    let t = |s: String, p: &str, o: Term, out: &mut Vec<Triple>| {
+        out.push(Triple::new(Term::iri(s), Term::iri(p), o));
+    };
+
+    for p in 0..config.publishers {
+        // People: FOAF-ish.
+        for i in 0..config.people_per_publisher {
+            let person = config.person(p, i);
+            t(person.clone(), rdf::TYPE, Term::iri(foaf::PERSON), &mut triples);
+            t(
+                person.clone(),
+                foaf::NAME,
+                Term::lit(format!("Person {p}-{i}")),
+                &mut triples,
+            );
+            // knows edges, mostly within the publisher.
+            for _ in 0..rng.gen_range(1..=3) {
+                let (tp, ti) = if rng.gen_bool(config.cross_publisher_ratio) {
+                    (rng.gen_range(0..config.publishers), rng.gen_range(0..config.people_per_publisher))
+                } else {
+                    (p, rng.gen_range(0..config.people_per_publisher))
+                };
+                if (tp, ti) != (p, i) {
+                    t(
+                        person.clone(),
+                        foaf::KNOWS,
+                        Term::iri(config.person(tp, ti)),
+                        &mut triples,
+                    );
+                }
+            }
+        }
+        // Documents: DC-ish with citations.
+        for i in 0..config.docs_per_publisher {
+            let doc = config.doc(p, i);
+            t(doc.clone(), rdf::TYPE, Term::iri(vocab::DOCUMENT), &mut triples);
+            t(doc.clone(), vocab::TITLE, Term::lit(format!("Doc {p}-{i}")), &mut triples);
+            t(
+                doc.clone(),
+                vocab::CREATOR,
+                Term::iri(config.person(p, rng.gen_range(0..config.people_per_publisher))),
+                &mut triples,
+            );
+            for _ in 0..rng.gen_range(1..=3) {
+                let (tp, ti) = if rng.gen_bool(config.cross_publisher_ratio) {
+                    (rng.gen_range(0..config.publishers), rng.gen_range(0..config.docs_per_publisher))
+                } else {
+                    (p, rng.gen_range(0..config.docs_per_publisher))
+                };
+                if (tp, ti) != (p, i) {
+                    t(doc.clone(), vocab::CITES, Term::iri(config.doc(tp, ti)), &mut triples);
+                }
+            }
+        }
+        // A few sameAs bridges between publishers (p, p+1).
+        if config.publishers > 1 {
+            let q = (p + 1) % config.publishers;
+            for _ in 0..3 {
+                let a = config.person(p, rng.gen_range(0..config.people_per_publisher));
+                let b = config.person(q, rng.gen_range(0..config.people_per_publisher));
+                t(a, vocab::SAME_AS, Term::iri(b), &mut triples);
+            }
+        }
+    }
+    triples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = BtcConfig { publishers: 3, ..Default::default() };
+        assert_eq!(generate(&c), generate(&c));
+    }
+
+    #[test]
+    fn publishers_have_distinct_domains() {
+        let c = BtcConfig { publishers: 4, ..Default::default() };
+        let triples = generate(&c);
+        let domains: std::collections::HashSet<String> = triples
+            .iter()
+            .filter_map(|t| match &t.subject {
+                Term::Iri(s) => s.split('/').nth(2).map(str::to_owned),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(domains.len(), 4);
+    }
+
+    #[test]
+    fn has_cross_publisher_links() {
+        let c = BtcConfig { publishers: 4, ..Default::default() };
+        let triples = generate(&c);
+        let cross = triples
+            .iter()
+            .filter(|t| match (&t.subject, &t.object) {
+                (Term::Iri(s), Term::Iri(o)) => {
+                    let sd = s.split('/').nth(2);
+                    let od = o.split('/').nth(2);
+                    sd.is_some()
+                        && od.is_some()
+                        && sd != od
+                        && o.starts_with("http://pub")
+                }
+                _ => false,
+            })
+            .count();
+        assert!(cross > 0);
+    }
+
+    #[test]
+    fn mixed_vocabularies_present() {
+        let c = BtcConfig { publishers: 2, ..Default::default() };
+        let triples = generate(&c);
+        for p in [foaf::NAME, foaf::KNOWS, vocab::CITES, vocab::TITLE, vocab::SAME_AS] {
+            assert!(
+                triples.iter().any(|t| t.predicate == Term::iri(p)),
+                "{p} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn target_size_config() {
+        let c = BtcConfig::with_target_triples(15_000, 9);
+        let n = generate(&c).len();
+        assert!((8_000..30_000).contains(&n), "got {n}");
+    }
+}

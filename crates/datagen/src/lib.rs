@@ -1,0 +1,31 @@
+//! # gstored-datagen
+//!
+//! Workload generators and benchmark queries for the paper's evaluation
+//! (Section VIII). The paper uses LUBM (synthetic, 100M–1B triples),
+//! YAGO2 (real, 284M) and BTC 2012 (real, ~1B); this crate generates
+//! scaled-down synthetic equivalents that preserve the structural traits
+//! each experiment exercises (DESIGN.md §3):
+//!
+//! * [`lubm`] — the LUBM university ontology with per-university URI
+//!   authorities (what makes semantic-hash partitioning shine) and
+//!   cross-university `degreeFrom` edges (what creates crossing matches).
+//! * [`yago`] — a Wikipedia-flavoured entity graph in a **single**
+//!   namespace (what makes semantic hash degenerate to plain hash), with
+//!   preferential-attachment skew on `influencedBy`.
+//! * [`btc`] — a multi-publisher crawl mix with heterogeneous
+//!   vocabularies and cross-domain links.
+//! * [`queries`] — LQ1–LQ7, YQ1–YQ4, BQ1–BQ7 with the shape/selectivity
+//!   classes the paper reports for each id (star vs. other; selective vs.
+//!   unselective).
+//! * [`random`] — seeded random graphs for property tests and fuzzing.
+
+pub mod btc;
+pub mod lubm;
+pub mod queries;
+pub mod random;
+pub mod yago;
+
+pub use btc::BtcConfig;
+pub use lubm::LubmConfig;
+pub use queries::{btc_queries, lubm_queries, yago_queries, BenchQuery};
+pub use yago::YagoConfig;

@@ -1,0 +1,205 @@
+//! A YAGO2-like generator: Wikipedia-flavoured entity facts in a single
+//! namespace.
+//!
+//! Structural traits matched to the real YAGO2 for the purposes of the
+//! paper's experiments:
+//!
+//! * **one URI hierarchy** (`http://yago-knowledge.org/resource/...`) —
+//!   semantic-hash partitioning degenerates to plain hashing, which is
+//!   the Table IV observation;
+//! * a skewed `influencedBy` graph (preferential attachment) — a few
+//!   "hub" philosophers are targets of many edges, which is what blows up
+//!   local-partial-match counts for unselective queries (YQ3);
+//! * per-entity `label`/`name` literals and `mainInterest`/`birthPlace`
+//!   links to shared topic/city entities.
+
+use gstored_rdf::vocab::{dbo, rdf};
+use gstored_rdf::{Term, Triple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct YagoConfig {
+    /// Number of person entities.
+    pub persons: usize,
+    /// Number of topic entities (`mainInterest` targets).
+    pub topics: usize,
+    /// Number of city entities (`birthPlace` targets).
+    pub cities: usize,
+    /// Average `influencedBy` out-degree.
+    pub influence_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        YagoConfig { persons: 2000, topics: 100, cities: 200, influence_degree: 2, seed: 7 }
+    }
+}
+
+impl YagoConfig {
+    /// Size the dataset so the triple count lands near `target`
+    /// (~7 triples per person at the default mix).
+    pub fn with_target_triples(target: usize, seed: u64) -> Self {
+        let persons = (target / 7).max(10);
+        YagoConfig {
+            persons,
+            topics: (persons / 20).max(5),
+            cities: (persons / 10).max(5),
+            influence_degree: 2,
+            seed,
+        }
+    }
+
+    fn person(&self, i: usize) -> String {
+        format!("http://yago-knowledge.org/resource/Person_{i}")
+    }
+
+    fn topic(&self, i: usize) -> String {
+        format!("http://yago-knowledge.org/resource/Topic_{i}")
+    }
+
+    fn city(&self, i: usize) -> String {
+        format!("http://yago-knowledge.org/resource/City_{i}")
+    }
+}
+
+/// The `rdf:type` class IRIs used by the generator.
+pub const PERSON_CLASS: &str = "http://yago-knowledge.org/resource/wordnet_person";
+pub const TOPIC_CLASS: &str = "http://yago-knowledge.org/resource/wordnet_topic";
+
+/// Generate the dataset.
+pub fn generate(config: &YagoConfig) -> Vec<Triple> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut triples = Vec::new();
+    let t = |s: String, p: &str, o: Term, out: &mut Vec<Triple>| {
+        out.push(Triple::new(Term::iri(s), Term::iri(p), o));
+    };
+
+    for i in 0..config.topics {
+        t(config.topic(i), rdf::TYPE, Term::iri(TOPIC_CLASS), &mut triples);
+        t(
+            config.topic(i),
+            dbo::LABEL,
+            Term::lang_lit(format!("Topic {i}"), "en"),
+            &mut triples,
+        );
+    }
+    for i in 0..config.cities {
+        t(
+            config.city(i),
+            dbo::LABEL,
+            Term::lang_lit(format!("City {i}"), "en"),
+            &mut triples,
+        );
+    }
+
+    // Preferential attachment: track in-degree weights for influencedBy.
+    let mut weight: Vec<usize> = vec![1; config.persons];
+    for i in 0..config.persons {
+        let p = config.person(i);
+        t(p.clone(), rdf::TYPE, Term::iri(PERSON_CLASS), &mut triples);
+        t(p.clone(), dbo::NAME, Term::lang_lit(format!("Person {i}"), "en"), &mut triples);
+        t(
+            p.clone(),
+            dbo::BIRTH_PLACE,
+            Term::iri(config.city(rng.gen_range(0..config.cities))),
+            &mut triples,
+        );
+        // 1-3 main interests.
+        for _ in 0..rng.gen_range(1..=3) {
+            t(
+                p.clone(),
+                dbo::MAIN_INTEREST,
+                Term::iri(config.topic(rng.gen_range(0..config.topics))),
+                &mut triples,
+            );
+        }
+        // Person_0 (the YQ1 anchor) gets explicit outgoing influence
+        // edges; everyone else attaches preferentially to earlier persons.
+        if i == 0 && config.persons > 3 {
+            for j in 1..=3 {
+                t(p.clone(), dbo::INFLUENCED_BY, Term::iri(config.person(j)), &mut triples);
+            }
+        }
+        // influencedBy edges to earlier persons, preferentially attached.
+        if i > 0 {
+            let total: usize = weight[..i].iter().sum();
+            for _ in 0..rng.gen_range(1..=config.influence_degree * 2 - 1) {
+                let mut pick = rng.gen_range(0..total);
+                let mut j = 0;
+                while pick >= weight[j] {
+                    pick -= weight[j];
+                    j += 1;
+                }
+                t(p.clone(), dbo::INFLUENCED_BY, Term::iri(config.person(j)), &mut triples);
+                weight[j] += 1;
+            }
+        }
+    }
+    triples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::vocab::dbo;
+    use gstored_rdf::RdfGraph;
+
+    #[test]
+    fn deterministic() {
+        let c = YagoConfig { persons: 100, ..Default::default() };
+        assert_eq!(generate(&c), generate(&c));
+    }
+
+    #[test]
+    fn single_namespace() {
+        let triples = generate(&YagoConfig { persons: 50, ..Default::default() });
+        for t in &triples {
+            if let Term::Iri(s) = &t.subject {
+                assert!(s.starts_with("http://yago-knowledge.org/resource/"));
+            }
+        }
+    }
+
+    #[test]
+    fn influence_graph_is_skewed() {
+        let triples = generate(&YagoConfig { persons: 500, ..Default::default() });
+        let g = RdfGraph::from_triples(triples);
+        let infl = g.dict().id_of(&Term::iri(dbo::INFLUENCED_BY)).unwrap();
+        let mut indeg = std::collections::HashMap::new();
+        for &(_, o) in g.edges_with_predicate(infl) {
+            *indeg.entry(o).or_insert(0usize) += 1;
+        }
+        let max = indeg.values().copied().max().unwrap();
+        let avg = indeg.values().sum::<usize>() as f64 / indeg.len() as f64;
+        assert!(
+            max as f64 > 5.0 * avg,
+            "expected hubs: max {max}, avg {avg:.2}"
+        );
+    }
+
+    #[test]
+    fn every_person_has_name_and_birthplace() {
+        let c = YagoConfig { persons: 60, ..Default::default() };
+        let triples = generate(&c);
+        for i in 0..60 {
+            let p = Term::iri(c.person(i));
+            assert!(triples
+                .iter()
+                .any(|t| t.subject == p && t.predicate == Term::iri(dbo::NAME)));
+            assert!(triples
+                .iter()
+                .any(|t| t.subject == p && t.predicate == Term::iri(dbo::BIRTH_PLACE)));
+        }
+    }
+
+    #[test]
+    fn target_size_config() {
+        let c = YagoConfig::with_target_triples(14_000, 3);
+        let n = generate(&c).len();
+        assert!((8_000..25_000).contains(&n), "got {n}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # gstored-net
+//!
+//! The simulated distributed environment. The paper runs on a 12-machine
+//! MPICH cluster; this crate substitutes threads + channels with **byte-
+//! accurate data-shipment accounting** and an explicit network cost model,
+//! preserving exactly what the experiments measure: per-stage response
+//! time (max over parallel sites) and per-stage data shipment (bytes on
+//! the wire). See DESIGN.md §3 for the substitution rationale.
+//!
+//! * [`wire`] — a compact varint-based binary codec; every message the
+//!   engine ships is encoded through it, so shipment numbers are real
+//!   serialized sizes, not estimates.
+//! * [`metrics`] — stage timers and shipment meters.
+//! * [`cluster`] — a scatter/gather executor: site work runs on real
+//!   threads (parallel, like the paper's partial evaluation stage); the
+//!   coordinator runs on the calling thread.
+
+pub mod cluster;
+pub mod metrics;
+pub mod wire;
+
+pub use cluster::{Cluster, NetworkModel};
+pub use metrics::{QueryMetrics, StageMetrics};
+pub use wire::{WireReader, WireWriter};

@@ -1,0 +1,147 @@
+//! Per-stage timing and data-shipment accounting.
+//!
+//! The paper's Tables I–III report, per query: candidate-assembly time and
+//! shipment, local-partial-match time, LEC-optimization time and shipment,
+//! assembly time, totals, and intermediate/final counts. [`QueryMetrics`]
+//! carries exactly those columns; [`StageMetrics`] is one row's cell group.
+
+use std::time::Duration;
+
+/// Metrics of one named execution stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Elapsed wall time attributed to the stage. For scatter stages this
+    /// is the **maximum across sites** (they run in parallel), matching
+    /// how a cluster's response time behaves.
+    pub wall: Duration,
+    /// Simulated network transfer time for the stage's shipments.
+    pub network: Duration,
+    /// Bytes shipped between sites and coordinator during the stage.
+    pub bytes_shipped: u64,
+    /// Number of messages exchanged.
+    pub messages: u64,
+}
+
+impl StageMetrics {
+    /// Merge another stage's numbers into this one (sequential stages add
+    /// their times; shipments accumulate).
+    pub fn absorb(&mut self, other: &StageMetrics) {
+        self.wall += other.wall;
+        self.network += other.network;
+        self.bytes_shipped += other.bytes_shipped;
+        self.messages += other.messages;
+    }
+
+    /// Stage response time: computation plus simulated transfer.
+    pub fn response_time(&self) -> Duration {
+        self.wall + self.network
+    }
+
+    /// Shipment in KiB (the unit of the paper's tables).
+    pub fn shipped_kib(&self) -> f64 {
+        self.bytes_shipped as f64 / 1024.0
+    }
+}
+
+/// Full per-query metrics: one row of the paper's Tables I–III.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Section VI: assembling variables' internal candidates.
+    pub candidates: StageMetrics,
+    /// Computing local partial matches at the sites.
+    pub partial_evaluation: StageMetrics,
+    /// LEC feature computation + shipment + coordinator-side pruning join.
+    pub lec_optimization: StageMetrics,
+    /// LEC feature-based assembly of surviving local partial matches
+    /// (includes shipping the surviving LPMs to the coordinator).
+    pub assembly: StageMetrics,
+    /// Number of local partial matches produced across all sites.
+    pub local_partial_matches: u64,
+    /// Number of local partial matches surviving LEC pruning.
+    pub surviving_partial_matches: u64,
+    /// Number of LEC features across all sites.
+    pub lec_features: u64,
+    /// Number of crossing (inter-fragment) matches.
+    pub crossing_matches: u64,
+    /// Number of intra-fragment matches.
+    pub local_matches: u64,
+}
+
+impl QueryMetrics {
+    /// Total response time across all stages.
+    pub fn total_time(&self) -> Duration {
+        self.candidates.response_time()
+            + self.partial_evaluation.response_time()
+            + self.lec_optimization.response_time()
+            + self.assembly.response_time()
+    }
+
+    /// Total bytes shipped across all stages.
+    pub fn total_shipped(&self) -> u64 {
+        self.candidates.bytes_shipped
+            + self.partial_evaluation.bytes_shipped
+            + self.lec_optimization.bytes_shipped
+            + self.assembly.bytes_shipped
+    }
+
+    /// Total number of final matches.
+    pub fn total_matches(&self) -> u64 {
+        self.crossing_matches + self.local_matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = StageMetrics {
+            wall: Duration::from_millis(5),
+            network: Duration::from_millis(1),
+            bytes_shipped: 100,
+            messages: 2,
+        };
+        let b = StageMetrics {
+            wall: Duration::from_millis(3),
+            network: Duration::from_millis(2),
+            bytes_shipped: 50,
+            messages: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.wall, Duration::from_millis(8));
+        assert_eq!(a.network, Duration::from_millis(3));
+        assert_eq!(a.bytes_shipped, 150);
+        assert_eq!(a.messages, 3);
+    }
+
+    #[test]
+    fn response_time_includes_network() {
+        let s = StageMetrics {
+            wall: Duration::from_millis(5),
+            network: Duration::from_millis(2),
+            ..Default::default()
+        };
+        assert_eq!(s.response_time(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn kib_conversion() {
+        let s = StageMetrics { bytes_shipped: 2048, ..Default::default() };
+        assert!((s.shipped_kib() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_totals_sum_stages() {
+        let mut m = QueryMetrics::default();
+        m.candidates.bytes_shipped = 10;
+        m.assembly.bytes_shipped = 20;
+        m.candidates.wall = Duration::from_millis(1);
+        m.assembly.wall = Duration::from_millis(2);
+        m.local_matches = 3;
+        m.crossing_matches = 4;
+        assert_eq!(m.total_shipped(), 30);
+        assert_eq!(m.total_time(), Duration::from_millis(3));
+        assert_eq!(m.total_matches(), 7);
+    }
+}

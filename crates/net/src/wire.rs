@@ -1,0 +1,287 @@
+//! Compact binary wire codec.
+//!
+//! Every inter-site message is serialized through this codec before its
+//! size is charged to the data-shipment meters, so the shipment numbers
+//! reported by the experiments are genuine serialized byte counts — the
+//! quantity the paper's communication-cost analysis (Section IV-D) bounds.
+//!
+//! Format: LEB128-style varints for integers, length-prefixed byte slices,
+//! no framing (framing is the transport's job).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Write an unsigned varint (LEB128).
+    pub fn u64(&mut self, mut v: u64) -> &mut Self {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return self;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Write a usize as a varint.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.put_u8(v as u8);
+        self
+    }
+
+    /// Write a fixed-width u64 (used for bit-vector words, where varint
+    /// encoding would leak density information into the size).
+    pub fn u64_fixed(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Write an optional u64 (presence byte + varint).
+    pub fn opt_u64(&mut self, v: Option<u64>) -> &mut Self {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x)
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.usize(b.len());
+        self.buf.put_slice(b);
+        self
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Current encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Decoder over an encoded buffer.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+/// Decoding error: ran out of bytes or hit a malformed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireReader {
+    /// Wrap encoded bytes.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Read an unsigned varint.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if !self.buf.has_remaining() {
+                return Err(WireError("truncated varint"));
+            }
+            let byte = self.buf.get_u8();
+            if shift >= 64 {
+                return Err(WireError("varint overflow"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a usize varint.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read a bool byte.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        if !self.buf.has_remaining() {
+            return Err(WireError("truncated bool"));
+        }
+        match self.buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError("invalid bool")),
+        }
+    }
+
+    /// Read a fixed-width u64.
+    pub fn u64_fixed(&mut self) -> Result<u64, WireError> {
+        if self.buf.remaining() < 8 {
+            return Err(WireError("truncated fixed u64"));
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an optional u64.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.usize()?;
+        if self.buf.remaining() < len {
+            return Err(WireError("truncated bytes"));
+        }
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError("invalid utf-8"))
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let values = [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut w = WireWriter::new();
+        for &v in &values {
+            w.u64(v);
+        }
+        let mut r = WireReader::new(w.finish());
+        for &v in &values {
+            assert_eq!(r.u64().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_sizes_are_minimal() {
+        let size = |v: u64| {
+            let mut w = WireWriter::new();
+            w.u64(v);
+            w.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(127), 1);
+        assert_eq!(size(128), 2);
+        assert_eq!(size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn mixed_payload_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u64(42).bool(true).str("hello").opt_u64(None).opt_u64(Some(7)).u64_fixed(0xdead_beef);
+        w.bytes(&[1, 2, 3]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.u64().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(7));
+        assert_eq!(r.u64_fixed().unwrap(), 0xdead_beef);
+        assert_eq!(r.bytes().unwrap().as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut w = WireWriter::new();
+        w.u64(300);
+        let bytes = w.finish();
+        let mut r = WireReader::new(bytes.slice(0..1));
+        assert!(r.u64().is_err());
+
+        let mut r2 = WireReader::new(Bytes::new());
+        assert!(r2.bool().is_err());
+        assert!(WireReader::new(Bytes::new()).u64_fixed().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut r = WireReader::new(Bytes::from_static(&[7]));
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes exceed 64 bits.
+        let raw = vec![0xffu8; 11];
+        let mut r = WireReader::new(Bytes::from(raw));
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_payload() {
+        let mut w = WireWriter::new();
+        w.usize(100); // claims 100 bytes, provides none
+        let mut r = WireReader::new(w.finish());
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn string_utf8_validation() {
+        let mut w = WireWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let mut r = WireReader::new(w.finish());
+        assert!(r.str().is_err());
+    }
+}

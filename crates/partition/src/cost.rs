@@ -1,0 +1,236 @@
+//! The partitioning cost model of Section VII.
+//!
+//! Intuition: the number of LEC features a fragment can produce is driven
+//! by how many crossing edges share a boundary vertex (Fig. 8 of the
+//! paper: a 4-edge hub yields 10 LEC features for a 2-edge star query,
+//! while 3+2 scattered edges yield 9). A good partitioning therefore
+//! *scatters* crossing edges across boundary vertices and keeps fragment
+//! edge sizes balanced:
+//!
+//! ```text
+//! p_F(v)    = |N(v) ∩ Ec| / (2 |Ec|)            (crossing-edge distribution)
+//! E_F(v)    = |N(v) ∩ Ec| × p_F(v)
+//! E_F(V)    = Σ_v E_F(v) = Σ_v |N(v) ∩ Ec|² / (2 |Ec|)
+//! Cost(F)   = E_F(V) × max_i |E_i ∪ Ec_i|
+//! ```
+//!
+//! Verified against the paper's worked example: the hub partitioning of
+//! Fig. 8(a) costs 27.5, the scattered one of Fig. 8(b) costs 23.4.
+
+use std::collections::HashMap;
+
+use gstored_rdf::VertexId;
+
+use crate::fragment::DistributedGraph;
+
+/// Full cost breakdown for one partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// `E_F(V)` — expected crossing edges per boundary vertex.
+    pub expectation: f64,
+    /// `max_i |E_i ∪ Ec_i|` — edge size of the largest fragment.
+    pub max_fragment_edges: usize,
+    /// `Cost(F)` — the product.
+    pub cost: f64,
+    /// `|Ec|` — number of distinct crossing edges.
+    pub crossing_edges: usize,
+    /// Per-fragment `|E_i ∪ Ec_i|`.
+    pub fragment_edge_sizes: Vec<usize>,
+}
+
+impl CostReport {
+    /// Edge-size imbalance: max fragment size over the average.
+    pub fn imbalance(&self) -> f64 {
+        if self.fragment_edge_sizes.is_empty() {
+            return 1.0;
+        }
+        let avg = self.fragment_edge_sizes.iter().sum::<usize>() as f64
+            / self.fragment_edge_sizes.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_fragment_edges as f64 / avg
+        }
+    }
+}
+
+/// Compute `Cost(F)` and its components for a distributed graph.
+pub fn partitioning_cost(dist: &DistributedGraph) -> CostReport {
+    let crossing = dist.crossing_edges();
+    let ec = crossing.len();
+
+    // |N(v) ∩ Ec| per vertex: how many crossing edges touch v.
+    let mut incident: HashMap<VertexId, usize> = HashMap::new();
+    for e in &crossing {
+        *incident.entry(e.from).or_insert(0) += 1;
+        *incident.entry(e.to).or_insert(0) += 1;
+    }
+
+    let expectation = if ec == 0 {
+        0.0
+    } else {
+        incident.values().map(|&c| (c * c) as f64).sum::<f64>() / (2.0 * ec as f64)
+    };
+
+    let fragment_edge_sizes: Vec<usize> =
+        dist.fragments.iter().map(|f| f.edge_size()).collect();
+    let max_fragment_edges = fragment_edge_sizes.iter().copied().max().unwrap_or(0);
+
+    CostReport {
+        expectation,
+        max_fragment_edges,
+        cost: expectation * max_fragment_edges as f64,
+        crossing_edges: ec,
+        fragment_edge_sizes,
+    }
+}
+
+/// Pick the partitioning with the smallest cost among candidates
+/// (the paper: "we only select the partitioning with the smallest cost
+/// from the existing partitioning strategies").
+pub fn select_best(
+    candidates: &[(String, DistributedGraph)],
+) -> Option<(&str, &DistributedGraph, CostReport)> {
+    candidates
+        .iter()
+        .map(|(name, dist)| (name.as_str(), dist, partitioning_cost(dist)))
+        .min_by(|a, b| a.2.cost.total_cmp(&b.2.cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::DistributedGraph;
+    use crate::hash::ExplicitPartitioner;
+    use crate::Partitioner;
+    use gstored_rdf::{RdfGraph, Term, Triple};
+    use std::collections::HashMap as Map;
+
+    fn t(s: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri("http://p"), Term::iri(o))
+    }
+
+    /// Fig. 8(a): all 4 crossing edges share one hub vertex; the largest
+    /// fragment holds 11 edges. Expected cost 27.5.
+    fn fig8a() -> DistributedGraph {
+        let mut triples = Vec::new();
+        // Fragment 0: hub + 7 internal edges among a0..a7.
+        for i in 0..7 {
+            triples.push(t(&format!("http://a{i}"), &format!("http://a{}", i + 1)));
+        }
+        // hub = a0; 4 crossing edges hub -> b0..b3 (fragment 1).
+        for i in 0..4 {
+            triples.push(t("http://a0", &format!("http://b{i}")));
+        }
+        // Fragment 1 internal edges: 2 (fewer than fragment 0's 7+4=11).
+        triples.push(t("http://b0", "http://b1"));
+        triples.push(t("http://b2", "http://b3"));
+        let g = RdfGraph::from_triples(triples);
+        let mut map = Map::new();
+        for i in 0..8 {
+            map.insert(g.vertex_of(&Term::iri(format!("http://a{i}"))).unwrap(), 0);
+        }
+        for i in 0..4 {
+            map.insert(g.vertex_of(&Term::iri(format!("http://b{i}"))).unwrap(), 1);
+        }
+        DistributedGraph::build(g, &ExplicitPartitioner::new(2, map))
+    }
+
+    /// Fig. 8(b): 5 crossing edges scattered over two boundary vertices
+    /// (3 + 2); the largest fragment holds 13 edges. Expected cost 23.4.
+    fn fig8b() -> DistributedGraph {
+        let mut triples = Vec::new();
+        // Fragment 0: 8 internal edges.
+        for i in 0..8 {
+            triples.push(t(&format!("http://a{i}"), &format!("http://a{}", i + 1)));
+        }
+        // Crossing: a0 -> b0,b1,b2 and a1 -> b3,b4 (5 edges; distinct far
+        // endpoints so each far endpoint has exactly 1 incident crossing
+        // edge, matching the paper's arithmetic 3² + 2² + 5·1² = 18).
+        for i in 0..3 {
+            triples.push(t("http://a0", &format!("http://b{i}")));
+        }
+        for i in 3..5 {
+            triples.push(t("http://a1", &format!("http://b{i}")));
+        }
+        // Fragment 1 internal edges: none needed; fragment 0 has 8+5=13.
+        let g = RdfGraph::from_triples(triples);
+        let mut map = Map::new();
+        for i in 0..9 {
+            map.insert(g.vertex_of(&Term::iri(format!("http://a{i}"))).unwrap(), 0);
+        }
+        for i in 0..5 {
+            map.insert(g.vertex_of(&Term::iri(format!("http://b{i}"))).unwrap(), 1);
+        }
+        DistributedGraph::build(g, &ExplicitPartitioner::new(2, map))
+    }
+
+    #[test]
+    fn paper_fig8a_cost_is_27_5() {
+        let dist = fig8a();
+        assert_eq!(dist.validate(), None);
+        let r = partitioning_cost(&dist);
+        assert_eq!(r.crossing_edges, 4);
+        assert!((r.expectation - 2.5).abs() < 1e-9, "E_F(V) = {}", r.expectation);
+        assert_eq!(r.max_fragment_edges, 11);
+        assert!((r.cost - 27.5).abs() < 1e-9, "cost = {}", r.cost);
+    }
+
+    #[test]
+    fn paper_fig8b_cost_is_23_4() {
+        let dist = fig8b();
+        assert_eq!(dist.validate(), None);
+        let r = partitioning_cost(&dist);
+        assert_eq!(r.crossing_edges, 5);
+        assert!((r.expectation - 1.8).abs() < 1e-9, "E_F(V) = {}", r.expectation);
+        assert_eq!(r.max_fragment_edges, 13);
+        assert!((r.cost - 23.4).abs() < 1e-9, "cost = {}", r.cost);
+    }
+
+    #[test]
+    fn scattered_beats_hub_despite_more_crossing_edges() {
+        // The paper's headline observation about Fig. 8.
+        let hub = partitioning_cost(&fig8a());
+        let scattered = partitioning_cost(&fig8b());
+        assert!(scattered.crossing_edges > hub.crossing_edges);
+        assert!(scattered.cost < hub.cost);
+    }
+
+    #[test]
+    fn select_best_prefers_smaller_cost() {
+        let candidates = vec![
+            ("hub".to_string(), fig8a()),
+            ("scattered".to_string(), fig8b()),
+        ];
+        let (name, _, report) = select_best(&candidates).unwrap();
+        assert_eq!(name, "scattered");
+        assert!((report.cost - 23.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_crossing_edges_means_zero_cost() {
+        let g = RdfGraph::from_triples(vec![t("http://a", "http://b")]);
+        let all = g.vertices().map(|v| (v, 0)).collect();
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(1, all));
+        let r = partitioning_cost(&dist);
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.crossing_edges, 0);
+    }
+
+    #[test]
+    fn imbalance_reported() {
+        let r = partitioning_cost(&fig8a());
+        // fragment sizes: 11 and 6 (2 internal + 4 crossing replicas).
+        assert_eq!(r.fragment_edge_sizes.len(), 2);
+        assert!(r.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn explicit_partitioner_used_by_fixtures_is_valid() {
+        // Guard: fixtures rely on every vertex being mapped.
+        let dist = fig8b();
+        let p = ExplicitPartitioner::new(2, Map::new());
+        assert_eq!(p.num_fragments(), 2);
+        assert_eq!(dist.fragment_count(), 2);
+    }
+}

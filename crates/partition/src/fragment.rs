@@ -1,0 +1,482 @@
+//! Fragments and distributed RDF graphs (Definition 1 of the paper).
+//!
+//! A distributed RDF graph is a vertex-disjoint partitioning of `V` into
+//! `{V_1, ..., V_k}`. Fragment `F_i` stores:
+//!
+//! * its **internal vertices** `V_i`,
+//! * its **extended vertices** `Ve_i` — endpoints (residing elsewhere) of
+//!   crossing edges touching `F_i`,
+//! * its **internal edges** `E_i ⊆ V_i × V_i`,
+//! * its **crossing edges** `Ec_i` — every edge with exactly one endpoint
+//!   in `V_i`; crossing edges are *replicated* in both touched fragments,
+//!   which is what makes star queries evaluable locally and what lets
+//!   LEC features join across fragments on shared crossing edges.
+
+use std::collections::HashMap;
+
+use gstored_rdf::{Dictionary, EdgeRef, RdfGraph, TermId, VertexId};
+
+use crate::Partitioner;
+
+/// Fragment identifier (index into `DistributedGraph::fragments`).
+pub type FragmentId = usize;
+
+/// The raw vertex → fragment assignment produced by a [`Partitioner`].
+#[derive(Debug, Clone)]
+pub struct PartitionAssignment {
+    /// Number of fragments.
+    pub k: usize,
+    /// Fragment of each vertex.
+    pub of_vertex: HashMap<VertexId, FragmentId>,
+}
+
+impl PartitionAssignment {
+    /// Fragment of a vertex; panics on unassigned vertices (every vertex
+    /// of the graph must be assigned — Definition 1 condition 1).
+    pub fn fragment_of(&self, v: VertexId) -> FragmentId {
+        *self
+            .of_vertex
+            .get(&v)
+            .unwrap_or_else(|| panic!("vertex {v} missing from partition assignment"))
+    }
+
+    /// Number of vertices assigned to each fragment.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &f in self.of_vertex.values() {
+            sizes[f] += 1;
+        }
+        sizes
+    }
+}
+
+/// One fragment `F_i = (V_i ∪ Ve_i, E_i ∪ Ec_i, Σ_i)`.
+#[derive(Debug, Clone, Default)]
+pub struct Fragment {
+    /// This fragment's id (`i`).
+    pub id: FragmentId,
+    /// Internal vertices `V_i`, sorted.
+    pub internal: Vec<VertexId>,
+    /// Extended vertices `Ve_i`, sorted.
+    pub extended: Vec<VertexId>,
+    /// Internal edges `E_i`.
+    pub internal_edges: Vec<EdgeRef>,
+    /// Crossing edges `Ec_i` (each has exactly one endpoint in `V_i`).
+    pub crossing_edges: Vec<EdgeRef>,
+    /// Outgoing adjacency over `E_i ∪ Ec_i`: vertex → sorted `(label, to)`.
+    out: HashMap<VertexId, Vec<(TermId, VertexId)>>,
+    /// Incoming adjacency over `E_i ∪ Ec_i`: vertex → sorted `(label, from)`.
+    inc: HashMap<VertexId, Vec<(TermId, VertexId)>>,
+    /// Classes of stored vertices (internal and extended), mirroring
+    /// gStore's replicated vertex signatures.
+    classes: HashMap<VertexId, Vec<TermId>>,
+}
+
+impl Fragment {
+    /// Whether `v` is an internal vertex of this fragment.
+    pub fn is_internal(&self, v: VertexId) -> bool {
+        self.internal.binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` is an extended vertex of this fragment.
+    pub fn is_extended(&self, v: VertexId) -> bool {
+        self.extended.binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` is stored here at all (internal or extended).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.is_internal(v) || self.is_extended(v)
+    }
+
+    /// Classes of a stored vertex.
+    pub fn classes_of(&self, v: VertexId) -> &[TermId] {
+        self.classes.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `v` carries every class in `required`.
+    pub fn has_classes(&self, v: VertexId, required: &[TermId]) -> bool {
+        let cs = self.classes_of(v);
+        required.iter().all(|c| cs.contains(c))
+    }
+
+    /// Whether the given edge is one of this fragment's crossing edges.
+    pub fn is_crossing(&self, e: &EdgeRef) -> bool {
+        // Exactly one endpoint internal. (Replicated data guarantees both
+        // endpoints are stored.)
+        self.is_internal(e.from) != self.is_internal(e.to)
+    }
+
+    /// Outgoing `(label, to)` pairs of `v` over `E_i ∪ Ec_i`.
+    pub fn out_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        self.out.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Incoming `(label, from)` pairs of `v` over `E_i ∪ Ec_i`.
+    pub fn in_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        self.inc.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All edges stored in this fragment (`E_i` then `Ec_i`).
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeRef> {
+        self.internal_edges.iter().chain(self.crossing_edges.iter())
+    }
+
+    /// `|E_i ∪ Ec_i|` — the edge size used by the cost model's balance term.
+    pub fn edge_size(&self) -> usize {
+        self.internal_edges.len() + self.crossing_edges.len()
+    }
+
+    /// Number of internal vertices.
+    pub fn internal_count(&self) -> usize {
+        self.internal.len()
+    }
+
+    fn add_edge(&mut self, e: EdgeRef, crossing: bool) {
+        self.out.entry(e.from).or_default().push((e.label, e.to));
+        self.inc.entry(e.to).or_default().push((e.label, e.from));
+        if crossing {
+            self.crossing_edges.push(e);
+        } else {
+            self.internal_edges.push(e);
+        }
+    }
+
+    fn finalize(&mut self) {
+        self.internal.sort_unstable();
+        self.internal.dedup();
+        self.extended.sort_unstable();
+        self.extended.dedup();
+        for adj in self.out.values_mut() {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        for adj in self.inc.values_mut() {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        self.internal_edges.sort_unstable();
+        self.internal_edges.dedup();
+        self.crossing_edges.sort_unstable();
+        self.crossing_edges.dedup();
+    }
+}
+
+/// A fully-constructed distributed RDF graph: the fragments plus the shared
+/// dictionary.
+///
+/// *Substitution note (DESIGN.md §3):* in a real deployment each site holds
+/// a dictionary replica; sharing one here changes neither the algorithms
+/// nor the shipment accounting of the evaluation stages, which exchange
+/// encoded ids exactly as the paper's prototype does.
+#[derive(Debug, Clone)]
+pub struct DistributedGraph {
+    dict: Dictionary,
+    /// All fragments, index = fragment id.
+    pub fragments: Vec<Fragment>,
+    /// The assignment the fragments were built from.
+    pub assignment: PartitionAssignment,
+    /// Total number of edges in the underlying graph.
+    pub total_edges: usize,
+    /// Total number of vertices in the underlying graph.
+    pub total_vertices: usize,
+}
+
+impl DistributedGraph {
+    /// Partition `graph` with the given strategy and build all fragments.
+    pub fn build(graph: RdfGraph, partitioner: &dyn Partitioner) -> Self {
+        let assignment = partitioner.assign(&graph);
+        Self::build_with_assignment(graph, assignment)
+    }
+
+    /// Build fragments from an explicit assignment (must cover every vertex).
+    pub fn build_with_assignment(graph: RdfGraph, assignment: PartitionAssignment) -> Self {
+        let k = assignment.k;
+        let mut fragments: Vec<Fragment> = (0..k)
+            .map(|id| Fragment { id, ..Fragment::default() })
+            .collect();
+
+        for v in graph.vertices() {
+            let f = assignment.fragment_of(v);
+            fragments[f].internal.push(v);
+        }
+
+        for e in graph.edges() {
+            let fs = assignment.fragment_of(e.from);
+            let ft = assignment.fragment_of(e.to);
+            if fs == ft {
+                fragments[fs].add_edge(e, false);
+            } else {
+                // Crossing edge: replicated in both fragments; the remote
+                // endpoint becomes an extended vertex on each side.
+                fragments[fs].add_edge(e, true);
+                fragments[fs].extended.push(e.to);
+                fragments[ft].add_edge(e, true);
+                fragments[ft].extended.push(e.from);
+            }
+        }
+
+        // Replicate vertex classes (gStore-style signatures) for every
+        // stored vertex, internal and extended alike.
+        for f in &mut fragments {
+            for v in f.internal.iter().chain(f.extended.iter()) {
+                if let Some(cs) = graph.class_map().get(v) {
+                    f.classes.insert(*v, cs.clone());
+                }
+            }
+        }
+        for f in &mut fragments {
+            f.finalize();
+        }
+
+        let total_edges = graph.edge_count();
+        let total_vertices = graph.vertex_count();
+        DistributedGraph {
+            dict: graph.dict().clone(),
+            fragments,
+            assignment,
+            total_edges,
+            total_vertices,
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// All distinct crossing edges of the partitioning (`Ec`), deduplicated
+    /// across the per-fragment replicas.
+    pub fn crossing_edges(&self) -> Vec<EdgeRef> {
+        let mut all: Vec<EdgeRef> = self
+            .fragments
+            .iter()
+            .flat_map(|f| f.crossing_edges.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Check every Definition 1 invariant; used by tests and debug builds.
+    ///
+    /// Returns a human-readable violation description, or `None` if valid.
+    pub fn validate(&self) -> Option<String> {
+        // 1. {V_1..V_k} is a partitioning of V.
+        let mut seen: HashMap<VertexId, FragmentId> = HashMap::new();
+        let mut total = 0usize;
+        for f in &self.fragments {
+            for &v in &f.internal {
+                if let Some(prev) = seen.insert(v, f.id) {
+                    return Some(format!(
+                        "vertex {v} internal to fragments {prev} and {}",
+                        f.id
+                    ));
+                }
+                total += 1;
+            }
+        }
+        if total != self.total_vertices {
+            return Some(format!(
+                "internal vertices cover {total} of {} vertices",
+                self.total_vertices
+            ));
+        }
+        for f in &self.fragments {
+            // 2. E_i ⊆ V_i × V_i.
+            for e in &f.internal_edges {
+                if !f.is_internal(e.from) || !f.is_internal(e.to) {
+                    return Some(format!(
+                        "internal edge {:?} of fragment {} has external endpoint",
+                        e, f.id
+                    ));
+                }
+            }
+            // 3. crossing edges have exactly one internal endpoint.
+            for e in &f.crossing_edges {
+                if f.is_internal(e.from) == f.is_internal(e.to) {
+                    return Some(format!(
+                        "crossing edge {:?} of fragment {} does not cross",
+                        e, f.id
+                    ));
+                }
+            }
+            // 4/5. extended vertices are exactly the remote endpoints of
+            // crossing edges and are internal elsewhere.
+            let mut expected: Vec<VertexId> = f
+                .crossing_edges
+                .iter()
+                .map(|e| if f.is_internal(e.from) { e.to } else { e.from })
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            if expected != f.extended {
+                return Some(format!(
+                    "fragment {} extended vertices do not match crossing edges",
+                    f.id
+                ));
+            }
+            for &v in &f.extended {
+                let home = self.assignment.fragment_of(v);
+                if home == f.id {
+                    return Some(format!(
+                        "extended vertex {v} of fragment {} is assigned to it",
+                        f.id
+                    ));
+                }
+                if !self.fragments[home].is_internal(v) {
+                    return Some(format!("extended vertex {v} not internal anywhere"));
+                }
+            }
+        }
+        // Edge conservation: every edge appears as internal exactly once or
+        // as crossing exactly twice.
+        let internal_total: usize =
+            self.fragments.iter().map(|f| f.internal_edges.len()).sum();
+        let crossing_total: usize =
+            self.fragments.iter().map(|f| f.crossing_edges.len()).sum();
+        if internal_total + crossing_total / 2 != self.total_edges
+            || !crossing_total.is_multiple_of(2)
+        {
+            return Some(format!(
+                "edge conservation violated: {internal_total} internal + {crossing_total} crossing replicas vs {} edges",
+                self.total_edges
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{ExplicitPartitioner, HashPartitioner};
+    use gstored_rdf::{Term, Triple};
+
+    fn chain_graph(n: usize) -> RdfGraph {
+        // v0 -p-> v1 -p-> v2 ... -p-> v(n-1)
+        let mut triples = Vec::new();
+        for i in 0..n - 1 {
+            triples.push(Triple::new(
+                Term::iri(format!("http://v/{i}")),
+                Term::iri("http://p"),
+                Term::iri(format!("http://v/{}", i + 1)),
+            ));
+        }
+        RdfGraph::from_triples(triples)
+    }
+
+    #[test]
+    fn build_validates_on_chain() {
+        let g = chain_graph(10);
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
+        assert_eq!(dist.fragment_count(), 3);
+        assert_eq!(dist.validate(), None);
+    }
+
+    #[test]
+    fn crossing_edges_replicated_in_both_fragments() {
+        let g = chain_graph(2); // single edge v0 -> v1
+        let v0 = g.vertex_of(&Term::iri("http://v/0")).unwrap();
+        let v1 = g.vertex_of(&Term::iri("http://v/1")).unwrap();
+        let mut map = HashMap::new();
+        map.insert(v0, 0);
+        map.insert(v1, 1);
+        let dist =
+            DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        assert_eq!(dist.validate(), None);
+        assert_eq!(dist.fragments[0].crossing_edges.len(), 1);
+        assert_eq!(dist.fragments[1].crossing_edges.len(), 1);
+        assert_eq!(dist.fragments[0].extended, vec![v1]);
+        assert_eq!(dist.fragments[1].extended, vec![v0]);
+        assert_eq!(dist.crossing_edges().len(), 1, "deduplicated view");
+    }
+
+    #[test]
+    fn internal_edges_stay_in_one_fragment() {
+        let g = chain_graph(4);
+        let ids: Vec<VertexId> = (0..4)
+            .map(|i| g.vertex_of(&Term::iri(format!("http://v/{i}"))).unwrap())
+            .collect();
+        let mut map = HashMap::new();
+        map.insert(ids[0], 0);
+        map.insert(ids[1], 0);
+        map.insert(ids[2], 1);
+        map.insert(ids[3], 1);
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        assert_eq!(dist.validate(), None);
+        assert_eq!(dist.fragments[0].internal_edges.len(), 1);
+        assert_eq!(dist.fragments[1].internal_edges.len(), 1);
+        assert_eq!(dist.fragments[0].crossing_edges.len(), 1);
+    }
+
+    #[test]
+    fn fragment_adjacency_covers_crossing_edges() {
+        let g = chain_graph(3);
+        let ids: Vec<VertexId> = (0..3)
+            .map(|i| g.vertex_of(&Term::iri(format!("http://v/{i}"))).unwrap())
+            .collect();
+        let mut map = HashMap::new();
+        map.insert(ids[0], 0);
+        map.insert(ids[1], 1);
+        map.insert(ids[2], 0);
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        let f1 = &dist.fragments[1];
+        // v1 is internal to F1 and has one in-edge and one out-edge, both
+        // crossing, both visible in the local adjacency.
+        assert_eq!(f1.out_edges(ids[1]).len(), 1);
+        assert_eq!(f1.in_edges(ids[1]).len(), 1);
+        assert!(f1.is_crossing(&EdgeRef {
+            from: ids[0],
+            label: f1.out_edges(ids[1])[0].0,
+            to: ids[1]
+        }));
+    }
+
+    #[test]
+    fn self_loops_are_always_internal() {
+        let mut g = RdfGraph::new();
+        g.insert(&Triple::new(
+            Term::iri("http://v/a"),
+            Term::iri("http://p"),
+            Term::iri("http://v/a"),
+        ));
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(4));
+        assert_eq!(dist.validate(), None);
+        let total_crossing: usize =
+            dist.fragments.iter().map(|f| f.crossing_edges.len()).sum();
+        assert_eq!(total_crossing, 0);
+    }
+
+    #[test]
+    fn validate_catches_broken_assignment() {
+        let g = chain_graph(3);
+        let ids: Vec<VertexId> = (0..3)
+            .map(|i| g.vertex_of(&Term::iri(format!("http://v/{i}"))).unwrap())
+            .collect();
+        let mut map = HashMap::new();
+        map.insert(ids[0], 0);
+        map.insert(ids[1], 0);
+        map.insert(ids[2], 1);
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        assert_eq!(dist.validate(), None);
+        // Corrupt: claim an extra internal vertex in fragment 1.
+        let mut broken = dist.clone();
+        broken.fragments[1].internal.push(ids[0]);
+        broken.fragments[1].internal.sort_unstable();
+        assert!(broken.validate().is_some());
+    }
+
+    #[test]
+    fn single_fragment_has_no_crossing_edges() {
+        let g = chain_graph(6);
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(1));
+        assert_eq!(dist.validate(), None);
+        assert!(dist.fragments[0].crossing_edges.is_empty());
+        assert_eq!(dist.fragments[0].internal_edges.len(), 5);
+    }
+}

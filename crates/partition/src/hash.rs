@@ -1,0 +1,198 @@
+//! Hash partitioning (the paper's default: `H(v) MOD N`) and an explicit
+//! assignment used for worked examples and tests.
+
+use std::collections::HashMap;
+
+use gstored_rdf::{RdfGraph, VertexId};
+
+use crate::fragment::{FragmentId, PartitionAssignment};
+use crate::Partitioner;
+
+/// The paper's default strategy: assign vertex `v` to fragment
+/// `H(v) MOD N`. We hash the *term id*, which is stable for a given load
+/// order; hashing the term string would work identically.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    k: usize,
+    seed: u64,
+}
+
+impl HashPartitioner {
+    /// Hash partitioner over `k` fragments.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one fragment");
+        HashPartitioner { k, seed: 0x9e3779b97f4a7c15 }
+    }
+
+    /// Same, with an explicit seed (lets tests derive different layouts).
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one fragment");
+        HashPartitioner { k, seed }
+    }
+}
+
+/// A fast 64-bit mix (splitmix64 finalizer); deterministic across runs,
+/// unlike `std`'s `DefaultHasher` which is allowed to change.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic string hash (FNV-1a folded through mix64).
+pub(crate) fn hash_str(s: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    mix64(h)
+}
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.k
+    }
+
+    fn assign(&self, graph: &RdfGraph) -> PartitionAssignment {
+        let mut of_vertex = HashMap::with_capacity(graph.vertex_count());
+        for v in graph.vertices() {
+            let f = (mix64(v.0 ^ self.seed) % self.k as u64) as FragmentId;
+            of_vertex.insert(v, f);
+        }
+        PartitionAssignment { k: self.k, of_vertex }
+    }
+}
+
+/// A fixed vertex → fragment map. Used to reproduce the paper's Fig. 1
+/// layout and the Fig. 8 cost examples exactly, and by property tests to
+/// exercise arbitrary partitionings.
+#[derive(Debug, Clone)]
+pub struct ExplicitPartitioner {
+    k: usize,
+    map: HashMap<VertexId, FragmentId>,
+    /// Fragment for vertices absent from `map`.
+    default: FragmentId,
+}
+
+impl ExplicitPartitioner {
+    /// Explicit assignment; unmapped vertices go to fragment 0.
+    pub fn new(k: usize, map: HashMap<VertexId, FragmentId>) -> Self {
+        assert!(k > 0);
+        assert!(map.values().all(|&f| f < k), "fragment id out of range");
+        ExplicitPartitioner { k, map, default: 0 }
+    }
+
+    /// Choose the fragment for unmapped vertices.
+    pub fn with_default(mut self, default: FragmentId) -> Self {
+        assert!(default < self.k);
+        self.default = default;
+        self
+    }
+}
+
+impl Partitioner for ExplicitPartitioner {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+
+    fn num_fragments(&self) -> usize {
+        self.k
+    }
+
+    fn assign(&self, graph: &RdfGraph) -> PartitionAssignment {
+        let mut of_vertex = HashMap::with_capacity(graph.vertex_count());
+        for v in graph.vertices() {
+            of_vertex.insert(v, *self.map.get(&v).unwrap_or(&self.default));
+        }
+        PartitionAssignment { k: self.k, of_vertex }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_rdf::{Term, Triple};
+
+    fn graph(n: usize) -> RdfGraph {
+        let mut triples = Vec::new();
+        for i in 0..n {
+            triples.push(Triple::new(
+                Term::iri(format!("http://v/{i}")),
+                Term::iri("http://p"),
+                Term::iri(format!("http://v/{}", (i + 1) % n)),
+            ));
+        }
+        RdfGraph::from_triples(triples)
+    }
+
+    #[test]
+    fn hash_assignment_is_deterministic_and_total() {
+        let g = graph(100);
+        let p = HashPartitioner::new(4);
+        let a1 = p.assign(&g);
+        let a2 = p.assign(&g);
+        assert_eq!(a1.of_vertex, a2.of_vertex);
+        assert_eq!(a1.of_vertex.len(), g.vertex_count());
+        assert!(a1.of_vertex.values().all(|&f| f < 4));
+    }
+
+    #[test]
+    fn hash_assignment_is_roughly_balanced() {
+        let g = graph(1000);
+        let a = HashPartitioner::new(4).assign(&g);
+        let sizes = a.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for s in sizes {
+            // 1000/4 = 250; allow generous slack.
+            assert!((150..=350).contains(&s), "unbalanced: {s}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let g = graph(100);
+        let a = HashPartitioner::with_seed(4, 1).assign(&g);
+        let b = HashPartitioner::with_seed(4, 2).assign(&g);
+        assert_ne!(a.of_vertex, b.of_vertex);
+    }
+
+    #[test]
+    fn explicit_partitioner_respects_map_and_default() {
+        let g = graph(3);
+        let v0 = g.vertex_of(&Term::iri("http://v/0")).unwrap();
+        let mut map = HashMap::new();
+        map.insert(v0, 2);
+        let p = ExplicitPartitioner::new(3, map).with_default(1);
+        let a = p.assign(&g);
+        assert_eq!(a.fragment_of(v0), 2);
+        let v1 = g.vertex_of(&Term::iri("http://v/1")).unwrap();
+        assert_eq!(a.fragment_of(v1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fragment id out of range")]
+    fn explicit_partitioner_rejects_out_of_range() {
+        let mut map = HashMap::new();
+        map.insert(gstored_rdf::TermId(0), 5);
+        let _ = ExplicitPartitioner::new(3, map);
+    }
+
+    #[test]
+    fn mix64_spreads_small_inputs() {
+        let h: std::collections::HashSet<u64> = (0..64u64).map(|i| mix64(i) % 8).collect();
+        assert!(h.len() >= 6, "mix should reach most buckets");
+    }
+
+    #[test]
+    fn hash_str_is_stable() {
+        assert_eq!(hash_str("abc", 0), hash_str("abc", 0));
+        assert_ne!(hash_str("abc", 0), hash_str("abd", 0));
+        assert_ne!(hash_str("abc", 0), hash_str("abc", 1));
+    }
+}

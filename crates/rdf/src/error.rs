@@ -1,0 +1,60 @@
+//! Error type shared by the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error while parsing N-Triples, with 1-based line number.
+    Syntax { line: usize, message: String },
+    /// A term id that is not present in the dictionary.
+    UnknownTermId(u64),
+    /// An IRI failed basic well-formedness checks.
+    InvalidIri(String),
+    /// A literal failed basic well-formedness checks.
+    InvalidLiteral(String),
+    /// An I/O error message (stringified to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "N-Triples syntax error at line {line}: {message}")
+            }
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+            RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri}"),
+            RdfError::InvalidLiteral(l) => write!(f, "invalid literal: {l}"),
+            RdfError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<std::io::Error> for RdfError {
+    fn from(e: std::io::Error) -> Self {
+        RdfError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = RdfError::Syntax { line: 3, message: "bad iri".into() };
+        assert_eq!(e.to_string(), "N-Triples syntax error at line 3: bad iri");
+        assert_eq!(RdfError::UnknownTermId(9).to_string(), "unknown term id 9");
+        assert!(RdfError::InvalidIri("x".into()).to_string().contains("invalid IRI"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: RdfError = io.into();
+        assert!(matches!(e, RdfError::Io(_)));
+    }
+}

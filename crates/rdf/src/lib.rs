@@ -1,0 +1,39 @@
+//! # gstored-rdf
+//!
+//! RDF data model substrate for the gstored-rs reproduction of
+//! *Accelerating Partial Evaluation in Distributed SPARQL Query Evaluation*
+//! (Peng, Zou, Guan — ICDE 2019).
+//!
+//! This crate provides everything the paper assumes from the storage layer
+//! of a centralized RDF engine:
+//!
+//! * [`Term`] — IRIs, literals (plain / language-tagged / typed) and blank
+//!   nodes.
+//! * [`Dictionary`] — bidirectional string interning so the rest of the
+//!   system works on dense integer ids ([`TermId`]).
+//! * [`Triple`] / [`EncodedTriple`] — `<subject, property, object>` in
+//!   decoded and dictionary-encoded form.
+//! * [`RdfGraph`] — an in-memory directed labeled multigraph with adjacency
+//!   and predicate indexes, the "RDF graph `G`" of Definition 1.
+//! * [`ntriples`] — a line-oriented N-Triples parser and writer.
+//! * [`vocab`] — small helper vocabularies (rdf:type etc.) used by the
+//!   data generators and examples.
+
+pub mod dictionary;
+pub mod error;
+pub mod graph;
+pub mod ntriples;
+pub mod stats;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+
+pub use dictionary::{Dictionary, TermId};
+pub use error::RdfError;
+pub use graph::{EdgeRef, RdfGraph, VertexId};
+pub use ntriples::{parse_ntriples, parse_ntriples_line, write_ntriples};
+pub use term::{Literal, Term};
+pub use triple::{EncodedTriple, Triple};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RdfError>;

@@ -1,0 +1,312 @@
+//! Line-oriented N-Triples parser and writer.
+//!
+//! Supports the subset of N-Triples needed by the generators and examples:
+//! IRIs in angle brackets, blank nodes (`_:label`), and literals with
+//! optional `@lang` tag or `^^<datatype>` suffix, plus `#` comments and
+//! blank lines. Escapes `\" \\ \n \r \t \uXXXX \UXXXXXXXX` are handled.
+
+use std::io::{BufRead, Write};
+
+use crate::error::RdfError;
+use crate::term::{unescape_literal, Literal, Term};
+use crate::triple::Triple;
+use crate::Result;
+
+/// Parse a full N-Triples document.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>> {
+    let mut triples = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(t) = parse_ntriples_line(line, i + 1)? {
+            triples.push(t);
+        }
+    }
+    Ok(triples)
+}
+
+/// Parse N-Triples from a buffered reader (streaming, line by line).
+pub fn parse_ntriples_reader<R: BufRead>(reader: R) -> Result<Vec<Triple>> {
+    let mut triples = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some(t) = parse_ntriples_line(&line, i + 1)? {
+            triples.push(t);
+        }
+    }
+    Ok(triples)
+}
+
+/// Parse a single line. Returns `Ok(None)` for blank/comment lines.
+pub fn parse_ntriples_line(line: &str, lineno: usize) -> Result<Option<Triple>> {
+    let mut p = LineParser { s: line.as_bytes(), pos: 0, lineno };
+    p.skip_ws();
+    if p.eof() || p.peek() == b'#' {
+        return Ok(None);
+    }
+    let subject = p.parse_term()?;
+    p.skip_ws();
+    let predicate = p.parse_term()?;
+    if !predicate.is_iri() {
+        return Err(p.err("predicate must be an IRI"));
+    }
+    p.skip_ws();
+    let object = p.parse_term()?;
+    p.skip_ws();
+    if p.eof() || p.peek() != b'.' {
+        return Err(p.err("expected terminating '.'"));
+    }
+    p.pos += 1;
+    p.skip_ws();
+    if !p.eof() && p.peek() != b'#' {
+        return Err(p.err("trailing content after '.'"));
+    }
+    if subject.is_literal() {
+        return Err(p.err("subject must not be a literal"));
+    }
+    Ok(Some(Triple::new(subject, predicate, object)))
+}
+
+/// Serialize triples as N-Triples to a writer.
+pub fn write_ntriples<'a, W: Write, I: IntoIterator<Item = &'a Triple>>(
+    mut w: W,
+    triples: I,
+) -> Result<()> {
+    for t in triples {
+        writeln!(w, "{t}")?;
+    }
+    Ok(())
+}
+
+/// Serialize triples as an N-Triples string.
+pub fn to_ntriples_string<'a, I: IntoIterator<Item = &'a Triple>>(triples: I) -> String {
+    let mut buf = Vec::new();
+    write_ntriples(&mut buf, triples).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("display output is valid UTF-8")
+}
+
+struct LineParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.s.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.s[self.pos]
+    }
+
+    fn skip_ws(&mut self) {
+        while !self.eof() && (self.peek() == b' ' || self.peek() == b'\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> RdfError {
+        RdfError::Syntax { line: self.lineno, message: format!("{msg} (col {})", self.pos + 1) }
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        if self.eof() {
+            return Err(self.err("unexpected end of line"));
+        }
+        match self.peek() {
+            b'<' => self.parse_iri(),
+            b'_' => self.parse_blank(),
+            b'"' => self.parse_literal(),
+            _ => Err(self.err("expected '<', '_:' or '\"'")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Term> {
+        debug_assert_eq!(self.peek(), b'<');
+        self.pos += 1;
+        let start = self.pos;
+        while !self.eof() && self.peek() != b'>' {
+            let c = self.peek();
+            if c == b' ' || c == b'<' {
+                return Err(self.err("whitespace or '<' inside IRI"));
+            }
+            self.pos += 1;
+        }
+        if self.eof() {
+            return Err(self.err("unterminated IRI"));
+        }
+        let iri = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| self.err("IRI is not valid UTF-8"))?
+            .to_owned();
+        self.pos += 1;
+        if iri.is_empty() {
+            return Err(self.err("empty IRI"));
+        }
+        Ok(Term::Iri(iri))
+    }
+
+    fn parse_blank(&mut self) -> Result<Term> {
+        if self.pos + 1 >= self.s.len() || self.s[self.pos + 1] != b':' {
+            return Err(self.err("expected '_:'"));
+        }
+        self.pos += 2;
+        let start = self.pos;
+        while !self.eof() {
+            let c = self.peek();
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = std::str::from_utf8(&self.s[start..self.pos])
+            .expect("checked ASCII")
+            .to_owned();
+        Ok(Term::Blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term> {
+        debug_assert_eq!(self.peek(), b'"');
+        self.pos += 1;
+        let start = self.pos;
+        while !self.eof() {
+            match self.peek() {
+                b'\\' => {
+                    self.pos += 2; // skip escape pair; \u handled by unescape
+                }
+                b'"' => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.eof() {
+            return Err(self.err("unterminated literal"));
+        }
+        let raw = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| self.err("literal is not valid UTF-8"))?;
+        let lexical =
+            unescape_literal(raw).ok_or_else(|| self.err("malformed escape in literal"))?;
+        self.pos += 1; // closing quote
+        // Optional @lang or ^^<datatype>.
+        if !self.eof() && self.peek() == b'@' {
+            self.pos += 1;
+            let start = self.pos;
+            while !self.eof() {
+                let c = self.peek();
+                if c.is_ascii_alphanumeric() || c == b'-' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err(self.err("empty language tag"));
+            }
+            let tag = std::str::from_utf8(&self.s[start..self.pos]).expect("checked ASCII");
+            return Ok(Term::Literal(Literal::lang(lexical, tag)));
+        }
+        if self.pos + 1 < self.s.len() && self.peek() == b'^' && self.s[self.pos + 1] == b'^' {
+            self.pos += 2;
+            if self.eof() || self.peek() != b'<' {
+                return Err(self.err("expected '<' after '^^'"));
+            }
+            let dt = self.parse_iri()?;
+            let dt_iri = dt.as_iri().expect("parse_iri returns an IRI").to_owned();
+            return Ok(Term::Literal(Literal::typed(lexical, dt_iri)));
+        }
+        Ok(Term::Literal(Literal::plain(lexical)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_triple() {
+        let t = parse_ntriples_line("<http://a> <http://p> <http://b> .", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.subject, Term::iri("http://a"));
+        assert_eq!(t.predicate, Term::iri("http://p"));
+        assert_eq!(t.object, Term::iri("http://b"));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let t = parse_ntriples_line("<http://a> <http://p> \"x\\ny\"@en .", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.object, Term::lang_lit("x\ny", "en"));
+        let t = parse_ntriples_line(
+            "<http://a> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#int> .",
+            1,
+        )
+        .unwrap()
+        .unwrap();
+        match t.object {
+            Term::Literal(l) => {
+                assert_eq!(l.lexical, "5");
+                assert_eq!(l.datatype.as_deref(), Some("http://www.w3.org/2001/XMLSchema#int"));
+            }
+            _ => panic!("expected literal"),
+        }
+    }
+
+    #[test]
+    fn parses_blank_nodes_and_comments() {
+        assert!(parse_ntriples_line("# a comment", 1).unwrap().is_none());
+        assert!(parse_ntriples_line("   ", 1).unwrap().is_none());
+        let t = parse_ntriples_line("_:b1 <http://p> _:b2 .", 1).unwrap().unwrap();
+        assert_eq!(t.subject, Term::blank("b1"));
+        assert_eq!(t.object, Term::blank("b2"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "<http://a> <http://p> <http://b>",     // missing dot
+            "<http://a> <http://p> .",              // missing object
+            "\"lit\" <http://p> <http://b> .",      // literal subject
+            "<http://a> \"p\" <http://b> .",        // literal predicate
+            "<http://a> <http://p> <http://b> . x", // trailing garbage
+            "<http://a <http://p> <http://b> .",    // nested '<'
+            "<> <http://p> <http://b> .",           // empty IRI
+        ] {
+            assert!(parse_ntriples_line(bad, 1).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let doc = "\
+<http://a> <http://p> <http://b> .
+# comment
+<http://b> <http://name> \"Z\\\"q\"@en .
+
+<http://c> <http://v> \"3\"^^<http://t> .
+";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        let out = to_ntriples_string(&triples);
+        let reparsed = parse_ntriples(&out).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let doc = "<http://a> <http://p> <http://b> .\nbroken line\n";
+        match parse_ntriples(doc) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_comment_after_dot_is_allowed() {
+        let t = parse_ntriples_line("<http://a> <http://p> <http://b> . # trailing", 1)
+            .unwrap();
+        assert!(t.is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dataset statistics: the structural quantities the paper's analysis
+//! reasons about (degree distributions drive local-partial-match blowup;
+//! predicate counts drive vertical-partitioning table sizes; class
+//! populations drive candidate selectivity).
+
+use std::collections::HashMap;
+
+use crate::dictionary::TermId;
+use crate::graph::RdfGraph;
+use crate::term::Term;
+
+/// Summary statistics of an RDF graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub vertices: usize,
+    pub edges: usize,
+    pub type_triples: usize,
+    pub distinct_predicates: usize,
+    pub distinct_classes: usize,
+    pub literal_vertices: usize,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    pub avg_degree: f64,
+    /// The 10 most frequent predicates, descending.
+    pub top_predicates: Vec<(TermId, usize)>,
+}
+
+/// Compute summary statistics.
+pub fn graph_stats(g: &RdfGraph) -> GraphStats {
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    let mut literal_vertices = 0usize;
+    for v in g.vertices() {
+        max_out = max_out.max(g.out_edges(v).len());
+        max_in = max_in.max(g.in_edges(v).len());
+        if g.term(v).is_literal() {
+            literal_vertices += 1;
+        }
+    }
+    let mut pred_counts: HashMap<TermId, usize> = HashMap::new();
+    for p in g.predicates() {
+        pred_counts.insert(p, g.edges_with_predicate(p).len());
+    }
+    let mut top: Vec<(TermId, usize)> = pred_counts.iter().map(|(&p, &c)| (p, c)).collect();
+    top.sort_by_key(|&(p, c)| (std::cmp::Reverse(c), p));
+    top.truncate(10);
+
+    let distinct_classes = {
+        let mut cs: Vec<TermId> =
+            g.class_map().values().flat_map(|v| v.iter().copied()).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs.len()
+    };
+
+    GraphStats {
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        type_triples: g.type_triple_count(),
+        distinct_predicates: pred_counts.len(),
+        distinct_classes,
+        literal_vertices,
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        avg_degree: if g.vertex_count() == 0 {
+            0.0
+        } else {
+            2.0 * g.edge_count() as f64 / g.vertex_count() as f64
+        },
+        top_predicates: top,
+    }
+}
+
+impl GraphStats {
+    /// Render a short human-readable report; `g` resolves predicate names.
+    pub fn report(&self, g: &RdfGraph) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "vertices: {}, edges: {}, type triples: {}\n",
+            self.vertices, self.edges, self.type_triples
+        ));
+        out.push_str(&format!(
+            "predicates: {}, classes: {}, literal vertices: {}\n",
+            self.distinct_predicates, self.distinct_classes, self.literal_vertices
+        ));
+        out.push_str(&format!(
+            "degrees: max out {}, max in {}, avg {:.2}\n",
+            self.max_out_degree, self.max_in_degree, self.avg_degree
+        ));
+        out.push_str("top predicates:\n");
+        for &(p, c) in &self.top_predicates {
+            let name = match g.dict().term_of(p) {
+                Some(Term::Iri(iri)) => iri.clone(),
+                other => format!("{other:?}"),
+            };
+            out.push_str(&format!("  {c:>8}  {name}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn sample() -> RdfGraph {
+        let t = |s: &str, p: &str, o: Term| {
+            Triple::new(Term::iri(s), Term::iri(p), o)
+        };
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", Term::iri("http://b")),
+            t("http://a", "http://p", Term::iri("http://c")),
+            t("http://a", "http://q", Term::lit("label a")),
+            t("http://b", "http://q", Term::lit("label b")),
+            t("http://a", crate::vocab::rdf::TYPE, Term::iri("http://Class")),
+        ]);
+        g.finalize();
+        g
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = sample();
+        let s = graph_stats(&g);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.type_triples, 1);
+        assert_eq!(s.distinct_predicates, 2);
+        assert_eq!(s.distinct_classes, 1);
+        assert_eq!(s.literal_vertices, 2);
+        assert_eq!(s.max_out_degree, 3, "vertex a has 3 non-type out-edges");
+        assert!(s.avg_degree > 0.0);
+    }
+
+    #[test]
+    fn top_predicates_sorted_descending() {
+        let g = sample();
+        let s = graph_stats(&g);
+        assert_eq!(s.top_predicates.len(), 2);
+        assert!(s.top_predicates[0].1 >= s.top_predicates[1].1);
+    }
+
+    #[test]
+    fn report_renders() {
+        let g = sample();
+        let s = graph_stats(&g);
+        let r = s.report(&g);
+        assert!(r.contains("vertices: "));
+        assert!(r.contains("http://p"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = RdfGraph::new();
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

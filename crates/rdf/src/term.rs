@@ -1,0 +1,238 @@
+//! RDF terms: IRIs, literals and blank nodes.
+//!
+//! Terms are the decoded (string) representation; the rest of the system
+//! works on [`crate::TermId`]s produced by the [`crate::Dictionary`].
+
+use std::fmt;
+
+/// An RDF literal: lexical form plus optional language tag or datatype IRI.
+///
+/// Exactly one of `language` / `datatype` may be set (a language-tagged
+/// literal implicitly has datatype `rdf:langString`, which we do not store).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, without surrounding quotes.
+    pub lexical: String,
+    /// Optional BCP-47 language tag (e.g. `en`), stored lowercase.
+    pub language: Option<String>,
+    /// Optional datatype IRI (without angle brackets).
+    pub datatype: Option<String>,
+}
+
+impl Literal {
+    /// A plain literal with neither language tag nor datatype.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), language: None, datatype: None }
+    }
+
+    /// A language-tagged literal such as `"Crispin Wright"@en`.
+    pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            language: Some(tag.into().to_ascii_lowercase()),
+            datatype: None,
+        }
+    }
+
+    /// A typed literal such as `"1942-12-21"^^xsd:date`.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), language: None, datatype: Some(datatype.into()) }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(tag) = &self.language {
+            write!(f, "@{tag}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^<{dt}>")?;
+        }
+        Ok(())
+    }
+}
+
+/// An RDF term: the vertices and edge labels of the RDF graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI, stored without angle brackets.
+    Iri(String),
+    /// A literal value.
+    Literal(Literal),
+    /// A blank node with its local label (without the `_:` prefix).
+    Blank(String),
+}
+
+impl Term {
+    /// Shorthand constructor for an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Shorthand constructor for a plain literal term.
+    pub fn lit(s: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(s))
+    }
+
+    /// Shorthand constructor for a language-tagged literal term.
+    pub fn lang_lit(s: impl Into<String>, tag: impl Into<String>) -> Self {
+        Term::Literal(Literal::lang(s, tag))
+    }
+
+    /// Shorthand constructor for a blank node term.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// Whether this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Whether this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// Whether this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// The IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Literal(l) => write!(f, "{l}"),
+            Term::Blank(b) => write!(f, "_:{b}"),
+        }
+    }
+}
+
+/// Escape a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape an N-Triples literal body. Returns `None` on a malformed escape.
+pub fn unescape_literal(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            'U' => {
+                let hex: String = chars.by_ref().take(8).collect();
+                if hex.len() != 8 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        let p = Literal::plain("x");
+        assert_eq!(p.language, None);
+        assert_eq!(p.datatype, None);
+        let l = Literal::lang("Crispin Wright", "EN");
+        assert_eq!(l.language.as_deref(), Some("en"), "language tags are lowercased");
+        let t = Literal::typed("1", "http://www.w3.org/2001/XMLSchema#integer");
+        assert!(t.datatype.is_some());
+    }
+
+    #[test]
+    fn term_display_matches_ntriples_syntax() {
+        assert_eq!(Term::iri("http://a/b").to_string(), "<http://a/b>");
+        assert_eq!(Term::lit("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::lang_lit("hi", "en").to_string(), "\"hi\"@en");
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+        assert_eq!(
+            Term::Literal(Literal::typed("5", "http://t")).to_string(),
+            "\"5\"^^<http://t>"
+        );
+    }
+
+    #[test]
+    fn term_kind_predicates() {
+        assert!(Term::iri("http://a").is_iri());
+        assert!(Term::lit("x").is_literal());
+        assert!(Term::blank("n").is_blank());
+        assert_eq!(Term::iri("http://a").as_iri(), Some("http://a"));
+        assert_eq!(Term::lit("x").as_iri(), None);
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let nasty = "a\"b\\c\nd\re\tf";
+        let escaped = escape_literal(nasty);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_literal(&escaped).as_deref(), Some(nasty));
+    }
+
+    #[test]
+    fn unescape_unicode_escapes() {
+        assert_eq!(unescape_literal("\\u0041").as_deref(), Some("A"));
+        assert_eq!(unescape_literal("\\U0001F600").as_deref(), Some("\u{1F600}"));
+        assert_eq!(unescape_literal("\\q"), None, "unknown escape rejected");
+        assert_eq!(unescape_literal("\\u00"), None, "short hex rejected");
+    }
+
+    #[test]
+    fn term_ordering_is_total() {
+        let mut v = vec![Term::lit("b"), Term::iri("a"), Term::blank("c")];
+        v.sort();
+        // Just assert sorting does not panic and is deterministic.
+        let v2 = {
+            let mut v2 = v.clone();
+            v2.sort();
+            v2
+        };
+        assert_eq!(v, v2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Triples in decoded and dictionary-encoded form.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+
+/// A decoded RDF triple `<subject, property, object>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple from three terms.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+
+    /// Encode this triple against a dictionary, interning as needed.
+    pub fn encode(&self, dict: &mut Dictionary) -> EncodedTriple {
+        EncodedTriple {
+            subject: dict.intern(self.subject.clone()),
+            predicate: dict.intern(self.predicate.clone()),
+            object: dict.intern(self.object.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A dictionary-encoded triple; the unit of storage for the whole system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EncodedTriple {
+    pub subject: TermId,
+    pub predicate: TermId,
+    pub object: TermId,
+}
+
+impl EncodedTriple {
+    /// Construct from raw ids.
+    pub fn new(subject: TermId, predicate: TermId, object: TermId) -> Self {
+        EncodedTriple { subject, predicate, object }
+    }
+
+    /// Decode against a dictionary; returns `None` if any id is dangling.
+    pub fn decode(&self, dict: &Dictionary) -> Option<Triple> {
+        Some(Triple {
+            subject: dict.term_of(self.subject)?.clone(),
+            predicate: dict.term_of(self.predicate)?.clone(),
+            object: dict.term_of(self.object)?.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triple {
+        Triple::new(
+            Term::iri("http://ex/p1"),
+            Term::iri("http://ex/name"),
+            Term::lang_lit("Crispin Wright", "en"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = sample();
+        let e = t.encode(&mut d);
+        assert_eq!(e.decode(&d), Some(t));
+    }
+
+    #[test]
+    fn encoding_shares_ids_across_triples() {
+        let mut d = Dictionary::new();
+        let t1 = sample();
+        let t2 = Triple::new(
+            Term::iri("http://ex/p1"),
+            Term::iri("http://ex/age"),
+            Term::lit("70"),
+        );
+        let e1 = t1.encode(&mut d);
+        let e2 = t2.encode(&mut d);
+        assert_eq!(e1.subject, e2.subject, "same subject -> same id");
+        assert_ne!(e1.predicate, e2.predicate);
+    }
+
+    #[test]
+    fn decode_with_dangling_id_is_none() {
+        let d = Dictionary::new();
+        let e = EncodedTriple::new(TermId(0), TermId(1), TermId(2));
+        assert_eq!(e.decode(&d), None);
+    }
+
+    #[test]
+    fn display_is_ntriples_like() {
+        let t = sample();
+        assert_eq!(
+            t.to_string(),
+            "<http://ex/p1> <http://ex/name> \"Crispin Wright\"@en ."
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Small helper vocabularies used by the data generators, queries and
+//! examples. Only the IRIs actually referenced by the reproduction are
+//! included.
+
+/// RDF core vocabulary.
+pub mod rdf {
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+/// RDFS vocabulary.
+pub mod rdfs {
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+}
+
+/// FOAF vocabulary (used by the YAGO2-like and BTC-like generators).
+pub mod foaf {
+    pub const NAME: &str = "http://xmlns.com/foaf/0.1/name";
+    pub const KNOWS: &str = "http://xmlns.com/foaf/0.1/knows";
+    pub const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+}
+
+/// The LUBM university-domain ontology (the properties used by the
+/// benchmark's generator and queries).
+pub mod lubm {
+    pub const NS: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+    pub const UNIVERSITY: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#University";
+    pub const DEPARTMENT: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Department";
+    pub const FULL_PROFESSOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#FullProfessor";
+    pub const ASSOCIATE_PROFESSOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#AssociateProfessor";
+    pub const ASSISTANT_PROFESSOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#AssistantProfessor";
+    pub const LECTURER: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Lecturer";
+    pub const UNDERGRADUATE_STUDENT: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#UndergraduateStudent";
+    pub const GRADUATE_STUDENT: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateStudent";
+    pub const COURSE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Course";
+    pub const GRADUATE_COURSE: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateCourse";
+    pub const RESEARCH_GROUP: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#ResearchGroup";
+    pub const PUBLICATION: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Publication";
+
+    pub const WORKS_FOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor";
+    pub const MEMBER_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#memberOf";
+    pub const SUB_ORGANIZATION_OF: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#subOrganizationOf";
+    pub const UNDERGRADUATE_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#undergraduateDegreeFrom";
+    pub const MASTERS_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#mastersDegreeFrom";
+    pub const DOCTORAL_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#doctoralDegreeFrom";
+    pub const ADVISOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor";
+    pub const TAKES_COURSE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#takesCourse";
+    pub const TEACHER_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#teacherOf";
+    pub const TEACHING_ASSISTANT_OF: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#teachingAssistantOf";
+    pub const PUBLICATION_AUTHOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#publicationAuthor";
+    pub const HEAD_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#headOf";
+    pub const NAME: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#name";
+    pub const EMAIL_ADDRESS: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#emailAddress";
+    pub const TELEPHONE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#telephone";
+    pub const RESEARCH_INTEREST: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#researchInterest";
+}
+
+/// The DBpedia-flavoured properties used by the paper's running example
+/// (Figs. 1-3) and the YAGO2-like generator.
+pub mod dbo {
+    pub const INFLUENCED_BY: &str = "http://dbpedia.org/ontology/influencedBy";
+    pub const MAIN_INTEREST: &str = "http://dbpedia.org/ontology/mainInterest";
+    pub const BIRTH_PLACE: &str = "http://dbpedia.org/ontology/birthPlace";
+    pub const BIRTH_DATE: &str = "http://dbpedia.org/ontology/birthDate";
+    pub const NAME: &str = "http://dbpedia.org/ontology/name";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vocab_iris_are_wellformed() {
+        for iri in [
+            super::rdf::TYPE,
+            super::rdfs::LABEL,
+            super::lubm::WORKS_FOR,
+            super::dbo::INFLUENCED_BY,
+            super::foaf::KNOWS,
+        ] {
+            assert!(iri.starts_with("http://"), "{iri}");
+            assert!(!iri.contains(' '));
+        }
+    }
+
+    #[test]
+    fn lubm_constants_share_namespace() {
+        assert!(super::lubm::WORKS_FOR.starts_with(super::lubm::NS));
+        assert!(super::lubm::UNIVERSITY.starts_with(super::lubm::NS));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the SPARQL front-end.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or lowering a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical error with byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error with byte offset of the offending token.
+    Parse { offset: usize, message: String },
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// The query used a feature outside the supported BGP fragment.
+    Unsupported(String),
+    /// The BGP is empty or its query graph is disconnected.
+    InvalidBgp(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            SparqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SparqlError::UnknownPrefix(p) => write!(f, "undeclared prefix: {p}"),
+            SparqlError::Unsupported(m) => write!(f, "unsupported SPARQL feature: {m}"),
+            SparqlError::InvalidBgp(m) => write!(f, "invalid basic graph pattern: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparqlError::Parse { offset: 12, message: "expected '{'".into() };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(SparqlError::UnknownPrefix("foo:".into()).to_string().contains("foo:"));
+    }
+}

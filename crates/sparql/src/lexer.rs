@@ -1,0 +1,440 @@
+//! Hand-written tokenizer for the supported SPARQL BGP fragment.
+
+use crate::error::SparqlError;
+use crate::Result;
+
+/// One token, with the byte offset where it starts (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds of the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A keyword, uppercased (`SELECT`, `WHERE`, `PREFIX`, `DISTINCT`, `LIMIT`).
+    Keyword(String),
+    /// A variable without its `?`/`$` sigil.
+    Var(String),
+    /// An IRI without angle brackets.
+    Iri(String),
+    /// A prefixed name `prefix:local`, kept split.
+    PrefixedName { prefix: String, local: String },
+    /// The keyword `a` (shorthand for `rdf:type`).
+    A,
+    /// A literal: lexical form plus optional language or datatype suffix.
+    Literal { lexical: String, language: Option<String>, datatype: Option<LiteralDatatype> },
+    /// A bare integer (sugar for an xsd:integer literal).
+    Integer(String),
+    Dot,
+    Semicolon,
+    Comma,
+    LBrace,
+    RBrace,
+    Star,
+    Eof,
+}
+
+/// A datatype annotation on a literal: full IRI or prefixed name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteralDatatype {
+    Iri(String),
+    Prefixed { prefix: String, local: String },
+}
+
+const KEYWORDS: &[&str] = &["SELECT", "WHERE", "PREFIX", "DISTINCT", "LIMIT", "BASE"];
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'.' => {
+                toks.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            b';' => {
+                toks.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b'{' => {
+                toks.push(Token { kind: TokenKind::LBrace, offset: i });
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Token { kind: TokenKind::RBrace, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                toks.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b'?' | b'$' => {
+                let start = i;
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(SparqlError::Lex {
+                        offset: start,
+                        message: "empty variable name".into(),
+                    });
+                }
+                toks.push(Token {
+                    kind: TokenKind::Var(input[name_start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            b'<' => {
+                let start = i;
+                i += 1;
+                let iri_start = i;
+                while i < bytes.len() && bytes[i] != b'>' {
+                    if bytes[i] == b' ' || bytes[i] == b'\n' {
+                        return Err(SparqlError::Lex {
+                            offset: i,
+                            message: "whitespace inside IRI".into(),
+                        });
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SparqlError::Lex {
+                        offset: start,
+                        message: "unterminated IRI".into(),
+                    });
+                }
+                toks.push(Token {
+                    kind: TokenKind::Iri(input[iri_start..i].to_owned()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'"' | b'\'' => {
+                let (tok, next) = lex_literal(input, i)?;
+                toks.push(tok);
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Integer(input[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                // prefixed name?
+                if i < bytes.len() && bytes[i] == b':' {
+                    let prefix = input[start..i].to_owned();
+                    i += 1;
+                    let local_start = i;
+                    while i < bytes.len() && is_name_char(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokenKind::PrefixedName {
+                            prefix,
+                            local: input[local_start..i].to_owned(),
+                        },
+                        offset: start,
+                    });
+                    continue;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if word == "a" {
+                    toks.push(Token { kind: TokenKind::A, offset: start });
+                } else if KEYWORDS.contains(&upper.as_str()) {
+                    toks.push(Token { kind: TokenKind::Keyword(upper), offset: start });
+                } else {
+                    return Err(SparqlError::Lex {
+                        offset: start,
+                        message: format!("unexpected word `{word}`"),
+                    });
+                }
+            }
+            b':' => {
+                // Prefixed name with empty prefix, e.g. `:local`.
+                let start = i;
+                i += 1;
+                let local_start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::PrefixedName {
+                        prefix: String::new(),
+                        local: input[local_start..i].to_owned(),
+                    },
+                    offset: start,
+                });
+            }
+            _ => {
+                return Err(SparqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{}`", c as char),
+                })
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(toks)
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+fn lex_literal(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let quote = bytes[start];
+    let mut i = start + 1;
+    let mut lexical = String::new();
+    loop {
+        if i >= bytes.len() {
+            return Err(SparqlError::Lex { offset: start, message: "unterminated literal".into() });
+        }
+        match bytes[i] {
+            b'\\' => {
+                if i + 1 >= bytes.len() {
+                    return Err(SparqlError::Lex {
+                        offset: i,
+                        message: "dangling escape".into(),
+                    });
+                }
+                let esc = bytes[i + 1];
+                lexical.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'"' => '"',
+                    b'\'' => '\'',
+                    b'\\' => '\\',
+                    _ => {
+                        return Err(SparqlError::Lex {
+                            offset: i,
+                            message: format!("unknown escape `\\{}`", esc as char),
+                        })
+                    }
+                });
+                i += 2;
+            }
+            c if c == quote => {
+                i += 1;
+                break;
+            }
+            _ => {
+                // Copy the full (possibly multi-byte) char.
+                let ch = input[i..].chars().next().expect("in-bounds char");
+                lexical.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    // Optional @lang or ^^datatype.
+    let mut language = None;
+    let mut datatype = None;
+    if i < bytes.len() && bytes[i] == b'@' {
+        i += 1;
+        let tag_start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+            i += 1;
+        }
+        if i == tag_start {
+            return Err(SparqlError::Lex { offset: tag_start, message: "empty language tag".into() });
+        }
+        language = Some(input[tag_start..i].to_ascii_lowercase());
+    } else if i + 1 < bytes.len() && bytes[i] == b'^' && bytes[i + 1] == b'^' {
+        i += 2;
+        if i < bytes.len() && bytes[i] == b'<' {
+            i += 1;
+            let dt_start = i;
+            while i < bytes.len() && bytes[i] != b'>' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SparqlError::Lex {
+                    offset: dt_start,
+                    message: "unterminated datatype IRI".into(),
+                });
+            }
+            datatype = Some(LiteralDatatype::Iri(input[dt_start..i].to_owned()));
+            i += 1;
+        } else {
+            // prefixed datatype like xsd:date
+            let p_start = i;
+            while i < bytes.len() && is_name_char(bytes[i]) {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b':' {
+                return Err(SparqlError::Lex {
+                    offset: p_start,
+                    message: "expected datatype IRI or prefixed name after ^^".into(),
+                });
+            }
+            let prefix = input[p_start..i].to_owned();
+            i += 1;
+            let l_start = i;
+            while i < bytes.len() && is_name_char(bytes[i]) {
+                i += 1;
+            }
+            datatype = Some(LiteralDatatype::Prefixed {
+                prefix,
+                local: input[l_start..i].to_owned(),
+            });
+        }
+    }
+    Ok((Token { kind: TokenKind::Literal { lexical, language, datatype }, offset: start }, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_select_skeleton() {
+        let ks = kinds("SELECT ?x WHERE { }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Keyword("WHERE".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let ks = kinds("select ?x where { }");
+        assert!(matches!(&ks[0], TokenKind::Keyword(k) if k == "SELECT"));
+    }
+
+    #[test]
+    fn tokenizes_iris_prefixed_names_and_a() {
+        let ks = kinds("<http://x/y> foaf:name a :bare");
+        assert_eq!(ks[0], TokenKind::Iri("http://x/y".into()));
+        assert_eq!(
+            ks[1],
+            TokenKind::PrefixedName { prefix: "foaf".into(), local: "name".into() }
+        );
+        assert_eq!(ks[2], TokenKind::A);
+        assert_eq!(ks[3], TokenKind::PrefixedName { prefix: String::new(), local: "bare".into() });
+    }
+
+    #[test]
+    fn tokenizes_literals() {
+        let ks = kinds(r#""plain" "tag"@en "d"^^<http://t> "p"^^xsd:date 42"#);
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal { lexical: "plain".into(), language: None, datatype: None }
+        );
+        assert_eq!(
+            ks[1],
+            TokenKind::Literal {
+                lexical: "tag".into(),
+                language: Some("en".into()),
+                datatype: None
+            }
+        );
+        assert_eq!(
+            ks[2],
+            TokenKind::Literal {
+                lexical: "d".into(),
+                language: None,
+                datatype: Some(LiteralDatatype::Iri("http://t".into()))
+            }
+        );
+        assert!(matches!(
+            &ks[3],
+            TokenKind::Literal { datatype: Some(LiteralDatatype::Prefixed { .. }), .. }
+        ));
+        assert_eq!(ks[4], TokenKind::Integer("42".into()));
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let ks = kinds(r#""a\"b\nc""#);
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal { lexical: "a\"b\nc".into(), language: None, datatype: None }
+        );
+    }
+
+    #[test]
+    fn single_quoted_literals() {
+        let ks = kinds("'hello'@en-GB");
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal {
+                lexical: "hello".into(),
+                language: Some("en-gb".into()),
+                datatype: None
+            }
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT # comment ?notatoken\n ?x");
+        assert_eq!(ks.len(), 3); // SELECT, ?x, EOF
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = tokenize("  ?abc").unwrap();
+        assert_eq!(toks[0].offset, 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("<http://unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@@").is_err());
+        assert!(tokenize(r#""bad\qescape""#).is_err());
+    }
+
+    #[test]
+    fn unicode_literal_content() {
+        let ks = kinds("\"héllo \u{1F600}\"");
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal {
+                lexical: "héllo \u{1F600}".into(),
+                language: None,
+                datatype: None
+            }
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # gstored-sparql
+//!
+//! A from-scratch SPARQL **basic graph pattern** (BGP) front-end for the
+//! gstored-rs reproduction. The paper (Section II) evaluates BGP queries
+//! only, so this crate implements exactly that fragment:
+//!
+//! * `PREFIX` declarations,
+//! * `SELECT ?v ... | *`,
+//! * `WHERE { <triple patterns> }` with `;` (same subject) and `,`
+//!   (same subject+predicate) abbreviations,
+//! * IRIs (`<...>` or `prefix:local`), variables (`?v` / `$v`), `a` for
+//!   `rdf:type`, and literals with `@lang` / `^^datatype`.
+//!
+//! The parsed query is lowered to a [`QueryGraph`] (Definition 2 of the
+//! paper): vertices are constants or variables, edges carry a predicate
+//! that is a constant or a variable. [`analysis`] classifies query shape
+//! (star vs. other) and detects *selective triple patterns*, the two
+//! factors Section VIII-B attributes performance to.
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod query_graph;
+
+pub use analysis::{QueryShape, ShapeReport};
+pub use ast::{Query, TermPattern, TriplePattern};
+pub use error::SparqlError;
+pub use parser::parse_query;
+pub use query_graph::{EdgeLabel, QEdge, QVertex, QVertexId, QueryGraph};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparqlError>;

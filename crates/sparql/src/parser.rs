@@ -1,0 +1,370 @@
+//! Recursive-descent parser for the supported SPARQL BGP fragment.
+
+use std::collections::HashMap;
+
+use gstored_rdf::{Literal, Term};
+
+use crate::ast::{Query, TermPattern, TriplePattern};
+use crate::error::SparqlError;
+use crate::lexer::{tokenize, LiteralDatatype, Token, TokenKind};
+use crate::Result;
+
+/// Parse a SPARQL BGP query string into a [`Query`].
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0, prefixes: HashMap::new() }.parse()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError::Parse { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump() {
+            TokenKind::Keyword(k) if k == kw => Ok(()),
+            other => Err(SparqlError::Parse {
+                offset: self.tokens[self.pos.saturating_sub(1)].offset,
+                message: format!("expected `{kw}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse(mut self) -> Result<Query> {
+        // PREFIX declarations.
+        while matches!(self.peek(), TokenKind::Keyword(k) if k == "PREFIX" || k == "BASE") {
+            let kw = match self.bump() {
+                TokenKind::Keyword(k) => k,
+                _ => unreachable!(),
+            };
+            if kw == "BASE" {
+                return Err(SparqlError::Unsupported("BASE declarations".into()));
+            }
+            let (prefix, local) = match self.bump() {
+                TokenKind::PrefixedName { prefix, local } => (prefix, local),
+                _ => return Err(self.err("expected prefix name after PREFIX")),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let iri = match self.bump() {
+                TokenKind::Iri(iri) => iri,
+                _ => return Err(self.err("expected IRI in prefix declaration")),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+
+        self.expect_keyword("SELECT")?;
+        let mut distinct = false;
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == "DISTINCT") {
+            self.bump();
+            distinct = true;
+        }
+        let mut select = Vec::new();
+        match self.peek() {
+            TokenKind::Star => {
+                self.bump();
+            }
+            TokenKind::Var(_) => {
+                while let TokenKind::Var(v) = self.peek() {
+                    let v = v.clone();
+                    self.bump();
+                    if !select.contains(&v) {
+                        select.push(v);
+                    }
+                }
+            }
+            _ => return Err(self.err("expected `*` or variables after SELECT")),
+        }
+
+        self.expect_keyword("WHERE")?;
+        if !matches!(self.peek(), TokenKind::LBrace) {
+            return Err(self.err("expected '{' after WHERE"));
+        }
+        self.bump();
+
+        let patterns = self.parse_bgp()?;
+
+        if !matches!(self.peek(), TokenKind::RBrace) {
+            return Err(self.err("expected '}' closing WHERE"));
+        }
+        self.bump();
+
+        let mut limit = None;
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == "LIMIT") {
+            self.bump();
+            match self.bump() {
+                TokenKind::Integer(n) => {
+                    limit = Some(n.parse::<usize>().map_err(|_| self.err("LIMIT out of range"))?)
+                }
+                _ => return Err(self.err("expected integer after LIMIT")),
+            }
+        }
+
+        if !matches!(self.peek(), TokenKind::Eof) {
+            return Err(self.err("trailing tokens after query"));
+        }
+
+        if patterns.is_empty() {
+            return Err(SparqlError::InvalidBgp("empty basic graph pattern".into()));
+        }
+        let q = Query { select, distinct, patterns, limit };
+        // Projected variables must occur in the BGP.
+        let vars = q.variables();
+        for s in &q.select {
+            if !vars.contains(&s.as_str()) {
+                return Err(SparqlError::InvalidBgp(format!(
+                    "projected variable ?{s} does not occur in the pattern"
+                )));
+            }
+        }
+        Ok(q)
+    }
+
+    /// Parse triple patterns until `}`, handling `;` and `,` abbreviations.
+    fn parse_bgp(&mut self) -> Result<Vec<TriplePattern>> {
+        let mut patterns = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            let subject = self.parse_term_pattern("subject")?;
+            loop {
+                let predicate = self.parse_predicate_pattern()?;
+                loop {
+                    let object = self.parse_term_pattern("object")?;
+                    patterns.push(TriplePattern::new(
+                        subject.clone(),
+                        predicate.clone(),
+                        object,
+                    ));
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                if matches!(self.peek(), TokenKind::Semicolon) {
+                    self.bump();
+                    // Allow a trailing `;` before `.` or `}`.
+                    if matches!(self.peek(), TokenKind::Dot | TokenKind::RBrace) {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Dot) {
+                self.bump();
+            } else if !matches!(self.peek(), TokenKind::RBrace) {
+                return Err(self.err("expected '.', ';', ',' or '}' after triple pattern"));
+            }
+        }
+        Ok(patterns)
+    }
+
+    fn parse_predicate_pattern(&mut self) -> Result<TermPattern> {
+        if matches!(self.peek(), TokenKind::A) {
+            self.bump();
+            return Ok(TermPattern::iri(gstored_rdf::vocab::rdf::TYPE));
+        }
+        let tp = self.parse_term_pattern("predicate")?;
+        match &tp {
+            TermPattern::Const(Term::Literal(_)) => {
+                Err(self.err("predicate must not be a literal"))
+            }
+            TermPattern::Const(Term::Blank(_)) => {
+                Err(self.err("predicate must not be a blank node"))
+            }
+            _ => Ok(tp),
+        }
+    }
+
+    fn parse_term_pattern(&mut self, position: &str) -> Result<TermPattern> {
+        let offset = self.offset();
+        match self.bump() {
+            TokenKind::Var(v) => Ok(TermPattern::Var(v)),
+            TokenKind::Iri(iri) => Ok(TermPattern::Const(Term::Iri(iri))),
+            TokenKind::PrefixedName { prefix, local } => {
+                let base = self.prefixes.get(&prefix).ok_or_else(|| {
+                    SparqlError::UnknownPrefix(format!("{prefix}:"))
+                })?;
+                Ok(TermPattern::Const(Term::Iri(format!("{base}{local}"))))
+            }
+            TokenKind::A => Ok(TermPattern::iri(gstored_rdf::vocab::rdf::TYPE)),
+            TokenKind::Literal { lexical, language, datatype } => {
+                let lit = match (language, datatype) {
+                    (Some(tag), None) => Literal::lang(lexical, tag),
+                    (None, Some(LiteralDatatype::Iri(dt))) => Literal::typed(lexical, dt),
+                    (None, Some(LiteralDatatype::Prefixed { prefix, local })) => {
+                        let base = self.prefixes.get(&prefix).ok_or_else(|| {
+                            SparqlError::UnknownPrefix(format!("{prefix}:"))
+                        })?;
+                        Literal::typed(lexical, format!("{base}{local}"))
+                    }
+                    (None, None) => Literal::plain(lexical),
+                    (Some(_), Some(_)) => unreachable!("lexer never produces both"),
+                };
+                Ok(TermPattern::Const(Term::Literal(lit)))
+            }
+            TokenKind::Integer(n) => Ok(TermPattern::Const(Term::Literal(Literal::typed(
+                n,
+                gstored_rdf::vocab::xsd::INTEGER,
+            )))),
+            other => Err(SparqlError::Parse {
+                offset,
+                message: format!("expected {position} term, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        // The query from the paper's introduction.
+        let q = parse_query(
+            r#"SELECT ?p2 ?l WHERE {
+                ?t <http://dbpedia.org/ontology/label> ?l .
+                ?p1 <http://dbpedia.org/ontology/influencedBy> ?p2 .
+                ?p2 <http://dbpedia.org/ontology/mainInterest> ?t .
+                ?p1 <http://dbpedia.org/ontology/name> "Crispin Wright"@en .
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["p2", "l"]);
+        assert_eq!(q.patterns.len(), 4);
+        assert_eq!(q.variables().len(), 4);
+        assert_eq!(
+            q.patterns[3].object,
+            TermPattern::Const(Term::lang_lit("Crispin Wright", "en"))
+        );
+    }
+
+    #[test]
+    fn parses_prefixes() {
+        let q = parse_query(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX : <http://ex/>\n\
+             SELECT ?x WHERE { ?x foaf:name :v . }",
+        )
+        .unwrap();
+        assert_eq!(
+            q.patterns[0].predicate,
+            TermPattern::iri("http://xmlns.com/foaf/0.1/name")
+        );
+        assert_eq!(q.patterns[0].object, TermPattern::iri("http://ex/v"));
+    }
+
+    #[test]
+    fn parses_semicolon_and_comma_abbreviations() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://p> ?a ; <http://q> ?b , ?c . ?y <http://r> ?x }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 4);
+        assert_eq!(q.patterns[0].subject, q.patterns[1].subject);
+        assert_eq!(q.patterns[1].predicate, q.patterns[2].predicate);
+        assert_eq!(q.patterns[1].subject, q.patterns[2].subject);
+    }
+
+    #[test]
+    fn parses_a_shorthand() {
+        let q = parse_query("SELECT ?x WHERE { ?x a <http://ex/Person> . }").unwrap();
+        assert_eq!(q.patterns[0].predicate, TermPattern::iri(gstored_rdf::vocab::rdf::TYPE));
+    }
+
+    #[test]
+    fn parses_distinct_and_limit() {
+        let q = parse_query("SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } LIMIT 10").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_select_star() {
+        let q = parse_query("SELECT * WHERE { ?x <http://p> ?y }").unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.projection(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn variable_predicate_allowed() {
+        let q = parse_query("SELECT ?p WHERE { <http://a> ?p <http://b> }").unwrap();
+        assert!(q.patterns[0].predicate.is_var());
+    }
+
+    #[test]
+    fn rejects_unknown_prefix() {
+        assert!(matches!(
+            parse_query("SELECT ?x WHERE { ?x nope:p ?y }"),
+            Err(SparqlError::UnknownPrefix(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_bgp() {
+        assert!(matches!(
+            parse_query("SELECT ?x WHERE { }"),
+            Err(SparqlError::InvalidBgp(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_projection() {
+        assert!(matches!(
+            parse_query("SELECT ?z WHERE { ?x <http://p> ?y }"),
+            Err(SparqlError::InvalidBgp(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_literal_predicate() {
+        assert!(parse_query("SELECT ?x WHERE { ?x \"lit\" ?y }").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse_query("SELECT ?x WHERE { ?x <http://p> ?y } garbage:x").is_err());
+    }
+
+    #[test]
+    fn integer_objects_become_typed_literals() {
+        let q = parse_query("SELECT ?x WHERE { ?x <http://age> 42 }").unwrap();
+        match &q.patterns[0].object {
+            TermPattern::Const(Term::Literal(l)) => {
+                assert_eq!(l.lexical, "42");
+                assert_eq!(l.datatype.as_deref(), Some(gstored_rdf::vocab::xsd::INTEGER));
+            }
+            other => panic!("expected literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_tolerated() {
+        let q = parse_query("SELECT ?x WHERE { ?x <http://p> ?y ; . }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+    }
+}

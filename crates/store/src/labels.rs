@@ -1,0 +1,290 @@
+//! Multiset edge-label matching (Definition 3 of the paper).
+//!
+//! Between a pair of query vertices there may be several parallel query
+//! edges, and between the matched data vertices several parallel data
+//! edges. Definition 3 requires an **injective** mapping from query edge
+//! labels to data edge labels, where a variable query label matches any
+//! data label. With tiny multiplicities (≤ 4 in any realistic BGP) a
+//! straightforward augmenting-path matching is exact and fast.
+
+use gstored_rdf::TermId;
+
+use crate::encoded::EncodedLabel;
+
+/// Can the multiset of query labels be injectively mapped into the data
+/// labels? Each data label may be used at most once (data edges `(s,p,o)`
+/// are unique, so distinct labels are distinct edges).
+pub fn labels_satisfiable(query_labels: &[EncodedLabel], data_labels: &[TermId]) -> bool {
+    if query_labels.len() > data_labels.len() {
+        return false;
+    }
+    // Fast paths for the overwhelmingly common single-edge case.
+    if let [single] = query_labels {
+        return match single {
+            EncodedLabel::Any => !data_labels.is_empty(),
+            EncodedLabel::Const(p) => data_labels.contains(p),
+            EncodedLabel::Unsatisfiable => false,
+        };
+    }
+    // General case: bipartite matching query edge -> data label slot.
+    let mut slot_of_query = vec![usize::MAX; query_labels.len()];
+    let mut query_of_slot = vec![usize::MAX; data_labels.len()];
+
+    fn augment(
+        q: usize,
+        query_labels: &[EncodedLabel],
+        data_labels: &[TermId],
+        slot_of_query: &mut [usize],
+        query_of_slot: &mut [usize],
+        visited: &mut [bool],
+    ) -> bool {
+        for (s, &dl) in data_labels.iter().enumerate() {
+            let compatible = match query_labels[q] {
+                EncodedLabel::Any => true,
+                EncodedLabel::Const(p) => p == dl,
+                EncodedLabel::Unsatisfiable => false,
+            };
+            if !compatible || visited[s] {
+                continue;
+            }
+            visited[s] = true;
+            if query_of_slot[s] == usize::MAX
+                || augment(
+                    query_of_slot[s],
+                    query_labels,
+                    data_labels,
+                    slot_of_query,
+                    query_of_slot,
+                    visited,
+                )
+            {
+                slot_of_query[q] = s;
+                query_of_slot[s] = q;
+                return true;
+            }
+        }
+        false
+    }
+
+    for q in 0..query_labels.len() {
+        let mut visited = vec![false; data_labels.len()];
+        if !augment(
+            q,
+            query_labels,
+            data_labels,
+            &mut slot_of_query,
+            &mut query_of_slot,
+            &mut visited,
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does a single data label satisfy a single query label?
+#[inline]
+pub fn label_matches(query: EncodedLabel, data: TermId) -> bool {
+    match query {
+        EncodedLabel::Any => true,
+        EncodedLabel::Const(p) => p == data,
+        EncodedLabel::Unsatisfiable => false,
+    }
+}
+
+/// Like [`labels_satisfiable`], but returns the witness: for each query
+/// label, the index of the data label it maps to. Deterministic (first
+/// augmenting assignment in slot order), which the LPM enumerator relies
+/// on so that replicated crossing edges are recorded identically on both
+/// sides of a fragment boundary.
+pub fn labels_assignment(
+    query_labels: &[EncodedLabel],
+    data_labels: &[TermId],
+) -> Option<Vec<usize>> {
+    if query_labels.len() > data_labels.len() {
+        return None;
+    }
+    let mut slot_of_query = vec![usize::MAX; query_labels.len()];
+    let mut query_of_slot = vec![usize::MAX; data_labels.len()];
+
+    fn augment(
+        q: usize,
+        query_labels: &[EncodedLabel],
+        data_labels: &[TermId],
+        slot_of_query: &mut [usize],
+        query_of_slot: &mut [usize],
+        visited: &mut [bool],
+    ) -> bool {
+        for (s, &dl) in data_labels.iter().enumerate() {
+            if !label_matches(query_labels[q], dl) || visited[s] {
+                continue;
+            }
+            visited[s] = true;
+            if query_of_slot[s] == usize::MAX
+                || augment(
+                    query_of_slot[s],
+                    query_labels,
+                    data_labels,
+                    slot_of_query,
+                    query_of_slot,
+                    visited,
+                )
+            {
+                slot_of_query[q] = s;
+                query_of_slot[s] = q;
+                return true;
+            }
+        }
+        false
+    }
+
+    for q in 0..query_labels.len() {
+        let mut visited = vec![false; data_labels.len()];
+        if !augment(
+            q,
+            query_labels,
+            data_labels,
+            &mut slot_of_query,
+            &mut query_of_slot,
+            &mut visited,
+        ) {
+            return None;
+        }
+    }
+    Some(slot_of_query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: TermId = TermId(1);
+    const Q: TermId = TermId(2);
+    const R: TermId = TermId(3);
+
+    #[test]
+    fn single_constant_label() {
+        assert!(labels_satisfiable(&[EncodedLabel::Const(P)], &[P, Q]));
+        assert!(!labels_satisfiable(&[EncodedLabel::Const(R)], &[P, Q]));
+    }
+
+    #[test]
+    fn single_variable_label() {
+        assert!(labels_satisfiable(&[EncodedLabel::Any], &[P]));
+        assert!(!labels_satisfiable(&[EncodedLabel::Any], &[]));
+    }
+
+    #[test]
+    fn unsatisfiable_never_matches() {
+        assert!(!labels_satisfiable(&[EncodedLabel::Unsatisfiable], &[P, Q, R]));
+        assert!(!label_matches(EncodedLabel::Unsatisfiable, P));
+    }
+
+    #[test]
+    fn injectivity_requires_distinct_slots() {
+        // Two query edges needing label P, only one P in the data.
+        assert!(!labels_satisfiable(
+            &[EncodedLabel::Const(P), EncodedLabel::Const(P)],
+            &[P, Q]
+        ));
+    }
+
+    #[test]
+    fn variable_plus_constant_share_correctly() {
+        // Const needs P; Any can take Q.
+        assert!(labels_satisfiable(
+            &[EncodedLabel::Const(P), EncodedLabel::Any],
+            &[P, Q]
+        ));
+        // Only one data label: both can't fit.
+        assert!(!labels_satisfiable(
+            &[EncodedLabel::Const(P), EncodedLabel::Any],
+            &[P]
+        ));
+    }
+
+    #[test]
+    fn augmenting_path_is_needed() {
+        // Any would greedily take P, blocking Const(P); matching must
+        // reroute Any to Q.
+        assert!(labels_satisfiable(
+            &[EncodedLabel::Any, EncodedLabel::Const(P)],
+            &[P, Q]
+        ));
+    }
+
+    #[test]
+    fn three_way_matching() {
+        assert!(labels_satisfiable(
+            &[EncodedLabel::Const(P), EncodedLabel::Const(Q), EncodedLabel::Any],
+            &[P, Q, R]
+        ));
+        assert!(!labels_satisfiable(
+            &[EncodedLabel::Const(P), EncodedLabel::Const(Q), EncodedLabel::Const(Q)],
+            &[P, Q, R]
+        ));
+    }
+
+    #[test]
+    fn more_query_than_data_fails_fast() {
+        assert!(!labels_satisfiable(
+            &[EncodedLabel::Any, EncodedLabel::Any],
+            &[P]
+        ));
+    }
+
+    #[test]
+    fn label_matches_basic() {
+        assert!(label_matches(EncodedLabel::Any, P));
+        assert!(label_matches(EncodedLabel::Const(P), P));
+        assert!(!label_matches(EncodedLabel::Const(P), Q));
+    }
+
+    #[test]
+    fn assignment_returns_witness() {
+        let a = labels_assignment(
+            &[EncodedLabel::Any, EncodedLabel::Const(P)],
+            &[P, Q],
+        )
+        .unwrap();
+        // Const(P) must get slot 0; Any is rerouted to slot 1.
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let q = [EncodedLabel::Any, EncodedLabel::Any];
+        let d = [P, Q, R];
+        assert_eq!(labels_assignment(&q, &d), labels_assignment(&q, &d));
+    }
+
+    #[test]
+    fn assignment_none_when_unsatisfiable() {
+        assert_eq!(
+            labels_assignment(&[EncodedLabel::Const(R)], &[P, Q]),
+            None
+        );
+        assert_eq!(
+            labels_assignment(&[EncodedLabel::Const(P), EncodedLabel::Const(P)], &[P, Q]),
+            None
+        );
+    }
+
+    #[test]
+    fn assignment_agrees_with_satisfiable() {
+        let cases: Vec<(Vec<EncodedLabel>, Vec<TermId>)> = vec![
+            (vec![EncodedLabel::Any], vec![]),
+            (vec![EncodedLabel::Any], vec![P]),
+            (vec![EncodedLabel::Const(P), EncodedLabel::Any], vec![P]),
+            (vec![EncodedLabel::Const(P), EncodedLabel::Any], vec![P, Q]),
+            (vec![EncodedLabel::Const(Q), EncodedLabel::Const(P)], vec![P, Q]),
+        ];
+        for (q, d) in cases {
+            assert_eq!(
+                labels_satisfiable(&q, &d),
+                labels_assignment(&q, &d).is_some(),
+                "{q:?} vs {d:?}"
+            );
+        }
+    }
+}

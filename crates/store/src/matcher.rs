@@ -1,0 +1,428 @@
+//! Backtracking graph homomorphism search.
+//!
+//! Used for three jobs:
+//!
+//! * the **centralized reference evaluation** over the whole `RdfGraph`
+//!   (ground truth in tests, and the "single store" side of baselines),
+//! * **intra-fragment complete matches** (every query vertex bound to an
+//!   internal vertex) — together with assembled crossing matches these
+//!   partition the answer set,
+//! * the **star-query fast path** (Section VIII-B): a star match is fully
+//!   contained in whichever fragment the center is internal to, so sites
+//!   evaluate stars locally with no communication.
+//!
+//! The search is a standard candidate-ordered backtracking over the query
+//! vertices, with Definition 3's injective multiset label matching checked
+//! on every bound pair.
+
+use gstored_partition::Fragment;
+use gstored_rdf::{RdfGraph, TermId, VertexId};
+
+use crate::candidates::vertex_candidates;
+use crate::encoded::EncodedQuery;
+use crate::labels::labels_satisfiable;
+
+/// Read-only adjacency abstraction: implemented by the full graph and by
+/// fragments, so candidate computation and matching run on either.
+pub trait Adjacency {
+    /// Outgoing `(label, to)` pairs of `v`, sorted.
+    fn out_edges(&self, v: VertexId) -> &[(TermId, VertexId)];
+    /// Incoming `(label, from)` pairs of `v`, sorted.
+    fn in_edges(&self, v: VertexId) -> &[(TermId, VertexId)];
+    /// Whether `v` carries every class in `required` (gStore-style vertex
+    /// signatures; see `gstored_rdf::RdfGraph`'s class handling).
+    fn has_classes(&self, v: VertexId, required: &[TermId]) -> bool;
+}
+
+impl Adjacency for RdfGraph {
+    fn out_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        RdfGraph::out_edges(self, v)
+    }
+    fn in_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        RdfGraph::in_edges(self, v)
+    }
+    fn has_classes(&self, v: VertexId, required: &[TermId]) -> bool {
+        required.iter().all(|c| RdfGraph::has_class(self, v, *c))
+    }
+}
+
+impl Adjacency for Fragment {
+    fn out_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        Fragment::out_edges(self, v)
+    }
+    fn in_edges(&self, v: VertexId) -> &[(TermId, VertexId)] {
+        Fragment::in_edges(self, v)
+    }
+    fn has_classes(&self, v: VertexId, required: &[TermId]) -> bool {
+        Fragment::has_classes(self, v, required)
+    }
+}
+
+/// All homomorphic matches of `q` over the full graph (Definition 3).
+/// This is the centralized reference semantics.
+pub fn find_matches(graph: &RdfGraph, q: &EncodedQuery) -> Vec<Vec<VertexId>> {
+    if q.has_unsatisfiable() {
+        return Vec::new();
+    }
+    let mut universe: Vec<VertexId> = graph.vertices().collect();
+    universe.sort_unstable();
+    search(graph, q, &universe, &|_| true)
+}
+
+/// Complete matches of `q` inside one fragment with **every** query vertex
+/// bound to an internal vertex.
+pub fn local_complete_matches(fragment: &Fragment, q: &EncodedQuery) -> Vec<Vec<VertexId>> {
+    if q.has_unsatisfiable() {
+        return Vec::new();
+    }
+    search(fragment, q, &fragment.internal, &|_| true)
+}
+
+/// Star-query fast path: matches inside one fragment whose designated
+/// `center` query vertex binds to an internal vertex. Leaves may bind to
+/// extended vertices (their edges to the center are replicated crossing
+/// edges), and each match is counted exactly once across the cluster
+/// because internal sets are disjoint.
+pub fn find_star_matches(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    center: usize,
+) -> Vec<Vec<VertexId>> {
+    if q.has_unsatisfiable() {
+        return Vec::new();
+    }
+    // The center draws from internal vertices; leaves from everything
+    // stored locally (internal ∪ extended).
+    let mut universe: Vec<VertexId> = fragment
+        .internal
+        .iter()
+        .chain(fragment.extended.iter())
+        .copied()
+        .collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let internal = fragment.internal.clone();
+    search(fragment, q, &universe, &move |(qv, u)| {
+        qv != center || internal.binary_search(&u).is_ok()
+    })
+}
+
+/// Core backtracking search. `admit` can veto `(query vertex, data vertex)`
+/// pairs (used by the star fast path).
+fn search<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    universe: &[VertexId],
+    admit: &dyn Fn((usize, VertexId)) -> bool,
+) -> Vec<Vec<VertexId>> {
+    let n = q.vertex_count();
+    // Candidate sets per query vertex.
+    let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    for qv in 0..n {
+        let mut c = vertex_candidates(adj, q, qv, universe);
+        c.retain(|&u| admit((qv, u)));
+        if c.is_empty() {
+            return Vec::new();
+        }
+        cands.push(c);
+    }
+
+    let order = matching_order(q, &cands);
+    let mut binding: Vec<Option<VertexId>> = vec![None; n];
+    let mut out = Vec::new();
+    extend(adj, q, &order, 0, &mut binding, &cands, &mut out);
+    out
+}
+
+/// Query-vertex ordering: start from the smallest candidate set, then
+/// prefer vertices adjacent to already-ordered ones (connected expansion),
+/// tie-broken by candidate count. Connected expansion lets every new
+/// binding be checked against at least one bound neighbor.
+fn matching_order(q: &EncodedQuery, cands: &[Vec<VertexId>]) -> Vec<usize> {
+    let n = q.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let first = (0..n).min_by_key(|&v| cands[v].len()).expect("non-empty query");
+    order.push(first);
+    placed[first] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&v| !placed[v])
+            .min_by_key(|&v| {
+                let connected = q.neighbors(v).iter().any(|&u| placed[u]);
+                (if connected { 0 } else { 1 }, cands[v].len())
+            })
+            .expect("loop bounded by n");
+        order.push(next);
+        placed[next] = true;
+    }
+    order
+}
+
+fn extend<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Vec<Option<VertexId>>,
+    cands: &[Vec<VertexId>],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if depth == order.len() {
+        out.push(binding.iter().map(|b| b.expect("complete binding")).collect());
+        return;
+    }
+    let qv = order[depth];
+    // If qv was already bound through constant propagation, just recurse.
+    for &u in &cands[qv] {
+        binding[qv] = Some(u);
+        if consistent(adj, q, qv, binding) {
+            extend(adj, q, order, depth + 1, binding, cands, out);
+        }
+    }
+    binding[qv] = None;
+}
+
+/// Check every query edge between `qv` and an already-bound vertex,
+/// grouping parallel edges for the injective multiset label test.
+pub(crate) fn consistent<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+) -> bool {
+    debug_assert!(binding[qv].is_some(), "qv must be bound");
+    // Collect bound neighbors (deduplicated) in both directions.
+    let mut checked: Vec<(usize, bool)> = Vec::new(); // (other qv, qv_is_source)
+    for &ei in q.out_edges(qv) {
+        let e = q.edge(ei);
+        if binding[e.to].is_some() && !checked.contains(&(e.to, true)) {
+            checked.push((e.to, true));
+        }
+    }
+    for &ei in q.in_edges(qv) {
+        let e = q.edge(ei);
+        if binding[e.from].is_some() && !checked.contains(&(e.from, false)) {
+            checked.push((e.from, false));
+        }
+    }
+    for (other, qv_is_source) in checked {
+        let (src_q, dst_q) = if qv_is_source { (qv, other) } else { (other, qv) };
+        let src_u = binding[src_q].expect("both bound");
+        let dst_u = binding[dst_q].expect("both bound");
+        // Parallel query edges between src_q and dst_q (this direction).
+        let q_labels: Vec<_> = q
+            .out_edges(src_q)
+            .iter()
+            .filter(|&&ei| q.edge(ei).to == dst_q)
+            .map(|&ei| q.edge(ei).label)
+            .collect();
+        // Data labels between the images.
+        let d_labels: Vec<TermId> = adj
+            .out_edges(src_u)
+            .iter()
+            .filter(|&&(_, t)| t == dst_u)
+            .map(|&(l, _)| l)
+            .collect();
+        if !labels_satisfiable(&q_labels, &d_labels) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_partition::{DistributedGraph, ExplicitPartitioner, HashPartitioner};
+    use gstored_rdf::{Term, Triple};
+    use gstored_sparql::{analysis, parse_query, QueryGraph};
+    use std::collections::HashMap;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn encode(g: &RdfGraph, text: &str) -> EncodedQuery {
+        let q = QueryGraph::from_query(&parse_query(text).unwrap()).unwrap();
+        EncodedQuery::encode(&q, g.dict()).unwrap()
+    }
+
+    fn diamond() -> RdfGraph {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://a", "http://p", "http://c"),
+            t("http://b", "http://q", "http://d"),
+            t("http://c", "http://q", "http://d"),
+        ]);
+        g.finalize();
+        g
+    }
+
+    #[test]
+    fn finds_both_paths_through_diamond() {
+        let g = diamond();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
+        let ms = find_matches(&g, &q);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn homomorphisms_allow_shared_images() {
+        // ?x -p-> ?y, ?z -p-> ?y : x and z may bind the same vertex.
+        let g = diamond();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?z <http://p> ?y }");
+        let ms = find_matches(&g, &q);
+        // y=b: x=a,z=a. y=c: x=a,z=a. 2 matches.
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn constant_anchors_the_search() {
+        let g = diamond();
+        let q = encode(&g, "SELECT ?x WHERE { ?x <http://q> <http://d> }");
+        let ms = find_matches(&g, &q);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn cycle_queries_match_cycles_only() {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://1", "http://p", "http://2"),
+            t("http://2", "http://p", "http://3"),
+            t("http://3", "http://p", "http://1"),
+            t("http://4", "http://p", "http://5"), // not on a cycle
+        ]);
+        g.finalize();
+        let q = encode(
+            &g,
+            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }",
+        );
+        let ms = find_matches(&g, &q);
+        assert_eq!(ms.len(), 3, "three rotations of the triangle");
+    }
+
+    #[test]
+    fn injective_multiset_labels_enforced() {
+        // Two parallel query edges with the same constant predicate can
+        // never match a simple data edge.
+        let g = diamond();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?y }");
+        assert!(find_matches(&g, &q).is_empty());
+        // But constant + variable over two parallel data labels works.
+        let mut g2 = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://a", "http://r", "http://b"),
+        ]);
+        g2.finalize();
+        let q2 = encode(&g2, "SELECT ?x ?y WHERE { ?x <http://p> ?y . ?x ?any ?y }");
+        assert_eq!(find_matches(&g2, &q2).len(), 1);
+    }
+
+    #[test]
+    fn variable_predicate_matches_each_label_once() {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://a", "http://q", "http://b"),
+        ]);
+        g.finalize();
+        let q = encode(&g, "SELECT ?x ?y WHERE { ?x ?p ?y }");
+        // Vertex bindings are (a,b) either way; the two predicate labels do
+        // not multiply vertex bindings (labels are not part of the binding).
+        let ms = find_matches(&g, &q);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn local_complete_matches_require_all_internal() {
+        let g = diamond();
+        let a = g.vertex_of(&Term::iri("http://a")).unwrap();
+        let b = g.vertex_of(&Term::iri("http://b")).unwrap();
+        let c = g.vertex_of(&Term::iri("http://c")).unwrap();
+        let d = g.vertex_of(&Term::iri("http://d")).unwrap();
+        // a,b in F0; c,d in F1.
+        let mut map = HashMap::new();
+        map.insert(a, 0);
+        map.insert(b, 0);
+        map.insert(c, 1);
+        map.insert(d, 1);
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        let m0 = local_complete_matches(&dist.fragments[0], &q);
+        let m1 = local_complete_matches(&dist.fragments[1], &q);
+        // a->b->d crosses; a->c->d crosses; no all-internal match anywhere.
+        assert!(m0.is_empty());
+        assert!(m1.is_empty());
+    }
+
+    #[test]
+    fn star_fast_path_counts_each_match_once() {
+        // Star query: center with two leaves; leaves scattered.
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://h", "http://p", "http://l1"),
+            t("http://h", "http://q", "http://l2"),
+            t("http://h2", "http://p", "http://l1"),
+            t("http://h2", "http://q", "http://l2"),
+        ]);
+        g.finalize();
+        let q = encode(&g, "SELECT * WHERE { ?c <http://p> ?a . ?c <http://q> ?b }");
+        let qg = QueryGraph::from_query(
+            &parse_query("SELECT * WHERE { ?c <http://p> ?a . ?c <http://q> ?b }").unwrap(),
+        )
+        .unwrap();
+        let center = analysis::analyze(&qg).star_center.unwrap();
+        let centralized = find_matches(&g, &q).len();
+        for seed in 0..5 {
+            let dist = DistributedGraph::build(
+                g.clone(),
+                &HashPartitioner::with_seed(3, seed),
+            );
+            let total: usize = dist
+                .fragments
+                .iter()
+                .map(|f| find_star_matches(f, &q, center).len())
+                .sum();
+            assert_eq!(total, centralized, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fragment_matching_sees_crossing_edges() {
+        let g = diamond();
+        let a = g.vertex_of(&Term::iri("http://a")).unwrap();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y }");
+        // Put a alone in F0: its p-edges are crossing but replicated, so a
+        // star centered on x=a still matches locally.
+        let mut map = HashMap::new();
+        map.insert(a, 0);
+        let dist = DistributedGraph::build(
+            g,
+            &ExplicitPartitioner::new(2, map).with_default(1),
+        );
+        let ms = find_star_matches(&dist.fragments[0], &q, 0);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn empty_candidates_short_circuit() {
+        let g = diamond();
+        let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://p> ?z }");
+        // No vertex has an incoming p AND outgoing p in the diamond
+        // (b,c have in-p but out-q). So no matches.
+        assert!(find_matches(&g, &q).is_empty());
+    }
+
+    #[test]
+    fn self_loop_matching() {
+        let mut g = RdfGraph::from_triples(vec![
+            t("http://s", "http://p", "http://s"),
+            t("http://s", "http://p", "http://o"),
+        ]);
+        g.finalize();
+        let q = encode(&g, "SELECT ?x WHERE { ?x <http://p> ?x }");
+        let ms = find_matches(&g, &q);
+        assert_eq!(ms.len(), 1);
+        let s = g.vertex_of(&Term::iri("http://s")).unwrap();
+        assert_eq!(ms[0], vec![s]);
+    }
+}

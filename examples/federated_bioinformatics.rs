@@ -1,0 +1,115 @@
+//! The paper's motivating scenario (Section I): several bioinformatics
+//! data publishers each administer their own RDF dataset, so the
+//! partitioning is **given** (administrative, per publisher) and the
+//! query processor must be partitioning-tolerant.
+//!
+//! We synthesize three "publisher" datasets (compounds, targets, and
+//! pathway annotations), keep each publisher's triples on its own site
+//! via an explicit assignment, and run a cross-publisher query that no
+//! single site can answer alone.
+//!
+//! ```text
+//! cargo run --example federated_bioinformatics
+//! ```
+
+use std::collections::HashMap;
+
+use gstored::partition::ExplicitPartitioner;
+use gstored::prelude::*;
+use gstored::rdf::Triple;
+
+fn main() {
+    let mut triples = Vec::new();
+    let t = |s: String, p: &str, o: Term| Triple::new(Term::iri(s), Term::iri(p), o);
+
+    // Publisher A ("chembl-like"): compounds and what they inhibit.
+    for i in 0..40 {
+        let compound = format!("http://chembl.example.org/compound/C{i}");
+        triples.push(t(
+            compound.clone(),
+            "http://vocab/inhibits",
+            Term::iri(format!("http://uniprot.example.org/target/T{}", i % 12)),
+        ));
+        triples.push(t(
+            compound,
+            "http://vocab/name",
+            Term::lit(format!("Compound {i}")),
+        ));
+    }
+    // Publisher B ("uniprot-like"): targets and their pathways.
+    for i in 0..12 {
+        let target = format!("http://uniprot.example.org/target/T{i}");
+        triples.push(t(
+            target.clone(),
+            "http://vocab/participatesIn",
+            Term::iri(format!("http://reactome.example.org/pathway/P{}", i % 4)),
+        ));
+        triples.push(t(target, "http://vocab/organism", Term::lit("H. sapiens")));
+    }
+    // Publisher C ("reactome-like"): pathway annotations.
+    for i in 0..4 {
+        let pathway = format!("http://reactome.example.org/pathway/P{i}");
+        triples.push(t(
+            pathway,
+            "http://vocab/label",
+            Term::lit(format!("Pathway {i}")),
+        ));
+    }
+
+    let mut graph = RdfGraph::from_triples(triples);
+    graph.finalize();
+
+    // Administrative partitioning: each publisher hosts its own entities.
+    let mut assignment = HashMap::new();
+    for v in graph.vertices() {
+        let site = match graph.term(v) {
+            Term::Iri(iri) if iri.starts_with("http://chembl") => 0,
+            Term::Iri(iri) if iri.starts_with("http://uniprot") => 1,
+            Term::Iri(iri) if iri.starts_with("http://reactome") => 2,
+            _ => continue, // literals co-locate below via default
+        };
+        assignment.insert(v, site);
+    }
+    let partitioner = ExplicitPartitioner::new(3, assignment);
+    let dist = DistributedGraph::build(graph, &partitioner);
+    assert_eq!(dist.validate(), None, "Definition 1 invariants hold");
+
+    println!("Administrative partitioning (one site per publisher):");
+    for f in &dist.fragments {
+        println!(
+            "  site {}: {} internal vertices, {} internal edges, {} crossing edges",
+            f.id,
+            f.internal_count(),
+            f.internal_edges.len(),
+            f.crossing_edges.len()
+        );
+    }
+
+    // A three-publisher query: compounds, the targets they inhibit, and
+    // the labels of the pathways those targets participate in.
+    let query = parse_query(
+        r#"SELECT ?compound ?pathwayLabel WHERE {
+            ?compound <http://vocab/inhibits> ?target .
+            ?target <http://vocab/participatesIn> ?pathway .
+            ?pathway <http://vocab/label> ?pathwayLabel .
+        }"#,
+    )
+    .expect("valid SPARQL");
+    let query_graph = QueryGraph::from_query(&query).expect("connected");
+
+    let engine = Engine::new(EngineConfig::default());
+    let out = engine.run(&dist, &query_graph);
+
+    println!(
+        "\n{} cross-publisher results; every one of them is a crossing match:",
+        out.rows.len()
+    );
+    for row in out.decoded_rows(&dist).iter().take(5) {
+        println!("  {} participates via {}", row[0], row[1]);
+    }
+    println!("  ...");
+    let m = &out.metrics;
+    println!("\nAll {} matches crossed sites (intra-fragment: {}).", m.crossing_matches, m.local_matches);
+    assert_eq!(m.local_matches, 0, "no publisher can answer alone");
+    assert_eq!(out.rows.len(), 40);
+}

@@ -1,0 +1,149 @@
+//! Section IV-D's performance guarantee, as an executable check: the LEC
+//! optimization's communication depends on the *query size and the
+//! partitioning* (number of crossing edges), **not** on the total graph
+//! size. We grow a dataset while holding the crossing structure fixed and
+//! assert the feature shipment stays flat while the LPM volume grows; we
+//! then grow only the crossing structure and assert feature shipment
+//! grows with it.
+
+use std::collections::HashMap;
+
+use gstored::core::engine::{Engine, Variant};
+use gstored::partition::ExplicitPartitioner;
+use gstored::prelude::*;
+use gstored::rdf::Triple;
+
+const P: &str = "http://x/p";
+const Q: &str = "http://x/q";
+
+/// Two fragments joined by `bridges` crossing p-edges; each fragment also
+/// holds `bulk` internal p/q/p chains that inflate the graph (and the LPM
+/// count) without touching the crossing structure. A 3-edge query keeps
+/// us off the star fast path.
+fn build(bulk: usize, bridges: usize) -> (RdfGraph, ExplicitPartitioner) {
+    let mut triples = Vec::new();
+    let t = |s: String, p: &str, o: String| {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    };
+    // Crossing bridges: a{i} (F0) -p-> b{i} (F1) -q-> c{i} (F1) -p-> d{i}.
+    for i in 0..bridges {
+        triples.push(t(format!("http://f0/a{i}"), P, format!("http://f1/b{i}")));
+        triples.push(t(format!("http://f1/b{i}"), Q, format!("http://f1/c{i}")));
+        triples.push(t(format!("http://f1/c{i}"), P, format!("http://f1/d{i}")));
+    }
+    // Internal bulk in both fragments: x -p-> y -q-> z -p-> w chains.
+    for f in 0..2 {
+        for i in 0..bulk {
+            triples.push(t(
+                format!("http://f{f}/x{i}"),
+                P,
+                format!("http://f{f}/y{i}"),
+            ));
+            triples.push(t(
+                format!("http://f{f}/y{i}"),
+                Q,
+                format!("http://f{f}/z{i}"),
+            ));
+            triples.push(t(
+                format!("http://f{f}/z{i}"),
+                P,
+                format!("http://f{f}/w{i}"),
+            ));
+        }
+    }
+    let mut g = RdfGraph::from_triples(triples);
+    g.finalize();
+    let mut map = HashMap::new();
+    for v in g.vertices() {
+        let Term::Iri(iri) = g.term(v) else { continue };
+        map.insert(v, usize::from(iri.starts_with("http://f1/")));
+    }
+    (g.clone(), ExplicitPartitioner::new(2, map))
+}
+
+fn run(bulk: usize, bridges: usize) -> gstored::net::QueryMetrics {
+    let (g, p) = build(bulk, bridges);
+    let dist = DistributedGraph::build(g, &p);
+    assert_eq!(dist.validate(), None);
+    let query = QueryGraph::from_query(
+        &gstored::sparql::parse_query(&format!(
+            "SELECT * WHERE {{ ?x <{P}> ?y . ?y <{Q}> ?z . ?z <{P}> ?w }}"
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    Engine::with_variant(Variant::LecOptimization).run(&dist, &query).metrics
+}
+
+#[test]
+fn feature_shipment_is_independent_of_graph_size() {
+    // Grow the graph 16x while the crossing structure stays fixed.
+    let small = run(50, 8);
+    let large = run(800, 8);
+    assert!(
+        large.local_partial_matches >= small.local_partial_matches,
+        "bulk should not shrink LPM counts"
+    );
+    // LEC feature shipment must stay flat: the features depend only on
+    // the 8 bridges and the 2-edge query.
+    assert_eq!(
+        small.lec_features, large.lec_features,
+        "feature count must depend on crossing edges only"
+    );
+    let (s, l) = (
+        small.lec_optimization.bytes_shipped,
+        large.lec_optimization.bytes_shipped,
+    );
+    assert!(
+        l <= s + s / 4,
+        "feature shipment grew with graph size: {s} -> {l} bytes"
+    );
+}
+
+#[test]
+fn feature_shipment_grows_with_crossing_edges() {
+    let few = run(100, 4);
+    let many = run(100, 32);
+    assert!(
+        many.lec_features > few.lec_features,
+        "more crossing edges must mean more features: {} vs {}",
+        few.lec_features,
+        many.lec_features
+    );
+    assert!(
+        many.lec_optimization.bytes_shipped > few.lec_optimization.bytes_shipped,
+        "feature shipment must scale with the crossing structure"
+    );
+}
+
+#[test]
+fn analytical_size_bound_holds() {
+    // Every shipped feature respects the O(|E^Q| + |V^Q|) size bound of
+    // Section IV-D (constant factor: serialized varints per component).
+    use gstored::core::lec::compute_lec_features;
+    use gstored::core::protocol::encode_features;
+    use gstored::store::candidates::CandidateFilter;
+    use gstored::store::{enumerate_local_partial_matches, EncodedQuery};
+
+    let (g, p) = build(100, 16);
+    let dist = DistributedGraph::build(g, &p);
+    let query = QueryGraph::from_query(
+        &gstored::sparql::parse_query(&format!(
+            "SELECT * WHERE {{ ?x <{P}> ?y . ?y <{Q}> ?z . ?z <{P}> ?w }}"
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    let q = EncodedQuery::encode(&query, dist.dict()).unwrap();
+    let filter = CandidateFilter::none(q.vertex_count());
+    for f in &dist.fragments {
+        let lpms = enumerate_local_partial_matches(f, &q, &filter);
+        let (features, _) = compute_lec_features(&lpms, 0);
+        for feat in &features {
+            let wire = encode_features(std::slice::from_ref(feat)).len();
+            // Generous constant: ≤ 64 bytes per (edge + vertex) unit.
+            let bound = 64 * (q.edge_count() + q.vertex_count());
+            assert!(wire <= bound, "feature wire size {wire} exceeds bound {bound}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Round-trip properties of every serialization layer: the wire codec,
+//! the engine protocol, N-Triples, and the SPARQL pretty-printer.
+
+use proptest::prelude::*;
+
+use gstored::core::lec::LecFeature;
+use gstored::core::protocol;
+use gstored::net::{WireReader, WireWriter};
+use gstored::rdf::{EdgeRef, Literal, Term, TermId, Triple};
+use gstored::store::LocalPartialMatch;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wire_varints_roundtrip(values in prop::collection::vec(any::<u64>(), 0..50)) {
+        let mut w = WireWriter::new();
+        for &v in &values {
+            w.u64(v);
+        }
+        let mut r = WireReader::new(w.finish());
+        for &v in &values {
+            prop_assert_eq!(r.u64().unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn wire_mixed_roundtrip(
+        nums in prop::collection::vec(any::<u64>(), 0..10),
+        s in "[a-zA-Z0-9 ]{0,40}",
+        flag in any::<bool>(),
+        opt in prop::option::of(any::<u64>()),
+    ) {
+        let mut w = WireWriter::new();
+        w.bool(flag).str(&s).opt_u64(opt);
+        for &n in &nums {
+            w.u64_fixed(n);
+        }
+        let mut r = WireReader::new(w.finish());
+        prop_assert_eq!(r.bool().unwrap(), flag);
+        prop_assert_eq!(r.str().unwrap(), s);
+        prop_assert_eq!(r.opt_u64().unwrap(), opt);
+        for &n in &nums {
+            prop_assert_eq!(r.u64_fixed().unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn lpm_protocol_roundtrip(
+        fragment in 0usize..16,
+        bindings in prop::collection::vec(prop::option::of(0u64..10_000), 1..8),
+        crossings in prop::collection::vec((0u64..1000, 0u64..50, 0u64..1000, 0usize..8), 0..4),
+        mask in any::<u64>(),
+    ) {
+        let lpm = LocalPartialMatch {
+            fragment,
+            binding: bindings.iter().map(|o| o.map(TermId)).collect(),
+            crossing: crossings
+                .iter()
+                .map(|&(f, l, t, qe)| {
+                    (EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }, qe)
+                })
+                .collect(),
+            internal_mask: mask,
+        };
+        let batch = vec![lpm.clone(), lpm];
+        let decoded = protocol::decode_lpms(protocol::encode_lpms(&batch)).unwrap();
+        prop_assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn feature_protocol_roundtrip(
+        fragments in 1u64..256,
+        mapping in prop::collection::vec((0u64..1000, 0u64..50, 0u64..1000, 0usize..8), 0..5),
+        sign in any::<u64>(),
+        sources in prop::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let f = LecFeature {
+            fragments,
+            mapping: mapping
+                .iter()
+                .map(|&(a, l, b, qe)| {
+                    (EdgeRef { from: TermId(a), label: TermId(l), to: TermId(b) }, qe)
+                })
+                .collect(),
+            sign,
+            sources,
+        };
+        let decoded =
+            protocol::decode_features(protocol::encode_features(std::slice::from_ref(&f)))
+                .unwrap();
+        prop_assert_eq!(decoded, vec![f]);
+    }
+
+    #[test]
+    fn ntriples_roundtrip(
+        subj in "[a-z]{1,10}",
+        pred in "[a-z]{1,10}",
+        lex in "[ -~]{0,30}",
+        lang in prop::option::of("[a-z]{2}"),
+    ) {
+        let object = match lang {
+            Some(tag) => Term::Literal(Literal::lang(lex.clone(), tag)),
+            None => Term::Literal(Literal::plain(lex.clone())),
+        };
+        let triple = Triple::new(
+            Term::iri(format!("http://s/{subj}")),
+            Term::iri(format!("http://p/{pred}")),
+            object,
+        );
+        let text = triple.to_string();
+        let parsed = gstored::rdf::parse_ntriples_line(&text, 1).unwrap().unwrap();
+        prop_assert_eq!(parsed, triple);
+    }
+
+    #[test]
+    fn sparql_display_reparses(
+        n_edges in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let text = gstored::datagen::random::random_query(n_edges, 4, None, seed);
+        let q = gstored::sparql::parse_query(&text).unwrap();
+        let pretty = q.to_string();
+        let q2 = gstored::sparql::parse_query(&pretty).unwrap();
+        prop_assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn bindings_protocol_roundtrip(
+        rows in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 3),
+            0..20
+        ),
+    ) {
+        let bindings: Vec<Vec<TermId>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| TermId(v)).collect())
+            .collect();
+        let decoded =
+            protocol::decode_bindings(protocol::encode_bindings(&bindings)).unwrap();
+        prop_assert_eq!(decoded, bindings);
+    }
+}

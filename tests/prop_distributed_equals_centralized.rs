@@ -1,0 +1,205 @@
+//! The system's defining correctness property (partitioning tolerance):
+//! for ANY graph, ANY vertex-disjoint partitioning and ANY connected BGP,
+//! distributed evaluation under every engine variant returns exactly the
+//! centralized matches.
+
+use proptest::prelude::*;
+
+use gstored::core::engine::{Engine, EngineConfig, Variant};
+use gstored::datagen::random::{random_graph, random_query, RandomGraphConfig};
+use gstored::partition::{ExplicitPartitioner, PartitionAssignment};
+use gstored::prelude::*;
+use gstored::store::{find_matches, EncodedQuery};
+
+/// Evaluate centrally as the reference.
+fn reference(g: &RdfGraph, query: &QueryGraph) -> Vec<Vec<gstored::rdf::TermId>> {
+    let q = EncodedQuery::encode(query, g.dict()).expect("no predicate projection");
+    let mut m = find_matches(g, &q);
+    m.sort_unstable();
+    m
+}
+
+fn run_distributed(
+    g: &RdfGraph,
+    query: &QueryGraph,
+    assignment: &[usize],
+    sites: usize,
+    variant: Variant,
+    star_fast_path: bool,
+) -> Vec<Vec<gstored::rdf::TermId>> {
+    // Deterministically map the proptest-chosen assignment onto vertices.
+    let mut verts: Vec<_> = g.vertices().collect();
+    verts.sort_unstable();
+    let map: std::collections::HashMap<_, _> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, assignment[i % assignment.len()] % sites))
+        .collect();
+    let dist = DistributedGraph::build_with_assignment(
+        g.clone(),
+        PartitionAssignment { k: sites, of_vertex: map },
+    );
+    assert_eq!(dist.validate(), None, "Definition 1 invariants");
+    let engine = Engine::new(EngineConfig {
+        star_fast_path,
+        ..EngineConfig::variant(variant)
+    });
+    let mut got = engine.run(&dist, query).bindings;
+    got.sort_unstable();
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random graph × random partitioning × random query × every variant.
+    #[test]
+    fn all_variants_match_centralized(
+        graph_seed in 0u64..5000,
+        query_seed in 0u64..5000,
+        assignment in prop::collection::vec(0usize..4, 16),
+        n_edges in 1usize..4,
+        anchored in any::<bool>(),
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 24,
+            edges: 48,
+            predicates: 3,
+            seed: graph_seed,
+        });
+        let anchor = anchored.then(|| gstored::datagen::random::vertex_iri(0));
+        let text = random_query(n_edges, 3, anchor.as_deref(), query_seed);
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).expect("generated query parses"),
+        )
+        .expect("generated query is connected");
+        let expected = reference(&g, &query);
+        for variant in Variant::ALL {
+            let got = run_distributed(&g, &query, &assignment, 4, variant, true);
+            prop_assert_eq!(
+                &got, &expected,
+                "variant {} on {}", variant.label(), text
+            );
+        }
+    }
+
+    /// The star fast path agrees with the general machinery.
+    #[test]
+    fn star_fast_path_equals_general_path(
+        graph_seed in 0u64..5000,
+        assignment in prop::collection::vec(0usize..3, 16),
+        leaves in 1usize..4,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 20,
+            edges: 40,
+            predicates: 2,
+            seed: graph_seed,
+        });
+        // Build an n-leaf star query around a center variable.
+        let mut patterns = Vec::new();
+        for i in 0..leaves {
+            let p = gstored::datagen::random::predicate_iri(i % 2);
+            if i % 2 == 0 {
+                patterns.push(format!("?c <{p}> ?l{i} ."));
+            } else {
+                patterns.push(format!("?l{i} <{p}> ?c ."));
+            }
+        }
+        let text = format!("SELECT * WHERE {{ {} }}", patterns.join(" "));
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).unwrap(),
+        )
+        .unwrap();
+        let expected = reference(&g, &query);
+        let fast = run_distributed(&g, &query, &assignment, 3, Variant::Full, true);
+        let slow = run_distributed(&g, &query, &assignment, 3, Variant::Full, false);
+        prop_assert_eq!(&fast, &expected, "fast path diverged on {}", text);
+        prop_assert_eq!(&slow, &expected, "general path diverged on {}", text);
+    }
+
+    /// Varying the number of sites never changes results.
+    #[test]
+    fn site_count_is_transparent(
+        graph_seed in 0u64..2000,
+        query_seed in 0u64..2000,
+        assignment in prop::collection::vec(0usize..8, 16),
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 18,
+            edges: 36,
+            predicates: 3,
+            seed: graph_seed,
+        });
+        let text = random_query(2, 3, None, query_seed);
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).unwrap(),
+        )
+        .unwrap();
+        let expected = reference(&g, &query);
+        for sites in [1usize, 2, 5, 8] {
+            let got = run_distributed(&g, &query, &assignment, sites, Variant::Full, true);
+            prop_assert_eq!(&got, &expected, "{} sites on {}", sites, text);
+        }
+    }
+}
+
+/// Adversarial fixed layouts that historically break partial evaluation:
+/// every vertex alone; alternating sites along chains; one giant site.
+#[test]
+fn adversarial_partitionings_on_chain() {
+    // Chain 0->1->...->9 with one predicate; path queries of length 1..4.
+    let mut triples = Vec::new();
+    for i in 0..9 {
+        triples.push(gstored::rdf::Triple::new(
+            Term::iri(format!("http://c/{i}")),
+            Term::iri("http://p"),
+            Term::iri(format!("http://c/{}", i + 1)),
+        ));
+    }
+    let mut g = RdfGraph::from_triples(triples);
+    g.finalize();
+
+    for len in 1..=4usize {
+        let patterns: Vec<String> = (0..len)
+            .map(|i| format!("?v{i} <http://p> ?v{} .", i + 1))
+            .collect();
+        let text = format!("SELECT * WHERE {{ {} }}", patterns.join(" "));
+        let query =
+            QueryGraph::from_query(&gstored::sparql::parse_query(&text).unwrap()).unwrap();
+        let q = EncodedQuery::encode(&query, g.dict()).unwrap();
+        let mut expected = find_matches(&g, &q);
+        expected.sort_unstable();
+        assert_eq!(expected.len(), 10 - len, "chain sanity: {}", len);
+
+        for layout in 0..3 {
+            let mut map = std::collections::HashMap::new();
+            let mut verts: Vec<_> = g.vertices().collect();
+            verts.sort_unstable();
+            for (i, v) in verts.iter().enumerate() {
+                let site = match layout {
+                    0 => i % 10,            // every vertex on its own site
+                    1 => i % 2,             // alternating
+                    _ => usize::from(i == 0), // one vertex isolated
+                };
+                map.insert(*v, site);
+            }
+            let k = map.values().copied().max().unwrap() + 1;
+            let dist = DistributedGraph::build(
+                g.clone(),
+                &ExplicitPartitioner::new(k, map),
+            );
+            assert_eq!(dist.validate(), None);
+            for variant in Variant::ALL {
+                let mut got =
+                    Engine::with_variant(variant).run(&dist, &query).bindings;
+                got.sort_unstable();
+                assert_eq!(
+                    got, expected,
+                    "layout {layout}, len {len}, {}",
+                    variant.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Definition 1 invariants and cost-model sanity under every partitioner
+//! on random graphs.
+
+use proptest::prelude::*;
+
+use gstored::datagen::random::{random_graph, RandomGraphConfig};
+use gstored::partition::cost::partitioning_cost;
+use gstored::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Every strategy produces a valid vertex-disjoint partitioning with
+    /// replicated crossing edges, for any graph and site count.
+    #[test]
+    fn definition1_invariants_hold(
+        seed in 0u64..10_000,
+        vertices in 2usize..60,
+        edges in 1usize..120,
+        sites in 1usize..7,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices,
+            edges,
+            predicates: 3,
+            seed,
+        });
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner::new(sites)),
+            Box::new(SemanticHashPartitioner::new(sites)),
+            Box::new(MetisLikePartitioner::new(sites)),
+        ];
+        for p in &partitioners {
+            let dist = DistributedGraph::build(g.clone(), p.as_ref());
+            prop_assert_eq!(dist.validate(), None, "{} violated Definition 1", p.name());
+            prop_assert_eq!(dist.fragment_count(), sites);
+        }
+    }
+
+    /// Cost-model identities: zero cost iff no crossing edges; the
+    /// expectation term is exactly Σ deg_c(v)² / (2|Ec|).
+    #[test]
+    fn cost_model_identities(
+        seed in 0u64..10_000,
+        sites in 1usize..5,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 30,
+            edges: 60,
+            predicates: 2,
+            seed,
+        });
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(sites));
+        let report = partitioning_cost(&dist);
+        let crossing = dist.crossing_edges();
+        if crossing.is_empty() {
+            prop_assert_eq!(report.cost, 0.0);
+        } else {
+            // Recompute the expectation independently.
+            let mut deg: std::collections::HashMap<_, usize> =
+                std::collections::HashMap::new();
+            for e in &crossing {
+                *deg.entry(e.from).or_insert(0) += 1;
+                *deg.entry(e.to).or_insert(0) += 1;
+            }
+            let expect: f64 = deg.values().map(|&d| (d * d) as f64).sum::<f64>()
+                / (2.0 * crossing.len() as f64);
+            prop_assert!((report.expectation - expect).abs() < 1e-9);
+            prop_assert!(report.expectation >= 0.5, "each edge contributes ≥ 2·1²/(2·|Ec|)");
+            prop_assert!(report.cost >= report.expectation);
+        }
+        // Fragment edge sizes are consistent with the fragments.
+        let sizes: Vec<usize> = dist.fragments.iter().map(|f| f.edge_size()).collect();
+        prop_assert_eq!(report.fragment_edge_sizes, sizes);
+    }
+
+    /// Fragments jointly conserve edges: every edge appears as exactly one
+    /// internal copy or exactly two crossing replicas.
+    #[test]
+    fn edge_conservation(
+        seed in 0u64..10_000,
+        sites in 2usize..6,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 25,
+            edges: 50,
+            predicates: 3,
+            seed,
+        });
+        let total = g.edge_count();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(sites));
+        let internal: usize = dist.fragments.iter().map(|f| f.internal_edges.len()).sum();
+        let crossing: usize = dist.fragments.iter().map(|f| f.crossing_edges.len()).sum();
+        prop_assert_eq!(crossing % 2, 0);
+        prop_assert_eq!(internal + crossing / 2, total);
+        prop_assert_eq!(dist.crossing_edges().len(), crossing / 2);
+    }
+}
