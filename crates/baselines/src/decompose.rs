@@ -24,12 +24,9 @@ pub fn decompose_stars(q: &EncodedQuery) -> Vec<Star> {
     while covered.iter().any(|&c| !c) {
         // Vertex covering the most uncovered edges.
         let center = (0..q.vertex_count())
-            .max_by_key(|&v| {
-                q.incident_edges(v).filter(|&e| !covered[e]).count()
-            })
+            .max_by_key(|&v| q.incident_edges(v).filter(|&e| !covered[e]).count())
             .expect("query has vertices");
-        let edges: Vec<usize> =
-            q.incident_edges(center).filter(|&e| !covered[e]).collect();
+        let edges: Vec<usize> = q.incident_edges(center).filter(|&e| !covered[e]).collect();
         assert!(!edges.is_empty(), "center must cover something");
         for &e in &edges {
             covered[e] = true;
@@ -52,7 +49,11 @@ mod tests {
         // Encode against a dictionary holding the predicates used below.
         let mut g = RdfGraph::new();
         for p in ["http://p", "http://q", "http://r", "http://s"] {
-            g.insert(&Triple::new(Term::iri("http://x"), Term::iri(p), Term::iri("http://y")));
+            g.insert(&Triple::new(
+                Term::iri("http://x"),
+                Term::iri(p),
+                Term::iri("http://y"),
+            ));
         }
         let q = QueryGraph::from_query(&parse_query(text).unwrap()).unwrap();
         EncodedQuery::encode(&q, g.dict()).unwrap()

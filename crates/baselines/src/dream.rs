@@ -37,15 +37,13 @@ impl Baseline for DreamLike {
         "DREAM"
     }
 
-    fn run(
-        &self,
-        graph: &RdfGraph,
-        dist: &DistributedGraph,
-        query: &QueryGraph,
-    ) -> BaselineOutput {
+    fn run(&self, graph: &RdfGraph, dist: &DistributedGraph, query: &QueryGraph) -> BaselineOutput {
         let mut metrics = QueryMetrics::default();
         let Some(q) = EncodedQuery::encode(query, dist.dict()) else {
-            return BaselineOutput { bindings: Vec::new(), metrics };
+            return BaselineOutput {
+                bindings: Vec::new(),
+                metrics,
+            };
         };
         let cluster = Cluster::new(dist.fragment_count());
         if q.edge_count() == 0 {
@@ -102,9 +100,7 @@ mod tests {
     use gstored_sparql::parse_query;
 
     fn setup() -> (RdfGraph, DistributedGraph) {
-        let t = |s: &str, p: &str, o: &str| {
-            Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
-        };
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
         let mut g = RdfGraph::from_triples(vec![
             t("http://a", "http://p", "http://b"),
             t("http://b", "http://q", "http://c"),

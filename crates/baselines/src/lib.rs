@@ -61,7 +61,10 @@ impl Default for CostModel {
 impl CostModel {
     /// A cost model with no fixed overheads (for correctness tests).
     pub fn zero() -> Self {
-        CostModel { stage_overhead: Duration::ZERO, superstep_overhead: Duration::ZERO }
+        CostModel {
+            stage_overhead: Duration::ZERO,
+            superstep_overhead: Duration::ZERO,
+        }
     }
 }
 
@@ -83,10 +86,5 @@ pub trait Baseline {
     /// Evaluate the query. `graph` is the full RDF graph (DREAM replicates
     /// it everywhere; the cloud systems hold it in HDFS), `dist` the
     /// partitioned view (used for communication accounting).
-    fn run(
-        &self,
-        graph: &RdfGraph,
-        dist: &DistributedGraph,
-        query: &QueryGraph,
-    ) -> BaselineOutput;
+    fn run(&self, graph: &RdfGraph, dist: &DistributedGraph, query: &QueryGraph) -> BaselineOutput;
 }

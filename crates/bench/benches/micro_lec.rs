@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     let dataset = datasets::yago(8_000);
     let dist = experiments::partition(dataset.graph.clone(), "hash", 4);
     // YQ3: the LPM-heavy query.
-    let q = dataset.queries.iter().find(|q| q.id == "YQ3").expect("YQ3 exists");
+    let q = dataset
+        .queries
+        .iter()
+        .find(|q| q.id == "YQ3")
+        .expect("YQ3 exists");
     let query = experiments::query_graph(q);
     let eq = EncodedQuery::encode(&query, dist.dict()).expect("encodable");
     let filter = CandidateFilter::none(eq.vertex_count());
@@ -22,30 +26,23 @@ fn bench(c: &mut Criterion) {
         .iter()
         .flat_map(|f| enumerate_local_partial_matches(f, &eq, &filter))
         .collect();
-    let query_edges: Vec<(usize, usize)> =
-        eq.edges().iter().map(|e| (e.from, e.to)).collect();
+    let query_edges: Vec<(usize, usize)> = eq.edges().iter().map(|e| (e.from, e.to)).collect();
     let (features, _) = compute_lec_features(&lpms, 0);
 
     let mut group = c.benchmark_group("micro_lec");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
     group.bench_function("algorithm1_compress", |b| {
         b.iter(|| criterion::black_box(compute_lec_features(&lpms, 0).0.len()))
     });
     group.bench_function("algorithm2_prune", |b| {
         b.iter(|| {
-            criterion::black_box(
-                prune_features(&features, eq.vertex_count(), &query_edges).len(),
-            )
+            criterion::black_box(prune_features(&features, eq.vertex_count(), &query_edges).len())
         })
     });
     group.bench_function("algorithm3_lec_assembly", |b| {
-        b.iter(|| {
-            criterion::black_box(
-                assemble_lec(&lpms, eq.vertex_count(), &query_edges).len(),
-            )
-        })
+        b.iter(|| criterion::black_box(assemble_lec(&lpms, eq.vertex_count(), &query_edges).len()))
     });
     group.bench_function("basic_assembly", |b| {
         b.iter(|| criterion::black_box(assemble_basic(&lpms, eq.vertex_count()).len()))

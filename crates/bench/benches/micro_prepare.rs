@@ -1,0 +1,47 @@
+//! Amortization microbench: prepare-once-execute-N vs parse-per-execution
+//! on the LUBM-like workload.
+//!
+//! Three series per query:
+//!
+//! * `prepare_once_execute` — the production path: a cached
+//!   `PreparedQuery` re-executed (engine stages only);
+//! * `parse_per_execution`  — the legacy shape: parse + lower + encode +
+//!   analyze on every call (`GStoreD::query`);
+//! * `prepare_only`         — the amortized work by itself, to show what
+//!   each `parse_per_execution` call wastes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored::prelude::*;
+use gstored_bench::{datasets, experiments};
+
+fn bench(c: &mut Criterion) {
+    let scale = 8_000;
+    let sites = 4;
+    let dataset = datasets::lubm(scale);
+    let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
+    let db = GStoreD::builder()
+        .distributed(dist)
+        .variant(Variant::Full)
+        .build()
+        .expect("hash partitioning is valid");
+    for q in &dataset.queries {
+        let mut group = c.benchmark_group(format!("micro_prepare/{}", q.id));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        let prepared = db.prepare(&q.text).expect("benchmark query prepares");
+        group.bench_function("prepare_once_execute", |b| {
+            b.iter(|| criterion::black_box(prepared.execute().unwrap().len()))
+        });
+        group.bench_function("parse_per_execution", |b| {
+            b.iter(|| criterion::black_box(db.query(&q.text).unwrap().len()))
+        });
+        group.bench_function("prepare_only", |b| {
+            b.iter(|| criterion::black_box(db.prepare(&q.text).unwrap().variables().len()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

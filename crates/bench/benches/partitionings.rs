@@ -12,15 +12,16 @@ fn bench(c: &mut Criterion) {
     for dataset in [datasets::lubm(scale), datasets::yago(scale)] {
         for strategy in ["hash", "semantic", "metis"] {
             let dist = experiments::partition(dataset.graph.clone(), strategy, sites);
-            let mut group =
-                c.benchmark_group(format!("fig10/{}/{strategy}", dataset.name));
+            let mut group = c.benchmark_group(format!("fig10/{}/{strategy}", dataset.name));
             group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_millis(900));
+            group.warm_up_time(std::time::Duration::from_millis(300));
+            group.measurement_time(std::time::Duration::from_millis(900));
             for q in dataset.queries.iter().filter(|q| !q.is_star()) {
-                let query = experiments::query_graph(q);
+                let plan = experiments::prepare(&dist, q);
                 group.bench_function(q.id, |b| {
-                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                    b.iter(|| {
+                        criterion::black_box(engine.execute(&dist, &plan).unwrap().rows.len())
+                    })
                 });
             }
             group.finish();

@@ -11,18 +11,20 @@ fn bench(c: &mut Criterion) {
     let engine = Engine::new(EngineConfig::variant(Variant::Full));
     let mut group = c.benchmark_group("fig11/LUBM");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
     for scale in [1usize, 5, 10] {
         let dataset = datasets::lubm(base * scale);
         let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
         for q in &dataset.queries {
-            let query = experiments::query_graph(q);
+            let plan = experiments::prepare(&dist, q);
             group.bench_with_input(
                 BenchmarkId::new(q.id, format!("{scale}x")),
                 &scale,
                 |b, _| {
-                    b.iter(|| criterion::black_box(engine.run(&dist, &query).rows.len()))
+                    b.iter(|| {
+                        criterion::black_box(engine.execute(&dist, &plan).unwrap().rows.len())
+                    })
                 },
             );
         }

@@ -9,17 +9,21 @@ fn bench(c: &mut Criterion) {
     let scale = 8_000;
     let sites = 4;
     let engine = Engine::new(EngineConfig::variant(Variant::Full));
-    for dataset in [datasets::lubm(scale), datasets::yago(scale), datasets::btc(scale)] {
+    for dataset in [
+        datasets::lubm(scale),
+        datasets::yago(scale),
+        datasets::btc(scale),
+    ] {
         let dist = experiments::partition(dataset.graph.clone(), "hash", sites);
         let mut group = c.benchmark_group(format!("table_stage/{}", dataset.name));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
         group.measurement_time(std::time::Duration::from_millis(900));
         for q in &dataset.queries {
-            let query = experiments::query_graph(q);
+            let plan = experiments::prepare(&dist, q);
             group.bench_function(q.id, |b| {
                 b.iter(|| {
-                    let out = engine.run(&dist, &query);
+                    let out = engine.execute(&dist, &plan).unwrap();
                     criterion::black_box(out.rows.len())
                 })
             });

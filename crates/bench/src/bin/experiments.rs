@@ -67,15 +67,24 @@ fn main() {
 
     if wants("table1") {
         let d = datasets::lubm(args.scale);
-        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+        emit(
+            experiments::table_stage_breakdown(&d, args.sites),
+            args.markdown,
+        );
     }
     if wants("table2") {
         let d = datasets::yago(args.scale);
-        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+        emit(
+            experiments::table_stage_breakdown(&d, args.sites),
+            args.markdown,
+        );
     }
     if wants("table3") {
         let d = datasets::btc(args.scale);
-        emit(experiments::table_stage_breakdown(&d, args.sites), args.markdown);
+        emit(
+            experiments::table_stage_breakdown(&d, args.sites),
+            args.markdown,
+        );
     }
     if wants("table4") {
         let lubm = datasets::lubm(args.scale);
@@ -87,12 +96,18 @@ fn main() {
     }
     if wants("fig9") {
         for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
-            emit(experiments::fig_optimizations(&d, args.sites), args.markdown);
+            emit(
+                experiments::fig_optimizations(&d, args.sites),
+                args.markdown,
+            );
         }
     }
     if wants("fig10") {
         for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
-            emit(experiments::fig_partitionings(&d, args.sites), args.markdown);
+            emit(
+                experiments::fig_partitionings(&d, args.sites),
+                args.markdown,
+            );
         }
     }
     if wants("fig11") {
@@ -114,6 +129,9 @@ fn main() {
         // Not in the paper: the Algorithm 4 bit-vector size trade-off,
         // measurable here because shipment accounting is byte-accurate.
         let d = datasets::yago(args.scale);
-        emit(experiments::ablation_candidate_bits(&d, args.sites), args.markdown);
+        emit(
+            experiments::ablation_candidate_bits(&d, args.sites),
+            args.markdown,
+        );
     }
 }

@@ -22,26 +22,42 @@ impl Dataset {
     fn new(name: &'static str, graph: RdfGraph, queries: Vec<BenchQuery>) -> Self {
         let mut graph = graph;
         graph.finalize();
-        Dataset { name, graph, queries }
+        Dataset {
+            name,
+            graph,
+            queries,
+        }
     }
 }
 
 /// LUBM-like dataset, around `target_triples` triples.
 pub fn lubm(target_triples: usize) -> Dataset {
     let triples = lubm::generate(&LubmConfig::with_target_triples(target_triples, 42));
-    Dataset::new("LUBM", RdfGraph::from_triples(triples), queries::lubm_queries())
+    Dataset::new(
+        "LUBM",
+        RdfGraph::from_triples(triples),
+        queries::lubm_queries(),
+    )
 }
 
 /// YAGO2-like dataset, around `target_triples` triples.
 pub fn yago(target_triples: usize) -> Dataset {
     let triples = yago::generate(&YagoConfig::with_target_triples(target_triples, 7));
-    Dataset::new("YAGO2", RdfGraph::from_triples(triples), queries::yago_queries())
+    Dataset::new(
+        "YAGO2",
+        RdfGraph::from_triples(triples),
+        queries::yago_queries(),
+    )
 }
 
 /// BTC-like dataset, around `target_triples` triples.
 pub fn btc(target_triples: usize) -> Dataset {
     let triples = btc::generate(&BtcConfig::with_target_triples(target_triples, 11));
-    Dataset::new("BTC", RdfGraph::from_triples(triples), queries::btc_queries())
+    Dataset::new(
+        "BTC",
+        RdfGraph::from_triples(triples),
+        queries::btc_queries(),
+    )
 }
 
 /// The default experiment scale (triples per dataset). Small enough for

@@ -8,10 +8,11 @@ use gstored_baselines::s2rdf::S2rdfLike;
 use gstored_baselines::s2x::S2xLike;
 use gstored_baselines::Baseline;
 use gstored_core::engine::{Engine, EngineConfig, Variant};
+use gstored_core::prepared::PreparedPlan;
 use gstored_datagen::BenchQuery;
 use gstored_partition::{
-    cost::partitioning_cost, DistributedGraph, HashPartitioner, MetisLikePartitioner,
-    Partitioner, SemanticHashPartitioner,
+    cost::partitioning_cost, DistributedGraph, HashPartitioner, MetisLikePartitioner, Partitioner,
+    SemanticHashPartitioner,
 };
 use gstored_rdf::RdfGraph;
 use gstored_sparql::{parse_query, QueryGraph};
@@ -21,10 +22,16 @@ use crate::format::{kib, ms, Table};
 
 /// Parse a benchmark query into its query graph.
 pub fn query_graph(q: &BenchQuery) -> QueryGraph {
-    QueryGraph::from_query(&parse_query(&q.text).unwrap_or_else(|e| {
-        panic!("{}: {e}", q.id)
-    }))
-    .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+    QueryGraph::from_query(&parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id)))
+        .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+}
+
+/// Prepare a benchmark query against a distributed graph's dictionary:
+/// parse, lower, encode and analyze exactly once. The returned plan is
+/// reusable across any number of executions (and across engines, e.g.
+/// the four variants of Fig. 9).
+pub fn prepare(dist: &DistributedGraph, q: &BenchQuery) -> PreparedPlan {
+    PreparedPlan::new(query_graph(q), dist.dict()).unwrap_or_else(|e| panic!("{}: {e}", q.id))
 }
 
 /// Partition a dataset with the named strategy.
@@ -65,12 +72,18 @@ pub fn table_stage_breakdown(dataset: &Dataset, sites: usize) -> Table {
         ],
     );
     for q in &dataset.queries {
-        let query = query_graph(q);
-        let out = engine.run(&dist, &query);
+        let plan = prepare(&dist, q);
+        let out = engine
+            .execute(&dist, &plan)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
         let m = &out.metrics;
         table.row(vec![
             q.id.to_string(),
-            if q.expected_selective { "yes".into() } else { "no".into() },
+            if q.expected_selective {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             ms(m.candidates.response_time()),
             kib(m.candidates.bytes_shipped),
             ms(m.partial_evaluation.response_time()),
@@ -114,11 +127,14 @@ pub fn fig_optimizations(dataset: &Dataset, sites: usize) -> Table {
         &["Query", "Basic", "LA", "LO", "Full", "#Matches"],
     );
     for q in dataset.queries.iter().filter(|q| !q.is_star()) {
-        let query = query_graph(q);
+        // One prepared plan serves all four variants.
+        let plan = prepare(&dist, q);
         let mut cells = vec![q.id.to_string()];
         let mut matches = 0u64;
         for variant in Variant::ALL {
-            let out = Engine::with_variant(variant).run(&dist, &query);
+            let out = Engine::with_variant(variant)
+                .execute(&dist, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
             cells.push(ms(out.metrics.total_time()));
             matches = out.metrics.total_matches();
         }
@@ -131,7 +147,10 @@ pub fn fig_optimizations(dataset: &Dataset, sites: usize) -> Table {
 /// Fig. 10: the full engine across the three partitioning strategies.
 pub fn fig_partitionings(dataset: &Dataset, sites: usize) -> Table {
     let mut table = Table::new(
-        format!("Partitioning strategies on {} (total ms | ship KiB)", dataset.name),
+        format!(
+            "Partitioning strategies on {} (total ms | ship KiB)",
+            dataset.name
+        ),
         &["Query", "Hash", "Semantic Hash", "METIS-like"],
     );
     let dists: Vec<(&str, DistributedGraph)> = ["hash", "semantic", "metis"]
@@ -140,10 +159,12 @@ pub fn fig_partitionings(dataset: &Dataset, sites: usize) -> Table {
         .collect();
     let engine = Engine::new(EngineConfig::variant(Variant::Full));
     for q in dataset.queries.iter().filter(|q| !q.is_star()) {
-        let query = query_graph(q);
         let mut cells = vec![q.id.to_string()];
         for (_, dist) in &dists {
-            let out = engine.run(dist, &query);
+            let plan = prepare(dist, q);
+            let out = engine
+                .execute(dist, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
             cells.push(format!(
                 "{} | {}",
                 ms(out.metrics.total_time()),
@@ -167,19 +188,26 @@ pub fn fig_scalability(
         &["Query", "Star?", "1x", "5x", "10x"],
     );
     let scales = [1usize, 5, 10];
-    let datasets: Vec<Dataset> =
-        scales.iter().map(|s| build(base_triples * s)).collect();
+    let datasets: Vec<Dataset> = scales.iter().map(|s| build(base_triples * s)).collect();
     let dists: Vec<DistributedGraph> = datasets
         .iter()
         .map(|d| partition(d.graph.clone(), "hash", sites))
         .collect();
     let engine = Engine::new(EngineConfig::variant(Variant::Full));
     for (qi, q) in datasets[0].queries.iter().enumerate() {
-        let mut cells =
-            vec![q.id.to_string(), if q.is_star() { "yes".into() } else { "no".into() }];
+        let mut cells = vec![
+            q.id.to_string(),
+            if q.is_star() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ];
         for (di, dist) in dists.iter().enumerate() {
-            let query = query_graph(&datasets[di].queries[qi]);
-            let out = engine.run(dist, &query);
+            let plan = prepare(dist, &datasets[di].queries[qi]);
+            let out = engine
+                .execute(dist, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
             cells.push(ms(out.metrics.total_time()));
         }
         table.row(cells);
@@ -224,7 +252,10 @@ pub fn fig_comparison(dataset: &Dataset, sites: usize) -> Table {
             cells.push(ms(out.metrics.total_time()));
         }
         for (_, dist) in &dists {
-            let out = engine.run(dist, &query);
+            let plan = prepare(dist, q);
+            let out = engine
+                .execute(dist, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
             counts.entry(q.id).or_default().push(out.bindings.len());
             cells.push(ms(out.metrics.total_time()));
         }
@@ -248,16 +279,25 @@ pub fn ablation_candidate_bits(dataset: &Dataset, sites: usize) -> Table {
     let dist = partition(dataset.graph.clone(), "hash", sites);
     let mut table = Table::new(
         format!("Ablation: candidate bit-vector size on {}", dataset.name),
-        &["Query", "Bits/var", "Cand. ship (KiB)", "#LPM", "Total (ms)"],
+        &[
+            "Query",
+            "Bits/var",
+            "Cand. ship (KiB)",
+            "#LPM",
+            "Total (ms)",
+        ],
     );
     for q in dataset.queries.iter().filter(|q| !q.is_star()) {
-        let query = query_graph(q);
+        // One prepared plan serves every bit-vector size.
+        let plan = prepare(&dist, q);
         for bits in [1usize << 10, 1 << 13, 1 << 16, 1 << 19] {
             let engine = Engine::new(EngineConfig {
                 candidate_bits: bits,
                 ..EngineConfig::variant(Variant::Full)
             });
-            let out = engine.run(&dist, &query);
+            let out = engine
+                .execute(&dist, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
             table.row(vec![
                 q.id.to_string(),
                 format!("{}Ki", bits >> 10),
@@ -322,13 +362,11 @@ mod tests {
         assert_eq!(t.rows.len(), d.queries.len() * 4);
         // Shipment grows monotonically with bit count within each query.
         for chunk in t.rows.chunks(4) {
-            let ship: Vec<f64> =
-                chunk.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
+            let ship: Vec<f64> = chunk.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
             assert!(ship.windows(2).all(|w| w[0] <= w[1]), "{ship:?}");
             // LPM counts never increase with more bits (fewer false
             // positives can only prune more).
-            let lpms: Vec<u64> =
-                chunk.iter().map(|r| r[3].parse::<u64>().unwrap()).collect();
+            let lpms: Vec<u64> = chunk.iter().map(|r| r[3].parse::<u64>().unwrap()).collect();
             assert!(lpms.windows(2).all(|w| w[0] >= w[1]), "{lpms:?}");
         }
     }

@@ -55,7 +55,10 @@ pub fn assemble_lec(
                     features.push(f);
                 }
             }
-            FeatureGroup { sign: *sign, features }
+            FeatureGroup {
+                sign: *sign,
+                features,
+            }
         })
         .collect();
     let adj = build_join_graph(&feature_groups, query_edges);
@@ -69,8 +72,7 @@ pub fn assemble_lec(
         else {
             break;
         };
-        let seed: Vec<LocalPartialMatch> =
-            groups[vmin].1.iter().map(|m| (*m).clone()).collect();
+        let seed: Vec<LocalPartialMatch> = groups[vmin].1.iter().map(|m| (*m).clone()).collect();
         com_par_join(
             &mut vec![vmin],
             seed,
@@ -152,10 +154,7 @@ fn com_par_join(
 /// LPMs internally matching the pivot can never join). Intermediates then
 /// join against every original LPM, left-associated, with no LECSign
 /// grouping — the join space Algorithms 2/3 shrink.
-pub fn assemble_basic(
-    lpms: &[LocalPartialMatch],
-    n_query_vertices: usize,
-) -> Vec<MatchBinding> {
+pub fn assemble_basic(lpms: &[LocalPartialMatch], n_query_vertices: usize) -> Vec<MatchBinding> {
     if lpms.is_empty() {
         return Vec::new();
     }
@@ -202,7 +201,11 @@ mod tests {
     use gstored_rdf::{EdgeRef, TermId};
 
     fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
-        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+        EdgeRef {
+            from: TermId(f),
+            label: TermId(l),
+            to: TermId(t),
+        }
     }
 
     fn lpm(
@@ -235,12 +238,37 @@ mod tests {
         let e_14_13 = edge(14, 101, 13);
         let lpms = vec![
             // F1 (fragment 0):
-            lpm(0, vec![Some(6), None, Some(1), None, Some(3)], vec![(e_1_6, 1)], &[2, 4]),
-            lpm(0, vec![Some(12), None, Some(1), None, Some(3)], vec![(e_1_12, 1)], &[2, 4]),
-            lpm(0, vec![Some(6), Some(5), None, Some(4), None], vec![(e_6_5, 2)], &[1, 3]),
+            lpm(
+                0,
+                vec![Some(6), None, Some(1), None, Some(3)],
+                vec![(e_1_6, 1)],
+                &[2, 4],
+            ),
+            lpm(
+                0,
+                vec![Some(12), None, Some(1), None, Some(3)],
+                vec![(e_1_12, 1)],
+                &[2, 4],
+            ),
+            lpm(
+                0,
+                vec![Some(6), Some(5), None, Some(4), None],
+                vec![(e_6_5, 2)],
+                &[1, 3],
+            ),
             // F2 (fragment 1):
-            lpm(1, vec![Some(6), Some(8), Some(1), Some(9), None], vec![(e_1_6, 1)], &[0, 1, 3]),
-            lpm(1, vec![Some(6), Some(10), Some(1), Some(11), None], vec![(e_1_6, 1)], &[0, 1, 3]),
+            lpm(
+                1,
+                vec![Some(6), Some(8), Some(1), Some(9), None],
+                vec![(e_1_6, 1)],
+                &[0, 1, 3],
+            ),
+            lpm(
+                1,
+                vec![Some(6), Some(10), Some(1), Some(11), None],
+                vec![(e_1_6, 1)],
+                &[0, 1, 3],
+            ),
             lpm(
                 1,
                 vec![Some(6), Some(5), Some(1), None, None],
@@ -248,8 +276,18 @@ mod tests {
                 &[0],
             ),
             // F3 (fragment 2):
-            lpm(2, vec![Some(12), Some(13), Some(1), Some(17), None], vec![(e_1_12, 1)], &[0, 1, 3]),
-            lpm(2, vec![Some(14), Some(13), None, Some(17), None], vec![(e_14_13, 2)], &[1, 3]),
+            lpm(
+                2,
+                vec![Some(12), Some(13), Some(1), Some(17), None],
+                vec![(e_1_12, 1)],
+                &[0, 1, 3],
+            ),
+            lpm(
+                2,
+                vec![Some(14), Some(13), None, Some(17), None],
+                vec![(e_14_13, 2)],
+                &[1, 3],
+            ),
         ];
         (lpms, qedges)
     }
@@ -286,8 +324,11 @@ mod tests {
         // PM2_3 (the one Algorithm 2 prunes) contributes to no match:
         // removing it leaves the result identical.
         let (lpms, qedges) = paper_lpms();
-        let without: Vec<LocalPartialMatch> =
-            lpms.iter().filter(|m| m.binding[0] != Some(TermId(14))).cloned().collect();
+        let without: Vec<LocalPartialMatch> = lpms
+            .iter()
+            .filter(|m| m.binding[0] != Some(TermId(14)))
+            .cloned()
+            .collect();
         assert_eq!(without.len(), lpms.len() - 1);
         assert_eq!(assemble_lec(&without, 5, &qedges), expected());
     }

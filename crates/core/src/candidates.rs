@@ -26,8 +26,7 @@ pub fn exchange_candidates(
 ) -> (CandidateFilter, StageMetrics) {
     let n = q.vertex_count();
     // Variable vertices get bit vectors; constants are checked directly.
-    let var_vertices: Vec<usize> =
-        (0..n).filter(|&v| q.vertex(v).is_var()).collect();
+    let var_vertices: Vec<usize> = (0..n).filter(|&v| q.vertex(v).is_var()).collect();
 
     // Site side: find C(Q, v) and hash into B'_v (lines 10–15).
     let (site_vectors, mut stage) = cluster.scatter(|site| {
@@ -46,8 +45,10 @@ pub fn exchange_candidates(
 
     // Ship every site's vectors to the coordinator (lines 4–6).
     for vectors in &site_vectors {
-        let bytes: u64 =
-            vectors.iter().map(|bv| protocol::encode_bit_vector(bv).len() as u64).sum();
+        let bytes: u64 = vectors
+            .iter()
+            .map(|bv| protocol::encode_bit_vector(bv).len() as u64)
+            .sum();
         cluster.charge_shipment(&mut stage, vectors.len() as u64, bytes);
     }
 
@@ -65,8 +66,10 @@ pub fn exchange_candidates(
     });
 
     // Broadcast the result to every site (lines 7–8).
-    let broadcast_bytes: u64 =
-        unioned.iter().map(|bv| protocol::encode_bit_vector(bv).len() as u64).sum();
+    let broadcast_bytes: u64 = unioned
+        .iter()
+        .map(|bv| protocol::encode_bit_vector(bv).len() as u64)
+        .sum();
     cluster.charge_shipment(
         &mut stage,
         (cluster.sites() * unioned.len()) as u64,
@@ -98,10 +101,9 @@ mod tests {
             ));
         }
         let g = RdfGraph::from_triples(triples);
-        let qg = QueryGraph::from_query(
-            &parse_query("SELECT * WHERE { ?x <http://p> ?y }").unwrap(),
-        )
-        .unwrap();
+        let qg =
+            QueryGraph::from_query(&parse_query("SELECT * WHERE { ?x <http://p> ?y }").unwrap())
+                .unwrap();
         let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
         let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
         (dist, q)
@@ -153,7 +155,10 @@ mod tests {
         let cluster = Cluster::new(2).with_network(NetworkModel::instant());
         let (filter, _) = exchange_candidates(&cluster, &dist, &q, 1024);
         assert!(filter.extended_bits[0].is_some(), "?x is a variable");
-        assert!(filter.extended_bits[1].is_none(), "constant needs no filter");
+        assert!(
+            filter.extended_bits[1].is_none(),
+            "constant needs no filter"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::collections::HashSet;
 use gstored_net::{Cluster, NetworkModel, QueryMetrics};
 use gstored_partition::DistributedGraph;
 use gstored_rdf::{Term, VertexId};
-use gstored_sparql::{analysis, QueryGraph};
+use gstored_sparql::QueryGraph;
 use gstored_store::candidates::CandidateFilter;
 use gstored_store::{
     enumerate_local_partial_matches, find_star_matches, local_complete_matches, EncodedQuery,
@@ -32,6 +32,7 @@ use crate::assembly::{assemble_basic, assemble_lec};
 use crate::candidates::exchange_candidates;
 use crate::error::EngineError;
 use crate::lec::compute_lec_features;
+use crate::prepared::PreparedPlan;
 use crate::protocol;
 use crate::prune::prune_features;
 
@@ -50,8 +51,12 @@ pub enum Variant {
 
 impl Variant {
     /// All variants, in the order of Fig. 9's legend.
-    pub const ALL: [Variant; 4] =
-        [Variant::Basic, Variant::LecAssembly, Variant::LecOptimization, Variant::Full];
+    pub const ALL: [Variant; 4] = [
+        Variant::Basic,
+        Variant::LecAssembly,
+        Variant::LecOptimization,
+        Variant::Full,
+    ];
 
     /// The paper's label for the variant.
     pub fn label(&self) -> &'static str {
@@ -104,7 +109,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Config for a specific variant with defaults otherwise.
     pub fn variant(v: Variant) -> Self {
-        EngineConfig { variant: v, ..Default::default() }
+        EngineConfig {
+            variant: v,
+            ..Default::default()
+        }
     }
 }
 
@@ -120,11 +128,11 @@ pub struct QueryOutput {
 }
 
 impl QueryOutput {
-    /// Decode the projected rows to terms.
-    pub fn decoded_rows(&self, dist: &DistributedGraph) -> Vec<Vec<Term>> {
+    /// Decode the projected rows to terms against the graph's dictionary.
+    pub fn decoded_rows(&self, dict: &gstored_rdf::Dictionary) -> Vec<Vec<Term>> {
         self.rows
             .iter()
-            .map(|row| row.iter().map(|&v| dist.dict().resolve(v).clone()).collect())
+            .map(|row| row.iter().map(|&v| dict.resolve(v).clone()).collect())
             .collect()
     }
 
@@ -158,43 +166,66 @@ impl Engine {
 
     /// Evaluate `query` over the distributed graph. Infallible version of
     /// [`Engine::try_run`] that panics on unsupported projections.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on unsupported queries; prepare once via `gstored::GStoreD::prepare` \
+                (or `Engine::try_run` for one-shot evaluation) and handle the `Result`"
+    )]
     pub fn run(&self, dist: &DistributedGraph, query: &QueryGraph) -> QueryOutput {
-        self.try_run(dist, query).expect("query not supported by the engine")
+        self.try_run(dist, query)
+            .expect("query not supported by the engine")
     }
 
-    /// Evaluate `query` over the distributed graph.
+    /// Evaluate `query` over the distributed graph in one shot.
+    ///
+    /// Thin shim over the prepared path: builds a throwaway
+    /// [`PreparedPlan`] and executes it once. Callers issuing the same
+    /// query repeatedly should prepare once and call [`Engine::execute`]
+    /// (or use the umbrella crate's `GStoreD` facade) to amortize
+    /// encoding and shape analysis.
     pub fn try_run(
         &self,
         dist: &DistributedGraph,
         query: &QueryGraph,
     ) -> Result<QueryOutput, EngineError> {
-        if query.vertex_count() > 64 {
-            return Err(EngineError::QueryTooLarge(query.vertex_count()));
-        }
-        let Some(q) = EncodedQuery::encode(query, dist.dict()) else {
-            let var = query
-                .projection()
-                .iter()
-                .find(|v| query.vertex_of_var(v).is_none())
-                .cloned()
-                .unwrap_or_default();
-            return Err(EngineError::PredicateOnlyProjection(var));
-        };
+        let plan = PreparedPlan::new(query.clone(), dist.dict())?;
+        self.execute(dist, &plan)
+    }
 
-        let cluster =
-            Cluster::new(dist.fragment_count()).with_network(self.config.network);
+    /// Evaluate a prepared plan over the distributed graph.
+    ///
+    /// This is the engine's hot path: it performs no parsing, encoding or
+    /// shape analysis — all of that is cached in `plan` — and runs only
+    /// the per-execution stages (candidate exchange, partial evaluation,
+    /// LEC optimization, assembly). The plan must have been prepared
+    /// against `dist`'s dictionary.
+    pub fn execute(
+        &self,
+        dist: &DistributedGraph,
+        plan: &PreparedPlan,
+    ) -> Result<QueryOutput, EngineError> {
+        if plan.dict_uid() != dist.dict().uid() {
+            return Err(EngineError::PlanGraphMismatch {
+                plan_dict: plan.dict_uid(),
+                graph_dict: dist.dict().uid(),
+            });
+        }
+        let query = plan.query();
+        let q = plan.encoded();
+
+        let cluster = Cluster::new(dist.fragment_count()).with_network(self.config.network);
         let mut metrics = QueryMetrics::default();
 
         if q.has_unsatisfiable() {
-            return Ok(self.finish(query, &q, Vec::new(), metrics));
+            return Ok(self.finish(query, q, Vec::new(), metrics));
         }
 
         // --- Star fast path (Section VIII-B) ---
-        let shape = analysis::analyze(query);
+        let shape = plan.shape();
         if self.config.star_fast_path && shape.is_star() {
             let center = shape.star_center.expect("stars have centers");
             let (per_site, stage) =
-                cluster.scatter(|site| find_star_matches(&dist.fragments[site], &q, center));
+                cluster.scatter(|site| find_star_matches(&dist.fragments[site], q, center));
             metrics.partial_evaluation = stage;
             let mut all = Vec::new();
             for ms in per_site {
@@ -203,13 +234,13 @@ impl Engine {
                 all.extend(ms);
             }
             metrics.local_matches = all.len() as u64;
-            return Ok(self.finish(query, &q, all, metrics));
+            return Ok(self.finish(query, q, all, metrics));
         }
 
         // --- Stage 1 (Full only): assemble variables' candidates ---
         let filter = if self.config.variant.uses_candidate_exchange() {
             let (filter, stage) =
-                exchange_candidates(&cluster, dist, &q, self.config.candidate_bits);
+                exchange_candidates(&cluster, dist, q, self.config.candidate_bits);
             metrics.candidates = stage;
             filter
         } else {
@@ -219,8 +250,8 @@ impl Engine {
         // --- Stage 2: partial evaluation at every site ---
         let (per_site, pe_stage) = cluster.scatter(|site| {
             let fragment = &dist.fragments[site];
-            let local = local_complete_matches(fragment, &q);
-            let lpms = enumerate_local_partial_matches(fragment, &q, &filter);
+            let local = local_complete_matches(fragment, q);
+            let lpms = enumerate_local_partial_matches(fragment, q, &filter);
             (local, lpms)
         });
         metrics.partial_evaluation = pe_stage;
@@ -235,12 +266,10 @@ impl Engine {
             complete.extend(local);
             site_lpms.push(lpms);
         }
-        metrics.local_partial_matches =
-            site_lpms.iter().map(|l| l.len() as u64).sum();
+        metrics.local_partial_matches = site_lpms.iter().map(|l| l.len() as u64).sum();
 
         // --- Stage 3 (LO/Full): LEC feature optimization ---
-        let surviving: Vec<Vec<LocalPartialMatch>> = if self.config.variant.uses_lec_pruning()
-        {
+        let surviving: Vec<Vec<LocalPartialMatch>> = if self.config.variant.uses_lec_pruning() {
             let query_edges: Vec<(usize, usize)> =
                 q.edges().iter().map(|e| (e.from, e.to)).collect();
             // Sites compute features in parallel (Algorithm 1)...
@@ -256,9 +285,8 @@ impl Engine {
                 }
                 ids
             };
-            let (site_features, lec_stage) = cluster.scatter(|site| {
-                compute_lec_features(&site_lpms[site], first_ids[site])
-            });
+            let (site_features, lec_stage) =
+                cluster.scatter(|site| compute_lec_features(&site_lpms[site], first_ids[site]));
             metrics.lec_optimization = lec_stage;
 
             // ...and ship them to the coordinator.
@@ -294,9 +322,7 @@ impl Engine {
                 site_lpms[site]
                     .iter()
                     .zip(feature_of_lpm)
-                    .filter(|&(_, &fi)| {
-                        features[fi].sources.iter().any(|id| useful.contains(id))
-                    })
+                    .filter(|&(_, &fi)| features[fi].sources.iter().any(|id| useful.contains(id)))
                     .map(|(lpm, _)| lpm.clone())
                     .collect::<Vec<_>>()
             });
@@ -305,8 +331,7 @@ impl Engine {
         } else {
             site_lpms
         };
-        metrics.surviving_partial_matches =
-            surviving.iter().map(|l| l.len() as u64).sum();
+        metrics.surviving_partial_matches = surviving.iter().map(|l| l.len() as u64).sum();
 
         // --- Stage 4: assembly at the coordinator ---
         let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
@@ -315,8 +340,7 @@ impl Engine {
             cluster.charge_shipment(&mut metrics.assembly, 1, bytes);
             all_lpms.extend(lpms.iter().cloned());
         }
-        let query_edges: Vec<(usize, usize)> =
-            q.edges().iter().map(|e| (e.from, e.to)).collect();
+        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
         let crossing = cluster.time_coordinator(&mut metrics.assembly, || {
             if self.config.variant.uses_lec_assembly() {
                 assemble_lec(&all_lpms, q.vertex_count(), &query_edges)
@@ -327,7 +351,7 @@ impl Engine {
         metrics.crossing_matches = crossing.len() as u64;
         complete.extend(crossing);
 
-        Ok(self.finish(query, &q, complete, metrics))
+        Ok(self.finish(query, q, complete, metrics))
     }
 
     /// Apply projection / DISTINCT / LIMIT and package the output.
@@ -351,7 +375,11 @@ impl Engine {
         if let Some(limit) = query.limit {
             rows.truncate(limit);
         }
-        QueryOutput { rows, bindings, metrics }
+        QueryOutput {
+            rows,
+            bindings,
+            metrics,
+        }
     }
 }
 
@@ -359,8 +387,8 @@ impl Engine {
 mod tests {
     use super::*;
     use gstored_partition::{
-        DistributedGraph, ExplicitPartitioner, HashPartitioner, MetisLikePartitioner,
-        Partitioner, SemanticHashPartitioner,
+        DistributedGraph, ExplicitPartitioner, HashPartitioner, MetisLikePartitioner, Partitioner,
+        SemanticHashPartitioner,
     };
     use gstored_rdf::{RdfGraph, Triple};
     use gstored_sparql::parse_query;
@@ -386,6 +414,7 @@ mod tests {
         g.insert(&t(&e(1), name, &e(3))); // 003 = "Crispin Wright"@en
         g.insert(&t(&e(1), birth_date, &e(2)));
         g.insert(&t(&e(5), label, &e(4))); // 004 = "Philosophy of language"
+
         // F2 content.
         g.insert(&t(&e(6), name, &e(7))); // 006 = Michael Dummett
         g.insert(&t(&e(6), interest, &e(8)));
@@ -393,6 +422,7 @@ mod tests {
         g.insert(&t(&e(6), interest, &e(10)));
         g.insert(&t(&e(10), label, &e(11)));
         g.insert(&t(&e(14), name, &e(18))); // 014 = s2:Phi4 (Rudolf Carnap)
+
         // F3 content.
         g.insert(&t(&e(12), name, &e(15))); // 012 = Wittgenstein... (name at 015)
         g.insert(&t(&e(12), birth_date, &e(15)));
@@ -461,7 +491,7 @@ mod tests {
         assert_eq!(dist.validate(), None);
         for variant in Variant::ALL {
             let engine = Engine::with_variant(variant);
-            let out = engine.run(&dist, &query);
+            let out = engine.try_run(&dist, &query).unwrap();
             let mut got = out.bindings.clone();
             got.sort_unstable();
             assert_eq!(got, reference, "variant {}", variant.label());
@@ -497,11 +527,10 @@ mod tests {
             m
         };
         for seed in 0..6 {
-            let dist = DistributedGraph::build(
-                g.clone(),
-                &HashPartitioner::with_seed(3, seed),
-            );
-            let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+            let dist = DistributedGraph::build(g.clone(), &HashPartitioner::with_seed(3, seed));
+            let out = Engine::with_variant(Variant::Full)
+                .try_run(&dist, &query)
+                .unwrap();
             let mut got = out.bindings.clone();
             got.sort_unstable();
             assert_eq!(got, reference, "seed {seed}");
@@ -523,12 +552,14 @@ mod tests {
             star_fast_path: true,
             ..EngineConfig::variant(Variant::Full)
         })
-        .run(&dist, &query);
+        .try_run(&dist, &query)
+        .unwrap();
         let slow = Engine::new(EngineConfig {
             star_fast_path: false,
             ..EngineConfig::variant(Variant::Full)
         })
-        .run(&dist, &query);
+        .try_run(&dist, &query)
+        .unwrap();
         assert_eq!(fast.rows, slow.rows);
         assert!(!fast.rows.is_empty());
         // The fast path ships no LPMs at all.
@@ -554,7 +585,9 @@ mod tests {
             let dist = DistributedGraph::build(g.clone(), p.as_ref());
             assert_eq!(dist.validate(), None, "{}", p.name());
             for variant in [Variant::Basic, Variant::Full] {
-                let out = Engine::with_variant(variant).run(&dist, &query);
+                let out = Engine::with_variant(variant)
+                    .try_run(&dist, &query)
+                    .unwrap();
                 let mut got = out.bindings.clone();
                 got.sort_unstable();
                 assert_eq!(got, reference, "{} / {}", p.name(), variant.label());
@@ -568,10 +601,17 @@ mod tests {
         let query = paper_query();
         let partitioner = paper_partitioner(&g);
         let dist = DistributedGraph::build(g, &partitioner);
-        let basic = Engine::with_variant(Variant::Basic).run(&dist, &query);
-        let lo = Engine::with_variant(Variant::LecOptimization).run(&dist, &query);
+        let basic = Engine::with_variant(Variant::Basic)
+            .try_run(&dist, &query)
+            .unwrap();
+        let lo = Engine::with_variant(Variant::LecOptimization)
+            .try_run(&dist, &query)
+            .unwrap();
         assert_eq!(basic.rows, lo.rows);
-        assert_eq!(basic.metrics.surviving_partial_matches, basic.metrics.local_partial_matches);
+        assert_eq!(
+            basic.metrics.surviving_partial_matches,
+            basic.metrics.local_partial_matches
+        );
         assert!(
             lo.metrics.surviving_partial_matches < lo.metrics.local_partial_matches,
             "the paper's example prunes PM2_3: {} vs {}",
@@ -590,7 +630,9 @@ mod tests {
         )
         .unwrap();
         let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
-        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        let out = Engine::with_variant(Variant::Full)
+            .try_run(&dist, &query)
+            .unwrap();
         assert!(out.rows.is_empty());
     }
 
@@ -598,14 +640,14 @@ mod tests {
     fn projection_distinct_and_limit_apply() {
         let g = paper_graph();
         let query = QueryGraph::from_query(
-            &parse_query(
-                "SELECT DISTINCT ?p WHERE { ?p <http://o/mainInterest> ?t } LIMIT 2",
-            )
-            .unwrap(),
+            &parse_query("SELECT DISTINCT ?p WHERE { ?p <http://o/mainInterest> ?t } LIMIT 2")
+                .unwrap(),
         )
         .unwrap();
         let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
-        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        let out = Engine::with_variant(Variant::Full)
+            .try_run(&dist, &query)
+            .unwrap();
         assert!(out.rows.len() <= 2);
         let unique: HashSet<_> = out.rows.iter().collect();
         assert_eq!(unique.len(), out.rows.len());
@@ -629,14 +671,51 @@ mod tests {
         let query = paper_query();
         let partitioner = paper_partitioner(&g);
         let dist = DistributedGraph::build(g, &partitioner);
-        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
+        let out = Engine::with_variant(Variant::Full)
+            .try_run(&dist, &query)
+            .unwrap();
         let m = &out.metrics;
         assert!(m.local_partial_matches > 0);
         assert!(m.lec_features > 0);
-        assert!(m.candidates.bytes_shipped > 0, "Algorithm 4 ships bit vectors");
+        assert!(
+            m.candidates.bytes_shipped > 0,
+            "Algorithm 4 ships bit vectors"
+        );
         assert!(m.lec_optimization.bytes_shipped > 0, "features ship");
         assert!(m.assembly.bytes_shipped > 0, "surviving LPMs ship");
         assert!(m.total_time() > std::time::Duration::ZERO);
         assert_eq!(m.total_matches(), out.bindings.len() as u64);
+    }
+
+    #[test]
+    fn plan_from_other_graph_is_rejected() {
+        let g = paper_graph();
+        let query = paper_query();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        // A plan encoded against a *different* (smaller) graph's dictionary.
+        let other =
+            RdfGraph::from_triples(vec![t("http://o/x", "http://o/influencedBy", "http://o/y")]);
+        let foreign_plan = PreparedPlan::new(query, other.dict()).unwrap();
+        let err = Engine::with_variant(Variant::Full).execute(&dist, &foreign_plan);
+        assert!(matches!(err, Err(EngineError::PlanGraphMismatch { .. })));
+    }
+
+    #[test]
+    fn prepared_plan_reuse_matches_one_shot_across_variants() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let plan = PreparedPlan::new(query.clone(), dist.dict()).unwrap();
+        for variant in Variant::ALL {
+            let engine = Engine::with_variant(variant);
+            let one_shot = engine.try_run(&dist, &query).unwrap();
+            // The same plan re-executes any number of times.
+            for _ in 0..3 {
+                let out = engine.execute(&dist, &plan).unwrap();
+                assert_eq!(out.rows, one_shot.rows, "variant {}", variant.label());
+                assert_eq!(out.bindings, one_shot.bindings);
+            }
+        }
     }
 }

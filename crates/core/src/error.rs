@@ -11,6 +11,15 @@ pub enum EngineError {
     PredicateOnlyProjection(String),
     /// The query has more vertices than the 64-bit LECSign masks support.
     QueryTooLarge(usize),
+    /// A prepared plan was executed against a graph whose dictionary does
+    /// not match the one it was encoded with. Term ids are
+    /// dictionary-local, so executing anyway would bind garbage.
+    PlanGraphMismatch {
+        /// Identity of the dictionary the plan was encoded against.
+        plan_dict: u64,
+        /// Identity of the dictionary of the graph handed to `execute`.
+        graph_dict: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -21,7 +30,20 @@ impl fmt::Display for EngineError {
                 "cannot project ?{v}: it only occurs in predicate position"
             ),
             EngineError::QueryTooLarge(n) => {
-                write!(f, "query has {n} vertices; LECSign masks support at most 64")
+                write!(
+                    f,
+                    "query has {n} vertices; LECSign masks support at most 64"
+                )
+            }
+            EngineError::PlanGraphMismatch {
+                plan_dict,
+                graph_dict,
+            } => {
+                write!(
+                    f,
+                    "prepared plan was encoded against a different graph \
+                     (dictionary identity {plan_dict} vs {graph_dict})"
+                )
             }
         }
     }
@@ -39,5 +61,10 @@ mod tests {
             .to_string()
             .contains("?p"));
         assert!(EngineError::QueryTooLarge(65).to_string().contains("65"));
+        let e = EngineError::PlanGraphMismatch {
+            plan_dict: 3,
+            graph_dict: 9,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('9'));
     }
 }

@@ -183,7 +183,11 @@ mod tests {
     use gstored_rdf::TermId;
 
     fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
-        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+        EdgeRef {
+            from: TermId(f),
+            label: TermId(l),
+            to: TermId(t),
+        }
     }
 
     fn lpm(
@@ -292,8 +296,18 @@ mod tests {
     #[test]
     fn same_fragment_originals_never_joinable() {
         let ce = edge(1, 100, 6);
-        let a = LecFeature { fragments: 1, mapping: vec![(ce, 1)], sign: 0b001, sources: vec![0] };
-        let b = LecFeature { fragments: 1, mapping: vec![(ce, 1)], sign: 0b010, sources: vec![1] };
+        let a = LecFeature {
+            fragments: 1,
+            mapping: vec![(ce, 1)],
+            sign: 0b001,
+            sources: vec![0],
+        };
+        let b = LecFeature {
+            fragments: 1,
+            mapping: vec![(ce, 1)],
+            sign: 0b010,
+            sources: vec![1],
+        };
         assert!(!a.joinable(&b, &fig2_edges()));
     }
 
@@ -360,14 +374,34 @@ mod tests {
         let e01 = edge(10, 1, 20); // between cores a,b
         let e12 = edge(20, 1, 30); // between cores b,c
         let qedges = vec![(0, 1), (1, 2)];
-        let f1a = LecFeature { fragments: 1, mapping: vec![(e01, 0)], sign: 0b001, sources: vec![0] };
-        let f2b =
-            LecFeature { fragments: 2, mapping: vec![(e01, 0), (e12, 1)], sign: 0b010, sources: vec![1] };
-        let f1c = LecFeature { fragments: 1, mapping: vec![(e12, 1)], sign: 0b100, sources: vec![2] };
+        let f1a = LecFeature {
+            fragments: 1,
+            mapping: vec![(e01, 0)],
+            sign: 0b001,
+            sources: vec![0],
+        };
+        let f2b = LecFeature {
+            fragments: 2,
+            mapping: vec![(e01, 0), (e12, 1)],
+            sign: 0b010,
+            sources: vec![1],
+        };
+        let f1c = LecFeature {
+            fragments: 1,
+            mapping: vec![(e12, 1)],
+            sign: 0b100,
+            sources: vec![2],
+        };
         assert!(f1a.joinable(&f2b, &qedges));
         let inter = f1a.join(&f2b);
-        assert!(!f1a.joinable(&f1c, &qedges), "no shared edge between the two F1 features");
-        assert!(inter.joinable(&f1c, &qedges), "intermediate spans F1|F2 and shares e12");
+        assert!(
+            !f1a.joinable(&f1c, &qedges),
+            "no shared edge between the two F1 features"
+        );
+        assert!(
+            inter.joinable(&f1c, &qedges),
+            "intermediate spans F1|F2 and shares e12"
+        );
         let full = inter.join(&f1c);
         assert!(full.is_complete(3));
         assert_eq!(full.sources, vec![0, 1, 2]);

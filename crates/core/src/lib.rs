@@ -18,15 +18,20 @@
 //!   in Fig. 9: `Basic`, `LA` (LEC assembly), `LO` (+ LEC pruning) and
 //!   `Full` (+ candidate exchange), including the star-query fast path of
 //!   Section VIII-B.
+//! * [`prepared`] — the prepare-once / execute-many split:
+//!   [`PreparedPlan`] caches encoding and shape analysis so
+//!   [`engine::Engine::execute`] runs only per-execution work.
 
 pub mod assembly;
 pub mod candidates;
 pub mod engine;
 pub mod error;
 pub mod lec;
+pub mod prepared;
 pub mod protocol;
 pub mod prune;
 
 pub use engine::{Engine, EngineConfig, QueryOutput, Variant};
 pub use error::EngineError;
 pub use lec::LecFeature;
+pub use prepared::PreparedPlan;

@@ -56,7 +56,12 @@ pub fn decode_lpms(bytes: Bytes) -> Result<Vec<LocalPartialMatch>, WireError> {
             crossing.push((e, r.usize()?));
         }
         let internal_mask = r.u64()?;
-        out.push(LocalPartialMatch { fragment, binding, crossing, internal_mask });
+        out.push(LocalPartialMatch {
+            fragment,
+            binding,
+            crossing,
+            internal_mask,
+        });
     }
     Ok(out)
 }
@@ -103,7 +108,12 @@ pub fn decode_features(bytes: Bytes) -> Result<Vec<LecFeature>, WireError> {
         for _ in 0..sn {
             sources.push(r.u64()? as u32);
         }
-        out.push(LecFeature { fragments, mapping, sign, sources });
+        out.push(LecFeature {
+            fragments,
+            mapping,
+            sign,
+            sources,
+        });
     }
     Ok(out)
 }
@@ -192,7 +202,11 @@ mod tests {
             fragment: 2,
             binding: vec![Some(TermId(6)), None, Some(TermId(1))],
             crossing: vec![(
-                EdgeRef { from: TermId(1), label: TermId(100), to: TermId(6) },
+                EdgeRef {
+                    from: TermId(1),
+                    label: TermId(100),
+                    to: TermId(6),
+                },
                 1,
             )],
             internal_mask: 0b101,
@@ -218,8 +232,22 @@ mod tests {
         let f = LecFeature {
             fragments: 0b101,
             mapping: vec![
-                (EdgeRef { from: TermId(1), label: TermId(9), to: TermId(6) }, 0),
-                (EdgeRef { from: TermId(6), label: TermId(9), to: TermId(5) }, 2),
+                (
+                    EdgeRef {
+                        from: TermId(1),
+                        label: TermId(9),
+                        to: TermId(6),
+                    },
+                    0,
+                ),
+                (
+                    EdgeRef {
+                        from: TermId(6),
+                        label: TermId(9),
+                        to: TermId(5),
+                    },
+                    2,
+                ),
             ],
             sign: 0b11010,
             sources: vec![3, 7],

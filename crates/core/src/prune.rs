@@ -24,7 +24,10 @@ pub fn group_by_sign(features: &[LecFeature]) -> Vec<FeatureGroup> {
     for f in features {
         match groups.iter_mut().find(|g| g.sign == f.sign) {
             Some(g) => g.features.push(f.clone()),
-            None => groups.push(FeatureGroup { sign: f.sign, features: vec![f.clone()] }),
+            None => groups.push(FeatureGroup {
+                sign: f.sign,
+                features: vec![f.clone()],
+            }),
         }
     }
     groups
@@ -45,7 +48,10 @@ pub fn build_join_graph(
                 continue;
             }
             let joinable = groups[i].features.iter().any(|a| {
-                groups[j].features.iter().any(|b| a.joinable(b, query_edges))
+                groups[j]
+                    .features
+                    .iter()
+                    .any(|b| a.joinable(b, query_edges))
             });
             if joinable {
                 adj[i].push(j);
@@ -186,11 +192,20 @@ mod tests {
     use gstored_rdf::{EdgeRef, TermId};
 
     fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
-        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+        EdgeRef {
+            from: TermId(f),
+            label: TermId(l),
+            to: TermId(t),
+        }
     }
 
     fn feat(id: u32, fragment: usize, mapping: Vec<(EdgeRef, usize)>, sign: u64) -> LecFeature {
-        LecFeature { fragments: 1 << fragment, mapping, sign, sources: vec![id] }
+        LecFeature {
+            fragments: 1 << fragment,
+            mapping,
+            sign,
+            sources: vec![id],
+        }
     }
 
     /// The paper's running example (Examples 6–7 and Fig. 6): seven LEC
@@ -207,9 +222,9 @@ mod tests {
         let e_14_13 = edge(14, 101, 13); // 014 mainInterest 013
         let features = vec![
             // F1 (fragment 0):
-            feat(0, 0, vec![(e_1_6, 1)], 0b10100),  // LF([PM1_1]) sign 00101 -> v3,v5
+            feat(0, 0, vec![(e_1_6, 1)], 0b10100), // LF([PM1_1]) sign 00101 -> v3,v5
             feat(1, 0, vec![(e_1_12, 1)], 0b10100), // LF([PM2_1])
-            feat(2, 0, vec![(e_6_5, 2)], 0b01010),  // LF([PM3_1]) sign 01010 -> v2,v4
+            feat(2, 0, vec![(e_6_5, 2)], 0b01010), // LF([PM3_1]) sign 01010 -> v2,v4
             // F2 (fragment 1):
             feat(3, 1, vec![(e_1_6, 1)], 0b01011), // LF([PM1_2]) = LF([PM2_2]) v1,v2,v4
             feat(4, 1, vec![(e_1_6, 1), (e_6_5, 2)], 0b00001), // LF([PM3_2]) v1

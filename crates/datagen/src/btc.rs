@@ -85,7 +85,12 @@ pub fn generate(config: &BtcConfig) -> Vec<Triple> {
         // People: FOAF-ish.
         for i in 0..config.people_per_publisher {
             let person = config.person(p, i);
-            t(person.clone(), rdf::TYPE, Term::iri(foaf::PERSON), &mut triples);
+            t(
+                person.clone(),
+                rdf::TYPE,
+                Term::iri(foaf::PERSON),
+                &mut triples,
+            );
             t(
                 person.clone(),
                 foaf::NAME,
@@ -95,7 +100,10 @@ pub fn generate(config: &BtcConfig) -> Vec<Triple> {
             // knows edges, mostly within the publisher.
             for _ in 0..rng.gen_range(1..=3) {
                 let (tp, ti) = if rng.gen_bool(config.cross_publisher_ratio) {
-                    (rng.gen_range(0..config.publishers), rng.gen_range(0..config.people_per_publisher))
+                    (
+                        rng.gen_range(0..config.publishers),
+                        rng.gen_range(0..config.people_per_publisher),
+                    )
                 } else {
                     (p, rng.gen_range(0..config.people_per_publisher))
                 };
@@ -112,8 +120,18 @@ pub fn generate(config: &BtcConfig) -> Vec<Triple> {
         // Documents: DC-ish with citations.
         for i in 0..config.docs_per_publisher {
             let doc = config.doc(p, i);
-            t(doc.clone(), rdf::TYPE, Term::iri(vocab::DOCUMENT), &mut triples);
-            t(doc.clone(), vocab::TITLE, Term::lit(format!("Doc {p}-{i}")), &mut triples);
+            t(
+                doc.clone(),
+                rdf::TYPE,
+                Term::iri(vocab::DOCUMENT),
+                &mut triples,
+            );
+            t(
+                doc.clone(),
+                vocab::TITLE,
+                Term::lit(format!("Doc {p}-{i}")),
+                &mut triples,
+            );
             t(
                 doc.clone(),
                 vocab::CREATOR,
@@ -122,12 +140,20 @@ pub fn generate(config: &BtcConfig) -> Vec<Triple> {
             );
             for _ in 0..rng.gen_range(1..=3) {
                 let (tp, ti) = if rng.gen_bool(config.cross_publisher_ratio) {
-                    (rng.gen_range(0..config.publishers), rng.gen_range(0..config.docs_per_publisher))
+                    (
+                        rng.gen_range(0..config.publishers),
+                        rng.gen_range(0..config.docs_per_publisher),
+                    )
                 } else {
                     (p, rng.gen_range(0..config.docs_per_publisher))
                 };
                 if (tp, ti) != (p, i) {
-                    t(doc.clone(), vocab::CITES, Term::iri(config.doc(tp, ti)), &mut triples);
+                    t(
+                        doc.clone(),
+                        vocab::CITES,
+                        Term::iri(config.doc(tp, ti)),
+                        &mut triples,
+                    );
                 }
             }
         }
@@ -150,13 +176,19 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let c = BtcConfig { publishers: 3, ..Default::default() };
+        let c = BtcConfig {
+            publishers: 3,
+            ..Default::default()
+        };
         assert_eq!(generate(&c), generate(&c));
     }
 
     #[test]
     fn publishers_have_distinct_domains() {
-        let c = BtcConfig { publishers: 4, ..Default::default() };
+        let c = BtcConfig {
+            publishers: 4,
+            ..Default::default()
+        };
         let triples = generate(&c);
         let domains: std::collections::HashSet<String> = triples
             .iter()
@@ -170,7 +202,10 @@ mod tests {
 
     #[test]
     fn has_cross_publisher_links() {
-        let c = BtcConfig { publishers: 4, ..Default::default() };
+        let c = BtcConfig {
+            publishers: 4,
+            ..Default::default()
+        };
         let triples = generate(&c);
         let cross = triples
             .iter()
@@ -178,10 +213,7 @@ mod tests {
                 (Term::Iri(s), Term::Iri(o)) => {
                     let sd = s.split('/').nth(2);
                     let od = o.split('/').nth(2);
-                    sd.is_some()
-                        && od.is_some()
-                        && sd != od
-                        && o.starts_with("http://pub")
+                    sd.is_some() && od.is_some() && sd != od && o.starts_with("http://pub")
                 }
                 _ => false,
             })
@@ -191,9 +223,18 @@ mod tests {
 
     #[test]
     fn mixed_vocabularies_present() {
-        let c = BtcConfig { publishers: 2, ..Default::default() };
+        let c = BtcConfig {
+            publishers: 2,
+            ..Default::default()
+        };
         let triples = generate(&c);
-        for p in [foaf::NAME, foaf::KNOWS, vocab::CITES, vocab::TITLE, vocab::SAME_AS] {
+        for p in [
+            foaf::NAME,
+            foaf::KNOWS,
+            vocab::CITES,
+            vocab::TITLE,
+            vocab::SAME_AS,
+        ] {
             assert!(
                 triples.iter().any(|t| t.predicate == Term::iri(p)),
                 "{p} missing"

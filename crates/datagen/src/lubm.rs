@@ -32,7 +32,12 @@ pub struct LubmConfig {
 
 impl Default for LubmConfig {
     fn default() -> Self {
-        LubmConfig { universities: 10, min_departments: 4, max_departments: 6, seed: 42 }
+        LubmConfig {
+            universities: 10,
+            min_departments: 4,
+            max_departments: 6,
+            seed: 42,
+        }
     }
 }
 
@@ -43,7 +48,12 @@ impl LubmConfig {
         let per_uni = 5usize; // avg departments
         let triples_per_uni = per_uni * 520;
         let universities = (target / triples_per_uni).max(1);
-        LubmConfig { universities, min_departments: 4, max_departments: 6, seed }
+        LubmConfig {
+            universities,
+            min_departments: 4,
+            max_departments: 6,
+            seed,
+        }
     }
 }
 
@@ -74,8 +84,18 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
         for d in 0..n_depts {
             let dept = dept_iri(u, d);
             t(dept.clone(), rdf::TYPE, iri(lubm::DEPARTMENT), &mut triples);
-            t(dept.clone(), lubm::SUB_ORGANIZATION_OF, iri(uni_iri(u)), &mut triples);
-            t(dept.clone(), lubm::NAME, Term::lit(format!("Department{d} of University{u}")), &mut triples);
+            t(
+                dept.clone(),
+                lubm::SUB_ORGANIZATION_OF,
+                iri(uni_iri(u)),
+                &mut triples,
+            );
+            t(
+                dept.clone(),
+                lubm::NAME,
+                Term::lit(format!("Department{d} of University{u}")),
+                &mut triples,
+            );
 
             // Faculty.
             let n_full = rng.gen_range(2..=3);
@@ -148,7 +168,11 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
                         t(
                             course.clone(),
                             rdf::TYPE,
-                            iri(if grad { lubm::GRADUATE_COURSE } else { lubm::COURSE }),
+                            iri(if grad {
+                                lubm::GRADUATE_COURSE
+                            } else {
+                                lubm::COURSE
+                            }),
                             &mut triples,
                         );
                         t(
@@ -157,7 +181,12 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
                             Term::lit(format!("Course{c} of {stem}{i}/U{u}D{d}")),
                             &mut triples,
                         );
-                        t(f.clone(), lubm::TEACHER_OF, iri(course.clone()), &mut triples);
+                        t(
+                            f.clone(),
+                            lubm::TEACHER_OF,
+                            iri(course.clone()),
+                            &mut triples,
+                        );
                         if grad {
                             grad_courses.push(course);
                         } else {
@@ -177,16 +206,36 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
             // Research groups.
             for g in 0..rng.gen_range(1..=3) {
                 let group = format!("{dept}/ResearchGroup{g}");
-                t(group.clone(), rdf::TYPE, iri(lubm::RESEARCH_GROUP), &mut triples);
-                t(group, lubm::SUB_ORGANIZATION_OF, iri(dept.clone()), &mut triples);
+                t(
+                    group.clone(),
+                    rdf::TYPE,
+                    iri(lubm::RESEARCH_GROUP),
+                    &mut triples,
+                );
+                t(
+                    group,
+                    lubm::SUB_ORGANIZATION_OF,
+                    iri(dept.clone()),
+                    &mut triples,
+                );
             }
 
             // Undergraduate students (LUBM is student-dominated: the
             // intra-university bulk that makes semantic hash shine).
             for s in 0..rng.gen_range(30..=45) {
                 let stu = format!("{dept}/UndergraduateStudent{s}");
-                t(stu.clone(), rdf::TYPE, iri(lubm::UNDERGRADUATE_STUDENT), &mut triples);
-                t(stu.clone(), lubm::MEMBER_OF, iri(dept.clone()), &mut triples);
+                t(
+                    stu.clone(),
+                    rdf::TYPE,
+                    iri(lubm::UNDERGRADUATE_STUDENT),
+                    &mut triples,
+                );
+                t(
+                    stu.clone(),
+                    lubm::MEMBER_OF,
+                    iri(dept.clone()),
+                    &mut triples,
+                );
                 t(
                     stu.clone(),
                     lubm::NAME,
@@ -196,7 +245,12 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
                 if !courses.is_empty() {
                     for _ in 0..rng.gen_range(1..=3) {
                         let c = &courses[rng.gen_range(0..courses.len())];
-                        t(stu.clone(), lubm::TAKES_COURSE, iri(c.clone()), &mut triples);
+                        t(
+                            stu.clone(),
+                            lubm::TAKES_COURSE,
+                            iri(c.clone()),
+                            &mut triples,
+                        );
                     }
                 }
                 if rng.gen_bool(0.2) && !faculty.is_empty() {
@@ -208,8 +262,18 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
             // Graduate students.
             for s in 0..rng.gen_range(10..=15) {
                 let stu = format!("{dept}/GraduateStudent{s}");
-                t(stu.clone(), rdf::TYPE, iri(lubm::GRADUATE_STUDENT), &mut triples);
-                t(stu.clone(), lubm::MEMBER_OF, iri(dept.clone()), &mut triples);
+                t(
+                    stu.clone(),
+                    rdf::TYPE,
+                    iri(lubm::GRADUATE_STUDENT),
+                    &mut triples,
+                );
+                t(
+                    stu.clone(),
+                    lubm::MEMBER_OF,
+                    iri(dept.clone()),
+                    &mut triples,
+                );
                 t(
                     stu.clone(),
                     lubm::NAME,
@@ -234,7 +298,12 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
                 if !grad_courses.is_empty() {
                     for _ in 0..rng.gen_range(1..=2) {
                         let c = &grad_courses[rng.gen_range(0..grad_courses.len())];
-                        t(stu.clone(), lubm::TAKES_COURSE, iri(c.clone()), &mut triples);
+                        t(
+                            stu.clone(),
+                            lubm::TAKES_COURSE,
+                            iri(c.clone()),
+                            &mut triples,
+                        );
                     }
                     if rng.gen_bool(0.3) {
                         let c = &grad_courses[rng.gen_range(0..grad_courses.len())];
@@ -251,7 +320,12 @@ pub fn generate(config: &LubmConfig) -> Vec<Triple> {
             // Publications.
             for p in 0..rng.gen_range(4..=8) {
                 let pub_iri = format!("{dept}/Publication{p}");
-                t(pub_iri.clone(), rdf::TYPE, iri(lubm::PUBLICATION), &mut triples);
+                t(
+                    pub_iri.clone(),
+                    rdf::TYPE,
+                    iri(lubm::PUBLICATION),
+                    &mut triples,
+                );
                 t(
                     pub_iri.clone(),
                     lubm::NAME,
@@ -280,27 +354,47 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let c = LubmConfig { universities: 2, ..Default::default() };
+        let c = LubmConfig {
+            universities: 2,
+            ..Default::default()
+        };
         assert_eq!(generate(&c), generate(&c));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = LubmConfig { universities: 2, seed: 1, ..Default::default() };
-        let b = LubmConfig { universities: 2, seed: 2, ..Default::default() };
+        let a = LubmConfig {
+            universities: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let b = LubmConfig {
+            universities: 2,
+            seed: 2,
+            ..Default::default()
+        };
         assert_ne!(generate(&a), generate(&b));
     }
 
     #[test]
     fn scales_with_universities() {
-        let small = generate(&LubmConfig { universities: 2, ..Default::default() });
-        let big = generate(&LubmConfig { universities: 8, ..Default::default() });
+        let small = generate(&LubmConfig {
+            universities: 2,
+            ..Default::default()
+        });
+        let big = generate(&LubmConfig {
+            universities: 8,
+            ..Default::default()
+        });
         assert!(big.len() > 3 * small.len());
     }
 
     #[test]
     fn entities_live_under_university_domains() {
-        let triples = generate(&LubmConfig { universities: 3, ..Default::default() });
+        let triples = generate(&LubmConfig {
+            universities: 3,
+            ..Default::default()
+        });
         for t in &triples {
             if let Term::Iri(s) = &t.subject {
                 assert!(
@@ -313,7 +407,10 @@ mod tests {
 
     #[test]
     fn has_cross_university_degree_edges() {
-        let triples = generate(&LubmConfig { universities: 5, ..Default::default() });
+        let triples = generate(&LubmConfig {
+            universities: 5,
+            ..Default::default()
+        });
         let crossing = triples
             .iter()
             .filter(|t| {
@@ -336,7 +433,10 @@ mod tests {
     fn schema_types_present() {
         // Type triples are folded into vertex classes by the RDF graph
         // (gStore-style vertex signatures), so check the class index.
-        let triples = generate(&LubmConfig { universities: 2, ..Default::default() });
+        let triples = generate(&LubmConfig {
+            universities: 2,
+            ..Default::default()
+        });
         let g = RdfGraph::from_triples(triples);
         for class in [
             lubm::FULL_PROFESSOR,
@@ -358,20 +458,19 @@ mod tests {
     fn target_triples_config_lands_in_range() {
         let c = LubmConfig::with_target_triples(20_000, 7);
         let n = generate(&c).len();
-        assert!(
-            (10_000..40_000).contains(&n),
-            "requested ~20k, got {n}"
-        );
+        assert!((10_000..40_000).contains(&n), "requested ~20k, got {n}");
     }
 
     #[test]
     fn every_graduate_student_has_advisor_and_degree() {
-        let triples = generate(&LubmConfig { universities: 2, ..Default::default() });
+        let triples = generate(&LubmConfig {
+            universities: 2,
+            ..Default::default()
+        });
         let grads: Vec<&Term> = triples
             .iter()
             .filter(|t| {
-                t.predicate == Term::iri(rdf::TYPE)
-                    && t.object == Term::iri(lubm::GRADUATE_STUDENT)
+                t.predicate == Term::iri(rdf::TYPE) && t.object == Term::iri(lubm::GRADUATE_STUDENT)
             })
             .map(|t| &t.subject)
             .collect();
@@ -380,8 +479,10 @@ mod tests {
             assert!(triples
                 .iter()
                 .any(|t| &t.subject == g && t.predicate == Term::iri(lubm::ADVISOR)));
-            assert!(triples.iter().any(|t| &t.subject == g
-                && t.predicate == Term::iri(lubm::UNDERGRADUATE_DEGREE_FROM)));
+            assert!(triples
+                .iter()
+                .any(|t| &t.subject == g
+                    && t.predicate == Term::iri(lubm::UNDERGRADUATE_DEGREE_FROM)));
         }
     }
 }

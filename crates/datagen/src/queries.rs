@@ -36,7 +36,12 @@ impl BenchQuery {
         expected_shape: QueryShape,
         expected_selective: bool,
     ) -> Self {
-        BenchQuery { id, text, expected_shape, expected_selective }
+        BenchQuery {
+            id,
+            text,
+            expected_shape,
+            expected_selective,
+        }
     }
 
     /// Whether the paper classifies this query as a star.
@@ -318,8 +323,7 @@ mod tests {
         for q in queries {
             let parsed =
                 parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}\n{}", q.id, q.text));
-            let graph = QueryGraph::from_query(&parsed)
-                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            let graph = QueryGraph::from_query(&parsed).unwrap_or_else(|e| panic!("{}: {e}", q.id));
             let report = analysis::analyze(&graph);
             assert_eq!(report.shape, q.expected_shape, "{} shape", q.id);
             assert_eq!(
@@ -336,8 +340,7 @@ mod tests {
         assert_eq!(qs.len(), 7);
         check_set(&qs);
         // Table I star set: LQ2, LQ4, LQ5.
-        let stars: Vec<&str> =
-            qs.iter().filter(|q| q.is_star()).map(|q| q.id).collect();
+        let stars: Vec<&str> = qs.iter().filter(|q| q.is_star()).map(|q| q.id).collect();
         assert_eq!(stars, vec!["LQ2", "LQ4", "LQ5"]);
     }
 
@@ -354,8 +357,7 @@ mod tests {
         let qs = btc_queries();
         assert_eq!(qs.len(), 7);
         check_set(&qs);
-        let stars: Vec<&str> =
-            qs.iter().filter(|q| q.is_star()).map(|q| q.id).collect();
+        let stars: Vec<&str> = qs.iter().filter(|q| q.is_star()).map(|q| q.id).collect();
         assert_eq!(stars, vec!["BQ1", "BQ2", "BQ3"]);
     }
 

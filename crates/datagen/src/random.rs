@@ -20,7 +20,12 @@ pub struct RandomGraphConfig {
 
 impl Default for RandomGraphConfig {
     fn default() -> Self {
-        RandomGraphConfig { vertices: 30, edges: 60, predicates: 4, seed: 1 }
+        RandomGraphConfig {
+            vertices: 30,
+            edges: 60,
+            predicates: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -61,12 +66,7 @@ pub fn random_graph(config: &RandomGraphConfig) -> RdfGraph {
 /// Generate a random connected BGP query over the generator's predicate
 /// vocabulary: `n_edges` triple patterns over a growing variable set,
 /// optionally anchored with one constant vertex drawn from the graph.
-pub fn random_query(
-    n_edges: usize,
-    predicates: usize,
-    anchor: Option<&str>,
-    seed: u64,
-) -> String {
+pub fn random_query(n_edges: usize, predicates: usize, anchor: Option<&str>, seed: u64) -> String {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut patterns = Vec::new();
     let mut n_vars = 1usize;

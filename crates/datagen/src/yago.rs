@@ -35,7 +35,13 @@ pub struct YagoConfig {
 
 impl Default for YagoConfig {
     fn default() -> Self {
-        YagoConfig { persons: 2000, topics: 100, cities: 200, influence_degree: 2, seed: 7 }
+        YagoConfig {
+            persons: 2000,
+            topics: 100,
+            cities: 200,
+            influence_degree: 2,
+            seed: 7,
+        }
     }
 }
 
@@ -79,7 +85,12 @@ pub fn generate(config: &YagoConfig) -> Vec<Triple> {
     };
 
     for i in 0..config.topics {
-        t(config.topic(i), rdf::TYPE, Term::iri(TOPIC_CLASS), &mut triples);
+        t(
+            config.topic(i),
+            rdf::TYPE,
+            Term::iri(TOPIC_CLASS),
+            &mut triples,
+        );
         t(
             config.topic(i),
             dbo::LABEL,
@@ -101,7 +112,12 @@ pub fn generate(config: &YagoConfig) -> Vec<Triple> {
     for i in 0..config.persons {
         let p = config.person(i);
         t(p.clone(), rdf::TYPE, Term::iri(PERSON_CLASS), &mut triples);
-        t(p.clone(), dbo::NAME, Term::lang_lit(format!("Person {i}"), "en"), &mut triples);
+        t(
+            p.clone(),
+            dbo::NAME,
+            Term::lang_lit(format!("Person {i}"), "en"),
+            &mut triples,
+        );
         t(
             p.clone(),
             dbo::BIRTH_PLACE,
@@ -121,7 +137,12 @@ pub fn generate(config: &YagoConfig) -> Vec<Triple> {
         // edges; everyone else attaches preferentially to earlier persons.
         if i == 0 && config.persons > 3 {
             for j in 1..=3 {
-                t(p.clone(), dbo::INFLUENCED_BY, Term::iri(config.person(j)), &mut triples);
+                t(
+                    p.clone(),
+                    dbo::INFLUENCED_BY,
+                    Term::iri(config.person(j)),
+                    &mut triples,
+                );
             }
         }
         // influencedBy edges to earlier persons, preferentially attached.
@@ -134,7 +155,12 @@ pub fn generate(config: &YagoConfig) -> Vec<Triple> {
                     pick -= weight[j];
                     j += 1;
                 }
-                t(p.clone(), dbo::INFLUENCED_BY, Term::iri(config.person(j)), &mut triples);
+                t(
+                    p.clone(),
+                    dbo::INFLUENCED_BY,
+                    Term::iri(config.person(j)),
+                    &mut triples,
+                );
                 weight[j] += 1;
             }
         }
@@ -150,13 +176,19 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let c = YagoConfig { persons: 100, ..Default::default() };
+        let c = YagoConfig {
+            persons: 100,
+            ..Default::default()
+        };
         assert_eq!(generate(&c), generate(&c));
     }
 
     #[test]
     fn single_namespace() {
-        let triples = generate(&YagoConfig { persons: 50, ..Default::default() });
+        let triples = generate(&YagoConfig {
+            persons: 50,
+            ..Default::default()
+        });
         for t in &triples {
             if let Term::Iri(s) = &t.subject {
                 assert!(s.starts_with("http://yago-knowledge.org/resource/"));
@@ -166,7 +198,10 @@ mod tests {
 
     #[test]
     fn influence_graph_is_skewed() {
-        let triples = generate(&YagoConfig { persons: 500, ..Default::default() });
+        let triples = generate(&YagoConfig {
+            persons: 500,
+            ..Default::default()
+        });
         let g = RdfGraph::from_triples(triples);
         let infl = g.dict().id_of(&Term::iri(dbo::INFLUENCED_BY)).unwrap();
         let mut indeg = std::collections::HashMap::new();
@@ -183,7 +218,10 @@ mod tests {
 
     #[test]
     fn every_person_has_name_and_birthplace() {
-        let c = YagoConfig { persons: 60, ..Default::default() };
+        let c = YagoConfig {
+            persons: 60,
+            ..Default::default()
+        };
         let triples = generate(&c);
         for i in 0..60 {
             let p = Term::iri(c.person(i));

@@ -4,7 +4,7 @@
 //! computation (partial evaluation, candidate finding) and
 //! coordinator-side work on assembled inputs (LEC pruning, assembly).
 //! [`Cluster::scatter`] runs a closure per site on real threads
-//! (crossbeam scoped threads) and reports the **maximum** site wall time —
+//! (`std::thread::scope`) and reports the **maximum** site wall time —
 //! the quantity that determines cluster response time; shipment of the
 //! results is charged through a [`NetworkModel`].
 
@@ -35,12 +35,19 @@ impl Default for NetworkModel {
 impl NetworkModel {
     /// An idealized zero-cost network (for unit tests).
     pub fn instant() -> Self {
-        NetworkModel { latency: Duration::ZERO, bytes_per_sec: u64::MAX }
+        NetworkModel {
+            latency: Duration::ZERO,
+            bytes_per_sec: u64::MAX,
+        }
     }
 
     /// Transfer time for `messages` messages totalling `bytes` bytes.
     pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
-        let bw = if self.bytes_per_sec == 0 { u64::MAX } else { self.bytes_per_sec };
+        let bw = if self.bytes_per_sec == 0 {
+            u64::MAX
+        } else {
+            self.bytes_per_sec
+        };
         let secs = bytes as f64 / bw as f64;
         self.latency * (messages as u32) + Duration::from_secs_f64(secs)
     }
@@ -57,7 +64,10 @@ impl Cluster {
     /// A cluster with `sites` sites and the default network model.
     pub fn new(sites: usize) -> Self {
         assert!(sites > 0, "need at least one site");
-        Cluster { sites, network: NetworkModel::default() }
+        Cluster {
+            sites,
+            network: NetworkModel::default(),
+        }
     }
 
     /// Override the network model.
@@ -89,10 +99,10 @@ impl Cluster {
         let mut results: Vec<Option<T>> = (0..self.sites).map(|_| None).collect();
         let mut times = vec![Duration::ZERO; self.sites];
         let work = &work;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.sites)
                 .map(|site| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let start = Instant::now();
                         let out = work(site);
                         (out, start.elapsed())
@@ -104,14 +114,16 @@ impl Cluster {
                 results[site] = Some(out);
                 times[site] = took;
             }
-        })
-        .expect("cluster scope panicked");
+        });
 
         let metrics = StageMetrics {
             wall: times.iter().copied().max().unwrap_or_default(),
             ..Default::default()
         };
-        let outputs = results.into_iter().map(|o| o.expect("site produced output")).collect();
+        let outputs = results
+            .into_iter()
+            .map(|o| o.expect("site produced output"))
+            .collect();
         (outputs, metrics)
     }
 
@@ -177,14 +189,20 @@ mod tests {
         assert_eq!(stage.bytes_shipped, 500);
         assert_eq!(stage.messages, 2);
         // 2 * 1ms latency + 500/1000 s transfer.
-        assert_eq!(stage.network, Duration::from_millis(2) + Duration::from_millis(500));
+        assert_eq!(
+            stage.network,
+            Duration::from_millis(2) + Duration::from_millis(500)
+        );
     }
 
     #[test]
     fn transfer_time_handles_extremes() {
         let instant = NetworkModel::instant();
         assert_eq!(instant.transfer_time(1000, u32::MAX as u64), Duration::ZERO);
-        let zero_bw = NetworkModel { latency: Duration::ZERO, bytes_per_sec: 0 };
+        let zero_bw = NetworkModel {
+            latency: Duration::ZERO,
+            bytes_per_sec: 0,
+        };
         // Zero bandwidth is treated as infinite (avoids div-by-zero).
         assert_eq!(zero_bw.transfer_time(1, 1000), Duration::ZERO);
     }

@@ -76,6 +76,15 @@ impl QueryMetrics {
             + self.assembly.response_time()
     }
 
+    /// Total simulated network time across all stages (deterministic,
+    /// unlike the wall component of [`QueryMetrics::total_time`]).
+    pub fn total_network(&self) -> Duration {
+        self.candidates.network
+            + self.partial_evaluation.network
+            + self.lec_optimization.network
+            + self.assembly.network
+    }
+
     /// Total bytes shipped across all stages.
     pub fn total_shipped(&self) -> u64 {
         self.candidates.bytes_shipped
@@ -127,7 +136,10 @@ mod tests {
 
     #[test]
     fn kib_conversion() {
-        let s = StageMetrics { bytes_shipped: 2048, ..Default::default() };
+        let s = StageMetrics {
+            bytes_shipped: 2048,
+            ..Default::default()
+        };
         assert!((s.shipped_kib() - 2.0).abs() < 1e-9);
     }
 

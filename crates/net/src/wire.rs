@@ -24,7 +24,9 @@ impl WireWriter {
 
     /// A writer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        WireWriter { buf: BytesMut::with_capacity(cap) }
+        WireWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Write an unsigned varint (LEB128).
@@ -230,7 +232,12 @@ mod tests {
     #[test]
     fn mixed_payload_roundtrip() {
         let mut w = WireWriter::new();
-        w.u64(42).bool(true).str("hello").opt_u64(None).opt_u64(Some(7)).u64_fixed(0xdead_beef);
+        w.u64(42)
+            .bool(true)
+            .str("hello")
+            .opt_u64(None)
+            .opt_u64(Some(7))
+            .u64_fixed(0xdead_beef);
         w.bytes(&[1, 2, 3]);
         let mut r = WireReader::new(w.finish());
         assert_eq!(r.u64().unwrap(), 42);

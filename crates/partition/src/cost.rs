@@ -72,8 +72,7 @@ pub fn partitioning_cost(dist: &DistributedGraph) -> CostReport {
         incident.values().map(|&c| (c * c) as f64).sum::<f64>() / (2.0 * ec as f64)
     };
 
-    let fragment_edge_sizes: Vec<usize> =
-        dist.fragments.iter().map(|f| f.edge_size()).collect();
+    let fragment_edge_sizes: Vec<usize> = dist.fragments.iter().map(|f| f.edge_size()).collect();
     let max_fragment_edges = fragment_edge_sizes.iter().copied().max().unwrap_or(0);
 
     CostReport {
@@ -171,7 +170,11 @@ mod tests {
         assert_eq!(dist.validate(), None);
         let r = partitioning_cost(&dist);
         assert_eq!(r.crossing_edges, 4);
-        assert!((r.expectation - 2.5).abs() < 1e-9, "E_F(V) = {}", r.expectation);
+        assert!(
+            (r.expectation - 2.5).abs() < 1e-9,
+            "E_F(V) = {}",
+            r.expectation
+        );
         assert_eq!(r.max_fragment_edges, 11);
         assert!((r.cost - 27.5).abs() < 1e-9, "cost = {}", r.cost);
     }
@@ -182,7 +185,11 @@ mod tests {
         assert_eq!(dist.validate(), None);
         let r = partitioning_cost(&dist);
         assert_eq!(r.crossing_edges, 5);
-        assert!((r.expectation - 1.8).abs() < 1e-9, "E_F(V) = {}", r.expectation);
+        assert!(
+            (r.expectation - 1.8).abs() < 1e-9,
+            "E_F(V) = {}",
+            r.expectation
+        );
         assert_eq!(r.max_fragment_edges, 13);
         assert!((r.cost - 23.4).abs() < 1e-9, "cost = {}", r.cost);
     }

@@ -192,7 +192,10 @@ impl DistributedGraph {
     pub fn build_with_assignment(graph: RdfGraph, assignment: PartitionAssignment) -> Self {
         let k = assignment.k;
         let mut fragments: Vec<Fragment> = (0..k)
-            .map(|id| Fragment { id, ..Fragment::default() })
+            .map(|id| Fragment {
+                id,
+                ..Fragment::default()
+            })
             .collect();
 
         for v in graph.vertices() {
@@ -335,10 +338,8 @@ impl DistributedGraph {
         }
         // Edge conservation: every edge appears as internal exactly once or
         // as crossing exactly twice.
-        let internal_total: usize =
-            self.fragments.iter().map(|f| f.internal_edges.len()).sum();
-        let crossing_total: usize =
-            self.fragments.iter().map(|f| f.crossing_edges.len()).sum();
+        let internal_total: usize = self.fragments.iter().map(|f| f.internal_edges.len()).sum();
+        let crossing_total: usize = self.fragments.iter().map(|f| f.crossing_edges.len()).sum();
         if internal_total + crossing_total / 2 != self.total_edges
             || !crossing_total.is_multiple_of(2)
         {
@@ -386,8 +387,7 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(v0, 0);
         map.insert(v1, 1);
-        let dist =
-            DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map));
         assert_eq!(dist.validate(), None);
         assert_eq!(dist.fragments[0].crossing_edges.len(), 1);
         assert_eq!(dist.fragments[1].crossing_edges.len(), 1);
@@ -447,8 +447,7 @@ mod tests {
         ));
         let dist = DistributedGraph::build(g, &HashPartitioner::new(4));
         assert_eq!(dist.validate(), None);
-        let total_crossing: usize =
-            dist.fragments.iter().map(|f| f.crossing_edges.len()).sum();
+        let total_crossing: usize = dist.fragments.iter().map(|f| f.crossing_edges.len()).sum();
         assert_eq!(total_crossing, 0);
     }
 

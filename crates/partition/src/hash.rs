@@ -21,7 +21,10 @@ impl HashPartitioner {
     /// Hash partitioner over `k` fragments.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one fragment");
-        HashPartitioner { k, seed: 0x9e3779b97f4a7c15 }
+        HashPartitioner {
+            k,
+            seed: 0x9e3779b97f4a7c15,
+        }
     }
 
     /// Same, with an explicit seed (lets tests derive different layouts).
@@ -65,7 +68,10 @@ impl Partitioner for HashPartitioner {
             let f = (mix64(v.0 ^ self.seed) % self.k as u64) as FragmentId;
             of_vertex.insert(v, f);
         }
-        PartitionAssignment { k: self.k, of_vertex }
+        PartitionAssignment {
+            k: self.k,
+            of_vertex,
+        }
     }
 }
 
@@ -110,7 +116,10 @@ impl Partitioner for ExplicitPartitioner {
         for v in graph.vertices() {
             of_vertex.insert(v, *self.map.get(&v).unwrap_or(&self.default));
         }
-        PartitionAssignment { k: self.k, of_vertex }
+        PartitionAssignment {
+            k: self.k,
+            of_vertex,
+        }
     }
 }
 

@@ -102,7 +102,10 @@ impl Partitioner for MetisLikePartitioner {
             verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let n = verts.len();
         if n == 0 {
-            return PartitionAssignment { k: self.k, of_vertex: HashMap::new() };
+            return PartitionAssignment {
+                k: self.k,
+                of_vertex: HashMap::new(),
+            };
         }
 
         let mut weights: HashMap<(usize, usize), u64> = HashMap::new();
@@ -120,7 +123,11 @@ impl Partitioner for MetisLikePartitioner {
             adj[a].push((b, w));
             adj[b].push((a, w));
         }
-        let mut levels = vec![Level { adj, vwgt: vec![1; n], coarse_of: Vec::new() }];
+        let mut levels = vec![Level {
+            adj,
+            vwgt: vec![1; n],
+            coarse_of: Vec::new(),
+        }];
 
         // --- Coarsening ---
         while levels.last().expect("non-empty").n() > self.coarsen_target {
@@ -138,7 +145,13 @@ impl Partitioner for MetisLikePartitioner {
         let mut part = initial_partition(coarsest, self.k, self.seed);
 
         // --- Uncoarsen + refine ---
-        refine(coarsest, &mut part, self.k, self.refine_passes, self.balance_factor);
+        refine(
+            coarsest,
+            &mut part,
+            self.k,
+            self.refine_passes,
+            self.balance_factor,
+        );
         for li in (0..levels.len() - 1).rev() {
             let finer = &levels[li];
             let mut finer_part = vec![0usize; finer.n()];
@@ -146,12 +159,24 @@ impl Partitioner for MetisLikePartitioner {
                 finer_part[v] = part[finer.coarse_of[v]];
             }
             part = finer_part;
-            refine(finer, &mut part, self.k, self.refine_passes, self.balance_factor);
+            refine(
+                finer,
+                &mut part,
+                self.k,
+                self.refine_passes,
+                self.balance_factor,
+            );
         }
 
-        let of_vertex =
-            verts.iter().enumerate().map(|(i, &v)| (v, part[i] as FragmentId)).collect();
-        PartitionAssignment { k: self.k, of_vertex }
+        let of_vertex = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, part[i] as FragmentId))
+            .collect();
+        PartitionAssignment {
+            k: self.k,
+            of_vertex,
+        }
     }
 }
 
@@ -228,7 +253,14 @@ fn coarsen(cur: &mut Level, seed: u64) -> (Level, bool) {
         adj[b].push((a, w));
     }
     cur.coarse_of = coarse_of;
-    (Level { adj, vwgt, coarse_of: Vec::new() }, shrunk)
+    (
+        Level {
+            adj,
+            vwgt,
+            coarse_of: Vec::new(),
+        },
+        shrunk,
+    )
 }
 
 /// Greedy graph growing: grow `k` regions from spread-out seeds by

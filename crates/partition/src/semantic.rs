@@ -44,7 +44,11 @@ impl SemanticHashPartitioner {
     /// authority; deeper keys would scatter a university's departments.
     pub fn new(k: usize) -> Self {
         assert!(k > 0);
-        SemanticHashPartitioner { k, path_depth: 0, seed: 0x5ee_d5eed }
+        SemanticHashPartitioner {
+            k,
+            path_depth: 0,
+            seed: 0x5ee_d5eed,
+        }
     }
 
     /// Override the number of path segments included in the hierarchy key.
@@ -61,10 +65,7 @@ impl SemanticHashPartitioner {
 /// `www.university0.edu/Department3`; `http://yago.org/resource/X` gives
 /// `yago.org/resource` for every entity (a degenerate hierarchy).
 pub fn hierarchy_key(iri: &str, depth: usize) -> String {
-    let rest = iri
-        .split_once("://")
-        .map(|(_, r)| r)
-        .unwrap_or(iri);
+    let rest = iri.split_once("://").map(|(_, r)| r).unwrap_or(iri);
     let mut parts = rest.split('/');
     let authority = parts.next().unwrap_or(rest).to_ascii_lowercase();
     let mut key = authority;
@@ -110,12 +111,13 @@ impl Partitioner for SemanticHashPartitioner {
         // covers more than 2/k of the IRI vertices (i.e. twice a balanced
         // fragment's share).
         let max_pop = key_population.values().copied().max().unwrap_or(0);
-        let degenerate =
-            self.k > 1 && iri_count > 0 && max_pop * self.k > 2 * iri_count;
+        let degenerate = self.k > 1 && iri_count > 0 && max_pop * self.k > 2 * iri_count;
 
         for (v, key) in &keys {
             let f = if degenerate {
-                let Term::Iri(iri) = graph.term(*v) else { unreachable!() };
+                let Term::Iri(iri) = graph.term(*v) else {
+                    unreachable!()
+                };
                 (hash_str(iri, self.seed) % self.k as u64) as FragmentId
             } else {
                 (hash_str(key, self.seed) % self.k as u64) as FragmentId
@@ -151,7 +153,10 @@ impl Partitioner for SemanticHashPartitioner {
             of_vertex.insert(v, f);
         }
 
-        PartitionAssignment { k: self.k, of_vertex }
+        PartitionAssignment {
+            k: self.k,
+            of_vertex,
+        }
     }
 }
 
@@ -175,10 +180,7 @@ mod tests {
             "yago.org/resource"
         );
         assert_eq!(hierarchy_key("no-scheme-string", 1), "no-scheme-string");
-        assert_eq!(
-            hierarchy_key("http://ex.org/onto#Thing", 1),
-            "ex.org/onto"
-        );
+        assert_eq!(hierarchy_key("http://ex.org/onto#Thing", 1), "ex.org/onto");
     }
 
     fn university_graph(unis: usize, per_uni: usize) -> RdfGraph {
@@ -209,11 +211,13 @@ mod tests {
         // All entities of one university share a fragment.
         for u in 0..8 {
             let f0 = a.fragment_of(
-                g.vertex_of(&Term::iri(format!("http://www.Univ{u}.edu/e0"))).unwrap(),
+                g.vertex_of(&Term::iri(format!("http://www.Univ{u}.edu/e0")))
+                    .unwrap(),
             );
             for i in 1..20 {
                 let fi = a.fragment_of(
-                    g.vertex_of(&Term::iri(format!("http://www.Univ{u}.edu/e{i}"))).unwrap(),
+                    g.vertex_of(&Term::iri(format!("http://www.Univ{u}.edu/e{i}")))
+                        .unwrap(),
                 );
                 assert_eq!(f0, fi, "university {u} split across fragments");
             }
@@ -278,7 +282,9 @@ mod tests {
             }
         }
         let g = RdfGraph::from_triples(triples);
-        let a = SemanticHashPartitioner::new(4).with_path_depth(0).assign(&g);
+        let a = SemanticHashPartitioner::new(4)
+            .with_path_depth(0)
+            .assign(&g);
         for u in 0..4 {
             for i in 0..10 {
                 let subj = g

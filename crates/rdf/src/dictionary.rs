@@ -10,8 +10,12 @@
 //! exchange encoded ids exactly as we do).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::term::Term;
+
+/// Monotonic source of dictionary identities (see [`Dictionary::uid`]).
+static NEXT_DICT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Dense identifier for an interned [`Term`].
 ///
@@ -35,10 +39,27 @@ impl std::fmt::Display for TermId {
 }
 
 /// Bidirectional mapping `Term <-> TermId`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Dictionary {
+    /// Instance identity: refreshed every time a new term is interned,
+    /// so two dictionaries share a uid only when one is a clone of the
+    /// other with no interning since — i.e. their id spaces are
+    /// guaranteed identical. Prepared query plans record it so executing
+    /// a plan against the wrong graph is caught instead of binding
+    /// garbage ids.
+    uid: u64,
     by_term: HashMap<Term, TermId>,
     by_id: Vec<Term>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            uid: NEXT_DICT_UID.fetch_add(1, Ordering::Relaxed),
+            by_term: HashMap::new(),
+            by_id: Vec::new(),
+        }
+    }
 }
 
 impl Dictionary {
@@ -49,10 +70,24 @@ impl Dictionary {
 
     /// An empty dictionary with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Dictionary { by_term: HashMap::with_capacity(cap), by_id: Vec::with_capacity(cap) }
+        Dictionary {
+            uid: NEXT_DICT_UID.fetch_add(1, Ordering::Relaxed),
+            by_term: HashMap::with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Identity of this dictionary instance (shared by clones, distinct
+    /// across independently built dictionaries).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Intern a term, returning its (possibly pre-existing) id.
+    ///
+    /// Interning a *new* term refreshes [`Dictionary::uid`]: the id
+    /// space changed, so fingerprints taken before the mutation no
+    /// longer match (see the `uid` field docs).
     pub fn intern(&mut self, term: Term) -> TermId {
         if let Some(&id) = self.by_term.get(&term) {
             return id;
@@ -60,6 +95,7 @@ impl Dictionary {
         let id = TermId(self.by_id.len() as u64);
         self.by_id.push(term.clone());
         self.by_term.insert(term, id);
+        self.uid = NEXT_DICT_UID.fetch_add(1, Ordering::Relaxed);
         id
     }
 
@@ -82,7 +118,8 @@ impl Dictionary {
     ///
     /// Intended for internal use where ids are known-valid by construction.
     pub fn resolve(&self, id: TermId) -> &Term {
-        self.term_of(id).unwrap_or_else(|| panic!("dangling TermId {id}"))
+        self.term_of(id)
+            .unwrap_or_else(|| panic!("dangling TermId {id}"))
     }
 
     /// Number of interned terms.
@@ -97,13 +134,42 @@ impl Dictionary {
 
     /// Iterate over `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.by_id.iter().enumerate().map(|(i, t)| (TermId(i as u64), t))
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u64), t))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clones_share_uid_but_fresh_dictionaries_do_not() {
+        let mut d = Dictionary::new();
+        d.intern(Term::iri("http://a"));
+        assert_eq!(d.clone().uid(), d.uid());
+        assert_ne!(Dictionary::new().uid(), d.uid());
+        assert_ne!(Dictionary::with_capacity(4).uid(), d.uid());
+    }
+
+    #[test]
+    fn interning_a_new_term_refreshes_uid_but_reinterning_does_not() {
+        let mut d = Dictionary::new();
+        let before = d.uid();
+        d.intern(Term::iri("http://a"));
+        let after_new = d.uid();
+        assert_ne!(before, after_new, "new term changes the id space");
+        d.intern(Term::iri("http://a"));
+        assert_eq!(d.uid(), after_new, "re-interning changes nothing");
+        // Diverged clones with equal sizes get distinct uids.
+        let (mut c1, mut c2) = (d.clone(), d.clone());
+        c1.intern(Term::iri("http://x"));
+        c2.intern(Term::iri("http://y"));
+        assert_eq!(c1.len(), c2.len());
+        assert_ne!(c1.uid(), c2.uid());
+    }
 
     #[test]
     fn intern_is_idempotent() {
@@ -117,8 +183,9 @@ mod tests {
     #[test]
     fn ids_are_dense_and_ordered() {
         let mut d = Dictionary::new();
-        let ids: Vec<TermId> =
-            (0..100).map(|i| d.intern(Term::iri(format!("http://x/{i}")))).collect();
+        let ids: Vec<TermId> = (0..100)
+            .map(|i| d.intern(Term::iri(format!("http://x/{i}"))))
+            .collect();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(id.index(), i);
         }

@@ -45,10 +45,15 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = RdfError::Syntax { line: 3, message: "bad iri".into() };
+        let e = RdfError::Syntax {
+            line: 3,
+            message: "bad iri".into(),
+        };
         assert_eq!(e.to_string(), "N-Triples syntax error at line 3: bad iri");
         assert_eq!(RdfError::UnknownTermId(9).to_string(), "unknown term id 9");
-        assert!(RdfError::InvalidIri("x".into()).to_string().contains("invalid IRI"));
+        assert!(RdfError::InvalidIri("x".into())
+            .to_string()
+            .contains("invalid IRI"));
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl EdgeRef {
 
 impl From<EncodedTriple> for EdgeRef {
     fn from(t: EncodedTriple) -> Self {
-        EdgeRef { from: t.subject, label: t.predicate, to: t.object }
+        EdgeRef {
+            from: t.subject,
+            label: t.predicate,
+            to: t.object,
+        }
     }
 }
 
@@ -126,12 +130,18 @@ impl RdfGraph {
             return false;
         }
         out.push((e.predicate, e.object));
-        self.inc.entry(e.object).or_default().push((e.predicate, e.subject));
+        self.inc
+            .entry(e.object)
+            .or_default()
+            .push((e.predicate, e.subject));
         // Make sure the object also exists as a vertex with (possibly empty)
         // out-adjacency, so `vertices()` sees it.
         self.out.entry(e.object).or_default();
         self.inc.entry(e.subject).or_default();
-        self.by_pred.entry(e.predicate).or_default().push((e.subject, e.object));
+        self.by_pred
+            .entry(e.predicate)
+            .or_default()
+            .push((e.subject, e.object));
         self.n_edges += 1;
         true
     }
@@ -183,7 +193,9 @@ impl RdfGraph {
 
     /// Whether the edge `from -label-> to` exists.
     pub fn has_edge(&self, from: VertexId, label: TermId, to: VertexId) -> bool {
-        self.out_edges(from).iter().any(|&(l, t)| l == label && t == to)
+        self.out_edges(from)
+            .iter()
+            .any(|&(l, t)| l == label && t == to)
     }
 
     /// Whether any edge `from -?-> to` exists; returns all labels between them.
@@ -198,7 +210,8 @@ impl RdfGraph {
     /// Iterate over every edge of the graph.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
         self.out.iter().flat_map(|(&from, adj)| {
-            adj.iter().map(move |&(label, to)| EdgeRef { from, label, to })
+            adj.iter()
+                .map(move |&(label, to)| EdgeRef { from, label, to })
         })
     }
 
@@ -276,9 +289,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> RdfGraph {
-        let t = |s: &str, p: &str, o: &str| {
-            Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
-        };
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
         RdfGraph::from_triples(vec![
             t("a", "p", "b"),
             t("a", "q", "b"),
@@ -290,7 +301,10 @@ mod tests {
     #[test]
     fn counts() {
         let g = tiny();
-        assert_eq!(g.vertex_count(), 3 + 2 /* predicates interned as vertices? no */ - 2);
+        assert_eq!(
+            g.vertex_count(),
+            3 + 2 /* predicates interned as vertices? no */ - 2
+        );
         // subjects/objects: a, b, c
         assert_eq!(g.edge_count(), 4);
     }
@@ -350,7 +364,11 @@ mod tests {
             Term::iri(crate::vocab::rdf::TYPE),
             Term::iri("http://Class"),
         ));
-        g.insert(&Triple::new(Term::iri("http://e"), Term::iri("p"), Term::iri("o")));
+        g.insert(&Triple::new(
+            Term::iri("http://e"),
+            Term::iri("p"),
+            Term::iri("o"),
+        ));
         assert_eq!(g.edge_count(), 1, "type triple is not an edge");
         assert_eq!(g.type_triple_count(), 1);
         let e = g.vertex_of(&Term::iri("http://e")).unwrap();
@@ -384,7 +402,10 @@ mod tests {
             Term::lang_lit("X", "en"),
         ));
         let lit = g.vertex_of(&Term::lang_lit("X", "en"));
-        assert!(lit.is_some(), "object literal must be a graph vertex (paper Fig. 1)");
+        assert!(
+            lit.is_some(),
+            "object literal must be a graph vertex (paper Fig. 1)"
+        );
         assert_eq!(g.out_edges(lit.unwrap()).len(), 0);
         assert_eq!(g.in_edges(lit.unwrap()).len(), 1);
     }

@@ -37,7 +37,11 @@ pub fn parse_ntriples_reader<R: BufRead>(reader: R) -> Result<Vec<Triple>> {
 
 /// Parse a single line. Returns `Ok(None)` for blank/comment lines.
 pub fn parse_ntriples_line(line: &str, lineno: usize) -> Result<Option<Triple>> {
-    let mut p = LineParser { s: line.as_bytes(), pos: 0, lineno };
+    let mut p = LineParser {
+        s: line.as_bytes(),
+        pos: 0,
+        lineno,
+    };
     p.skip_ws();
     if p.eof() || p.peek() == b'#' {
         return Ok(None);
@@ -105,7 +109,10 @@ impl<'a> LineParser<'a> {
     }
 
     fn err(&self, msg: &str) -> RdfError {
-        RdfError::Syntax { line: self.lineno, message: format!("{msg} (col {})", self.pos + 1) }
+        RdfError::Syntax {
+            line: self.lineno,
+            message: format!("{msg} (col {})", self.pos + 1),
+        }
     }
 
     fn parse_term(&mut self) -> Result<Term> {
@@ -188,6 +195,7 @@ impl<'a> LineParser<'a> {
         let lexical =
             unescape_literal(raw).ok_or_else(|| self.err("malformed escape in literal"))?;
         self.pos += 1; // closing quote
+
         // Optional @lang or ^^<datatype>.
         if !self.eof() && self.peek() == b'@' {
             self.pos += 1;
@@ -248,7 +256,10 @@ mod tests {
         match t.object {
             Term::Literal(l) => {
                 assert_eq!(l.lexical, "5");
-                assert_eq!(l.datatype.as_deref(), Some("http://www.w3.org/2001/XMLSchema#int"));
+                assert_eq!(
+                    l.datatype.as_deref(),
+                    Some("http://www.w3.org/2001/XMLSchema#int")
+                );
             }
             _ => panic!("expected literal"),
         }
@@ -258,7 +269,9 @@ mod tests {
     fn parses_blank_nodes_and_comments() {
         assert!(parse_ntriples_line("# a comment", 1).unwrap().is_none());
         assert!(parse_ntriples_line("   ", 1).unwrap().is_none());
-        let t = parse_ntriples_line("_:b1 <http://p> _:b2 .", 1).unwrap().unwrap();
+        let t = parse_ntriples_line("_:b1 <http://p> _:b2 .", 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.subject, Term::blank("b1"));
         assert_eq!(t.object, Term::blank("b2"));
     }
@@ -305,8 +318,7 @@ mod tests {
 
     #[test]
     fn line_comment_after_dot_is_allowed() {
-        let t = parse_ntriples_line("<http://a> <http://p> <http://b> . # trailing", 1)
-            .unwrap();
+        let t = parse_ntriples_line("<http://a> <http://p> <http://b> . # trailing", 1).unwrap();
         assert!(t.is_some());
     }
 }

@@ -46,8 +46,11 @@ pub fn graph_stats(g: &RdfGraph) -> GraphStats {
     top.truncate(10);
 
     let distinct_classes = {
-        let mut cs: Vec<TermId> =
-            g.class_map().values().flat_map(|v| v.iter().copied()).collect();
+        let mut cs: Vec<TermId> = g
+            .class_map()
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
         cs.sort_unstable();
         cs.dedup();
         cs.len()
@@ -105,15 +108,17 @@ mod tests {
     use crate::triple::Triple;
 
     fn sample() -> RdfGraph {
-        let t = |s: &str, p: &str, o: Term| {
-            Triple::new(Term::iri(s), Term::iri(p), o)
-        };
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::iri(s), Term::iri(p), o);
         let mut g = RdfGraph::from_triples(vec![
             t("http://a", "http://p", Term::iri("http://b")),
             t("http://a", "http://p", Term::iri("http://c")),
             t("http://a", "http://q", Term::lit("label a")),
             t("http://b", "http://q", Term::lit("label b")),
-            t("http://a", crate::vocab::rdf::TYPE, Term::iri("http://Class")),
+            t(
+                "http://a",
+                crate::vocab::rdf::TYPE,
+                Term::iri("http://Class"),
+            ),
         ]);
         g.finalize();
         g

@@ -22,7 +22,11 @@ pub struct Literal {
 impl Literal {
     /// A plain literal with neither language tag nor datatype.
     pub fn plain(lexical: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), language: None, datatype: None }
+        Literal {
+            lexical: lexical.into(),
+            language: None,
+            datatype: None,
+        }
     }
 
     /// A language-tagged literal such as `"Crispin Wright"@en`.
@@ -36,7 +40,11 @@ impl Literal {
 
     /// A typed literal such as `"1942-12-21"^^xsd:date`.
     pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), language: None, datatype: Some(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            language: None,
+            datatype: Some(datatype.into()),
+        }
     }
 }
 
@@ -181,7 +189,11 @@ mod tests {
         assert_eq!(p.language, None);
         assert_eq!(p.datatype, None);
         let l = Literal::lang("Crispin Wright", "EN");
-        assert_eq!(l.language.as_deref(), Some("en"), "language tags are lowercased");
+        assert_eq!(
+            l.language.as_deref(),
+            Some("en"),
+            "language tags are lowercased"
+        );
         let t = Literal::typed("1", "http://www.w3.org/2001/XMLSchema#integer");
         assert!(t.datatype.is_some());
     }
@@ -218,7 +230,10 @@ mod tests {
     #[test]
     fn unescape_unicode_escapes() {
         assert_eq!(unescape_literal("\\u0041").as_deref(), Some("A"));
-        assert_eq!(unescape_literal("\\U0001F600").as_deref(), Some("\u{1F600}"));
+        assert_eq!(
+            unescape_literal("\\U0001F600").as_deref(),
+            Some("\u{1F600}")
+        );
         assert_eq!(unescape_literal("\\q"), None, "unknown escape rejected");
         assert_eq!(unescape_literal("\\u00"), None, "short hex rejected");
     }

@@ -14,7 +14,11 @@ pub struct Triple {
 impl Triple {
     /// Construct a triple from three terms.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
-        Triple { subject, predicate, object }
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Encode this triple against a dictionary, interning as needed.
@@ -44,7 +48,11 @@ pub struct EncodedTriple {
 impl EncodedTriple {
     /// Construct from raw ids.
     pub fn new(subject: TermId, predicate: TermId, object: TermId) -> Self {
-        EncodedTriple { subject, predicate, object }
+        EncodedTriple {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Decode against a dictionary; returns `None` if any id is dangling.

@@ -37,8 +37,7 @@ pub mod lubm {
 
     pub const UNIVERSITY: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#University";
     pub const DEPARTMENT: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Department";
-    pub const FULL_PROFESSOR: &str =
-        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#FullProfessor";
+    pub const FULL_PROFESSOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#FullProfessor";
     pub const ASSOCIATE_PROFESSOR: &str =
         "http://swat.cse.lehigh.edu/onto/univ-bench.owl#AssociateProfessor";
     pub const ASSISTANT_PROFESSOR: &str =
@@ -51,8 +50,7 @@ pub mod lubm {
     pub const COURSE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Course";
     pub const GRADUATE_COURSE: &str =
         "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateCourse";
-    pub const RESEARCH_GROUP: &str =
-        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#ResearchGroup";
+    pub const RESEARCH_GROUP: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#ResearchGroup";
     pub const PUBLICATION: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Publication";
 
     pub const WORKS_FOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor";
@@ -74,8 +72,7 @@ pub mod lubm {
         "http://swat.cse.lehigh.edu/onto/univ-bench.owl#publicationAuthor";
     pub const HEAD_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#headOf";
     pub const NAME: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#name";
-    pub const EMAIL_ADDRESS: &str =
-        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#emailAddress";
+    pub const EMAIL_ADDRESS: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#emailAddress";
     pub const TELEPHONE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#telephone";
     pub const RESEARCH_INTEREST: &str =
         "http://swat.cse.lehigh.edu/onto/univ-bench.owl#researchInterest";

@@ -50,9 +50,7 @@ pub fn analyze(q: &QueryGraph) -> ShapeReport {
     let m = q.edge_count();
 
     // Star: some vertex is incident to every edge.
-    let star_center = (0..n).find(|&c| {
-        q.edges().iter().all(|e| e.from == c || e.to == c)
-    });
+    let star_center = (0..n).find(|&c| q.edges().iter().all(|e| e.from == c || e.to == c));
 
     // Cycle detection on the undirected simple graph; multi-edges between
     // the same pair count as a cycle only if they connect distinct vertices.
@@ -94,7 +92,11 @@ pub fn analyze(q: &QueryGraph) -> ShapeReport {
 
     ShapeReport {
         shape,
-        star_center: if shape == QueryShape::Star { star_center } else { None },
+        star_center: if shape == QueryShape::Star {
+            star_center
+        } else {
+            None
+        },
         has_selective_pattern,
         selective_pattern_count,
         vertex_count: n,
@@ -146,9 +148,8 @@ mod tests {
 
     #[test]
     fn star_query_detected() {
-        let g = graph(
-            "SELECT * WHERE { ?x <http://p> ?a . ?x <http://q> ?b . ?x <http://r> ?c . }",
-        );
+        let g =
+            graph("SELECT * WHERE { ?x <http://p> ?a . ?x <http://q> ?b . ?x <http://r> ?c . }");
         let r = analyze(&g);
         assert_eq!(r.shape, QueryShape::Star);
         assert_eq!(r.star_center, g.vertex_of_var("x"));
@@ -169,9 +170,8 @@ mod tests {
 
     #[test]
     fn path_query_detected() {
-        let g = graph(
-            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?c <http://r> ?d . }",
-        );
+        let g =
+            graph("SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?c <http://r> ?d . }");
         assert_eq!(analyze(&g).shape, QueryShape::Path);
     }
 
@@ -179,9 +179,8 @@ mod tests {
     fn cyclic_query_detected() {
         // The paper's Fig. 2 query contains the cycle p1-p2-t? No: p1->p2,
         // p2->t, t->l, p1->lit — that is a tree. Build an actual triangle.
-        let g = graph(
-            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?c <http://r> ?a . }",
-        );
+        let g =
+            graph("SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . ?c <http://r> ?a . }");
         assert_eq!(analyze(&g).shape, QueryShape::Cyclic);
     }
 
@@ -198,7 +197,10 @@ mod tests {
         let r = analyze(&g);
         // l - t - p2 - p1 - "Crispin Wright" is a simple path.
         assert_eq!(r.shape, QueryShape::Path);
-        assert!(!r.is_star(), "Fig. 2 query must go through distributed evaluation");
+        assert!(
+            !r.is_star(),
+            "Fig. 2 query must go through distributed evaluation"
+        );
         assert!(r.has_selective_pattern, "constant object = selective");
         assert_eq!(r.selective_pattern_count, 1);
     }

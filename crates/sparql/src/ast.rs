@@ -64,7 +64,11 @@ pub struct TriplePattern {
 
 impl TriplePattern {
     pub fn new(subject: TermPattern, predicate: TermPattern, object: TermPattern) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Variables mentioned by this pattern, in s/p/o order, deduplicated.

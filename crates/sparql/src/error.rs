@@ -41,8 +41,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SparqlError::Parse { offset: 12, message: "expected '{'".into() };
+        let e = SparqlError::Parse {
+            offset: 12,
+            message: "expected '{'".into(),
+        };
         assert!(e.to_string().contains("byte 12"));
-        assert!(SparqlError::UnknownPrefix("foo:".into()).to_string().contains("foo:"));
+        assert!(SparqlError::UnknownPrefix("foo:".into())
+            .to_string()
+            .contains("foo:"));
     }
 }

@@ -20,11 +20,18 @@ pub enum TokenKind {
     /// An IRI without angle brackets.
     Iri(String),
     /// A prefixed name `prefix:local`, kept split.
-    PrefixedName { prefix: String, local: String },
+    PrefixedName {
+        prefix: String,
+        local: String,
+    },
     /// The keyword `a` (shorthand for `rdf:type`).
     A,
     /// A literal: lexical form plus optional language or datatype suffix.
-    Literal { lexical: String, language: Option<String>, datatype: Option<LiteralDatatype> },
+    Literal {
+        lexical: String,
+        language: Option<String>,
+        datatype: Option<LiteralDatatype>,
+    },
     /// A bare integer (sugar for an xsd:integer literal).
     Integer(String),
     Dot,
@@ -60,27 +67,45 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             b'.' => {
-                toks.push(Token { kind: TokenKind::Dot, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(Token { kind: TokenKind::Semicolon, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(Token { kind: TokenKind::Comma, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'{' => {
-                toks.push(Token { kind: TokenKind::LBrace, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             b'}' => {
-                toks.push(Token { kind: TokenKind::RBrace, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                toks.push(Token { kind: TokenKind::Star, offset: i });
+                toks.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'?' | b'$' => {
@@ -166,9 +191,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let word = &input[start..i];
                 let upper = word.to_ascii_uppercase();
                 if word == "a" {
-                    toks.push(Token { kind: TokenKind::A, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::A,
+                        offset: start,
+                    });
                 } else if KEYWORDS.contains(&upper.as_str()) {
-                    toks.push(Token { kind: TokenKind::Keyword(upper), offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Keyword(upper),
+                        offset: start,
+                    });
                 } else {
                     return Err(SparqlError::Lex {
                         offset: start,
@@ -200,7 +231,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    toks.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(toks)
 }
 
@@ -215,7 +249,10 @@ fn lex_literal(input: &str, start: usize) -> Result<(Token, usize)> {
     let mut lexical = String::new();
     loop {
         if i >= bytes.len() {
-            return Err(SparqlError::Lex { offset: start, message: "unterminated literal".into() });
+            return Err(SparqlError::Lex {
+                offset: start,
+                message: "unterminated literal".into(),
+            });
         }
         match bytes[i] {
             b'\\' => {
@@ -264,7 +301,10 @@ fn lex_literal(input: &str, start: usize) -> Result<(Token, usize)> {
             i += 1;
         }
         if i == tag_start {
-            return Err(SparqlError::Lex { offset: tag_start, message: "empty language tag".into() });
+            return Err(SparqlError::Lex {
+                offset: tag_start,
+                message: "empty language tag".into(),
+            });
         }
         language = Some(input[tag_start..i].to_ascii_lowercase());
     } else if i + 1 < bytes.len() && bytes[i] == b'^' && bytes[i + 1] == b'^' {
@@ -307,7 +347,17 @@ fn lex_literal(input: &str, start: usize) -> Result<(Token, usize)> {
             });
         }
     }
-    Ok((Token { kind: TokenKind::Literal { lexical, language, datatype }, offset: start }, i))
+    Ok((
+        Token {
+            kind: TokenKind::Literal {
+                lexical,
+                language,
+                datatype,
+            },
+            offset: start,
+        },
+        i,
+    ))
 }
 
 #[cfg(test)]
@@ -315,7 +365,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -346,10 +400,19 @@ mod tests {
         assert_eq!(ks[0], TokenKind::Iri("http://x/y".into()));
         assert_eq!(
             ks[1],
-            TokenKind::PrefixedName { prefix: "foaf".into(), local: "name".into() }
+            TokenKind::PrefixedName {
+                prefix: "foaf".into(),
+                local: "name".into()
+            }
         );
         assert_eq!(ks[2], TokenKind::A);
-        assert_eq!(ks[3], TokenKind::PrefixedName { prefix: String::new(), local: "bare".into() });
+        assert_eq!(
+            ks[3],
+            TokenKind::PrefixedName {
+                prefix: String::new(),
+                local: "bare".into()
+            }
+        );
     }
 
     #[test]
@@ -357,7 +420,11 @@ mod tests {
         let ks = kinds(r#""plain" "tag"@en "d"^^<http://t> "p"^^xsd:date 42"#);
         assert_eq!(
             ks[0],
-            TokenKind::Literal { lexical: "plain".into(), language: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "plain".into(),
+                language: None,
+                datatype: None
+            }
         );
         assert_eq!(
             ks[1],
@@ -377,7 +444,10 @@ mod tests {
         );
         assert!(matches!(
             &ks[3],
-            TokenKind::Literal { datatype: Some(LiteralDatatype::Prefixed { .. }), .. }
+            TokenKind::Literal {
+                datatype: Some(LiteralDatatype::Prefixed { .. }),
+                ..
+            }
         ));
         assert_eq!(ks[4], TokenKind::Integer("42".into()));
     }
@@ -387,7 +457,11 @@ mod tests {
         let ks = kinds(r#""a\"b\nc""#);
         assert_eq!(
             ks[0],
-            TokenKind::Literal { lexical: "a\"b\nc".into(), language: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "a\"b\nc".into(),
+                language: None,
+                datatype: None
+            }
         );
     }
 

@@ -12,7 +12,12 @@ use crate::Result;
 /// Parse a SPARQL BGP query string into a [`Query`].
 pub fn parse_query(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
-    Parser { tokens, pos: 0, prefixes: HashMap::new() }.parse()
+    Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    }
+    .parse()
 }
 
 struct Parser {
@@ -39,7 +44,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> SparqlError {
-        SparqlError::Parse { offset: self.offset(), message: message.into() }
+        SparqlError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
@@ -117,7 +125,10 @@ impl Parser {
             self.bump();
             match self.bump() {
                 TokenKind::Integer(n) => {
-                    limit = Some(n.parse::<usize>().map_err(|_| self.err("LIMIT out of range"))?)
+                    limit = Some(
+                        n.parse::<usize>()
+                            .map_err(|_| self.err("LIMIT out of range"))?,
+                    )
                 }
                 _ => return Err(self.err("expected integer after LIMIT")),
             }
@@ -130,7 +141,12 @@ impl Parser {
         if patterns.is_empty() {
             return Err(SparqlError::InvalidBgp("empty basic graph pattern".into()));
         }
-        let q = Query { select, distinct, patterns, limit };
+        let q = Query {
+            select,
+            distinct,
+            patterns,
+            limit,
+        };
         // Projected variables must occur in the BGP.
         let vars = q.variables();
         for s in &q.select {
@@ -205,20 +221,26 @@ impl Parser {
             TokenKind::Var(v) => Ok(TermPattern::Var(v)),
             TokenKind::Iri(iri) => Ok(TermPattern::Const(Term::Iri(iri))),
             TokenKind::PrefixedName { prefix, local } => {
-                let base = self.prefixes.get(&prefix).ok_or_else(|| {
-                    SparqlError::UnknownPrefix(format!("{prefix}:"))
-                })?;
+                let base = self
+                    .prefixes
+                    .get(&prefix)
+                    .ok_or_else(|| SparqlError::UnknownPrefix(format!("{prefix}:")))?;
                 Ok(TermPattern::Const(Term::Iri(format!("{base}{local}"))))
             }
             TokenKind::A => Ok(TermPattern::iri(gstored_rdf::vocab::rdf::TYPE)),
-            TokenKind::Literal { lexical, language, datatype } => {
+            TokenKind::Literal {
+                lexical,
+                language,
+                datatype,
+            } => {
                 let lit = match (language, datatype) {
                     (Some(tag), None) => Literal::lang(lexical, tag),
                     (None, Some(LiteralDatatype::Iri(dt))) => Literal::typed(lexical, dt),
                     (None, Some(LiteralDatatype::Prefixed { prefix, local })) => {
-                        let base = self.prefixes.get(&prefix).ok_or_else(|| {
-                            SparqlError::UnknownPrefix(format!("{prefix}:"))
-                        })?;
+                        let base = self
+                            .prefixes
+                            .get(&prefix)
+                            .ok_or_else(|| SparqlError::UnknownPrefix(format!("{prefix}:")))?;
                         Literal::typed(lexical, format!("{base}{local}"))
                     }
                     (None, None) => Literal::plain(lexical),
@@ -293,7 +315,10 @@ mod tests {
     #[test]
     fn parses_a_shorthand() {
         let q = parse_query("SELECT ?x WHERE { ?x a <http://ex/Person> . }").unwrap();
-        assert_eq!(q.patterns[0].predicate, TermPattern::iri(gstored_rdf::vocab::rdf::TYPE));
+        assert_eq!(
+            q.patterns[0].predicate,
+            TermPattern::iri(gstored_rdf::vocab::rdf::TYPE)
+        );
     }
 
     #[test]
@@ -356,7 +381,10 @@ mod tests {
         match &q.patterns[0].object {
             TermPattern::Const(Term::Literal(l)) => {
                 assert_eq!(l.lexical, "42");
-                assert_eq!(l.datatype.as_deref(), Some(gstored_rdf::vocab::xsd::INTEGER));
+                assert_eq!(
+                    l.datatype.as_deref(),
+                    Some(gstored_rdf::vocab::xsd::INTEGER)
+                );
             }
             other => panic!("expected literal, got {other:?}"),
         }

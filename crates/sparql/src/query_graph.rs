@@ -106,8 +106,8 @@ impl QueryGraph {
         let mut vertices: Vec<QVertex> = Vec::new();
         let mut index: HashMap<QVertex, QVertexId> = HashMap::new();
         let intern = |tp: &TermPattern,
-                          vertices: &mut Vec<QVertex>,
-                          index: &mut HashMap<QVertex, QVertexId>|
+                      vertices: &mut Vec<QVertex>,
+                      index: &mut HashMap<QVertex, QVertexId>|
          -> QVertexId {
             let v = match tp {
                 TermPattern::Var(name) => QVertex::Var(name.clone()),
@@ -160,7 +160,12 @@ impl QueryGraph {
                 TermPattern::Var(v) => EdgeLabel::Var(v.clone()),
                 TermPattern::Const(t) => EdgeLabel::Const(t.clone()),
             };
-            edges.push(QEdge { index: edge_index, from, to, label });
+            edges.push(QEdge {
+                index: edge_index,
+                from,
+                to,
+                label,
+            });
         }
         // Intern constrained subjects (they may occur in no edge) and
         // attach the constraints.
@@ -280,7 +285,9 @@ impl QueryGraph {
 
     /// Ids of all variable vertices.
     pub fn var_vertices(&self) -> Vec<QVertexId> {
-        (0..self.vertices.len()).filter(|&v| self.vertices[v].is_var()).collect()
+        (0..self.vertices.len())
+            .filter(|&v| self.vertices[v].is_var())
+            .collect()
     }
 
     /// Class constraints of a vertex (from `rdf:type` patterns).
@@ -349,8 +356,7 @@ impl QueryGraph {
         assert!(n <= 30, "query too large for subset enumeration");
         let mut result: Vec<Vec<QVertexId>> = Vec::new();
         for mask in 1u32..(1u32 << n) {
-            let subset: Vec<QVertexId> =
-                (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let subset: Vec<QVertexId> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
             if self.subset_connected(&subset) {
                 result.push(subset);
             }
@@ -408,10 +414,7 @@ mod tests {
 
     #[test]
     fn disconnected_queries_are_rejected() {
-        let q = parse_query(
-            "SELECT * WHERE { ?a <http://p> ?b . ?c <http://p> ?d . }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { ?a <http://p> ?b . ?c <http://p> ?d . }").unwrap();
         assert!(matches!(
             QueryGraph::from_query(&q),
             Err(SparqlError::InvalidBgp(_))
@@ -441,10 +444,8 @@ mod tests {
 
     #[test]
     fn multiset_edges_are_preserved() {
-        let q = parse_query(
-            "SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?y . ?x ?z ?y . }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?y . ?x ?z ?y . }")
+            .unwrap();
         let g = QueryGraph::from_query(&q).unwrap();
         assert_eq!(g.edge_count(), 3, "E^Q is a multiset (Definition 2)");
     }

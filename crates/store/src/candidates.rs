@@ -30,7 +30,9 @@ pub struct CandidateFilter {
 impl CandidateFilter {
     /// A filter that lets everything through (the non-optimized engines).
     pub fn none(vertex_count: usize) -> Self {
-        CandidateFilter { extended_bits: vec![None; vertex_count] }
+        CandidateFilter {
+            extended_bits: vec![None; vertex_count],
+        }
     }
 
     /// Whether `u` is an admissible *extended* binding for query vertex `v`.
@@ -57,7 +59,10 @@ impl BitVectorFilter {
     /// An empty filter with `n_bits` bits (rounded up to a multiple of 64).
     pub fn new(n_bits: usize) -> Self {
         let n_bits = n_bits.max(64);
-        BitVectorFilter { bits: vec![0; n_bits.div_ceil(64)], n_bits }
+        BitVectorFilter {
+            bits: vec![0; n_bits.div_ceil(64)],
+            n_bits,
+        }
     }
 
     #[inline]
@@ -105,7 +110,10 @@ impl BitVectorFilter {
     /// Rebuild from raw words.
     pub fn from_words(words: Vec<u64>, n_bits: usize) -> Self {
         assert_eq!(words.len(), n_bits.max(64).div_ceil(64));
-        BitVectorFilter { bits: words, n_bits: n_bits.max(64) }
+        BitVectorFilter {
+            bits: words,
+            n_bits: n_bits.max(64),
+        }
     }
 
     /// Number of bits.
@@ -181,9 +189,7 @@ fn has_label(edges: &[(TermId, VertexId)], label: EncodedLabel) -> bool {
             // Adjacency lists are sorted by (label, vertex): binary search
             // on the label prefix.
             edges
-                .binary_search_by(|&(l, v)| {
-                    (l, v).cmp(&(p, gstored_rdf::TermId(0)))
-                })
+                .binary_search_by(|&(l, v)| (l, v).cmp(&(p, gstored_rdf::TermId(0))))
                 .map(|_| true)
                 .unwrap_or_else(|i| i < edges.len() && edges[i].0 == p)
         }
@@ -211,9 +217,7 @@ mod tests {
     use gstored_sparql::{parse_query, QueryGraph};
 
     fn data() -> RdfGraph {
-        let t = |s: &str, p: &str, o: &str| {
-            Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
-        };
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
         RdfGraph::from_triples(vec![
             t("http://a", "http://p", "http://b"),
             t("http://a", "http://q", "http://c"),
@@ -260,7 +264,10 @@ mod tests {
         let mut g = data();
         g.finalize();
         // ?x needs two distinct out-p edges (injective multiset): nobody has.
-        let q = query(&g, "SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?y2 . ?y <http://p> ?y2 }");
+        let q = query(
+            &g,
+            "SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?y2 . ?y <http://p> ?y2 }",
+        );
         let universe = sorted_vertices(&g);
         // Structure filter alone requires out-degree >= 2 with p twice; it
         // checks label presence per edge, so 'a' (p and q out) fails the
@@ -349,7 +356,9 @@ mod tests {
         f.extended_bits[1] = Some(bv);
         assert!(f.admits_extended(1, TermId(5)));
         // Most other ids miss (tolerate hash collisions by testing many).
-        let misses = (100..200u64).filter(|&i| !f.admits_extended(1, TermId(i))).count();
+        let misses = (100..200u64)
+            .filter(|&i| !f.admits_extended(1, TermId(i)))
+            .count();
         assert!(misses > 90);
     }
 }

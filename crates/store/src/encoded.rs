@@ -238,8 +238,13 @@ impl EncodedQuery {
 
     /// Whether any vertex or edge is unsatisfiable (query has no matches).
     pub fn has_unsatisfiable(&self) -> bool {
-        self.vertices.iter().any(|v| matches!(v, EncodedVertex::Unsatisfiable))
-            || self.edges.iter().any(|e| matches!(e.label, EncodedLabel::Unsatisfiable))
+        self.vertices
+            .iter()
+            .any(|v| matches!(v, EncodedVertex::Unsatisfiable))
+            || self
+                .edges
+                .iter()
+                .any(|e| matches!(e.label, EncodedLabel::Unsatisfiable))
             || self
                 .required_classes
                 .iter()
@@ -330,10 +335,9 @@ mod tests {
     #[test]
     fn unknown_predicate_is_unsatisfiable() {
         let (g, _) = setup();
-        let q = QueryGraph::from_query(
-            &parse_query("SELECT ?x WHERE { ?x <http://q> ?y }").unwrap(),
-        )
-        .unwrap();
+        let q =
+            QueryGraph::from_query(&parse_query("SELECT ?x WHERE { ?x <http://q> ?y }").unwrap())
+                .unwrap();
         let e = EncodedQuery::encode(&q, g.dict()).unwrap();
         assert_eq!(e.edge(0).label, EncodedLabel::Unsatisfiable);
     }
@@ -341,10 +345,8 @@ mod tests {
     #[test]
     fn variable_predicates_encode_as_any() {
         let (g, _) = setup();
-        let q = QueryGraph::from_query(
-            &parse_query("SELECT ?x WHERE { ?x ?p ?y }").unwrap(),
-        )
-        .unwrap();
+        let q =
+            QueryGraph::from_query(&parse_query("SELECT ?x WHERE { ?x ?p ?y }").unwrap()).unwrap();
         let e = EncodedQuery::encode(&q, g.dict()).unwrap();
         assert_eq!(e.edge(0).label, EncodedLabel::Any);
     }
@@ -352,10 +354,8 @@ mod tests {
     #[test]
     fn predicate_only_projection_is_rejected() {
         let (g, _) = setup();
-        let q = QueryGraph::from_query(
-            &parse_query("SELECT ?p WHERE { ?x ?p ?y }").unwrap(),
-        )
-        .unwrap();
+        let q =
+            QueryGraph::from_query(&parse_query("SELECT ?p WHERE { ?x ?p ?y }").unwrap()).unwrap();
         assert!(EncodedQuery::encode(&q, g.dict()).is_none());
     }
 

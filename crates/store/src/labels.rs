@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn unsatisfiable_never_matches() {
-        assert!(!labels_satisfiable(&[EncodedLabel::Unsatisfiable], &[P, Q, R]));
+        assert!(!labels_satisfiable(
+            &[EncodedLabel::Unsatisfiable],
+            &[P, Q, R]
+        ));
         assert!(!label_matches(EncodedLabel::Unsatisfiable, P));
     }
 
@@ -216,11 +219,19 @@ mod tests {
     #[test]
     fn three_way_matching() {
         assert!(labels_satisfiable(
-            &[EncodedLabel::Const(P), EncodedLabel::Const(Q), EncodedLabel::Any],
+            &[
+                EncodedLabel::Const(P),
+                EncodedLabel::Const(Q),
+                EncodedLabel::Any
+            ],
             &[P, Q, R]
         ));
         assert!(!labels_satisfiable(
-            &[EncodedLabel::Const(P), EncodedLabel::Const(Q), EncodedLabel::Const(Q)],
+            &[
+                EncodedLabel::Const(P),
+                EncodedLabel::Const(Q),
+                EncodedLabel::Const(Q)
+            ],
             &[P, Q, R]
         ));
     }
@@ -242,11 +253,7 @@ mod tests {
 
     #[test]
     fn assignment_returns_witness() {
-        let a = labels_assignment(
-            &[EncodedLabel::Any, EncodedLabel::Const(P)],
-            &[P, Q],
-        )
-        .unwrap();
+        let a = labels_assignment(&[EncodedLabel::Any, EncodedLabel::Const(P)], &[P, Q]).unwrap();
         // Const(P) must get slot 0; Any is rerouted to slot 1.
         assert_eq!(a, vec![1, 0]);
     }
@@ -260,10 +267,7 @@ mod tests {
 
     #[test]
     fn assignment_none_when_unsatisfiable() {
-        assert_eq!(
-            labels_assignment(&[EncodedLabel::Const(R)], &[P, Q]),
-            None
-        );
+        assert_eq!(labels_assignment(&[EncodedLabel::Const(R)], &[P, Q]), None);
         assert_eq!(
             labels_assignment(&[EncodedLabel::Const(P), EncodedLabel::Const(P)], &[P, Q]),
             None
@@ -277,7 +281,10 @@ mod tests {
             (vec![EncodedLabel::Any], vec![P]),
             (vec![EncodedLabel::Const(P), EncodedLabel::Any], vec![P]),
             (vec![EncodedLabel::Const(P), EncodedLabel::Any], vec![P, Q]),
-            (vec![EncodedLabel::Const(Q), EncodedLabel::Const(P)], vec![P, Q]),
+            (
+                vec![EncodedLabel::Const(Q), EncodedLabel::Const(P)],
+                vec![P, Q],
+            ),
         ];
         for (q, d) in cases {
             assert_eq!(

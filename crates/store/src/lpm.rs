@@ -150,7 +150,11 @@ mod tests {
     use gstored_rdf::TermId;
 
     fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
-        EdgeRef { from: TermId(f), label: TermId(l), to: TermId(t) }
+        EdgeRef {
+            from: TermId(f),
+            label: TermId(l),
+            to: TermId(t),
+        }
     }
 
     fn lpm(
@@ -256,7 +260,13 @@ mod tests {
 
     #[test]
     fn format_binding_matches_paper_style() {
-        let b: Binding = vec![Some(TermId(6)), None, Some(TermId(1)), None, Some(TermId(3))];
+        let b: Binding = vec![
+            Some(TermId(6)),
+            None,
+            Some(TermId(1)),
+            None,
+            Some(TermId(3)),
+        ];
         assert_eq!(format_binding(&b), "[6,NULL,1,NULL,3]");
     }
 

@@ -142,7 +142,9 @@ fn matching_order(q: &EncodedQuery, cands: &[Vec<VertexId>]) -> Vec<usize> {
     let n = q.vertex_count();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    let first = (0..n).min_by_key(|&v| cands[v].len()).expect("non-empty query");
+    let first = (0..n)
+        .min_by_key(|&v| cands[v].len())
+        .expect("non-empty query");
     order.push(first);
     placed[first] = true;
     while order.len() < n {
@@ -169,7 +171,12 @@ fn extend<A: Adjacency>(
     out: &mut Vec<Vec<VertexId>>,
 ) {
     if depth == order.len() {
-        out.push(binding.iter().map(|b| b.expect("complete binding")).collect());
+        out.push(
+            binding
+                .iter()
+                .map(|b| b.expect("complete binding"))
+                .collect(),
+        );
         return;
     }
     let qv = order[depth];
@@ -207,7 +214,11 @@ pub(crate) fn consistent<A: Adjacency>(
         }
     }
     for (other, qv_is_source) in checked {
-        let (src_q, dst_q) = if qv_is_source { (qv, other) } else { (other, qv) };
+        let (src_q, dst_q) = if qv_is_source {
+            (qv, other)
+        } else {
+            (other, qv)
+        };
         let src_u = binding[src_q].expect("both bound");
         let dst_u = binding[dst_q].expect("both bound");
         // Parallel query edges between src_q and dst_q (this direction).
@@ -373,10 +384,7 @@ mod tests {
         let center = analysis::analyze(&qg).star_center.unwrap();
         let centralized = find_matches(&g, &q).len();
         for seed in 0..5 {
-            let dist = DistributedGraph::build(
-                g.clone(),
-                &HashPartitioner::with_seed(3, seed),
-            );
+            let dist = DistributedGraph::build(g.clone(), &HashPartitioner::with_seed(3, seed));
             let total: usize = dist
                 .fragments
                 .iter()
@@ -395,10 +403,7 @@ mod tests {
         // star centered on x=a still matches locally.
         let mut map = HashMap::new();
         map.insert(a, 0);
-        let dist = DistributedGraph::build(
-            g,
-            &ExplicitPartitioner::new(2, map).with_default(1),
-        );
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map).with_default(1));
         let ms = find_star_matches(&dist.fragments[0], &q, 0);
         assert_eq!(ms.len(), 2);
     }

@@ -305,13 +305,16 @@ fn pairs_consistent(
     }
     for &ei in q.in_edges(qv) {
         let e = q.edge(ei);
-        if binding[e.from].is_some() && relevant(e.from) && !checked.contains(&(e.from, false))
-        {
+        if binding[e.from].is_some() && relevant(e.from) && !checked.contains(&(e.from, false)) {
             checked.push((e.from, false));
         }
     }
     for (other, qv_is_source) in checked {
-        let (src_q, dst_q) = if qv_is_source { (qv, other) } else { (other, qv) };
+        let (src_q, dst_q) = if qv_is_source {
+            (qv, other)
+        } else {
+            (other, qv)
+        };
         let src_u = binding[src_q].expect("bound");
         let dst_u = binding[dst_q].expect("bound");
         let q_labels: Vec<EncodedLabel> = q
@@ -370,8 +373,7 @@ fn materialize(
     for ((src_q, dst_q), edge_idxs) in groups {
         let src_u = binding[src_q].expect("bound");
         let dst_u = binding[dst_q].expect("bound");
-        let q_labels: Vec<EncodedLabel> =
-            edge_idxs.iter().map(|&i| q.edge(i).label).collect();
+        let q_labels: Vec<EncodedLabel> = edge_idxs.iter().map(|&i| q.edge(i).label).collect();
         let d_labels: Vec<TermId> = fragment
             .out_edges(src_u)
             .iter()
@@ -441,10 +443,8 @@ mod tests {
     fn path_split_produces_complementary_lpms() {
         let (dist, q) = two_frag_path();
         let filter = CandidateFilter::none(q.vertex_count());
-        let lpms0 =
-            enumerate_local_partial_matches(&dist.fragments[0], &q, &filter);
-        let lpms1 =
-            enumerate_local_partial_matches(&dist.fragments[1], &q, &filter);
+        let lpms0 = enumerate_local_partial_matches(&dist.fragments[0], &q, &filter);
+        let lpms1 = enumerate_local_partial_matches(&dist.fragments[1], &q, &filter);
         // F0: core {x}->a, boundary y->b. One LPM.
         assert_eq!(lpms0.len(), 1, "{lpms0:?}");
         assert_eq!(lpms0[0].bound_count(), 2);
@@ -492,8 +492,7 @@ mod tests {
         let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(1, all));
         let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
         let filter = CandidateFilter::none(q.vertex_count());
-        assert!(enumerate_local_partial_matches(&dist.fragments[0], &q, &filter)
-            .is_empty());
+        assert!(enumerate_local_partial_matches(&dist.fragments[0], &q, &filter).is_empty());
     }
 
     #[test]
@@ -521,8 +520,7 @@ mod tests {
         )
         .unwrap();
         let q2 = EncodedQuery::encode(&qg2, dist.dict()).unwrap();
-        assert!(enumerate_local_partial_matches(&dist.fragments[0], &q2, &filter)
-            .is_empty());
+        assert!(enumerate_local_partial_matches(&dist.fragments[0], &q2, &filter).is_empty());
     }
 
     #[test]
@@ -533,7 +531,10 @@ mod tests {
         let mut filter = CandidateFilter::none(q.vertex_count());
         filter.extended_bits[1] = Some(BitVectorFilter::new(64));
         let lpms0 = enumerate_local_partial_matches(&dist.fragments[0], &q, &filter);
-        assert!(lpms0.is_empty(), "y->b should be vetoed by the empty filter");
+        assert!(
+            lpms0.is_empty(),
+            "y->b should be vetoed by the empty filter"
+        );
     }
 
     #[test]
@@ -583,10 +584,7 @@ mod tests {
         let h = g.vertex_of(&Term::iri("http://h")).unwrap();
         let mut map = HashMap::new();
         map.insert(h, 0);
-        let dist = DistributedGraph::build(
-            g,
-            &ExplicitPartitioner::new(2, map).with_default(1),
-        );
+        let dist = DistributedGraph::build(g, &ExplicitPartitioner::new(2, map).with_default(1));
         let qg = QueryGraph::from_query(
             &parse_query("SELECT * WHERE { ?c <http://p> ?a . ?c <http://p> ?b }").unwrap(),
         )

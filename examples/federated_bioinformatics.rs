@@ -18,7 +18,7 @@ use gstored::partition::ExplicitPartitioner;
 use gstored::prelude::*;
 use gstored::rdf::Triple;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let mut triples = Vec::new();
     let t = |s: String, p: &str, o: Term| Triple::new(Term::iri(s), Term::iri(p), o);
 
@@ -70,12 +70,14 @@ fn main() {
         };
         assignment.insert(v, site);
     }
-    let partitioner = ExplicitPartitioner::new(3, assignment);
-    let dist = DistributedGraph::build(graph, &partitioner);
-    assert_eq!(dist.validate(), None, "Definition 1 invariants hold");
+    // The builder validates the Definition 1 invariants during build.
+    let db = GStoreD::builder()
+        .graph(graph)
+        .partitioner(ExplicitPartitioner::new(3, assignment))
+        .build()?;
 
     println!("Administrative partitioning (one site per publisher):");
-    for f in &dist.fragments {
+    for f in &db.distributed_graph().fragments {
         println!(
             "  site {}: {} internal vertices, {} internal edges, {} crossing edges",
             f.id,
@@ -87,29 +89,31 @@ fn main() {
 
     // A three-publisher query: compounds, the targets they inhibit, and
     // the labels of the pathways those targets participate in.
-    let query = parse_query(
+    let results = db.query(
         r#"SELECT ?compound ?pathwayLabel WHERE {
             ?compound <http://vocab/inhibits> ?target .
             ?target <http://vocab/participatesIn> ?pathway .
             ?pathway <http://vocab/label> ?pathwayLabel .
         }"#,
-    )
-    .expect("valid SPARQL");
-    let query_graph = QueryGraph::from_query(&query).expect("connected");
-
-    let engine = Engine::new(EngineConfig::default());
-    let out = engine.run(&dist, &query_graph);
+    )?;
 
     println!(
         "\n{} cross-publisher results; every one of them is a crossing match:",
-        out.rows.len()
+        results.len()
     );
-    for row in out.decoded_rows(&dist).iter().take(5) {
-        println!("  {} participates via {}", row[0], row[1]);
+    for sol in results.iter().take(5) {
+        println!(
+            "  {} participates via {}",
+            sol["compound"], sol["pathwayLabel"]
+        );
     }
     println!("  ...");
-    let m = &out.metrics;
-    println!("\nAll {} matches crossed sites (intra-fragment: {}).", m.crossing_matches, m.local_matches);
+    let m = results.metrics();
+    println!(
+        "\nAll {} matches crossed sites (intra-fragment: {}).",
+        m.crossing_matches, m.local_matches
+    );
     assert_eq!(m.local_matches, 0, "no publisher can answer alone");
-    assert_eq!(out.rows.len(), 40);
+    assert_eq!(results.len(), 40);
+    Ok(())
 }

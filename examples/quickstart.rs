@@ -1,6 +1,6 @@
 //! Quickstart: load a small N-Triples document, partition it over three
-//! simulated sites, and answer a SPARQL BGP query with the full gStoreD
-//! engine.
+//! simulated sites, prepare a SPARQL BGP query once, and execute it
+//! through the `GStoreD` session facade.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,7 +8,7 @@
 
 use gstored::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The paper's running example data (Fig. 1), in N-Triples.
     let nt = r#"
 <http://ex/CrispinWright> <http://ex/name> "Crispin Wright"@en .
@@ -21,45 +21,58 @@ fn main() {
 <http://ex/PhilOfLogic> <http://ex/label> "Philosophy of logic"@en .
 <http://ex/Logic> <http://ex/label> "Logic"@en .
 "#;
-    let triples = gstored::rdf::parse_ntriples(nt).expect("valid N-Triples");
-    let mut graph = RdfGraph::from_triples(triples);
-    graph.finalize();
+
+    // Build a session: the engine is partitioning-tolerant, so any
+    // vertex-disjoint strategy gives the same answers.
+    let db = GStoreD::builder()
+        .ntriples(nt)?
+        .partitioner(HashPartitioner::new(3))
+        .build()?;
     println!(
-        "Loaded {} triples over {} vertices.",
-        graph.edge_count(),
-        graph.vertex_count()
+        "Loaded {} triples over {} sites.",
+        db.distributed_graph().total_edges,
+        db.fragment_count()
     );
 
     // The introduction's query: people influencing Crispin Wright and
-    // the labels of their main interests.
-    let query = parse_query(
+    // the labels of their main interests. Prepared once — parse, encode
+    // and shape analysis never run again no matter how often we execute.
+    let prepared = db.prepare(
         r#"SELECT ?p2 ?l WHERE {
             ?p1 <http://ex/influencedBy> ?p2 .
             ?p2 <http://ex/mainInterest> ?t .
             ?t <http://ex/label> ?l .
             ?p1 <http://ex/name> "Crispin Wright"@en .
         }"#,
-    )
-    .expect("valid SPARQL");
-    let query_graph = QueryGraph::from_query(&query).expect("connected BGP");
+    )?;
 
-    // Partition over 3 sites: the engine is partitioning-tolerant, so any
-    // vertex-disjoint strategy gives the same answers.
-    let dist = DistributedGraph::build(graph, &HashPartitioner::new(3));
-    let engine = Engine::new(EngineConfig::default());
-    let out = engine.run(&dist, &query_graph);
-
+    let results = prepared.execute()?;
     println!("\n?p2, ?l:");
-    for row in out.decoded_rows(&dist) {
-        let cells: Vec<String> = row.iter().map(|t| t.to_string()).collect();
-        println!("  {}", cells.join(", "));
+    for sol in &results {
+        println!("  {}, {}", sol["p2"], sol["l"]);
     }
-    let m = &out.metrics;
+
+    let m = results.metrics();
     println!("\nStage metrics:");
     println!("  local partial matches : {}", m.local_partial_matches);
     println!("  after LEC pruning     : {}", m.surviving_partial_matches);
     println!("  crossing matches      : {}", m.crossing_matches);
     println!("  intra-fragment matches: {}", m.local_matches);
     println!("  total data shipped    : {} bytes", m.total_shipped());
-    assert_eq!(out.rows.len(), 3, "three interests across the two influencers");
+
+    // Re-execution reuses the prepared plan.
+    let again = prepared.execute()?;
+    assert_eq!(again.vertex_rows(), results.vertex_rows());
+    let stats = db.stats();
+    println!(
+        "\nSession stats: {} prepared, {} executions.",
+        stats.queries_prepared, stats.executions
+    );
+    assert_eq!(stats.queries_prepared, 1, "prepare ran exactly once");
+    assert_eq!(
+        results.len(),
+        3,
+        "three interests across the two influencers"
+    );
+    Ok(())
 }

@@ -2,20 +2,23 @@
 //! Full) on one LPM-heavy query and print the per-stage breakdown, to
 //! show where each optimization pays off.
 //!
+//! One `GStoreD` session per variant (the variant is an engine-level
+//! knob); every session prepares the query once and executes it through
+//! the prepared path.
+//!
 //! ```text
 //! cargo run --release --example variant_showdown
 //! ```
 
 use gstored::datagen::{queries, yago, YagoConfig};
 use gstored::prelude::*;
+use gstored::rdf::VertexId;
 
-fn main() {
-    let mut graph = RdfGraph::from_triples(yago::generate(&YagoConfig {
+fn main() -> Result<(), Error> {
+    let graph = RdfGraph::from_triples(yago::generate(&YagoConfig {
         persons: 4000,
         ..Default::default()
     }));
-    graph.finalize();
-    let dist = DistributedGraph::build(graph, &HashPartitioner::new(6));
 
     // YQ3: the unselective influence/interest join — the query whose LPM
     // volume the paper's optimizations attack.
@@ -23,20 +26,20 @@ fn main() {
         .into_iter()
         .find(|q| q.id == "YQ3")
         .expect("YQ3 exists");
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(&bench.text).expect("valid SPARQL"),
-    )
-    .expect("connected");
 
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
         "variant", "total ms", "LPMs", "kept", "ship KiB", "assembly", "matches"
     );
-    let mut reference: Option<Vec<Vec<gstored::rdf::TermId>>> = None;
+    let mut reference: Option<Vec<Vec<VertexId>>> = None;
     for variant in Variant::ALL {
-        let engine = Engine::with_variant(variant);
-        let out = engine.run(&dist, &query);
-        let m = &out.metrics;
+        let db = GStoreD::builder()
+            .graph(graph.clone())
+            .partitioner(HashPartitioner::new(6))
+            .variant(variant)
+            .build()?;
+        let results = db.prepare(&bench.text)?.execute()?;
+        let m = results.metrics();
         println!(
             "{:<14} {:>10.1} {:>10} {:>10} {:>12.1} {:>10.1} {:>10}",
             variant.label(),
@@ -48,10 +51,12 @@ fn main() {
             m.total_matches()
         );
         // All variants must agree — the optimizations are result-neutral.
+        let rows = results.vertex_rows().to_vec();
         match &reference {
-            None => reference = Some(out.rows),
-            Some(r) => assert_eq!(r, &out.rows, "{} diverged", variant.label()),
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(r, &rows, "{} diverged", variant.label()),
         }
     }
     println!("\nAll four variants returned identical results.");
+    Ok(())
 }

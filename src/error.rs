@@ -1,0 +1,87 @@
+//! The unified error type of the `gstored` facade.
+//!
+//! Each subsystem crate keeps its own narrow error enum
+//! ([`gstored_sparql::SparqlError`], [`gstored_core::EngineError`],
+//! [`gstored_rdf::RdfError`]); the facade folds them into one [`Error`]
+//! so callers of [`crate::GStoreD`] handle a single `Result` type end to
+//! end — no `.expect("query not supported")` footguns anywhere on the
+//! public path.
+
+use std::fmt;
+
+use gstored_core::EngineError;
+use gstored_rdf::RdfError;
+use gstored_sparql::SparqlError;
+
+/// Any error the `GStoreD` facade can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Loading RDF data failed (e.g. malformed N-Triples).
+    Data(RdfError),
+    /// Parsing or lowering the SPARQL text failed.
+    Parse(SparqlError),
+    /// The engine rejected the query (unsupported projection, too large).
+    Engine(EngineError),
+    /// The session was configured inconsistently (builder misuse).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Data(e) => write!(f, "data loading error: {e}"),
+            Error::Parse(e) => write!(f, "SPARQL error: {e}"),
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Data(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<RdfError> for Error {
+    fn from(e: RdfError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<SparqlError> for Error {
+    fn from(e: SparqlError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_subsystem_errors() {
+        let e: Error = EngineError::QueryTooLarge(65).into();
+        assert!(e.to_string().contains("65"));
+        assert!(matches!(e, Error::Engine(_)));
+
+        let e: Error = SparqlError::Unsupported("OPTIONAL".into()).into();
+        assert!(matches!(e, Error::Parse(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = Error::InvalidConfig("zero sites".into());
+        assert!(e.to_string().contains("zero sites"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

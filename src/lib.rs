@@ -1,11 +1,12 @@
-//! # gstored
+#![doc = include_str!("../README.md")]
 //!
-//! Umbrella crate for **gstored-rs**, a from-scratch Rust reproduction of
-//! *Accelerating Partial Evaluation in Distributed SPARQL Query Evaluation*
-//! (Peng, Zou, Guan — ICDE 2019).
+//! ---
 //!
-//! It re-exports the public APIs of every subsystem crate so examples,
-//! integration tests and downstream users can depend on a single crate:
+//! ## Crate map
+//!
+//! This umbrella crate re-exports the public APIs of every subsystem
+//! crate so examples, integration tests and downstream users can depend
+//! on a single crate:
 //!
 //! * [`rdf`] — RDF data model, dictionary, graph, N-Triples I/O.
 //! * [`sparql`] — SPARQL BGP parser and query graphs.
@@ -16,28 +17,8 @@
 //! * [`baselines`] — DREAM/S2X/S2RDF/CliqueSquare-like comparators.
 //! * [`datagen`] — LUBM-like / YAGO2-like / BTC-like generators + queries.
 //!
-//! ## Quickstart
-//!
-//! ```
-//! use gstored::prelude::*;
-//!
-//! // Build a small RDF graph, partition it over 3 sites, and answer a query.
-//! let nt = r#"
-//! <http://ex/alice> <http://ex/knows> <http://ex/bob> .
-//! <http://ex/bob> <http://ex/knows> <http://ex/carol> .
-//! <http://ex/carol> <http://ex/name> "Carol" .
-//! "#;
-//! let triples = gstored::rdf::parse_ntriples(nt).unwrap();
-//! let graph = gstored::rdf::RdfGraph::from_triples(triples);
-//! let query = gstored::sparql::parse_query(
-//!     "SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }",
-//! ).unwrap();
-//! let query_graph = QueryGraph::from_query(&query).unwrap();
-//! let dist = DistributedGraph::build(graph, &HashPartitioner::new(3));
-//! let engine = Engine::new(EngineConfig::default());
-//! let out = engine.run(&dist, &query_graph);
-//! assert_eq!(out.matches().len(), 1);
-//! ```
+//! The facade itself ([`GStoreD`], [`PreparedQuery`], [`QueryResults`],
+//! [`QuerySolution`], [`Error`]) lives in [`session`] and [`error`].
 
 pub use gstored_baselines as baselines;
 pub use gstored_core as core;
@@ -48,9 +29,22 @@ pub use gstored_rdf as rdf;
 pub use gstored_sparql as sparql;
 pub use gstored_store as store;
 
+pub mod error;
+pub mod session;
+
+pub use error::Error;
+pub use session::{
+    GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, SessionStats,
+};
+
 /// Most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::session::{
+        GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, SessionStats,
+    };
     pub use gstored_core::engine::{Engine, EngineConfig, QueryOutput, Variant};
+    pub use gstored_core::prepared::PreparedPlan;
     pub use gstored_partition::fragment::DistributedGraph;
     pub use gstored_partition::{
         HashPartitioner, MetisLikePartitioner, Partitioner, SemanticHashPartitioner,

@@ -1,0 +1,609 @@
+//! The `GStoreD` session facade: prepare once, execute many.
+//!
+//! [`GStoreD`] is the top-level handle of the system. It owns the
+//! partitioned data ([`DistributedGraph`]) and the distributed engine,
+//! and exposes the production query path:
+//!
+//! 1. [`GStoreD::builder`] — load triples / N-Triples, pick a
+//!    [`Partitioner`] and [`EngineConfig`], build the handle.
+//! 2. [`GStoreD::prepare`] — parse → lower to a query graph → encode
+//!    against the dictionary → analyze shape, **exactly once**, yielding
+//!    a reusable [`PreparedQuery`].
+//! 3. [`PreparedQuery::execute`] — run only the per-execution engine
+//!    stages, yielding [`QueryResults`] whose [`QuerySolution`] rows are
+//!    addressable by variable name (`sol["x"]`) or projection index, with
+//!    terms decoded lazily from the dictionary.
+//!
+//! See [`gstored_core::prepared`] for the exact prepare-time /
+//! execution-time split.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gstored_core::engine::{Engine, EngineConfig, QueryOutput, Variant};
+use gstored_core::prepared::PreparedPlan;
+use gstored_net::QueryMetrics;
+use gstored_partition::{DistributedGraph, HashPartitioner, PartitionAssignment, Partitioner};
+use gstored_rdf::{parse_ntriples, Dictionary, RdfGraph, Term, Triple, VertexId};
+use gstored_sparql::{parse_query, QueryGraph, ShapeReport};
+
+use crate::error::Error;
+
+/// Running counters of a session's query activity.
+///
+/// `queries_prepared` moves once per [`GStoreD::prepare`] call;
+/// `executions` moves once per [`PreparedQuery::execute`]. The gap between
+/// the two is the amortization the prepared path exists for — tests assert
+/// on it to prove that re-executing a [`PreparedQuery`] never re-parses,
+/// re-encodes or re-analyzes.
+#[derive(Debug, Default)]
+struct SessionCounters {
+    queries_prepared: AtomicU64,
+    executions: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`GStoreD::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Number of `prepare` calls (parse + encode + analyze cycles).
+    pub queries_prepared: u64,
+    /// Number of engine executions.
+    pub executions: u64,
+}
+
+/// How the builder receives its data.
+enum DataSource {
+    Empty,
+    Triples(Vec<Triple>),
+    Graph(Box<RdfGraph>),
+}
+
+/// Builder for a [`GStoreD`] session.
+///
+/// Data source, partitioning strategy and engine knobs are all optional;
+/// the defaults are an empty graph, [`HashPartitioner`] over 3 sites and
+/// the full gStoreD variant.
+pub struct GStoreDBuilder {
+    data: DataSource,
+    partitioner: Option<Box<dyn Partitioner>>,
+    assignment: Option<PartitionAssignment>,
+    prebuilt: Option<DistributedGraph>,
+    config: EngineConfig,
+}
+
+impl GStoreDBuilder {
+    fn new() -> Self {
+        GStoreDBuilder {
+            data: DataSource::Empty,
+            partitioner: None,
+            assignment: None,
+            prebuilt: None,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Load data from an N-Triples document.
+    pub fn ntriples(mut self, text: &str) -> Result<Self, Error> {
+        let triples = parse_ntriples(text)?;
+        self.data = DataSource::Triples(triples);
+        Ok(self)
+    }
+
+    /// Load data from decoded triples.
+    pub fn triples(mut self, triples: Vec<Triple>) -> Self {
+        self.data = DataSource::Triples(triples);
+        self
+    }
+
+    /// Load a pre-built RDF graph.
+    pub fn graph(mut self, graph: RdfGraph) -> Self {
+        self.data = DataSource::Graph(Box::new(graph));
+        self
+    }
+
+    /// Partitioning strategy (default: [`HashPartitioner`] over 3 sites).
+    pub fn partitioner(mut self, partitioner: impl Partitioner + 'static) -> Self {
+        self.partitioner = Some(Box::new(partitioner));
+        self
+    }
+
+    /// Fixed vertex→fragment assignment, overriding the partitioner
+    /// (used for explicit layouts such as the paper's Fig. 1).
+    pub fn assignment(mut self, assignment: PartitionAssignment) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Adopt an already-partitioned graph (used when the partitioning is
+    /// computed separately, e.g. selected by the Section VII cost model).
+    /// Mutually exclusive with the data-source and partitioning options;
+    /// combining them is an [`Error::InvalidConfig`] at build time.
+    pub fn distributed(mut self, dist: DistributedGraph) -> Self {
+        self.prebuilt = Some(dist);
+        self
+    }
+
+    /// Full engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Engine variant shorthand (keeps the other knobs at their defaults
+    /// or previously set values).
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Toggle the star-query fast path of Section VIII-B.
+    pub fn star_fast_path(mut self, enabled: bool) -> Self {
+        self.config.star_fast_path = enabled;
+        self
+    }
+
+    /// Build the session: materialize the graph, partition it, validate
+    /// the Definition 1 invariants, and stand up the engine.
+    pub fn build(self) -> Result<GStoreD, Error> {
+        if let Some(dist) = self.prebuilt {
+            if !matches!(self.data, DataSource::Empty)
+                || self.partitioner.is_some()
+                || self.assignment.is_some()
+            {
+                return Err(Error::InvalidConfig(
+                    "distributed() supplies already-partitioned data; it cannot be \
+                     combined with a data source, partitioner or assignment"
+                        .into(),
+                ));
+            }
+            if let Some(violation) = dist.validate() {
+                return Err(Error::InvalidConfig(format!(
+                    "partitioning violates Definition 1: {violation}"
+                )));
+            }
+            return Ok(GStoreD {
+                dist,
+                engine: Engine::new(self.config),
+                counters: SessionCounters::default(),
+            });
+        }
+
+        let mut graph = match self.data {
+            DataSource::Empty => RdfGraph::new(),
+            DataSource::Triples(triples) => RdfGraph::from_triples(triples),
+            DataSource::Graph(g) => *g,
+        };
+        graph.finalize();
+
+        let dist = match (self.assignment, self.partitioner) {
+            (Some(assignment), _) => {
+                if assignment.k == 0 {
+                    return Err(Error::InvalidConfig(
+                        "partition assignment must target at least one fragment".into(),
+                    ));
+                }
+                DistributedGraph::build_with_assignment(graph, assignment)
+            }
+            (None, Some(p)) => {
+                if p.num_fragments() == 0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "partitioner {} produces zero fragments",
+                        p.name()
+                    )));
+                }
+                DistributedGraph::build(graph, p.as_ref())
+            }
+            (None, None) => DistributedGraph::build(graph, &HashPartitioner::new(3)),
+        };
+        if let Some(violation) = dist.validate() {
+            return Err(Error::InvalidConfig(format!(
+                "partitioning violates Definition 1: {violation}"
+            )));
+        }
+
+        Ok(GStoreD {
+            dist,
+            engine: Engine::new(self.config),
+            counters: SessionCounters::default(),
+        })
+    }
+}
+
+/// A gStoreD session: partitioned data + engine + prepared-query cache
+/// counters. All methods take `&self`; sessions are `Sync` and can serve
+/// concurrent readers.
+pub struct GStoreD {
+    dist: DistributedGraph,
+    engine: Engine,
+    counters: SessionCounters,
+}
+
+impl GStoreD {
+    /// Start configuring a session.
+    pub fn builder() -> GStoreDBuilder {
+        GStoreDBuilder::new()
+    }
+
+    /// Prepare a SPARQL query for repeated execution.
+    ///
+    /// Parsing, lowering, dictionary encoding and shape analysis happen
+    /// here, exactly once; the returned handle only re-runs the
+    /// per-execution engine stages.
+    pub fn prepare(&self, sparql: &str) -> Result<PreparedQuery<'_>, Error> {
+        let ast = parse_query(sparql)?;
+        let query = QueryGraph::from_query(&ast)?;
+        let plan = PreparedPlan::new(query, self.dist.dict())?;
+        self.counters
+            .queries_prepared
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedQuery {
+            session: self,
+            plan,
+            text: sparql.to_string(),
+        })
+    }
+
+    /// One-shot convenience: prepare and execute once.
+    pub fn query(&self, sparql: &str) -> Result<QueryResults<'_>, Error> {
+        self.prepare(sparql)?.execute()
+    }
+
+    /// The partitioned data.
+    pub fn distributed_graph(&self) -> &DistributedGraph {
+        &self.dist
+    }
+
+    /// The term dictionary shared by all fragments.
+    pub fn dictionary(&self) -> &Dictionary {
+        self.dist.dict()
+    }
+
+    /// The engine (read-only; variant and knobs are fixed at build time).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of fragments the data is partitioned into.
+    pub fn fragment_count(&self) -> usize {
+        self.dist.fragment_count()
+    }
+
+    /// Snapshot of the session's prepare/execute counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries_prepared: self.counters.queries_prepared.load(Ordering::Relaxed),
+            executions: self.counters.executions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for GStoreD {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GStoreD")
+            .field("fragments", &self.dist.fragment_count())
+            .field("dictionary_terms", &self.dist.dict().len())
+            .field("variant", &self.engine.config().variant)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A query prepared against one session, executable any number of times.
+///
+/// Holds the cached [`PreparedPlan`] (encoded query + shape analysis) and
+/// borrows the session, so a prepared query can never outlive — or be run
+/// against — a different graph than the one it was encoded for.
+#[derive(Debug)]
+pub struct PreparedQuery<'s> {
+    session: &'s GStoreD,
+    plan: PreparedPlan,
+    text: String,
+}
+
+impl<'s> PreparedQuery<'s> {
+    /// Execute the prepared plan, running only per-execution stages.
+    pub fn execute(&self) -> Result<QueryResults<'s>, Error> {
+        let output = self
+            .session
+            .engine
+            .execute(&self.session.dist, &self.plan)?;
+        self.session
+            .counters
+            .executions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(QueryResults {
+            dict: self.session.dist.dict(),
+            variables: self.plan.projection().to_vec(),
+            output,
+        })
+    }
+
+    /// The original SPARQL text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Projected variable names, in projection order.
+    pub fn variables(&self) -> &[String] {
+        self.plan.projection()
+    }
+
+    /// The cached shape/selectivity analysis.
+    pub fn shape(&self) -> &ShapeReport {
+        self.plan.shape()
+    }
+
+    /// The underlying cached plan.
+    pub fn plan(&self) -> &PreparedPlan {
+        &self.plan
+    }
+}
+
+/// The result set of one execution: solutions + per-stage metrics.
+///
+/// Rows stay dictionary-encoded internally; [`QuerySolution`] decodes
+/// terms lazily on access, so iterating a large result set without
+/// touching every column never materializes unused terms.
+#[derive(Debug)]
+pub struct QueryResults<'s> {
+    dict: &'s Dictionary,
+    variables: Vec<String>,
+    output: QueryOutput,
+}
+
+impl<'s> QueryResults<'s> {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.output.rows.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.output.rows.is_empty()
+    }
+
+    /// Projected variable names, in projection order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Per-stage metrics of this execution (the paper's table columns).
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.output.metrics
+    }
+
+    /// One solution by row index.
+    pub fn solution(&self, index: usize) -> Option<QuerySolution<'_>> {
+        self.output.rows.get(index).map(|row| QuerySolution {
+            variables: &self.variables,
+            row,
+            dict: self.dict,
+        })
+    }
+
+    /// Iterate the solutions.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = QuerySolution<'_>> + '_ {
+        self.output.rows.iter().map(move |row| QuerySolution {
+            variables: &self.variables,
+            row,
+            dict: self.dict,
+        })
+    }
+
+    /// The projected rows, still dictionary-encoded (projection order).
+    pub fn vertex_rows(&self) -> &[Vec<VertexId>] {
+        &self.output.rows
+    }
+
+    /// Complete bindings over all query vertices, pre-projection —
+    /// the representation the correctness tests compare against the
+    /// centralized reference evaluation.
+    pub fn bindings(&self) -> &[Vec<VertexId>] {
+        &self.output.bindings
+    }
+
+    /// The raw engine output (rows, bindings, metrics).
+    pub fn output(&self) -> &QueryOutput {
+        &self.output
+    }
+
+    /// Decode every solution eagerly into term rows.
+    pub fn decoded_rows(&self) -> Vec<Vec<Term>> {
+        self.output.decoded_rows(self.dict)
+    }
+}
+
+impl<'s, 'r> IntoIterator for &'r QueryResults<'s> {
+    type Item = QuerySolution<'r>;
+    type IntoIter = Box<dyn ExactSizeIterator<Item = QuerySolution<'r>> + 'r>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// One solution row, addressable by variable name or projection index.
+///
+/// Terms decode lazily: `sol["x"]` resolves the dictionary id on access
+/// and borrows the term from the session's dictionary.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySolution<'r> {
+    variables: &'r [String],
+    row: &'r [VertexId],
+    dict: &'r Dictionary,
+}
+
+impl<'r> QuerySolution<'r> {
+    /// Number of projected columns.
+    pub fn len(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Whether the solution has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.row.is_empty()
+    }
+
+    /// Projected variable names, in projection order.
+    pub fn variables(&self) -> &'r [String] {
+        self.variables
+    }
+
+    /// The binding of a variable by name, if the variable is projected.
+    pub fn get(&self, name: &str) -> Option<&'r Term> {
+        let i = self.variables.iter().position(|v| v == name)?;
+        self.get_index(i)
+    }
+
+    /// The binding of the `i`-th projected variable.
+    pub fn get_index(&self, i: usize) -> Option<&'r Term> {
+        self.row.get(i).map(|&v| self.dict.resolve(v))
+    }
+
+    /// The dictionary-encoded binding of the `i`-th projected variable.
+    pub fn vertex_id(&self, i: usize) -> Option<VertexId> {
+        self.row.get(i).copied()
+    }
+
+    /// Iterate `(variable name, term)` pairs in projection order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'r str, &'r Term)> + use<'r> {
+        let dict = self.dict;
+        self.variables
+            .iter()
+            .zip(self.row.iter())
+            .map(move |(name, &v)| (name.as_str(), dict.resolve(v)))
+    }
+}
+
+impl<'r> std::ops::Index<&str> for QuerySolution<'r> {
+    type Output = Term;
+
+    /// `sol["x"]`: the binding of `?x`. Panics when `?x` is not projected
+    /// (use [`QuerySolution::get`] for the fallible form).
+    fn index(&self, name: &str) -> &Term {
+        self.get(name).unwrap_or_else(|| {
+            panic!(
+                "variable ?{name} is not projected (projection: {:?})",
+                self.variables
+            )
+        })
+    }
+}
+
+impl<'r> std::ops::Index<usize> for QuerySolution<'r> {
+    type Output = Term;
+
+    /// `sol[0]`: the binding of the first projected variable.
+    fn index(&self, i: usize) -> &Term {
+        self.get_index(i).unwrap_or_else(|| {
+            panic!(
+                "column {i} out of bounds (projection width {})",
+                self.row.len()
+            )
+        })
+    }
+}
+
+impl std::fmt::Display for QuerySolution<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, term) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "?{name} = {term}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NT: &str = r#"
+<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/bob> <http://ex/knows> <http://ex/carol> .
+<http://ex/carol> <http://ex/name> "Carol" .
+"#;
+
+    fn session() -> GStoreD {
+        GStoreD::builder()
+            .ntriples(NT)
+            .unwrap()
+            .partitioner(HashPartitioner::new(3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prepare_once_execute_many_counts() {
+        let db = session();
+        let prepared = db
+            .prepare("SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }")
+            .unwrap();
+        for _ in 0..5 {
+            let results = prepared.execute().unwrap();
+            assert_eq!(results.len(), 1);
+        }
+        let stats = db.stats();
+        assert_eq!(stats.queries_prepared, 1, "prepare ran exactly once");
+        assert_eq!(stats.executions, 5);
+    }
+
+    #[test]
+    fn solutions_address_by_name_and_index() {
+        let db = session();
+        let results = db
+            .query("SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }")
+            .unwrap();
+        assert_eq!(results.variables(), &["x".to_string(), "n".to_string()]);
+        let sol = results.solution(0).unwrap();
+        assert_eq!(sol["x"], Term::iri("http://ex/bob"));
+        assert_eq!(sol[1], Term::lit("Carol"));
+        assert_eq!(sol.get("n"), Some(&Term::lit("Carol")));
+        assert_eq!(sol.get("missing"), None);
+        assert_eq!(sol["x"], sol[0]);
+        assert_eq!(sol.to_string(), "?x = <http://ex/bob>, ?n = \"Carol\"");
+    }
+
+    #[test]
+    fn solution_iteration_matches_projection_order() {
+        let db = session();
+        let results = db
+            .query("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?b }")
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        for sol in &results {
+            let pairs: Vec<_> = sol.iter().collect();
+            assert_eq!(pairs.len(), 2);
+            assert_eq!(pairs[0].0, "a");
+            assert_eq!(pairs[1].0, "b");
+            assert_eq!(pairs[0].1, &sol["a"]);
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_as_unified_error() {
+        let db = session();
+        assert!(matches!(db.prepare("SELECT WHERE"), Err(Error::Parse(_))));
+        assert!(matches!(
+            db.prepare("SELECT ?p WHERE { <http://ex/alice> ?p ?y }"),
+            Err(Error::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_ntriples() {
+        assert!(matches!(
+            GStoreD::builder().ntriples("not n-triples"),
+            Err(Error::Data(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_are_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<GStoreD>();
+    }
+}

@@ -3,10 +3,10 @@
 //! agree with the centralized reference on every benchmark query.
 
 use gstored::baselines::{
-    cliquesquare::CliqueSquareLike, dream::DreamLike, s2rdf::S2rdfLike, s2x::S2xLike,
-    Baseline, CostModel,
+    cliquesquare::CliqueSquareLike, dream::DreamLike, s2rdf::S2rdfLike, s2x::S2xLike, Baseline,
+    CostModel,
 };
-use gstored::core::engine::{Engine, Variant};
+use gstored::core::engine::Variant;
 use gstored::datagen::{btc, lubm, queries, yago, BenchQuery, BtcConfig, LubmConfig, YagoConfig};
 use gstored::prelude::*;
 use gstored::store::{find_matches, EncodedQuery};
@@ -57,23 +57,37 @@ fn check_dataset(name: &str, g: RdfGraph, queries: Vec<BenchQuery>) {
         Box::new(S2rdfLike::new(CostModel::zero())),
         Box::new(CliqueSquareLike::new(CostModel::zero())),
     ];
-    let mut any_nonempty = false;
-    for bq in &queries {
-        let query = QueryGraph::from_query(
-            &gstored::sparql::parse_query(&bq.text).expect("benchmark query parses"),
-        )
-        .expect("benchmark query connected");
-        let expected = reference(&g, &query);
-        any_nonempty |= !expected.is_empty();
-        for p in &partitioners {
-            let dist = DistributedGraph::build(g.clone(), p.as_ref());
-            assert_eq!(dist.validate(), None, "{name}/{}", p.name());
-            for variant in [Variant::Basic, Variant::Full] {
-                let mut got = Engine::with_variant(variant).run(&dist, &query).bindings;
+    // Centralized reference per query, computed once.
+    let expected: Vec<(String, QueryGraph, Vec<Vec<gstored::rdf::TermId>>)> = queries
+        .iter()
+        .map(|bq| {
+            let query = QueryGraph::from_query(
+                &gstored::sparql::parse_query(&bq.text).expect("benchmark query parses"),
+            )
+            .expect("benchmark query connected");
+            let reference = reference(&g, &query);
+            (bq.text.clone(), query, reference)
+        })
+        .collect();
+    let any_nonempty = expected.iter().any(|(_, _, r)| !r.is_empty());
+
+    // One session per (partitioner, variant); every query runs through it.
+    for p in &partitioners {
+        // The builder validates the Definition 1 invariants.
+        let dist = DistributedGraph::build(g.clone(), p.as_ref());
+        for variant in [Variant::Basic, Variant::Full] {
+            let db = GStoreD::builder()
+                .distributed(dist.clone())
+                .variant(variant)
+                .build()
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", p.name()));
+            for (bq, (text, _, reference)) in queries.iter().zip(&expected) {
+                let results = db.query(text).unwrap();
+                let mut got = results.bindings().to_vec();
                 got.sort_unstable();
                 assert_eq!(
-                    got,
-                    expected,
+                    &got,
+                    reference,
                     "{name}/{}: {} under {}",
                     bq.id,
                     variant.label(),
@@ -81,14 +95,19 @@ fn check_dataset(name: &str, g: RdfGraph, queries: Vec<BenchQuery>) {
                 );
             }
         }
-        // Baselines run against the hash layout.
-        let dist = DistributedGraph::build(g.clone(), &HashPartitioner::new(5));
+    }
+    // Baselines run against the hash layout.
+    let dist = DistributedGraph::build(g.clone(), &HashPartitioner::new(5));
+    for (bq, (_, query, reference)) in queries.iter().zip(&expected) {
         for b in &baselines {
-            let out = b.run(&g, &dist, &query);
-            assert_eq!(out.bindings, expected, "{name}/{}: {}", bq.id, b.name());
+            let out = b.run(&g, &dist, query);
+            assert_eq!(&out.bindings, reference, "{name}/{}: {}", bq.id, b.name());
         }
     }
-    assert!(any_nonempty, "{name}: every benchmark query returned empty — dataset broken");
+    assert!(
+        any_nonempty,
+        "{name}: every benchmark query returned empty — dataset broken"
+    );
 }
 
 #[test]
@@ -116,20 +135,30 @@ fn expected_result_profiles_hold() {
     let (g, queries) = dataset_lubm();
     let count = |id: &str, g: &RdfGraph, qs: &[BenchQuery]| {
         let bq = qs.iter().find(|q| q.id == id).unwrap();
-        let query = QueryGraph::from_query(
-            &gstored::sparql::parse_query(&bq.text).unwrap(),
-        )
-        .unwrap();
+        let query =
+            QueryGraph::from_query(&gstored::sparql::parse_query(&bq.text).unwrap()).unwrap();
         reference(g, &query).len()
     };
     assert_eq!(count("LQ3", &g, &queries), 0, "LQ3 must be empty");
-    assert!(count("LQ2", &g, &queries) > 100, "LQ2 is the unselective star");
-    assert!(count("LQ4", &g, &queries) > 0, "LQ4 finds Department0 professors");
-    assert!(count("LQ1", &g, &queries) > 0, "LQ1 triangle closes sometimes");
+    assert!(
+        count("LQ2", &g, &queries) > 100,
+        "LQ2 is the unselective star"
+    );
+    assert!(
+        count("LQ4", &g, &queries) > 0,
+        "LQ4 finds Department0 professors"
+    );
+    assert!(
+        count("LQ1", &g, &queries) > 0,
+        "LQ1 triangle closes sometimes"
+    );
 
     let (g, queries) = dataset_yago();
     assert_eq!(count("YQ2", &g, &queries), 0, "YQ2 must be empty");
-    assert!(count("YQ1", &g, &queries) > 0, "YQ1 anchored influence chain");
+    assert!(
+        count("YQ1", &g, &queries) > 0,
+        "YQ1 anchored influence chain"
+    );
     assert!(count("YQ3", &g, &queries) > 500, "YQ3 is the heavyweight");
 
     let (g, queries) = dataset_btc();
@@ -141,16 +170,18 @@ fn expected_result_profiles_hold() {
 #[test]
 fn distinct_and_limit_apply_end_to_end() {
     let (g, _) = dataset_yago();
-    let dist = DistributedGraph::build(g, &HashPartitioner::new(4));
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(
+    let db = GStoreD::builder()
+        .graph(g)
+        .partitioner(HashPartitioner::new(4))
+        .variant(Variant::Full)
+        .build()
+        .unwrap();
+    let results = db
+        .query(
             "SELECT DISTINCT ?t WHERE { ?a <http://dbpedia.org/ontology/mainInterest> ?t } LIMIT 7",
         )
-        .unwrap(),
-    )
-    .unwrap();
-    let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-    assert_eq!(out.rows.len(), 7);
-    let set: std::collections::HashSet<_> = out.rows.iter().collect();
+        .unwrap();
+    assert_eq!(results.len(), 7);
+    let set: std::collections::HashSet<_> = results.vertex_rows().iter().collect();
     assert_eq!(set.len(), 7, "DISTINCT respected");
 }

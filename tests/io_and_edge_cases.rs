@@ -1,10 +1,10 @@
 //! N-Triples file round-trips over generated datasets, plus engine edge
 //! cases (empty graphs, self-loops, single-vertex class queries, LIMIT on
-//! crossing matches).
+//! crossing matches), driven through the `GStoreD` facade.
 
 use std::io::BufReader;
 
-use gstored::core::engine::{Engine, Variant};
+use gstored::core::engine::Variant;
 use gstored::datagen::{yago, YagoConfig};
 use gstored::prelude::*;
 use gstored::rdf::ntriples;
@@ -12,7 +12,10 @@ use gstored::rdf::Triple;
 
 #[test]
 fn generated_dataset_survives_ntriples_roundtrip() {
-    let triples = yago::generate(&YagoConfig { persons: 150, ..Default::default() });
+    let triples = yago::generate(&YagoConfig {
+        persons: 150,
+        ..Default::default()
+    });
     let text = {
         let mut buf = Vec::new();
         ntriples::write_ntriples(&mut buf, &triples).unwrap();
@@ -22,8 +25,7 @@ fn generated_dataset_survives_ntriples_roundtrip() {
     assert_eq!(reparsed, triples);
 
     // And through the buffered-reader path.
-    let reparsed2 =
-        ntriples::parse_ntriples_reader(BufReader::new(text.as_bytes())).unwrap();
+    let reparsed2 = ntriples::parse_ntriples_reader(BufReader::new(text.as_bytes())).unwrap();
     assert_eq!(reparsed2, triples);
 
     // The graphs built from both are identical in shape.
@@ -38,56 +40,69 @@ fn generated_dataset_survives_ntriples_roundtrip() {
 fn single_vertex_class_query_runs_distributed() {
     // `SELECT ?x WHERE { ?x a Person }` — zero query edges, pure class
     // constraint; handled by the star fast path over class candidates.
-    let triples = yago::generate(&YagoConfig { persons: 80, ..Default::default() });
-    let mut g = RdfGraph::from_triples(triples);
-    g.finalize();
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(&format!(
-            "SELECT ?x WHERE {{ ?x a <{}> }}",
-            gstored::datagen::yago::PERSON_CLASS
-        ))
-        .unwrap(),
-    )
-    .unwrap();
-    assert_eq!(query.edge_count(), 0);
-    assert_eq!(query.vertex_count(), 1);
-    let dist = DistributedGraph::build(g, &HashPartitioner::new(4));
+    let triples = yago::generate(&YagoConfig {
+        persons: 80,
+        ..Default::default()
+    });
+    let text = format!(
+        "SELECT ?x WHERE {{ ?x a <{}> }}",
+        gstored::datagen::yago::PERSON_CLASS
+    );
     for variant in [Variant::Basic, Variant::Full] {
-        let out = Engine::with_variant(variant).run(&dist, &query);
-        assert_eq!(out.rows.len(), 80, "{}", variant.label());
+        let db = GStoreD::builder()
+            .triples(triples.clone())
+            .partitioner(HashPartitioner::new(4))
+            .variant(variant)
+            .build()
+            .unwrap();
+        let prepared = db.prepare(&text).unwrap();
+        assert_eq!(prepared.plan().query().edge_count(), 0);
+        assert_eq!(prepared.plan().query().vertex_count(), 1);
+        let results = prepared.execute().unwrap();
+        assert_eq!(results.len(), 80, "{}", variant.label());
     }
 }
 
 #[test]
 fn empty_graph_yields_empty_results() {
-    let g = RdfGraph::new();
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap(),
-    )
-    .unwrap();
-    let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
-    let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-    assert!(out.rows.is_empty());
-    assert_eq!(out.metrics.total_matches(), 0);
+    let db = GStoreD::builder()
+        .partitioner(HashPartitioner::new(3))
+        .variant(Variant::Full)
+        .build()
+        .unwrap();
+    let results = db.query("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap();
+    assert!(results.is_empty());
+    assert_eq!(results.metrics().total_matches(), 0);
 }
 
 #[test]
 fn self_loops_survive_distribution() {
-    let mut g = RdfGraph::from_triples(vec![
-        Triple::new(Term::iri("http://a"), Term::iri("http://p"), Term::iri("http://a")),
-        Triple::new(Term::iri("http://a"), Term::iri("http://p"), Term::iri("http://b")),
-        Triple::new(Term::iri("http://b"), Term::iri("http://p"), Term::iri("http://b")),
-    ]);
-    g.finalize();
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query("SELECT ?x WHERE { ?x <http://p> ?x }").unwrap(),
-    )
-    .unwrap();
+    let triples = vec![
+        Triple::new(
+            Term::iri("http://a"),
+            Term::iri("http://p"),
+            Term::iri("http://a"),
+        ),
+        Triple::new(
+            Term::iri("http://a"),
+            Term::iri("http://p"),
+            Term::iri("http://b"),
+        ),
+        Triple::new(
+            Term::iri("http://b"),
+            Term::iri("http://p"),
+            Term::iri("http://b"),
+        ),
+    ];
     for seed in 0..4 {
-        let dist =
-            DistributedGraph::build(g.clone(), &HashPartitioner::with_seed(2, seed));
-        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-        assert_eq!(out.rows.len(), 2, "seed {seed}: both loop vertices match");
+        let db = GStoreD::builder()
+            .triples(triples.clone())
+            .partitioner(HashPartitioner::with_seed(2, seed))
+            .variant(Variant::Full)
+            .build()
+            .unwrap();
+        let results = db.query("SELECT ?x WHERE { ?x <http://p> ?x }").unwrap();
+        assert_eq!(results.len(), 2, "seed {seed}: both loop vertices match");
     }
 }
 
@@ -95,25 +110,24 @@ fn self_loops_survive_distribution() {
 fn limit_truncates_crossing_matches_deterministically() {
     // Crossing-heavy query with LIMIT: results are sorted before
     // truncation, so the same rows come back under any partitioning.
-    let triples = yago::generate(&YagoConfig { persons: 120, ..Default::default() });
-    let mut g = RdfGraph::from_triples(triples);
-    g.finalize();
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(
-            "SELECT ?a ?b WHERE { ?a <http://dbpedia.org/ontology/influencedBy> ?b . \
-             ?b <http://dbpedia.org/ontology/influencedBy> ?c . \
-             ?c <http://dbpedia.org/ontology/birthPlace> ?d } LIMIT 5",
-        )
-        .unwrap(),
-    )
-    .unwrap();
+    let triples = yago::generate(&YagoConfig {
+        persons: 120,
+        ..Default::default()
+    });
+    let text = "SELECT ?a ?b WHERE { ?a <http://dbpedia.org/ontology/influencedBy> ?b . \
+         ?b <http://dbpedia.org/ontology/influencedBy> ?c . \
+         ?c <http://dbpedia.org/ontology/birthPlace> ?d } LIMIT 5";
     let mut outputs = Vec::new();
     for seed in 0..3 {
-        let dist =
-            DistributedGraph::build(g.clone(), &HashPartitioner::with_seed(3, seed));
-        let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-        assert!(out.rows.len() <= 5);
-        outputs.push(out.rows);
+        let db = GStoreD::builder()
+            .triples(triples.clone())
+            .partitioner(HashPartitioner::with_seed(3, seed))
+            .variant(Variant::Full)
+            .build()
+            .unwrap();
+        let results = db.query(text).unwrap();
+        assert!(results.len() <= 5);
+        outputs.push(results.vertex_rows().to_vec());
     }
     assert_eq!(outputs[0], outputs[1]);
     assert_eq!(outputs[1], outputs[2]);
@@ -121,26 +135,29 @@ fn limit_truncates_crossing_matches_deterministically() {
 
 #[test]
 fn unsatisfiable_class_is_empty_not_error() {
-    let triples = yago::generate(&YagoConfig { persons: 30, ..Default::default() });
-    let mut g = RdfGraph::from_triples(triples);
-    g.finalize();
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(
+    let triples = yago::generate(&YagoConfig {
+        persons: 30,
+        ..Default::default()
+    });
+    let db = GStoreD::builder()
+        .triples(triples)
+        .partitioner(HashPartitioner::new(3))
+        .variant(Variant::Full)
+        .build()
+        .unwrap();
+    let results = db
+        .query(
             "SELECT ?x WHERE { ?x a <http://no-such-class> . ?x <http://dbpedia.org/ontology/name> ?n }",
         )
-        .unwrap(),
-    )
-    .unwrap();
-    let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
-    let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-    assert!(out.rows.is_empty());
+        .unwrap();
+    assert!(results.is_empty());
 }
 
 #[test]
 fn variable_class_type_pattern_is_rejected_at_parse_layer() {
-    let q = gstored::sparql::parse_query("SELECT ?x WHERE { ?x a ?t }").unwrap();
+    let db = GStoreD::builder().build().unwrap();
     assert!(matches!(
-        QueryGraph::from_query(&q),
-        Err(gstored::sparql::SparqlError::Unsupported(_))
+        db.prepare("SELECT ?x WHERE { ?x a ?t }"),
+        Err(Error::Parse(gstored::sparql::SparqlError::Unsupported(_)))
     ));
 }

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use gstored::core::engine::{Engine, Variant};
+use gstored::core::engine::Variant;
 use gstored::core::lec::compute_lec_features;
 use gstored::core::prune::prune_features;
 use gstored::partition::ExplicitPartitioner;
@@ -76,22 +76,23 @@ fn paper_partitioner(g: &RdfGraph) -> ExplicitPartitioner {
     ExplicitPartitioner::new(3, map)
 }
 
+/// Fig. 2's query text.
+fn paper_query_text() -> String {
+    format!(
+        "SELECT ?p2 ?l WHERE {{ \
+         ?t <{LABEL}> ?l . \
+         ?p1 <{INFLUENCED}> ?p2 . \
+         ?p2 <{INTEREST}> ?t . \
+         ?p1 <{NAME}> <{}> . }}",
+        e(3)
+    )
+}
+
 /// Fig. 2's query. Query vertices in pattern order: v1=?p2, v2=?t,
 /// v3=?p1, v4=?l, v5=003 — we order patterns so the vertex indexes are
 /// v2,v4,v3,v1,v5 -> see `vid`.
 fn paper_query() -> QueryGraph {
-    QueryGraph::from_query(
-        &gstored::sparql::parse_query(&format!(
-            "SELECT ?p2 ?l WHERE {{ \
-             ?t <{LABEL}> ?l . \
-             ?p1 <{INFLUENCED}> ?p2 . \
-             ?p2 <{INTEREST}> ?t . \
-             ?p1 <{NAME}> <{}> . }}",
-            e(3)
-        ))
-        .unwrap(),
-    )
-    .unwrap()
+    QueryGraph::from_query(&gstored::sparql::parse_query(&paper_query_text()).unwrap()).unwrap()
 }
 
 /// Map the paper's v1..v5 naming to our vertex indexes.
@@ -101,7 +102,9 @@ fn vid(q: &QueryGraph, paper: &str) -> usize {
         "v2" => q.vertex_of_var("t").unwrap(),
         "v3" => q.vertex_of_var("p1").unwrap(),
         "v4" => q.vertex_of_var("l").unwrap(),
-        "v5" => (0..q.vertex_count()).find(|&v| !q.vertex(v).is_var()).unwrap(),
+        "v5" => (0..q.vertex_count())
+            .find(|&v| !q.vertex(v).is_var())
+            .unwrap(),
         other => panic!("unknown {other}"),
     }
 }
@@ -118,7 +121,9 @@ fn serialization(
         .iter()
         .map(|n| match lpm.binding[vid(q, n)] {
             Some(u) => {
-                let Term::Iri(iri) = dist.dict().resolve(u) else { panic!() };
+                let Term::Iri(iri) = dist.dict().resolve(u) else {
+                    panic!()
+                };
                 iri.rsplit('/').next().unwrap().to_string()
             }
             None => "NULL".to_string(),
@@ -149,12 +154,20 @@ fn fig3_local_partial_matches_byte_for_byte() {
     // Fig. 3, F1: PM1_1, PM2_1, PM3_1.
     assert_eq!(
         rendered[0],
-        vec!["[006,005,NULL,004,NULL]", "[006,NULL,001,NULL,003]", "[012,NULL,001,NULL,003]"]
+        vec![
+            "[006,005,NULL,004,NULL]",
+            "[006,NULL,001,NULL,003]",
+            "[012,NULL,001,NULL,003]"
+        ]
     );
     // Fig. 3, F2: PM1_2, PM2_2, PM3_2.
     assert_eq!(
         rendered[1],
-        vec!["[006,005,001,NULL,NULL]", "[006,008,001,009,NULL]", "[006,010,001,011,NULL]"]
+        vec![
+            "[006,005,001,NULL,NULL]",
+            "[006,008,001,009,NULL]",
+            "[006,010,001,011,NULL]"
+        ]
     );
     // Fig. 3, F3: PM1_3, PM2_3.
     assert_eq!(
@@ -197,8 +210,7 @@ fn algorithm2_prunes_pm23_and_nothing_else_in_f3() {
     let dist = DistributedGraph::build(g, &partitioner);
     let q = EncodedQuery::encode(&query, dist.dict()).unwrap();
     let filter = CandidateFilter::none(q.vertex_count());
-    let query_edges: Vec<(usize, usize)> =
-        q.edges().iter().map(|e| (e.from, e.to)).collect();
+    let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
 
     let mut all_features = Vec::new();
     let mut per_lpm: Vec<(usize, String, Vec<u32>)> = Vec::new(); // (frag, serialization, sources)
@@ -241,19 +253,24 @@ fn final_matches_all_variants_and_baselines_agree() {
     let partitioner = paper_partitioner(&g);
     let dist = DistributedGraph::build(g.clone(), &partitioner);
     for variant in Variant::ALL {
-        let out = Engine::with_variant(variant).run(&dist, &query);
-        let mut got = out.bindings.clone();
+        let db = GStoreD::builder()
+            .distributed(dist.clone())
+            .variant(variant)
+            .build()
+            .unwrap();
+        let results = db.query(&paper_query_text()).unwrap();
+        let mut got = results.bindings().to_vec();
         got.sort_unstable();
         assert_eq!(got, reference, "{}", variant.label());
         assert_eq!(
-            out.metrics.crossing_matches, 4,
+            results.metrics().crossing_matches,
+            4,
             "all Fig. 1 matches cross fragments"
         );
     }
 
     use gstored::baselines::{
-        cliquesquare::CliqueSquareLike, dream::DreamLike, s2rdf::S2rdfLike, s2x::S2xLike,
-        Baseline,
+        cliquesquare::CliqueSquareLike, dream::DreamLike, s2rdf::S2rdfLike, s2x::S2xLike, Baseline,
     };
     let baselines: Vec<Box<dyn Baseline>> = vec![
         Box::new(DreamLike::default()),
@@ -270,15 +287,20 @@ fn final_matches_all_variants_and_baselines_agree() {
 #[test]
 fn projected_rows_are_p2_l_pairs() {
     let g = paper_graph();
-    let query = paper_query();
     let partitioner = paper_partitioner(&g);
-    let dist = DistributedGraph::build(g, &partitioner);
-    let out = Engine::with_variant(Variant::Full).run(&dist, &query);
-    let decoded = out.decoded_rows(&dist);
-    assert_eq!(decoded.len(), 4);
+    let db = GStoreD::builder()
+        .graph(g)
+        .partitioner(partitioner)
+        .variant(Variant::Full)
+        .build()
+        .unwrap();
+    let results = db.query(&paper_query_text()).unwrap();
+    assert_eq!(results.len(), 4);
     // ?p2 ∈ {006, 012}; ?l ∈ {009, 011, 004, 017}.
-    for row in &decoded {
-        let p2 = row[0].to_string();
+    for sol in &results {
+        let p2 = sol["p2"].to_string();
         assert!(p2.contains("/006") || p2.contains("/012"), "{p2}");
+        assert_eq!(&sol["p2"], &sol[0], "by-name equals by-index");
+        assert_eq!(&sol["l"], &sol[1]);
     }
 }

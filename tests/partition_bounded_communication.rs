@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use gstored::core::engine::{Engine, Variant};
+use gstored::core::engine::Variant;
 use gstored::partition::ExplicitPartitioner;
 use gstored::prelude::*;
 use gstored::rdf::Triple;
@@ -22,9 +22,7 @@ const Q: &str = "http://x/q";
 /// us off the star fast path.
 fn build(bulk: usize, bridges: usize) -> (RdfGraph, ExplicitPartitioner) {
     let mut triples = Vec::new();
-    let t = |s: String, p: &str, o: String| {
-        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
-    };
+    let t = |s: String, p: &str, o: String| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
     // Crossing bridges: a{i} (F0) -p-> b{i} (F1) -q-> c{i} (F1) -p-> d{i}.
     for i in 0..bridges {
         triples.push(t(format!("http://f0/a{i}"), P, format!("http://f1/b{i}")));
@@ -63,16 +61,19 @@ fn build(bulk: usize, bridges: usize) -> (RdfGraph, ExplicitPartitioner) {
 
 fn run(bulk: usize, bridges: usize) -> gstored::net::QueryMetrics {
     let (g, p) = build(bulk, bridges);
-    let dist = DistributedGraph::build(g, &p);
-    assert_eq!(dist.validate(), None);
-    let query = QueryGraph::from_query(
-        &gstored::sparql::parse_query(&format!(
+    // The builder validates the Definition 1 invariants.
+    let db = GStoreD::builder()
+        .graph(g)
+        .partitioner(p)
+        .variant(Variant::LecOptimization)
+        .build()
+        .unwrap();
+    let results = db
+        .query(&format!(
             "SELECT * WHERE {{ ?x <{P}> ?y . ?y <{Q}> ?z . ?z <{P}> ?w }}"
         ))
-        .unwrap(),
-    )
-    .unwrap();
-    Engine::with_variant(Variant::LecOptimization).run(&dist, &query).metrics
+        .unwrap();
+    results.metrics().clone()
 }
 
 #[test]
@@ -143,7 +144,10 @@ fn analytical_size_bound_holds() {
             let wire = encode_features(std::slice::from_ref(feat)).len();
             // Generous constant: ≤ 64 bytes per (edge + vertex) unit.
             let bound = 64 * (q.edge_count() + q.vertex_count());
-            assert!(wire <= bound, "feature wire size {wire} exceeds bound {bound}");
+            assert!(
+                wire <= bound,
+                "feature wire size {wire} exceeds bound {bound}"
+            );
         }
     }
 }

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use gstored::core::engine::{Engine, EngineConfig, Variant};
+use gstored::core::engine::Variant;
 use gstored::datagen::random::{random_graph, random_query, RandomGraphConfig};
 use gstored::partition::{ExplicitPartitioner, PartitionAssignment};
 use gstored::prelude::*;
@@ -21,7 +21,7 @@ fn reference(g: &RdfGraph, query: &QueryGraph) -> Vec<Vec<gstored::rdf::TermId>>
 
 fn run_distributed(
     g: &RdfGraph,
-    query: &QueryGraph,
+    query_text: &str,
     assignment: &[usize],
     sites: usize,
     variant: Variant,
@@ -35,16 +35,19 @@ fn run_distributed(
         .enumerate()
         .map(|(i, &v)| (v, assignment[i % assignment.len()] % sites))
         .collect();
-    let dist = DistributedGraph::build_with_assignment(
-        g.clone(),
-        PartitionAssignment { k: sites, of_vertex: map },
-    );
-    assert_eq!(dist.validate(), None, "Definition 1 invariants");
-    let engine = Engine::new(EngineConfig {
-        star_fast_path,
-        ..EngineConfig::variant(variant)
-    });
-    let mut got = engine.run(&dist, query).bindings;
+    // The builder validates the Definition 1 invariants during build.
+    let db = GStoreD::builder()
+        .graph(g.clone())
+        .assignment(PartitionAssignment {
+            k: sites,
+            of_vertex: map,
+        })
+        .variant(variant)
+        .star_fast_path(star_fast_path)
+        .build()
+        .expect("Definition 1 invariants");
+    let results = db.query(query_text).expect("generated query evaluates");
+    let mut got = results.bindings().to_vec();
     got.sort_unstable();
     got
 }
@@ -75,7 +78,7 @@ proptest! {
         .expect("generated query is connected");
         let expected = reference(&g, &query);
         for variant in Variant::ALL {
-            let got = run_distributed(&g, &query, &assignment, 4, variant, true);
+            let got = run_distributed(&g, &text, &assignment, 4, variant, true);
             prop_assert_eq!(
                 &got, &expected,
                 "variant {} on {}", variant.label(), text
@@ -112,8 +115,8 @@ proptest! {
         )
         .unwrap();
         let expected = reference(&g, &query);
-        let fast = run_distributed(&g, &query, &assignment, 3, Variant::Full, true);
-        let slow = run_distributed(&g, &query, &assignment, 3, Variant::Full, false);
+        let fast = run_distributed(&g, &text, &assignment, 3, Variant::Full, true);
+        let slow = run_distributed(&g, &text, &assignment, 3, Variant::Full, false);
         prop_assert_eq!(&fast, &expected, "fast path diverged on {}", text);
         prop_assert_eq!(&slow, &expected, "general path diverged on {}", text);
     }
@@ -138,7 +141,7 @@ proptest! {
         .unwrap();
         let expected = reference(&g, &query);
         for sites in [1usize, 2, 5, 8] {
-            let got = run_distributed(&g, &query, &assignment, sites, Variant::Full, true);
+            let got = run_distributed(&g, &text, &assignment, sites, Variant::Full, true);
             prop_assert_eq!(&got, &expected, "{} sites on {}", sites, text);
         }
     }
@@ -165,8 +168,7 @@ fn adversarial_partitionings_on_chain() {
             .map(|i| format!("?v{i} <http://p> ?v{} .", i + 1))
             .collect();
         let text = format!("SELECT * WHERE {{ {} }}", patterns.join(" "));
-        let query =
-            QueryGraph::from_query(&gstored::sparql::parse_query(&text).unwrap()).unwrap();
+        let query = QueryGraph::from_query(&gstored::sparql::parse_query(&text).unwrap()).unwrap();
         let q = EncodedQuery::encode(&query, g.dict()).unwrap();
         let mut expected = find_matches(&g, &q);
         expected.sort_unstable();
@@ -178,24 +180,25 @@ fn adversarial_partitionings_on_chain() {
             verts.sort_unstable();
             for (i, v) in verts.iter().enumerate() {
                 let site = match layout {
-                    0 => i % 10,            // every vertex on its own site
-                    1 => i % 2,             // alternating
+                    0 => i % 10,              // every vertex on its own site
+                    1 => i % 2,               // alternating
                     _ => usize::from(i == 0), // one vertex isolated
                 };
                 map.insert(*v, site);
             }
             let k = map.values().copied().max().unwrap() + 1;
-            let dist = DistributedGraph::build(
-                g.clone(),
-                &ExplicitPartitioner::new(k, map),
-            );
-            assert_eq!(dist.validate(), None);
+            let dist = DistributedGraph::build(g.clone(), &ExplicitPartitioner::new(k, map));
             for variant in Variant::ALL {
-                let mut got =
-                    Engine::with_variant(variant).run(&dist, &query).bindings;
+                let db = GStoreD::builder()
+                    .distributed(dist.clone())
+                    .variant(variant)
+                    .build()
+                    .expect("Definition 1 invariants");
+                let mut got = db.query(&text).unwrap().bindings().to_vec();
                 got.sort_unstable();
                 assert_eq!(
-                    got, expected,
+                    got,
+                    expected,
                     "layout {layout}, len {len}, {}",
                     variant.label()
                 );

@@ -25,8 +25,12 @@ fn setup(
     assignment: &[usize],
     sites: usize,
     n_edges: usize,
-) -> Option<(gstored::partition::DistributedGraph, QueryGraph, EncodedQuery, Vec<LocalPartialMatch>)>
-{
+) -> Option<(
+    gstored::partition::DistributedGraph,
+    QueryGraph,
+    EncodedQuery,
+    Vec<LocalPartialMatch>,
+)> {
     let g = random_graph(&RandomGraphConfig {
         vertices: 20,
         edges: 40,
@@ -34,8 +38,7 @@ fn setup(
         seed: graph_seed,
     });
     let text = random_query(n_edges, 3, None, query_seed);
-    let query =
-        QueryGraph::from_query(&gstored::sparql::parse_query(&text).ok()?).ok()?;
+    let query = QueryGraph::from_query(&gstored::sparql::parse_query(&text).ok()?).ok()?;
     let mut verts: Vec<_> = g.vertices().collect();
     verts.sort_unstable();
     let map = verts
@@ -45,7 +48,10 @@ fn setup(
         .collect();
     let dist = DistributedGraph::build_with_assignment(
         g,
-        PartitionAssignment { k: sites, of_vertex: map },
+        PartitionAssignment {
+            k: sites,
+            of_vertex: map,
+        },
     );
     let q = EncodedQuery::encode(&query, dist.dict())?;
     let filter = CandidateFilter::none(q.vertex_count());

@@ -1,0 +1,261 @@
+//! Offline stand-in for the crates.io `bytes` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the subset the workspace's wire codec uses: [`BytesMut`] as
+//! an appendable buffer, [`Bytes`] as a cheaply cloneable shared view with
+//! cursor-style reads, and the [`Buf`] / [`BufMut`] method traits.
+//!
+//! [`Bytes`] shares its backing allocation (`Arc<[u8]>`), so `clone` and
+//! [`Bytes::slice`] are O(1) like the real crate; reads advance an offset
+//! into the shared buffer.
+
+use std::sync::Arc;
+
+/// Read-side methods (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian u64, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Write-side methods (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A shared, immutable byte buffer with an internal read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a static slice (copies in this shim; size semantics match).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the unread portion is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// O(1) sub-view of the unread portion.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the unread portion into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Split off the next `len` bytes as an O(1) shared view.
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes past end");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end");
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_le_bytes(le)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable shared [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_u64_le(0xdead_beef);
+        w.put_slice(&[1, 2, 3]);
+        let mut b = w.freeze();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u64_le(), 0xdead_beef);
+        assert_eq!(b.copy_to_bytes(3).as_ref(), &[1, 2, 3]);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_clone_share_data() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(b.clone().as_ref(), b.as_ref());
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reads_advance_past_slices() {
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(b.get_u8(), 9);
+        let rest = b.slice(0..2);
+        assert_eq!(rest.as_ref(), &[8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = Bytes::from(vec![1]).slice(0..2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the subset of the Criterion API the workspace's benches
+//! use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `warm_up_time` / `measurement_time`),
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then runs timed batches until the measurement time elapses (at
+//! least `sample_size` iterations), and prints mean / min / max wall time
+//! per iteration. No statistics beyond that — the point is a usable
+//! `cargo bench` without the real dependency, not publication-grade
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, Criterion's conventional display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (`from_parameter` in real Criterion).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` repeatedly; the harness decides the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        let once = start.elapsed();
+        black_box(out);
+        self.record(once);
+    }
+
+    fn record(&mut self, once: Duration) {
+        self.iterations += 1;
+        self.elapsed += once;
+        self.min = self.min.min(once);
+        self.max = self.max.max(once);
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iterations as u32
+        }
+    }
+}
+
+/// Shared bench settings (per group, or Criterion-wide defaults).
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+fn run_one(full_id: &str, settings: &Settings, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up: run (untimed for reporting) until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < settings.warm_up_time {
+        let mut b = Bencher::new();
+        routine(&mut b);
+        if b.iterations == 0 {
+            break; // routine never called iter(); nothing to measure
+        }
+    }
+
+    let mut b = Bencher::new();
+    let measure_start = Instant::now();
+    loop {
+        let before = b.iterations;
+        routine(&mut b);
+        if b.iterations == before {
+            break; // routine never called iter()
+        }
+        if b.iterations >= settings.sample_size
+            && measure_start.elapsed() >= settings.measurement_time
+        {
+            break;
+        }
+    }
+    if b.iterations == 0 {
+        println!("{full_id:<60} (no measurement: bencher unused)");
+    } else {
+        println!(
+            "{full_id:<60} mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+            b.mean(),
+            b.min,
+            b.max,
+            b.iterations
+        );
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per measurement (lower bound in this shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n as u64;
+        self
+    }
+
+    /// Warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, &self.settings, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this shim takes no CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            settings: self.settings.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, &self.settings, f);
+        self
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("q", 4).id, "q/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

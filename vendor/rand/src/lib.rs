@@ -1,0 +1,155 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements exactly the 0.8-era API surface the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range` (over integer `Range` / `RangeInclusive`) and
+//! `gen_bool`. The generator is SplitMix64: tiny, fast, and statistically
+//! fine for data generation (it is not, and does not need to be,
+//! `rand`-bit-compatible — all workspace seeds are self-consistent).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64 + 1;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return start + rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, i32, i64);
+
+/// User-facing random value generation.
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (`0.0 ..= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast PRNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(2..=4);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}
