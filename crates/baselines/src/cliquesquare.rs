@@ -1,4 +1,4 @@
-//! CliqueSquare-like baseline (Goasdoué et al., ICDE 2015 — reference [4]).
+//! CliqueSquare-like baseline (Goasdoué et al., ICDE 2015 — reference \[4\]).
 //!
 //! Strategy, per the paper's Section IX summary: "CliqueSquare discusses
 //! how to build query plans by relying on n-ary (star) equality joins in

@@ -1,4 +1,4 @@
-//! DREAM-like baseline (Hammoud et al., PVLDB 2015 — reference [7]).
+//! DREAM-like baseline (Hammoud et al., PVLDB 2015 — reference \[7\]).
 //!
 //! Strategy: every site holds a **full replica** of the dataset; the
 //! query is decomposed into star subqueries; each star runs at one site

@@ -1,4 +1,4 @@
-//! S2RDF-like baseline (Schätzle et al. — reference [20]).
+//! S2RDF-like baseline (Schätzle et al. — reference \[20\]).
 //!
 //! Strategy, per the paper's Section IX summary: store the data in a
 //! **vertical partitioning** schema on Spark SQL (one table per

@@ -1,4 +1,4 @@
-//! S2X-like baseline (Schätzle et al. — reference [19]).
+//! S2X-like baseline (Schätzle et al. — reference \[19\]).
 //!
 //! Strategy, per the paper's Section IX summary: "S2X first distributes
 //! all triple patterns to all vertices. Then, vertices validate their

@@ -5,7 +5,7 @@
 //! * [`assemble_lec`] — the LEC feature-based assembly of **Algorithm 3**:
 //!   LPMs are grouped by LECSign (Definition 11), a group join graph is
 //!   built, and a DFS join explores only adjacent groups.
-//! * [`assemble_basic`] — the partitioning-based join of reference [18],
+//! * [`assemble_basic`] — the partitioning-based join of reference \[18\],
 //!   used by the `gStoreD-Basic` variant in Fig. 9: no LECSign grouping;
 //!   intermediates are joined against every LPM whose pivot-partition
 //!   differs, which is the larger join space the paper improves on.
@@ -147,7 +147,7 @@ fn com_par_join(
     }
 }
 
-/// The partitioning-based join of [18] (the `gStoreD-Basic` baseline).
+/// The partitioning-based join of \[18\] (the `gStoreD-Basic` baseline).
 ///
 /// LPMs are partitioned by whether they internally match a **pivot** query
 /// vertex (the variable vertex internally matched by the most LPMs — two

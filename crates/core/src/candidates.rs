@@ -7,89 +7,103 @@
 //! Soundness: a vertex appearing in any complete match is an internal
 //! candidate at its home site, so its bit is always set (the filter has
 //! false positives, never false negatives).
+//!
+//! Message flow (all frames charged to the candidates stage):
+//!
+//! 1. coordinator → sites: [`Request::ComputeCandidates`],
+//! 2. sites → coordinator: `BitVectors` replies (`B'_v` per variable),
+//! 3. coordinator unions per variable (Algorithm 4 lines 2–6),
+//! 4. coordinator → sites: [`Request::SetCandidateFilter`] with the
+//!    unioned vectors; sites keep them for LPM enumeration,
+//! 5. sites → coordinator: `Ack`s.
 
-use gstored_net::{Cluster, StageMetrics};
-use gstored_partition::DistributedGraph;
+use gstored_net::StageMetrics;
 use gstored_store::candidates::{BitVectorFilter, CandidateFilter};
-use gstored_store::{internal_candidates, EncodedQuery};
+use gstored_store::EncodedQuery;
 
-use crate::protocol;
+use crate::error::EngineError;
+use crate::protocol::{Request, ResponseBody};
+use crate::runtime::{expect_acks, WorkerPool};
 
-/// Run Algorithm 4: returns the [`CandidateFilter`] every site will use
-/// during LPM enumeration, plus the stage metrics (site time to find and
-/// hash candidates, shipment of the bit vectors both ways).
+/// Run Algorithm 4 over the pool's workers (the query must already be
+/// installed on every site). The workers adopt the unioned filter for
+/// their upcoming LPM enumeration; the same filter is also returned for
+/// inspection, plus the stage metrics covering every exchanged frame.
 pub fn exchange_candidates(
-    cluster: &Cluster,
-    dist: &DistributedGraph,
+    pool: &WorkerPool<'_>,
     q: &EncodedQuery,
     bits_per_variable: usize,
-) -> (CandidateFilter, StageMetrics) {
+) -> Result<(CandidateFilter, StageMetrics), EngineError> {
+    let mut stage = StageMetrics::default();
     let n = q.vertex_count();
     // Variable vertices get bit vectors; constants are checked directly.
     let var_vertices: Vec<usize> = (0..n).filter(|&v| q.vertex(v).is_var()).collect();
 
     // Site side: find C(Q, v) and hash into B'_v (lines 10–15).
-    let (site_vectors, mut stage) = cluster.scatter(|site| {
-        let fragment = &dist.fragments[site];
-        let cands = internal_candidates(fragment, q);
-        let mut vectors = Vec::with_capacity(var_vertices.len());
-        for &v in &var_vertices {
-            let mut bv = BitVectorFilter::new(bits_per_variable);
-            for &c in &cands[v] {
-                bv.insert(c);
-            }
-            vectors.push(bv);
-        }
-        vectors
-    });
-
-    // Ship every site's vectors to the coordinator (lines 4–6).
-    for vectors in &site_vectors {
-        let bytes: u64 = vectors
-            .iter()
-            .map(|bv| protocol::encode_bit_vector(bv).len() as u64)
-            .sum();
-        cluster.charge_shipment(&mut stage, vectors.len() as u64, bytes);
-    }
+    let bodies = pool.broadcast(
+        &Request::ComputeCandidates {
+            bits: bits_per_variable,
+        },
+        &mut stage,
+    )?;
 
     // Coordinator: union per variable (lines 2–6).
-    let unioned: Vec<BitVectorFilter> = cluster.time_coordinator(&mut stage, || {
+    let unioned: Vec<BitVectorFilter> = stage.time(|| {
         let mut acc: Vec<BitVectorFilter> = (0..var_vertices.len())
             .map(|_| BitVectorFilter::new(bits_per_variable))
             .collect();
-        for vectors in &site_vectors {
+        for body in &bodies {
+            let ResponseBody::BitVectors(vectors) = body else {
+                return Err(EngineError::Protocol(
+                    "expected BitVectors reply to ComputeCandidates".into(),
+                ));
+            };
+            if vectors.len() != acc.len() {
+                return Err(EngineError::Protocol(
+                    "wrong bit-vector count from site".into(),
+                ));
+            }
             for (a, b) in acc.iter_mut().zip(vectors) {
+                // union_with asserts equal widths; a mismatched reply
+                // must be a protocol error, not a coordinator abort.
+                if b.n_bits() != a.n_bits() {
+                    return Err(EngineError::Protocol(format!(
+                        "bit vector of {} bits where {} were requested",
+                        b.n_bits(),
+                        a.n_bits()
+                    )));
+                }
                 a.union_with(b);
             }
         }
-        acc
-    });
+        Ok(acc)
+    })?;
 
-    // Broadcast the result to every site (lines 7–8).
-    let broadcast_bytes: u64 = unioned
+    // Broadcast the result to every site (lines 7–8); sites adopt it.
+    let vectors: Vec<(usize, BitVectorFilter)> = var_vertices
         .iter()
-        .map(|bv| protocol::encode_bit_vector(bv).len() as u64)
-        .sum();
-    cluster.charge_shipment(
-        &mut stage,
-        (cluster.sites() * unioned.len()) as u64,
-        broadcast_bytes * cluster.sites() as u64,
-    );
+        .copied()
+        .zip(unioned.iter().cloned())
+        .collect();
+    expect_acks(pool.broadcast(&Request::SetCandidateFilter { vectors }, &mut stage)?)?;
 
     let mut filter = CandidateFilter::none(n);
     for (i, &v) in var_vertices.iter().enumerate() {
         filter.extended_bits[v] = Some(unioned[i].clone());
     }
-    (filter, stage)
+    Ok((filter, stage))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol;
+    use crate::worker::with_in_process_workers;
     use gstored_net::NetworkModel;
     use gstored_partition::{DistributedGraph, HashPartitioner};
     use gstored_rdf::{RdfGraph, Term, Triple};
     use gstored_sparql::{parse_query, QueryGraph};
+    use gstored_store::internal_candidates;
 
     fn setup() -> (DistributedGraph, EncodedQuery) {
         let mut triples = Vec::new();
@@ -109,11 +123,29 @@ mod tests {
         (dist, q)
     }
 
+    /// Run `exchange_candidates` against live in-process workers with the
+    /// query pre-installed (as the engine does).
+    fn exchange(
+        dist: &DistributedGraph,
+        q: &EncodedQuery,
+        bits: usize,
+    ) -> (CandidateFilter, StageMetrics) {
+        with_in_process_workers(dist, |transport| {
+            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let mut setup = StageMetrics::default();
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(q), &mut setup)
+                    .unwrap(),
+            )
+            .unwrap();
+            exchange_candidates(&pool, q, bits).unwrap()
+        })
+    }
+
     #[test]
     fn filter_admits_all_real_candidates() {
         let (dist, q) = setup();
-        let cluster = Cluster::new(3).with_network(NetworkModel::instant());
-        let (filter, _) = exchange_candidates(&cluster, &dist, &q, 4096);
+        let (filter, _) = exchange(&dist, &q, 4096);
         // Every internal candidate anywhere must pass the extended check.
         for f in &dist.fragments {
             let cands = internal_candidates(f, &q);
@@ -128,15 +160,27 @@ mod tests {
     #[test]
     fn shipment_is_fixed_length_per_site() {
         let (dist, q) = setup();
-        let cluster = Cluster::new(3).with_network(NetworkModel::instant());
         let bits = 2048;
-        let (_, stage) = exchange_candidates(&cluster, &dist, &q, bits);
-        // 3 sites send 2 vectors each; coordinator broadcasts 2 vectors to
-        // 3 sites: 12 vector transfers total, each ~bits/8 bytes.
-        let per_vec = (bits / 8 + 3) as u64; // + small length header
+        let (_, stage) = exchange(&dist, &q, bits);
+        // 3 request frames, 3 BitVectors replies (2 vectors each), 3
+        // filter broadcasts (2 vectors each), 3 acks: 12 frames carrying
+        // 12 fixed-length vector payloads in total.
         assert_eq!(stage.messages, 12);
         assert!(stage.bytes_shipped >= 12 * (bits as u64 / 8));
-        assert!(stage.bytes_shipped <= 12 * per_vec);
+        // Envelope overhead (tags, elapsed stamps, counts) stays within
+        // a few dozen bytes per frame.
+        assert!(stage.bytes_shipped <= 12 * (bits as u64 / 8) + 12 * 64);
+    }
+
+    #[test]
+    fn shipment_is_identical_across_runs() {
+        // Frame lengths are deterministic (fixed-width elapsed stamps),
+        // so repeated exchanges charge identical bytes.
+        let (dist, q) = setup();
+        let (_, a) = exchange(&dist, &q, 1024);
+        let (_, b) = exchange(&dist, &q, 1024);
+        assert_eq!(a.bytes_shipped, b.bytes_shipped);
+        assert_eq!(a.messages, b.messages);
     }
 
     #[test]
@@ -152,8 +196,7 @@ mod tests {
         .unwrap();
         let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
         let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
-        let cluster = Cluster::new(2).with_network(NetworkModel::instant());
-        let (filter, _) = exchange_candidates(&cluster, &dist, &q, 1024);
+        let (filter, _) = exchange(&dist, &q, 1024);
         assert!(filter.extended_bits[0].is_some(), "?x is a variable");
         assert!(
             filter.extended_bits[1].is_none(),
@@ -169,8 +212,7 @@ mod tests {
         )
         .unwrap();
         let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
-        let cluster = Cluster::new(3).with_network(NetworkModel::instant());
-        let (filter, _) = exchange_candidates(&cluster, &dist, &q, 1024);
+        let (filter, _) = exchange(&dist, &q, 1024);
         // ?y needs in-p and out-p; no vertex qualifies: its vector is empty
         // so it admits (almost) nothing.
         let admitted = (0..200u64)

@@ -1,45 +1,55 @@
 //! The distributed query engine (Fig. 4 of the paper).
 //!
-//! Execution for a general (non-star) query:
+//! Execution for a general (non-star) query, as messages to persistent
+//! site workers (every frame serialized through [`crate::protocol`] and
+//! charged to the stage it belongs to):
 //!
-//! 1. *(Full only)* Algorithm 4 — exchange candidate bit vectors.
-//! 2. **Partial evaluation** — every site finds its intra-fragment
-//!    complete matches and its local partial matches (Definition 5), in
-//!    parallel.
-//! 3. *(LO/Full)* **LEC optimization** — sites compute LEC features
-//!    (Algorithm 1) and ship them; the coordinator prunes (Algorithm 2)
-//!    and broadcasts the surviving feature ids; sites drop pruned LPMs.
-//! 4. **Assembly** — surviving LPMs ship to the coordinator, which joins
-//!    them: Algorithm 3 for LA/LO/Full, the [18] partition join for Basic.
+//! 0. **Query distribution** — `InstallQuery` ships the encoded query to
+//!    every site.
+//! 1. *(Full only)* Algorithm 4 — `ComputeCandidates` /
+//!    `SetCandidateFilter` exchange candidate bit vectors.
+//! 2. **Partial evaluation** — `PartialEval`: every site finds its
+//!    intra-fragment complete matches (shipped back immediately — they
+//!    are final) and its local partial matches (Definition 5), which
+//!    **stay at the site**.
+//! 3. *(LO/Full)* **LEC optimization** — `ComputeLecFeatures` ships only
+//!    the features (Algorithm 1); the coordinator prunes (Algorithm 2)
+//!    and broadcasts the surviving feature ids via `DropPruned`.
+//! 4. **Assembly** — `ShipSurvivors` moves the surviving LPMs to the
+//!    coordinator, which joins them: Algorithm 3 for LA/LO/Full, the
+//!    \[18\] partition join for Basic.
 //!
 //! Star queries short-circuit per Section VIII-B: every match lives in
-//! the fragment where the star's center is internal, so the sites answer
-//! locally and only the result bindings ship.
+//! the fragment where the star's center is internal, so `StarMatches`
+//! lets the sites answer locally and only the result bindings ship.
+//!
+//! The workers are reached through a pluggable [`Transport`]: the
+//! [`Backend::InProcess`] default runs them as scoped threads behind
+//! channels; [`Backend::Tcp`] speaks the same frames to remote
+//! `gstored-worker` processes. Both exchange byte-identical frames, so
+//! results *and* shipment metrics are independent of the backend.
 
 use std::collections::HashSet;
 
-use gstored_net::{Cluster, NetworkModel, QueryMetrics};
+use gstored_net::{NetworkModel, QueryMetrics, TcpTransport, Transport};
 use gstored_partition::DistributedGraph;
 use gstored_rdf::{Term, VertexId};
 use gstored_sparql::QueryGraph;
-use gstored_store::candidates::CandidateFilter;
-use gstored_store::{
-    enumerate_local_partial_matches, find_star_matches, local_complete_matches, EncodedQuery,
-    LocalPartialMatch,
-};
+use gstored_store::{EncodedQuery, LocalPartialMatch};
 
 use crate::assembly::{assemble_basic, assemble_lec};
 use crate::candidates::exchange_candidates;
 use crate::error::EngineError;
-use crate::lec::compute_lec_features;
 use crate::prepared::PreparedPlan;
-use crate::protocol;
+use crate::protocol::{self, Request, ResponseBody};
 use crate::prune::prune_features;
+use crate::runtime::{expect_acks, WorkerPool};
+use crate::worker::with_in_process_workers;
 
 /// The four engine variants compared in the paper's Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
-    /// `gStoreD-Basic`: partial evaluation + the [18] partition join.
+    /// `gStoreD-Basic`: partial evaluation + the \[18\] partition join.
     Basic,
     /// `gStoreD-LA`: + LEC feature-based assembly (Algorithm 3).
     LecAssembly,
@@ -81,6 +91,25 @@ impl Variant {
     }
 }
 
+/// Which distributed runtime executes the sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Persistent worker threads behind in-process channels (the
+    /// default). Deterministic and dependency-free, yet every inter-site
+    /// payload is a real serialized frame.
+    #[default]
+    InProcess,
+    /// Remote `gstored-worker` processes over TCP, one address per
+    /// fragment in fragment order. Fragments are installed on connect
+    /// (deployment setup, not charged as query shipment); the query
+    /// stages then exchange exactly the same frames as
+    /// [`Backend::InProcess`].
+    Tcp {
+        /// Worker addresses (`host:port`), one per fragment.
+        workers: Vec<String>,
+    },
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -93,6 +122,8 @@ pub struct EngineConfig {
     pub candidate_bits: usize,
     /// Enable the star-query fast path of Section VIII-B.
     pub star_fast_path: bool,
+    /// Which runtime backend drives the site workers.
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +133,7 @@ impl Default for EngineConfig {
             network: NetworkModel::default(),
             candidate_bits: 1 << 16,
             star_fast_path: true,
+            backend: Backend::InProcess,
         }
     }
 }
@@ -197,10 +229,92 @@ impl Engine {
     /// This is the engine's hot path: it performs no parsing, encoding or
     /// shape analysis — all of that is cached in `plan` — and runs only
     /// the per-execution stages (candidate exchange, partial evaluation,
-    /// LEC optimization, assembly). The plan must have been prepared
-    /// against `dist`'s dictionary.
+    /// LEC optimization, assembly) by messaging the site workers of the
+    /// configured [`Backend`]. The plan must have been prepared against
+    /// `dist`'s dictionary.
     pub fn execute(
         &self,
+        dist: &DistributedGraph,
+        plan: &PreparedPlan,
+    ) -> Result<QueryOutput, EngineError> {
+        match &self.config.backend {
+            Backend::InProcess => {
+                with_in_process_workers(dist, |transport| self.execute_on(transport, dist, plan))
+            }
+            Backend::Tcp { .. } => {
+                let transport = self.connect_workers(dist)?;
+                self.execute_on(&transport, dist, plan)
+            }
+        }
+    }
+
+    /// Connect to the configured [`Backend::Tcp`] workers and install the
+    /// fragments (deployment-time setup, not charged as query shipment).
+    ///
+    /// [`Engine::execute`] does this on every call — correct but wasteful
+    /// for repeated executions, since the whole graph re-ships each time.
+    /// Long-lived callers should connect once and drive
+    /// [`Engine::execute_on`] against the returned transport; the
+    /// `GStoreD` facade does exactly that, caching the connection for the
+    /// session's lifetime. Errors when the backend is not TCP or the
+    /// worker count does not match the partitioning.
+    pub fn connect_workers(&self, dist: &DistributedGraph) -> Result<TcpTransport, EngineError> {
+        let Backend::Tcp { workers } = &self.config.backend else {
+            return Err(EngineError::Transport(
+                "connect_workers requires Backend::Tcp".into(),
+            ));
+        };
+        if workers.len() != dist.fragment_count() {
+            return Err(EngineError::Transport(format!(
+                "{} worker addresses for {} fragments",
+                workers.len(),
+                dist.fragment_count()
+            )));
+        }
+        let transport = TcpTransport::connect(workers)?;
+        self.install_fragments(&transport, dist)?;
+        Ok(transport)
+    }
+
+    /// Ship every fragment to its remote worker (deployment-time data
+    /// loading — deliberately *not* charged as query data shipment).
+    fn install_fragments(
+        &self,
+        transport: &dyn Transport,
+        dist: &DistributedGraph,
+    ) -> Result<(), EngineError> {
+        for (site, fragment) in dist.fragments.iter().enumerate() {
+            transport.send(site, protocol::encode_install_fragment(fragment))?;
+        }
+        for site in 0..dist.fragment_count() {
+            let response = protocol::decode_response(transport.recv(site)?)?;
+            match response.body {
+                ResponseBody::Ack => {}
+                ResponseBody::Error(msg) => {
+                    return Err(EngineError::Worker(format!("site {site}: {msg}")))
+                }
+                other => {
+                    return Err(EngineError::Protocol(format!(
+                        "expected Ack to InstallFragment, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a prepared plan against workers reachable through a
+    /// caller-provided transport.
+    ///
+    /// The workers must already hold their fragments (borrowed for the
+    /// in-process backend, via `InstallFragment` for remote ones) and be
+    /// serving; this method drives only the query stages. Exposed so
+    /// harnesses can run the engine over an instrumented transport —
+    /// e.g. to assert that shipment metrics equal the frames that
+    /// actually crossed it.
+    pub fn execute_on(
+        &self,
+        transport: &dyn Transport,
         dist: &DistributedGraph,
         plan: &PreparedPlan,
     ) -> Result<QueryOutput, EngineError> {
@@ -210,138 +324,153 @@ impl Engine {
                 graph_dict: dist.dict().uid(),
             });
         }
+        if transport.sites() != dist.fragment_count() {
+            return Err(EngineError::Transport(format!(
+                "transport has {} sites but the graph has {} fragments",
+                transport.sites(),
+                dist.fragment_count()
+            )));
+        }
         let query = plan.query();
         let q = plan.encoded();
-
-        let cluster = Cluster::new(dist.fragment_count()).with_network(self.config.network);
         let mut metrics = QueryMetrics::default();
 
         if q.has_unsatisfiable() {
             return Ok(self.finish(query, q, Vec::new(), metrics));
         }
 
+        let pool = WorkerPool::new(transport, self.config.network);
+
         // --- Star fast path (Section VIII-B) ---
         let shape = plan.shape();
         if self.config.star_fast_path && shape.is_star() {
             let center = shape.star_center.expect("stars have centers");
-            let (per_site, stage) =
-                cluster.scatter(|site| find_star_matches(&dist.fragments[site], q, center));
-            metrics.partial_evaluation = stage;
+            expect_acks(pool.broadcast_frame(
+                protocol::encode_install_query(q),
+                &mut metrics.partial_evaluation,
+            )?)?;
+            let bodies = pool.broadcast(
+                &Request::StarMatches { center },
+                &mut metrics.partial_evaluation,
+            )?;
             let mut all = Vec::new();
-            for ms in per_site {
-                let bytes = protocol::encode_bindings(&ms).len() as u64;
-                cluster.charge_shipment(&mut metrics.partial_evaluation, 1, bytes);
+            for body in bodies {
+                let ResponseBody::Bindings(ms) = body else {
+                    return Err(unexpected("Bindings", "StarMatches", &body));
+                };
+                for row in &ms {
+                    check_binding_row(row, q)?;
+                }
                 all.extend(ms);
             }
             metrics.local_matches = all.len() as u64;
             return Ok(self.finish(query, q, all, metrics));
         }
 
+        // --- Stage 0: distribute the query to every site ---
+        {
+            let stage = if self.config.variant.uses_candidate_exchange() {
+                &mut metrics.candidates
+            } else {
+                &mut metrics.partial_evaluation
+            };
+            expect_acks(pool.broadcast_frame(protocol::encode_install_query(q), stage)?)?;
+        }
+
         // --- Stage 1 (Full only): assemble variables' candidates ---
-        let filter = if self.config.variant.uses_candidate_exchange() {
-            let (filter, stage) =
-                exchange_candidates(&cluster, dist, q, self.config.candidate_bits);
-            metrics.candidates = stage;
-            filter
-        } else {
-            CandidateFilter::none(q.vertex_count())
-        };
+        if self.config.variant.uses_candidate_exchange() {
+            let (_filter, stage) = exchange_candidates(&pool, q, self.config.candidate_bits)?;
+            metrics.candidates.absorb(&stage);
+        }
 
         // --- Stage 2: partial evaluation at every site ---
-        let (per_site, pe_stage) = cluster.scatter(|site| {
-            let fragment = &dist.fragments[site];
-            let local = local_complete_matches(fragment, q);
-            let lpms = enumerate_local_partial_matches(fragment, q, &filter);
-            (local, lpms)
-        });
-        metrics.partial_evaluation = pe_stage;
-
+        // Local complete matches ship back immediately (they are final);
+        // the LPMs stay at their sites until pruning has spoken.
+        let bodies = pool.broadcast(&Request::PartialEval, &mut metrics.partial_evaluation)?;
         let mut complete: Vec<Vec<VertexId>> = Vec::new();
-        let mut site_lpms: Vec<Vec<LocalPartialMatch>> = Vec::with_capacity(per_site.len());
-        for (local, lpms) in per_site {
-            // Local complete matches ship immediately (they are final).
-            let bytes = protocol::encode_bindings(&local).len() as u64;
-            cluster.charge_shipment(&mut metrics.partial_evaluation, 1, bytes);
-            metrics.local_matches += local.len() as u64;
-            complete.extend(local);
-            site_lpms.push(lpms);
+        let mut lpm_counts: Vec<u64> = Vec::with_capacity(bodies.len());
+        for body in bodies {
+            let ResponseBody::PartialEval { locals, lpm_count } = body else {
+                return Err(unexpected("PartialEval", "PartialEval", &body));
+            };
+            for row in &locals {
+                check_binding_row(row, q)?;
+            }
+            metrics.local_matches += locals.len() as u64;
+            complete.extend(locals);
+            lpm_counts.push(lpm_count);
         }
-        metrics.local_partial_matches = site_lpms.iter().map(|l| l.len() as u64).sum();
+        metrics.local_partial_matches = lpm_counts.iter().sum();
+
+        // Shared by pruning and assembly below.
+        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
 
         // --- Stage 3 (LO/Full): LEC feature optimization ---
-        let surviving: Vec<Vec<LocalPartialMatch>> = if self.config.variant.uses_lec_pruning() {
-            let query_edges: Vec<(usize, usize)> =
-                q.edges().iter().map(|e| (e.from, e.to)).collect();
-            // Sites compute features in parallel (Algorithm 1)...
+        if self.config.variant.uses_lec_pruning() {
+            // Pre-assign disjoint global id ranges per site. The range
+            // width only needs to exceed the site's feature count; the
+            // LPM count is a safe bound.
             let first_ids: Vec<u32> = {
-                // Pre-assign disjoint global id ranges per site. The range
-                // width only needs to exceed the site's feature count; the
-                // LPM count is a safe bound.
-                let mut ids = Vec::with_capacity(site_lpms.len());
+                let mut ids = Vec::with_capacity(lpm_counts.len());
                 let mut next = 0u32;
-                for lpms in &site_lpms {
+                for &count in &lpm_counts {
                     ids.push(next);
-                    next += lpms.len() as u32 + 1;
+                    next += count as u32 + 1;
                 }
                 ids
             };
-            let (site_features, lec_stage) =
-                cluster.scatter(|site| compute_lec_features(&site_lpms[site], first_ids[site]));
-            metrics.lec_optimization = lec_stage;
-
-            // ...and ship them to the coordinator.
+            // Sites compute features in parallel (Algorithm 1) and ship
+            // them — only them — to the coordinator.
+            let bodies = pool.broadcast_with(
+                |site| Request::ComputeLecFeatures {
+                    first_id: first_ids[site],
+                },
+                &mut metrics.lec_optimization,
+            )?;
             let mut all_features = Vec::new();
-            for (features, _) in &site_features {
-                let bytes = protocol::encode_features(features).len() as u64;
-                cluster.charge_shipment(&mut metrics.lec_optimization, 1, bytes);
-                all_features.extend(features.iter().cloned());
+            for body in bodies {
+                let ResponseBody::Features(features) = body else {
+                    return Err(unexpected("Features", "ComputeLecFeatures", &body));
+                };
+                for feature in &features {
+                    check_feature(feature, q)?;
+                }
+                all_features.extend(features);
             }
             metrics.lec_features = all_features.len() as u64;
 
             // Coordinator prunes (Algorithm 2)...
-            let useful = cluster.time_coordinator(&mut metrics.lec_optimization, || {
-                prune_features(&all_features, q.vertex_count(), &query_edges)
-            });
+            let useful: HashSet<u32> = metrics
+                .lec_optimization
+                .time(|| prune_features(&all_features, q.vertex_count(), &query_edges));
 
-            // ...and broadcasts the surviving ids back.
+            // ...and broadcasts the surviving ids back; sites drop the
+            // LPMs whose features lost.
             let useful_ids: Vec<u32> = {
                 let mut v: Vec<u32> = useful.iter().copied().collect();
                 v.sort_unstable();
                 v
             };
-            let bytes = protocol::encode_feature_ids(&useful_ids).len() as u64;
-            cluster.charge_shipment(
+            expect_acks(pool.broadcast(
+                &Request::DropPruned { useful: useful_ids },
                 &mut metrics.lec_optimization,
-                cluster.sites() as u64,
-                bytes * cluster.sites() as u64,
-            );
-
-            // Sites drop pruned LPMs (in parallel).
-            let (surviving, drop_stage) = cluster.scatter(|site| {
-                let (features, feature_of_lpm) = &site_features[site];
-                site_lpms[site]
-                    .iter()
-                    .zip(feature_of_lpm)
-                    .filter(|&(_, &fi)| features[fi].sources.iter().any(|id| useful.contains(id)))
-                    .map(|(lpm, _)| lpm.clone())
-                    .collect::<Vec<_>>()
-            });
-            metrics.lec_optimization.absorb(&drop_stage);
-            surviving
-        } else {
-            site_lpms
-        };
-        metrics.surviving_partial_matches = surviving.iter().map(|l| l.len() as u64).sum();
+            )?)?;
+        }
 
         // --- Stage 4: assembly at the coordinator ---
+        let bodies = pool.broadcast(&Request::ShipSurvivors, &mut metrics.assembly)?;
         let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
-        for lpms in &surviving {
-            let bytes = protocol::encode_lpms(lpms).len() as u64;
-            cluster.charge_shipment(&mut metrics.assembly, 1, bytes);
-            all_lpms.extend(lpms.iter().cloned());
+        for body in bodies {
+            let ResponseBody::Survivors(lpms) = body else {
+                return Err(unexpected("Survivors", "ShipSurvivors", &body));
+            };
+            for lpm in &lpms {
+                check_lpm(lpm, q)?;
+            }
+            all_lpms.extend(lpms);
         }
-        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
-        let crossing = cluster.time_coordinator(&mut metrics.assembly, || {
+        metrics.surviving_partial_matches = all_lpms.len() as u64;
+        let crossing = metrics.assembly.time(|| {
             if self.config.variant.uses_lec_assembly() {
                 assemble_lec(&all_lpms, q.vertex_count(), &query_edges)
             } else {
@@ -381,6 +510,70 @@ impl Engine {
             metrics,
         }
     }
+}
+
+/// Reject a wire-supplied binding row that does not fit the query. A
+/// malformed-but-decodable worker reply must surface as a protocol error
+/// at the boundary, never as an out-of-bounds panic in projection.
+fn check_binding_row(row: &[VertexId], q: &EncodedQuery) -> Result<(), EngineError> {
+    if row.len() != q.vertex_count() {
+        return Err(EngineError::Protocol(format!(
+            "binding row has {} entries for a {}-vertex query",
+            row.len(),
+            q.vertex_count()
+        )));
+    }
+    Ok(())
+}
+
+/// Reject a wire-supplied LPM whose shape does not fit the query (short
+/// binding vector, or a crossing entry mapped to a nonexistent query
+/// edge) before assembly indexes into it.
+fn check_lpm(lpm: &LocalPartialMatch, q: &EncodedQuery) -> Result<(), EngineError> {
+    if lpm.binding.len() != q.vertex_count() {
+        return Err(EngineError::Protocol(format!(
+            "LPM binds {} vertices of a {}-vertex query",
+            lpm.binding.len(),
+            q.vertex_count()
+        )));
+    }
+    for &(_, qe) in &lpm.crossing {
+        if qe >= q.edge_count() {
+            return Err(EngineError::Protocol(format!(
+                "LPM crossing entry maps query edge {qe} of {}",
+                q.edge_count()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reject a wire-supplied LEC feature mapping a nonexistent query edge
+/// before pruning indexes the query-edge table with it.
+fn check_feature(feature: &crate::lec::LecFeature, q: &EncodedQuery) -> Result<(), EngineError> {
+    for &(_, qe) in &feature.mapping {
+        if qe >= q.edge_count() {
+            return Err(EngineError::Protocol(format!(
+                "LEC feature maps query edge {qe} of {}",
+                q.edge_count()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A reply of the wrong kind is a protocol violation, not a worker error.
+fn unexpected(wanted: &str, request: &str, got: &ResponseBody) -> EngineError {
+    let kind = match got {
+        ResponseBody::Ack => "Ack",
+        ResponseBody::Bindings(_) => "Bindings",
+        ResponseBody::BitVectors(_) => "BitVectors",
+        ResponseBody::PartialEval { .. } => "PartialEval",
+        ResponseBody::Features(_) => "Features",
+        ResponseBody::Survivors(_) => "Survivors",
+        ResponseBody::Error(_) => "Error",
+    };
+    EngineError::Protocol(format!("expected {wanted} reply to {request}, got {kind}"))
 }
 
 #[cfg(test)]
@@ -476,10 +669,7 @@ mod tests {
     fn paper_example_all_variants_match_centralized() {
         let g = paper_graph();
         let query = paper_query();
-        let q = {
-            let qe = EncodedQuery::encode(&query, g.dict()).unwrap();
-            qe
-        };
+        let q = EncodedQuery::encode(&query, g.dict()).unwrap();
         let reference = {
             let mut m = find_matches(&g, &q);
             m.sort_unstable();
@@ -502,6 +692,8 @@ mod tests {
     fn paper_example_lpm_counts_match_fig3() {
         // The paper's Fig. 3 lists 3 LPMs in F1, 3 in F2, 2 in F3 for the
         // running example (with the literal spelled as vertex 003).
+        use gstored_store::candidates::CandidateFilter;
+        use gstored_store::enumerate_local_partial_matches;
         let g = paper_graph();
         let query = paper_query();
         let partitioner = paper_partitioner(&g);
@@ -634,6 +826,8 @@ mod tests {
             .try_run(&dist, &query)
             .unwrap();
         assert!(out.rows.is_empty());
+        // The short-circuit never messages the workers.
+        assert_eq!(out.metrics.total_shipped(), 0);
     }
 
     #[test]
@@ -688,6 +882,28 @@ mod tests {
     }
 
     #[test]
+    fn shipment_metrics_are_deterministic_across_runs() {
+        // Frame-accurate charging must not wobble with thread timing:
+        // the fixed-width elapsed stamp keeps every frame length stable.
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let engine = Engine::with_variant(Variant::Full);
+        let a = engine.try_run(&dist, &query).unwrap();
+        let b = engine.try_run(&dist, &query).unwrap();
+        for (x, y) in [
+            (&a.metrics.candidates, &b.metrics.candidates),
+            (&a.metrics.partial_evaluation, &b.metrics.partial_evaluation),
+            (&a.metrics.lec_optimization, &b.metrics.lec_optimization),
+            (&a.metrics.assembly, &b.metrics.assembly),
+        ] {
+            assert_eq!(x.bytes_shipped, y.bytes_shipped);
+            assert_eq!(x.messages, y.messages);
+        }
+    }
+
+    #[test]
     fn plan_from_other_graph_is_rejected() {
         let g = paper_graph();
         let query = paper_query();
@@ -698,6 +914,56 @@ mod tests {
         let foreign_plan = PreparedPlan::new(query, other.dict()).unwrap();
         let err = Engine::with_variant(Variant::Full).execute(&dist, &foreign_plan);
         assert!(matches!(err, Err(EngineError::PlanGraphMismatch { .. })));
+    }
+
+    #[test]
+    fn malformed_reply_shapes_are_protocol_errors() {
+        use gstored_rdf::{EdgeRef, TermId};
+        let g = paper_graph();
+        let q = EncodedQuery::encode(&paper_query(), g.dict()).unwrap();
+        // Binding row of the wrong width cannot reach projection.
+        assert!(check_binding_row(&[TermId(1)], &q).is_err());
+        assert!(check_binding_row(&vec![TermId(1); q.vertex_count()], &q).is_ok());
+        // An LPM mapping a nonexistent query edge cannot reach assembly.
+        let edge = EdgeRef {
+            from: TermId(1),
+            label: TermId(2),
+            to: TermId(3),
+        };
+        let mut lpm = LocalPartialMatch {
+            fragment: 0,
+            binding: vec![None; q.vertex_count()],
+            crossing: vec![(edge, q.edge_count())],
+            internal_mask: 0,
+        };
+        assert!(check_lpm(&lpm, &q).is_err());
+        lpm.crossing[0].1 = q.edge_count() - 1;
+        assert!(check_lpm(&lpm, &q).is_ok());
+        lpm.binding.pop();
+        assert!(check_lpm(&lpm, &q).is_err());
+        // A feature mapping a nonexistent query edge cannot reach pruning.
+        let feature = crate::lec::LecFeature {
+            fragments: 1,
+            mapping: vec![(edge, q.edge_count() + 7)],
+            sign: 1,
+            sources: vec![0],
+        };
+        assert!(check_feature(&feature, &q).is_err());
+    }
+
+    #[test]
+    fn wrong_worker_count_is_a_transport_error() {
+        let g = paper_graph();
+        let query = paper_query();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
+        let engine = Engine::new(EngineConfig {
+            backend: Backend::Tcp {
+                workers: vec!["127.0.0.1:1".into()], // 1 address, 3 fragments
+            },
+            ..EngineConfig::variant(Variant::Full)
+        });
+        let err = engine.try_run(&dist, &query);
+        assert!(matches!(err, Err(EngineError::Transport(_))));
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub enum EngineError {
         /// Identity of the dictionary of the graph handed to `execute`.
         graph_dict: u64,
     },
+    /// The transport to a site worker failed (connection refused, worker
+    /// hung up mid-query, wrong worker count for the partitioning).
+    Transport(String),
+    /// A frame violated the wire protocol (decode failure, or a response
+    /// kind that does not answer the request that was sent).
+    Protocol(String),
+    /// A site worker reported that it could not serve a request (e.g. no
+    /// fragment installed on a remote worker).
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
@@ -45,11 +54,26 @@ impl fmt::Display for EngineError {
                      (dictionary identity {plan_dict} vs {graph_dict})"
                 )
             }
+            EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            EngineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            EngineError::Worker(msg) => write!(f, "worker error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<gstored_net::TransportError> for EngineError {
+    fn from(e: gstored_net::TransportError) -> Self {
+        EngineError::Transport(e.to_string())
+    }
+}
+
+impl From<gstored_net::wire::WireError> for EngineError {
+    fn from(e: gstored_net::wire::WireError) -> Self {
+        EngineError::Protocol(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

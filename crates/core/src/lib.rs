@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # gstored-core
 //!
 //! The paper's contribution, on top of the substrate crates:
@@ -9,15 +10,23 @@
 //!   features by LECSign, build the join graph, DFS-join features and keep
 //!   only those participating in an all-ones LECSign combination.
 //! * [`assembly`] — the LEC feature-based **assembly** of Algorithm 3,
-//!   plus the un-grouped baseline join of [18] used by `gStoreD-Basic`.
+//!   plus the un-grouped baseline join of \[18\] used by `gStoreD-Basic`.
 //! * [`candidates`] — **assembling variables' internal candidates**
 //!   (Section VI, Algorithm 4) with fixed-length candidate bit vectors.
-//! * [`protocol`] — wire encoding of everything the engine ships, so data
-//!   shipment is measured on real serialized bytes.
+//! * [`protocol`] — wire encoding of everything the engine ships: the
+//!   payload batches *and* the typed request/response envelopes framing
+//!   them, so data shipment is measured on real serialized frames.
+//! * [`worker`] — the persistent **site worker**: owns a fragment plus
+//!   per-query state and answers protocol requests; identical behind
+//!   every transport backend.
+//! * [`runtime`] — the coordinator-side **worker pool**: broadcasts
+//!   requests over a `gstored_net::Transport` and charges each frame to
+//!   its stage as it crosses the wire.
 //! * [`engine`] — the distributed engine with the four variants compared
 //!   in Fig. 9: `Basic`, `LA` (LEC assembly), `LO` (+ LEC pruning) and
 //!   `Full` (+ candidate exchange), including the star-query fast path of
-//!   Section VIII-B.
+//!   Section VIII-B, over a pluggable [`Backend`] (in-process workers or
+//!   remote `gstored-worker` processes over TCP).
 //! * [`prepared`] — the prepare-once / execute-many split:
 //!   [`PreparedPlan`] caches encoding and shape analysis so
 //!   [`engine::Engine::execute`] runs only per-execution work.
@@ -30,8 +39,12 @@ pub mod lec;
 pub mod prepared;
 pub mod protocol;
 pub mod prune;
+pub mod runtime;
+pub mod worker;
 
-pub use engine::{Engine, EngineConfig, QueryOutput, Variant};
+pub use engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
 pub use error::EngineError;
 pub use lec::LecFeature;
 pub use prepared::PreparedPlan;
+pub use runtime::WorkerPool;
+pub use worker::SiteWorker;

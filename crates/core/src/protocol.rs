@@ -1,22 +1,58 @@
 //! Wire encoding of everything the engine ships between sites and the
-//! coordinator: local partial matches, LEC features, candidate bit
-//! vectors, surviving-feature id sets, and complete match bindings.
+//! coordinator — both the payload batches (local partial matches, LEC
+//! features, candidate bit vectors, surviving-feature id sets, complete
+//! match bindings) and the typed [`Request`]/[`Response`] envelopes the
+//! message-passing runtime frames them in.
 //!
-//! Shipment numbers in the experiments are the byte lengths produced here
-//! — real serialized sizes, matching how the paper measures "data
-//! shipment" on its MPICH cluster.
+//! Shipment numbers in the experiments are the byte lengths of the
+//! encoded frames that actually cross the [`gstored_net::Transport`] —
+//! real serialized sizes, matching how the paper measures "data
+//! shipment" on its MPICH cluster. The coordinator charges each frame
+//! exactly once, when it is sent or received; nothing is re-encoded just
+//! to be measured.
+//!
+//! Envelope round trips are loss-free:
+//!
+//! ```
+//! use gstored_core::protocol::{decode_request, encode_request, Request};
+//!
+//! let req = Request::DropPruned { useful: vec![3, 7, 42] };
+//! let frame = encode_request(&req);
+//! match decode_request(frame).unwrap() {
+//!     Request::DropPruned { useful } => assert_eq!(useful, vec![3, 7, 42]),
+//!     other => panic!("decoded the wrong request: {other:?}"),
+//! }
+//! ```
 
 use bytes::Bytes;
 use gstored_net::wire::{WireError, WireReader, WireWriter};
+use gstored_partition::Fragment;
 use gstored_rdf::{EdgeRef, TermId, VertexId};
 use gstored_store::candidates::BitVectorFilter;
-use gstored_store::LocalPartialMatch;
+use gstored_store::{
+    EncodedEdge, EncodedLabel, EncodedQuery, EncodedVertex, LocalPartialMatch, RequiredClasses,
+};
 
 use crate::lec::LecFeature;
 
-/// Encode a batch of local partial matches (one site → coordinator).
-pub fn encode_lpms(lpms: &[LocalPartialMatch]) -> Bytes {
-    let mut w = WireWriter::with_capacity(lpms.len() * 32);
+// --- payload batch helpers (shared by the standalone codecs and the
+// envelopes) ---
+
+/// Read and validate a wire-supplied element count before allocating:
+/// `n` elements of at least `min_bytes` each must fit in the reader's
+/// remaining bytes. This bounds every `Vec::with_capacity` in the
+/// decoders, so a corrupt or hostile frame yields a decode error instead
+/// of a huge allocation or capacity panic — a persistent worker must
+/// survive bad frames.
+fn read_batch_len(r: &mut WireReader, min_bytes: usize) -> Result<usize, WireError> {
+    let n = r.usize()?;
+    match n.checked_mul(min_bytes) {
+        Some(total) if total <= r.remaining() => Ok(n),
+        _ => Err(WireError("element count exceeds frame size")),
+    }
+}
+
+fn write_lpms(w: &mut WireWriter, lpms: &[LocalPartialMatch]) {
     w.usize(lpms.len());
     for m in lpms {
         w.usize(m.fragment);
@@ -30,29 +66,22 @@ pub fn encode_lpms(lpms: &[LocalPartialMatch]) -> Bytes {
         }
         w.u64(m.internal_mask);
     }
-    w.finish()
 }
 
-/// Decode a batch of local partial matches.
-pub fn decode_lpms(bytes: Bytes) -> Result<Vec<LocalPartialMatch>, WireError> {
-    let mut r = WireReader::new(bytes);
-    let n = r.usize()?;
+fn read_lpms(r: &mut WireReader) -> Result<Vec<LocalPartialMatch>, WireError> {
+    let n = read_batch_len(r, 1)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let fragment = r.usize()?;
-        let bn = r.usize()?;
+        let bn = read_batch_len(r, 1)?;
         let mut binding = Vec::with_capacity(bn);
         for _ in 0..bn {
             binding.push(r.opt_u64()?.map(TermId));
         }
-        let cn = r.usize()?;
+        let cn = read_batch_len(r, 4)?;
         let mut crossing = Vec::with_capacity(cn);
         for _ in 0..cn {
-            let e = EdgeRef {
-                from: TermId(r.u64()?),
-                label: TermId(r.u64()?),
-                to: TermId(r.u64()?),
-            };
+            let e = read_edge(r)?;
             crossing.push((e, r.usize()?));
         }
         let internal_mask = r.u64()?;
@@ -66,9 +95,7 @@ pub fn decode_lpms(bytes: Bytes) -> Result<Vec<LocalPartialMatch>, WireError> {
     Ok(out)
 }
 
-/// Encode a batch of LEC features (one site → coordinator).
-pub fn encode_features(features: &[LecFeature]) -> Bytes {
-    let mut w = WireWriter::with_capacity(features.len() * 24);
+fn write_features(w: &mut WireWriter, features: &[LecFeature]) {
     w.usize(features.len());
     for f in features {
         w.u64(f.fragments);
@@ -82,28 +109,21 @@ pub fn encode_features(features: &[LecFeature]) -> Bytes {
             w.u64(u64::from(*s));
         }
     }
-    w.finish()
 }
 
-/// Decode a batch of LEC features.
-pub fn decode_features(bytes: Bytes) -> Result<Vec<LecFeature>, WireError> {
-    let mut r = WireReader::new(bytes);
-    let n = r.usize()?;
+fn read_features(r: &mut WireReader) -> Result<Vec<LecFeature>, WireError> {
+    let n = read_batch_len(r, 1)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let fragments = r.u64()?;
-        let mn = r.usize()?;
+        let mn = read_batch_len(r, 4)?;
         let mut mapping = Vec::with_capacity(mn);
         for _ in 0..mn {
-            let e = EdgeRef {
-                from: TermId(r.u64()?),
-                label: TermId(r.u64()?),
-                to: TermId(r.u64()?),
-            };
+            let e = read_edge(r)?;
             mapping.push((e, r.usize()?));
         }
         let sign = r.u64()?;
-        let sn = r.usize()?;
+        let sn = read_batch_len(r, 1)?;
         let mut sources = Vec::with_capacity(sn);
         for _ in 0..sn {
             sources.push(r.u64()? as u32);
@@ -118,28 +138,307 @@ pub fn decode_features(bytes: Bytes) -> Result<Vec<LecFeature>, WireError> {
     Ok(out)
 }
 
-/// Encode a candidate bit vector (Algorithm 4). Fixed-width words so the
-/// size is independent of density (Section VI: "the length of a bit
-/// vector is fixed, the communication cost is not too expensive").
-pub fn encode_bit_vector(bv: &BitVectorFilter) -> Bytes {
-    let mut w = WireWriter::with_capacity(bv.wire_size() + 8);
+fn write_bit_vector(w: &mut WireWriter, bv: &BitVectorFilter) {
     w.usize(bv.n_bits());
     for &word in bv.words() {
         w.u64_fixed(word);
     }
-    w.finish()
 }
 
-/// Decode a candidate bit vector.
-pub fn decode_bit_vector(bytes: Bytes) -> Result<BitVectorFilter, WireError> {
-    let mut r = WireReader::new(bytes);
+fn read_bit_vector(r: &mut WireReader) -> Result<BitVectorFilter, WireError> {
     let n_bits = r.usize()?;
     let words = n_bits.max(64).div_ceil(64);
+    if words
+        .checked_mul(8)
+        .is_none_or(|bytes| bytes > r.remaining())
+    {
+        return Err(WireError("element count exceeds frame size"));
+    }
     let mut v = Vec::with_capacity(words);
     for _ in 0..words {
         v.push(r.u64_fixed()?);
     }
     Ok(BitVectorFilter::from_words(v, n_bits))
+}
+
+fn write_bindings(w: &mut WireWriter, bindings: &[Vec<VertexId>]) {
+    w.usize(bindings.len());
+    for b in bindings {
+        w.usize(b.len());
+        for v in b {
+            w.u64(v.0);
+        }
+    }
+}
+
+fn read_bindings(r: &mut WireReader) -> Result<Vec<Vec<VertexId>>, WireError> {
+    let n = read_batch_len(r, 1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = read_batch_len(r, 1)?;
+        let mut b = Vec::with_capacity(m);
+        for _ in 0..m {
+            b.push(TermId(r.u64()?));
+        }
+        out.push(b);
+    }
+    Ok(out)
+}
+
+fn write_edge(w: &mut WireWriter, e: &EdgeRef) {
+    w.u64(e.from.0).u64(e.label.0).u64(e.to.0);
+}
+
+fn read_edge(r: &mut WireReader) -> Result<EdgeRef, WireError> {
+    Ok(EdgeRef {
+        from: TermId(r.u64()?),
+        label: TermId(r.u64()?),
+        to: TermId(r.u64()?),
+    })
+}
+
+fn write_fragment(w: &mut WireWriter, f: &Fragment) {
+    w.usize(f.id);
+    w.usize(f.internal.len());
+    for &v in &f.internal {
+        w.u64(v.0);
+    }
+    w.usize(f.extended.len());
+    for &v in &f.extended {
+        w.u64(v.0);
+    }
+    w.usize(f.internal_edges.len());
+    for e in &f.internal_edges {
+        write_edge(w, e);
+    }
+    w.usize(f.crossing_edges.len());
+    for e in &f.crossing_edges {
+        write_edge(w, e);
+    }
+    let classes = f.class_entries();
+    w.usize(classes.len());
+    for (v, cs) in classes {
+        w.u64(v.0);
+        w.usize(cs.len());
+        for c in cs {
+            w.u64(c.0);
+        }
+    }
+}
+
+fn read_fragment(r: &mut WireReader) -> Result<Fragment, WireError> {
+    let id = r.usize()?;
+    let n = read_batch_len(r, 1)?;
+    let mut internal = Vec::with_capacity(n);
+    for _ in 0..n {
+        internal.push(TermId(r.u64()?));
+    }
+    let n = read_batch_len(r, 1)?;
+    let mut extended = Vec::with_capacity(n);
+    for _ in 0..n {
+        extended.push(TermId(r.u64()?));
+    }
+    let n = read_batch_len(r, 3)?;
+    let mut internal_edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        internal_edges.push(read_edge(r)?);
+    }
+    let n = read_batch_len(r, 3)?;
+    let mut crossing_edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        crossing_edges.push(read_edge(r)?);
+    }
+    let n = read_batch_len(r, 2)?;
+    let mut classes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = TermId(r.u64()?);
+        let m = read_batch_len(r, 1)?;
+        let mut cs = Vec::with_capacity(m);
+        for _ in 0..m {
+            cs.push(TermId(r.u64()?));
+        }
+        classes.push((v, cs));
+    }
+    Ok(Fragment::from_parts(
+        id,
+        internal,
+        extended,
+        internal_edges,
+        crossing_edges,
+        classes,
+    ))
+}
+
+const VERTEX_VAR: u64 = 0;
+const VERTEX_CONST: u64 = 1;
+const VERTEX_UNSAT: u64 = 2;
+
+fn write_query(w: &mut WireWriter, q: &EncodedQuery) {
+    w.usize(q.vertex_count());
+    for v in q.vertices() {
+        match v {
+            EncodedVertex::Var => {
+                w.u64(VERTEX_VAR);
+            }
+            EncodedVertex::Const(id) => {
+                w.u64(VERTEX_CONST).u64(id.0);
+            }
+            EncodedVertex::Unsatisfiable => {
+                w.u64(VERTEX_UNSAT);
+            }
+        }
+    }
+    w.usize(q.edge_count());
+    for e in q.edges() {
+        w.usize(e.index).usize(e.from).usize(e.to);
+        match e.label {
+            EncodedLabel::Any => {
+                w.u64(VERTEX_VAR);
+            }
+            EncodedLabel::Const(id) => {
+                w.u64(VERTEX_CONST).u64(id.0);
+            }
+            EncodedLabel::Unsatisfiable => {
+                w.u64(VERTEX_UNSAT);
+            }
+        }
+    }
+    for v in 0..q.vertex_count() {
+        match q.required_classes(v).ids() {
+            Some(ids) => {
+                w.bool(true);
+                w.usize(ids.len());
+                for c in ids {
+                    w.u64(c.0);
+                }
+            }
+            None => {
+                w.bool(false);
+            }
+        }
+    }
+    w.usize(q.projection().len());
+    for &p in q.projection() {
+        w.usize(p);
+    }
+    for v in 0..q.vertex_count() {
+        match q.var_name(v) {
+            Some(name) => {
+                w.bool(true).str(name);
+            }
+            None => {
+                w.bool(false);
+            }
+        }
+    }
+}
+
+fn read_query(r: &mut WireReader) -> Result<EncodedQuery, WireError> {
+    let n = read_batch_len(r, 1)?;
+    let mut vertices = Vec::with_capacity(n);
+    for _ in 0..n {
+        vertices.push(match r.u64()? {
+            VERTEX_VAR => EncodedVertex::Var,
+            VERTEX_CONST => EncodedVertex::Const(TermId(r.u64()?)),
+            VERTEX_UNSAT => EncodedVertex::Unsatisfiable,
+            _ => return Err(WireError("invalid vertex tag")),
+        });
+    }
+    let m = read_batch_len(r, 4)?;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let index = r.usize()?;
+        let from = r.usize()?;
+        let to = r.usize()?;
+        if from >= n || to >= n {
+            return Err(WireError("edge endpoint out of range"));
+        }
+        let label = match r.u64()? {
+            VERTEX_VAR => EncodedLabel::Any,
+            VERTEX_CONST => EncodedLabel::Const(TermId(r.u64()?)),
+            VERTEX_UNSAT => EncodedLabel::Unsatisfiable,
+            _ => return Err(WireError("invalid label tag")),
+        };
+        edges.push(EncodedEdge {
+            index,
+            from,
+            to,
+            label,
+        });
+    }
+    let mut required = Vec::with_capacity(n);
+    for _ in 0..n {
+        if r.bool()? {
+            let k = read_batch_len(r, 1)?;
+            let mut ids = Vec::with_capacity(k);
+            for _ in 0..k {
+                ids.push(TermId(r.u64()?));
+            }
+            required.push(RequiredClasses::Resolved(ids));
+        } else {
+            required.push(RequiredClasses::Unsatisfiable);
+        }
+    }
+    let k = read_batch_len(r, 1)?;
+    let mut projection = Vec::with_capacity(k);
+    for _ in 0..k {
+        let p = r.usize()?;
+        if p >= n {
+            return Err(WireError("projection vertex out of range"));
+        }
+        projection.push(p);
+    }
+    let mut var_names = Vec::with_capacity(n);
+    for _ in 0..n {
+        if r.bool()? {
+            var_names.push(Some(r.str()?));
+        } else {
+            var_names.push(None);
+        }
+    }
+    Ok(EncodedQuery::from_parts(
+        vertices, edges, required, projection, var_names,
+    ))
+}
+
+// --- standalone payload codecs (kept for tests and size analysis) ---
+
+/// Encode a batch of local partial matches (one site → coordinator).
+pub fn encode_lpms(lpms: &[LocalPartialMatch]) -> Bytes {
+    let mut w = WireWriter::with_capacity(lpms.len() * 32);
+    write_lpms(&mut w, lpms);
+    w.finish()
+}
+
+/// Decode a batch of local partial matches.
+pub fn decode_lpms(bytes: Bytes) -> Result<Vec<LocalPartialMatch>, WireError> {
+    read_lpms(&mut WireReader::new(bytes))
+}
+
+/// Encode a batch of LEC features (one site → coordinator).
+pub fn encode_features(features: &[LecFeature]) -> Bytes {
+    let mut w = WireWriter::with_capacity(features.len() * 24);
+    write_features(&mut w, features);
+    w.finish()
+}
+
+/// Decode a batch of LEC features.
+pub fn decode_features(bytes: Bytes) -> Result<Vec<LecFeature>, WireError> {
+    read_features(&mut WireReader::new(bytes))
+}
+
+/// Encode a candidate bit vector (Algorithm 4). Fixed-width words so the
+/// size is independent of density (Section VI: "the length of a bit
+/// vector is fixed, the communication cost is not too expensive").
+pub fn encode_bit_vector(bv: &BitVectorFilter) -> Bytes {
+    let mut w = WireWriter::with_capacity(bv.wire_size() + 8);
+    write_bit_vector(&mut w, bv);
+    w.finish()
+}
+
+/// Decode a candidate bit vector.
+pub fn decode_bit_vector(bytes: Bytes) -> Result<BitVectorFilter, WireError> {
+    read_bit_vector(&mut WireReader::new(bytes))
 }
 
 /// Encode a set of surviving feature ids (coordinator → site broadcast).
@@ -155,7 +454,7 @@ pub fn encode_feature_ids(ids: &[u32]) -> Bytes {
 /// Decode a set of surviving feature ids.
 pub fn decode_feature_ids(bytes: Bytes) -> Result<Vec<u32>, WireError> {
     let mut r = WireReader::new(bytes);
-    let n = r.usize()?;
+    let n = read_batch_len(&mut r, 1)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(r.u64()? as u32);
@@ -167,35 +466,325 @@ pub fn decode_feature_ids(bytes: Bytes) -> Result<Vec<u32>, WireError> {
 /// and star matches).
 pub fn encode_bindings(bindings: &[Vec<VertexId>]) -> Bytes {
     let mut w = WireWriter::with_capacity(bindings.len() * 16);
-    w.usize(bindings.len());
-    for b in bindings {
-        w.usize(b.len());
-        for v in b {
-            w.u64(v.0);
-        }
-    }
+    write_bindings(&mut w, bindings);
     w.finish()
 }
 
 /// Decode complete match bindings.
 pub fn decode_bindings(bytes: Bytes) -> Result<Vec<Vec<VertexId>>, WireError> {
-    let mut r = WireReader::new(bytes);
-    let n = r.usize()?;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let m = r.usize()?;
-        let mut b = Vec::with_capacity(m);
-        for _ in 0..m {
-            b.push(TermId(r.u64()?));
+    read_bindings(&mut WireReader::new(bytes))
+}
+
+// --- request/response envelopes ---
+
+const REQ_INSTALL_FRAGMENT: u64 = 1;
+const REQ_INSTALL_QUERY: u64 = 2;
+const REQ_STAR_MATCHES: u64 = 3;
+const REQ_COMPUTE_CANDIDATES: u64 = 4;
+const REQ_SET_CANDIDATE_FILTER: u64 = 5;
+const REQ_PARTIAL_EVAL: u64 = 6;
+const REQ_COMPUTE_LEC_FEATURES: u64 = 7;
+const REQ_DROP_PRUNED: u64 = 8;
+const REQ_SHIP_SURVIVORS: u64 = 9;
+const REQ_SHUTDOWN: u64 = 10;
+
+/// A coordinator → worker message: one step of the engine's four-stage
+/// pipeline (or of worker setup). Every variant maps to one frame on the
+/// transport.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Install the worker's graph fragment (deployment-time data loading;
+    /// the only frame not charged as query data shipment).
+    InstallFragment(Box<Fragment>),
+    /// Install the encoded query for the coming execution and reset all
+    /// per-query worker state.
+    InstallQuery(Box<EncodedQuery>),
+    /// Star fast path (Section VIII-B): evaluate the whole star locally
+    /// around internal bindings of `center`; answer with `Bindings`.
+    StarMatches {
+        /// Query vertex id of the star's center.
+        center: usize,
+    },
+    /// Algorithm 4 site side: hash each variable's internal candidates
+    /// into a fixed-length bit vector; answer with `BitVectors`.
+    ComputeCandidates {
+        /// Bits per candidate bit vector.
+        bits: usize,
+    },
+    /// Algorithm 4 broadcast: adopt the coordinator's unioned bit vectors
+    /// as the extended-binding filter for LPM enumeration.
+    SetCandidateFilter {
+        /// `(query vertex, unioned bit vector)` pairs, one per variable.
+        vectors: Vec<(usize, BitVectorFilter)>,
+    },
+    /// Partial evaluation (Definition 5): find local complete matches and
+    /// enumerate LPMs, which stay at the site; answer with `PartialEval`.
+    PartialEval,
+    /// Algorithm 1: compress the site's LPMs into LEC features with
+    /// global ids starting at `first_id`; answer with `Features`.
+    ComputeLecFeatures {
+        /// First global feature id assigned to this site.
+        first_id: u32,
+    },
+    /// Algorithm 2 epilogue: keep only LPMs whose feature contributed to
+    /// a surviving combination.
+    DropPruned {
+        /// Sorted global ids of the surviving original features.
+        useful: Vec<u32>,
+    },
+    /// Assembly prologue: ship the surviving LPMs to the coordinator;
+    /// answer with `Survivors`.
+    ShipSurvivors,
+    /// Stop the worker's serve loop (no reply is sent).
+    Shutdown,
+}
+
+/// Encode a request envelope into one frame.
+pub fn encode_request(req: &Request) -> Bytes {
+    match req {
+        Request::InstallFragment(f) => encode_install_fragment(f),
+        Request::InstallQuery(q) => encode_install_query(q),
+        Request::StarMatches { center } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_STAR_MATCHES).usize(*center);
+            w.finish()
         }
-        out.push(b);
+        Request::ComputeCandidates { bits } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_COMPUTE_CANDIDATES).usize(*bits);
+            w.finish()
+        }
+        Request::SetCandidateFilter { vectors } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_SET_CANDIDATE_FILTER).usize(vectors.len());
+            for (v, bv) in vectors {
+                w.usize(*v);
+                write_bit_vector(&mut w, bv);
+            }
+            w.finish()
+        }
+        Request::PartialEval => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_PARTIAL_EVAL);
+            w.finish()
+        }
+        Request::ComputeLecFeatures { first_id } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_COMPUTE_LEC_FEATURES).u64(u64::from(*first_id));
+            w.finish()
+        }
+        Request::DropPruned { useful } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_DROP_PRUNED).usize(useful.len());
+            for &id in useful {
+                w.u64(u64::from(id));
+            }
+            w.finish()
+        }
+        Request::ShipSurvivors => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_SHIP_SURVIVORS);
+            w.finish()
+        }
+        Request::Shutdown => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_SHUTDOWN);
+            w.finish()
+        }
     }
-    Ok(out)
+}
+
+/// Encode an [`Request::InstallFragment`] frame straight from a borrowed
+/// fragment (avoids cloning it into the enum on the hot setup path).
+pub fn encode_install_fragment(fragment: &Fragment) -> Bytes {
+    let mut w = WireWriter::with_capacity(64 + fragment.edge_size() * 12);
+    w.u64(REQ_INSTALL_FRAGMENT);
+    write_fragment(&mut w, fragment);
+    w.finish()
+}
+
+/// Encode an [`Request::InstallQuery`] frame straight from a borrowed
+/// encoded query.
+pub fn encode_install_query(query: &EncodedQuery) -> Bytes {
+    let mut w = WireWriter::with_capacity(64 + query.edge_count() * 8);
+    w.u64(REQ_INSTALL_QUERY);
+    write_query(&mut w, query);
+    w.finish()
+}
+
+/// Decode a request envelope.
+pub fn decode_request(bytes: Bytes) -> Result<Request, WireError> {
+    let mut r = WireReader::new(bytes);
+    let req = match r.u64()? {
+        REQ_INSTALL_FRAGMENT => Request::InstallFragment(Box::new(read_fragment(&mut r)?)),
+        REQ_INSTALL_QUERY => Request::InstallQuery(Box::new(read_query(&mut r)?)),
+        REQ_STAR_MATCHES => Request::StarMatches { center: r.usize()? },
+        REQ_COMPUTE_CANDIDATES => Request::ComputeCandidates { bits: r.usize()? },
+        REQ_SET_CANDIDATE_FILTER => {
+            let n = read_batch_len(&mut r, 9)?;
+            let mut vectors = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = r.usize()?;
+                vectors.push((v, read_bit_vector(&mut r)?));
+            }
+            Request::SetCandidateFilter { vectors }
+        }
+        REQ_PARTIAL_EVAL => Request::PartialEval,
+        REQ_COMPUTE_LEC_FEATURES => Request::ComputeLecFeatures {
+            first_id: r.u64()? as u32,
+        },
+        REQ_DROP_PRUNED => {
+            let n = read_batch_len(&mut r, 1)?;
+            let mut useful = Vec::with_capacity(n);
+            for _ in 0..n {
+                useful.push(r.u64()? as u32);
+            }
+            Request::DropPruned { useful }
+        }
+        REQ_SHIP_SURVIVORS => Request::ShipSurvivors,
+        REQ_SHUTDOWN => Request::Shutdown,
+        _ => return Err(WireError("invalid request tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError("trailing bytes after request"));
+    }
+    Ok(req)
+}
+
+const RESP_ACK: u64 = 1;
+const RESP_BINDINGS: u64 = 2;
+const RESP_BIT_VECTORS: u64 = 3;
+const RESP_PARTIAL_EVAL: u64 = 4;
+const RESP_FEATURES: u64 = 5;
+const RESP_SURVIVORS: u64 = 6;
+const RESP_ERROR: u64 = 7;
+
+/// The payload of a worker → coordinator reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// The request was applied; it has no data to return.
+    Ack,
+    /// Complete match bindings (star matches, local complete matches).
+    Bindings(Vec<Vec<VertexId>>),
+    /// Per-variable candidate bit vectors, in ascending query-vertex
+    /// order over the variable vertices (Algorithm 4 site → coordinator).
+    BitVectors(Vec<BitVectorFilter>),
+    /// Partial evaluation finished; LPMs stay at the site.
+    PartialEval {
+        /// Local complete matches (final results, shipped immediately).
+        locals: Vec<Vec<VertexId>>,
+        /// Number of LPMs enumerated and retained at the site.
+        lpm_count: u64,
+    },
+    /// The site's LEC features (Algorithm 1 output).
+    Features(Vec<LecFeature>),
+    /// The LPMs that survived pruning (all LPMs when nothing was pruned).
+    Survivors(Vec<LocalPartialMatch>),
+    /// The worker could not serve the request.
+    Error(String),
+}
+
+/// A worker → coordinator reply: the site's compute time for the request
+/// plus the typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Site-side compute time for the request, in nanoseconds. Encoded
+    /// fixed-width so frame lengths — and therefore shipment metrics —
+    /// are independent of timing jitter and identical across backends.
+    pub elapsed_nanos: u64,
+    /// The typed payload.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A reply carrying `body`, stamped with `elapsed` compute time.
+    pub fn new(elapsed: std::time::Duration, body: ResponseBody) -> Response {
+        Response {
+            elapsed_nanos: elapsed.as_nanos() as u64,
+            body,
+        }
+    }
+}
+
+/// Encode a response envelope into one frame.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut w = WireWriter::new();
+    w.u64_fixed(resp.elapsed_nanos);
+    match &resp.body {
+        ResponseBody::Ack => {
+            w.u64(RESP_ACK);
+        }
+        ResponseBody::Bindings(b) => {
+            w.u64(RESP_BINDINGS);
+            write_bindings(&mut w, b);
+        }
+        ResponseBody::BitVectors(vs) => {
+            w.u64(RESP_BIT_VECTORS).usize(vs.len());
+            for bv in vs {
+                write_bit_vector(&mut w, bv);
+            }
+        }
+        ResponseBody::PartialEval { locals, lpm_count } => {
+            w.u64(RESP_PARTIAL_EVAL);
+            write_bindings(&mut w, locals);
+            w.u64(*lpm_count);
+        }
+        ResponseBody::Features(fs) => {
+            w.u64(RESP_FEATURES);
+            write_features(&mut w, fs);
+        }
+        ResponseBody::Survivors(lpms) => {
+            w.u64(RESP_SURVIVORS);
+            write_lpms(&mut w, lpms);
+        }
+        ResponseBody::Error(msg) => {
+            w.u64(RESP_ERROR).str(msg);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a response envelope.
+pub fn decode_response(bytes: Bytes) -> Result<Response, WireError> {
+    let mut r = WireReader::new(bytes);
+    let elapsed_nanos = r.u64_fixed()?;
+    let body = match r.u64()? {
+        RESP_ACK => ResponseBody::Ack,
+        RESP_BINDINGS => ResponseBody::Bindings(read_bindings(&mut r)?),
+        RESP_BIT_VECTORS => {
+            let n = read_batch_len(&mut r, 9)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(read_bit_vector(&mut r)?);
+            }
+            ResponseBody::BitVectors(vs)
+        }
+        RESP_PARTIAL_EVAL => {
+            let locals = read_bindings(&mut r)?;
+            let lpm_count = r.u64()?;
+            ResponseBody::PartialEval { locals, lpm_count }
+        }
+        RESP_FEATURES => ResponseBody::Features(read_features(&mut r)?),
+        RESP_SURVIVORS => ResponseBody::Survivors(read_lpms(&mut r)?),
+        RESP_ERROR => ResponseBody::Error(r.str()?),
+        _ => return Err(WireError("invalid response tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError("trailing bytes after response"));
+    }
+    Ok(Response {
+        elapsed_nanos,
+        body,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gstored_partition::{DistributedGraph, HashPartitioner};
+    use gstored_rdf::{RdfGraph, Term, Triple};
+    use gstored_sparql::{parse_query, QueryGraph};
+    use std::time::Duration;
 
     fn sample_lpm() -> LocalPartialMatch {
         LocalPartialMatch {
@@ -319,5 +908,169 @@ mod tests {
             encode_lpms(std::slice::from_ref(&sparse)).len()
                 < encode_lpms(std::slice::from_ref(&dense)).len()
         );
+    }
+
+    #[test]
+    fn request_envelopes_roundtrip() {
+        let mut bv = BitVectorFilter::new(128);
+        bv.insert(TermId(9));
+        let requests = vec![
+            Request::StarMatches { center: 3 },
+            Request::ComputeCandidates { bits: 4096 },
+            Request::SetCandidateFilter {
+                vectors: vec![(0, bv.clone()), (2, bv)],
+            },
+            Request::PartialEval,
+            Request::ComputeLecFeatures { first_id: 17 },
+            Request::DropPruned {
+                useful: vec![1, 5, 9],
+            },
+            Request::ShipSurvivors,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let frame = encode_request(&req);
+            let decoded = decode_request(frame.clone()).unwrap();
+            // Request has no PartialEq (it carries a Fragment); compare
+            // canonical encodings instead.
+            assert_eq!(encode_request(&decoded), frame);
+        }
+    }
+
+    #[test]
+    fn response_envelopes_roundtrip() {
+        let responses = vec![
+            Response::new(Duration::from_micros(7), ResponseBody::Ack),
+            Response::new(
+                Duration::ZERO,
+                ResponseBody::Bindings(vec![vec![TermId(1), TermId(2)]]),
+            ),
+            Response::new(
+                Duration::from_nanos(1),
+                ResponseBody::BitVectors(vec![BitVectorFilter::new(64)]),
+            ),
+            Response::new(
+                Duration::from_millis(2),
+                ResponseBody::PartialEval {
+                    locals: vec![vec![TermId(4)]],
+                    lpm_count: 12,
+                },
+            ),
+            Response::new(Duration::ZERO, ResponseBody::Features(vec![])),
+            Response::new(Duration::ZERO, ResponseBody::Survivors(vec![sample_lpm()])),
+            Response::new(Duration::ZERO, ResponseBody::Error("boom".into())),
+        ];
+        for resp in responses {
+            let decoded = decode_response(encode_response(&resp)).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn response_length_is_independent_of_elapsed_time() {
+        // The fixed-width elapsed field is what keeps byte metrics
+        // identical across backends with different real timings.
+        let fast = Response::new(Duration::from_nanos(1), ResponseBody::Ack);
+        let slow = Response::new(Duration::from_secs(3600), ResponseBody::Ack);
+        assert_eq!(encode_response(&fast).len(), encode_response(&slow).len());
+    }
+
+    #[test]
+    fn fragment_envelope_roundtrip() {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://b", "http://p", "http://c"),
+            t("http://c", "http://q", "http://a"),
+            t(
+                "http://a",
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                "http://T",
+            ),
+        ]);
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        for fragment in &dist.fragments {
+            let frame = encode_install_fragment(fragment);
+            let Request::InstallFragment(decoded) = decode_request(frame.clone()).unwrap() else {
+                panic!("wrong request kind");
+            };
+            assert_eq!(decoded.id, fragment.id);
+            assert_eq!(decoded.internal, fragment.internal);
+            assert_eq!(decoded.extended, fragment.extended);
+            assert_eq!(decoded.internal_edges, fragment.internal_edges);
+            assert_eq!(decoded.crossing_edges, fragment.crossing_edges);
+            assert_eq!(decoded.class_entries(), fragment.class_entries());
+            for &v in &fragment.internal {
+                assert_eq!(decoded.out_edges(v), fragment.out_edges(v));
+                assert_eq!(decoded.in_edges(v), fragment.in_edges(v));
+            }
+            // Canonical re-encode is byte-identical.
+            assert_eq!(encode_install_fragment(&decoded), frame);
+        }
+    }
+
+    #[test]
+    fn query_envelope_roundtrip() {
+        let g = RdfGraph::from_triples(vec![Triple::new(
+            Term::iri("http://a"),
+            Term::iri("http://p"),
+            Term::iri("http://b"),
+        )]);
+        let qg = QueryGraph::from_query(
+            &parse_query("SELECT ?x WHERE { ?x <http://p> <http://b> . ?x <http://missing> ?y }")
+                .unwrap(),
+        )
+        .unwrap();
+        let q = EncodedQuery::encode(&qg, g.dict()).unwrap();
+        let frame = encode_install_query(&q);
+        let Request::InstallQuery(decoded) = decode_request(frame.clone()).unwrap() else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(decoded.vertex_count(), q.vertex_count());
+        assert_eq!(decoded.edges(), q.edges());
+        assert_eq!(decoded.projection(), q.projection());
+        assert_eq!(decoded.var_name(0), q.var_name(0));
+        assert_eq!(decoded.has_unsatisfiable(), q.has_unsatisfiable());
+        assert_eq!(encode_install_query(&decoded), frame);
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_not_allocated() {
+        // A tiny frame claiming 2^61 feature ids must be a decode error,
+        // not a capacity panic or a huge allocation.
+        let mut w = WireWriter::new();
+        w.u64(REQ_DROP_PRUNED).u64(1u64 << 61);
+        assert!(decode_request(w.finish()).is_err());
+        // A bit-vector reply claiming an absurd width.
+        let mut w = WireWriter::new();
+        w.u64_fixed(0).u64(RESP_BIT_VECTORS).usize(1).usize(1 << 62);
+        assert!(decode_response(w.finish()).is_err());
+        // A survivors reply with a colossal LPM count.
+        let mut w = WireWriter::new();
+        w.u64_fixed(0).u64(RESP_SURVIVORS).u64(u64::MAX >> 2);
+        assert!(decode_response(w.finish()).is_err());
+        // And a persistent worker survives such a frame with an Error
+        // reply instead of dying.
+        let mut worker = crate::worker::SiteWorker::empty();
+        let mut w = WireWriter::new();
+        w.u64(REQ_DROP_PRUNED).u64(1u64 << 61);
+        let reply = worker.handle(w.finish()).unwrap();
+        assert!(matches!(
+            decode_response(reply).unwrap().body,
+            ResponseBody::Error(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        let mut w = WireWriter::new();
+        w.u64(99);
+        assert!(decode_request(w.finish()).is_err());
+        // Trailing garbage after a valid request is rejected.
+        let mut frame = encode_request(&Request::PartialEval).to_vec();
+        frame.push(0);
+        assert!(decode_request(Bytes::from(frame)).is_err());
+        // A response needs its fixed-width elapsed header.
+        assert!(decode_response(Bytes::from_static(&[1, 2])).is_err());
     }
 }

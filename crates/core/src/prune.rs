@@ -14,7 +14,9 @@ use crate::lec::LecFeature;
 /// One LEC feature group (Definition 10): all features sharing a LECSign.
 #[derive(Debug, Clone)]
 pub struct FeatureGroup {
+    /// The shared LECSign bitmask over query vertices.
     pub sign: u64,
+    /// The features carrying that sign.
     pub features: Vec<LecFeature>,
 }
 

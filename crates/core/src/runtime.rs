@@ -1,0 +1,258 @@
+//! The coordinator-side runtime: a [`WorkerPool`] that broadcasts typed
+//! requests over a [`Transport`] and meters every frame.
+//!
+//! Shipment accounting happens here, once, at the send/receive boundary:
+//! each encoded frame's length is charged to the stage it belongs to as
+//! it crosses the transport, so the metrics are byte-for-byte the frames
+//! that were actually exchanged — never a re-encoded estimate. Stage wall
+//! time uses the **maximum** worker-reported compute time across sites
+//! (sites run concurrently; the stage ends when the slowest site does),
+//! plus the simulated [`NetworkModel`] transfer time per frame.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use gstored_net::{NetworkModel, StageMetrics, Transport};
+
+use crate::error::EngineError;
+use crate::protocol::{self, Request, ResponseBody};
+
+/// Coordinator handle over `k` site workers reachable through a
+/// transport, with a network cost model for shipment pricing.
+pub struct WorkerPool<'t> {
+    transport: &'t dyn Transport,
+    network: NetworkModel,
+}
+
+impl<'t> WorkerPool<'t> {
+    /// Wrap a connected transport.
+    pub fn new(transport: &'t dyn Transport, network: NetworkModel) -> WorkerPool<'t> {
+        WorkerPool { transport, network }
+    }
+
+    /// Number of sites behind the pool.
+    pub fn sites(&self) -> usize {
+        self.transport.sites()
+    }
+
+    /// Send the same request to every site and gather the replies in
+    /// site order. All frames (requests and responses) are charged to
+    /// `stage`; the maximum worker compute time is added to its wall.
+    pub fn broadcast(
+        &self,
+        req: &Request,
+        stage: &mut StageMetrics,
+    ) -> Result<Vec<ResponseBody>, EngineError> {
+        self.broadcast_frame(protocol::encode_request(req), stage)
+    }
+
+    /// Send a per-site request (e.g. disjoint id ranges) to every site
+    /// and gather the replies in site order, charging like
+    /// [`WorkerPool::broadcast`].
+    pub fn broadcast_with(
+        &self,
+        make: impl Fn(usize) -> Request,
+        stage: &mut StageMetrics,
+    ) -> Result<Vec<ResponseBody>, EngineError> {
+        for site in 0..self.sites() {
+            self.send_charged(site, protocol::encode_request(&make(site)), stage)?;
+        }
+        self.gather(stage)
+    }
+
+    /// Broadcast an already-encoded request frame (avoids cloning bulky
+    /// payloads into a [`Request`] value just to encode them again).
+    pub fn broadcast_frame(
+        &self,
+        frame: Bytes,
+        stage: &mut StageMetrics,
+    ) -> Result<Vec<ResponseBody>, EngineError> {
+        for site in 0..self.sites() {
+            self.send_charged(site, frame.clone(), stage)?;
+        }
+        self.gather(stage)
+    }
+
+    fn send_charged(
+        &self,
+        site: usize,
+        frame: Bytes,
+        stage: &mut StageMetrics,
+    ) -> Result<(), EngineError> {
+        self.charge(stage, frame.len());
+        self.transport.send(site, frame)?;
+        Ok(())
+    }
+
+    fn gather(&self, stage: &mut StageMetrics) -> Result<Vec<ResponseBody>, EngineError> {
+        // Every site was sent a request, so every site's reply must be
+        // read — even after an early failure. Returning before draining
+        // would leave unread frames queued on a reusable transport and
+        // desynchronize every later exchange by one reply.
+        let mut bodies = Vec::with_capacity(self.sites());
+        let mut slowest_nanos = 0u64;
+        let mut first_error: Option<EngineError> = None;
+        for site in 0..self.sites() {
+            let frame = match self.transport.recv(site) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    // The stream itself is broken; there is nothing left
+                    // to drain from this or later sites reliably.
+                    return Err(first_error.unwrap_or(EngineError::Transport(e.to_string())));
+                }
+            };
+            self.charge(stage, frame.len());
+            match protocol::decode_response(frame) {
+                Ok(response) => {
+                    slowest_nanos = slowest_nanos.max(response.elapsed_nanos);
+                    if let ResponseBody::Error(msg) = &response.body {
+                        first_error.get_or_insert_with(|| {
+                            EngineError::Worker(format!("site {site}: {msg}"))
+                        });
+                    }
+                    bodies.push(response.body);
+                }
+                Err(e) => {
+                    first_error.get_or_insert(EngineError::Protocol(e.to_string()));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        stage.wall += Duration::from_nanos(slowest_nanos);
+        Ok(bodies)
+    }
+
+    fn charge(&self, stage: &mut StageMetrics, len: usize) {
+        stage.bytes_shipped += len as u64;
+        stage.messages += 1;
+        stage.network += self.network.transfer_time(1, len as u64);
+    }
+}
+
+/// Unwrap a batch of replies that must all be plain acknowledgements.
+pub fn expect_acks(bodies: Vec<ResponseBody>) -> Result<(), EngineError> {
+    for body in bodies {
+        if !matches!(body, ResponseBody::Ack) {
+            return Err(EngineError::Protocol(format!("expected Ack, got {body:?}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::with_in_process_workers;
+    use gstored_partition::{DistributedGraph, HashPartitioner};
+    use gstored_rdf::{RdfGraph, Term, Triple};
+    use gstored_sparql::{parse_query, QueryGraph};
+    use gstored_store::EncodedQuery;
+
+    fn setup() -> (DistributedGraph, EncodedQuery) {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://b", "http://p", "http://c"),
+        ]);
+        let qg =
+            QueryGraph::from_query(&parse_query("SELECT * WHERE { ?x <http://p> ?y }").unwrap())
+                .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
+        (dist, q)
+    }
+
+    #[test]
+    fn broadcast_charges_every_frame_and_takes_max_wall() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let mut stage = StageMetrics::default();
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                    .unwrap(),
+            )
+            .unwrap();
+            let bodies = pool.broadcast(&Request::PartialEval, &mut stage).unwrap();
+            assert_eq!(bodies.len(), 2);
+            // 2 installs + 2 acks + 2 partial-eval requests + 2 replies.
+            assert_eq!(stage.messages, 8);
+            assert_eq!(
+                stage.bytes_shipped,
+                transport.counters().bytes(),
+                "charged bytes are exactly the frames on the transport"
+            );
+            assert_eq!(stage.messages, transport.counters().frames());
+        });
+    }
+
+    #[test]
+    fn worker_errors_surface_with_site_id() {
+        let (dist, _) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let mut stage = StageMetrics::default();
+            // PartialEval without an installed query is a worker error.
+            let err = pool.broadcast(&Request::PartialEval, &mut stage);
+            assert!(matches!(err, Err(EngineError::Worker(msg)) if msg.contains("site 0")));
+        });
+    }
+
+    #[test]
+    fn gather_drains_all_sites_after_a_worker_error() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let mut stage = StageMetrics::default();
+            // Every site errors (no query installed yet)...
+            assert!(matches!(
+                pool.broadcast(&Request::PartialEval, &mut stage),
+                Err(EngineError::Worker(_))
+            ));
+            // ...but every reply was drained, so the same transport
+            // serves the next exchanges without any off-by-one replies.
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                    .unwrap(),
+            )
+            .unwrap();
+            let bodies = pool.broadcast(&Request::PartialEval, &mut stage).unwrap();
+            assert_eq!(bodies.len(), 2);
+        });
+    }
+
+    #[test]
+    fn expect_acks_rejects_data_replies() {
+        assert!(expect_acks(vec![ResponseBody::Ack, ResponseBody::Ack]).is_ok());
+        assert!(matches!(
+            expect_acks(vec![ResponseBody::Bindings(vec![])]),
+            Err(EngineError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn network_model_prices_frames() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let model = NetworkModel {
+                latency: Duration::from_millis(1),
+                bytes_per_sec: 1_000_000,
+            };
+            let pool = WorkerPool::new(transport, model);
+            let mut stage = StageMetrics::default();
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                    .unwrap(),
+            )
+            .unwrap();
+            // 4 frames => at least 4 ms of simulated latency, plus the
+            // bandwidth-limited transfer of the actual bytes.
+            assert!(stage.network >= Duration::from_millis(4));
+            let batch = model.transfer_time(stage.messages, stage.bytes_shipped);
+            let diff = stage.network.abs_diff(batch);
+            assert!(diff < Duration::from_micros(1), "per-frame pricing sums");
+        });
+    }
+}

@@ -1,0 +1,408 @@
+//! The site worker: one persistent process/thread per fragment.
+//!
+//! A [`SiteWorker`] owns its [`Fragment`] plus all per-query state (the
+//! installed query, the candidate filter, the enumerated LPMs with their
+//! LEC features and survivor flags) and answers the typed
+//! [`Request`] messages of the engine's four stages.
+//! The same handler serves both transport backends, so the frames — and
+//! therefore the shipment metrics — are identical whether sites are
+//! threads or remote processes.
+//!
+//! The key locality property: **local partial matches never leave the
+//! site until pruning has happened.** Partial evaluation replies with
+//! only the local complete matches and an LPM count; features ship in
+//! place of LPMs (Algorithm 1's whole point); the LPMs themselves ship
+//! once, in `ShipSurvivors`, after `DropPruned` has marked the losers.
+
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use bytes::Bytes;
+use gstored_net::worker::{serve_endpoint, serve_stream, ServeOutcome};
+use gstored_net::InProcessTransport;
+use gstored_partition::{DistributedGraph, Fragment};
+use gstored_store::candidates::{BitVectorFilter, CandidateFilter};
+use gstored_store::{
+    enumerate_local_partial_matches, find_star_matches, internal_candidates,
+    local_complete_matches, EncodedQuery, LocalPartialMatch,
+};
+
+use crate::lec::{compute_lec_features, LecFeature};
+use crate::protocol::{self, Request, Response, ResponseBody};
+
+/// The fragment a worker evaluates over: borrowed from the coordinator's
+/// [`DistributedGraph`] (in-process backend) or owned after an
+/// `InstallFragment` message (remote backend).
+#[derive(Debug)]
+enum FragmentSlot<'a> {
+    Empty,
+    Borrowed(&'a Fragment),
+    Owned(Box<Fragment>),
+}
+
+impl FragmentSlot<'_> {
+    fn get(&self) -> Option<&Fragment> {
+        match self {
+            FragmentSlot::Empty => None,
+            FragmentSlot::Borrowed(f) => Some(f),
+            FragmentSlot::Owned(f) => Some(f),
+        }
+    }
+}
+
+/// One site's message handler: fragment + per-query state.
+#[derive(Debug)]
+pub struct SiteWorker<'a> {
+    fragment: FragmentSlot<'a>,
+    query: Option<EncodedQuery>,
+    filter: CandidateFilter,
+    lpms: Vec<LocalPartialMatch>,
+    features: Vec<LecFeature>,
+    feature_of_lpm: Vec<usize>,
+    keep: Vec<bool>,
+}
+
+impl<'a> SiteWorker<'a> {
+    /// A worker with no fragment yet; expects `InstallFragment` first
+    /// (the remote deployment shape, used by `gstored-worker`).
+    pub fn empty() -> SiteWorker<'static> {
+        SiteWorker {
+            fragment: FragmentSlot::Empty,
+            query: None,
+            filter: CandidateFilter::none(0),
+            lpms: Vec::new(),
+            features: Vec::new(),
+            feature_of_lpm: Vec::new(),
+            keep: Vec::new(),
+        }
+    }
+
+    /// A worker serving a borrowed fragment (the in-process backend).
+    pub fn for_fragment(fragment: &'a Fragment) -> SiteWorker<'a> {
+        SiteWorker {
+            fragment: FragmentSlot::Borrowed(fragment),
+            query: None,
+            filter: CandidateFilter::none(0),
+            lpms: Vec::new(),
+            features: Vec::new(),
+            feature_of_lpm: Vec::new(),
+            keep: Vec::new(),
+        }
+    }
+
+    fn reset_query_state(&mut self) {
+        self.query = None;
+        self.filter = CandidateFilter::none(0);
+        self.lpms.clear();
+        self.features.clear();
+        self.feature_of_lpm.clear();
+        self.keep.clear();
+    }
+
+    /// Serve one frame: decode the request, run it, encode the reply.
+    /// Returns `None` for `Shutdown` (ending the serve loop) and an
+    /// `Error` response frame for anything malformed — a bad frame must
+    /// not kill a persistent worker.
+    pub fn handle(&mut self, frame: Bytes) -> Option<Bytes> {
+        let started = Instant::now();
+        let body = match protocol::decode_request(frame) {
+            Ok(Request::Shutdown) => return None,
+            Ok(req) => self.dispatch(req),
+            Err(e) => ResponseBody::Error(format!("bad request frame: {e}")),
+        };
+        Some(protocol::encode_response(&Response::new(
+            started.elapsed(),
+            body,
+        )))
+    }
+
+    fn dispatch(&mut self, req: Request) -> ResponseBody {
+        match req {
+            Request::InstallFragment(fragment) => {
+                self.reset_query_state();
+                self.fragment = FragmentSlot::Owned(fragment);
+                ResponseBody::Ack
+            }
+            Request::InstallQuery(query) => {
+                if self.fragment.get().is_none() {
+                    return ResponseBody::Error("no fragment installed".into());
+                }
+                self.reset_query_state();
+                self.filter = CandidateFilter::none(query.vertex_count());
+                self.query = Some(*query);
+                ResponseBody::Ack
+            }
+            Request::StarMatches { center } => match self.query_and_fragment() {
+                Ok((q, f)) => {
+                    if center >= q.vertex_count() {
+                        return ResponseBody::Error("star center out of range".into());
+                    }
+                    ResponseBody::Bindings(find_star_matches(f, q, center))
+                }
+                Err(e) => e,
+            },
+            Request::ComputeCandidates { bits } => match self.query_and_fragment() {
+                Ok((q, f)) => {
+                    let cands = internal_candidates(f, q);
+                    let vectors = (0..q.vertex_count())
+                        .filter(|&v| q.vertex(v).is_var())
+                        .map(|v| {
+                            let mut bv = BitVectorFilter::new(bits);
+                            for &c in &cands[v] {
+                                bv.insert(c);
+                            }
+                            bv
+                        })
+                        .collect();
+                    ResponseBody::BitVectors(vectors)
+                }
+                Err(e) => e,
+            },
+            Request::SetCandidateFilter { vectors } => {
+                let Some(q) = self.query.as_ref() else {
+                    return ResponseBody::Error("no query installed".into());
+                };
+                let n = q.vertex_count();
+                for (v, bv) in vectors {
+                    if v >= n {
+                        return ResponseBody::Error("filter vertex out of range".into());
+                    }
+                    self.filter.extended_bits[v] = Some(bv);
+                }
+                ResponseBody::Ack
+            }
+            Request::PartialEval => {
+                let (locals, lpms) = match self.query_and_fragment() {
+                    Ok((q, f)) => (
+                        local_complete_matches(f, q),
+                        enumerate_local_partial_matches(f, q, &self.filter),
+                    ),
+                    Err(e) => return e,
+                };
+                self.keep = vec![true; lpms.len()];
+                self.lpms = lpms;
+                ResponseBody::PartialEval {
+                    locals,
+                    lpm_count: self.lpms.len() as u64,
+                }
+            }
+            Request::ComputeLecFeatures { first_id } => {
+                if self.query.is_none() {
+                    return ResponseBody::Error("no query installed".into());
+                }
+                let (features, feature_of_lpm) = compute_lec_features(&self.lpms, first_id);
+                self.features = features;
+                self.feature_of_lpm = feature_of_lpm;
+                ResponseBody::Features(self.features.clone())
+            }
+            Request::DropPruned { useful } => {
+                if self.feature_of_lpm.len() != self.lpms.len() {
+                    return ResponseBody::Error("DropPruned before ComputeLecFeatures".into());
+                }
+                let useful: HashSet<u32> = useful.into_iter().collect();
+                for (keep, &fi) in self.keep.iter_mut().zip(&self.feature_of_lpm) {
+                    *keep = self.features[fi]
+                        .sources
+                        .iter()
+                        .any(|id| useful.contains(id));
+                }
+                ResponseBody::Ack
+            }
+            Request::ShipSurvivors => ResponseBody::Survivors(
+                self.lpms
+                    .iter()
+                    .zip(&self.keep)
+                    .filter(|&(_, &keep)| keep)
+                    .map(|(lpm, _)| lpm.clone())
+                    .collect(),
+            ),
+            Request::Shutdown => unreachable!("handled in SiteWorker::handle"),
+        }
+    }
+
+    fn query_and_fragment(&self) -> Result<(&EncodedQuery, &Fragment), ResponseBody> {
+        let Some(f) = self.fragment.get() else {
+            return Err(ResponseBody::Error("no fragment installed".into()));
+        };
+        let Some(q) = self.query.as_ref() else {
+            return Err(ResponseBody::Error("no query installed".into()));
+        };
+        Ok((q, f))
+    }
+}
+
+/// Serve a worker on a TCP listener: accept one coordinator connection at
+/// a time, run a fresh [`SiteWorker`] over it, and go back to accepting
+/// when the coordinator disconnects. Returns after a `Shutdown` request.
+///
+/// This is the body of the `gstored-worker` binary and of the test
+/// harnesses that stand up a local worker fleet.
+pub fn serve_tcp(listener: TcpListener) -> std::io::Result<()> {
+    loop {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let mut worker = SiteWorker::empty();
+        match serve_stream(&mut stream, |frame| worker.handle(frame)) {
+            Ok(ServeOutcome::Disconnected) => continue,
+            Ok(ServeOutcome::Stopped) => return Ok(()),
+            // A torn connection only loses that coordinator; keep serving.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Ask the worker listening on `addr` to shut down.
+pub fn send_shutdown<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    gstored_net::transport::write_frame(&mut stream, &protocol::encode_request(&Request::Shutdown))
+}
+
+/// Stand up one in-process worker per fragment of `dist` (scoped threads
+/// behind an [`InProcessTransport`]), run `f` against the transport, then
+/// tear the workers down. The workers borrow their fragments; no
+/// `InstallFragment` setup frames are exchanged.
+///
+/// This is the harness behind `Engine::execute`'s default backend, public
+/// so tests can drive `Engine::execute_on` against a transport they can
+/// inspect (e.g. to compare shipment metrics with the transport's own
+/// frame counters).
+pub fn with_in_process_workers<T>(
+    dist: &DistributedGraph,
+    f: impl FnOnce(&InProcessTransport) -> T,
+) -> T {
+    let (transport, endpoints) = InProcessTransport::pair(dist.fragment_count());
+    std::thread::scope(|scope| {
+        for (site, endpoint) in endpoints.into_iter().enumerate() {
+            let fragment = &dist.fragments[site];
+            scope.spawn(move || {
+                let mut worker = SiteWorker::for_fragment(fragment);
+                serve_endpoint(endpoint, |frame| worker.handle(frame))
+            });
+        }
+        let out = f(&transport);
+        // Dropping the transport closes the channels; the worker loops
+        // end and the scope joins them.
+        drop(transport);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstored_partition::HashPartitioner;
+    use gstored_rdf::{RdfGraph, Term, Triple};
+    use gstored_sparql::{parse_query, QueryGraph};
+
+    fn setup() -> (DistributedGraph, EncodedQuery) {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let g = RdfGraph::from_triples(vec![
+            t("http://a", "http://p", "http://b"),
+            t("http://b", "http://q", "http://c"),
+            t("http://c", "http://p", "http://d"),
+        ]);
+        let qg = QueryGraph::from_query(
+            &parse_query("SELECT * WHERE { ?x <http://p> ?y . ?y <http://q> ?z }").unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let q = EncodedQuery::encode(&qg, dist.dict()).unwrap();
+        (dist, q)
+    }
+
+    fn roundtrip(worker: &mut SiteWorker<'_>, req: &Request) -> ResponseBody {
+        let reply = worker.handle(protocol::encode_request(req)).unwrap();
+        protocol::decode_response(reply).unwrap().body
+    }
+
+    #[test]
+    fn worker_requires_fragment_and_query() {
+        let mut w = SiteWorker::empty();
+        assert!(matches!(
+            roundtrip(&mut w, &Request::PartialEval),
+            ResponseBody::Error(_)
+        ));
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        assert!(matches!(
+            roundtrip(&mut w, &Request::StarMatches { center: 0 }),
+            ResponseBody::Error(_)
+        ));
+        assert!(matches!(
+            roundtrip(&mut w, &Request::InstallQuery(Box::new(q))),
+            ResponseBody::Ack
+        ));
+    }
+
+    #[test]
+    fn owned_and_borrowed_fragments_answer_identically() {
+        let (dist, q) = setup();
+        for (site, fragment) in dist.fragments.iter().enumerate() {
+            let mut borrowed = SiteWorker::for_fragment(fragment);
+            let mut owned = SiteWorker::empty();
+            assert!(matches!(
+                roundtrip(
+                    &mut owned,
+                    &Request::InstallFragment(Box::new(fragment.clone()))
+                ),
+                ResponseBody::Ack
+            ));
+            for w in [&mut borrowed, &mut owned] {
+                roundtrip(w, &Request::InstallQuery(Box::new(q.clone())));
+            }
+            let a = roundtrip(&mut borrowed, &Request::PartialEval);
+            let b = roundtrip(&mut owned, &Request::PartialEval);
+            assert_eq!(a, b, "site {site}");
+            let a = roundtrip(&mut borrowed, &Request::ShipSurvivors);
+            let b = roundtrip(&mut owned, &Request::ShipSurvivors);
+            assert_eq!(a, b, "site {site}");
+        }
+    }
+
+    #[test]
+    fn drop_pruned_filters_survivors() {
+        let (dist, q) = setup();
+        // Find a site with at least one LPM.
+        for fragment in &dist.fragments {
+            let mut w = SiteWorker::for_fragment(fragment);
+            roundtrip(&mut w, &Request::InstallQuery(Box::new(q.clone())));
+            let ResponseBody::PartialEval { lpm_count, .. } =
+                roundtrip(&mut w, &Request::PartialEval)
+            else {
+                panic!("wrong response");
+            };
+            if lpm_count == 0 {
+                continue;
+            }
+            roundtrip(&mut w, &Request::ComputeLecFeatures { first_id: 100 });
+            // Dropping everything leaves no survivors.
+            roundtrip(&mut w, &Request::DropPruned { useful: vec![] });
+            let ResponseBody::Survivors(none) = roundtrip(&mut w, &Request::ShipSurvivors) else {
+                panic!("wrong response");
+            };
+            assert!(none.is_empty());
+            return;
+        }
+        panic!("no site produced LPMs");
+    }
+
+    #[test]
+    fn malformed_frame_yields_error_not_death() {
+        let (dist, _) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        let reply = w.handle(Bytes::from_static(&[0xff, 0xff])).unwrap();
+        assert!(matches!(
+            protocol::decode_response(reply).unwrap().body,
+            ResponseBody::Error(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_ends_the_loop() {
+        let mut w = SiteWorker::empty();
+        assert!(w
+            .handle(protocol::encode_request(&Request::Shutdown))
+            .is_none());
+    }
+}

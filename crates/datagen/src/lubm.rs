@@ -1,7 +1,7 @@
 //! A LUBM-like university-domain generator.
 //!
 //! Follows the structure of the LUBM benchmark's data generator (Guo,
-//! Pan, Heflin — reference [5] of the paper), scaled down: universities
+//! Pan, Heflin — reference \[5\] of the paper), scaled down: universities
 //! with departments, faculty, students, courses and publications, with
 //! per-university URI authorities (`http://www.UniversityN.edu/...`).
 //! Entity counts per department are reduced from LUBM's defaults so a

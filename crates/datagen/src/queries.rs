@@ -1,8 +1,8 @@
 //! The benchmark query sets: LQ1–LQ7 (LUBM), YQ1–YQ4 (YAGO2-like),
 //! BQ1–BQ7 (BTC-like).
 //!
-//! The paper evaluates with the benchmark queries of its references [1]
-//! and [18], whose exact text the paper does not reproduce; what its
+//! The paper evaluates with the benchmark queries of its references \[1\]
+//! and \[18\], whose exact text the paper does not reproduce; what its
 //! analysis depends on is each query's **shape class** (star vs. other)
 //! and whether it contains **selective triple patterns** (Tables I–III
 //! mark these with a check). Each query below is written against our

@@ -1,4 +1,5 @@
-//! Scatter/gather execution over simulated sites.
+//! The [`NetworkModel`] cost model plus the legacy scatter/gather
+//! executor.
 //!
 //! The paper's execution model has two kinds of steps: parallel site-local
 //! computation (partial evaluation, candidate finding) and
@@ -7,6 +8,13 @@
 //! (`std::thread::scope`) and reports the **maximum** site wall time —
 //! the quantity that determines cluster response time; shipment of the
 //! results is charged through a [`NetworkModel`].
+//!
+//! The gStoreD engine itself no longer uses shared-memory scatter
+//! closures: it drives persistent workers through the [`crate::transport`]
+//! layer, so every inter-site payload is a real serialized frame. The
+//! scatter executor remains for the comparison baselines
+//! (`gstored-baselines`), whose shipment numbers are analytical
+//! estimates by design.
 
 use std::time::{Duration, Instant};
 

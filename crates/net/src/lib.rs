@@ -1,24 +1,33 @@
+#![deny(missing_docs)]
 //! # gstored-net
 //!
-//! The simulated distributed environment. The paper runs on a 12-machine
-//! MPICH cluster; this crate substitutes threads + channels with **byte-
-//! accurate data-shipment accounting** and an explicit network cost model,
-//! preserving exactly what the experiments measure: per-stage response
-//! time (max over parallel sites) and per-stage data shipment (bytes on
-//! the wire). See DESIGN.md §3 for the substitution rationale.
+//! The distributed runtime substrate. The paper runs on a 12-machine
+//! MPICH cluster; this crate provides the message-passing layer the
+//! engine drives its sites through, with **byte-accurate data-shipment
+//! accounting** and an explicit network cost model, preserving exactly
+//! what the experiments measure: per-stage response time (max over
+//! parallel sites) and per-stage data shipment (bytes on the wire).
 //!
 //! * [`wire`] — a compact varint-based binary codec; every message the
 //!   engine ships is encoded through it, so shipment numbers are real
 //!   serialized sizes, not estimates.
+//! * [`transport`] — the [`Transport`] trait plus its two backends:
+//!   [`InProcessTransport`] (threads + channels, deterministic) and
+//!   [`TcpTransport`] (length-prefixed frames over sockets).
+//! * [`worker`] — generic serve loops that drive a frame handler over
+//!   either backend; the engine-specific handler lives in
+//!   `gstored_core::worker`.
 //! * [`metrics`] — stage timers and shipment meters.
-//! * [`cluster`] — a scatter/gather executor: site work runs on real
-//!   threads (parallel, like the paper's partial evaluation stage); the
-//!   coordinator runs on the calling thread.
+//! * [`cluster`] — the [`NetworkModel`] cost model and the legacy
+//!   scatter/gather executor still used by the baseline engines.
 
 pub mod cluster;
 pub mod metrics;
+pub mod transport;
 pub mod wire;
+pub mod worker;
 
 pub use cluster::{Cluster, NetworkModel};
 pub use metrics::{QueryMetrics, StageMetrics};
+pub use transport::{InProcessTransport, TcpTransport, Transport, TransportError};
 pub use wire::{WireReader, WireWriter};

@@ -5,7 +5,7 @@
 //! assembly time, totals, and intermediate/final counts. [`QueryMetrics`]
 //! carries exactly those columns; [`StageMetrics`] is one row's cell group.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Metrics of one named execution stage.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -35,6 +35,14 @@ impl StageMetrics {
     /// Stage response time: computation plus simulated transfer.
     pub fn response_time(&self) -> Duration {
         self.wall + self.network
+    }
+
+    /// Time a coordinator-side computation into this stage's wall clock.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.wall += start.elapsed();
+        out
     }
 
     /// Shipment in KiB (the unit of the paper's tables).

@@ -1,0 +1,428 @@
+//! Pluggable message transports between the coordinator and site workers.
+//!
+//! The engine speaks to its sites through the [`Transport`] trait: an
+//! ordered, reliable, length-delimited frame channel per site. Two
+//! backends are provided:
+//!
+//! * [`InProcessTransport`] — worker threads connected by channels. The
+//!   default backend: deterministic, no sockets, but every frame is still
+//!   a real serialized byte buffer, so shipment accounting is identical
+//!   to a networked deployment.
+//! * [`TcpTransport`] — length-prefixed frames over TCP sockets, one
+//!   connection per site, as used by the `gstored-worker` binary.
+//!
+//! What a frame *means* is defined one layer up (`gstored_core::protocol`
+//! encodes typed request/response envelopes); this module only moves
+//! opaque bytes and counts them.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+use bytes::Bytes;
+
+/// Upper bound on a single frame's payload length (1 GiB). A length
+/// prefix above this is treated as a corrupt stream rather than an
+/// allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// A transport failure: the peer went away or the stream is corrupt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The worker side of the channel/socket is closed.
+    Closed {
+        /// Site whose channel closed.
+        site: usize,
+    },
+    /// The site index is outside `0..sites()`.
+    UnknownSite {
+        /// The offending site index.
+        site: usize,
+    },
+    /// An I/O error from the underlying socket.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed { site } => {
+                write!(f, "transport to site {site} is closed")
+            }
+            TransportError::UnknownSite { site } => write!(f, "no such site: {site}"),
+            TransportError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// Coordinator-side view of `k` site workers: an ordered, reliable frame
+/// channel per site.
+///
+/// The engine's contract is strict request/response per site: it never
+/// issues a second [`Transport::send`] to a site before receiving the
+/// reply to the first, so implementations need no per-site queueing
+/// beyond one in-flight frame. Sends to *different* sites happen back to
+/// back, which is what gives the scatter stages their parallelism.
+///
+/// ```
+/// use bytes::Bytes;
+/// use gstored_net::transport::{InProcessTransport, Transport};
+///
+/// // One echo worker behind the in-process backend.
+/// let (transport, endpoints) = InProcessTransport::pair(1);
+/// std::thread::scope(|scope| {
+///     for ep in endpoints {
+///         scope.spawn(move || {
+///             gstored_net::worker::serve_endpoint(ep, |frame| Some(frame))
+///         });
+///     }
+///     transport.send(0, Bytes::from_static(b"ping")).unwrap();
+///     assert_eq!(transport.recv(0).unwrap().as_ref(), b"ping");
+///     drop(transport); // closes the channels; the worker loop ends
+/// });
+/// ```
+pub trait Transport: Send + Sync {
+    /// Number of sites behind this transport.
+    fn sites(&self) -> usize;
+
+    /// Ship one frame to `site`.
+    fn send(&self, site: usize, frame: Bytes) -> Result<(), TransportError>;
+
+    /// Block until `site`'s next frame arrives.
+    fn recv(&self, site: usize) -> Result<Bytes, TransportError>;
+}
+
+/// Running totals of frames and bytes moved through a transport, in both
+/// directions. Used by tests to assert that the engine's shipment metrics
+/// equal what actually crossed the transport.
+#[derive(Debug, Default)]
+pub struct TransferCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TransferCounters {
+    /// Total frames sent plus received.
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent plus received (excluding the transport's
+    /// own length prefixes — the quantity charged as data shipment).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, len: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+}
+
+/// The worker-side half of one in-process channel: frames from the
+/// coordinator arrive via [`InProcessEndpoint::recv`], replies go back
+/// via [`InProcessEndpoint::send`].
+#[derive(Debug)]
+pub struct InProcessEndpoint {
+    rx: Receiver<Bytes>,
+    tx: Sender<Bytes>,
+}
+
+impl InProcessEndpoint {
+    /// Block for the next frame; `None` once the coordinator hung up.
+    pub fn recv(&self) -> Option<Bytes> {
+        self.rx.recv().ok()
+    }
+
+    /// Send a reply frame; `false` once the coordinator hung up.
+    pub fn send(&self, frame: Bytes) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+}
+
+/// Channel-backed transport: `k` worker endpoints, typically served by
+/// scoped threads for the duration of one query. Dropping the transport
+/// closes every channel, which ends the worker loops.
+#[derive(Debug)]
+pub struct InProcessTransport {
+    to_workers: Vec<Sender<Bytes>>,
+    from_workers: Vec<Mutex<Receiver<Bytes>>>,
+    counters: TransferCounters,
+}
+
+impl InProcessTransport {
+    /// Create the coordinator side plus one endpoint per site. Spawn a
+    /// worker loop (see `gstored_net::worker::serve_endpoint`) on each
+    /// endpoint before exercising the transport.
+    pub fn pair(sites: usize) -> (InProcessTransport, Vec<InProcessEndpoint>) {
+        assert!(sites > 0, "need at least one site");
+        let mut to_workers = Vec::with_capacity(sites);
+        let mut from_workers = Vec::with_capacity(sites);
+        let mut endpoints = Vec::with_capacity(sites);
+        for _ in 0..sites {
+            let (req_tx, req_rx) = channel();
+            let (resp_tx, resp_rx) = channel();
+            to_workers.push(req_tx);
+            from_workers.push(Mutex::new(resp_rx));
+            endpoints.push(InProcessEndpoint {
+                rx: req_rx,
+                tx: resp_tx,
+            });
+        }
+        (
+            InProcessTransport {
+                to_workers,
+                from_workers,
+                counters: TransferCounters::default(),
+            },
+            endpoints,
+        )
+    }
+
+    /// Frame/byte totals moved through this transport so far.
+    pub fn counters(&self) -> &TransferCounters {
+        &self.counters
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn sites(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    fn send(&self, site: usize, frame: Bytes) -> Result<(), TransportError> {
+        let tx = self
+            .to_workers
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        self.counters.record(frame.len());
+        tx.send(frame).map_err(|_| TransportError::Closed { site })
+    }
+
+    fn recv(&self, site: usize) -> Result<Bytes, TransportError> {
+        let rx = self
+            .from_workers
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let frame = rx
+            .lock()
+            .expect("transport receiver poisoned")
+            .recv()
+            .map_err(|_| TransportError::Closed { site })?;
+        self.counters.record(frame.len());
+        Ok(frame)
+    }
+}
+
+/// TCP-backed transport: one socket per site, frames delimited by a
+/// little-endian `u32` length prefix (see [`write_frame`]/[`read_frame`]).
+#[derive(Debug)]
+pub struct TcpTransport {
+    streams: Vec<Mutex<TcpStream>>,
+    counters: TransferCounters,
+}
+
+impl TcpTransport {
+    /// Connect to one worker address per site, in site order.
+    pub fn connect<A: ToSocketAddrs>(workers: &[A]) -> Result<TcpTransport, TransportError> {
+        assert!(!workers.is_empty(), "need at least one site");
+        let mut streams = Vec::with_capacity(workers.len());
+        for addr in workers {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            streams.push(Mutex::new(stream));
+        }
+        Ok(TcpTransport {
+            streams,
+            counters: TransferCounters::default(),
+        })
+    }
+
+    /// Frame/byte totals moved through this transport so far.
+    pub fn counters(&self) -> &TransferCounters {
+        &self.counters
+    }
+}
+
+impl Transport for TcpTransport {
+    fn sites(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn send(&self, site: usize, frame: Bytes) -> Result<(), TransportError> {
+        let stream = self
+            .streams
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        self.counters.record(frame.len());
+        let mut stream = stream.lock().expect("transport stream poisoned");
+        write_frame(&mut *stream, &frame)?;
+        Ok(())
+    }
+
+    fn recv(&self, site: usize) -> Result<Bytes, TransportError> {
+        let stream = self
+            .streams
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let mut stream = stream.lock().expect("transport stream poisoned");
+        match read_frame(&mut *stream)? {
+            Some(frame) => {
+                self.counters.record(frame.len());
+                Ok(frame)
+            }
+            None => Err(TransportError::Closed { site }),
+        }
+    }
+}
+
+/// Write one length-prefixed frame (`u32` little-endian length, then the
+/// payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    assert!(frame.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `None` on a clean end of
+/// stream (the peer closed between frames); errors on a truncated frame
+/// or an oversized length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte means the peer hung up politely.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_roundtrip_and_counters() {
+        let (transport, endpoints) = InProcessTransport::pair(2);
+        std::thread::scope(|scope| {
+            for ep in endpoints {
+                scope.spawn(move || {
+                    while let Some(frame) = ep.recv() {
+                        let mut reply = frame.to_vec();
+                        reply.reverse();
+                        if !ep.send(Bytes::from(reply)) {
+                            break;
+                        }
+                    }
+                });
+            }
+            transport.send(0, Bytes::from_static(b"abc")).unwrap();
+            transport.send(1, Bytes::from_static(b"xy")).unwrap();
+            assert_eq!(transport.recv(0).unwrap().as_ref(), b"cba");
+            assert_eq!(transport.recv(1).unwrap().as_ref(), b"yx");
+            assert_eq!(transport.counters().frames(), 4);
+            assert_eq!(transport.counters().bytes(), 10);
+            drop(transport);
+        });
+    }
+
+    #[test]
+    fn in_process_unknown_site_rejected() {
+        let (transport, _endpoints) = InProcessTransport::pair(1);
+        assert_eq!(
+            transport.send(3, Bytes::new()),
+            Err(TransportError::UnknownSite { site: 3 })
+        );
+    }
+
+    #[test]
+    fn in_process_closed_worker_detected() {
+        let (transport, endpoints) = InProcessTransport::pair(1);
+        drop(endpoints);
+        assert_eq!(
+            transport.send(0, Bytes::new()),
+            Err(TransportError::Closed { site: 0 })
+        );
+        assert_eq!(transport.recv(0), Err(TransportError::Closed { site: 0 }));
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().as_ref(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+        // A torn header is also an error, not a clean EOF.
+        let mut cursor = io::Cursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"x");
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Some(frame) = read_frame(&mut stream).unwrap() {
+                let mut reply = frame.to_vec();
+                reply.reverse();
+                write_frame(&mut stream, &reply).unwrap();
+            }
+        });
+        let transport = TcpTransport::connect(&[addr]).unwrap();
+        transport.send(0, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"gnip");
+        assert_eq!(transport.counters().bytes(), 8);
+        drop(transport);
+        server.join().unwrap();
+    }
+}

@@ -131,6 +131,47 @@ impl Fragment {
         self.internal.len()
     }
 
+    /// Rebuild a fragment from its serializable parts (the inverse of
+    /// reading the public fields plus [`Fragment::class_entries`]).
+    /// Adjacency indexes are derived from the edge lists; used by the
+    /// wire codec when shipping a fragment to a remote worker process.
+    pub fn from_parts(
+        id: FragmentId,
+        internal: Vec<VertexId>,
+        extended: Vec<VertexId>,
+        internal_edges: Vec<EdgeRef>,
+        crossing_edges: Vec<EdgeRef>,
+        classes: Vec<(VertexId, Vec<TermId>)>,
+    ) -> Self {
+        let mut fragment = Fragment {
+            id,
+            internal,
+            extended,
+            classes: classes.into_iter().collect(),
+            ..Fragment::default()
+        };
+        for e in internal_edges {
+            fragment.add_edge(e, false);
+        }
+        for e in crossing_edges {
+            fragment.add_edge(e, true);
+        }
+        fragment.finalize();
+        fragment
+    }
+
+    /// The replicated class signatures of stored vertices, sorted by
+    /// vertex id (deterministic order for serialization).
+    pub fn class_entries(&self) -> Vec<(VertexId, &[TermId])> {
+        let mut entries: Vec<(VertexId, &[TermId])> = self
+            .classes
+            .iter()
+            .map(|(&v, cs)| (v, cs.as_slice()))
+            .collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        entries
+    }
+
     fn add_edge(&mut self, e: EdgeRef, crossing: bool) {
         self.out.entry(e.from).or_default().push((e.label, e.to));
         self.inc.entry(e.to).or_default().push((e.label, e.from));

@@ -1,5 +1,5 @@
 //! A from-scratch multilevel min-edge-cut partitioner standing in for
-//! METIS (reference [14] of the paper).
+//! METIS (reference \[14\] of the paper).
 //!
 //! Classic multilevel scheme:
 //!

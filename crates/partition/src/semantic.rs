@@ -1,4 +1,4 @@
-//! Semantic hash partitioning (Lee & Liu, PVLDB 2013 — reference [15] of
+//! Semantic hash partitioning (Lee & Liu, PVLDB 2013 — reference \[15\] of
 //! the paper), reimplemented from scratch at the level of detail the
 //! paper's experiments depend on.
 //!

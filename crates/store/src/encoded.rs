@@ -163,6 +163,41 @@ impl EncodedQuery {
         })
     }
 
+    /// Rebuild an encoded query from its serializable parts (the inverse
+    /// of reading the accessors). The per-vertex edge indexes are derived
+    /// from the edge list; used by the wire codec when shipping a query
+    /// to a remote worker process.
+    ///
+    /// All vectors must be consistent: `required_classes` and `var_names`
+    /// have one entry per vertex, edge endpoints and projection entries
+    /// index into `vertices`.
+    pub fn from_parts(
+        vertices: Vec<EncodedVertex>,
+        edges: Vec<EncodedEdge>,
+        required_classes: Vec<RequiredClasses>,
+        projection: Vec<usize>,
+        var_names: Vec<Option<String>>,
+    ) -> Self {
+        let n = vertices.len();
+        assert_eq!(required_classes.len(), n, "one class entry per vertex");
+        assert_eq!(var_names.len(), n, "one name entry per vertex");
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            out[e.from].push(i);
+            inc[e.to].push(i);
+        }
+        EncodedQuery {
+            vertices,
+            edges,
+            out,
+            inc,
+            required_classes,
+            projection,
+            var_names,
+        }
+    }
+
     /// Number of query vertices `|V^Q|`.
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()

@@ -1,7 +1,7 @@
 //! # gstored-store
 //!
 //! The per-site local evaluation layer: what the paper obtains by
-//! "modifying gStore [25] to perform partial evaluation". Each simulated
+//! "modifying gStore \[25\] to perform partial evaluation". Each simulated
 //! site wraps its [`gstored_partition::Fragment`] in a [`LocalStore`] and
 //! exposes:
 //!
@@ -27,7 +27,7 @@ pub mod matcher;
 pub mod partial;
 
 pub use candidates::{internal_candidates, vertex_candidates, CandidateFilter};
-pub use encoded::{EncodedLabel, EncodedQuery, EncodedVertex, RequiredClasses};
+pub use encoded::{EncodedEdge, EncodedLabel, EncodedQuery, EncodedVertex, RequiredClasses};
 pub use lpm::{Binding, LocalPartialMatch};
 pub use matcher::{find_matches, find_star_matches, local_complete_matches, Adjacency};
 pub use partial::enumerate_local_partial_matches;

@@ -45,7 +45,7 @@ impl LocalPartialMatch {
         self.binding.iter().filter(|b| b.is_some()).count()
     }
 
-    /// The paper's join condition on raw matches ([18], restated in the
+    /// The paper's join condition on raw matches (\[18\], restated in the
     /// proof of Theorem 2): the two LPMs come from different fragments,
     /// share at least one crossing edge matching the same query edge, and
     /// agree on every query vertex bound in both. Additionally no query

@@ -1,0 +1,60 @@
+//! A standalone gStoreD site worker.
+//!
+//! Listens on a TCP address, accepts one coordinator connection at a
+//! time, and serves the engine's protocol: the coordinator installs this
+//! site's graph fragment, then drives the per-query stages (candidate
+//! exchange, partial evaluation, LEC features, LPM shipment) as typed
+//! frames. When the coordinator disconnects, the worker goes back to
+//! accepting — it is a persistent process, stopped by a `Shutdown`
+//! request or by killing it.
+//!
+//! Start one worker per fragment, then point the engine at them:
+//!
+//! ```text
+//! gstored-worker 127.0.0.1:7601 &
+//! gstored-worker 127.0.0.1:7602 &
+//! gstored-worker 127.0.0.1:7603 &
+//! ```
+//!
+//! and in the coordinator:
+//!
+//! ```text
+//! GStoreD::builder()
+//!     .ntriples(data)?
+//!     .partitioner(HashPartitioner::new(3))
+//!     .tcp_workers(["127.0.0.1:7601", "127.0.0.1:7602", "127.0.0.1:7603"])
+//!     .build()?
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let addr = match (args.next(), args.next()) {
+        (Some(addr), None) if addr != "--help" && addr != "-h" => addr,
+        (None, _) => "127.0.0.1:7600".to_string(),
+        _ => {
+            eprintln!("usage: gstored-worker [<host:port>]   (default 127.0.0.1:7600)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gstored-worker: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("gstored-worker: serving on {addr}");
+    match gstored::core::worker::serve_tcp(listener) {
+        Ok(()) => {
+            eprintln!("gstored-worker: shutdown requested, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gstored-worker: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

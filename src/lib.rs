@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 #![doc = include_str!("../README.md")]
 //!
 //! ---
@@ -43,7 +44,7 @@ pub mod prelude {
     pub use crate::session::{
         GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, SessionStats,
     };
-    pub use gstored_core::engine::{Engine, EngineConfig, QueryOutput, Variant};
+    pub use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
     pub use gstored_core::prepared::PreparedPlan;
     pub use gstored_partition::fragment::DistributedGraph;
     pub use gstored_partition::{

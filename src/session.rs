@@ -18,10 +18,12 @@
 //! execution-time split.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use gstored_core::engine::{Engine, EngineConfig, QueryOutput, Variant};
+use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
 use gstored_core::prepared::PreparedPlan;
-use gstored_net::QueryMetrics;
+use gstored_core::EngineError;
+use gstored_net::{QueryMetrics, TcpTransport};
 use gstored_partition::{DistributedGraph, HashPartitioner, PartitionAssignment, Partitioner};
 use gstored_rdf::{parse_ntriples, Dictionary, RdfGraph, Term, Triple, VertexId};
 use gstored_sparql::{parse_query, QueryGraph, ShapeReport};
@@ -141,6 +143,23 @@ impl GStoreDBuilder {
         self
     }
 
+    /// Distributed runtime backend: in-process worker threads (default)
+    /// or remote `gstored-worker` processes over TCP. Both exchange
+    /// byte-identical protocol frames, so results and shipment metrics
+    /// do not depend on this choice.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`GStoreDBuilder::backend`] with [`Backend::Tcp`]:
+    /// one worker address per fragment, in fragment order.
+    pub fn tcp_workers<S: Into<String>>(self, workers: impl IntoIterator<Item = S>) -> Self {
+        self.backend(Backend::Tcp {
+            workers: workers.into_iter().map(Into::into).collect(),
+        })
+    }
+
     /// Build the session: materialize the graph, partition it, validate
     /// the Definition 1 invariants, and stand up the engine.
     pub fn build(self) -> Result<GStoreD, Error> {
@@ -164,6 +183,7 @@ impl GStoreDBuilder {
                 dist,
                 engine: Engine::new(self.config),
                 counters: SessionCounters::default(),
+                remote: Mutex::new(None),
             });
         }
 
@@ -204,6 +224,7 @@ impl GStoreDBuilder {
             dist,
             engine: Engine::new(self.config),
             counters: SessionCounters::default(),
+            remote: Mutex::new(None),
         })
     }
 }
@@ -215,6 +236,12 @@ pub struct GStoreD {
     dist: DistributedGraph,
     engine: Engine,
     counters: SessionCounters,
+    /// For [`Backend::Tcp`]: the connected worker fleet, established (and
+    /// the fragments installed) on first execution and reused for the
+    /// session's lifetime, so repeated executions never re-ship the
+    /// graph. Remote executions serialize on this lock — the workers
+    /// serve one coordinator conversation at a time by design.
+    remote: Mutex<Option<TcpTransport>>,
 }
 
 impl GStoreD {
@@ -267,6 +294,27 @@ impl GStoreD {
         self.dist.fragment_count()
     }
 
+    /// Run a prepared plan on the session's backend. For TCP backends
+    /// the worker connection (and the one-time fragment installation) is
+    /// cached across executions; any execution failure drops the cached
+    /// connection — conservatively, so a possibly-desynchronized stream
+    /// is never reused — and the next execution reconnects afresh.
+    fn run_plan(&self, plan: &PreparedPlan) -> Result<QueryOutput, EngineError> {
+        if !matches!(self.engine.config().backend, Backend::Tcp { .. }) {
+            return self.engine.execute(&self.dist, plan);
+        }
+        let mut remote = self.remote.lock().expect("remote transport poisoned");
+        if remote.is_none() {
+            *remote = Some(self.engine.connect_workers(&self.dist)?);
+        }
+        let transport = remote.as_ref().expect("just connected");
+        let result = self.engine.execute_on(transport, &self.dist, plan);
+        if result.is_err() {
+            *remote = None;
+        }
+        result
+    }
+
     /// Snapshot of the session's prepare/execute counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -302,10 +350,7 @@ pub struct PreparedQuery<'s> {
 impl<'s> PreparedQuery<'s> {
     /// Execute the prepared plan, running only per-execution stages.
     pub fn execute(&self) -> Result<QueryResults<'s>, Error> {
-        let output = self
-            .session
-            .engine
-            .execute(&self.session.dist, &self.plan)?;
+        let output = self.session.run_plan(&self.plan)?;
         self.session
             .counters
             .executions

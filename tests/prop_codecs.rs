@@ -4,10 +4,37 @@
 use proptest::prelude::*;
 
 use gstored::core::lec::LecFeature;
-use gstored::core::protocol;
+use gstored::core::protocol::{self, Request, Response, ResponseBody};
 use gstored::net::{WireReader, WireWriter};
 use gstored::rdf::{EdgeRef, Literal, Term, TermId, Triple};
+use gstored::store::candidates::BitVectorFilter;
 use gstored::store::LocalPartialMatch;
+
+fn arbitrary_lpm(
+    fragment: usize,
+    bindings: &[Option<u64>],
+    crossings: &[(u64, u64, u64, usize)],
+    mask: u64,
+) -> LocalPartialMatch {
+    LocalPartialMatch {
+        fragment,
+        binding: bindings.iter().map(|o| o.map(TermId)).collect(),
+        crossing: crossings
+            .iter()
+            .map(|&(f, l, t, qe)| {
+                (
+                    EdgeRef {
+                        from: TermId(f),
+                        label: TermId(l),
+                        to: TermId(t),
+                    },
+                    qe,
+                )
+            })
+            .collect(),
+        internal_mask: mask,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -124,6 +151,92 @@ proptest! {
         let pretty = q.to_string();
         let q2 = gstored::sparql::parse_query(&pretty).unwrap();
         prop_assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn request_envelope_roundtrip(
+        center in 0usize..64,
+        bits in 64usize..8192,
+        first_id in any::<u32>(),
+        useful in prop::collection::vec(any::<u32>(), 0..32),
+        filter_vertices in prop::collection::vec((0usize..8, 0u64..512), 0..4),
+    ) {
+        let requests = vec![
+            Request::StarMatches { center },
+            Request::ComputeCandidates { bits },
+            Request::SetCandidateFilter {
+                vectors: filter_vertices
+                    .iter()
+                    .map(|&(v, seed)| {
+                        let mut bv = BitVectorFilter::new(256);
+                        bv.insert(TermId(seed));
+                        (v, bv)
+                    })
+                    .collect(),
+            },
+            Request::PartialEval,
+            Request::ComputeLecFeatures { first_id },
+            Request::DropPruned { useful: useful.clone() },
+            Request::ShipSurvivors,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let frame = protocol::encode_request(&req);
+            let decoded = protocol::decode_request(frame.clone()).unwrap();
+            // Request carries non-PartialEq payloads; canonical
+            // re-encoding must be byte-identical.
+            prop_assert_eq!(protocol::encode_request(&decoded), frame);
+        }
+    }
+
+    #[test]
+    fn response_envelope_roundtrip(
+        elapsed_nanos in any::<u64>(),
+        rows in prop::collection::vec(prop::collection::vec(any::<u64>(), 2), 0..8),
+        lpm_count in any::<u64>(),
+        fragment in 0usize..16,
+        bindings in prop::collection::vec(prop::option::of(0u64..10_000), 1..6),
+        crossings in prop::collection::vec((0u64..1000, 0u64..50, 0u64..1000, 0usize..8), 0..3),
+        mask in any::<u64>(),
+        message in "[ -~]{0,40}",
+    ) {
+        let locals: Vec<Vec<TermId>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| TermId(v)).collect())
+            .collect();
+        let lpm = arbitrary_lpm(fragment, &bindings, &crossings, mask);
+        let bodies = vec![
+            ResponseBody::Ack,
+            ResponseBody::Bindings(locals.clone()),
+            ResponseBody::BitVectors(vec![BitVectorFilter::new(128)]),
+            ResponseBody::PartialEval { locals, lpm_count },
+            ResponseBody::Features(vec![LecFeature::of_lpm(&lpm)]),
+            ResponseBody::Survivors(vec![lpm]),
+            ResponseBody::Error(message),
+        ];
+        for body in bodies {
+            let resp = Response { elapsed_nanos, body };
+            let frame = protocol::encode_response(&resp);
+            let decoded = protocol::decode_response(frame).unwrap();
+            prop_assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn response_frame_length_ignores_elapsed(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        lpm_count in any::<u64>(),
+    ) {
+        // Shipment determinism across backends hinges on this: the
+        // elapsed stamp is fixed-width, so timing never changes sizes.
+        let body = ResponseBody::PartialEval { locals: vec![], lpm_count };
+        let fast = Response { elapsed_nanos: a, body: body.clone() };
+        let slow = Response { elapsed_nanos: b, body };
+        prop_assert_eq!(
+            protocol::encode_response(&fast).len(),
+            protocol::encode_response(&slow).len()
+        );
     }
 
     #[test]
