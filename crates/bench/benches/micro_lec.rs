@@ -1,8 +1,11 @@
 //! Micro-benchmarks for the LEC machinery (ablation: Algorithm 1 feature
-//! compression, Algorithm 2 pruning, Algorithm 3 vs basic assembly).
+//! compression, Algorithm 2 pruning, Algorithm 3 vs basic assembly), with
+//! the hash-join Algorithm 3 timed against its frozen pre-PR3 pairwise
+//! implementation on both the YAGO workload and the dense-star stress
+//! case of `bench_pr3`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gstored_bench::{datasets, experiments};
+use gstored_bench::{bench_pr3, datasets, experiments, reference};
 use gstored_core::assembly::{assemble_basic, assemble_lec};
 use gstored_core::lec::compute_lec_features;
 use gstored_core::prune::prune_features;
@@ -44,8 +47,24 @@ fn bench(c: &mut Criterion) {
     group.bench_function("algorithm3_lec_assembly", |b| {
         b.iter(|| criterion::black_box(assemble_lec(&lpms, eq.vertex_count(), &query_edges).len()))
     });
+    group.bench_function("algorithm3_lec_assembly_prepr3", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                reference::assemble_lec_prepr3(&lpms, eq.vertex_count(), &query_edges).len(),
+            )
+        })
+    });
     group.bench_function("basic_assembly", |b| {
         b.iter(|| criterion::black_box(assemble_basic(&lpms, eq.vertex_count()).len()))
+    });
+    let (dense, nv, dense_edges) = bench_pr3::dense_star_lpms(40);
+    group.bench_function("dense_star_lec_assembly", |b| {
+        b.iter(|| criterion::black_box(assemble_lec(&dense, nv, &dense_edges).len()))
+    });
+    group.bench_function("dense_star_lec_assembly_prepr3", |b| {
+        b.iter(|| {
+            criterion::black_box(reference::assemble_lec_prepr3(&dense, nv, &dense_edges).len())
+        })
     });
     group.finish();
 }

@@ -1,0 +1,525 @@
+//! `BENCH_PR3.json`: the repo's committed performance trajectory.
+//!
+//! PR 3 rewrote the two hottest paths — site-local match enumeration and
+//! crossing-match assembly. This module produces the evidence:
+//!
+//! * **trajectory** — per-variant × per-partitioner wall times with
+//!   match/assembly stage breakdowns on the generated LUBM dataset and on
+//!   a crossing-heavy random dataset (where LEC assembly must beat the
+//!   \[18\] `assemble_basic` baseline);
+//! * **micro** — the optimized matcher, LPM enumerator and Algorithm 3
+//!   assembly timed against the frozen pre-PR3 implementations of
+//!   [`crate::reference`] on the `micro_store`/`micro_lec` workloads plus
+//!   a dense-star stress case;
+//! * **acceptance** — the PR's claims, checked at generation time.
+//!
+//! The emitted JSON is schema-checked by [`validate`], which the CI bench
+//! smoke job runs against a small-scale regeneration.
+
+use std::time::Instant;
+
+use gstored_core::assembly::{assemble_basic, assemble_lec};
+use gstored_core::engine::{Engine, Variant};
+use gstored_rdf::{EdgeRef, TermId};
+use gstored_store::candidates::CandidateFilter;
+use gstored_store::{
+    enumerate_local_partial_matches, find_matches, EncodedQuery, LocalPartialMatch,
+};
+
+use crate::datasets::{self, Dataset};
+use crate::experiments::{partition, prepare, query_graph};
+use crate::reference;
+
+/// Identifies the emitted schema; bump when the JSON shape changes.
+pub const SCHEMA: &str = "gstored-bench-pr3/v1";
+
+/// Knobs for one `BENCH_PR3.json` generation.
+#[derive(Debug, Clone)]
+pub struct BenchPr3Config {
+    /// Triples for the LUBM trajectory dataset (the random dataset runs at
+    /// a third of this — its crossing-heavy joins are far denser).
+    pub scale: usize,
+    /// Simulated sites.
+    pub sites: usize,
+    /// Triples for the micro matcher/enumerator workloads.
+    pub micro_scale: usize,
+    /// Leaves of the dense-star assembly stress case.
+    pub dense_star_leaves: usize,
+    /// Timing repetitions per micro measurement (minimum is reported).
+    pub iters: usize,
+}
+
+impl Default for BenchPr3Config {
+    fn default() -> Self {
+        BenchPr3Config {
+            scale: datasets::DEFAULT_SCALE,
+            sites: datasets::DEFAULT_SITES,
+            micro_scale: 8_000,
+            dense_star_leaves: 60,
+            iters: 3,
+        }
+    }
+}
+
+impl BenchPr3Config {
+    /// A tiny configuration for smoke tests and the CI bench job: seconds,
+    /// not minutes, while exercising every code path and schema field.
+    pub fn smoke() -> Self {
+        BenchPr3Config {
+            scale: 2_000,
+            sites: 3,
+            micro_scale: 1_500,
+            dense_star_leaves: 12,
+            iters: 1,
+        }
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Minimum wall time of `f` over `iters` runs, in milliseconds.
+fn time_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        let r = f();
+        let dt = ms_since(t);
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    best
+}
+
+fn num(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// The dense-star assembly stress case: a hub internal to F0 with
+/// `n_leaves` crossing edges per query edge into F1, under the 2-leaf star
+/// query `?c -p-> ?a . ?c -q-> ?b`. F0 contributes `n²` LPMs (every leaf
+/// pair), F1 contributes `2n`, and assembly must produce exactly `n²`
+/// crossing matches. The pre-PR3 pairwise join with its quadratic
+/// `next.contains` dedup is `O(n⁴)` comparisons on this shape; the hash
+/// join is near-linear in the `n²` intermediates.
+///
+/// Returns `(lpms, n_query_vertices, query_edges)`.
+pub fn dense_star_lpms(n_leaves: usize) -> (Vec<LocalPartialMatch>, usize, Vec<(usize, usize)>) {
+    let query_edges = vec![(0usize, 1usize), (0usize, 2usize)];
+    let hub = TermId(1_000_000);
+    let (p, q) = (TermId(500), TermId(501));
+    let leaf = |i: usize| TermId(1 + i as u64);
+    let edge = |label: TermId, to: TermId| EdgeRef {
+        from: hub,
+        label,
+        to,
+    };
+    let mut lpms = Vec::new();
+    // F0: core {c} -> hub, boundary a,b over every leaf pair.
+    for i in 0..n_leaves {
+        for j in 0..n_leaves {
+            lpms.push(LocalPartialMatch {
+                fragment: 0,
+                binding: vec![Some(hub), Some(leaf(i)), Some(leaf(j))],
+                crossing: vec![(edge(p, leaf(i)), 0), (edge(q, leaf(j)), 1)],
+                internal_mask: 0b001,
+            });
+        }
+    }
+    // F1: each leaf internal, the hub extended.
+    for i in 0..n_leaves {
+        lpms.push(LocalPartialMatch {
+            fragment: 1,
+            binding: vec![Some(hub), Some(leaf(i)), None],
+            crossing: vec![(edge(p, leaf(i)), 0)],
+            internal_mask: 0b010,
+        });
+        lpms.push(LocalPartialMatch {
+            fragment: 1,
+            binding: vec![Some(hub), None, Some(leaf(i))],
+            crossing: vec![(edge(q, leaf(i)), 1)],
+            internal_mask: 0b100,
+        });
+    }
+    (lpms, 3, query_edges)
+}
+
+/// One trajectory row: a query under one (dataset, partitioner, variant).
+fn query_json(id: &str, out: &gstored_core::engine::QueryOutput) -> String {
+    let m = &out.metrics;
+    let ms = |d: std::time::Duration| num(d.as_secs_f64() * 1e3);
+    format!(
+        "{{\"id\": \"{id}\", \"total_ms\": {}, \"candidates_ms\": {}, \"partial_eval_ms\": {}, \
+         \"lec_ms\": {}, \"assembly_ms\": {}, \"lpms\": {}, \"survivors\": {}, \"matches\": {}}}",
+        ms(m.total_time()),
+        ms(m.candidates.response_time()),
+        ms(m.partial_evaluation.response_time()),
+        ms(m.lec_optimization.response_time()),
+        ms(m.assembly.response_time()),
+        m.local_partial_matches,
+        m.surviving_partial_matches,
+        m.total_matches(),
+    )
+}
+
+/// The per-variant × per-partitioner sweep over one dataset's non-star
+/// queries. Returns the JSON object for the dataset plus, for the
+/// acceptance check, the summed total per (partitioner, variant).
+fn trajectory_dataset(dataset: &Dataset, sites: usize) -> (String, Vec<(String, Variant, f64)>) {
+    let mut totals = Vec::new();
+    let mut partitioner_blocks = Vec::new();
+    for strategy in ["hash", "semantic", "metis"] {
+        let dist = partition(dataset.graph.clone(), strategy, sites);
+        let mut variant_blocks = Vec::new();
+        for variant in Variant::ALL {
+            let engine = Engine::with_variant(variant);
+            let mut rows = Vec::new();
+            let mut sum_ms = 0.0;
+            for q in dataset.queries.iter().filter(|q| !q.is_star()) {
+                let plan = prepare(&dist, q);
+                let out = engine
+                    .execute(&dist, &plan)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+                sum_ms += out.metrics.total_time().as_secs_f64() * 1e3;
+                rows.push(query_json(q.id, &out));
+            }
+            totals.push((strategy.to_string(), variant, sum_ms));
+            variant_blocks.push(format!(
+                "{{\"variant\": \"{}\", \"total_ms\": {}, \"queries\": [{}]}}",
+                variant.label(),
+                num(sum_ms),
+                rows.join(", ")
+            ));
+        }
+        partitioner_blocks.push(format!(
+            "{{\"partitioner\": \"{strategy}\", \"variants\": [{}]}}",
+            variant_blocks.join(", ")
+        ));
+    }
+    let block = format!(
+        "{{\"dataset\": \"{}\", \"partitioners\": [{}]}}",
+        dataset.name,
+        partitioner_blocks.join(", ")
+    );
+    (block, totals)
+}
+
+fn micro_bench_json(bench: &str, pre_ms: f64, pr3_ms: f64) -> (String, f64) {
+    let speedup = pre_ms / pr3_ms.max(1e-6);
+    (
+        format!(
+            "{{\"bench\": \"{bench}\", \"pre_pr3_ms\": {}, \"pr3_ms\": {}, \"speedup\": {}}}",
+            num(pre_ms),
+            num(pr3_ms),
+            num(speedup)
+        ),
+        speedup,
+    )
+}
+
+/// Generate the full `BENCH_PR3.json` document.
+pub fn run(config: &BenchPr3Config) -> String {
+    // --- Trajectory: LUBM + crossing-heavy random ---
+    let lubm = datasets::lubm(config.scale);
+    let random = datasets::random_dense((config.scale / 3).max(300));
+    let (lubm_block, _) = trajectory_dataset(&lubm, config.sites);
+    let (random_block, random_totals) = trajectory_dataset(&random, config.sites);
+
+    // Acceptance: on the crossing-heavy workload the LEC-assembly variant
+    // must beat assemble_basic under every partitioner.
+    let lec_beats_basic = ["hash", "semantic", "metis"].iter().all(|s| {
+        let total = |v: Variant| {
+            random_totals
+                .iter()
+                .find(|(p, pv, _)| p == s && *pv == v)
+                .map(|&(_, _, t)| t)
+                .expect("sweep covers all variants")
+        };
+        total(Variant::LecAssembly) < total(Variant::Basic)
+    });
+
+    // --- Micro: optimized vs frozen pre-PR3 implementations ---
+    let micro = datasets::lubm(config.micro_scale);
+    let dist = partition(micro.graph.clone(), "hash", 4);
+    let lq7 = micro
+        .queries
+        .iter()
+        .find(|q| q.id == "LQ7")
+        .expect("LQ7 exists");
+    let eq = EncodedQuery::encode(&query_graph(lq7), dist.dict()).expect("encodable");
+    let filter = CandidateFilter::none(eq.vertex_count());
+    let fragment = &dist.fragments[0];
+
+    let it = config.iters;
+    let mut benches = Vec::new();
+    let mut speedups = Vec::new();
+
+    let pre = time_ms(it, || {
+        reference::find_matches_prepr3(&micro.graph, &eq).len()
+    });
+    let new = time_ms(it, || find_matches(&micro.graph, &eq).len());
+    let (j, s) = micro_bench_json("micro_store/centralized_matching", pre, new);
+    benches.push(j);
+    speedups.push(s);
+
+    let pre = time_ms(it, || {
+        reference::enumerate_lpms_prepr3(fragment, &eq, &filter).len()
+    });
+    let new = time_ms(it, || {
+        enumerate_local_partial_matches(fragment, &eq, &filter).len()
+    });
+    let (j, s) = micro_bench_json("micro_store/lpm_enumeration", pre, new);
+    benches.push(j);
+    speedups.push(s);
+
+    let (lpms, nv, qedges) = dense_star_lpms(config.dense_star_leaves);
+    let pre = time_ms(it, || {
+        reference::assemble_lec_prepr3(&lpms, nv, &qedges).len()
+    });
+    let new = time_ms(it, || assemble_lec(&lpms, nv, &qedges).len());
+    let (j, s) = micro_bench_json("micro_lec/algorithm3_lec_assembly_dense_star", pre, new);
+    benches.push(j);
+    speedups.push(s);
+    let min_speedup = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Crossing-heavy assembly head-to-head on the random dataset's
+    // survivors (no pruning, so both see the same LPM set).
+    let rnd_dist = partition(random.graph.clone(), "hash", config.sites);
+    let rq = &random.queries[0];
+    let rq_eq = EncodedQuery::encode(&query_graph(rq), rnd_dist.dict()).expect("encodable");
+    let rq_filter = CandidateFilter::none(rq_eq.vertex_count());
+    let rq_lpms: Vec<LocalPartialMatch> = rnd_dist
+        .fragments
+        .iter()
+        .flat_map(|f| enumerate_local_partial_matches(f, &rq_eq, &rq_filter))
+        .collect();
+    let rq_edges: Vec<(usize, usize)> = rq_eq.edges().iter().map(|e| (e.from, e.to)).collect();
+    let basic_ms = time_ms(it, || assemble_basic(&rq_lpms, rq_eq.vertex_count()).len());
+    let lec_ms = time_ms(it, || {
+        assemble_lec(&rq_lpms, rq_eq.vertex_count(), &rq_edges).len()
+    });
+    benches.push(format!(
+        "{{\"bench\": \"assembly/crossing_heavy_{}_lpms\", \"basic_ms\": {}, \"lec_ms\": {}, \
+         \"speedup\": {}}}",
+        rq_lpms.len(),
+        num(basic_ms),
+        num(lec_ms),
+        num(basic_ms / lec_ms.max(1e-6))
+    ));
+
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {{\"scale\": {}, \"sites\": {}, \
+         \"micro_scale\": {}, \"dense_star_leaves\": {}, \"iters\": {}}},\n  \
+         \"trajectory\": {{\"datasets\": [\n    {},\n    {}\n  ]}},\n  \
+         \"micro\": {{\"units\": \"ms, min over iters\", \"benches\": [\n    {}\n  ]}},\n  \
+         \"acceptance\": {{\"lec_beats_basic_on_crossing_heavy\": {}, \
+         \"min_micro_speedup\": {}}}\n}}\n",
+        config.scale,
+        config.sites,
+        config.micro_scale,
+        config.dense_star_leaves,
+        config.iters,
+        lubm_block,
+        random_block,
+        benches.join(",\n    "),
+        lec_beats_basic,
+        num(min_speedup),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation (used by the CI bench smoke job).
+// ---------------------------------------------------------------------------
+
+/// Check that `json` is syntactically valid JSON and carries the
+/// `BENCH_PR3.json` schema: the schema tag, a trajectory with both
+/// datasets, micro benches with speedups, and the acceptance block.
+pub fn validate(json: &str) -> Result<(), String> {
+    let bytes = json.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    for needle in [
+        &format!("\"schema\": \"{SCHEMA}\"") as &str,
+        "\"config\"",
+        "\"trajectory\"",
+        "\"datasets\"",
+        "\"dataset\": \"LUBM\"",
+        "\"dataset\": \"RANDOM\"",
+        "\"partitioner\": \"hash\"",
+        "\"partitioner\": \"semantic\"",
+        "\"partitioner\": \"metis\"",
+        "\"variant\": \"gStoreD-Basic\"",
+        "\"variant\": \"gStoreD-LA\"",
+        "\"variant\": \"gStoreD-LO\"",
+        "\"variant\": \"gStoreD\"",
+        "\"partial_eval_ms\"",
+        "\"assembly_ms\"",
+        "\"micro\"",
+        "\"pre_pr3_ms\"",
+        "\"speedup\"",
+        "\"acceptance\"",
+        "\"lec_beats_basic_on_crossing_heavy\"",
+        "\"min_micro_speedup\"",
+    ] {
+        if !json.contains(needle) {
+            return Err(format!("schema key missing: {needle}"));
+        }
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Minimal recursive-descent JSON syntax check (no value materialization).
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => parse_string(b, pos),
+        b't' => parse_lit(b, pos, "true"),
+        b'f' => parse_lit(b, pos, "false"),
+        b'n' => parse_lit(b, pos, "null"),
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|_| ())
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        other => Err(format!("unexpected byte {other:#x} at {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => {
+                *pos += 1; // skip escaped byte (no \u validation needed here)
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", c as char))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_star_lpms_have_the_documented_shape() {
+        let (lpms, nv, qedges) = dense_star_lpms(5);
+        assert_eq!(nv, 3);
+        assert_eq!(qedges.len(), 2);
+        assert_eq!(lpms.len(), 25 + 10);
+        let out = assemble_lec(&lpms, nv, &qedges);
+        assert_eq!(out.len(), 25, "n² crossing matches");
+    }
+
+    #[test]
+    fn validator_accepts_real_output_and_rejects_garbage() {
+        let json = run(&BenchPr3Config::smoke());
+        validate(&json).unwrap_or_else(|e| panic!("{e}\n---\n{json}"));
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err(), "schema keys required");
+        let broken = json.replace("\"trajectory\"", "\"notrajectory\"");
+        assert!(validate(&broken).is_err());
+        let syntax = format!("{json},");
+        assert!(validate(&syntax).is_err());
+    }
+
+    #[test]
+    fn smoke_run_reports_lec_beating_basic() {
+        let json = run(&BenchPr3Config::smoke());
+        // The acceptance flag is computed, not hard-coded; even at smoke
+        // scale the LEC variant must not lose to the baseline.
+        assert!(
+            json.contains("\"lec_beats_basic_on_crossing_heavy\": true"),
+            "{json}"
+        );
+    }
+}

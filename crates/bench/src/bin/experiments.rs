@@ -3,43 +3,57 @@
 //! ```text
 //! experiments [table1|table2|table3|table4|fig9|fig10|fig11|fig12|all]
 //!             [--scale N] [--sites K] [--markdown]
+//! experiments bench-pr3 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
 //! cluster size). `--markdown` prints GitHub tables for EXPERIMENTS.md.
+//!
+//! `bench-pr3` regenerates the repo's committed performance trajectory:
+//! it writes `BENCH_PR3.json` (or `--out PATH`), validates it against the
+//! expected schema, and exits non-zero when validation fails. `--smoke`
+//! runs the tiny CI configuration.
 
-use gstored_bench::{datasets, experiments, format::Table};
+use gstored_bench::{bench_pr3, datasets, experiments, format::Table};
 
 struct Args {
     what: Vec<String>,
-    scale: usize,
-    sites: usize,
+    scale: Option<usize>,
+    sites: Option<usize>,
     markdown: bool,
+    smoke: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         what: Vec::new(),
-        scale: datasets::DEFAULT_SCALE,
-        sites: datasets::DEFAULT_SITES,
+        scale: None,
+        sites: None,
         markdown: false,
+        smoke: false,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number");
+                args.scale = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number"),
+                );
             }
             "--sites" => {
-                args.sites = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--sites needs a number");
+                args.sites = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sites needs a number"),
+                );
             }
             "--markdown" => args.markdown = true,
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
             other => args.what.push(other.to_string()),
         }
     }
@@ -47,6 +61,30 @@ fn parse_args() -> Args {
         args.what.push("all".to_string());
     }
     args
+}
+
+fn run_bench_pr3(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr3::BenchPr3Config::smoke()
+    } else {
+        bench_pr3::BenchPr3Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+        config.micro_scale = config.micro_scale.min(scale);
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR3.json");
+    eprintln!("# bench-pr3: {config:?} -> {path}");
+    let json = bench_pr3::run(&config);
+    if let Err(e) = bench_pr3::validate(&json) {
+        eprintln!("bench-pr3: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr3: wrote {} bytes, schema OK", json.len());
 }
 
 fn emit(table: Table, markdown: bool) {
@@ -59,78 +97,81 @@ fn emit(table: Table, markdown: bool) {
 
 fn main() {
     let args = parse_args();
+    if args.what.iter().any(|w| w == "bench-pr3") {
+        if args.what.len() > 1 {
+            let others: Vec<&str> = args
+                .what
+                .iter()
+                .map(String::as_str)
+                .filter(|w| *w != "bench-pr3")
+                .collect();
+            eprintln!(
+                "warning: bench-pr3 runs alone; ignoring {}",
+                others.join(", ")
+            );
+        }
+        run_bench_pr3(&args);
+        return;
+    }
+    if args.smoke || args.out.is_some() {
+        eprintln!("warning: --smoke/--out only apply to bench-pr3; ignoring");
+    }
+    let scale = args.scale.unwrap_or(datasets::DEFAULT_SCALE);
+    let sites = args.sites.unwrap_or(datasets::DEFAULT_SITES);
     let wants = |k: &str| args.what.iter().any(|w| w == k || w == "all");
-    eprintln!(
-        "# gstored-rs experiments: scale={} triples/dataset, sites={}",
-        args.scale, args.sites
-    );
+    eprintln!("# gstored-rs experiments: scale={scale} triples/dataset, sites={sites}");
 
     if wants("table1") {
-        let d = datasets::lubm(args.scale);
-        emit(
-            experiments::table_stage_breakdown(&d, args.sites),
-            args.markdown,
-        );
+        let d = datasets::lubm(scale);
+        emit(experiments::table_stage_breakdown(&d, sites), args.markdown);
     }
     if wants("table2") {
-        let d = datasets::yago(args.scale);
-        emit(
-            experiments::table_stage_breakdown(&d, args.sites),
-            args.markdown,
-        );
+        let d = datasets::yago(scale);
+        emit(experiments::table_stage_breakdown(&d, sites), args.markdown);
     }
     if wants("table3") {
-        let d = datasets::btc(args.scale);
-        emit(
-            experiments::table_stage_breakdown(&d, args.sites),
-            args.markdown,
-        );
+        let d = datasets::btc(scale);
+        emit(experiments::table_stage_breakdown(&d, sites), args.markdown);
     }
     if wants("table4") {
-        let lubm = datasets::lubm(args.scale);
-        let yago = datasets::yago(args.scale);
+        let lubm = datasets::lubm(scale);
+        let yago = datasets::yago(scale);
         emit(
-            experiments::table_partitioning_costs(&[&yago, &lubm], args.sites),
+            experiments::table_partitioning_costs(&[&yago, &lubm], sites),
             args.markdown,
         );
     }
     if wants("fig9") {
-        for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
-            emit(
-                experiments::fig_optimizations(&d, args.sites),
-                args.markdown,
-            );
+        for d in [datasets::lubm(scale), datasets::yago(scale)] {
+            emit(experiments::fig_optimizations(&d, sites), args.markdown);
         }
     }
     if wants("fig10") {
-        for d in [datasets::lubm(args.scale), datasets::yago(args.scale)] {
-            emit(
-                experiments::fig_partitionings(&d, args.sites),
-                args.markdown,
-            );
+        for d in [datasets::lubm(scale), datasets::yago(scale)] {
+            emit(experiments::fig_partitionings(&d, sites), args.markdown);
         }
     }
     if wants("fig11") {
         emit(
-            experiments::fig_scalability(datasets::lubm, args.scale / 2, args.sites),
+            experiments::fig_scalability(datasets::lubm, scale / 2, sites),
             args.markdown,
         );
     }
     if wants("fig12") {
         for d in [
-            datasets::yago(args.scale),
-            datasets::lubm(args.scale),
-            datasets::btc(args.scale),
+            datasets::yago(scale),
+            datasets::lubm(scale),
+            datasets::btc(scale),
         ] {
-            emit(experiments::fig_comparison(&d, args.sites), args.markdown);
+            emit(experiments::fig_comparison(&d, sites), args.markdown);
         }
     }
     if wants("ablation") {
         // Not in the paper: the Algorithm 4 bit-vector size trade-off,
         // measurable here because shipment accounting is byte-accurate.
-        let d = datasets::yago(args.scale);
+        let d = datasets::yago(scale);
         emit(
-            experiments::ablation_candidate_bits(&d, args.sites),
+            experiments::ablation_candidate_bits(&d, sites),
             args.markdown,
         );
     }

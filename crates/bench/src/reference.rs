@@ -1,0 +1,614 @@
+//! Frozen **pre-PR3** implementations of the two hot paths, kept as
+//! benchmark baselines only.
+//!
+//! PR 3 rewrote the site-local matcher (neighbor-driven enumeration) and
+//! Algorithm 3's `ComParJoin` (hash join on the shared-query-vertex
+//! binding signature). These are byte-faithful copies of the previous
+//! implementations — the per-depth full-candidate-list scan, the
+//! linear-scan `checked.contains` consistency dedup, the pairwise
+//! `joinable` nested loop and the quadratic `next.contains` dedup — so
+//! that `BENCH_PR3.json` and the `micro_store`/`micro_lec` benches can
+//! measure the optimized paths against the exact code they replaced, on
+//! any machine, forever.
+//!
+//! Nothing here is called by the engine. Do not "fix" these: their
+//! inefficiency is the point.
+
+use std::collections::HashSet;
+
+use gstored_core::lec::LecFeature;
+use gstored_core::prune::{build_join_graph, FeatureGroup};
+use gstored_partition::Fragment;
+use gstored_rdf::{EdgeRef, RdfGraph, TermId, VertexId};
+use gstored_store::candidates::CandidateFilter;
+use gstored_store::labels::{label_matches, labels_assignment, labels_satisfiable};
+use gstored_store::{
+    vertex_candidates, Adjacency, EncodedLabel, EncodedQuery, EncodedVertex, LocalPartialMatch,
+};
+
+// ---------------------------------------------------------------------------
+// Pre-PR3 matcher: candidate-ordered backtracking with a full scan of the
+// per-vertex candidate list at every depth.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR3 `find_matches`: all homomorphic matches over the full graph.
+pub fn find_matches_prepr3(graph: &RdfGraph, q: &EncodedQuery) -> Vec<Vec<VertexId>> {
+    if q.has_unsatisfiable() {
+        return Vec::new();
+    }
+    let mut universe: Vec<VertexId> = graph.vertices().collect();
+    universe.sort_unstable();
+    search(graph, q, &universe)
+}
+
+fn search<A: Adjacency>(adj: &A, q: &EncodedQuery, universe: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let n = q.vertex_count();
+    let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    for qv in 0..n {
+        let c = vertex_candidates(adj, q, qv, universe);
+        if c.is_empty() {
+            return Vec::new();
+        }
+        cands.push(c);
+    }
+    let order = matching_order(q, &cands);
+    let mut binding: Vec<Option<VertexId>> = vec![None; n];
+    let mut out = Vec::new();
+    extend(adj, q, &order, 0, &mut binding, &cands, &mut out);
+    out
+}
+
+fn matching_order(q: &EncodedQuery, cands: &[Vec<VertexId>]) -> Vec<usize> {
+    let n = q.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let first = (0..n)
+        .min_by_key(|&v| cands[v].len())
+        .expect("non-empty query");
+    order.push(first);
+    placed[first] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&v| !placed[v])
+            .min_by_key(|&v| {
+                let connected = q.neighbors(v).iter().any(|&u| placed[u]);
+                (if connected { 0 } else { 1 }, cands[v].len())
+            })
+            .expect("loop bounded by n");
+        order.push(next);
+        placed[next] = true;
+    }
+    order
+}
+
+fn extend<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Vec<Option<VertexId>>,
+    cands: &[Vec<VertexId>],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if depth == order.len() {
+        out.push(
+            binding
+                .iter()
+                .map(|b| b.expect("complete binding"))
+                .collect(),
+        );
+        return;
+    }
+    let qv = order[depth];
+    // The pre-PR3 hot spot: every candidate of qv is scanned and verified,
+    // regardless of how few of them are adjacent to the bound neighbors.
+    for &u in &cands[qv] {
+        binding[qv] = Some(u);
+        if consistent(adj, q, qv, binding) {
+            extend(adj, q, order, depth + 1, binding, cands, out);
+        }
+    }
+    binding[qv] = None;
+}
+
+fn consistent<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+) -> bool {
+    pairs_consistent(adj, q, qv, binding, |_| true)
+}
+
+fn pairs_consistent<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+    relevant: impl Fn(usize) -> bool,
+) -> bool {
+    // The pre-PR3 dedup: a Vec allocated per call, scanned linearly.
+    let mut checked: Vec<(usize, bool)> = Vec::new();
+    for &ei in q.out_edges(qv) {
+        let e = q.edge(ei);
+        if binding[e.to].is_some() && relevant(e.to) && !checked.contains(&(e.to, true)) {
+            checked.push((e.to, true));
+        }
+    }
+    for &ei in q.in_edges(qv) {
+        let e = q.edge(ei);
+        if binding[e.from].is_some() && relevant(e.from) && !checked.contains(&(e.from, false)) {
+            checked.push((e.from, false));
+        }
+    }
+    for (other, qv_is_source) in checked {
+        let (src_q, dst_q) = if qv_is_source {
+            (qv, other)
+        } else {
+            (other, qv)
+        };
+        let src_u = binding[src_q].expect("both bound");
+        let dst_u = binding[dst_q].expect("both bound");
+        let q_labels: Vec<EncodedLabel> = q
+            .out_edges(src_q)
+            .iter()
+            .filter(|&&ei| q.edge(ei).to == dst_q)
+            .map(|&ei| q.edge(ei).label)
+            .collect();
+        let d_labels: Vec<TermId> = adj
+            .out_edges(src_u)
+            .iter()
+            .filter(|&&(_, t)| t == dst_u)
+            .map(|&(l, _)| l)
+            .collect();
+        if !labels_satisfiable(&q_labels, &d_labels) {
+            return false;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR3 LPM enumerator: the same connected-core decomposition, with the
+// full-candidate-scan extension and allocating consistency checks.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR3 `enumerate_local_partial_matches` (Definition 5).
+pub fn enumerate_lpms_prepr3(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    filter: &CandidateFilter,
+) -> Vec<LocalPartialMatch> {
+    let n = q.vertex_count();
+    assert!(n <= 64, "LECSign masks are 64-bit");
+    if q.has_unsatisfiable() || fragment.crossing_edges.is_empty() {
+        return Vec::new();
+    }
+    let internal_cands: Vec<Vec<VertexId>> = (0..n)
+        .map(|qv| vertex_candidates(fragment, q, qv, &fragment.internal))
+        .collect();
+    let mut out = Vec::new();
+    'subsets: for core in q.proper_connected_subsets() {
+        for &qv in &core {
+            if internal_cands[qv].is_empty() {
+                continue 'subsets;
+            }
+        }
+        enumerate_for_core(fragment, q, &core, &internal_cands, filter, &mut out);
+    }
+    out
+}
+
+fn enumerate_for_core(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    core: &[usize],
+    internal_cands: &[Vec<VertexId>],
+    filter: &CandidateFilter,
+    out: &mut Vec<LocalPartialMatch>,
+) {
+    let n = q.vertex_count();
+    let in_core = {
+        let mut m = vec![false; n];
+        for &v in core {
+            m[v] = true;
+        }
+        m
+    };
+    let mut boundary: Vec<usize> = core
+        .iter()
+        .flat_map(|&v| q.neighbors(v))
+        .filter(|&u| !in_core[u])
+        .collect();
+    boundary.sort_unstable();
+    boundary.dedup();
+
+    let order = {
+        let mut order: Vec<usize> = Vec::with_capacity(core.len() + boundary.len());
+        let mut placed = vec![false; n];
+        let first = core
+            .iter()
+            .copied()
+            .min_by_key(|&v| internal_cands[v].len())
+            .expect("core is non-empty");
+        order.push(first);
+        placed[first] = true;
+        while order.len() < core.len() {
+            let next = core
+                .iter()
+                .copied()
+                .filter(|&v| !placed[v])
+                .min_by_key(|&v| {
+                    let connected = q.neighbors(v).iter().any(|&u| placed[u]);
+                    (if connected { 0 } else { 1 }, internal_cands[v].len())
+                })
+                .expect("loop bounded by |core|");
+            order.push(next);
+            placed[next] = true;
+        }
+        order.extend(boundary.iter().copied());
+        order
+    };
+
+    let mut binding: Vec<Option<VertexId>> = vec![None; n];
+    extend_lpm(
+        fragment,
+        q,
+        &order,
+        core.len(),
+        0,
+        &in_core,
+        internal_cands,
+        filter,
+        &mut binding,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_lpm(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    order: &[usize],
+    core_len: usize,
+    depth: usize,
+    in_core: &[bool],
+    internal_cands: &[Vec<VertexId>],
+    filter: &CandidateFilter,
+    binding: &mut Vec<Option<VertexId>>,
+    out: &mut Vec<LocalPartialMatch>,
+) {
+    if depth == order.len() {
+        out.push(materialize(fragment, q, in_core, binding));
+        return;
+    }
+    let qv = order[depth];
+    if depth < core_len {
+        for &u in &internal_cands[qv] {
+            binding[qv] = Some(u);
+            if pairs_consistent(fragment, q, qv, binding, |_| true) {
+                extend_lpm(
+                    fragment,
+                    q,
+                    order,
+                    core_len,
+                    depth + 1,
+                    in_core,
+                    internal_cands,
+                    filter,
+                    binding,
+                    out,
+                );
+            }
+        }
+        binding[qv] = None;
+    } else {
+        for u in boundary_candidates(fragment, q, qv, binding, in_core) {
+            if !filter.admits_extended(qv, u) {
+                continue;
+            }
+            binding[qv] = Some(u);
+            if pairs_consistent(fragment, q, qv, binding, |other| in_core[other]) {
+                extend_lpm(
+                    fragment,
+                    q,
+                    order,
+                    core_len,
+                    depth + 1,
+                    in_core,
+                    internal_cands,
+                    filter,
+                    binding,
+                    out,
+                );
+            }
+        }
+        binding[qv] = None;
+    }
+}
+
+fn boundary_candidates(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+    in_core: &[bool],
+) -> Vec<VertexId> {
+    let Some(required) = q.required_classes(qv).ids() else {
+        return Vec::new();
+    };
+    let class_ok = |u: VertexId| fragment.has_classes(u, required);
+    if let EncodedVertex::Const(id) = q.vertex(qv) {
+        return if fragment.is_extended(id) && class_ok(id) {
+            vec![id]
+        } else {
+            Vec::new()
+        };
+    }
+    for &ei in q.in_edges(qv) {
+        let e = q.edge(ei);
+        if in_core[e.from] {
+            let fu = binding[e.from].expect("core bound first");
+            let mut c: Vec<VertexId> = fragment
+                .out_edges(fu)
+                .iter()
+                .filter(|&&(l, t)| {
+                    label_matches(e.label, l) && fragment.is_extended(t) && class_ok(t)
+                })
+                .map(|&(_, t)| t)
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            return c;
+        }
+    }
+    for &ei in q.out_edges(qv) {
+        let e = q.edge(ei);
+        if in_core[e.to] {
+            let fu = binding[e.to].expect("core bound first");
+            let mut c: Vec<VertexId> = fragment
+                .in_edges(fu)
+                .iter()
+                .filter(|&&(l, s)| {
+                    label_matches(e.label, l) && fragment.is_extended(s) && class_ok(s)
+                })
+                .map(|&(_, s)| s)
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            return c;
+        }
+    }
+    unreachable!("boundary vertex must touch the core");
+}
+
+fn materialize(
+    fragment: &Fragment,
+    q: &EncodedQuery,
+    in_core: &[bool],
+    binding: &[Option<VertexId>],
+) -> LocalPartialMatch {
+    let mut internal_mask = 0u64;
+    for (v, &c) in in_core.iter().enumerate() {
+        if c {
+            internal_mask |= 1 << v;
+        }
+    }
+    let mut crossing: Vec<(EdgeRef, usize)> = Vec::new();
+    let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+    for (i, e) in q.edges().iter().enumerate() {
+        let matched = binding[e.from].is_some()
+            && binding[e.to].is_some()
+            && (in_core[e.from] || in_core[e.to]);
+        if !matched {
+            continue;
+        }
+        let key = (e.from, e.to);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    for ((src_q, dst_q), edge_idxs) in groups {
+        let src_u = binding[src_q].expect("bound");
+        let dst_u = binding[dst_q].expect("bound");
+        let q_labels: Vec<EncodedLabel> = edge_idxs.iter().map(|&i| q.edge(i).label).collect();
+        let d_labels: Vec<TermId> = fragment
+            .out_edges(src_u)
+            .iter()
+            .filter(|&&(_, t)| t == dst_u)
+            .map(|&(l, _)| l)
+            .collect();
+        let assignment = labels_assignment(&q_labels, &d_labels)
+            .expect("consistency was verified during search");
+        let is_crossing = in_core[src_q] != in_core[dst_q];
+        if is_crossing {
+            for (pos, &qe) in edge_idxs.iter().enumerate() {
+                let data_edge = EdgeRef {
+                    from: src_u,
+                    label: d_labels[assignment[pos]],
+                    to: dst_u,
+                };
+                crossing.push((data_edge, qe));
+            }
+        }
+    }
+    crossing.sort_unstable_by_key(|&(_, qe)| qe);
+    LocalPartialMatch {
+        fragment: fragment.id,
+        binding: binding.to_vec(),
+        crossing,
+        internal_mask,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR3 Algorithm 3: pairwise ComParJoin with quadratic dedup.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR3 `assemble_lec`: LECSign grouping with a linear-scan group-by, a
+/// pairwise `joinable` nested loop per frontier group and an `O(n²)`
+/// `next.contains` dedup — the join the PR3 hash join replaced.
+#[allow(clippy::while_let_loop)] // frozen copy: the loop body mutates `alive`
+pub fn assemble_lec_prepr3(
+    lpms: &[LocalPartialMatch],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+) -> Vec<Vec<VertexId>> {
+    if lpms.is_empty() {
+        return Vec::new();
+    }
+    let mut groups: Vec<(u64, Vec<&LocalPartialMatch>)> = Vec::new();
+    for lpm in lpms {
+        match groups.iter_mut().find(|(s, _)| *s == lpm.internal_mask) {
+            Some((_, v)) => v.push(lpm),
+            None => groups.push((lpm.internal_mask, vec![lpm])),
+        }
+    }
+    let feature_groups: Vec<FeatureGroup> = groups
+        .iter()
+        .map(|(sign, members)| {
+            let mut features: Vec<LecFeature> = Vec::new();
+            for m in members {
+                let f = LecFeature::of_lpm(m);
+                if !features.iter().any(|g| g.key() == f.key()) {
+                    features.push(f);
+                }
+            }
+            FeatureGroup {
+                sign: *sign,
+                features,
+            }
+        })
+        .collect();
+    let adj = build_join_graph(&feature_groups, query_edges);
+
+    let mut found: HashSet<Vec<VertexId>> = HashSet::new();
+    let mut alive = vec![true; groups.len()];
+    loop {
+        let Some(vmin) = (0..groups.len())
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| groups[v].1.len())
+        else {
+            break;
+        };
+        let seed: Vec<LocalPartialMatch> = groups[vmin].1.iter().map(|m| (*m).clone()).collect();
+        com_par_join_prepr3(
+            &mut vec![vmin],
+            seed,
+            &groups,
+            &adj,
+            &alive,
+            n_query_vertices,
+            &mut found,
+        );
+        alive[vmin] = false;
+        loop {
+            let mut removed = false;
+            for v in 0..groups.len() {
+                if alive[v] && !adj[v].iter().any(|&u| alive[u]) {
+                    alive[v] = false;
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+    let mut out: Vec<Vec<VertexId>> = found.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+fn com_par_join_prepr3(
+    visited: &mut Vec<usize>,
+    current: Vec<LocalPartialMatch>,
+    groups: &[(u64, Vec<&LocalPartialMatch>)],
+    adj: &[Vec<usize>],
+    alive: &[bool],
+    n_query_vertices: usize,
+    found: &mut HashSet<Vec<VertexId>>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    let mut frontier: Vec<usize> = visited
+        .iter()
+        .flat_map(|&v| adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited.contains(&u))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+
+    for v in frontier {
+        let mut next: Vec<LocalPartialMatch> = Vec::new();
+        for a in &current {
+            for b in &groups[v].1 {
+                if !a.joinable(b) {
+                    continue;
+                }
+                let joined = a.join(b);
+                if joined.is_complete(n_query_vertices) {
+                    if let Some(binding) = joined.complete_binding() {
+                        found.insert(binding);
+                    }
+                } else if !next.contains(&joined) {
+                    next.push(joined);
+                }
+            }
+        }
+        if !next.is_empty() {
+            visited.push(v);
+            com_par_join_prepr3(visited, next, groups, adj, alive, n_query_vertices, found);
+            visited.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, experiments};
+    use gstored_core::assembly::{assemble_basic, assemble_lec};
+    use gstored_store::{enumerate_local_partial_matches, find_matches};
+
+    /// The frozen baselines must agree with the optimized paths — they are
+    /// the same algorithms, differently engineered.
+    #[test]
+    fn reference_implementations_agree_with_optimized() {
+        let dataset = datasets::lubm(3_000);
+        let dist = experiments::partition(dataset.graph.clone(), "hash", 3);
+        for q in dataset.queries.iter().filter(|q| !q.is_star()) {
+            let query = experiments::query_graph(q);
+            let eq = EncodedQuery::encode(&query, dist.dict()).expect("encodable");
+            let filter = CandidateFilter::none(eq.vertex_count());
+            assert_eq!(
+                find_matches(&dataset.graph, &eq),
+                find_matches_prepr3(&dataset.graph, &eq),
+                "{}: matcher drift",
+                q.id
+            );
+            let mut all_lpms = Vec::new();
+            for f in &dist.fragments {
+                let mut new_lpms = enumerate_local_partial_matches(f, &eq, &filter);
+                let mut old_lpms = enumerate_lpms_prepr3(f, &eq, &filter);
+                new_lpms.sort_unstable_by(|a, b| a.binding.cmp(&b.binding));
+                old_lpms.sort_unstable_by(|a, b| a.binding.cmp(&b.binding));
+                assert_eq!(new_lpms, old_lpms, "{}: LPM drift in F{}", q.id, f.id);
+                all_lpms.extend(new_lpms);
+            }
+            let query_edges: Vec<(usize, usize)> =
+                eq.edges().iter().map(|e| (e.from, e.to)).collect();
+            let lec = assemble_lec(&all_lpms, eq.vertex_count(), &query_edges);
+            let old = assemble_lec_prepr3(&all_lpms, eq.vertex_count(), &query_edges);
+            assert_eq!(lec, old, "{}: assembly drift", q.id);
+            assert_eq!(
+                lec,
+                assemble_basic(&all_lpms, eq.vertex_count()),
+                "{}: lec vs basic drift",
+                q.id
+            );
+        }
+    }
+}

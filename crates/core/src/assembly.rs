@@ -4,17 +4,26 @@
 //!
 //! * [`assemble_lec`] — the LEC feature-based assembly of **Algorithm 3**:
 //!   LPMs are grouped by LECSign (Definition 11), a group join graph is
-//!   built, and a DFS join explores only adjacent groups.
+//!   built, and a DFS join explores only adjacent groups. The per-group
+//!   join is a **hash join**: each group's members are indexed by their
+//!   binding projected onto the query vertices bound on both sides, so an
+//!   intermediate only ever meets the members it agrees with, instead of
+//!   being tested pairwise against the whole group. Intermediates use a
+//!   compact fixed-width representation (`Joined`) — binding, bitmasks
+//!   and a query-edge-indexed crossing table — so joining is mask math
+//!   plus an `O(|E^Q|)` merge rather than `LocalPartialMatch` cloning
+//!   with quadratic crossing-list scans.
 //! * [`assemble_basic`] — the partitioning-based join of reference \[18\],
 //!   used by the `gStoreD-Basic` variant in Fig. 9: no LECSign grouping;
 //!   intermediates are joined against every LPM whose pivot-partition
-//!   differs, which is the larger join space the paper improves on.
+//!   differs, which is the larger join space the paper improves on. Its
+//!   pairwise join loop is kept verbatim — it *is* the baseline — but its
+//!   dedup sinks use the same fast deterministic hasher.
 //!
 //! Both return the deduplicated set of complete crossing-match bindings.
 
-use std::collections::HashSet;
-
-use gstored_rdf::VertexId;
+use fxhash::{FxHashMap, FxHashSet};
+use gstored_rdf::{EdgeRef, VertexId};
 use gstored_store::LocalPartialMatch;
 
 use crate::lec::LecFeature;
@@ -22,6 +31,143 @@ use crate::prune::{build_join_graph, FeatureGroup};
 
 /// A complete match binding (one data vertex per query vertex).
 pub type MatchBinding = Vec<VertexId>;
+
+/// Compact join-time representation of an LPM or a joined intermediate.
+///
+/// `edges[qe]` is the crossing data edge matched to query edge `qe`
+/// (`None` when unmatched), replacing the `(EdgeRef, usize)` list of
+/// [`LocalPartialMatch`] so that the shared-edge / conflicting-edge checks
+/// of the join condition are single array probes and merging two matches
+/// is one linear pass. `bound_mask` caches which query vertices are bound,
+/// which is what the hash-join keys project on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Joined {
+    /// Source fragment for an original LPM; `usize::MAX` once joined.
+    fragment: usize,
+    binding: Vec<Option<VertexId>>,
+    edges: Vec<Option<EdgeRef>>,
+    internal_mask: u64,
+    bound_mask: u64,
+}
+
+impl Joined {
+    /// Intern one original LPM. `n_edges` is the width of the query-edge
+    /// table (covers every `qe` appearing in any crossing entry).
+    fn of_lpm(lpm: &LocalPartialMatch, n_edges: usize) -> Joined {
+        let mut edges: Vec<Option<EdgeRef>> = vec![None; n_edges];
+        for &(e, qe) in &lpm.crossing {
+            edges[qe] = Some(e);
+        }
+        Joined {
+            fragment: lpm.fragment,
+            binding: lpm.binding.clone(),
+            edges,
+            internal_mask: lpm.internal_mask,
+            bound_mask: bound_mask_of(&lpm.binding),
+        }
+    }
+
+    /// The \[18\] join condition (the same checks as
+    /// [`LocalPartialMatch::joinable`]) followed by the merge. Returns
+    /// `None` when the pair does not join.
+    fn try_join(&self, other: &Joined) -> Option<Joined> {
+        // Condition 1: never two raw LPMs of the same fragment (joined
+        // intermediates carry `usize::MAX` and may re-enter any fragment).
+        if self.fragment == other.fragment {
+            return None;
+        }
+        // Condition 4 (Theorem 5): internal cores are disjoint.
+        if self.internal_mask & other.internal_mask != 0 {
+            return None;
+        }
+        // Conditions 2+3: at least one shared crossing edge on the same
+        // query edge, and no query edge matched by different data edges.
+        let mut shared = false;
+        for (qe, be) in other.edges.iter().enumerate() {
+            let Some(be) = be else { continue };
+            match &self.edges[qe] {
+                Some(ae) if ae == be => shared = true,
+                Some(_) => return None,
+                None => {}
+            }
+        }
+        if !shared {
+            return None;
+        }
+        // Binding agreement on commonly-bound vertices. The hash join
+        // already guarantees this for probe hits; re-checking costs one
+        // word-AND plus a few compares and keeps `try_join` total.
+        let common = self.bound_mask & other.bound_mask;
+        let mut bits = common;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.binding[v] != other.binding[v] {
+                return None;
+            }
+        }
+        let binding: Vec<Option<VertexId>> = self
+            .binding
+            .iter()
+            .zip(&other.binding)
+            .map(|(a, b)| a.or(*b))
+            .collect();
+        let edges: Vec<Option<EdgeRef>> = self
+            .edges
+            .iter()
+            .zip(&other.edges)
+            .map(|(a, b)| a.or(*b))
+            .collect();
+        Some(Joined {
+            fragment: usize::MAX,
+            binding,
+            edges,
+            internal_mask: self.internal_mask | other.internal_mask,
+            bound_mask: self.bound_mask | other.bound_mask,
+        })
+    }
+
+    fn is_complete(&self, vertex_count: usize) -> bool {
+        self.internal_mask == full_mask(vertex_count)
+    }
+
+    fn complete_binding(&self) -> Option<MatchBinding> {
+        self.binding.iter().copied().collect()
+    }
+}
+
+#[inline]
+fn full_mask(vertex_count: usize) -> u64 {
+    if vertex_count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vertex_count) - 1
+    }
+}
+
+#[inline]
+fn bound_mask_of(binding: &[Option<VertexId>]) -> u64 {
+    let mut mask = 0u64;
+    for (i, b) in binding.iter().take(64).enumerate() {
+        if b.is_some() {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Project a binding onto the query vertices of `mask` (all bound).
+#[inline]
+fn project(binding: &[Option<VertexId>], mask: u64) -> Vec<VertexId> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut bits = mask;
+    while bits != 0 {
+        let v = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        key.push(binding[v].expect("projection vertex is bound"));
+    }
+    key
+}
 
 /// Algorithm 3: LEC feature-based assembly.
 ///
@@ -36,22 +182,39 @@ pub fn assemble_lec(
     if lpms.is_empty() {
         return Vec::new();
     }
-    // Definition 11: group LPMs by LECSign.
-    let mut groups: Vec<(u64, Vec<&LocalPartialMatch>)> = Vec::new();
-    for lpm in lpms {
-        match groups.iter_mut().find(|(s, _)| *s == lpm.internal_mask) {
-            Some((_, v)) => v.push(lpm),
-            None => groups.push((lpm.internal_mask, vec![lpm])),
-        }
+    // The bound/internal bitmasks (and LECSigns generally) are 64-bit;
+    // beyond that the masked agreement checks would silently skip
+    // vertices, so fail loudly like the LPM enumerator does.
+    assert!(n_query_vertices <= 64, "LECSign masks are 64-bit");
+    // Width of the query-edge tables: every `qe` any LPM mentions.
+    let n_edges = lpms
+        .iter()
+        .flat_map(|m| m.crossing.iter().map(|&(_, qe)| qe + 1))
+        .max()
+        .unwrap_or(0)
+        .max(query_edges.len());
+    let prepared: Vec<Joined> = lpms.iter().map(|m| Joined::of_lpm(m, n_edges)).collect();
+
+    // Definition 11: group LPMs by LECSign — hash-mapped, no linear scan.
+    let mut group_of_sign: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, lpm) in lpms.iter().enumerate() {
+        let idx = *group_of_sign.entry(lpm.internal_mask).or_insert_with(|| {
+            groups.push((lpm.internal_mask, Vec::new()));
+            groups.len() - 1
+        });
+        groups[idx].1.push(i);
     }
-    // Group join graph via the groups' feature sets.
+    // Group join graph via the groups' feature sets (features deduped by
+    // their structural key through the same fast hasher).
     let feature_groups: Vec<FeatureGroup> = groups
         .iter()
         .map(|(sign, members)| {
+            let mut seen: FxHashSet<crate::lec::OwnedFeatureKey> = FxHashSet::default();
             let mut features: Vec<LecFeature> = Vec::new();
-            for m in members {
-                let f = LecFeature::of_lpm(m);
-                if !features.iter().any(|g| g.key() == f.key()) {
+            for &mi in members {
+                let f = LecFeature::of_lpm(&lpms[mi]);
+                if seen.insert((f.fragments, f.mapping.clone(), f.sign)) {
                     features.push(f);
                 }
             }
@@ -63,7 +226,7 @@ pub fn assemble_lec(
         .collect();
     let adj = build_join_graph(&feature_groups, query_edges);
 
-    let mut found: HashSet<MatchBinding> = HashSet::new();
+    let mut found: FxHashSet<MatchBinding> = FxHashSet::default();
     let mut alive = vec![true; groups.len()];
     loop {
         let Some(vmin) = (0..groups.len())
@@ -72,11 +235,19 @@ pub fn assemble_lec(
         else {
             break;
         };
-        let seed: Vec<LocalPartialMatch> = groups[vmin].1.iter().map(|m| (*m).clone()).collect();
+        let seed: Vec<Joined> = groups[vmin]
+            .1
+            .iter()
+            .map(|&mi| prepared[mi].clone())
+            .collect();
+        let mut visited_set = vec![false; groups.len()];
+        visited_set[vmin] = true;
         com_par_join(
             &mut vec![vmin],
+            &mut visited_set,
             seed,
             &groups,
+            &prepared,
             &adj,
             &alive,
             n_query_vertices,
@@ -101,15 +272,19 @@ pub fn assemble_lec(
     out
 }
 
-/// The recursive `ComParJoin` of Algorithm 3.
+/// The recursive `ComParJoin` of Algorithm 3, with the per-group pairwise
+/// loop replaced by [`hash_join`].
+#[allow(clippy::too_many_arguments)]
 fn com_par_join(
     visited: &mut Vec<usize>,
-    current: Vec<LocalPartialMatch>,
-    groups: &[(u64, Vec<&LocalPartialMatch>)],
+    visited_set: &mut Vec<bool>,
+    current: Vec<Joined>,
+    groups: &[(u64, Vec<usize>)],
+    prepared: &[Joined],
     adj: &[Vec<usize>],
     alive: &[bool],
     n_query_vertices: usize,
-    found: &mut HashSet<MatchBinding>,
+    found: &mut FxHashSet<MatchBinding>,
 ) {
     if current.is_empty() {
         return;
@@ -117,34 +292,97 @@ fn com_par_join(
     let mut frontier: Vec<usize> = visited
         .iter()
         .flat_map(|&v| adj[v].iter().copied())
-        .filter(|&u| alive[u] && !visited.contains(&u))
+        .filter(|&u| alive[u] && !visited_set[u])
         .collect();
     frontier.sort_unstable();
     frontier.dedup();
 
     for v in frontier {
-        let mut next: Vec<LocalPartialMatch> = Vec::new();
-        for a in &current {
-            for b in &groups[v].1 {
-                if !a.joinable(b) {
+        let next = hash_join(&current, &groups[v].1, prepared, n_query_vertices, found);
+        if !next.is_empty() {
+            visited.push(v);
+            visited_set[v] = true;
+            com_par_join(
+                visited,
+                visited_set,
+                next,
+                groups,
+                prepared,
+                adj,
+                alive,
+                n_query_vertices,
+                found,
+            );
+            let popped = visited.pop().expect("pushed above");
+            visited_set[popped] = false;
+        }
+    }
+}
+
+/// Join every intermediate in `current` with group `members`, hash-joined
+/// on the shared-query-vertex binding signature: members are indexed by
+/// their binding projected onto `current_bound ∩ member_bound`, so each
+/// probe meets only members that agree on every commonly-bound vertex.
+/// Complete results land in `found`; incomplete ones are deduplicated
+/// (fast hasher, no quadratic `contains`) and returned as the next level.
+fn hash_join(
+    current: &[Joined],
+    members: &[usize],
+    prepared: &[Joined],
+    n_query_vertices: usize,
+    found: &mut FxHashSet<MatchBinding>,
+) -> Vec<Joined> {
+    // Both sides are partitioned by bound mask. In practice each has
+    // exactly one (a group's bound set is determined by its LECSign and
+    // the query; `current` is one join level), but wire-supplied LPMs are
+    // not trusted to be that regular.
+    let mut member_masks: Vec<(u64, Vec<usize>)> = Vec::new();
+    for &mi in members {
+        let mask = prepared[mi].bound_mask;
+        match member_masks.iter_mut().find(|(m, _)| *m == mask) {
+            Some((_, v)) => v.push(mi),
+            None => member_masks.push((mask, vec![mi])),
+        }
+    }
+    let mut current_masks: Vec<u64> = current.iter().map(|a| a.bound_mask).collect();
+    current_masks.sort_unstable();
+    current_masks.dedup();
+
+    // Incomplete intermediates deduplicate straight into the set — one
+    // allocation per survivor, no quadratic `contains`. Fx iteration
+    // order is deterministic for a given insertion sequence, and `found`
+    // is sorted at the end, so results stay run-to-run stable.
+    let mut next: FxHashSet<Joined> = FxHashSet::default();
+    for (mmask, midxs) in &member_masks {
+        for &cmask in &current_masks {
+            let common = mmask & cmask;
+            let mut index: FxHashMap<Vec<VertexId>, Vec<usize>> = FxHashMap::default();
+            for &mi in midxs {
+                index
+                    .entry(project(&prepared[mi].binding, common))
+                    .or_default()
+                    .push(mi);
+            }
+            for a in current.iter().filter(|a| a.bound_mask == cmask) {
+                let Some(hits) = index.get(&project(&a.binding, common)) else {
                     continue;
-                }
-                let joined = a.join(b);
-                if joined.is_complete(n_query_vertices) {
-                    if let Some(binding) = joined.complete_binding() {
-                        found.insert(binding);
+                };
+                for &mi in hits {
+                    let Some(joined) = a.try_join(&prepared[mi]) else {
+                        continue;
+                    };
+                    if joined.is_complete(n_query_vertices) {
+                        if let Some(binding) = joined.complete_binding() {
+                            found.insert(binding);
+                        }
+                    } else {
+                        next.insert(joined);
                     }
-                } else if !next.contains(&joined) {
-                    next.push(joined);
                 }
             }
         }
-        if !next.is_empty() {
-            visited.push(v);
-            com_par_join(visited, next, groups, adj, alive, n_query_vertices, found);
-            visited.pop();
-        }
     }
+    next.into_iter().collect()
 }
 
 /// The partitioning-based join of \[18\] (the `gStoreD-Basic` baseline).
@@ -163,8 +401,8 @@ pub fn assemble_basic(lpms: &[LocalPartialMatch], n_query_vertices: usize) -> Ve
         .max_by_key(|&v| lpms.iter().filter(|m| m.is_internal(v)).count())
         .expect("n_query_vertices > 0");
 
-    let mut found: HashSet<MatchBinding> = HashSet::new();
-    let mut seen: HashSet<(Vec<Option<VertexId>>, u64)> = HashSet::new();
+    let mut found: FxHashSet<MatchBinding> = FxHashSet::default();
+    let mut seen: FxHashSet<(Vec<Option<VertexId>>, u64)> = FxHashSet::default();
     // Worklist of intermediates (starting from the originals).
     let mut work: Vec<LocalPartialMatch> = lpms.to_vec();
     let mut head = 0;
@@ -198,7 +436,8 @@ pub fn assemble_basic(lpms: &[LocalPartialMatch], n_query_vertices: usize) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gstored_rdf::{EdgeRef, TermId};
+    use gstored_rdf::TermId;
+    use std::collections::HashSet;
 
     fn edge(f: u64, l: u64, t: u64) -> EdgeRef {
         EdgeRef {

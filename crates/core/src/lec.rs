@@ -18,6 +18,10 @@
 use gstored_rdf::EdgeRef;
 use gstored_store::LocalPartialMatch;
 
+/// Owned form of [`LecFeature::key`]: `(fragments, mapping, sign)`. The
+/// key type of the hash maps that deduplicate features structurally.
+pub type OwnedFeatureKey = (u64, Vec<(EdgeRef, usize)>, u64);
+
 /// A LEC feature (Definition 8), possibly the join of several features.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LecFeature {
@@ -154,21 +158,25 @@ fn endpoint_bindings_agree(
 /// Algorithm 1: compress a fragment's local partial matches into its set
 /// of LEC features. Returns the deduplicated features (with `sources` set
 /// to their global ids starting at `first_id`) and, for each LPM, the
-/// index of its feature *within the returned vector*.
+/// index of its feature *within the returned vector*. Features are
+/// deduplicated through a hash map over the structural key, so the
+/// compression is linear in the LPM count rather than quadratic.
 pub fn compute_lec_features(
     lpms: &[LocalPartialMatch],
     first_id: u32,
 ) -> (Vec<LecFeature>, Vec<usize>) {
     let mut features: Vec<LecFeature> = Vec::new();
+    let mut index: fxhash::FxHashMap<OwnedFeatureKey, usize> = fxhash::FxHashMap::default();
     let mut feature_of_lpm = Vec::with_capacity(lpms.len());
     for lpm in lpms {
-        let f = LecFeature::of_lpm(lpm);
-        let idx = match features.iter().position(|g| g.key() == f.key()) {
-            Some(i) => i,
-            None => {
-                let mut f = f;
+        let mut f = LecFeature::of_lpm(lpm);
+        let idx = match index.entry((f.fragments, std::mem::take(&mut f.mapping), f.sign)) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                f.mapping = v.key().1.clone();
                 f.sources = vec![first_id + features.len() as u32];
                 features.push(f);
+                v.insert(features.len() - 1);
                 features.len() - 1
             }
         };

@@ -20,17 +20,20 @@ pub struct FeatureGroup {
     pub features: Vec<LecFeature>,
 }
 
-/// Group features by LECSign (Definition 10).
+/// Group features by LECSign (Definition 10) — hash-mapped on the sign,
+/// so grouping is linear in the feature count.
 pub fn group_by_sign(features: &[LecFeature]) -> Vec<FeatureGroup> {
+    let mut group_of_sign: fxhash::FxHashMap<u64, usize> = fxhash::FxHashMap::default();
     let mut groups: Vec<FeatureGroup> = Vec::new();
     for f in features {
-        match groups.iter_mut().find(|g| g.sign == f.sign) {
-            Some(g) => g.features.push(f.clone()),
-            None => groups.push(FeatureGroup {
+        let idx = *group_of_sign.entry(f.sign).or_insert_with(|| {
+            groups.push(FeatureGroup {
                 sign: f.sign,
-                features: vec![f.clone()],
-            }),
-        }
+                features: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[idx].features.push(f.clone());
     }
     groups
 }

@@ -185,16 +185,24 @@ fn passes_structure<A: Adjacency>(adj: &A, q: &EncodedQuery, qv: usize, u: Verte
 fn has_label(edges: &[(TermId, VertexId)], label: EncodedLabel) -> bool {
     match label {
         EncodedLabel::Any => !edges.is_empty(),
-        EncodedLabel::Const(p) => {
-            // Adjacency lists are sorted by (label, vertex): binary search
-            // on the label prefix.
-            edges
-                .binary_search_by(|&(l, v)| (l, v).cmp(&(p, gstored_rdf::TermId(0))))
-                .map(|_| true)
-                .unwrap_or_else(|i| i < edges.len() && edges[i].0 == p)
-        }
+        EncodedLabel::Const(p) => !label_edge_range(edges, p).is_empty(),
         EncodedLabel::Unsatisfiable => false,
     }
+}
+
+/// The contiguous sub-slice of a sorted `(label, vertex)` adjacency list
+/// carrying exactly `label`.
+///
+/// Adjacency lists are sorted by `(label, vertex)`, so the range is found
+/// with two `partition_point` calls and its vertices are sorted and
+/// duplicate-free. This is the lookup the neighbor-driven matcher uses to
+/// enumerate only a bound neighbor's label-matching edges instead of
+/// scanning a full candidate list.
+#[inline]
+pub fn label_edge_range(edges: &[(TermId, VertexId)], label: TermId) -> &[(TermId, VertexId)] {
+    let lo = edges.partition_point(|&(l, _)| l < label);
+    let len = edges[lo..].partition_point(|&(l, _)| l == label);
+    &edges[lo..lo + len]
 }
 
 /// Internal candidates `C(Q, v)` for every query vertex of a fragment
@@ -346,6 +354,25 @@ mod tests {
         let f = CandidateFilter::none(4);
         assert!(f.admits_extended(0, TermId(42)));
         assert!(f.admits_extended(3, TermId(7)));
+    }
+
+    #[test]
+    fn label_edge_range_finds_exact_prefix() {
+        let v = |n: u64| TermId(n);
+        let edges = vec![
+            (v(1), v(10)),
+            (v(2), v(5)),
+            (v(2), v(7)),
+            (v(2), v(9)),
+            (v(4), v(1)),
+        ];
+        assert_eq!(label_edge_range(&edges, v(2)), &edges[1..4]);
+        assert_eq!(label_edge_range(&edges, v(1)), &edges[0..1]);
+        assert_eq!(label_edge_range(&edges, v(4)), &edges[4..5]);
+        assert!(label_edge_range(&edges, v(3)).is_empty());
+        assert!(label_edge_range(&edges, v(0)).is_empty());
+        assert!(label_edge_range(&edges, v(9)).is_empty());
+        assert!(label_edge_range(&[], v(1)).is_empty());
     }
 
     #[test]

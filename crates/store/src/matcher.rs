@@ -11,15 +11,20 @@
 //!   contained in whichever fragment the center is internal to, so sites
 //!   evaluate stars locally with no communication.
 //!
-//! The search is a standard candidate-ordered backtracking over the query
-//! vertices, with Definition 3's injective multiset label matching checked
-//! on every bound pair.
+//! The search is a candidate-ordered backtracking over the query vertices
+//! with **neighbor-driven enumeration**: once the matching order places a
+//! vertex adjacent to an already-bound one, candidates are read off the
+//! bound neighbor's label-matching adjacency range (a `partition_point`
+//! slice of the sorted `(label, vertex)` lists) instead of scanning the
+//! vertex's full candidate list, and each one is verified against the
+//! remaining constraints. Definition 3's injective multiset label matching
+//! is checked on every bound pair.
 
 use gstored_partition::Fragment;
 use gstored_rdf::{RdfGraph, TermId, VertexId};
 
-use crate::candidates::vertex_candidates;
-use crate::encoded::EncodedQuery;
+use crate::candidates::{label_edge_range, vertex_candidates};
+use crate::encoded::{EncodedLabel, EncodedQuery};
 use crate::labels::labels_satisfiable;
 
 /// Read-only adjacency abstraction: implemented by the full graph and by
@@ -66,7 +71,7 @@ pub fn find_matches(graph: &RdfGraph, q: &EncodedQuery) -> Vec<Vec<VertexId>> {
     }
     let mut universe: Vec<VertexId> = graph.vertices().collect();
     universe.sort_unstable();
-    search(graph, q, &universe, &|_| true)
+    search(graph, q, &universe, |_, _| true)
 }
 
 /// Complete matches of `q` inside one fragment with **every** query vertex
@@ -75,7 +80,7 @@ pub fn local_complete_matches(fragment: &Fragment, q: &EncodedQuery) -> Vec<Vec<
     if q.has_unsatisfiable() {
         return Vec::new();
     }
-    search(fragment, q, &fragment.internal, &|_| true)
+    search(fragment, q, &fragment.internal, |_, _| true)
 }
 
 /// Star-query fast path: matches inside one fragment whose designated
@@ -101,26 +106,30 @@ pub fn find_star_matches(
         .collect();
     universe.sort_unstable();
     universe.dedup();
-    let internal = fragment.internal.clone();
-    search(fragment, q, &universe, &move |(qv, u)| {
+    // Borrow the internal list — the admit closure lives only as long as
+    // the search, so no clone is needed.
+    let internal: &[VertexId] = &fragment.internal;
+    search(fragment, q, &universe, |qv, u| {
         qv != center || internal.binary_search(&u).is_ok()
     })
 }
 
 /// Core backtracking search. `admit` can veto `(query vertex, data vertex)`
-/// pairs (used by the star fast path).
+/// pairs (used by the star fast path); it is statically dispatched so the
+/// common all-admitting closure compiles to nothing.
 fn search<A: Adjacency>(
     adj: &A,
     q: &EncodedQuery,
     universe: &[VertexId],
-    admit: &dyn Fn((usize, VertexId)) -> bool,
+    admit: impl Fn(usize, VertexId) -> bool,
 ) -> Vec<Vec<VertexId>> {
     let n = q.vertex_count();
-    // Candidate sets per query vertex.
+    // Candidate sets per query vertex (sorted — they filter the sorted
+    // universe — so the neighbor-driven enumeration can binary-search them).
     let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(n);
     for qv in 0..n {
         let mut c = vertex_candidates(adj, q, qv, universe);
-        c.retain(|&u| admit((qv, u)));
+        c.retain(|&u| admit(qv, u));
         if c.is_empty() {
             return Vec::new();
         }
@@ -161,6 +170,119 @@ fn matching_order(q: &EncodedQuery, cands: &[Vec<VertexId>]) -> Vec<usize> {
     order
 }
 
+/// Where the candidates for the vertex being bound next come from.
+///
+/// [`anchor_candidates`] picks the cheapest source: a bound neighbor's
+/// label-matching adjacency range when one exists and is smaller than the
+/// per-vertex candidate list, the candidate list otherwise.
+pub(crate) enum Anchor<'a> {
+    /// A constant-label `partition_point` range of a bound neighbor's
+    /// adjacency: its vertices are sorted and duplicate-free.
+    Range(&'a [(TermId, VertexId)]),
+    /// A variable-label adjacency slice of a bound neighbor: vertices may
+    /// repeat across labels, so the caller must deduplicate.
+    Mixed(&'a [(TermId, VertexId)]),
+    /// No bound neighbor beats the candidate list — scan it.
+    Scan,
+    /// Some incident edge admits no binding at all: prune this branch.
+    Empty,
+}
+
+/// Pick the smallest candidate source for `qv` given the current partial
+/// `binding`: every query edge between `qv` and a bound vertex offers the
+/// bound endpoint's adjacency range in the matching direction, competing
+/// against the precomputed candidate list of size `cands_len`.
+pub(crate) fn anchor_candidates<'a, A: Adjacency>(
+    adj: &'a A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+    cands_len: usize,
+) -> Anchor<'a> {
+    let mut best_len = cands_len;
+    let mut best: Option<(&'a [(TermId, VertexId)], bool)> = None; // (slice, is_mixed)
+    let mut consider = |slice: &'a [(TermId, VertexId)], label: EncodedLabel| -> bool {
+        let (range, mixed) = match label {
+            EncodedLabel::Const(p) => (label_edge_range(slice, p), false),
+            EncodedLabel::Any => (slice, true),
+            EncodedLabel::Unsatisfiable => (&slice[..0], false),
+        };
+        if range.is_empty() {
+            return false; // no candidate can satisfy this edge
+        }
+        if range.len() < best_len {
+            best_len = range.len();
+            best = Some((range, mixed));
+        }
+        true
+    };
+    // An edge qv -> other constrains qv to the in-neighbors of other's
+    // image; other -> qv constrains qv to the out-neighbors.
+    for &ei in q.out_edges(qv) {
+        let e = q.edge(ei);
+        if let Some(nb) = binding[e.to] {
+            if !consider(adj.in_edges(nb), e.label) {
+                return Anchor::Empty;
+            }
+        }
+    }
+    for &ei in q.in_edges(qv) {
+        let e = q.edge(ei);
+        if let Some(nb) = binding[e.from] {
+            if !consider(adj.out_edges(nb), e.label) {
+                return Anchor::Empty;
+            }
+        }
+    }
+    match best {
+        Some((range, false)) => Anchor::Range(range),
+        Some((range, true)) => Anchor::Mixed(range),
+        None => Anchor::Scan,
+    }
+}
+
+/// Invoke `f` once per viable candidate for `qv`: the members of `cands`
+/// (sorted) that also satisfy the cheapest anchor source picked by
+/// [`anchor_candidates`]. This is the neighbor-driven enumeration both
+/// the matcher and the LPM enumerator extend with — when a bound
+/// neighbor's adjacency range is smaller than the candidate list, only
+/// that range is walked and membership in `cands` is a binary search;
+/// the caller's consistency check verifies all remaining edges.
+pub(crate) fn for_each_anchored_candidate<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &mut Vec<Option<VertexId>>,
+    cands: &[VertexId],
+    mut f: impl FnMut(&mut Vec<Option<VertexId>>, VertexId),
+) {
+    match anchor_candidates(adj, q, qv, binding, cands.len()) {
+        Anchor::Range(range) => {
+            for &(_, u) in range {
+                if cands.binary_search(&u).is_ok() {
+                    f(binding, u);
+                }
+            }
+        }
+        Anchor::Mixed(range) => {
+            let mut targets: Vec<VertexId> = range.iter().map(|&(_, u)| u).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            for u in targets {
+                if cands.binary_search(&u).is_ok() {
+                    f(binding, u);
+                }
+            }
+        }
+        Anchor::Scan => {
+            for &u in cands {
+                f(binding, u);
+            }
+        }
+        Anchor::Empty => {}
+    }
+}
+
 fn extend<A: Adjacency>(
     adj: &A,
     q: &EncodedQuery,
@@ -180,13 +302,12 @@ fn extend<A: Adjacency>(
         return;
     }
     let qv = order[depth];
-    // If qv was already bound through constant propagation, just recurse.
-    for &u in &cands[qv] {
+    for_each_anchored_candidate(adj, q, qv, binding, &cands[qv], |binding, u| {
         binding[qv] = Some(u);
         if consistent(adj, q, qv, binding) {
             extend(adj, q, order, depth + 1, binding, cands, out);
         }
-    }
+    });
     binding[qv] = None;
 }
 
@@ -198,48 +319,111 @@ pub(crate) fn consistent<A: Adjacency>(
     qv: usize,
     binding: &[Option<VertexId>],
 ) -> bool {
+    pairs_consistent(adj, q, qv, binding, |_| true)
+}
+
+/// [`consistent`] restricted to bound neighbors accepted by `relevant`
+/// (the LPM enumerator exempts boundary-boundary edges per condition 3).
+/// Bound-neighbor groups are deduplicated with two per-direction bitsets
+/// over the query vertices — no allocation, no linear scans.
+pub(crate) fn pairs_consistent<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    qv: usize,
+    binding: &[Option<VertexId>],
+    relevant: impl Fn(usize) -> bool,
+) -> bool {
     debug_assert!(binding[qv].is_some(), "qv must be bound");
-    // Collect bound neighbors (deduplicated) in both directions.
-    let mut checked: Vec<(usize, bool)> = Vec::new(); // (other qv, qv_is_source)
+    // Bitsets fit every distributable query (LECSign masks are 64-bit);
+    // wider queries skip dedup, re-checking parallel groups redundantly
+    // but correctly.
+    let dedup = binding.len() <= 64;
+    let (mut seen_out, mut seen_in) = (0u64, 0u64);
     for &ei in q.out_edges(qv) {
         let e = q.edge(ei);
-        if binding[e.to].is_some() && !checked.contains(&(e.to, true)) {
-            checked.push((e.to, true));
+        if binding[e.to].is_none() || !relevant(e.to) {
+            continue;
+        }
+        if dedup {
+            let bit = 1u64 << e.to;
+            if seen_out & bit != 0 {
+                continue;
+            }
+            seen_out |= bit;
+        }
+        if !pair_consistent(adj, q, qv, e.to, binding) {
+            return false;
         }
     }
     for &ei in q.in_edges(qv) {
         let e = q.edge(ei);
-        if binding[e.from].is_some() && !checked.contains(&(e.from, false)) {
-            checked.push((e.from, false));
+        if binding[e.from].is_none() || !relevant(e.from) {
+            continue;
         }
-    }
-    for (other, qv_is_source) in checked {
-        let (src_q, dst_q) = if qv_is_source {
-            (qv, other)
-        } else {
-            (other, qv)
-        };
-        let src_u = binding[src_q].expect("both bound");
-        let dst_u = binding[dst_q].expect("both bound");
-        // Parallel query edges between src_q and dst_q (this direction).
-        let q_labels: Vec<_> = q
-            .out_edges(src_q)
-            .iter()
-            .filter(|&&ei| q.edge(ei).to == dst_q)
-            .map(|&ei| q.edge(ei).label)
-            .collect();
-        // Data labels between the images.
-        let d_labels: Vec<TermId> = adj
-            .out_edges(src_u)
-            .iter()
-            .filter(|&&(_, t)| t == dst_u)
-            .map(|&(l, _)| l)
-            .collect();
-        if !labels_satisfiable(&q_labels, &d_labels) {
+        if dedup {
+            let bit = 1u64 << e.from;
+            if seen_in & bit != 0 {
+                continue;
+            }
+            seen_in |= bit;
+        }
+        if !pair_consistent(adj, q, e.from, qv, binding) {
             return false;
         }
     }
     true
+}
+
+/// Verify all parallel query edges `src_q -> dst_q` against the data edges
+/// between the bound images. The single-edge case (overwhelmingly common)
+/// is a direct adjacency probe; parallel edges fall back to the injective
+/// multiset matching.
+fn pair_consistent<A: Adjacency>(
+    adj: &A,
+    q: &EncodedQuery,
+    src_q: usize,
+    dst_q: usize,
+    binding: &[Option<VertexId>],
+) -> bool {
+    let src_u = binding[src_q].expect("both bound");
+    let dst_u = binding[dst_q].expect("both bound");
+    let out = adj.out_edges(src_u);
+    let mut first: Option<EncodedLabel> = None;
+    let mut multi = false;
+    for &ei in q.out_edges(src_q) {
+        if q.edge(ei).to != dst_q {
+            continue;
+        }
+        if first.is_some() {
+            multi = true;
+            break;
+        }
+        first = Some(q.edge(ei).label);
+    }
+    let Some(label) = first else {
+        return true;
+    };
+    if !multi {
+        return match label {
+            EncodedLabel::Any => out.iter().any(|&(_, t)| t == dst_u),
+            EncodedLabel::Const(p) => out.binary_search(&(p, dst_u)).is_ok(),
+            EncodedLabel::Unsatisfiable => false,
+        };
+    }
+    // Parallel query edges between src_q and dst_q (this direction).
+    let q_labels: Vec<EncodedLabel> = q
+        .out_edges(src_q)
+        .iter()
+        .filter(|&&ei| q.edge(ei).to == dst_q)
+        .map(|&ei| q.edge(ei).label)
+        .collect();
+    // Data labels between the images.
+    let d_labels: Vec<TermId> = out
+        .iter()
+        .filter(|&&(_, t)| t == dst_u)
+        .map(|&(l, _)| l)
+        .collect();
+    labels_satisfiable(&q_labels, &d_labels)
 }
 
 #[cfg(test)]

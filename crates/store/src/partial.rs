@@ -29,8 +29,9 @@ use gstored_rdf::{EdgeRef, TermId, VertexId};
 
 use crate::candidates::{vertex_candidates, CandidateFilter};
 use crate::encoded::{EncodedLabel, EncodedQuery, EncodedVertex};
-use crate::labels::{label_matches, labels_assignment, labels_satisfiable};
+use crate::labels::{label_matches, labels_assignment};
 use crate::lpm::LocalPartialMatch;
+use crate::matcher::{for_each_anchored_candidate, pairs_consistent};
 
 /// Enumerate all local partial matches of `q` in `fragment`.
 ///
@@ -156,24 +157,34 @@ fn extend(
     let qv = order[depth];
     if depth < core_len {
         // Core vertex: internal candidates + edge consistency against
-        // already-bound core vertices.
-        for &u in &internal_cands[qv] {
-            binding[qv] = Some(u);
-            if core_consistent(fragment, q, qv, binding, in_core) {
-                extend(
-                    fragment,
-                    q,
-                    order,
-                    core_len,
-                    depth + 1,
-                    in_core,
-                    internal_cands,
-                    filter,
-                    binding,
-                    out,
-                );
-            }
-        }
+        // already-bound core vertices. Enumeration is neighbor-driven:
+        // when a bound core neighbor's label-matching adjacency range is
+        // smaller than the internal candidate list, candidates are read
+        // off that range and filtered by candidate-set membership.
+        for_each_anchored_candidate(
+            fragment,
+            q,
+            qv,
+            binding,
+            &internal_cands[qv],
+            |binding, u| {
+                binding[qv] = Some(u);
+                if core_consistent(fragment, q, qv, binding, in_core) {
+                    extend(
+                        fragment,
+                        q,
+                        order,
+                        core_len,
+                        depth + 1,
+                        in_core,
+                        internal_cands,
+                        filter,
+                        binding,
+                        out,
+                    );
+                }
+            },
+        );
         binding[qv] = None;
     } else {
         // Boundary vertex: candidates from crossing edges of bound core
@@ -287,53 +298,6 @@ fn boundary_consistent(
     in_core: &[bool],
 ) -> bool {
     pairs_consistent(fragment, q, qv, binding, |other| in_core[other])
-}
-
-fn pairs_consistent(
-    fragment: &Fragment,
-    q: &EncodedQuery,
-    qv: usize,
-    binding: &[Option<VertexId>],
-    relevant: impl Fn(usize) -> bool,
-) -> bool {
-    let mut checked: Vec<(usize, bool)> = Vec::new();
-    for &ei in q.out_edges(qv) {
-        let e = q.edge(ei);
-        if binding[e.to].is_some() && relevant(e.to) && !checked.contains(&(e.to, true)) {
-            checked.push((e.to, true));
-        }
-    }
-    for &ei in q.in_edges(qv) {
-        let e = q.edge(ei);
-        if binding[e.from].is_some() && relevant(e.from) && !checked.contains(&(e.from, false)) {
-            checked.push((e.from, false));
-        }
-    }
-    for (other, qv_is_source) in checked {
-        let (src_q, dst_q) = if qv_is_source {
-            (qv, other)
-        } else {
-            (other, qv)
-        };
-        let src_u = binding[src_q].expect("bound");
-        let dst_u = binding[dst_q].expect("bound");
-        let q_labels: Vec<EncodedLabel> = q
-            .out_edges(src_q)
-            .iter()
-            .filter(|&&ei| q.edge(ei).to == dst_q)
-            .map(|&ei| q.edge(ei).label)
-            .collect();
-        let d_labels: Vec<TermId> = fragment
-            .out_edges(src_u)
-            .iter()
-            .filter(|&&(_, t)| t == dst_u)
-            .map(|&(l, _)| l)
-            .collect();
-        if !labels_satisfiable(&q_labels, &d_labels) {
-            return false;
-        }
-    }
-    true
 }
 
 /// Build the [`LocalPartialMatch`] for a complete core+boundary binding:

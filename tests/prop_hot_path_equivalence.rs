@@ -1,0 +1,164 @@
+//! PR3 hot-path equivalence oracle.
+//!
+//! The neighbor-driven matcher, the neighbor-driven LPM enumerator and
+//! the hash-join `assemble_lec` are pure re-engineerings: on every input
+//! they must return exactly what the code they replaced returned. The
+//! frozen pre-PR3 implementations live in `gstored_bench::reference` and
+//! act as the oracle here, alongside `assemble_basic` and the centralized
+//! matcher, across all 4 engine variants × 3 partitioning strategies.
+//!
+//! The dense-star regression at the bottom runs a workload the pre-PR3
+//! quadratic `next.contains` dedup needed minutes for; the hash join must
+//! finish it in interactive time with the exact expected result set.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use gstored::core::assembly::{assemble_basic, assemble_lec};
+use gstored::core::engine::Variant;
+use gstored::datagen::random::{random_graph, random_query, RandomGraphConfig};
+use gstored::partition::{
+    HashPartitioner, MetisLikePartitioner, Partitioner, SemanticHashPartitioner,
+};
+use gstored::prelude::*;
+use gstored::store::candidates::CandidateFilter;
+use gstored::store::{
+    enumerate_local_partial_matches, find_matches, EncodedQuery, LocalPartialMatch,
+};
+use gstored_bench::bench_pr3::dense_star_lpms;
+use gstored_bench::reference;
+
+fn partitioners(sites: usize) -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(HashPartitioner::new(sites)),
+        Box::new(SemanticHashPartitioner::new(sites)),
+        Box::new(MetisLikePartitioner::new(sites)),
+    ]
+}
+
+fn sorted_lpms(mut lpms: Vec<LocalPartialMatch>) -> Vec<LocalPartialMatch> {
+    lpms.sort_unstable_by(|a, b| {
+        (&a.binding, a.internal_mask, &a.crossing).cmp(&(&b.binding, b.internal_mask, &b.crossing))
+    });
+    lpms
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random graph × random query: the optimized matcher, enumerator and
+    /// LEC assembly agree with the frozen pre-PR3 oracle, with
+    /// `assemble_basic`, and with the centralized reference through every
+    /// variant × partitioner engine run.
+    #[test]
+    fn optimized_hot_paths_equal_prepr3_oracle(
+        graph_seed in 0u64..5000,
+        query_seed in 0u64..5000,
+        n_edges in 1usize..4,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 24,
+            edges: 48,
+            predicates: 3,
+            seed: graph_seed,
+        });
+        let text = random_query(n_edges, 3, None, query_seed);
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).expect("generated query parses"),
+        )
+        .expect("generated query is connected");
+        let eq = EncodedQuery::encode(&query, g.dict()).expect("no predicate projection");
+
+        // Matcher oracle: optimized vs frozen pre-PR3, identical output
+        // (both enumerate in deterministic order — not even sorted first).
+        let centralized = find_matches(&g, &eq);
+        prop_assert_eq!(
+            &centralized,
+            &reference::find_matches_prepr3(&g, &eq),
+            "matcher drift on {}", text
+        );
+        let mut expected = centralized;
+        expected.sort_unstable();
+
+        for p in &partitioners(3) {
+            let dist = DistributedGraph::build(g.clone(), p.as_ref());
+            prop_assert_eq!(dist.validate(), None);
+            let filter = CandidateFilter::none(eq.vertex_count());
+
+            // Enumerator oracle per fragment, then assembly three ways.
+            let mut lpms = Vec::new();
+            for f in &dist.fragments {
+                let new = sorted_lpms(enumerate_local_partial_matches(f, &eq, &filter));
+                let old = sorted_lpms(reference::enumerate_lpms_prepr3(f, &eq, &filter));
+                prop_assert_eq!(&new, &old, "LPM drift in F{} on {} ({})", f.id, text, p.name());
+                lpms.extend(new);
+            }
+            let query_edges: Vec<(usize, usize)> =
+                eq.edges().iter().map(|e| (e.from, e.to)).collect();
+            let lec = assemble_lec(&lpms, eq.vertex_count(), &query_edges);
+            prop_assert_eq!(
+                &lec,
+                &reference::assemble_lec_prepr3(&lpms, eq.vertex_count(), &query_edges),
+                "assembly drift on {} ({})", text, p.name()
+            );
+            prop_assert_eq!(
+                &lec,
+                &assemble_basic(&lpms, eq.vertex_count()),
+                "lec vs basic drift on {} ({})", text, p.name()
+            );
+
+            // End to end: every variant equals the centralized reference.
+            for variant in Variant::ALL {
+                let out = Engine::with_variant(variant)
+                    .try_run(&dist, &query)
+                    .expect("generated query evaluates");
+                let mut got = out.bindings.clone();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    &got, &expected,
+                    "{} under {} diverged on {}", variant.label(), p.name(), text
+                );
+            }
+        }
+    }
+}
+
+/// The dense-star worst case: `n²` same-sign LPMs joining through two
+/// leaf groups. The pre-PR3 `com_par_join` deduplicated intermediates
+/// with an `O(n²)` `Vec::contains` over full `LocalPartialMatch` structs —
+/// `O(n⁴)` comparisons here, minutes of wall time at this size. The hash
+/// join must produce the exact `n²` matches in interactive time (the
+/// generous bound below is ~100× what it needs, so the assertion only
+/// fires on a complexity regression, not on a slow machine).
+#[test]
+fn dense_star_assembly_regression() {
+    let n = 120usize;
+    let (lpms, nv, qedges) = dense_star_lpms(n);
+    assert_eq!(lpms.len(), n * n + 2 * n);
+    let start = Instant::now();
+    let out = assemble_lec(&lpms, nv, &qedges);
+    let elapsed = start.elapsed();
+    assert_eq!(out.len(), n * n, "every leaf pair assembles exactly once");
+    // Spot-check one binding: hub with the first and last leaf.
+    let hub = lpms[0].binding[0].unwrap();
+    let first = vec![hub, TermId(1), TermId(1)];
+    let last = vec![hub, TermId(n as u64), TermId(n as u64)];
+    assert!(out.binary_search(&first).is_ok());
+    assert!(out.binary_search(&last).is_ok());
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "dense-star assembly took {elapsed:?}: quadratic dedup is back"
+    );
+}
+
+/// At a size the pre-PR3 code and the basic baseline can still handle,
+/// all three assemblies agree on the dense star.
+#[test]
+fn dense_star_small_all_assemblies_agree() {
+    let (lpms, nv, qedges) = dense_star_lpms(10);
+    let lec = assemble_lec(&lpms, nv, &qedges);
+    assert_eq!(lec.len(), 100);
+    assert_eq!(lec, reference::assemble_lec_prepr3(&lpms, nv, &qedges));
+    assert_eq!(lec, assemble_basic(&lpms, nv));
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the crates.io `fxhash` crate.
+//!
+//! Implements the Firefox `FxHasher`: a fast, **deterministic**,
+//! non-cryptographic hash used for hot-path hash maps keyed by
+//! machine-generated data (vertex ids, bindings, edge refs). Unlike the
+//! standard library's SipHash it performs one multiply-rotate per word
+//! and is not seeded per-process, so hash-based containers iterate and
+//! cost identically across runs — which the benchmark harness relies on.
+//!
+//! The build environment has no network access; this shim implements
+//! exactly the API subset the workspace uses: [`FxHasher`],
+//! [`FxBuildHasher`], the [`FxHashMap`]/[`FxHashSet`] aliases, and the
+//! [`hash64`] convenience function.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// 64-bit Fx seed: `2^64 / φ`, the same constant Firefox uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Firefox hasher: one `rotate ^ mul` step per input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a value once with [`FxHasher`].
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let a = hash64(&[1u64, 2, 3][..]);
+        let b = hash64(&[1u64, 2, 3][..]);
+        assert_eq!(a, b);
+        assert_ne!(a, hash64(&[1u64, 2, 4][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<Vec<u64>> = FxHashSet::default();
+        assert!(s.insert(vec![1, 2]));
+        assert!(!s.insert(vec![1, 2]));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_distinctly() {
+        assert_ne!(hash64("abc"), hash64("abd"));
+        assert_ne!(hash64("abcdefgh"), hash64("abcdefgi"));
+    }
+}
