@@ -1,0 +1,74 @@
+//! Micro-benchmarks for the PR4 LEC-pruning rewrite: Algorithm 2's
+//! `prune_features` and Algorithm 1's `compute_lec_features` timed
+//! against their frozen pre-PR4 implementations, on the engine's own
+//! feature sets (LUBM LQ7 under hashing) and on the crossing-heavy
+//! many-feature stress case of `bench_pr4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstored_bench::{bench_pr4, datasets, experiments, reference};
+use gstored_core::lec::compute_lec_features;
+use gstored_core::prune::prune_features;
+use gstored_store::candidates::CandidateFilter;
+use gstored_store::{enumerate_local_partial_matches, EncodedQuery, LocalPartialMatch};
+
+fn bench(c: &mut Criterion) {
+    let dataset = datasets::lubm(8_000);
+    let dist = experiments::partition(dataset.graph.clone(), "hash", 4);
+    let q = dataset
+        .queries
+        .iter()
+        .find(|q| q.id == "LQ7")
+        .expect("LQ7 exists");
+    let query = experiments::query_graph(q);
+    let eq = EncodedQuery::encode(&query, dist.dict()).expect("encodable");
+    let filter = CandidateFilter::none(eq.vertex_count());
+    let query_edges: Vec<(usize, usize)> = eq.edges().iter().map(|e| (e.from, e.to)).collect();
+    // The exact feature set the coordinator prunes (engine-style per-site
+    // Algorithm 1 with disjoint id ranges).
+    let features = bench_pr4::coordinator_features(&dist, &eq);
+    // The LPM-heaviest fragment, for the Algorithm 1 head-to-head.
+    let heaviest: Vec<LocalPartialMatch> = dist
+        .fragments
+        .iter()
+        .map(|f| enumerate_local_partial_matches(f, &eq, &filter))
+        .max_by_key(Vec::len)
+        .expect("fragments exist");
+
+    let mut group = c.benchmark_group("micro_prune");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.bench_function("algorithm2_prune_lubm", |b| {
+        b.iter(|| {
+            criterion::black_box(prune_features(&features, eq.vertex_count(), &query_edges).len())
+        })
+    });
+    group.bench_function("algorithm2_prune_lubm_prepr4", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                reference::prune_features_prepr4(&features, eq.vertex_count(), &query_edges).len(),
+            )
+        })
+    });
+    group.bench_function("algorithm1_compress", |b| {
+        b.iter(|| criterion::black_box(compute_lec_features(&heaviest, 0).0.len()))
+    });
+    group.bench_function("algorithm1_compress_prepr4", |b| {
+        b.iter(|| {
+            criterion::black_box(reference::compute_lec_features_prepr4(&heaviest, 0).0.len())
+        })
+    });
+    let (many, nv, many_edges) = bench_pr4::many_feature_features(24);
+    group.bench_function("many_feature_prune", |b| {
+        b.iter(|| criterion::black_box(prune_features(&many, nv, &many_edges).len()))
+    });
+    group.bench_function("many_feature_prune_prepr4", |b| {
+        b.iter(|| {
+            criterion::black_box(reference::prune_features_prepr4(&many, nv, &many_edges).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

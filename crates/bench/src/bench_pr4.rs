@@ -1,0 +1,457 @@
+//! `BENCH_PR4.json`: the LEC-pruning leg of the repo's committed
+//! performance trajectory.
+//!
+//! `BENCH_PR3.json` showed that once matching and assembly were fast,
+//! Algorithm 2 (`prune_features`) dominated every variant that runs it —
+//! `lec_ms` was 355 ms of RQ2's 403 ms under gStoreD-LO/hash. PR 4
+//! rewrote the pruning pipeline (interned mapping keys, the crossing-edge
+//! indexed join graph, the memoized `ComLECFJoin`); this module produces
+//! the evidence:
+//!
+//! * **trajectory** — the same per-variant × per-partitioner sweep as
+//!   `BENCH_PR3.json` over LUBM and the crossing-heavy random dataset,
+//!   so the committed `lec_ms` columns line up file-to-file and show the
+//!   stage collapse;
+//! * **micro** — the optimized `prune_features` and `build_join_graph`
+//!   timed against the frozen pre-PR4 copies of [`crate::reference`], on
+//!   the engine's own feature sets (extracted per dataset × query under
+//!   hashing) and on the [`many_feature_features`] stress case, with the
+//!   survivor sets / adjacency checked equal on every input;
+//! * **acceptance** — the PR's claims, computed at generation time.
+//!
+//! The emitted JSON is schema-checked by [`validate`], which the CI
+//! `bench-pr4 --smoke` job runs against a small-scale regeneration.
+
+use std::collections::HashSet;
+
+use gstored_core::engine::{Engine, Variant};
+use gstored_core::lec::{compute_lec_features, LecFeature};
+use gstored_core::prune::prune_features;
+use gstored_rdf::{EdgeRef, TermId};
+use gstored_store::candidates::CandidateFilter;
+use gstored_store::{enumerate_local_partial_matches, EncodedQuery};
+
+use crate::bench_pr3::{num, time_ms};
+use crate::datasets::{self, Dataset};
+use crate::experiments::{partition, prepare, query_graph};
+use crate::reference;
+
+/// Identifies the emitted schema; bump when the JSON shape changes.
+pub const SCHEMA: &str = "gstored-bench-pr4/v1";
+
+/// Knobs for one `BENCH_PR4.json` generation.
+#[derive(Debug, Clone)]
+pub struct BenchPr4Config {
+    /// Triples for the LUBM trajectory dataset (the random dataset runs
+    /// at a third of this, exactly like `bench-pr3`, so the committed
+    /// trajectories are comparable file-to-file).
+    pub scale: usize,
+    /// Simulated sites.
+    pub sites: usize,
+    /// Width `n` of the crossing-heavy [`many_feature_features`] stress
+    /// case (`n² + 2n` features, LEC-group fan-out `n²`).
+    pub many_feature_width: usize,
+    /// Timing repetitions per micro measurement (minimum is reported).
+    pub iters: usize,
+}
+
+impl Default for BenchPr4Config {
+    fn default() -> Self {
+        BenchPr4Config {
+            scale: datasets::DEFAULT_SCALE,
+            sites: datasets::DEFAULT_SITES,
+            many_feature_width: 64,
+            iters: 3,
+        }
+    }
+}
+
+impl BenchPr4Config {
+    /// A tiny configuration for smoke tests and the CI bench job:
+    /// seconds, not minutes, while exercising every code path and schema
+    /// field.
+    pub fn smoke() -> Self {
+        BenchPr4Config {
+            scale: 2_000,
+            sites: 3,
+            many_feature_width: 10,
+            iters: 1,
+        }
+    }
+}
+
+/// The crossing-heavy many-feature pruning stress case: a path query
+/// `?a -p-> ?b -p-> ?c` over a single hub data vertex with `n` incoming
+/// and `n` outgoing crossing edges, compressed (as three fragments would)
+/// into `n` features covering `v0`, `n²` middle features covering `v1`
+/// (every in/out edge pair — the high LEC-group fan-out), and `n`
+/// features covering `v2`. Algorithm 2 joins the `v0` group through the
+/// `n²`-feature middle group, producing `n²` distinct intermediates per
+/// level: the pre-PR4 `next.iter_mut().find` dedup is `O(n⁴)` feature
+/// comparisons on this shape, the PR4 interned-key hash dedup near-linear
+/// in the `n²` intermediates. Every feature participates in a complete
+/// combination, so the expected survivor set is everything.
+///
+/// Returns `(features, n_query_vertices, query_edges)`.
+pub fn many_feature_features(n: usize) -> (Vec<LecFeature>, usize, Vec<(usize, usize)>) {
+    let query_edges = vec![(0usize, 1usize), (1usize, 2usize)];
+    let hub = TermId(1_000_000);
+    let label = TermId(500);
+    let a_edge = |i: usize| EdgeRef {
+        from: TermId(1 + i as u64),
+        label,
+        to: hub,
+    };
+    let c_edge = |j: usize| EdgeRef {
+        from: hub,
+        label,
+        to: TermId(10_000 + j as u64),
+    };
+    let mut features = Vec::with_capacity(n * n + 2 * n);
+    let mut id = 0u32;
+    let mut push = |fragment: usize, mapping: Vec<(EdgeRef, usize)>, sign: u64| {
+        features.push(LecFeature {
+            fragments: 1 << fragment,
+            mapping,
+            sign,
+            sources: vec![id],
+        });
+        id += 1;
+    };
+    // F0: the a-side endpoints, internal v0.
+    for i in 0..n {
+        push(0, vec![(a_edge(i), 0)], 0b001);
+    }
+    // F1: the hub fragment, internal v1 — one feature per (in, out) pair.
+    for i in 0..n {
+        for j in 0..n {
+            push(1, vec![(a_edge(i), 0), (c_edge(j), 1)], 0b010);
+        }
+    }
+    // F2: the c-side endpoints, internal v2.
+    for j in 0..n {
+        push(2, vec![(c_edge(j), 1)], 0b100);
+    }
+    (features, 3, query_edges)
+}
+
+/// One trajectory row: a query under one (dataset, partitioner, variant).
+fn query_json(id: &str, out: &gstored_core::engine::QueryOutput) -> String {
+    let m = &out.metrics;
+    let ms = |d: std::time::Duration| num(d.as_secs_f64() * 1e3);
+    format!(
+        "{{\"id\": \"{id}\", \"total_ms\": {}, \"candidates_ms\": {}, \"partial_eval_ms\": {}, \
+         \"lec_ms\": {}, \"assembly_ms\": {}, \"lpms\": {}, \"survivors\": {}, \"matches\": {}}}",
+        ms(m.total_time()),
+        ms(m.candidates.response_time()),
+        ms(m.partial_evaluation.response_time()),
+        ms(m.lec_optimization.response_time()),
+        ms(m.assembly.response_time()),
+        m.local_partial_matches,
+        m.surviving_partial_matches,
+        m.total_matches(),
+    )
+}
+
+/// The per-variant × per-partitioner sweep over one dataset's non-star
+/// queries. Returns the JSON object for the dataset plus, for the
+/// acceptance block, the summed `lec_ms` per (partitioner, variant).
+fn trajectory_dataset(dataset: &Dataset, sites: usize) -> (String, Vec<(String, Variant, f64)>) {
+    let mut lec_totals = Vec::new();
+    let mut partitioner_blocks = Vec::new();
+    for strategy in ["hash", "semantic", "metis"] {
+        let dist = partition(dataset.graph.clone(), strategy, sites);
+        let mut variant_blocks = Vec::new();
+        for variant in Variant::ALL {
+            let engine = Engine::with_variant(variant);
+            let mut rows = Vec::new();
+            let mut sum_ms = 0.0;
+            let mut sum_lec_ms = 0.0;
+            for q in dataset.queries.iter().filter(|q| !q.is_star()) {
+                let plan = prepare(&dist, q);
+                let out = engine
+                    .execute(&dist, &plan)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+                sum_ms += out.metrics.total_time().as_secs_f64() * 1e3;
+                sum_lec_ms += out.metrics.lec_optimization.response_time().as_secs_f64() * 1e3;
+                rows.push(query_json(q.id, &out));
+            }
+            lec_totals.push((strategy.to_string(), variant, sum_lec_ms));
+            variant_blocks.push(format!(
+                "{{\"variant\": \"{}\", \"total_ms\": {}, \"lec_total_ms\": {}, \
+                 \"queries\": [{}]}}",
+                variant.label(),
+                num(sum_ms),
+                num(sum_lec_ms),
+                rows.join(", ")
+            ));
+        }
+        partitioner_blocks.push(format!(
+            "{{\"partitioner\": \"{strategy}\", \"variants\": [{}]}}",
+            variant_blocks.join(", ")
+        ));
+    }
+    let block = format!(
+        "{{\"dataset\": \"{}\", \"partitioners\": [{}]}}",
+        dataset.name,
+        partitioner_blocks.join(", ")
+    );
+    (block, lec_totals)
+}
+
+/// Extract the exact feature set the coordinator prunes for one query:
+/// per-fragment LPM enumeration + Algorithm 1 with the engine's disjoint
+/// per-site id ranges (the `first_id` convention of `Engine::execute_on`).
+/// Public so `micro_prune` benches the same feature sets.
+pub fn coordinator_features(
+    dist: &gstored_partition::DistributedGraph,
+    eq: &EncodedQuery,
+) -> Vec<LecFeature> {
+    let filter = CandidateFilter::none(eq.vertex_count());
+    let mut all = Vec::new();
+    let mut next = 0u32;
+    for f in &dist.fragments {
+        let lpms = enumerate_local_partial_matches(f, eq, &filter);
+        let (features, _) = compute_lec_features(&lpms, next);
+        next += lpms.len() as u32 + 1;
+        all.extend(features);
+    }
+    all
+}
+
+/// Time old vs new `prune_features` on one feature set, checking the
+/// survivor sets are identical. Returns the JSON row and the speedup.
+fn prune_micro_json(
+    bench: &str,
+    features: &[LecFeature],
+    n_vertices: usize,
+    query_edges: &[(usize, usize)],
+    iters: usize,
+) -> (String, f64) {
+    let old: HashSet<u32> = reference::prune_features_prepr4(features, n_vertices, query_edges);
+    let new: HashSet<u32> = prune_features(features, n_vertices, query_edges)
+        .into_iter()
+        .collect();
+    assert_eq!(
+        old, new,
+        "{bench}: survivor drift between pre-PR4 and PR4 prune_features"
+    );
+    let pre_ms = time_ms(iters, || {
+        reference::prune_features_prepr4(features, n_vertices, query_edges).len()
+    });
+    let pr4_ms = time_ms(iters, || {
+        prune_features(features, n_vertices, query_edges).len()
+    });
+    let speedup = pre_ms / pr4_ms.max(1e-6);
+    (
+        format!(
+            "{{\"bench\": \"{bench}\", \"features\": {}, \"pre_pr4_ms\": {}, \"pr4_ms\": {}, \
+             \"speedup\": {}, \"survivors_equal\": true}}",
+            features.len(),
+            num(pre_ms),
+            num(pr4_ms),
+            num(speedup)
+        ),
+        speedup,
+    )
+}
+
+/// Generate the full `BENCH_PR4.json` document.
+pub fn run(config: &BenchPr4Config) -> String {
+    // --- Trajectory: LUBM + crossing-heavy random, as in bench-pr3 ---
+    let lubm = datasets::lubm(config.scale);
+    let random = datasets::random_dense((config.scale / 3).max(300));
+    let (lubm_block, _) = trajectory_dataset(&lubm, config.sites);
+    let (random_block, random_lec) = trajectory_dataset(&random, config.sites);
+
+    // --- Micro: optimized vs frozen pre-PR4 prune on the engine's own
+    // feature sets (the heavy LEC-running combinations) ---
+    let it = config.iters;
+    let mut benches = Vec::new();
+    let mut engine_speedups = Vec::new();
+    for (dataset, queries) in [(&lubm, &["LQ1", "LQ7"][..]), (&random, &["RQ2", "RQ3"][..])] {
+        let dist = partition(dataset.graph.clone(), "hash", config.sites);
+        for qid in queries {
+            let q = dataset
+                .queries
+                .iter()
+                .find(|q| &q.id == qid)
+                .unwrap_or_else(|| panic!("{qid} exists"));
+            let eq = EncodedQuery::encode(&query_graph(q), dist.dict()).expect("encodable");
+            let features = coordinator_features(&dist, &eq);
+            let query_edges: Vec<(usize, usize)> =
+                eq.edges().iter().map(|e| (e.from, e.to)).collect();
+            let (row, speedup) = prune_micro_json(
+                &format!("prune/{}_hash_{}", dataset.name, qid),
+                &features,
+                eq.vertex_count(),
+                &query_edges,
+                it,
+            );
+            benches.push(row);
+            engine_speedups.push(speedup);
+        }
+    }
+    let min_engine_speedup = engine_speedups
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+
+    // The crossing-heavy many-feature stress case (high group fan-out).
+    let (mf, mf_nv, mf_edges) = many_feature_features(config.many_feature_width);
+    let (row, many_feature_speedup) = prune_micro_json(
+        &format!("prune/many_feature_w{}", config.many_feature_width),
+        &mf,
+        mf_nv,
+        &mf_edges,
+        it,
+    );
+    benches.push(row);
+
+    // Join-graph build head-to-head: the crossing-edge posting index vs
+    // the all-pairs sweep, on the heaviest crossing-heavy feature set.
+    {
+        let dist = partition(random.graph.clone(), "hash", config.sites);
+        let q = random
+            .queries
+            .iter()
+            .find(|q| q.id == "RQ2")
+            .expect("RQ2 exists");
+        let eq = EncodedQuery::encode(&query_graph(q), dist.dict()).expect("encodable");
+        let features = coordinator_features(&dist, &eq);
+        let query_edges: Vec<(usize, usize)> = eq.edges().iter().map(|e| (e.from, e.to)).collect();
+        let groups = gstored_core::prune::group_by_sign(&features);
+        let old_groups = reference::group_by_sign_prepr4(&features);
+        let new_adj = gstored_core::prune::build_join_graph(&features, &groups, &query_edges);
+        let old_adj: Vec<Vec<usize>> =
+            reference::build_join_graph_prepr4(&old_groups, &query_edges)
+                .into_iter()
+                .map(|mut l| {
+                    l.sort_unstable();
+                    l
+                })
+                .collect();
+        assert_eq!(new_adj, old_adj, "join graph drift");
+        let pre = time_ms(it, || {
+            let g = reference::group_by_sign_prepr4(&features);
+            reference::build_join_graph_prepr4(&g, &query_edges).len()
+        });
+        let new = time_ms(it, || {
+            let g = gstored_core::prune::group_by_sign(&features);
+            gstored_core::prune::build_join_graph(&features, &g, &query_edges).len()
+        });
+        benches.push(format!(
+            "{{\"bench\": \"graph/build_join_graph_RANDOM_hash_RQ2\", \"features\": {}, \
+             \"pre_pr4_ms\": {}, \"pr4_ms\": {}, \"speedup\": {}}}",
+            features.len(),
+            num(pre),
+            num(new),
+            num(pre / new.max(1e-6))
+        ));
+    }
+
+    // Acceptance: the RANDOM/hash lec_ms totals for the LEC-running
+    // variants, comparable against the committed BENCH_PR3.json.
+    let lec_of = |variant: Variant| {
+        random_lec
+            .iter()
+            .find(|(p, v, _)| p == "hash" && *v == variant)
+            .map(|&(_, _, t)| t)
+            .expect("sweep covers all variants")
+    };
+
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {{\"scale\": {}, \"sites\": {}, \
+         \"many_feature_width\": {}, \"iters\": {}}},\n  \
+         \"trajectory\": {{\"datasets\": [\n    {},\n    {}\n  ]}},\n  \
+         \"micro\": {{\"units\": \"ms, min over iters\", \"benches\": [\n    {}\n  ]}},\n  \
+         \"acceptance\": {{\"many_feature_prune_speedup\": {}, \
+         \"min_engine_prune_speedup\": {}, \"survivors_equal_everywhere\": true, \
+         \"random_hash_lec_ms\": {{\"gStoreD-LO\": {}, \"gStoreD\": {}}}}}\n}}\n",
+        config.scale,
+        config.sites,
+        config.many_feature_width,
+        config.iters,
+        lubm_block,
+        random_block,
+        benches.join(",\n    "),
+        num(many_feature_speedup),
+        num(min_engine_speedup),
+        num(lec_of(Variant::LecOptimization)),
+        num(lec_of(Variant::Full)),
+    )
+}
+
+/// Check that `json` is syntactically valid JSON and carries the
+/// `BENCH_PR4.json` schema: the schema tag, a trajectory with both
+/// datasets, prune micro benches with survivor-equality flags, and the
+/// acceptance block.
+pub fn validate(json: &str) -> Result<(), String> {
+    crate::bench_pr3::json_syntax(json)?;
+    for needle in [
+        &format!("\"schema\": \"{SCHEMA}\"") as &str,
+        "\"config\"",
+        "\"trajectory\"",
+        "\"datasets\"",
+        "\"dataset\": \"LUBM\"",
+        "\"dataset\": \"RANDOM\"",
+        "\"partitioner\": \"hash\"",
+        "\"partitioner\": \"semantic\"",
+        "\"partitioner\": \"metis\"",
+        "\"variant\": \"gStoreD-Basic\"",
+        "\"variant\": \"gStoreD-LA\"",
+        "\"variant\": \"gStoreD-LO\"",
+        "\"variant\": \"gStoreD\"",
+        "\"lec_ms\"",
+        "\"lec_total_ms\"",
+        "\"micro\"",
+        "\"prune/many_feature_w",
+        "\"graph/build_join_graph_",
+        "\"pre_pr4_ms\"",
+        "\"speedup\"",
+        "\"survivors_equal\": true",
+        "\"acceptance\"",
+        "\"many_feature_prune_speedup\"",
+        "\"min_engine_prune_speedup\"",
+        "\"survivors_equal_everywhere\": true",
+        "\"random_hash_lec_ms\"",
+    ] {
+        if !json.contains(needle) {
+            return Err(format!("schema key missing: {needle}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_feature_workload_has_the_documented_shape() {
+        let n = 6;
+        let (features, nv, qedges) = many_feature_features(n);
+        assert_eq!(nv, 3);
+        assert_eq!(qedges.len(), 2);
+        assert_eq!(features.len(), n * n + 2 * n);
+        // Every feature participates in a complete combination.
+        let rs = prune_features(&features, nv, &qedges);
+        assert_eq!(rs.len(), features.len());
+        // And the frozen oracle agrees.
+        let old = reference::prune_features_prepr4(&features, nv, &qedges);
+        let new: HashSet<u32> = rs.into_iter().collect();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn validator_accepts_real_output_and_rejects_garbage() {
+        let json = run(&BenchPr4Config::smoke());
+        validate(&json).unwrap_or_else(|e| panic!("{e}\n---\n{json}"));
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err(), "schema keys required");
+        let broken = json.replace("\"trajectory\"", "\"notrajectory\"");
+        assert!(validate(&broken).is_err());
+        let syntax = format!("{json},");
+        assert!(validate(&syntax).is_err());
+    }
+}

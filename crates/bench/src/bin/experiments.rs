@@ -4,17 +4,19 @@
 //! experiments [table1|table2|table3|table4|fig9|fig10|fig11|fig12|all]
 //!             [--scale N] [--sites K] [--markdown]
 //! experiments bench-pr3 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr4 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
 //! cluster size). `--markdown` prints GitHub tables for EXPERIMENTS.md.
 //!
-//! `bench-pr3` regenerates the repo's committed performance trajectory:
-//! it writes `BENCH_PR3.json` (or `--out PATH`), validates it against the
-//! expected schema, and exits non-zero when validation fails. `--smoke`
-//! runs the tiny CI configuration.
+//! `bench-pr3` / `bench-pr4` regenerate the repo's committed performance
+//! trajectory: they write `BENCH_PR3.json` / `BENCH_PR4.json` (or
+//! `--out PATH`), validate it against the expected schema, and exit
+//! non-zero when validation fails. `--smoke` runs the tiny CI
+//! configuration.
 
-use gstored_bench::{bench_pr3, datasets, experiments, format::Table};
+use gstored_bench::{bench_pr3, bench_pr4, datasets, experiments, format::Table};
 
 struct Args {
     what: Vec<String>,
@@ -87,6 +89,29 @@ fn run_bench_pr3(args: &Args) {
     eprintln!("# bench-pr3: wrote {} bytes, schema OK", json.len());
 }
 
+fn run_bench_pr4(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr4::BenchPr4Config::smoke()
+    } else {
+        bench_pr4::BenchPr4Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR4.json");
+    eprintln!("# bench-pr4: {config:?} -> {path}");
+    let json = bench_pr4::run(&config);
+    if let Err(e) = bench_pr4::validate(&json) {
+        eprintln!("bench-pr4: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr4: wrote {} bytes, schema OK", json.len());
+}
+
 fn emit(table: Table, markdown: bool) {
     if markdown {
         print!("{}", table.render_markdown());
@@ -97,24 +122,26 @@ fn emit(table: Table, markdown: bool) {
 
 fn main() {
     let args = parse_args();
-    if args.what.iter().any(|w| w == "bench-pr3") {
-        if args.what.len() > 1 {
-            let others: Vec<&str> = args
-                .what
-                .iter()
-                .map(String::as_str)
-                .filter(|w| *w != "bench-pr3")
-                .collect();
-            eprintln!(
-                "warning: bench-pr3 runs alone; ignoring {}",
-                others.join(", ")
-            );
+    for (name, runner) in [
+        ("bench-pr3", run_bench_pr3 as fn(&Args)),
+        ("bench-pr4", run_bench_pr4 as fn(&Args)),
+    ] {
+        if args.what.iter().any(|w| w == name) {
+            if args.what.len() > 1 {
+                let others: Vec<&str> = args
+                    .what
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|w| *w != name)
+                    .collect();
+                eprintln!("warning: {name} runs alone; ignoring {}", others.join(", "));
+            }
+            runner(&args);
+            return;
         }
-        run_bench_pr3(&args);
-        return;
     }
     if args.smoke || args.out.is_some() {
-        eprintln!("warning: --smoke/--out only apply to bench-pr3; ignoring");
+        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4; ignoring");
     }
     let scale = args.scale.unwrap_or(datasets::DEFAULT_SCALE);
     let sites = args.sites.unwrap_or(datasets::DEFAULT_SITES);

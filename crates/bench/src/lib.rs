@@ -15,12 +15,14 @@
 //! | Fig. 11 (scalability) | [`experiments::fig_scalability`] |
 //! | Fig. 12 (system comparison) | [`experiments::fig_comparison`] |
 //!
-//! Beyond the paper's artifacts, [`bench_pr3`] emits the repo's committed
-//! performance trajectory (`BENCH_PR3.json`: per-variant × per-partitioner
-//! wall times, stage breakdowns, and the optimized hot paths timed against
-//! the frozen pre-PR3 baselines of [`mod@reference`]).
+//! Beyond the paper's artifacts, [`bench_pr3`] and [`bench_pr4`] emit the
+//! repo's committed performance trajectory (`BENCH_PR3.json` /
+//! `BENCH_PR4.json`: per-variant × per-partitioner wall times, stage
+//! breakdowns, and the optimized hot paths timed against the frozen
+//! pre-PR3/pre-PR4 baselines of [`mod@reference`]).
 
 pub mod bench_pr3;
+pub mod bench_pr4;
 pub mod datasets;
 pub mod experiments;
 pub mod format;

@@ -1,15 +1,19 @@
-//! Frozen **pre-PR3** implementations of the two hot paths, kept as
-//! benchmark baselines only.
+//! Frozen **pre-PR3 / pre-PR4** implementations of the hot paths, kept
+//! as benchmark baselines only.
 //!
 //! PR 3 rewrote the site-local matcher (neighbor-driven enumeration) and
 //! Algorithm 3's `ComParJoin` (hash join on the shared-query-vertex
-//! binding signature). These are byte-faithful copies of the previous
-//! implementations — the per-depth full-candidate-list scan, the
-//! linear-scan `checked.contains` consistency dedup, the pairwise
-//! `joinable` nested loop and the quadratic `next.contains` dedup — so
-//! that `BENCH_PR3.json` and the `micro_store`/`micro_lec` benches can
-//! measure the optimized paths against the exact code they replaced, on
-//! any machine, forever.
+//! binding signature). PR 4 rewrote the LEC pruning pipeline (Algorithms
+//! 1–2): interned mapping keys, the crossing-edge-indexed join graph and
+//! the memoized `ComLECFJoin`. These are byte-faithful copies of the
+//! previous implementations — the per-depth full-candidate-list scan,
+//! the linear-scan `checked.contains` consistency dedup, the pairwise
+//! `joinable` nested loops, the all-pairs `build_join_graph` sweep and
+//! the quadratic `next.contains` / `next.iter_mut().find` dedups — so
+//! that `BENCH_PR3.json`/`BENCH_PR4.json` and the
+//! `micro_store`/`micro_lec`/`micro_prune` benches can measure the
+//! optimized paths against the exact code they replaced, on any machine,
+//! forever.
 //!
 //! Nothing here is called by the engine. Do not "fix" these: their
 //! inefficiency is the point.
@@ -17,7 +21,6 @@
 use std::collections::HashSet;
 
 use gstored_core::lec::LecFeature;
-use gstored_core::prune::{build_join_graph, FeatureGroup};
 use gstored_partition::Fragment;
 use gstored_rdf::{EdgeRef, RdfGraph, TermId, VertexId};
 use gstored_store::candidates::CandidateFilter;
@@ -443,6 +446,213 @@ fn materialize(
 }
 
 // ---------------------------------------------------------------------------
+// Pre-PR4 Algorithms 1–2: Vec-keyed feature dedup, all-pairs join-graph
+// sweep and the unmemoized recursive ComLECFJoin with linear-scan dedup.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR4 form of `gstored_core::prune::FeatureGroup`: every group owns
+/// clones of its features (Definition 10).
+#[derive(Debug, Clone)]
+pub struct FeatureGroupPrePr4 {
+    /// The shared LECSign bitmask over query vertices.
+    pub sign: u64,
+    /// The features carrying that sign.
+    pub features: Vec<LecFeature>,
+}
+
+/// Pre-PR4 `compute_lec_features` (Algorithm 1): feature dedup through a
+/// hash map keyed by the owned `(fragments, mapping, sign)` tuple — every
+/// probe hashes and compares the full mapping `Vec`.
+pub fn compute_lec_features_prepr4(
+    lpms: &[LocalPartialMatch],
+    first_id: u32,
+) -> (Vec<LecFeature>, Vec<usize>) {
+    type OwnedFeatureKey = (u64, Vec<(EdgeRef, usize)>, u64);
+    let mut features: Vec<LecFeature> = Vec::new();
+    let mut index: fxhash::FxHashMap<OwnedFeatureKey, usize> = fxhash::FxHashMap::default();
+    let mut feature_of_lpm = Vec::with_capacity(lpms.len());
+    for lpm in lpms {
+        let mut f = LecFeature::of_lpm(lpm);
+        let idx = match index.entry((f.fragments, std::mem::take(&mut f.mapping), f.sign)) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                f.mapping = v.key().1.clone();
+                f.sources = vec![first_id + features.len() as u32];
+                features.push(f);
+                v.insert(features.len() - 1);
+                features.len() - 1
+            }
+        };
+        feature_of_lpm.push(idx);
+    }
+    (features, feature_of_lpm)
+}
+
+/// Pre-PR4 `group_by_sign` (Definition 10): hash-mapped on the sign, but
+/// every feature is **cloned** into its group.
+pub fn group_by_sign_prepr4(features: &[LecFeature]) -> Vec<FeatureGroupPrePr4> {
+    let mut group_of_sign: fxhash::FxHashMap<u64, usize> = fxhash::FxHashMap::default();
+    let mut groups: Vec<FeatureGroupPrePr4> = Vec::new();
+    for f in features {
+        let idx = *group_of_sign.entry(f.sign).or_insert_with(|| {
+            groups.push(FeatureGroupPrePr4 {
+                sign: f.sign,
+                features: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[idx].features.push(f.clone());
+    }
+    groups
+}
+
+/// Pre-PR4 `build_join_graph`: the all-pairs `O(G²·|Fi|·|Fj|)` joinable
+/// sweep — every group pair pays a full nested feature loop, with every
+/// `joinable` probe re-running the mapping scans from scratch.
+pub fn build_join_graph_prepr4(
+    groups: &[FeatureGroupPrePr4],
+    query_edges: &[(usize, usize)],
+) -> Vec<Vec<usize>> {
+    let n = groups.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Cheap prefilter: disjoint signs are necessary.
+            if groups[i].sign & groups[j].sign != 0 {
+                continue;
+            }
+            let joinable = groups[i].features.iter().any(|a| {
+                groups[j]
+                    .features
+                    .iter()
+                    .any(|b| a.joinable(b, query_edges))
+            });
+            if joinable {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Pre-PR4 `prune_features` (Algorithm 2), SipHash `HashSet` sink and all:
+/// the exact coordinator-side pruning the PR4 rewrite replaced.
+#[allow(clippy::while_let_loop)] // frozen copy: the loop body mutates `alive`
+pub fn prune_features_prepr4(
+    features: &[LecFeature],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+) -> HashSet<u32> {
+    let mut rs: HashSet<u32> = HashSet::new();
+    let groups = group_by_sign_prepr4(features);
+    let adj = build_join_graph_prepr4(&groups, query_edges);
+
+    let mut alive: Vec<bool> = vec![true; groups.len()];
+    loop {
+        let Some(vmin) = (0..groups.len())
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| groups[v].features.len())
+        else {
+            break;
+        };
+        com_lecf_join_prepr4(
+            &mut vec![vmin],
+            groups[vmin].features.clone(),
+            &groups,
+            &adj,
+            &alive,
+            n_query_vertices,
+            query_edges,
+            &mut rs,
+        );
+        alive[vmin] = false;
+        loop {
+            let mut removed = false;
+            for v in 0..groups.len() {
+                if alive[v] && !adj[v].iter().any(|&u| alive[u]) {
+                    alive[v] = false;
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+    rs
+}
+
+/// Pre-PR4 recursive `ComLECFJoin`: `visited.contains` scans, feature
+/// `Vec` clones at every depth, the quadratic `next.iter_mut().find`
+/// dedup with per-merge `sort_unstable`/`dedup` of `sources`, and no
+/// memoization of re-reached states.
+#[allow(clippy::too_many_arguments)]
+fn com_lecf_join_prepr4(
+    visited: &mut Vec<usize>,
+    current: Vec<LecFeature>,
+    groups: &[FeatureGroupPrePr4],
+    adj: &[Vec<usize>],
+    alive: &[bool],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+    rs: &mut HashSet<u32>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    let mut frontier: Vec<usize> = visited
+        .iter()
+        .flat_map(|&v| adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited.contains(&u))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+
+    for v in frontier {
+        let mut next: Vec<LecFeature> = Vec::new();
+        for a in &current {
+            for b in &groups[v].features {
+                if !a.joinable(b, query_edges) {
+                    continue;
+                }
+                let joined = a.join(b);
+                if joined.is_complete(n_query_vertices) {
+                    rs.extend(joined.sources.iter().copied());
+                } else {
+                    match next.iter_mut().find(|f| {
+                        f.fragments == joined.fragments
+                            && f.sign == joined.sign
+                            && f.mapping == joined.mapping
+                    }) {
+                        Some(f) => {
+                            f.sources.extend(joined.sources.iter().copied());
+                            f.sources.sort_unstable();
+                            f.sources.dedup();
+                        }
+                        None => next.push(joined),
+                    }
+                }
+            }
+        }
+        if !next.is_empty() {
+            visited.push(v);
+            com_lecf_join_prepr4(
+                visited,
+                next,
+                groups,
+                adj,
+                alive,
+                n_query_vertices,
+                query_edges,
+                rs,
+            );
+            visited.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Pre-PR3 Algorithm 3: pairwise ComParJoin with quadratic dedup.
 // ---------------------------------------------------------------------------
 
@@ -465,7 +675,7 @@ pub fn assemble_lec_prepr3(
             None => groups.push((lpm.internal_mask, vec![lpm])),
         }
     }
-    let feature_groups: Vec<FeatureGroup> = groups
+    let feature_groups: Vec<FeatureGroupPrePr4> = groups
         .iter()
         .map(|(sign, members)| {
             let mut features: Vec<LecFeature> = Vec::new();
@@ -475,13 +685,13 @@ pub fn assemble_lec_prepr3(
                     features.push(f);
                 }
             }
-            FeatureGroup {
+            FeatureGroupPrePr4 {
                 sign: *sign,
                 features,
             }
         })
         .collect();
-    let adj = build_join_graph(&feature_groups, query_edges);
+    let adj = build_join_graph_prepr4(&feature_groups, query_edges);
 
     let mut found: HashSet<Vec<VertexId>> = HashSet::new();
     let mut alive = vec![true; groups.len()];

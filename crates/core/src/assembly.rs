@@ -205,26 +205,28 @@ pub fn assemble_lec(
         });
         groups[idx].1.push(i);
     }
-    // Group join graph via the groups' feature sets (features deduped by
-    // their structural key through the same fast hasher).
-    let feature_groups: Vec<FeatureGroup> = groups
-        .iter()
-        .map(|(sign, members)| {
-            let mut seen: FxHashSet<crate::lec::OwnedFeatureKey> = FxHashSet::default();
-            let mut features: Vec<LecFeature> = Vec::new();
-            for &mi in members {
-                let f = LecFeature::of_lpm(&lpms[mi]);
-                if seen.insert((f.fragments, f.mapping.clone(), f.sign)) {
-                    features.push(f);
-                }
+    // Group join graph via the groups' feature sets: features deduped by
+    // their structural key into one shared list, groups holding indices
+    // into it (the index-based `FeatureGroup` shape `build_join_graph`'s
+    // crossing-edge posting index works over).
+    let mut feature_list: Vec<LecFeature> = Vec::new();
+    let mut feature_groups: Vec<FeatureGroup> = Vec::with_capacity(groups.len());
+    for (sign, members) in &groups {
+        let mut seen: FxHashSet<crate::lec::OwnedFeatureKey> = FxHashSet::default();
+        let mut idxs: Vec<u32> = Vec::new();
+        for &mi in members {
+            let f = LecFeature::of_lpm(&lpms[mi]);
+            if seen.insert((f.fragments, f.mapping.clone(), f.sign)) {
+                idxs.push(feature_list.len() as u32);
+                feature_list.push(f);
             }
-            FeatureGroup {
-                sign: *sign,
-                features,
-            }
-        })
-        .collect();
-    let adj = build_join_graph(&feature_groups, query_edges);
+        }
+        feature_groups.push(FeatureGroup {
+            sign: *sign,
+            members: idxs,
+        });
+    }
+    let adj = build_join_graph(&feature_list, &feature_groups, query_edges);
 
     let mut found: FxHashSet<MatchBinding> = FxHashSet::default();
     let mut alive = vec![true; groups.len()];

@@ -31,6 +31,7 @@
 
 use std::collections::HashSet;
 
+use fxhash::FxHashSet;
 use gstored_net::{NetworkModel, QueryMetrics, TcpTransport, Transport};
 use gstored_partition::DistributedGraph;
 use gstored_rdf::{Term, VertexId};
@@ -440,7 +441,7 @@ impl Engine {
             metrics.lec_features = all_features.len() as u64;
 
             // Coordinator prunes (Algorithm 2)...
-            let useful: HashSet<u32> = metrics
+            let useful: FxHashSet<u32> = metrics
                 .lec_optimization
                 .time(|| prune_features(&all_features, q.vertex_count(), &query_edges));
 

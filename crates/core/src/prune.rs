@@ -6,65 +6,463 @@
 //! it. Every original feature whose joins reach an all-ones LECSign is
 //! *useful*; the rest — and all their local partial matches — are pruned
 //! before any LPM is shipped.
+//!
+//! This is the engine's Algorithm 2 hot path, engineered around a
+//! per-query [`MappingInterner`]:
+//!
+//! * every feature's crossing-edge mapping becomes a `u32` id, so the
+//!   structural key `(fragments, mapping id, sign)` is `Copy` and every
+//!   dedup map is integer-keyed;
+//! * pairwise mapping compatibility (Definition 9 conditions 2/3/5) is
+//!   an allocation-free merge scan, memoized per unordered id pair where
+//!   re-probes actually happen (the join-graph build); mapping unions
+//!   are computed and interned once per pair;
+//! * [`build_join_graph`] replaces the all-pairs `O(G²·|Fi|·|Fj|)` sweep
+//!   with a crossing-edge index: candidate group pairs come from shared
+//!   `(data edge, query edge)` postings (condition 2 is *necessary*), so
+//!   only groups that can possibly join pay a probe, and large posting
+//!   sweeps run on scoped threads;
+//! * [`prune_features`]' recursive `ComLECFJoin` tracks the visited
+//!   group set as a `u64` bitmask, drives each join level off per-group
+//!   posting indexes (an intermediate only meets members it shares a
+//!   crossing edge with, never the full `current × members` product),
+//!   deduplicates join results through an interned-key hash map, records
+//!   lineage as a join-derivation DAG of `(a, b)` back-pointers (one
+//!   backward reachability pass at the end replaces the per-join
+//!   `sources` vector cloning/merging), and memoizes explored
+//!   `(visited set, current features)` states so structurally identical
+//!   subtrees — the same frontier reached through a different join
+//!   order — expand exactly once.
 
-use std::collections::HashSet;
+use fxhash::{FxHashMap, FxHashSet};
+use gstored_rdf::EdgeRef;
 
-use crate::lec::LecFeature;
+use crate::lec::{mappings_compatible, InternedFeatureKey, LecFeature, MappingInterner};
 
 /// One LEC feature group (Definition 10): all features sharing a LECSign.
+/// Groups index into the shared feature slice they were built over
+/// instead of owning clones, so grouping allocates no feature copies.
 #[derive(Debug, Clone)]
 pub struct FeatureGroup {
     /// The shared LECSign bitmask over query vertices.
     pub sign: u64,
-    /// The features carrying that sign.
-    pub features: Vec<LecFeature>,
+    /// Indices (into the grouped feature slice) of the features carrying
+    /// that sign.
+    pub members: Vec<u32>,
 }
 
 /// Group features by LECSign (Definition 10) — hash-mapped on the sign,
-/// so grouping is linear in the feature count.
+/// so grouping is linear in the feature count; groups hold indices into
+/// `features`, not clones.
 pub fn group_by_sign(features: &[LecFeature]) -> Vec<FeatureGroup> {
-    let mut group_of_sign: fxhash::FxHashMap<u64, usize> = fxhash::FxHashMap::default();
+    let mut group_of_sign: FxHashMap<u64, usize> = FxHashMap::default();
     let mut groups: Vec<FeatureGroup> = Vec::new();
-    for f in features {
+    for (i, f) in features.iter().enumerate() {
         let idx = *group_of_sign.entry(f.sign).or_insert_with(|| {
             groups.push(FeatureGroup {
                 sign: f.sign,
-                features: Vec::new(),
+                members: Vec::new(),
             });
             groups.len() - 1
         });
-        groups[idx].features.push(f.clone());
+        groups[idx].members.push(i as u32);
     }
     groups
 }
 
-/// The join graph over feature groups: `adj[i]` lists groups with at least
-/// one joinable feature pair with group `i`.
+/// The join graph over feature groups: `adj[i]` lists groups with at
+/// least one joinable feature pair with group `i` (sorted, deduplicated).
+///
+/// Candidate pairs come from a crossing-edge index — Definition 9
+/// condition 2 requires a shared `(data edge, query edge)` entry, so two
+/// groups can only be adjacent if some posting list contains features of
+/// both — then pay the disjoint-sign mask test and a memoized
+/// compatibility probe. Groups that share no crossing edge are never
+/// compared at all, which is what makes the build sublinear in the group
+/// pair count on real workloads.
 pub fn build_join_graph(
+    features: &[LecFeature],
     groups: &[FeatureGroup],
     query_edges: &[(usize, usize)],
 ) -> Vec<Vec<usize>> {
-    let n = groups.len();
-    let mut adj = vec![Vec::new(); n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            // Cheap prefilter: disjoint signs are necessary.
-            if groups[i].sign & groups[j].sign != 0 {
-                continue;
+    let mut interner = MappingInterner::new();
+    let mapping_ids: Vec<u32> = features
+        .iter()
+        .map(|f| interner.intern(&f.mapping))
+        .collect();
+    build_join_graph_interned(&interner, features, &mapping_ids, groups, query_edges)
+}
+
+/// Above ~this many candidate feature-pair probes the posting sweep is
+/// split across scoped threads (the same pattern the engine uses for its
+/// in-process site workers). Below it, thread spawn/join overhead loses.
+const PARALLEL_PROBE_THRESHOLD: usize = 1 << 14;
+
+/// Below ~this many features the all-pairs group sweep (with memoized,
+/// allocation-free probes and its early exits) beats building the
+/// posting index at all — the index pays off asymptotically, not on
+/// inputs that fit in a few cache lines.
+const SMALL_SWEEP_FEATURES: usize = 256;
+
+/// One posting-sweep thread's yield: the adjacent group pairs it found.
+type SweepResult = FxHashSet<(u32, u32)>;
+
+/// The Definition 9 feature-pair test shared by both join-graph sweep
+/// strategies (condition 1 plus the memoized conditions 2/3/5). The
+/// disjoint-sign test is applied at group level by both callers.
+#[allow(clippy::too_many_arguments)]
+fn pair_joinable(
+    fa: u32,
+    fb: u32,
+    features: &[LecFeature],
+    mapping_ids: &[u32],
+    interner: &MappingInterner,
+    query_edges: &[(usize, usize)],
+    cache: &mut FxHashMap<(u32, u32), bool>,
+) -> bool {
+    let (a, b) = (&features[fa as usize], &features[fb as usize]);
+    // Condition 1: not two originals of the same fragment.
+    !(a.fragments == b.fragments && a.fragments.count_ones() == 1)
+        && interner.compatible_cached(
+            mapping_ids[fa as usize],
+            mapping_ids[fb as usize],
+            query_edges,
+            cache,
+        )
+}
+
+/// [`build_join_graph`] over pre-interned mappings.
+fn build_join_graph_interned(
+    interner: &MappingInterner,
+    features: &[LecFeature],
+    mapping_ids: &[u32],
+    groups: &[FeatureGroup],
+    query_edges: &[(usize, usize)],
+) -> Vec<Vec<usize>> {
+    if features.len() <= SMALL_SWEEP_FEATURES {
+        let mut cache: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        let mut adj = vec![Vec::new(); groups.len()];
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if groups[i].sign & groups[j].sign != 0 {
+                    continue;
+                }
+                let joinable = groups[i].members.iter().any(|&fa| {
+                    groups[j].members.iter().any(|&fb| {
+                        pair_joinable(
+                            fa,
+                            fb,
+                            features,
+                            mapping_ids,
+                            interner,
+                            query_edges,
+                            &mut cache,
+                        )
+                    })
+                });
+                if joinable {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
             }
-            let joinable = groups[i].features.iter().any(|a| {
-                groups[j]
-                    .features
-                    .iter()
-                    .any(|b| a.joinable(b, query_edges))
-            });
-            if joinable {
-                adj[i].push(j);
-                adj[j].push(i);
+        }
+        return adj;
+    }
+
+    let mut group_of = vec![0u32; features.len()];
+    for (gi, g) in groups.iter().enumerate() {
+        for &fi in &g.members {
+            group_of[fi as usize] = gi as u32;
+        }
+    }
+    // Posting lists: (crossing data edge, query edge) -> features whose
+    // mapping contains that entry. Only rows with ≥ 2 features can
+    // witness an adjacency.
+    let mut postings: FxHashMap<(EdgeRef, usize), Vec<u32>> = FxHashMap::default();
+    for (fi, f) in features.iter().enumerate() {
+        for &entry in &f.mapping {
+            let row = postings.entry(entry).or_default();
+            // A degenerate mapping may repeat an entry; post once.
+            if row.last() != Some(&(fi as u32)) {
+                row.push(fi as u32);
             }
         }
     }
+    let mut rows: Vec<Vec<u32>> = postings.into_values().filter(|r| r.len() > 1).collect();
+
+    let probes: usize = rows.iter().map(|r| r.len() * (r.len() - 1) / 2).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let adjacent: FxHashSet<(u32, u32)> = if probes >= PARALLEL_PROBE_THRESHOLD && threads > 1 {
+        // Deal rows round-robin by descending size for balance; each
+        // thread probes with its own compatibility cache against the
+        // shared read-only interner (caches are per-sweep — pairs repeat
+        // across a sweep's rows, not beyond it).
+        rows.sort_unstable_by_key(|r| std::cmp::Reverse(r.len()));
+        let chunks: Vec<Vec<Vec<u32>>> = {
+            let mut chunks: Vec<Vec<Vec<u32>>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, row) in rows.into_iter().enumerate() {
+                chunks[i % threads].push(row);
+            }
+            chunks
+        };
+        let group_of = &group_of;
+        let results: Vec<SweepResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut cache: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+                        let mut found: FxHashSet<(u32, u32)> = FxHashSet::default();
+                        for row in &chunk {
+                            probe_row(
+                                row,
+                                features,
+                                groups,
+                                group_of,
+                                mapping_ids,
+                                interner,
+                                query_edges,
+                                &mut cache,
+                                &mut found,
+                            );
+                        }
+                        found
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("posting sweep thread panicked"))
+                .collect()
+        });
+        let mut adjacent = FxHashSet::default();
+        for found in results {
+            adjacent.extend(found);
+        }
+        adjacent
+    } else {
+        let mut cache: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        let mut adjacent = FxHashSet::default();
+        for row in &rows {
+            probe_row(
+                row,
+                features,
+                groups,
+                &group_of,
+                mapping_ids,
+                interner,
+                query_edges,
+                &mut cache,
+                &mut adjacent,
+            );
+        }
+        adjacent
+    };
+
+    let mut adj = vec![Vec::new(); groups.len()];
+    for &(a, b) in &adjacent {
+        adj[a as usize].push(b as usize);
+        adj[b as usize].push(a as usize);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
     adj
+}
+
+/// Probe one posting row for adjacent group pairs. Every pair in the row
+/// already shares an entry (condition 2). The row is bucketed by group
+/// first, so a group pair that is already adjacent skips its whole
+/// feature-pair block and same-group members cost nothing; within an
+/// undecided pair the probe loop exits on the first joinable witness,
+/// exactly like the all-pairs sweep's `any()` did.
+#[allow(clippy::too_many_arguments)]
+fn probe_row(
+    row: &[u32],
+    features: &[LecFeature],
+    groups: &[FeatureGroup],
+    group_of: &[u32],
+    mapping_ids: &[u32],
+    interner: &MappingInterner,
+    query_edges: &[(usize, usize)],
+    cache: &mut FxHashMap<(u32, u32), bool>,
+    adjacent: &mut FxHashSet<(u32, u32)>,
+) {
+    // Bucket the row by owning group (rows are typically short and touch
+    // few groups; a sorted run split beats hashing here).
+    let mut by_group: Vec<u32> = row.to_vec();
+    by_group.sort_unstable_by_key(|&fi| group_of[fi as usize]);
+    let mut buckets: Vec<&[u32]> = Vec::new();
+    let mut start = 0;
+    for i in 1..=by_group.len() {
+        if i == by_group.len()
+            || group_of[by_group[i] as usize] != group_of[by_group[start] as usize]
+        {
+            buckets.push(&by_group[start..i]);
+            start = i;
+        }
+    }
+    for (x, fa_list) in buckets.iter().enumerate() {
+        let ga = group_of[fa_list[0] as usize];
+        for fb_list in &buckets[x + 1..] {
+            let gb = group_of[fb_list[0] as usize];
+            let pair = (ga.min(gb), ga.max(gb));
+            if adjacent.contains(&pair) {
+                continue;
+            }
+            // Theorem 5 prefilter: disjoint signs are necessary (group
+            // signs equal member signs, so this is the feature test too).
+            if groups[ga as usize].sign & groups[gb as usize].sign != 0 {
+                continue;
+            }
+            'pair: for &fa in *fa_list {
+                for &fb in *fb_list {
+                    if pair_joinable(fa, fb, features, mapping_ids, interner, query_edges, cache) {
+                        adjacent.insert(pair);
+                        break 'pair;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A joined (or seed) feature during the Algorithm 2 DFS: three words of
+/// structural key plus its node id in the join-derivation DAG. `Copy`,
+/// so DFS levels pass features around without cloning any `Vec` —
+/// lineage is *recorded* as back-pointers, never carried.
+#[derive(Debug, Clone, Copy)]
+struct Feat {
+    fragments: u64,
+    mapping: u32,
+    sign: u64,
+    node: u32,
+}
+
+/// The DFS stack of visited groups: push/pop order plus O(1) membership,
+/// and — when the group count fits — a `u64` bitmask that doubles as the
+/// memoization key for the visited set.
+struct VisitedStack {
+    order: Vec<usize>,
+    flags: Vec<bool>,
+    mask: u64,
+    small: bool,
+}
+
+impl VisitedStack {
+    fn new(n_groups: usize) -> Self {
+        VisitedStack {
+            order: Vec::new(),
+            flags: vec![false; n_groups],
+            mask: 0,
+            small: n_groups <= 64,
+        }
+    }
+
+    fn push(&mut self, v: usize) {
+        self.order.push(v);
+        self.flags[v] = true;
+        if self.small {
+            self.mask |= 1 << v;
+        }
+    }
+
+    fn pop(&mut self) {
+        let v = self.order.pop().expect("pop matches a push");
+        self.flags[v] = false;
+        if self.small {
+            self.mask &= !(1 << v);
+        }
+    }
+
+    /// The visited-set memo key — `None` when more than 64 groups exist,
+    /// in which case state memoization is skipped (still correct, just
+    /// not deduplicated).
+    fn key(&self) -> Option<u64> {
+        self.small.then_some(self.mask)
+    }
+}
+
+/// Everything the recursive `ComLECFJoin` threads through unchanged.
+///
+/// Instead of carrying source lineages in-flight (the pre-PR4 code
+/// cloned, extended and re-sorted a `sources` vector on every join and
+/// merge), the DFS records a **join-derivation DAG**: every intermediate
+/// is a node whose `node_parents` entries are the `(a, b)` pairs that
+/// derived it (several, when structurally identical joins merge), every
+/// completing join lands in `complete_pairs`, and memo hits add `aliases`
+/// edges tying the skipped instance to the expanded one. One backward
+/// reachability pass at the end marks exactly the input features that
+/// participate in a complete combination.
+struct JoinCtx<'a> {
+    adj: &'a [Vec<usize>],
+    query_edges: &'a [(usize, usize)],
+    interner: &'a mut MappingInterner,
+    /// Per-input-feature `Feat` seeds (node id = feature index).
+    seeds: Vec<Feat>,
+    /// Per-group posting index: `(data edge, query edge)` entry → the
+    /// group's member features whose mapping contains it. Joins probe
+    /// only members sharing an entry with the intermediate (condition 2
+    /// is necessary), never the full `current × members` cross product.
+    group_postings: Vec<FxHashMap<(EdgeRef, usize), Vec<u32>>>,
+    /// All-ones LECSign for the query.
+    full_sign: u64,
+    /// Derivation DAG: nodes `0..features.len()` are the input features
+    /// (no parents); intermediates append as created.
+    node_parents: Vec<Vec<(u32, u32)>>,
+    /// `(a, b)` node pairs whose join reached the all-ones sign.
+    complete_pairs: Vec<(u32, u32)>,
+    /// `(from, to)` edges: `from` useful ⇒ `to` useful (memo-hit
+    /// alignment between structurally identical current sets).
+    aliases: Vec<(u32, u32)>,
+    /// Explored states of the *current* outer iteration (cleared when
+    /// `alive` changes): `(visited mask, sorted structural keys)` → the
+    /// node ids of the expanded instance, aligned with the key order.
+    explored: FxHashMap<(u64, Vec<InternedFeatureKey>), Vec<u32>>,
+}
+
+impl JoinCtx<'_> {
+    /// Memoize the `(visited, current)` state. Returns `true` when the
+    /// state was already expanded — in that case alias edges from the
+    /// expanded instance's nodes to this one's have been recorded, so the
+    /// skipped subtree's completions still reach this lineage.
+    ///
+    /// Alignment is by sorted structural key; features sharing a key
+    /// behave identically downstream, so any bijection among them is
+    /// sound.
+    fn memo_hit(&mut self, vmask: u64, current: &[Feat]) -> bool {
+        let mut order: Vec<u32> = (0..current.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let f = &current[i as usize];
+            (f.fragments, f.mapping, f.sign, f.node)
+        });
+        let keys: Vec<InternedFeatureKey> = order
+            .iter()
+            .map(|&i| {
+                let f = &current[i as usize];
+                (f.fragments, f.mapping, f.sign)
+            })
+            .collect();
+        let nodes: Vec<u32> = order.iter().map(|&i| current[i as usize].node).collect();
+        match self.explored.entry((vmask, keys)) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                for (&expanded, &skipped) in o.get().iter().zip(&nodes) {
+                    if expanded != skipped {
+                        self.aliases.push((expanded, skipped));
+                    }
+                }
+                true
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(nodes);
+                false
+            }
+        }
+    }
 }
 
 /// Algorithm 2: returns the set of **original feature ids** (the `sources`
@@ -76,10 +474,57 @@ pub fn prune_features(
     features: &[LecFeature],
     n_query_vertices: usize,
     query_edges: &[(usize, usize)],
-) -> HashSet<u32> {
-    let mut rs: HashSet<u32> = HashSet::new();
+) -> FxHashSet<u32> {
+    if features.is_empty() {
+        return FxHashSet::default();
+    }
     let groups = group_by_sign(features);
-    let adj = build_join_graph(&groups, query_edges);
+    let mut interner = MappingInterner::new();
+    let mapping_ids: Vec<u32> = features
+        .iter()
+        .map(|f| interner.intern(&f.mapping))
+        .collect();
+    let adj = build_join_graph_interned(&interner, features, &mapping_ids, &groups, query_edges);
+
+    let full_sign = crate::lec::full_sign(n_query_vertices);
+    let seeds: Vec<Feat> = features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Feat {
+            fragments: f.fragments,
+            mapping: mapping_ids[i],
+            sign: f.sign,
+            node: i as u32,
+        })
+        .collect();
+    let group_postings: Vec<FxHashMap<(EdgeRef, usize), Vec<u32>>> = groups
+        .iter()
+        .map(|g| {
+            let mut p: FxHashMap<(EdgeRef, usize), Vec<u32>> = FxHashMap::default();
+            for &fi in &g.members {
+                for &entry in &features[fi as usize].mapping {
+                    let row = p.entry(entry).or_default();
+                    // Canonical mappings keep duplicates adjacent.
+                    if row.last() != Some(&fi) {
+                        row.push(fi);
+                    }
+                }
+            }
+            p
+        })
+        .collect();
+    let mut ctx = JoinCtx {
+        adj: &adj,
+        query_edges,
+        interner: &mut interner,
+        seeds,
+        group_postings,
+        full_sign,
+        node_parents: vec![Vec::new(); features.len()],
+        complete_pairs: Vec::new(),
+        aliases: Vec::new(),
+        explored: FxHashMap::default(),
+    };
 
     // Work on a shrinking vertex set, per the algorithm's outer loop.
     let mut alive: Vec<bool> = vec![true; groups.len()];
@@ -87,20 +532,21 @@ pub fn prune_features(
         // Pick the smallest alive group.
         let Some(vmin) = (0..groups.len())
             .filter(|&v| alive[v])
-            .min_by_key(|&v| groups[v].features.len())
+            .min_by_key(|&v| groups[v].members.len())
         else {
             break;
         };
-        com_lecf_join(
-            &mut vec![vmin],
-            groups[vmin].features.clone(),
-            &groups,
-            &adj,
-            &alive,
-            n_query_vertices,
-            query_edges,
-            &mut rs,
-        );
+        // The memo is only valid for a fixed `alive`; the outer loop
+        // changes it, so each iteration explores afresh.
+        ctx.explored.clear();
+        let current: Vec<Feat> = groups[vmin]
+            .members
+            .iter()
+            .map(|&fi| ctx.seeds[fi as usize])
+            .collect();
+        let mut visited = VisitedStack::new(groups.len());
+        visited.push(vmin);
+        com_lecf_join(&mut ctx, &mut visited, current, &alive);
         alive[vmin] = false;
         // Remove outliers: groups with no alive neighbor cannot join
         // anything anymore.
@@ -117,75 +563,162 @@ pub fn prune_features(
             }
         }
     }
+
+    // Backward reachability over the derivation DAG: a node is useful
+    // iff it participates in some completing join chain. Completing
+    // pairs seed the worklist; usefulness propagates to every recorded
+    // derivation's parents and across alias edges. Input features that
+    // end up marked are exactly the sources the pre-PR4 code accumulated
+    // by carrying lineage vectors through every join.
+    let mut alias_of: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for &(from, to) in &ctx.aliases {
+        alias_of.entry(from).or_default().push(to);
+    }
+    let mut useful = vec![false; ctx.node_parents.len()];
+    let mut work: Vec<u32> = Vec::new();
+    for &(a, b) in &ctx.complete_pairs {
+        work.push(a);
+        work.push(b);
+    }
+    while let Some(x) = work.pop() {
+        if std::mem::replace(&mut useful[x as usize], true) {
+            continue;
+        }
+        for &(a, b) in &ctx.node_parents[x as usize] {
+            work.push(a);
+            work.push(b);
+        }
+        if let Some(dsts) = alias_of.get(&x) {
+            work.extend(dsts.iter().copied());
+        }
+    }
+    let mut rs = FxHashSet::default();
+    for (f, &u) in features.iter().zip(&useful) {
+        if u {
+            rs.extend(f.sources.iter().copied());
+        }
+    }
     rs
 }
 
-/// The recursive `ComLECFJoin` of Algorithm 2. `visited` is the vertex set
-/// `V`; `current` the accumulated joined features for that set.
-#[allow(clippy::too_many_arguments)]
+/// The recursive `ComLECFJoin` of Algorithm 2. `visited` is the vertex
+/// set `V`; `current` the accumulated joined features for that set.
+///
+/// Per-level work: frontier from the adjacency lists (bitmask/flag
+/// membership, no `Vec::contains`); per (intermediate × group member)
+/// pair a sign mask test, the original-fragment rule and a memoized
+/// mapping-compatibility probe; join results deduplicated through an
+/// integer-keyed map, recording every derivation as DAG back-pointers
+/// (no lineage vectors cloned or merged in-flight). The
+/// `(visited, current)` state memo skips subtrees that an earlier join
+/// order already expanded, wiring alias edges so the skipped instance
+/// inherits the expanded one's completions.
 fn com_lecf_join(
-    visited: &mut Vec<usize>,
-    current: Vec<LecFeature>,
-    groups: &[FeatureGroup],
-    adj: &[Vec<usize>],
+    ctx: &mut JoinCtx<'_>,
+    visited: &mut VisitedStack,
+    current: Vec<Feat>,
     alive: &[bool],
-    n_query_vertices: usize,
-    query_edges: &[(usize, usize)],
-    rs: &mut HashSet<u32>,
 ) {
     if current.is_empty() {
         return;
     }
+    if let Some(vmask) = visited.key() {
+        if ctx.memo_hit(vmask, &current) {
+            return; // an earlier join order already expanded this state
+        }
+    }
     // Neighbors of the visited set (alive, not already visited).
     let mut frontier: Vec<usize> = visited
+        .order
         .iter()
-        .flat_map(|&v| adj[v].iter().copied())
-        .filter(|&u| alive[u] && !visited.contains(&u))
+        .flat_map(|&v| ctx.adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited.flags[u])
         .collect();
     frontier.sort_unstable();
     frontier.dedup();
 
+    let mut a_entries: Vec<(EdgeRef, usize)> = Vec::new();
     for v in frontier {
-        let mut next: Vec<LecFeature> = Vec::new();
+        let mut next: Vec<Feat> = Vec::new();
+        // Dedup by interned structure; a hit records one more derivation
+        // of the same node — two different lineages reaching the same
+        // joined feature are both useful if the feature later completes.
+        let mut slot: FxHashMap<InternedFeatureKey, u32> = FxHashMap::default();
         for a in &current {
-            for b in &groups[v].features {
-                if !a.joinable(b, query_edges) {
+            // Condition 2 is necessary, so candidate members come from
+            // the group's posting index over `a`'s mapping entries —
+            // members sharing nothing with `a` are never probed, unlike
+            // the pre-PR4 full `current × members` sweep.
+            a_entries.clear();
+            a_entries.extend_from_slice(ctx.interner.resolve(a.mapping));
+            for ei in 0..a_entries.len() {
+                let Some(cands) = ctx.group_postings[v].get(&a_entries[ei]) else {
                     continue;
-                }
-                let joined = a.join(b);
-                if joined.is_complete(n_query_vertices) {
-                    rs.extend(joined.sources.iter().copied());
-                } else {
-                    // Dedup by structure, merging source lineages: two
-                    // different lineages reaching the same joined feature
-                    // are both useful if the feature later completes.
-                    match next.iter_mut().find(|f| {
-                        f.fragments == joined.fragments
-                            && f.sign == joined.sign
-                            && f.mapping == joined.mapping
-                    }) {
-                        Some(f) => {
-                            f.sources.extend(joined.sources.iter().copied());
-                            f.sources.sort_unstable();
-                            f.sources.dedup();
+                };
+                for &bi in cands {
+                    let b = ctx.seeds[bi as usize];
+                    // Theorem 5 / condition 4: disjoint LECSigns.
+                    if a.sign & b.sign != 0 {
+                        continue;
+                    }
+                    // Condition 1: not two originals of the same fragment.
+                    if a.fragments == b.fragments && a.fragments.count_ones() == 1 {
+                        continue;
+                    }
+                    // A pair sharing several entries surfaces once per
+                    // shared entry; process it at the first one only.
+                    if ei > 0 {
+                        let bmap = ctx.interner.resolve(b.mapping);
+                        let shares_earlier = a_entries[..ei].iter().any(|&(e, qe)| {
+                            bmap.binary_search_by_key(&(qe, e), |&(be, bqe)| (bqe, be))
+                                .is_ok()
+                        });
+                        if shares_earlier {
+                            continue;
                         }
-                        None => next.push(joined),
+                    }
+                    // Conditions 2/3/5, computed directly — an alloc-free
+                    // merge scan over two short interned mappings. (No
+                    // memo here: in the DFS almost every probed mapping
+                    // pair is new, so a memo is all insert churn and no
+                    // hits.)
+                    if !mappings_compatible(
+                        ctx.interner.resolve(a.mapping),
+                        ctx.interner.resolve(b.mapping),
+                        ctx.query_edges,
+                    ) {
+                        continue;
+                    }
+                    let joined_sign = a.sign | b.sign;
+                    if joined_sign == ctx.full_sign {
+                        ctx.complete_pairs.push((a.node, b.node));
+                        continue;
+                    }
+                    let joined_fragments = a.fragments | b.fragments;
+                    let joined_mapping = ctx.interner.union(a.mapping, b.mapping);
+                    match slot.entry((joined_fragments, joined_mapping, joined_sign)) {
+                        std::collections::hash_map::Entry::Occupied(o) => {
+                            let node = next[*o.get() as usize].node;
+                            ctx.node_parents[node as usize].push((a.node, b.node));
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            let node = ctx.node_parents.len() as u32;
+                            ctx.node_parents.push(vec![(a.node, b.node)]);
+                            slot.insert(next.len() as u32);
+                            next.push(Feat {
+                                fragments: joined_fragments,
+                                mapping: joined_mapping,
+                                sign: joined_sign,
+                                node,
+                            });
+                        }
                     }
                 }
             }
         }
         if !next.is_empty() {
             visited.push(v);
-            com_lecf_join(
-                visited,
-                next,
-                groups,
-                adj,
-                alive,
-                n_query_vertices,
-                query_edges,
-                rs,
-            );
+            com_lecf_join(ctx, visited, next, alive);
             visited.pop();
         }
     }
@@ -252,14 +785,17 @@ mod tests {
         // needs two same-sign features. Hence 4 groups here.
         assert_eq!(groups.len(), 4);
         let sizes: Vec<usize> = {
-            let mut s: Vec<usize> = groups.iter().map(|g| g.features.len()).collect();
+            let mut s: Vec<usize> = groups.iter().map(|g| g.members.len()).collect();
             s.sort_unstable();
             s
         };
         assert_eq!(sizes, vec![1, 2, 2, 2]);
         // Every group is sign-homogeneous (the actual Definition 10).
         for g in &groups {
-            assert!(g.features.iter().all(|f| f.sign == g.sign));
+            assert!(g
+                .members
+                .iter()
+                .all(|&fi| features[fi as usize].sign == g.sign));
         }
     }
 
@@ -267,13 +803,28 @@ mod tests {
     fn paper_join_graph_shape() {
         let (features, qedges) = paper_features();
         let groups = group_by_sign(&features);
-        let adj = build_join_graph(&groups, &qedges);
+        let adj = build_join_graph(&features, &groups, &qedges);
         // Group of sign 01010 containing LF([PM3_1]) and LF([PM2_3]):
         // LF([PM3_1]) joins LF([PM3_2]) (shared e_6_5). LF([PM2_3]) joins
         // nothing — but group-level adjacency is about *some* pair, so its
         // group still has edges via LF([PM3_1]).
         let degree_sum: usize = adj.iter().map(Vec::len).sum();
         assert!(degree_sum > 0);
+    }
+
+    #[test]
+    fn join_graph_adjacency_is_symmetric_and_sorted() {
+        let (features, qedges) = paper_features();
+        let groups = group_by_sign(&features);
+        let adj = build_join_graph(&features, &groups, &qedges);
+        for (i, list) in adj.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for &j in list {
+                assert!(adj[j].contains(&i), "symmetric");
+                assert_ne!(i, j, "no self loops");
+                assert_eq!(groups[i].sign & groups[j].sign, 0, "Theorem 5");
+            }
+        }
     }
 
     #[test]
@@ -303,7 +854,9 @@ mod tests {
             feat(2, 2, vec![(e12, 1)], 0b100),
         ];
         let rs = prune_features(&features, 3, &qedges);
-        assert_eq!(rs, HashSet::from([0, 1, 2]));
+        let mut got: Vec<u32> = rs.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
     }
 
     #[test]
@@ -356,5 +909,72 @@ mod tests {
         assert!(rs.contains(&0));
         assert!(rs.contains(&2));
         assert!(!rs.contains(&1));
+    }
+
+    #[test]
+    fn merged_lineages_both_survive_on_completion() {
+        // Two distinct F0 seeds join the same F1 feature into the same
+        // structural intermediate is impossible (different mappings), but
+        // two *lineages* can reach one joined feature when two same-
+        // structure paths exist; the dedup must keep both source sets.
+        // Construct: A0 and A1 (same group, same mapping, different ids —
+        // as separate input features), both join B, whose join completes.
+        let qedges = vec![(0, 1), (1, 2)];
+        let e01 = edge(10, 1, 20);
+        let e12 = edge(20, 1, 30);
+        let features = vec![
+            feat(0, 0, vec![(e01, 0)], 0b001),
+            feat(1, 1, vec![(e01, 0), (e12, 1)], 0b010),
+            feat(2, 2, vec![(e12, 1)], 0b100),
+            // A structurally identical sibling of feature 0 carrying a
+            // different id (e.g. shipped by a different site replica).
+            LecFeature {
+                fragments: 1 << 3,
+                mapping: vec![(e01, 0)],
+                sign: 0b001,
+                sources: vec![9],
+            },
+        ];
+        let rs = prune_features(&features, 3, &qedges);
+        for id in [0u32, 1, 2, 9] {
+            assert!(rs.contains(&id), "id {id} participates in a completion");
+        }
+    }
+
+    #[test]
+    fn big_group_counts_disable_the_state_memo_but_stay_correct() {
+        // More than 64 sign groups: the u64 visited mask no longer fits,
+        // so the state memo switches off; pruning must stay correct.
+        // 64-vertex query, 71 isolated singleton/pair sign groups plus one
+        // genuinely joinable complete pair.
+        let qedges: Vec<(usize, usize)> = (0..63).map(|i| (i, i + 1)).collect();
+        let e = edge(10, 1, 20);
+        let mut features: Vec<LecFeature> = Vec::new();
+        for i in 0..64u32 {
+            features.push(feat(
+                i,
+                (i % 60) as usize,
+                vec![(edge(1000 + i as u64, 1, 7), 0)],
+                1 << i,
+            ));
+        }
+        for i in 1..8u32 {
+            features.push(feat(
+                64 + i,
+                ((i + 1) % 60) as usize,
+                vec![(edge(2000 + i as u64, 1, 7), 0)],
+                (1 << i) | 1,
+            ));
+        }
+        // The joinable pair: all-but-v0 + v0, sharing edge `e` on query
+        // edge 0, different fragments — completes the 64-bit sign.
+        features.push(feat(100, 61, vec![(e, 0)], !1u64));
+        features.push(feat(101, 62, vec![(e, 0)], 1));
+        let groups = group_by_sign(&features);
+        assert!(groups.len() > 64, "test premise: {} groups", groups.len());
+        let rs = prune_features(&features, 64, &qedges);
+        let mut got: Vec<u32> = rs.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![100, 101]);
     }
 }

@@ -14,7 +14,6 @@
 //! place of LPMs (Algorithm 1's whole point); the LPMs themselves ship
 //! once, in `ShipSurvivors`, after `DropPruned` has marked the losers.
 
-use std::collections::HashSet;
 use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
@@ -200,7 +199,7 @@ impl<'a> SiteWorker<'a> {
                 if self.feature_of_lpm.len() != self.lpms.len() {
                     return ResponseBody::Error("DropPruned before ComputeLecFeatures".into());
                 }
-                let useful: HashSet<u32> = useful.into_iter().collect();
+                let useful: fxhash::FxHashSet<u32> = useful.into_iter().collect();
                 for (keep, &fi) in self.keep.iter_mut().zip(&self.feature_of_lpm) {
                     *keep = self.features[fi]
                         .sources

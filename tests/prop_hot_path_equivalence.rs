@@ -1,22 +1,27 @@
-//! PR3 hot-path equivalence oracle.
+//! PR3/PR4 hot-path equivalence oracle.
 //!
-//! The neighbor-driven matcher, the neighbor-driven LPM enumerator and
-//! the hash-join `assemble_lec` are pure re-engineerings: on every input
-//! they must return exactly what the code they replaced returned. The
-//! frozen pre-PR3 implementations live in `gstored_bench::reference` and
+//! The neighbor-driven matcher, the neighbor-driven LPM enumerator, the
+//! hash-join `assemble_lec` (PR3) and the interned/indexed/memoized LEC
+//! pruning pipeline (PR4) are pure re-engineerings: on every input they
+//! must return exactly what the code they replaced returned. The frozen
+//! pre-PR3/pre-PR4 implementations live in `gstored_bench::reference` and
 //! act as the oracle here, alongside `assemble_basic` and the centralized
 //! matcher, across all 4 engine variants × 3 partitioning strategies.
 //!
-//! The dense-star regression at the bottom runs a workload the pre-PR3
-//! quadratic `next.contains` dedup needed minutes for; the hash join must
-//! finish it in interactive time with the exact expected result set.
+//! The dense-star and many-feature regressions at the bottom run
+//! workloads the pre-PR3/pre-PR4 quadratic dedups needed minutes for;
+//! the hash join and the interned-key prune must finish them in
+//! interactive time with the exact expected result sets.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
 use gstored::core::assembly::{assemble_basic, assemble_lec};
 use gstored::core::engine::Variant;
+use gstored::core::lec::compute_lec_features;
+use gstored::core::prune::prune_features;
 use gstored::datagen::random::{random_graph, random_query, RandomGraphConfig};
 use gstored::partition::{
     HashPartitioner, MetisLikePartitioner, Partitioner, SemanticHashPartitioner,
@@ -27,6 +32,7 @@ use gstored::store::{
     enumerate_local_partial_matches, find_matches, EncodedQuery, LocalPartialMatch,
 };
 use gstored_bench::bench_pr3::dense_star_lpms;
+use gstored_bench::bench_pr4::many_feature_features;
 use gstored_bench::reference;
 
 fn partitioners(sites: usize) -> Vec<Box<dyn Partitioner>> {
@@ -124,6 +130,120 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random graph × random query: the PR4 pruning pipeline agrees with
+    /// the frozen pre-PR4 oracle — Algorithm 1 feature-for-feature, the
+    /// join graph edge-for-edge, Algorithm 2 survivor-for-survivor — and
+    /// pruning preserves the assembled result set, across 3 partitioners
+    /// with every engine variant checked against the centralized matcher.
+    #[test]
+    fn optimized_prune_equals_prepr4_oracle(
+        graph_seed in 0u64..5000,
+        query_seed in 0u64..5000,
+        n_edges in 2usize..4,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 24,
+            edges: 48,
+            predicates: 3,
+            seed: graph_seed,
+        });
+        let text = random_query(n_edges, 3, None, query_seed);
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).expect("generated query parses"),
+        )
+        .expect("generated query is connected");
+        let eq = EncodedQuery::encode(&query, g.dict()).expect("no predicate projection");
+        let query_edges: Vec<(usize, usize)> =
+            eq.edges().iter().map(|e| (e.from, e.to)).collect();
+        let expected = {
+            let mut m = find_matches(&g, &eq);
+            m.sort_unstable();
+            m
+        };
+
+        for p in &partitioners(3) {
+            let dist = DistributedGraph::build(g.clone(), p.as_ref());
+            let filter = CandidateFilter::none(eq.vertex_count());
+
+            // Engine-style per-site Algorithm 1 with disjoint id ranges;
+            // the interned compression must match the Vec-keyed oracle
+            // feature-for-feature (ids, mappings, order — everything).
+            let mut lpms: Vec<LocalPartialMatch> = Vec::new();
+            let mut features = Vec::new();
+            let mut feature_of_lpm: Vec<(usize, Vec<u32>)> = Vec::new(); // (lpm -> sources)
+            let mut next = 0u32;
+            for f in &dist.fragments {
+                let site_lpms = enumerate_local_partial_matches(f, &eq, &filter);
+                let (new_f, new_of) = compute_lec_features(&site_lpms, next);
+                let (old_f, old_of) = reference::compute_lec_features_prepr4(&site_lpms, next);
+                prop_assert_eq!(&new_f, &old_f, "Algorithm 1 drift in F{} on {}", f.id, text);
+                prop_assert_eq!(&new_of, &old_of, "feature_of_lpm drift in F{} on {}", f.id, text);
+                next += site_lpms.len() as u32 + 1;
+                for (i, _) in site_lpms.iter().enumerate() {
+                    feature_of_lpm.push((lpms.len() + i, new_f[new_of[i]].sources.clone()));
+                }
+                lpms.extend(site_lpms);
+                features.extend(new_f);
+            }
+
+            // Join graph: the crossing-edge index must reproduce the
+            // all-pairs sweep exactly (adjacency lists are sorted sets).
+            let groups = gstored::core::prune::group_by_sign(&features);
+            let old_groups = reference::group_by_sign_prepr4(&features);
+            prop_assert_eq!(groups.len(), old_groups.len(), "grouping drift on {}", text);
+            for (g_new, g_old) in groups.iter().zip(&old_groups) {
+                prop_assert_eq!(g_new.sign, g_old.sign);
+                prop_assert_eq!(g_new.members.len(), g_old.features.len());
+            }
+            let adj = gstored::core::prune::build_join_graph(&features, &groups, &query_edges);
+            let old_adj = reference::build_join_graph_prepr4(&old_groups, &query_edges);
+            let old_adj: Vec<Vec<usize>> = old_adj
+                .into_iter()
+                .map(|mut l| {
+                    l.sort_unstable();
+                    l
+                })
+                .collect();
+            prop_assert_eq!(&adj, &old_adj, "join graph drift on {} ({})", text, p.name());
+
+            // Algorithm 2: identical survivor sets.
+            let new_useful: HashSet<u32> = prune_features(&features, eq.vertex_count(), &query_edges)
+                .into_iter()
+                .collect();
+            let old_useful =
+                reference::prune_features_prepr4(&features, eq.vertex_count(), &query_edges);
+            prop_assert_eq!(&new_useful, &old_useful, "survivor drift on {} ({})", text, p.name());
+
+            // Pruning soundness: assembling only survivors loses nothing.
+            let surviving: Vec<LocalPartialMatch> = feature_of_lpm
+                .iter()
+                .filter(|(_, sources)| sources.iter().any(|s| new_useful.contains(s)))
+                .map(|&(i, _)| lpms[i].clone())
+                .collect();
+            let unpruned = assemble_lec(&lpms, eq.vertex_count(), &query_edges);
+            let pruned = assemble_lec(&surviving, eq.vertex_count(), &query_edges);
+            prop_assert_eq!(&pruned, &unpruned, "pruning changed matches on {} ({})", text, p.name());
+
+            // End to end: every variant equals the centralized reference
+            // (LO and Full run the rewritten prune inside the engine).
+            for variant in Variant::ALL {
+                let out = Engine::with_variant(variant)
+                    .try_run(&dist, &query)
+                    .expect("generated query evaluates");
+                let mut got = out.bindings.clone();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    &got, &expected,
+                    "{} under {} diverged on {}", variant.label(), p.name(), text
+                );
+            }
+        }
+    }
+}
+
 /// The dense-star worst case: `n²` same-sign LPMs joining through two
 /// leaf groups. The pre-PR3 `com_par_join` deduplicated intermediates
 /// with an `O(n²)` `Vec::contains` over full `LocalPartialMatch` structs —
@@ -161,4 +281,43 @@ fn dense_star_small_all_assemblies_agree() {
     assert_eq!(lec.len(), 100);
     assert_eq!(lec, reference::assemble_lec_prepr3(&lpms, nv, &qedges));
     assert_eq!(lec, assemble_basic(&lpms, nv));
+}
+
+/// The many-feature pruning worst case: `n²` distinct middle features
+/// fan out into `n²` distinct join intermediates per DFS level. The
+/// pre-PR4 `com_lecf_join` deduplicated `next` with an
+/// `next.iter_mut().find` linear scan over full `LecFeature` structs —
+/// `O(n⁴)` mapping-`Vec` comparisons here, minutes of wall time at this
+/// size. The interned-key hash dedup must keep every feature (they all
+/// complete) in interactive time (the generous bound below is ~100× what
+/// it needs, so the assertion only fires on a complexity regression).
+#[test]
+fn many_feature_prune_regression() {
+    let n = 120usize;
+    let (features, nv, qedges) = many_feature_features(n);
+    assert_eq!(features.len(), n * n + 2 * n);
+    let start = Instant::now();
+    let useful = prune_features(&features, nv, &qedges);
+    let elapsed = start.elapsed();
+    assert_eq!(
+        useful.len(),
+        features.len(),
+        "every feature participates in a complete combination"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "many-feature prune took {elapsed:?}: quadratic dedup is back"
+    );
+}
+
+/// At a size the pre-PR4 code can still handle, the optimized prune and
+/// the frozen oracle agree survivor-for-survivor on the many-feature
+/// workload.
+#[test]
+fn many_feature_small_prune_agrees_with_oracle() {
+    let (features, nv, qedges) = many_feature_features(12);
+    let new: HashSet<u32> = prune_features(&features, nv, &qedges).into_iter().collect();
+    let old = reference::prune_features_prepr4(&features, nv, &qedges);
+    assert_eq!(new, old);
+    assert_eq!(new.len(), features.len());
 }
