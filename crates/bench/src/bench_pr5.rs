@@ -1,0 +1,393 @@
+//! `BENCH_PR5.json`: the concurrent multi-query throughput leg of the
+//! repo's committed performance trajectory.
+//!
+//! PR 3 and PR 4 made a *single* query fast; PR 5 made the runtime serve
+//! **many queries at once** over one shared worker fleet (query-id
+//! multiplexed protocol, per-query worker state tables, the coordinator
+//! reply router and admission scheduler — see `docs/concurrency.md`).
+//! This module produces the evidence: a **closed-loop throughput sweep**
+//! — 1/2/4/8 concurrent client threads hammering one `GStoreD` session —
+//! over LUBM and the crossing-heavy random dataset, reporting QPS and
+//! client-observed p50/p95 latency per cell, with two invariants checked
+//! on every execution:
+//!
+//! * **row equality** — every concurrent execution returns exactly the
+//!   sequential baseline's rows, and
+//! * **no leaks** — after each cell the fleet's state tables are empty.
+//!
+//! The engine runs with `pace_network` on: the coordinator *waits out*
+//! each frame's simulated transfer time under the paper-era cluster
+//! model (1 Gbps, configurable per-message latency), so wall-clock
+//! latency behaves like the modeled interconnect and the sweep measures
+//! what multiplexing actually buys — concurrent pipelines overlapping
+//! their network waits and each other's coordinator-side stages. The
+//! sequential baseline is paced identically, so the comparison is
+//! apples to apples.
+//!
+//! The emitted JSON is schema-checked by [`validate`], which the CI
+//! `bench-pr5 --smoke` job runs against a small-scale regeneration.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gstored::prelude::*;
+
+use crate::bench_pr3::num;
+use crate::datasets::{self, Dataset};
+use crate::experiments::{partition, query_graph};
+
+/// Identifies the emitted schema; bump when the JSON shape changes.
+pub const SCHEMA: &str = "gstored-bench-pr5/v1";
+
+/// Knobs for one `BENCH_PR5.json` generation.
+#[derive(Debug, Clone)]
+pub struct BenchPr5Config {
+    /// Triples for the LUBM dataset (the random dataset runs at a third
+    /// of this, exactly like `bench-pr3`/`bench-pr4`).
+    pub scale: usize,
+    /// Simulated sites.
+    pub sites: usize,
+    /// Concurrent client counts to sweep (ascending; must start at 1,
+    /// the sequential baseline cell).
+    pub clients: Vec<usize>,
+    /// Executions of each distinct query per cell: every cell runs
+    /// `rounds * |queries|` executions in total regardless of the client
+    /// count, so QPS compares equal work.
+    pub rounds: usize,
+    /// Paced-network one-way latency per message, in microseconds.
+    pub latency_us: u64,
+    /// Paced-network bandwidth in bytes/second.
+    pub bytes_per_sec: u64,
+}
+
+impl Default for BenchPr5Config {
+    fn default() -> Self {
+        BenchPr5Config {
+            scale: 9_000,
+            sites: datasets::DEFAULT_SITES,
+            clients: vec![1, 2, 4, 8],
+            rounds: 10,
+            // The paper's MPICH/1 GbE cluster: gigabit bandwidth, a
+            // half-millisecond per-message application-level latency.
+            latency_us: 500,
+            bytes_per_sec: 125_000_000,
+        }
+    }
+}
+
+impl BenchPr5Config {
+    /// A tiny configuration for smoke tests and the CI bench job:
+    /// seconds, not minutes, while exercising every code path and schema
+    /// field.
+    pub fn smoke() -> Self {
+        BenchPr5Config {
+            scale: 2_000,
+            sites: 3,
+            clients: vec![1, 2, 4],
+            rounds: 2,
+            latency_us: 100,
+            bytes_per_sec: 125_000_000,
+        }
+    }
+}
+
+/// One sweep cell's measurements.
+struct Cell {
+    clients: usize,
+    executions: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    rows_equal: bool,
+    tables_empty: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Run the closed-loop sweep for one dataset and return its JSON block,
+/// the per-cell speedups keyed by client count, and whether every
+/// cell's invariants held (`(rows_equal, tables_empty)`).
+fn sweep_dataset(
+    dataset: &Dataset,
+    config: &BenchPr5Config,
+) -> (String, Vec<(usize, f64)>, (bool, bool)) {
+    let dist = partition(dataset.graph.clone(), "hash", config.sites);
+    let network = gstored::net::NetworkModel {
+        latency: Duration::from_micros(config.latency_us),
+        bytes_per_sec: config.bytes_per_sec,
+    };
+    let max_clients = config.clients.iter().copied().max().unwrap_or(1);
+    let db = GStoreD::builder()
+        .distributed(dist)
+        .config(EngineConfig {
+            variant: Variant::Full,
+            network,
+            pace_network: true,
+            max_concurrent_queries: max_clients,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("session builds");
+
+    // Prepare every query once; capture the sequential reference rows
+    // (also the warmup — the fleet connects here).
+    let prepared: Vec<_> = dataset
+        .queries
+        .iter()
+        .map(|q| {
+            // Re-parse through the shared helper so bench queries fail
+            // loudly with their id.
+            let _ = query_graph(q);
+            db.prepare(&q.text)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+        })
+        .collect();
+    let reference: Vec<Vec<Vec<TermId>>> = prepared
+        .iter()
+        .map(|p| {
+            p.execute()
+                .expect("reference execution")
+                .vertex_rows()
+                .to_vec()
+        })
+        .collect();
+
+    let executions = config.rounds * prepared.len();
+    let mut cells = Vec::new();
+    for &clients in &config.clients {
+        // The same closed-loop work list for every cell: each distinct
+        // query `rounds` times, round-robin so clients interleave
+        // different queries' pipelines.
+        let work: Mutex<VecDeque<usize>> =
+            Mutex::new((0..executions).map(|i| i % prepared.len()).collect());
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(executions));
+        let rows_equal = std::sync::atomic::AtomicBool::new(true);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let work = &work;
+                let latencies = &latencies;
+                let rows_equal = &rows_equal;
+                let prepared = &prepared;
+                let reference = &reference;
+                scope.spawn(move || loop {
+                    let Some(qi) = work.lock().unwrap().pop_front() else {
+                        return;
+                    };
+                    let t = Instant::now();
+                    let results = prepared[qi].execute().expect("execution");
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    if results.vertex_rows() != reference[qi].as_slice() {
+                        rows_equal.store(false, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    latencies.lock().unwrap().push(ms);
+                });
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let tables_empty = db
+            .fleet_status()
+            .expect("fleet status")
+            .iter()
+            .all(|s| s.resident_queries == 0 && s.resident_lpms == 0);
+        let mut lat = latencies.into_inner().unwrap();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        cells.push(Cell {
+            clients,
+            executions,
+            wall_ms,
+            qps: executions as f64 / (wall_ms / 1e3),
+            p50_ms: percentile(&lat, 50.0),
+            p95_ms: percentile(&lat, 95.0),
+            rows_equal: rows_equal.into_inner(),
+            tables_empty,
+        });
+    }
+
+    let base_qps = cells
+        .first()
+        .map(|c| c.qps)
+        .filter(|q| *q > 0.0)
+        .unwrap_or(1.0);
+    let speedups: Vec<(usize, f64)> = cells
+        .iter()
+        .map(|c| (c.clients, c.qps / base_qps))
+        .collect();
+    let cell_rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"clients\": {}, \"executions\": {}, \"wall_ms\": {}, \"qps\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"speedup_vs_sequential\": {}, \
+                 \"rows_equal\": {}, \"worker_tables_empty\": {}}}",
+                c.clients,
+                c.executions,
+                num(c.wall_ms),
+                num(c.qps),
+                num(c.p50_ms),
+                num(c.p95_ms),
+                num(c.qps / base_qps),
+                c.rows_equal,
+                c.tables_empty,
+            )
+        })
+        .collect();
+    let block = format!(
+        "{{\"dataset\": \"{}\", \"distinct_queries\": {}, \"cells\": [\n      {}\n    ]}}",
+        dataset.name,
+        dataset.queries.len(),
+        cell_rows.join(",\n      ")
+    );
+    let invariants = (
+        cells.iter().all(|c| c.rows_equal),
+        cells.iter().all(|c| c.tables_empty),
+    );
+    (block, speedups, invariants)
+}
+
+/// Generate the full `BENCH_PR5.json` document.
+pub fn run(config: &BenchPr5Config) -> String {
+    assert_eq!(
+        config.clients.first(),
+        Some(&1),
+        "the sweep needs the sequential baseline cell first"
+    );
+    let lubm = datasets::lubm(config.scale);
+    let random = datasets::random_dense((config.scale / 3).max(300));
+
+    let (lubm_block, lubm_speedups, lubm_ok) = sweep_dataset(&lubm, config);
+    let (random_block, random_speedups, random_ok) = sweep_dataset(&random, config);
+    // Computed from the cells, never asserted blindly: a run whose
+    // invariants broke emits `false` here and fails [`validate`].
+    let rows_ok = lubm_ok.0 && random_ok.0;
+    let tables_ok = lubm_ok.1 && random_ok.1;
+
+    // Acceptance: the speedup at 4 clients (or at the largest swept
+    // client count when 4 is not in the sweep, as in --smoke), minimized
+    // over the datasets.
+    let speedup_at_4 = |speedups: &[(usize, f64)]| {
+        speedups
+            .iter()
+            .find(|(c, _)| *c == 4)
+            .or_else(|| speedups.last())
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    };
+    let min_speedup_4 = speedup_at_4(&lubm_speedups).min(speedup_at_4(&random_speedups));
+    let max_speedup = lubm_speedups
+        .iter()
+        .chain(&random_speedups)
+        .map(|&(_, s)| s)
+        .fold(0.0f64, f64::max);
+
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {{\"scale\": {}, \"sites\": {}, \
+         \"clients\": [{}], \"rounds\": {}, \"variant\": \"gStoreD\", \
+         \"network\": {{\"latency_us\": {}, \"bytes_per_sec\": {}, \"paced\": true}}}},\n  \
+         \"throughput\": {{\"datasets\": [\n    {},\n    {}\n  ]}},\n  \
+         \"acceptance\": {{\"min_speedup_4_clients\": {}, \"max_speedup\": {}, \
+         \"rows_equal_everywhere\": {rows_ok}, \
+         \"worker_tables_empty_everywhere\": {tables_ok}}}\n}}\n",
+        config.scale,
+        config.sites,
+        config
+            .clients
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        config.rounds,
+        config.latency_us,
+        config.bytes_per_sec,
+        lubm_block,
+        random_block,
+        num(min_speedup_4),
+        num(max_speedup),
+    )
+}
+
+/// Check that `json` is syntactically valid JSON and carries the
+/// `BENCH_PR5.json` schema: the schema tag, a throughput sweep with both
+/// datasets and their per-cell QPS/latency columns, and the acceptance
+/// block with both invariants true. The generator records the invariants
+/// as observed — per cell and aggregated into the acceptance block — so
+/// a run where any execution's rows drifted from the sequential baseline
+/// or any worker leaked state emits `false` values and fails here.
+pub fn validate(json: &str) -> Result<(), String> {
+    crate::bench_pr3::json_syntax(json)?;
+    for needle in [
+        &format!("\"schema\": \"{SCHEMA}\"") as &str,
+        "\"config\"",
+        "\"network\"",
+        "\"paced\": true",
+        "\"throughput\"",
+        "\"datasets\"",
+        "\"dataset\": \"LUBM\"",
+        "\"dataset\": \"RANDOM\"",
+        "\"cells\"",
+        "\"clients\": 1",
+        "\"qps\"",
+        "\"p50_ms\"",
+        "\"p95_ms\"",
+        "\"speedup_vs_sequential\"",
+        "\"rows_equal\": true",
+        "\"worker_tables_empty\": true",
+        "\"acceptance\"",
+        "\"min_speedup_4_clients\"",
+        "\"max_speedup\"",
+        "\"rows_equal_everywhere\": true",
+        "\"worker_tables_empty_everywhere\": true",
+    ] {
+        if !json.contains(needle) {
+            return Err(format!("schema key missing: {needle}"));
+        }
+    }
+    if json.contains("\"rows_equal\": false") {
+        return Err("a cell's rows drifted from the sequential baseline".into());
+    }
+    if json.contains("\"worker_tables_empty\": false") {
+        return Err("a cell leaked worker state".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sane_values() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 6.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn validator_accepts_real_output_and_rejects_garbage() {
+        let json = run(&BenchPr5Config {
+            // Smaller than even --smoke: unit tests must stay fast.
+            scale: 900,
+            sites: 2,
+            clients: vec![1, 2],
+            rounds: 1,
+            latency_us: 20,
+            bytes_per_sec: 1 << 30,
+        });
+        validate(&json).unwrap_or_else(|e| panic!("{e}\n---\n{json}"));
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err(), "schema keys required");
+        let broken = json.replace("\"throughput\"", "\"nothroughput\"");
+        assert!(validate(&broken).is_err());
+        let drift = json.replacen("\"rows_equal\": true", "\"rows_equal\": false", 1);
+        assert!(validate(&drift).is_err(), "row drift must fail validation");
+    }
+}

@@ -5,6 +5,7 @@
 //!             [--scale N] [--sites K] [--markdown]
 //! experiments bench-pr3 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr4 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr5 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
@@ -16,7 +17,7 @@
 //! non-zero when validation fails. `--smoke` runs the tiny CI
 //! configuration.
 
-use gstored_bench::{bench_pr3, bench_pr4, datasets, experiments, format::Table};
+use gstored_bench::{bench_pr3, bench_pr4, bench_pr5, datasets, experiments, format::Table};
 
 struct Args {
     what: Vec<String>,
@@ -120,11 +121,35 @@ fn emit(table: Table, markdown: bool) {
     }
 }
 
+fn run_bench_pr5(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr5::BenchPr5Config::smoke()
+    } else {
+        bench_pr5::BenchPr5Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR5.json");
+    eprintln!("# bench-pr5: {config:?} -> {path}");
+    let json = bench_pr5::run(&config);
+    if let Err(e) = bench_pr5::validate(&json) {
+        eprintln!("bench-pr5: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr5: wrote {} bytes, schema OK", json.len());
+}
+
 fn main() {
     let args = parse_args();
     for (name, runner) in [
         ("bench-pr3", run_bench_pr3 as fn(&Args)),
         ("bench-pr4", run_bench_pr4 as fn(&Args)),
+        ("bench-pr5", run_bench_pr5 as fn(&Args)),
     ] {
         if args.what.iter().any(|w| w == name) {
             if args.what.len() > 1 {
@@ -141,7 +166,7 @@ fn main() {
         }
     }
     if args.smoke || args.out.is_some() {
-        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4; ignoring");
+        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4/bench-pr5; ignoring");
     }
     let scale = args.scale.unwrap_or(datasets::DEFAULT_SCALE);
     let sites = args.sites.unwrap_or(datasets::DEFAULT_SITES);

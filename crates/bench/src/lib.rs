@@ -19,10 +19,15 @@
 //! repo's committed performance trajectory (`BENCH_PR3.json` /
 //! `BENCH_PR4.json`: per-variant × per-partitioner wall times, stage
 //! breakdowns, and the optimized hot paths timed against the frozen
-//! pre-PR3/pre-PR4 baselines of [`mod@reference`]).
+//! pre-PR3/pre-PR4 baselines of [`mod@reference`]), and [`bench_pr5`]
+//! emits the concurrent multi-query throughput sweep (`BENCH_PR5.json`:
+//! closed-loop QPS and p50/p95 latency at 1/2/4/8 concurrent clients
+//! over one shared session, with result-equality and no-leak
+//! invariants).
 
 pub mod bench_pr3;
 pub mod bench_pr4;
+pub mod bench_pr5;
 pub mod datasets;
 pub mod experiments;
 pub mod format;

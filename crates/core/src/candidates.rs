@@ -35,6 +35,7 @@ pub fn exchange_candidates(
     bits_per_variable: usize,
 ) -> Result<(CandidateFilter, StageMetrics), EngineError> {
     let mut stage = StageMetrics::default();
+    let query = pool.query();
     let n = q.vertex_count();
     // Variable vertices get bit vectors; constants are checked directly.
     let var_vertices: Vec<usize> = (0..n).filter(|&v| q.vertex(v).is_var()).collect();
@@ -42,6 +43,7 @@ pub fn exchange_candidates(
     // Site side: find C(Q, v) and hash into B'_v (lines 10–15).
     let bodies = pool.broadcast(
         &Request::ComputeCandidates {
+            query,
             bits: bits_per_variable,
         },
         &mut stage,
@@ -85,7 +87,7 @@ pub fn exchange_candidates(
         .copied()
         .zip(unioned.iter().cloned())
         .collect();
-    expect_acks(pool.broadcast(&Request::SetCandidateFilter { vectors }, &mut stage)?)?;
+    expect_acks(pool.broadcast(&Request::SetCandidateFilter { query, vectors }, &mut stage)?)?;
 
     let mut filter = CandidateFilter::none(n);
     for (i, &v) in var_vertices.iter().enumerate() {
@@ -99,7 +101,7 @@ mod tests {
     use super::*;
     use crate::protocol;
     use crate::worker::with_in_process_workers;
-    use gstored_net::NetworkModel;
+    use gstored_net::{NetworkModel, Transport};
     use gstored_partition::{DistributedGraph, HashPartitioner};
     use gstored_rdf::{RdfGraph, Term, Triple};
     use gstored_sparql::{parse_query, QueryGraph};
@@ -130,11 +132,15 @@ mod tests {
         q: &EncodedQuery,
         bits: usize,
     ) -> (CandidateFilter, StageMetrics) {
+        use crate::protocol::QueryId;
+        use crate::runtime::ReplyRouter;
         with_in_process_workers(dist, |transport| {
-            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let router = ReplyRouter::new(transport.sites());
+            let qid = QueryId(0);
+            let pool = WorkerPool::new(transport, &router, NetworkModel::instant(), qid);
             let mut setup = StageMetrics::default();
             expect_acks(
-                pool.broadcast_frame(protocol::encode_install_query(q), &mut setup)
+                pool.broadcast_frame(protocol::encode_install_query(qid, q), &mut setup)
                     .unwrap(),
             )
             .unwrap();

@@ -28,8 +28,17 @@
 //! channels; [`Backend::Tcp`] speaks the same frames to remote
 //! `gstored-worker` processes. Both exchange byte-identical frames, so
 //! results *and* shipment metrics are independent of the backend.
+//!
+//! Every per-query frame carries a [`QueryId`], and a pipeline ends with
+//! a `ReleaseQuery` broadcast dropping the sites' per-query state — so
+//! **many queries can run their pipelines concurrently over one shared
+//! fleet**, their stage messages interleaved on the same connections and
+//! demultiplexed by the [`ReplyRouter`]. [`Engine::execute_routed`] is
+//! that concurrent entry point; the `GStoreD` session drives it through
+//! its `QueryExecutor` admission gate (see `docs/concurrency.md`).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use fxhash::FxHashSet;
 use gstored_net::{NetworkModel, QueryMetrics, TcpTransport, Transport};
@@ -42,10 +51,24 @@ use crate::assembly::{assemble_basic, assemble_lec};
 use crate::candidates::exchange_candidates;
 use crate::error::EngineError;
 use crate::prepared::PreparedPlan;
-use crate::protocol::{self, Request, ResponseBody};
+use crate::protocol::{self, QueryId, Request, ResponseBody};
 use crate::prune::prune_features;
-use crate::runtime::{expect_acks, WorkerPool};
+use crate::runtime::{expect_acks, ReplyRouter, WorkerPool};
 use crate::worker::with_in_process_workers;
+
+/// Query ids for executions that bypass a session's `QueryExecutor`
+/// (`Engine::execute` / `Engine::execute_on` used directly). Process-wide
+/// so two engines accidentally sharing a fleet still cannot collide.
+static ONE_SHOT_QUERY_IDS: AtomicU32 = AtomicU32::new(0);
+
+fn one_shot_query_id() -> QueryId {
+    loop {
+        let id = ONE_SHOT_QUERY_IDS.fetch_add(1, Ordering::Relaxed);
+        if id != QueryId::CONTROL.0 {
+            return QueryId(id);
+        }
+    }
+}
 
 /// The four engine variants compared in the paper's Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +148,17 @@ pub struct EngineConfig {
     pub star_fast_path: bool,
     /// Which runtime backend drives the site workers.
     pub backend: Backend,
+    /// How many query pipelines a `GStoreD` session admits onto its
+    /// shared worker fleet at once (further callers queue). The engine
+    /// itself runs whatever pipelines callers drive; this bound lives in
+    /// the session's `QueryExecutor`.
+    pub max_concurrent_queries: usize,
+    /// When set, the coordinator *waits out* each frame's simulated
+    /// [`NetworkModel`] transfer time instead of only recording it, so
+    /// wall-clock latency matches what the modeled interconnect would
+    /// deliver. Off by default (tests and interactive use want raw
+    /// speed); the closed-loop throughput benchmarks turn it on.
+    pub pace_network: bool,
 }
 
 impl Default for EngineConfig {
@@ -135,6 +169,8 @@ impl Default for EngineConfig {
             candidate_bits: 1 << 16,
             star_fast_path: true,
             backend: Backend::InProcess,
+            max_concurrent_queries: 8,
+            pace_network: false,
         }
     }
 }
@@ -313,11 +349,38 @@ impl Engine {
     /// harnesses can run the engine over an instrumented transport —
     /// e.g. to assert that shipment metrics equal the frames that
     /// actually crossed it.
+    ///
+    /// Allocates a one-shot query id and a private [`ReplyRouter`]; when
+    /// several pipelines share one fleet concurrently they must share a
+    /// router instead — use [`Engine::execute_routed`], as the `GStoreD`
+    /// session does.
     pub fn execute_on(
         &self,
         transport: &dyn Transport,
         dist: &DistributedGraph,
         plan: &PreparedPlan,
+    ) -> Result<QueryOutput, EngineError> {
+        let router = ReplyRouter::new(transport.sites());
+        self.execute_routed(transport, &router, dist, plan, one_shot_query_id())
+    }
+
+    /// Evaluate a prepared plan as **one of many concurrent queries** on
+    /// a shared fleet: all frames carry `query`, and replies come back
+    /// through the fleet's shared `router`, so this method can run from
+    /// any number of threads against the same transport at once.
+    ///
+    /// The caller owns id allocation and admission (see
+    /// `runtime::QueryExecutor`); `query` must be unique among the
+    /// queries in flight on this fleet. On success **and** on error the
+    /// sites' per-query state is released before returning, so a
+    /// completed pipeline leaves no residue in any worker's state table.
+    pub fn execute_routed(
+        &self,
+        transport: &dyn Transport,
+        router: &ReplyRouter,
+        dist: &DistributedGraph,
+        plan: &PreparedPlan,
+        query: QueryId,
     ) -> Result<QueryOutput, EngineError> {
         if plan.dict_uid() != dist.dict().uid() {
             return Err(EngineError::PlanGraphMismatch {
@@ -332,26 +395,52 @@ impl Engine {
                 dist.fragment_count()
             )));
         }
-        let query = plan.query();
+        let query_graph = plan.query();
         let q = plan.encoded();
         let mut metrics = QueryMetrics::default();
 
         if q.has_unsatisfiable() {
-            return Ok(self.finish(query, q, Vec::new(), metrics));
+            return Ok(self.finish(query_graph, q, Vec::new(), metrics));
         }
 
-        let pool = WorkerPool::new(transport, self.config.network);
+        let pool = WorkerPool::new(transport, router, self.config.network, query)
+            .with_pacing(self.config.pace_network);
+
+        match self.run_stages(&pool, plan, &mut metrics) {
+            Ok(bindings) => Ok(self.finish(query_graph, q, bindings, metrics)),
+            Err(e) => {
+                // Best-effort cleanup so an aborted pipeline does not
+                // strand state in the workers' tables (uncharged: the
+                // failed execution has no metrics consumer).
+                let mut scratch = gstored_net::StageMetrics::default();
+                pool.release_quietly(&mut scratch);
+                Err(e)
+            }
+        }
+    }
+
+    /// The message-driven pipeline body: every stage of Fig. 4, all
+    /// frames stamped with the pool's query id, ending with the
+    /// `ReleaseQuery` broadcast that drops the sites' per-query state.
+    fn run_stages(
+        &self,
+        pool: &WorkerPool<'_>,
+        plan: &PreparedPlan,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let q = plan.encoded();
+        let query = pool.query();
 
         // --- Star fast path (Section VIII-B) ---
         let shape = plan.shape();
         if self.config.star_fast_path && shape.is_star() {
             let center = shape.star_center.expect("stars have centers");
             expect_acks(pool.broadcast_frame(
-                protocol::encode_install_query(q),
+                protocol::encode_install_query(query, q),
                 &mut metrics.partial_evaluation,
             )?)?;
             let bodies = pool.broadcast(
-                &Request::StarMatches { center },
+                &Request::StarMatches { query, center },
                 &mut metrics.partial_evaluation,
             )?;
             let mut all = Vec::new();
@@ -365,7 +454,11 @@ impl Engine {
                 all.extend(ms);
             }
             metrics.local_matches = all.len() as u64;
-            return Ok(self.finish(query, q, all, metrics));
+            expect_acks(pool.broadcast(
+                &Request::ReleaseQuery { query },
+                &mut metrics.partial_evaluation,
+            )?)?;
+            return Ok(all);
         }
 
         // --- Stage 0: distribute the query to every site ---
@@ -375,19 +468,22 @@ impl Engine {
             } else {
                 &mut metrics.partial_evaluation
             };
-            expect_acks(pool.broadcast_frame(protocol::encode_install_query(q), stage)?)?;
+            expect_acks(pool.broadcast_frame(protocol::encode_install_query(query, q), stage)?)?;
         }
 
         // --- Stage 1 (Full only): assemble variables' candidates ---
         if self.config.variant.uses_candidate_exchange() {
-            let (_filter, stage) = exchange_candidates(&pool, q, self.config.candidate_bits)?;
+            let (_filter, stage) = exchange_candidates(pool, q, self.config.candidate_bits)?;
             metrics.candidates.absorb(&stage);
         }
 
         // --- Stage 2: partial evaluation at every site ---
         // Local complete matches ship back immediately (they are final);
         // the LPMs stay at their sites until pruning has spoken.
-        let bodies = pool.broadcast(&Request::PartialEval, &mut metrics.partial_evaluation)?;
+        let bodies = pool.broadcast(
+            &Request::PartialEval { query },
+            &mut metrics.partial_evaluation,
+        )?;
         let mut complete: Vec<Vec<VertexId>> = Vec::new();
         let mut lpm_counts: Vec<u64> = Vec::with_capacity(bodies.len());
         for body in bodies {
@@ -424,6 +520,7 @@ impl Engine {
             // them — only them — to the coordinator.
             let bodies = pool.broadcast_with(
                 |site| Request::ComputeLecFeatures {
+                    query,
                     first_id: first_ids[site],
                 },
                 &mut metrics.lec_optimization,
@@ -453,13 +550,16 @@ impl Engine {
                 v
             };
             expect_acks(pool.broadcast(
-                &Request::DropPruned { useful: useful_ids },
+                &Request::DropPruned {
+                    query,
+                    useful: useful_ids,
+                },
                 &mut metrics.lec_optimization,
             )?)?;
         }
 
         // --- Stage 4: assembly at the coordinator ---
-        let bodies = pool.broadcast(&Request::ShipSurvivors, &mut metrics.assembly)?;
+        let bodies = pool.broadcast(&Request::ShipSurvivors { query }, &mut metrics.assembly)?;
         let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
         for body in bodies {
             let ResponseBody::Survivors(lpms) = body else {
@@ -471,6 +571,9 @@ impl Engine {
             all_lpms.extend(lpms);
         }
         metrics.surviving_partial_matches = all_lpms.len() as u64;
+        // The sites' part is done — drop their state before the
+        // coordinator-side join so worker memory frees while we compute.
+        expect_acks(pool.broadcast(&Request::ReleaseQuery { query }, &mut metrics.assembly)?)?;
         let crossing = metrics.assembly.time(|| {
             if self.config.variant.uses_lec_assembly() {
                 assemble_lec(&all_lpms, q.vertex_count(), &query_edges)
@@ -481,7 +584,7 @@ impl Engine {
         metrics.crossing_matches = crossing.len() as u64;
         complete.extend(crossing);
 
-        Ok(self.finish(query, q, complete, metrics))
+        Ok(complete)
     }
 
     /// Apply projection / DISTINCT / LIMIT and package the output.
@@ -572,6 +675,8 @@ fn unexpected(wanted: &str, request: &str, got: &ResponseBody) -> EngineError {
         ResponseBody::PartialEval { .. } => "PartialEval",
         ResponseBody::Features(_) => "Features",
         ResponseBody::Survivors(_) => "Survivors",
+        ResponseBody::Status(_) => "Status",
+        ResponseBody::UnknownQuery(_) => "UnknownQuery",
         ResponseBody::Error(_) => "Error",
     };
     EngineError::Protocol(format!("expected {wanted} reply to {request}, got {kind}"))

@@ -29,6 +29,16 @@ pub enum EngineError {
     /// A site worker reported that it could not serve a request (e.g. no
     /// fragment installed on a remote worker).
     Worker(String),
+    /// A site worker was asked about a query id it does not hold — never
+    /// installed, already released, or evicted by the worker's
+    /// state-table capacity cap. The typed form of the worker's
+    /// `UnknownQuery` protocol reply.
+    UnknownQuery {
+        /// Site that reported the unknown id.
+        site: usize,
+        /// The query id the frame referenced.
+        query: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -57,6 +67,11 @@ impl fmt::Display for EngineError {
             EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
             EngineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             EngineError::Worker(msg) => write!(f, "worker error: {msg}"),
+            EngineError::UnknownQuery { site, query } => write!(
+                f,
+                "site {site} does not hold query {query} \
+                 (never installed, released, or evicted)"
+            ),
         }
     }
 }

@@ -16,12 +16,16 @@
 //! * [`protocol`] — wire encoding of everything the engine ships: the
 //!   payload batches *and* the typed request/response envelopes framing
 //!   them, so data shipment is measured on real serialized frames.
-//! * [`worker`] — the persistent **site worker**: owns a fragment plus
-//!   per-query state and answers protocol requests; identical behind
-//!   every transport backend.
-//! * [`runtime`] — the coordinator-side **worker pool**: broadcasts
-//!   requests over a `gstored_net::Transport` and charges each frame to
-//!   its stage as it crosses the wire.
+//! * [`worker`] — the persistent **site worker**: owns a fragment plus a
+//!   table of per-query state slots keyed by [`protocol::QueryId`] (with
+//!   an LRU capacity cap), and answers protocol requests; identical
+//!   behind every transport backend.
+//! * [`runtime`] — the coordinator-side **worker pool** plus the
+//!   concurrency substrate: the [`runtime::ReplyRouter`] that
+//!   demultiplexes interleaved replies by query id and the
+//!   [`runtime::QueryExecutor`] that allocates ids and admits pipelines
+//!   onto a shared fleet; every frame is charged to its stage as it
+//!   crosses the wire, per query.
 //! * [`engine`] — the distributed engine with the four variants compared
 //!   in Fig. 9: `Basic`, `LA` (LEC assembly), `LO` (+ LEC pruning) and
 //!   `Full` (+ candidate exchange), including the star-query fast path of
@@ -46,5 +50,6 @@ pub use engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
 pub use error::EngineError;
 pub use lec::LecFeature;
 pub use prepared::PreparedPlan;
-pub use runtime::WorkerPool;
+pub use protocol::{QueryId, WorkerStatus};
+pub use runtime::{QueryExecutor, QueryTicket, ReplyRouter, WorkerPool};
 pub use worker::SiteWorker;

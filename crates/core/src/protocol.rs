@@ -11,15 +11,26 @@
 //! exactly once, when it is sent or received; nothing is re-encoded just
 //! to be measured.
 //!
+//! Since protocol v2 every per-query envelope carries a [`QueryId`], so
+//! one worker connection can serve the frames of many in-flight queries
+//! interleaved (see `docs/concurrency.md`); replies echo the id, which is
+//! what lets the coordinator's reply router hand each frame to the right
+//! pipeline. Query ids are encoded **fixed-width** so frame lengths — and
+//! therefore the shipment metrics — never depend on how many queries a
+//! session has already run.
+//!
 //! Envelope round trips are loss-free:
 //!
 //! ```
-//! use gstored_core::protocol::{decode_request, encode_request, Request};
+//! use gstored_core::protocol::{decode_request, encode_request, QueryId, Request};
 //!
-//! let req = Request::DropPruned { useful: vec![3, 7, 42] };
+//! let req = Request::DropPruned { query: QueryId(7), useful: vec![3, 7, 42] };
 //! let frame = encode_request(&req);
 //! match decode_request(frame).unwrap() {
-//!     Request::DropPruned { useful } => assert_eq!(useful, vec![3, 7, 42]),
+//!     Request::DropPruned { query, useful } => {
+//!         assert_eq!(query, QueryId(7));
+//!         assert_eq!(useful, vec![3, 7, 42]);
+//!     }
 //!     other => panic!("decoded the wrong request: {other:?}"),
 //! }
 //! ```
@@ -477,6 +488,50 @@ pub fn decode_bindings(bytes: Bytes) -> Result<Vec<Vec<VertexId>>, WireError> {
 
 // --- request/response envelopes ---
 
+/// Identifies one in-flight query on a worker connection.
+///
+/// The coordinator allocates a fresh id per execution (see
+/// `gstored_core::runtime::QueryExecutor`); every per-query request names
+/// the query it belongs to and every reply echoes the id of the request
+/// it answers, so frames of different queries can interleave on one
+/// connection without ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The reserved id stamped on replies to non-per-query requests
+    /// (`InstallFragment`) and on error replies to frames too malformed
+    /// to name a query. Never allocated to a real query.
+    pub const CONTROL: QueryId = QueryId(u32::MAX);
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == QueryId::CONTROL {
+            write!(f, "control")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A snapshot of one site worker's resource state, answered to
+/// [`Request::WorkerStatus`]. This is the observability hook behind the
+/// no-leak tests: after a query's `ReleaseQuery`, `resident_queries` and
+/// `resident_lpms` must drop back to what they were before it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStatus {
+    /// Queries currently resident in the worker's state table.
+    pub resident_queries: u64,
+    /// Local partial matches currently held across all resident queries.
+    pub resident_lpms: u64,
+    /// The state-table capacity; installing beyond it evicts the least
+    /// recently used query.
+    pub capacity: u64,
+    /// Queries evicted by the capacity cap since the worker started.
+    pub evictions: u64,
+}
+
 const REQ_INSTALL_FRAGMENT: u64 = 1;
 const REQ_INSTALL_QUERY: u64 = 2;
 const REQ_STAR_MATCHES: u64 = 3;
@@ -487,103 +542,184 @@ const REQ_COMPUTE_LEC_FEATURES: u64 = 7;
 const REQ_DROP_PRUNED: u64 = 8;
 const REQ_SHIP_SURVIVORS: u64 = 9;
 const REQ_SHUTDOWN: u64 = 10;
+const REQ_RELEASE_QUERY: u64 = 11;
+const REQ_WORKER_STATUS: u64 = 12;
 
 /// A coordinator → worker message: one step of the engine's four-stage
 /// pipeline (or of worker setup). Every variant maps to one frame on the
-/// transport.
+/// transport. Per-query variants name the query they belong to, so one
+/// connection can carry many in-flight queries' frames interleaved.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Install the worker's graph fragment (deployment-time data loading;
     /// the only frame not charged as query data shipment).
     InstallFragment(Box<Fragment>),
-    /// Install the encoded query for the coming execution and reset all
-    /// per-query worker state.
-    InstallQuery(Box<EncodedQuery>),
+    /// Install the encoded query under `query`, creating a fresh state
+    /// slot in the worker's table. Installing an id that is already
+    /// resident is an error — a retransmission must never clobber an
+    /// in-flight query's LPMs.
+    InstallQuery {
+        /// The query id the state slot is created under.
+        query: QueryId,
+        /// The dictionary-encoded query.
+        encoded: Box<EncodedQuery>,
+    },
     /// Star fast path (Section VIII-B): evaluate the whole star locally
     /// around internal bindings of `center`; answer with `Bindings`.
     StarMatches {
+        /// The query being evaluated.
+        query: QueryId,
         /// Query vertex id of the star's center.
         center: usize,
     },
     /// Algorithm 4 site side: hash each variable's internal candidates
     /// into a fixed-length bit vector; answer with `BitVectors`.
     ComputeCandidates {
+        /// The query being evaluated.
+        query: QueryId,
         /// Bits per candidate bit vector.
         bits: usize,
     },
     /// Algorithm 4 broadcast: adopt the coordinator's unioned bit vectors
     /// as the extended-binding filter for LPM enumeration.
     SetCandidateFilter {
+        /// The query being evaluated.
+        query: QueryId,
         /// `(query vertex, unioned bit vector)` pairs, one per variable.
         vectors: Vec<(usize, BitVectorFilter)>,
     },
     /// Partial evaluation (Definition 5): find local complete matches and
     /// enumerate LPMs, which stay at the site; answer with `PartialEval`.
-    PartialEval,
+    PartialEval {
+        /// The query being evaluated.
+        query: QueryId,
+    },
     /// Algorithm 1: compress the site's LPMs into LEC features with
     /// global ids starting at `first_id`; answer with `Features`.
     ComputeLecFeatures {
+        /// The query being evaluated.
+        query: QueryId,
         /// First global feature id assigned to this site.
         first_id: u32,
     },
     /// Algorithm 2 epilogue: keep only LPMs whose feature contributed to
     /// a surviving combination.
     DropPruned {
+        /// The query being evaluated.
+        query: QueryId,
         /// Sorted global ids of the surviving original features.
         useful: Vec<u32>,
     },
     /// Assembly prologue: ship the surviving LPMs to the coordinator;
     /// answer with `Survivors`.
-    ShipSurvivors,
+    ShipSurvivors {
+        /// The query being evaluated.
+        query: QueryId,
+    },
+    /// Drop the query's state slot (LPMs, features, filter). Idempotent:
+    /// releasing an unknown or already-evicted id is still an `Ack`, so
+    /// the coordinator's end-of-pipeline release never fails.
+    ReleaseQuery {
+        /// The query to release.
+        query: QueryId,
+    },
+    /// Observability probe: answer with `Status` (state-table occupancy,
+    /// resident LPMs, capacity, evictions). Touches no query state; the
+    /// id is echoed purely so the reply routes back to the prober.
+    WorkerStatus {
+        /// Correlation id for the reply (not a resident query).
+        query: QueryId,
+    },
     /// Stop the worker's serve loop (no reply is sent).
     Shutdown,
 }
 
-/// Encode a request envelope into one frame.
+impl Request {
+    /// The query id a reply to this request must echo:
+    /// the named query for per-query requests, [`QueryId::CONTROL`] for
+    /// `InstallFragment`/`Shutdown`.
+    pub fn query_id(&self) -> QueryId {
+        match self {
+            Request::InstallFragment(_) | Request::Shutdown => QueryId::CONTROL,
+            Request::InstallQuery { query, .. }
+            | Request::StarMatches { query, .. }
+            | Request::ComputeCandidates { query, .. }
+            | Request::SetCandidateFilter { query, .. }
+            | Request::PartialEval { query }
+            | Request::ComputeLecFeatures { query, .. }
+            | Request::DropPruned { query, .. }
+            | Request::ShipSurvivors { query }
+            | Request::ReleaseQuery { query }
+            | Request::WorkerStatus { query } => *query,
+        }
+    }
+}
+
+/// Encode a request envelope into one frame. Per-query requests lead
+/// with `tag, query id (fixed-width u32)` so a router can address the
+/// frame without decoding the payload.
 pub fn encode_request(req: &Request) -> Bytes {
     match req {
         Request::InstallFragment(f) => encode_install_fragment(f),
-        Request::InstallQuery(q) => encode_install_query(q),
-        Request::StarMatches { center } => {
+        Request::InstallQuery { query, encoded } => encode_install_query(*query, encoded),
+        Request::StarMatches { query, center } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_STAR_MATCHES).usize(*center);
+            w.u64(REQ_STAR_MATCHES).u32_fixed(query.0).usize(*center);
             w.finish()
         }
-        Request::ComputeCandidates { bits } => {
+        Request::ComputeCandidates { query, bits } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_COMPUTE_CANDIDATES).usize(*bits);
+            w.u64(REQ_COMPUTE_CANDIDATES)
+                .u32_fixed(query.0)
+                .usize(*bits);
             w.finish()
         }
-        Request::SetCandidateFilter { vectors } => {
+        Request::SetCandidateFilter { query, vectors } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_SET_CANDIDATE_FILTER).usize(vectors.len());
+            w.u64(REQ_SET_CANDIDATE_FILTER)
+                .u32_fixed(query.0)
+                .usize(vectors.len());
             for (v, bv) in vectors {
                 w.usize(*v);
                 write_bit_vector(&mut w, bv);
             }
             w.finish()
         }
-        Request::PartialEval => {
+        Request::PartialEval { query } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_PARTIAL_EVAL);
+            w.u64(REQ_PARTIAL_EVAL).u32_fixed(query.0);
             w.finish()
         }
-        Request::ComputeLecFeatures { first_id } => {
+        Request::ComputeLecFeatures { query, first_id } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_COMPUTE_LEC_FEATURES).u64(u64::from(*first_id));
+            w.u64(REQ_COMPUTE_LEC_FEATURES)
+                .u32_fixed(query.0)
+                .u64(u64::from(*first_id));
             w.finish()
         }
-        Request::DropPruned { useful } => {
+        Request::DropPruned { query, useful } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_DROP_PRUNED).usize(useful.len());
+            w.u64(REQ_DROP_PRUNED)
+                .u32_fixed(query.0)
+                .usize(useful.len());
             for &id in useful {
                 w.u64(u64::from(id));
             }
             w.finish()
         }
-        Request::ShipSurvivors => {
+        Request::ShipSurvivors { query } => {
             let mut w = WireWriter::new();
-            w.u64(REQ_SHIP_SURVIVORS);
+            w.u64(REQ_SHIP_SURVIVORS).u32_fixed(query.0);
+            w.finish()
+        }
+        Request::ReleaseQuery { query } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_RELEASE_QUERY).u32_fixed(query.0);
+            w.finish()
+        }
+        Request::WorkerStatus { query } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_WORKER_STATUS).u32_fixed(query.0);
             w.finish()
         }
         Request::Shutdown => {
@@ -605,9 +741,9 @@ pub fn encode_install_fragment(fragment: &Fragment) -> Bytes {
 
 /// Encode an [`Request::InstallQuery`] frame straight from a borrowed
 /// encoded query.
-pub fn encode_install_query(query: &EncodedQuery) -> Bytes {
+pub fn encode_install_query(id: QueryId, query: &EncodedQuery) -> Bytes {
     let mut w = WireWriter::with_capacity(64 + query.edge_count() * 8);
-    w.u64(REQ_INSTALL_QUERY);
+    w.u64(REQ_INSTALL_QUERY).u32_fixed(id.0);
     write_query(&mut w, query);
     w.finish()
 }
@@ -615,11 +751,26 @@ pub fn encode_install_query(query: &EncodedQuery) -> Bytes {
 /// Decode a request envelope.
 pub fn decode_request(bytes: Bytes) -> Result<Request, WireError> {
     let mut r = WireReader::new(bytes);
-    let req = match r.u64()? {
+    let tag = r.u64()?;
+    // Every per-query request carries its id right after the tag.
+    let qid = match tag {
+        REQ_INSTALL_FRAGMENT | REQ_SHUTDOWN => QueryId::CONTROL,
+        _ => QueryId(r.u32_fixed()?),
+    };
+    let req = match tag {
         REQ_INSTALL_FRAGMENT => Request::InstallFragment(Box::new(read_fragment(&mut r)?)),
-        REQ_INSTALL_QUERY => Request::InstallQuery(Box::new(read_query(&mut r)?)),
-        REQ_STAR_MATCHES => Request::StarMatches { center: r.usize()? },
-        REQ_COMPUTE_CANDIDATES => Request::ComputeCandidates { bits: r.usize()? },
+        REQ_INSTALL_QUERY => Request::InstallQuery {
+            query: qid,
+            encoded: Box::new(read_query(&mut r)?),
+        },
+        REQ_STAR_MATCHES => Request::StarMatches {
+            query: qid,
+            center: r.usize()?,
+        },
+        REQ_COMPUTE_CANDIDATES => Request::ComputeCandidates {
+            query: qid,
+            bits: r.usize()?,
+        },
         REQ_SET_CANDIDATE_FILTER => {
             let n = read_batch_len(&mut r, 9)?;
             let mut vectors = Vec::with_capacity(n);
@@ -627,10 +778,14 @@ pub fn decode_request(bytes: Bytes) -> Result<Request, WireError> {
                 let v = r.usize()?;
                 vectors.push((v, read_bit_vector(&mut r)?));
             }
-            Request::SetCandidateFilter { vectors }
+            Request::SetCandidateFilter {
+                query: qid,
+                vectors,
+            }
         }
-        REQ_PARTIAL_EVAL => Request::PartialEval,
+        REQ_PARTIAL_EVAL => Request::PartialEval { query: qid },
         REQ_COMPUTE_LEC_FEATURES => Request::ComputeLecFeatures {
+            query: qid,
             first_id: r.u64()? as u32,
         },
         REQ_DROP_PRUNED => {
@@ -639,9 +794,11 @@ pub fn decode_request(bytes: Bytes) -> Result<Request, WireError> {
             for _ in 0..n {
                 useful.push(r.u64()? as u32);
             }
-            Request::DropPruned { useful }
+            Request::DropPruned { query: qid, useful }
         }
-        REQ_SHIP_SURVIVORS => Request::ShipSurvivors,
+        REQ_SHIP_SURVIVORS => Request::ShipSurvivors { query: qid },
+        REQ_RELEASE_QUERY => Request::ReleaseQuery { query: qid },
+        REQ_WORKER_STATUS => Request::WorkerStatus { query: qid },
         REQ_SHUTDOWN => Request::Shutdown,
         _ => return Err(WireError("invalid request tag")),
     };
@@ -658,6 +815,8 @@ const RESP_PARTIAL_EVAL: u64 = 4;
 const RESP_FEATURES: u64 = 5;
 const RESP_SURVIVORS: u64 = 6;
 const RESP_ERROR: u64 = 7;
+const RESP_STATUS: u64 = 8;
+const RESP_UNKNOWN_QUERY: u64 = 9;
 
 /// The payload of a worker → coordinator reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -680,27 +839,42 @@ pub enum ResponseBody {
     Features(Vec<LecFeature>),
     /// The LPMs that survived pruning (all LPMs when nothing was pruned).
     Survivors(Vec<LocalPartialMatch>),
+    /// The worker's state-table snapshot ([`Request::WorkerStatus`]).
+    Status(WorkerStatus),
+    /// The frame referenced a query id that is not resident on this
+    /// worker — never installed, already released, or evicted by the
+    /// state-table capacity cap. The typed (non-fatal) protocol error the
+    /// coordinator maps to `EngineError::UnknownQuery`.
+    UnknownQuery(QueryId),
     /// The worker could not serve the request.
     Error(String),
 }
 
-/// A worker → coordinator reply: the site's compute time for the request
-/// plus the typed payload.
+/// A worker → coordinator reply: the site's compute time for the request,
+/// the id of the query the answered request belonged to, plus the typed
+/// payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Site-side compute time for the request, in nanoseconds. Encoded
     /// fixed-width so frame lengths — and therefore shipment metrics —
     /// are independent of timing jitter and identical across backends.
     pub elapsed_nanos: u64,
+    /// Echo of the request's query id ([`QueryId::CONTROL`] for replies
+    /// to non-per-query requests). Encoded fixed-width so frame lengths
+    /// never depend on how many queries a session has run. This is the
+    /// field the coordinator's reply router demultiplexes on.
+    pub query: QueryId,
     /// The typed payload.
     pub body: ResponseBody,
 }
 
 impl Response {
-    /// A reply carrying `body`, stamped with `elapsed` compute time.
-    pub fn new(elapsed: std::time::Duration, body: ResponseBody) -> Response {
+    /// A reply to `query`'s request carrying `body`, stamped with
+    /// `elapsed` compute time.
+    pub fn new(elapsed: std::time::Duration, query: QueryId, body: ResponseBody) -> Response {
         Response {
             elapsed_nanos: elapsed.as_nanos() as u64,
+            query,
             body,
         }
     }
@@ -709,7 +883,7 @@ impl Response {
 /// Encode a response envelope into one frame.
 pub fn encode_response(resp: &Response) -> Bytes {
     let mut w = WireWriter::new();
-    w.u64_fixed(resp.elapsed_nanos);
+    w.u64_fixed(resp.elapsed_nanos).u32_fixed(resp.query.0);
     match &resp.body {
         ResponseBody::Ack => {
             w.u64(RESP_ACK);
@@ -737,6 +911,16 @@ pub fn encode_response(resp: &Response) -> Bytes {
             w.u64(RESP_SURVIVORS);
             write_lpms(&mut w, lpms);
         }
+        ResponseBody::Status(s) => {
+            w.u64(RESP_STATUS)
+                .u64(s.resident_queries)
+                .u64(s.resident_lpms)
+                .u64(s.capacity)
+                .u64(s.evictions);
+        }
+        ResponseBody::UnknownQuery(q) => {
+            w.u64(RESP_UNKNOWN_QUERY).u32_fixed(q.0);
+        }
         ResponseBody::Error(msg) => {
             w.u64(RESP_ERROR).str(msg);
         }
@@ -748,6 +932,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
 pub fn decode_response(bytes: Bytes) -> Result<Response, WireError> {
     let mut r = WireReader::new(bytes);
     let elapsed_nanos = r.u64_fixed()?;
+    let query = QueryId(r.u32_fixed()?);
     let body = match r.u64()? {
         RESP_ACK => ResponseBody::Ack,
         RESP_BINDINGS => ResponseBody::Bindings(read_bindings(&mut r)?),
@@ -766,6 +951,13 @@ pub fn decode_response(bytes: Bytes) -> Result<Response, WireError> {
         }
         RESP_FEATURES => ResponseBody::Features(read_features(&mut r)?),
         RESP_SURVIVORS => ResponseBody::Survivors(read_lpms(&mut r)?),
+        RESP_STATUS => ResponseBody::Status(WorkerStatus {
+            resident_queries: r.u64()?,
+            resident_lpms: r.u64()?,
+            capacity: r.u64()?,
+            evictions: r.u64()?,
+        }),
+        RESP_UNKNOWN_QUERY => ResponseBody::UnknownQuery(QueryId(r.u32_fixed()?)),
         RESP_ERROR => ResponseBody::Error(r.str()?),
         _ => return Err(WireError("invalid response tag")),
     };
@@ -774,6 +966,7 @@ pub fn decode_response(bytes: Bytes) -> Result<Response, WireError> {
     }
     Ok(Response {
         elapsed_nanos,
+        query,
         body,
     })
 }
@@ -914,18 +1107,32 @@ mod tests {
     fn request_envelopes_roundtrip() {
         let mut bv = BitVectorFilter::new(128);
         bv.insert(TermId(9));
+        let q = QueryId(41);
         let requests = vec![
-            Request::StarMatches { center: 3 },
-            Request::ComputeCandidates { bits: 4096 },
+            Request::StarMatches {
+                query: q,
+                center: 3,
+            },
+            Request::ComputeCandidates {
+                query: q,
+                bits: 4096,
+            },
             Request::SetCandidateFilter {
+                query: q,
                 vectors: vec![(0, bv.clone()), (2, bv)],
             },
-            Request::PartialEval,
-            Request::ComputeLecFeatures { first_id: 17 },
+            Request::PartialEval { query: q },
+            Request::ComputeLecFeatures {
+                query: q,
+                first_id: 17,
+            },
             Request::DropPruned {
+                query: q,
                 useful: vec![1, 5, 9],
             },
-            Request::ShipSurvivors,
+            Request::ShipSurvivors { query: q },
+            Request::ReleaseQuery { query: q },
+            Request::WorkerStatus { query: q },
             Request::Shutdown,
         ];
         for req in requests {
@@ -933,32 +1140,85 @@ mod tests {
             let decoded = decode_request(frame.clone()).unwrap();
             // Request has no PartialEq (it carries a Fragment); compare
             // canonical encodings instead.
+            assert_eq!(decoded.query_id(), req.query_id());
             assert_eq!(encode_request(&decoded), frame);
         }
     }
 
     #[test]
+    fn request_frame_length_is_independent_of_query_id() {
+        // Shipment determinism across sessions hinges on this: the query
+        // id is fixed-width, so a session's thousandth query ships the
+        // same bytes as its first.
+        for (a, b) in [
+            (
+                Request::PartialEval { query: QueryId(0) },
+                Request::PartialEval {
+                    query: QueryId(u32::MAX - 1),
+                },
+            ),
+            (
+                Request::ShipSurvivors { query: QueryId(1) },
+                Request::ShipSurvivors {
+                    query: QueryId(100_000),
+                },
+            ),
+            (
+                Request::ReleaseQuery { query: QueryId(2) },
+                Request::ReleaseQuery {
+                    query: QueryId(2_000_000),
+                },
+            ),
+        ] {
+            assert_eq!(encode_request(&a).len(), encode_request(&b).len());
+        }
+    }
+
+    #[test]
     fn response_envelopes_roundtrip() {
+        let q = QueryId(3);
         let responses = vec![
-            Response::new(Duration::from_micros(7), ResponseBody::Ack),
+            Response::new(Duration::from_micros(7), q, ResponseBody::Ack),
             Response::new(
                 Duration::ZERO,
+                q,
                 ResponseBody::Bindings(vec![vec![TermId(1), TermId(2)]]),
             ),
             Response::new(
                 Duration::from_nanos(1),
+                q,
                 ResponseBody::BitVectors(vec![BitVectorFilter::new(64)]),
             ),
             Response::new(
                 Duration::from_millis(2),
+                q,
                 ResponseBody::PartialEval {
                     locals: vec![vec![TermId(4)]],
                     lpm_count: 12,
                 },
             ),
-            Response::new(Duration::ZERO, ResponseBody::Features(vec![])),
-            Response::new(Duration::ZERO, ResponseBody::Survivors(vec![sample_lpm()])),
-            Response::new(Duration::ZERO, ResponseBody::Error("boom".into())),
+            Response::new(Duration::ZERO, q, ResponseBody::Features(vec![])),
+            Response::new(
+                Duration::ZERO,
+                q,
+                ResponseBody::Survivors(vec![sample_lpm()]),
+            ),
+            Response::new(
+                Duration::ZERO,
+                q,
+                ResponseBody::Status(WorkerStatus {
+                    resident_queries: 2,
+                    resident_lpms: 17,
+                    capacity: 32,
+                    evictions: 1,
+                }),
+            ),
+            Response::new(Duration::ZERO, q, ResponseBody::UnknownQuery(QueryId(99))),
+            Response::new(
+                Duration::ZERO,
+                QueryId::CONTROL,
+                ResponseBody::Error("boom".into()),
+            ),
         ];
         for resp in responses {
             let decoded = decode_response(encode_response(&resp)).unwrap();
@@ -967,11 +1227,15 @@ mod tests {
     }
 
     #[test]
-    fn response_length_is_independent_of_elapsed_time() {
-        // The fixed-width elapsed field is what keeps byte metrics
-        // identical across backends with different real timings.
-        let fast = Response::new(Duration::from_nanos(1), ResponseBody::Ack);
-        let slow = Response::new(Duration::from_secs(3600), ResponseBody::Ack);
+    fn response_length_is_independent_of_elapsed_time_and_query_id() {
+        // The fixed-width elapsed and query-id fields are what keep byte
+        // metrics identical across backends and across session lifetimes.
+        let fast = Response::new(Duration::from_nanos(1), QueryId(0), ResponseBody::Ack);
+        let slow = Response::new(
+            Duration::from_secs(3600),
+            QueryId(3_000_000),
+            ResponseBody::Ack,
+        );
         assert_eq!(encode_response(&fast).len(), encode_response(&slow).len());
     }
 
@@ -1022,16 +1286,18 @@ mod tests {
         )
         .unwrap();
         let q = EncodedQuery::encode(&qg, g.dict()).unwrap();
-        let frame = encode_install_query(&q);
-        let Request::InstallQuery(decoded) = decode_request(frame.clone()).unwrap() else {
+        let frame = encode_install_query(QueryId(5), &q);
+        let Request::InstallQuery { query, encoded } = decode_request(frame.clone()).unwrap()
+        else {
             panic!("wrong request kind");
         };
-        assert_eq!(decoded.vertex_count(), q.vertex_count());
-        assert_eq!(decoded.edges(), q.edges());
-        assert_eq!(decoded.projection(), q.projection());
-        assert_eq!(decoded.var_name(0), q.var_name(0));
-        assert_eq!(decoded.has_unsatisfiable(), q.has_unsatisfiable());
-        assert_eq!(encode_install_query(&decoded), frame);
+        assert_eq!(query, QueryId(5));
+        assert_eq!(encoded.vertex_count(), q.vertex_count());
+        assert_eq!(encoded.edges(), q.edges());
+        assert_eq!(encoded.projection(), q.projection());
+        assert_eq!(encoded.var_name(0), q.var_name(0));
+        assert_eq!(encoded.has_unsatisfiable(), q.has_unsatisfiable());
+        assert_eq!(encode_install_query(query, &encoded), frame);
     }
 
     #[test]
@@ -1039,21 +1305,28 @@ mod tests {
         // A tiny frame claiming 2^61 feature ids must be a decode error,
         // not a capacity panic or a huge allocation.
         let mut w = WireWriter::new();
-        w.u64(REQ_DROP_PRUNED).u64(1u64 << 61);
+        w.u64(REQ_DROP_PRUNED).u32_fixed(0).u64(1u64 << 61);
         assert!(decode_request(w.finish()).is_err());
         // A bit-vector reply claiming an absurd width.
         let mut w = WireWriter::new();
-        w.u64_fixed(0).u64(RESP_BIT_VECTORS).usize(1).usize(1 << 62);
+        w.u64_fixed(0)
+            .u32_fixed(0)
+            .u64(RESP_BIT_VECTORS)
+            .usize(1)
+            .usize(1 << 62);
         assert!(decode_response(w.finish()).is_err());
         // A survivors reply with a colossal LPM count.
         let mut w = WireWriter::new();
-        w.u64_fixed(0).u64(RESP_SURVIVORS).u64(u64::MAX >> 2);
+        w.u64_fixed(0)
+            .u32_fixed(0)
+            .u64(RESP_SURVIVORS)
+            .u64(u64::MAX >> 2);
         assert!(decode_response(w.finish()).is_err());
         // And a persistent worker survives such a frame with an Error
         // reply instead of dying.
         let mut worker = crate::worker::SiteWorker::empty();
         let mut w = WireWriter::new();
-        w.u64(REQ_DROP_PRUNED).u64(1u64 << 61);
+        w.u64(REQ_DROP_PRUNED).u32_fixed(0).u64(1u64 << 61);
         let reply = worker.handle(w.finish()).unwrap();
         assert!(matches!(
             decode_response(reply).unwrap().body,
@@ -1067,7 +1340,7 @@ mod tests {
         w.u64(99);
         assert!(decode_request(w.finish()).is_err());
         // Trailing garbage after a valid request is rejected.
-        let mut frame = encode_request(&Request::PartialEval).to_vec();
+        let mut frame = encode_request(&Request::PartialEval { query: QueryId(0) }).to_vec();
         frame.push(0);
         assert!(decode_request(Bytes::from(frame)).is_err());
         // A response needs its fixed-width elapsed header.

@@ -1,5 +1,9 @@
 //! The coordinator-side runtime: a [`WorkerPool`] that broadcasts typed
-//! requests over a [`Transport`] and meters every frame.
+//! requests over a [`Transport`] and meters every frame, plus the two
+//! pieces that make the runtime **multi-query concurrent** — the
+//! [`ReplyRouter`] that demultiplexes interleaved replies by query id,
+//! and the [`QueryExecutor`] that allocates query ids and admits up to a
+//! configured number of pipelines onto a shared worker fleet.
 //!
 //! Shipment accounting happens here, once, at the send/receive boundary:
 //! each encoded frame's length is charged to the stage it belongs to as
@@ -7,32 +11,281 @@
 //! that were actually exchanged — never a re-encoded estimate. Stage wall
 //! time uses the **maximum** worker-reported compute time across sites
 //! (sites run concurrently; the stage ends when the slowest site does),
-//! plus the simulated [`NetworkModel`] transfer time per frame.
+//! plus the simulated [`NetworkModel`] transfer time per frame. Metrics
+//! stay **per query**: each pipeline owns its `QueryMetrics`, so
+//! concurrent queries never bleed into each other's numbers.
+//!
+//! ## How interleaving works
+//!
+//! Each site connection is FIFO, and a worker answers frames in arrival
+//! order — but when several pipelines share the fleet, the next frame on
+//! a site's stream may answer *another* pipeline's request. Every reply
+//! echoes its request's [`QueryId`], so the router lets whichever
+//! pipeline reads a frame either keep it (its own id) or park it for the
+//! owning pipeline and keep reading. One reader per site at a time; a
+//! condvar hands the reader role over when a pipeline leaves with its
+//! frame. No dedicated I/O threads, no reordering, no busy waiting.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use bytes::Bytes;
+use fxhash::FxHashMap;
 use gstored_net::{NetworkModel, StageMetrics, Transport};
 
 use crate::error::EngineError;
-use crate::protocol::{self, Request, ResponseBody};
+use crate::protocol::{self, QueryId, Request, Response, ResponseBody, WorkerStatus};
+
+/// Per-site routing state: replies read off the stream but owned by
+/// another in-flight query, plus the "someone is reading" flag.
+#[derive(Debug, Default)]
+struct SiteSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    /// Replies received for queries other than the reader's, keyed by
+    /// query id, with the frame length for shipment charging.
+    parked: FxHashMap<u32, (usize, Response)>,
+    /// Whether some pipeline currently holds the site's reader role.
+    reading: bool,
+    /// Set when a read failed (transport broke, or a frame would not
+    /// decode so its owner is unknowable). A failed site stays failed:
+    /// the stream can no longer be trusted to route replies, so every
+    /// later `recv` on it reports the error instead of blocking on a
+    /// reply that may already have been consumed.
+    failed: Option<String>,
+}
+
+/// Demultiplexes worker replies on a shared fleet connection by query id.
+///
+/// One router guards one connected fleet (it holds no transport itself;
+/// callers pass the transport in, which keeps the router usable with any
+/// [`Transport`] backend). All pipelines sharing a fleet must share its
+/// router — reading a multiplexed stream around the router would steal
+/// other queries' replies.
+#[derive(Debug)]
+pub struct ReplyRouter {
+    sites: Vec<SiteSlot>,
+}
+
+impl ReplyRouter {
+    /// A router for a fleet of `sites` workers.
+    pub fn new(sites: usize) -> ReplyRouter {
+        ReplyRouter {
+            sites: (0..sites).map(|_| SiteSlot::default()).collect(),
+        }
+    }
+
+    /// Number of sites the router demultiplexes.
+    pub fn sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Receive `query`'s next reply from `site`: either a parked frame
+    /// another pipeline already read, or frames read off the transport —
+    /// parking any that belong to other queries — until ours arrives.
+    ///
+    /// Returns the decoded response plus the frame length (for shipment
+    /// charging). Replies stamped [`QueryId::CONTROL`] (errors for
+    /// frames too malformed to name a query) are delivered to whichever
+    /// pipeline is reading, since they cannot be routed.
+    ///
+    /// A read failure — the transport broke, or a frame would not
+    /// decode (so nobody can know whose reply was consumed) — marks the
+    /// site failed **for every pipeline**: all current and future
+    /// `recv`s on it return the error instead of blocking on a reply
+    /// that may never be distinguishable again. The session reacts by
+    /// dropping the fleet, so the failure is bounded to the queries in
+    /// flight on it.
+    pub fn recv(
+        &self,
+        transport: &dyn Transport,
+        site: usize,
+        query: QueryId,
+    ) -> Result<(usize, Response), EngineError> {
+        let slot = self.sites.get(site).ok_or_else(|| {
+            EngineError::Transport(format!("router has {} sites; no site {site}", self.sites()))
+        })?;
+        let mut state = slot.state.lock().expect("reply router poisoned");
+        loop {
+            if let Some(hit) = state.parked.remove(&query.0) {
+                return Ok(hit);
+            }
+            if let Some(msg) = &state.failed {
+                return Err(EngineError::Transport(format!("site {site}: {msg}")));
+            }
+            if state.reading {
+                // Another pipeline holds the reader role; it will either
+                // park our reply or hand the role over when it leaves.
+                state = slot.ready.wait(state).expect("reply router poisoned");
+                continue;
+            }
+            state.reading = true;
+            drop(state);
+            let read = transport
+                .recv(site)
+                .map_err(|e| EngineError::Transport(e.to_string()))
+                .and_then(|frame| {
+                    let len = frame.len();
+                    protocol::decode_response(frame)
+                        .map(|resp| (len, resp))
+                        .map_err(EngineError::from)
+                });
+            state = slot.state.lock().expect("reply router poisoned");
+            state.reading = false;
+            match read {
+                Ok((len, resp)) => {
+                    slot.ready.notify_all();
+                    if resp.query == query || resp.query == QueryId::CONTROL {
+                        return Ok((len, resp));
+                    }
+                    state.parked.insert(resp.query.0, (len, resp));
+                    // Loop: maybe our reply is already parked, else read
+                    // again (or wait, if someone grabbed the role).
+                }
+                Err(e) => {
+                    state.failed = Some(e.to_string());
+                    slot.ready.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Allocates query ids and admits pipelines onto a shared fleet.
+///
+/// Admission is a counting gate: at most `max_concurrent` queries run
+/// their pipelines at once; further [`QueryExecutor::admit`] calls block
+/// until a ticket drops. Ids are never reused within an executor and
+/// never collide with [`QueryId::CONTROL`].
+#[derive(Debug)]
+pub struct QueryExecutor {
+    next_id: AtomicU32,
+    max_concurrent: usize,
+    running: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl QueryExecutor {
+    /// An executor admitting up to `max_concurrent` pipelines (min 1).
+    pub fn new(max_concurrent: usize) -> QueryExecutor {
+        QueryExecutor {
+            next_id: AtomicU32::new(0),
+            max_concurrent: max_concurrent.max(1),
+            running: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The admission bound.
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// Block until an execution slot frees up, then claim it and a fresh
+    /// query id. The slot is held until the returned ticket drops.
+    pub fn admit(&self) -> QueryTicket<'_> {
+        let mut running = self.running.lock().expect("query executor poisoned");
+        while *running >= self.max_concurrent {
+            running = self.freed.wait(running).expect("query executor poisoned");
+        }
+        *running += 1;
+        drop(running);
+        QueryTicket {
+            query: self.allocate_id(),
+            executor: self,
+        }
+    }
+
+    fn allocate_id(&self) -> QueryId {
+        loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            if id != QueryId::CONTROL.0 {
+                return QueryId(id);
+            }
+        }
+    }
+}
+
+/// An admitted query: its id plus the RAII execution slot.
+#[derive(Debug)]
+pub struct QueryTicket<'e> {
+    query: QueryId,
+    executor: &'e QueryExecutor,
+}
+
+impl QueryTicket<'_> {
+    /// The query id this ticket was admitted under.
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+}
+
+impl Drop for QueryTicket<'_> {
+    fn drop(&mut self) {
+        let mut running = self
+            .executor
+            .running
+            .lock()
+            .expect("query executor poisoned");
+        *running -= 1;
+        drop(running);
+        self.executor.freed.notify_one();
+    }
+}
 
 /// Coordinator handle over `k` site workers reachable through a
-/// transport, with a network cost model for shipment pricing.
+/// transport, scoped to **one query**: every request it sends carries the
+/// pool's query id and every reply is routed back through the shared
+/// [`ReplyRouter`], so any number of pools (one per in-flight query) can
+/// drive the same fleet concurrently.
 pub struct WorkerPool<'t> {
     transport: &'t dyn Transport,
+    router: &'t ReplyRouter,
     network: NetworkModel,
+    query: QueryId,
+    paced: bool,
 }
 
 impl<'t> WorkerPool<'t> {
-    /// Wrap a connected transport.
-    pub fn new(transport: &'t dyn Transport, network: NetworkModel) -> WorkerPool<'t> {
-        WorkerPool { transport, network }
+    /// Wrap a connected fleet for one query's pipeline.
+    pub fn new(
+        transport: &'t dyn Transport,
+        router: &'t ReplyRouter,
+        network: NetworkModel,
+        query: QueryId,
+    ) -> WorkerPool<'t> {
+        WorkerPool {
+            transport,
+            router,
+            network,
+            query,
+            paced: false,
+        }
+    }
+
+    /// Make the pool *wait out* each frame's simulated transfer time
+    /// instead of only recording it, so wall-clock behavior matches the
+    /// [`NetworkModel`] — the closed-loop throughput benchmarks run this
+    /// way to emulate the paper's cluster interconnect.
+    pub fn with_pacing(mut self, paced: bool) -> WorkerPool<'t> {
+        self.paced = paced;
+        self
     }
 
     /// Number of sites behind the pool.
     pub fn sites(&self) -> usize {
         self.transport.sites()
+    }
+
+    /// The query this pool's frames belong to.
+    pub fn query(&self) -> QueryId {
+        self.query
     }
 
     /// Send the same request to every site and gather the replies in
@@ -73,6 +326,31 @@ impl<'t> WorkerPool<'t> {
         self.gather(stage)
     }
 
+    /// Best-effort end-of-pipeline release of the pool's query on every
+    /// site, swallowing errors — used on pipeline error paths where the
+    /// transport may already be gone. Frames still charge to `stage` so
+    /// shipment metrics cover everything that crossed the wire.
+    pub fn release_quietly(&self, stage: &mut StageMetrics) {
+        let _ = self.broadcast(&Request::ReleaseQuery { query: self.query }, stage);
+    }
+
+    /// Probe every site's state-table occupancy ([`WorkerStatus`]).
+    /// An operational query, not part of any pipeline stage: frames are
+    /// not charged to per-query metrics.
+    pub fn worker_status(&self) -> Result<Vec<WorkerStatus>, EngineError> {
+        let mut scratch = StageMetrics::default();
+        let bodies = self.broadcast(&Request::WorkerStatus { query: self.query }, &mut scratch)?;
+        bodies
+            .into_iter()
+            .map(|body| match body {
+                ResponseBody::Status(s) => Ok(s),
+                other => Err(EngineError::Protocol(format!(
+                    "expected Status reply to WorkerStatus, got {other:?}"
+                ))),
+            })
+            .collect()
+    }
+
     fn send_charged(
         &self,
         site: usize,
@@ -87,35 +365,34 @@ impl<'t> WorkerPool<'t> {
     fn gather(&self, stage: &mut StageMetrics) -> Result<Vec<ResponseBody>, EngineError> {
         // Every site was sent a request, so every site's reply must be
         // read — even after an early failure. Returning before draining
-        // would leave unread frames queued on a reusable transport and
-        // desynchronize every later exchange by one reply.
+        // would leave this query's replies parked in the router and
+        // confuse a later query that reuses the id slot's position.
         let mut bodies = Vec::with_capacity(self.sites());
         let mut slowest_nanos = 0u64;
         let mut first_error: Option<EngineError> = None;
         for site in 0..self.sites() {
-            let frame = match self.transport.recv(site) {
-                Ok(frame) => frame,
+            let (len, response) = match self.router.recv(self.transport, site, self.query) {
+                Ok(ok) => ok,
                 Err(e) => {
                     // The stream itself is broken; there is nothing left
                     // to drain from this or later sites reliably.
-                    return Err(first_error.unwrap_or(EngineError::Transport(e.to_string())));
+                    return Err(first_error.unwrap_or(e));
                 }
             };
-            self.charge(stage, frame.len());
-            match protocol::decode_response(frame) {
-                Ok(response) => {
-                    slowest_nanos = slowest_nanos.max(response.elapsed_nanos);
-                    if let ResponseBody::Error(msg) = &response.body {
-                        first_error.get_or_insert_with(|| {
-                            EngineError::Worker(format!("site {site}: {msg}"))
-                        });
-                    }
-                    bodies.push(response.body);
+            self.charge(stage, len);
+            slowest_nanos = slowest_nanos.max(response.elapsed_nanos);
+            match &response.body {
+                ResponseBody::Error(msg) => {
+                    first_error
+                        .get_or_insert_with(|| EngineError::Worker(format!("site {site}: {msg}")));
                 }
-                Err(e) => {
-                    first_error.get_or_insert(EngineError::Protocol(e.to_string()));
+                ResponseBody::UnknownQuery(q) => {
+                    let q = *q;
+                    first_error.get_or_insert(EngineError::UnknownQuery { site, query: q.0 });
                 }
+                _ => {}
             }
+            bodies.push(response.body);
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -127,7 +404,15 @@ impl<'t> WorkerPool<'t> {
     fn charge(&self, stage: &mut StageMetrics, len: usize) {
         stage.bytes_shipped += len as u64;
         stage.messages += 1;
-        stage.network += self.network.transfer_time(1, len as u64);
+        let transfer = self.network.transfer_time(1, len as u64);
+        stage.network += transfer;
+        if self.paced && transfer > Duration::ZERO {
+            // Emulate the interconnect: actually wait the transfer out.
+            // No router or transport locks are held here, so concurrent
+            // pipelines overlap their network waits — which is exactly
+            // what the multi-client throughput benchmark measures.
+            std::thread::sleep(transfer);
+        }
     }
 }
 
@@ -150,6 +435,8 @@ mod tests {
     use gstored_sparql::{parse_query, QueryGraph};
     use gstored_store::EncodedQuery;
 
+    const Q0: QueryId = QueryId(0);
+
     fn setup() -> (DistributedGraph, EncodedQuery) {
         let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
         let g = RdfGraph::from_triples(vec![
@@ -168,14 +455,17 @@ mod tests {
     fn broadcast_charges_every_frame_and_takes_max_wall() {
         let (dist, q) = setup();
         with_in_process_workers(&dist, |transport| {
-            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, NetworkModel::instant(), Q0);
             let mut stage = StageMetrics::default();
             expect_acks(
-                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
                     .unwrap(),
             )
             .unwrap();
-            let bodies = pool.broadcast(&Request::PartialEval, &mut stage).unwrap();
+            let bodies = pool
+                .broadcast(&Request::PartialEval { query: Q0 }, &mut stage)
+                .unwrap();
             assert_eq!(bodies.len(), 2);
             // 2 installs + 2 acks + 2 partial-eval requests + 2 replies.
             assert_eq!(stage.messages, 8);
@@ -192,11 +482,16 @@ mod tests {
     fn worker_errors_surface_with_site_id() {
         let (dist, _) = setup();
         with_in_process_workers(&dist, |transport| {
-            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, NetworkModel::instant(), Q0);
             let mut stage = StageMetrics::default();
-            // PartialEval without an installed query is a worker error.
-            let err = pool.broadcast(&Request::PartialEval, &mut stage);
-            assert!(matches!(err, Err(EngineError::Worker(msg)) if msg.contains("site 0")));
+            // PartialEval without an installed query is the typed
+            // unknown-query error, with the offending site.
+            let err = pool.broadcast(&Request::PartialEval { query: Q0 }, &mut stage);
+            assert!(matches!(
+                err,
+                Err(EngineError::UnknownQuery { site: 0, query: 0 })
+            ));
         });
     }
 
@@ -204,23 +499,135 @@ mod tests {
     fn gather_drains_all_sites_after_a_worker_error() {
         let (dist, q) = setup();
         with_in_process_workers(&dist, |transport| {
-            let pool = WorkerPool::new(transport, NetworkModel::instant());
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, NetworkModel::instant(), Q0);
             let mut stage = StageMetrics::default();
             // Every site errors (no query installed yet)...
             assert!(matches!(
-                pool.broadcast(&Request::PartialEval, &mut stage),
-                Err(EngineError::Worker(_))
+                pool.broadcast(&Request::PartialEval { query: Q0 }, &mut stage),
+                Err(EngineError::UnknownQuery { .. })
             ));
             // ...but every reply was drained, so the same transport
             // serves the next exchanges without any off-by-one replies.
             expect_acks(
-                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
                     .unwrap(),
             )
             .unwrap();
-            let bodies = pool.broadcast(&Request::PartialEval, &mut stage).unwrap();
+            let bodies = pool
+                .broadcast(&Request::PartialEval { query: Q0 }, &mut stage)
+                .unwrap();
             assert_eq!(bodies.len(), 2);
         });
+    }
+
+    #[test]
+    fn router_parks_interleaved_replies_for_their_owners() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let (qa, qb) = (QueryId(10), QueryId(11));
+            let pool_a = WorkerPool::new(transport, &router, NetworkModel::instant(), qa);
+            let pool_b = WorkerPool::new(transport, &router, NetworkModel::instant(), qb);
+            let mut sa = StageMetrics::default();
+            let mut sb = StageMetrics::default();
+            // Interleave the two queries' frames on the same connections:
+            // send a's install, then b's, then gather b first — the
+            // router must park a's acks for pool_a.
+            for site in 0..pool_a.sites() {
+                pool_a
+                    .send_charged(site, protocol::encode_install_query(qa, &q), &mut sa)
+                    .unwrap();
+            }
+            for site in 0..pool_b.sites() {
+                pool_b
+                    .send_charged(site, protocol::encode_install_query(qb, &q), &mut sb)
+                    .unwrap();
+            }
+            expect_acks(pool_b.gather(&mut sb).unwrap()).unwrap();
+            expect_acks(pool_a.gather(&mut sa).unwrap()).unwrap();
+            // Both proceed independently to partial evaluation.
+            let a = pool_a
+                .broadcast(&Request::PartialEval { query: qa }, &mut sa)
+                .unwrap();
+            let b = pool_b
+                .broadcast(&Request::PartialEval { query: qb }, &mut sb)
+                .unwrap();
+            assert_eq!(a, b, "same query text, same answers");
+            pool_a.release_quietly(&mut sa);
+            pool_b.release_quietly(&mut sb);
+            for s in pool_a.worker_status().unwrap() {
+                assert_eq!(s.resident_queries, 0, "releases drained the tables");
+            }
+        });
+    }
+
+    #[test]
+    fn undecodable_reply_fails_every_site_reader_instead_of_deadlocking() {
+        use gstored_net::{InProcessTransport, Transport as _};
+        // A "worker" that answers every frame with garbage: the reply's
+        // owner is unknowable, so the router must fail the site for ALL
+        // pipelines — including one whose reply can now never arrive.
+        let (transport, mut endpoints) = InProcessTransport::pair(1);
+        let ep = endpoints.pop().unwrap();
+        let garbler = std::thread::spawn(move || {
+            while let Some(_frame) = ep.recv() {
+                if !ep.send(Bytes::from_static(&[0xff, 0xff, 0xff])) {
+                    break;
+                }
+            }
+        });
+        let router = ReplyRouter::new(1);
+        transport.send(0, Bytes::from_static(b"a")).unwrap();
+        transport.send(0, Bytes::from_static(b"b")).unwrap();
+        std::thread::scope(|scope| {
+            let waiters: Vec<_> = [QueryId(1), QueryId(2)]
+                .into_iter()
+                .map(|q| {
+                    let router = &router;
+                    let transport = &transport;
+                    scope.spawn(move || router.recv(transport, 0, q))
+                })
+                .collect();
+            for w in waiters {
+                // Both the reader that consumed the garbage and the
+                // pipeline whose reply is lost get an error promptly.
+                assert!(w.join().unwrap().is_err());
+            }
+        });
+        drop(transport);
+        garbler.join().unwrap();
+    }
+
+    #[test]
+    fn executor_caps_concurrent_admissions() {
+        let executor = QueryExecutor::new(2);
+        let t1 = executor.admit();
+        let t2 = executor.admit();
+        assert_ne!(t1.query(), t2.query());
+        // A third admission must block until a ticket drops.
+        let blocked = std::sync::atomic::AtomicBool::new(true);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let t3 = executor.admit();
+                blocked.store(false, Ordering::SeqCst);
+                t3.query()
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(blocked.load(Ordering::SeqCst), "third admission waits");
+            drop(t1);
+            let q3 = handle.join().unwrap();
+            assert_ne!(q3, t2.query());
+        });
+    }
+
+    #[test]
+    fn executor_never_allocates_the_control_id() {
+        let executor = QueryExecutor::new(1);
+        // Force the counter to the reserved value and check it is skipped.
+        executor.next_id.store(u32::MAX, Ordering::Relaxed);
+        let t = executor.admit();
+        assert_ne!(t.query(), QueryId::CONTROL);
     }
 
     #[test]
@@ -240,10 +647,11 @@ mod tests {
                 latency: Duration::from_millis(1),
                 bytes_per_sec: 1_000_000,
             };
-            let pool = WorkerPool::new(transport, model);
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, model, Q0);
             let mut stage = StageMetrics::default();
             expect_acks(
-                pool.broadcast_frame(protocol::encode_install_query(&q), &mut stage)
+                pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
                     .unwrap(),
             )
             .unwrap();
@@ -253,6 +661,28 @@ mod tests {
             let batch = model.transfer_time(stage.messages, stage.bytes_shipped);
             let diff = stage.network.abs_diff(batch);
             assert!(diff < Duration::from_micros(1), "per-frame pricing sums");
+        });
+    }
+
+    #[test]
+    fn paced_pool_waits_out_the_simulated_network() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let model = NetworkModel {
+                latency: Duration::from_millis(2),
+                bytes_per_sec: u64::MAX,
+            };
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, model, Q0).with_pacing(true);
+            let mut stage = StageMetrics::default();
+            let started = std::time::Instant::now();
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
+                    .unwrap(),
+            )
+            .unwrap();
+            // 4 frames x 2 ms of latency actually slept.
+            assert!(started.elapsed() >= Duration::from_millis(8));
         });
     }
 }

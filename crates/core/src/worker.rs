@@ -1,12 +1,24 @@
 //! The site worker: one persistent process/thread per fragment.
 //!
-//! A [`SiteWorker`] owns its [`Fragment`] plus all per-query state (the
-//! installed query, the candidate filter, the enumerated LPMs with their
-//! LEC features and survivor flags) and answers the typed
-//! [`Request`] messages of the engine's four stages.
-//! The same handler serves both transport backends, so the frames — and
-//! therefore the shipment metrics — are identical whether sites are
-//! threads or remote processes.
+//! A [`SiteWorker`] owns its [`Fragment`] plus a **table of per-query
+//! state slots** keyed by [`QueryId`] (the installed query, the candidate
+//! filter, the enumerated LPMs with their LEC features and survivor
+//! flags) and answers the typed [`Request`] messages of the engine's four
+//! stages. Because every per-query request names its query, one worker
+//! connection can serve the interleaved frames of many in-flight queries
+//! — the substrate of the concurrent multi-query runtime (see
+//! `docs/concurrency.md`). The same handler serves both transport
+//! backends, so the frames — and therefore the shipment metrics — are
+//! identical whether sites are threads or remote processes.
+//!
+//! State-slot lifecycle: `InstallQuery` creates a slot (re-installing a
+//! resident id is rejected — a duplicate install must never clobber an
+//! in-flight query's LPMs), the per-query stages operate on it, and
+//! `ReleaseQuery` drops it (idempotently). A capacity cap bounds the
+//! table: installing past it evicts the least recently used slot, so a
+//! crashed coordinator that never releases cannot leak site memory
+//! forever. A frame referencing an unknown or evicted id gets the typed
+//! `UnknownQuery` reply — never a panic.
 //!
 //! The key locality property: **local partial matches never leave the
 //! site until pruning has happened.** Partial evaluation replies with
@@ -15,9 +27,12 @@
 //! once, in `ShipSurvivors`, after `DropPruned` has marked the losers.
 
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use fxhash::FxHashMap;
 use gstored_net::worker::{serve_endpoint, serve_stream, ServeOutcome};
 use gstored_net::InProcessTransport;
 use gstored_partition::{DistributedGraph, Fragment};
@@ -28,7 +43,13 @@ use gstored_store::{
 };
 
 use crate::lec::{compute_lec_features, LecFeature};
-use crate::protocol::{self, Request, Response, ResponseBody};
+use crate::protocol::{self, QueryId, Request, Response, ResponseBody, WorkerStatus};
+
+/// Default bound on resident queries per worker. Far above what the
+/// coordinator's admission cap admits concurrently; the headroom exists
+/// so a release lost to a torn connection degrades to an eviction, not
+/// an error.
+pub const DEFAULT_QUERY_CAPACITY: usize = 64;
 
 /// The fragment a worker evaluates over: borrowed from the coordinator's
 /// [`DistributedGraph`] (in-process backend) or owned after an
@@ -50,16 +71,43 @@ impl FragmentSlot<'_> {
     }
 }
 
-/// One site's message handler: fragment + per-query state.
+/// Everything one in-flight query keeps resident at a site between
+/// stages.
 #[derive(Debug)]
-pub struct SiteWorker<'a> {
-    fragment: FragmentSlot<'a>,
-    query: Option<EncodedQuery>,
+struct QueryState {
+    query: EncodedQuery,
     filter: CandidateFilter,
     lpms: Vec<LocalPartialMatch>,
     features: Vec<LecFeature>,
     feature_of_lpm: Vec<usize>,
     keep: Vec<bool>,
+    /// Logical touch stamp for LRU eviction (monotone per worker).
+    last_touch: u64,
+}
+
+impl QueryState {
+    fn new(query: EncodedQuery, touch: u64) -> QueryState {
+        let filter = CandidateFilter::none(query.vertex_count());
+        QueryState {
+            query,
+            filter,
+            lpms: Vec::new(),
+            features: Vec::new(),
+            feature_of_lpm: Vec::new(),
+            keep: Vec::new(),
+            last_touch: touch,
+        }
+    }
+}
+
+/// One site's message handler: fragment + the per-query state table.
+#[derive(Debug)]
+pub struct SiteWorker<'a> {
+    fragment: FragmentSlot<'a>,
+    queries: FxHashMap<u32, QueryState>,
+    capacity: usize,
+    clock: u64,
+    evictions: u64,
 }
 
 impl<'a> SiteWorker<'a> {
@@ -68,12 +116,10 @@ impl<'a> SiteWorker<'a> {
     pub fn empty() -> SiteWorker<'static> {
         SiteWorker {
             fragment: FragmentSlot::Empty,
-            query: None,
-            filter: CandidateFilter::none(0),
-            lpms: Vec::new(),
-            features: Vec::new(),
-            feature_of_lpm: Vec::new(),
-            keep: Vec::new(),
+            queries: FxHashMap::default(),
+            capacity: DEFAULT_QUERY_CAPACITY,
+            clock: 0,
+            evictions: 0,
         }
     }
 
@@ -81,22 +127,28 @@ impl<'a> SiteWorker<'a> {
     pub fn for_fragment(fragment: &'a Fragment) -> SiteWorker<'a> {
         SiteWorker {
             fragment: FragmentSlot::Borrowed(fragment),
-            query: None,
-            filter: CandidateFilter::none(0),
-            lpms: Vec::new(),
-            features: Vec::new(),
-            feature_of_lpm: Vec::new(),
-            keep: Vec::new(),
+            queries: FxHashMap::default(),
+            capacity: DEFAULT_QUERY_CAPACITY,
+            clock: 0,
+            evictions: 0,
         }
     }
 
-    fn reset_query_state(&mut self) {
-        self.query = None;
-        self.filter = CandidateFilter::none(0);
-        self.lpms.clear();
-        self.features.clear();
-        self.feature_of_lpm.clear();
-        self.keep.clear();
+    /// Bound the state table to `capacity` resident queries (at least 1).
+    /// Installing past the bound evicts the least recently touched slot.
+    pub fn with_capacity(mut self, capacity: usize) -> SiteWorker<'a> {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Snapshot of the worker's state-table occupancy.
+    pub fn status(&self) -> WorkerStatus {
+        WorkerStatus {
+            resident_queries: self.queries.len() as u64,
+            resident_lpms: self.queries.values().map(|s| s.lpms.len() as u64).sum(),
+            capacity: self.capacity as u64,
+            evictions: self.evictions,
+        }
     }
 
     /// Serve one frame: decode the request, run it, encode the reply.
@@ -105,149 +157,256 @@ impl<'a> SiteWorker<'a> {
     /// not kill a persistent worker.
     pub fn handle(&mut self, frame: Bytes) -> Option<Bytes> {
         let started = Instant::now();
-        let body = match protocol::decode_request(frame) {
+        let (query, body) = match protocol::decode_request(frame) {
             Ok(Request::Shutdown) => return None,
-            Ok(req) => self.dispatch(req),
-            Err(e) => ResponseBody::Error(format!("bad request frame: {e}")),
+            Ok(req) => (req.query_id(), self.dispatch(req)),
+            Err(e) => (
+                QueryId::CONTROL,
+                ResponseBody::Error(format!("bad request frame: {e}")),
+            ),
         };
         Some(protocol::encode_response(&Response::new(
             started.elapsed(),
+            query,
             body,
         )))
+    }
+
+    /// Touch `query`'s slot and return it, or the typed `UnknownQuery`
+    /// reply for an id that was never installed, released, or evicted.
+    fn state_mut(&mut self, query: QueryId) -> Result<&mut QueryState, ResponseBody> {
+        touch(&mut self.queries, &mut self.clock, query)
     }
 
     fn dispatch(&mut self, req: Request) -> ResponseBody {
         match req {
             Request::InstallFragment(fragment) => {
-                self.reset_query_state();
+                // A new fragment invalidates every resident query's
+                // state — their LPMs were computed over the old data.
+                self.queries.clear();
                 self.fragment = FragmentSlot::Owned(fragment);
                 ResponseBody::Ack
             }
-            Request::InstallQuery(query) => {
+            Request::InstallQuery { query, encoded } => {
                 if self.fragment.get().is_none() {
                     return ResponseBody::Error("no fragment installed".into());
                 }
-                self.reset_query_state();
-                self.filter = CandidateFilter::none(query.vertex_count());
-                self.query = Some(*query);
+                if self.queries.contains_key(&query.0) {
+                    return ResponseBody::Error(format!(
+                        "query {query} is already installed on this site; \
+                         release it before re-installing"
+                    ));
+                }
+                if self.queries.len() >= self.capacity {
+                    self.evict_lru();
+                }
+                self.clock += 1;
+                self.queries
+                    .insert(query.0, QueryState::new(*encoded, self.clock));
                 ResponseBody::Ack
             }
-            Request::StarMatches { center } => match self.query_and_fragment() {
-                Ok((q, f)) => {
-                    if center >= q.vertex_count() {
-                        return ResponseBody::Error("star center out of range".into());
-                    }
-                    ResponseBody::Bindings(find_star_matches(f, q, center))
-                }
-                Err(e) => e,
-            },
-            Request::ComputeCandidates { bits } => match self.query_and_fragment() {
-                Ok((q, f)) => {
-                    let cands = internal_candidates(f, q);
-                    let vectors = (0..q.vertex_count())
-                        .filter(|&v| q.vertex(v).is_var())
-                        .map(|v| {
-                            let mut bv = BitVectorFilter::new(bits);
-                            for &c in &cands[v] {
-                                bv.insert(c);
-                            }
-                            bv
-                        })
-                        .collect();
-                    ResponseBody::BitVectors(vectors)
-                }
-                Err(e) => e,
-            },
-            Request::SetCandidateFilter { vectors } => {
-                let Some(q) = self.query.as_ref() else {
-                    return ResponseBody::Error("no query installed".into());
+            Request::StarMatches { query, center } => {
+                let Some(f) = self.fragment.get() else {
+                    return ResponseBody::Error("no fragment installed".into());
                 };
-                let n = q.vertex_count();
+                let state = match touch(&mut self.queries, &mut self.clock, query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                if center >= state.query.vertex_count() {
+                    return ResponseBody::Error("star center out of range".into());
+                }
+                ResponseBody::Bindings(find_star_matches(f, &state.query, center))
+            }
+            Request::ComputeCandidates { query, bits } => {
+                let Some(f) = self.fragment.get() else {
+                    return ResponseBody::Error("no fragment installed".into());
+                };
+                let state = match touch(&mut self.queries, &mut self.clock, query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                let q = &state.query;
+                let cands = internal_candidates(f, q);
+                let vectors = (0..q.vertex_count())
+                    .filter(|&v| q.vertex(v).is_var())
+                    .map(|v| {
+                        let mut bv = BitVectorFilter::new(bits);
+                        for &c in &cands[v] {
+                            bv.insert(c);
+                        }
+                        bv
+                    })
+                    .collect();
+                ResponseBody::BitVectors(vectors)
+            }
+            Request::SetCandidateFilter { query, vectors } => {
+                let state = match self.state_mut(query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                let n = state.query.vertex_count();
                 for (v, bv) in vectors {
                     if v >= n {
                         return ResponseBody::Error("filter vertex out of range".into());
                     }
-                    self.filter.extended_bits[v] = Some(bv);
+                    state.filter.extended_bits[v] = Some(bv);
                 }
                 ResponseBody::Ack
             }
-            Request::PartialEval => {
-                let (locals, lpms) = match self.query_and_fragment() {
-                    Ok((q, f)) => (
-                        local_complete_matches(f, q),
-                        enumerate_local_partial_matches(f, q, &self.filter),
-                    ),
+            Request::PartialEval { query } => {
+                let Some(f) = self.fragment.get() else {
+                    return ResponseBody::Error("no fragment installed".into());
+                };
+                let state = match touch(&mut self.queries, &mut self.clock, query) {
+                    Ok(s) => s,
                     Err(e) => return e,
                 };
-                self.keep = vec![true; lpms.len()];
-                self.lpms = lpms;
+                let locals = local_complete_matches(f, &state.query);
+                let lpms = enumerate_local_partial_matches(f, &state.query, &state.filter);
+                state.keep = vec![true; lpms.len()];
+                state.lpms = lpms;
                 ResponseBody::PartialEval {
                     locals,
-                    lpm_count: self.lpms.len() as u64,
+                    lpm_count: state.lpms.len() as u64,
                 }
             }
-            Request::ComputeLecFeatures { first_id } => {
-                if self.query.is_none() {
-                    return ResponseBody::Error("no query installed".into());
-                }
-                let (features, feature_of_lpm) = compute_lec_features(&self.lpms, first_id);
-                self.features = features;
-                self.feature_of_lpm = feature_of_lpm;
-                ResponseBody::Features(self.features.clone())
+            Request::ComputeLecFeatures { query, first_id } => {
+                let state = match self.state_mut(query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                let (features, feature_of_lpm) = compute_lec_features(&state.lpms, first_id);
+                state.features = features;
+                state.feature_of_lpm = feature_of_lpm;
+                ResponseBody::Features(state.features.clone())
             }
-            Request::DropPruned { useful } => {
-                if self.feature_of_lpm.len() != self.lpms.len() {
+            Request::DropPruned { query, useful } => {
+                let state = match self.state_mut(query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                if state.feature_of_lpm.len() != state.lpms.len() {
                     return ResponseBody::Error("DropPruned before ComputeLecFeatures".into());
                 }
                 let useful: fxhash::FxHashSet<u32> = useful.into_iter().collect();
-                for (keep, &fi) in self.keep.iter_mut().zip(&self.feature_of_lpm) {
-                    *keep = self.features[fi]
+                for (keep, &fi) in state.keep.iter_mut().zip(&state.feature_of_lpm) {
+                    *keep = state.features[fi]
                         .sources
                         .iter()
                         .any(|id| useful.contains(id));
                 }
                 ResponseBody::Ack
             }
-            Request::ShipSurvivors => ResponseBody::Survivors(
-                self.lpms
-                    .iter()
-                    .zip(&self.keep)
-                    .filter(|&(_, &keep)| keep)
-                    .map(|(lpm, _)| lpm.clone())
-                    .collect(),
-            ),
+            Request::ShipSurvivors { query } => {
+                let state = match self.state_mut(query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                ResponseBody::Survivors(
+                    state
+                        .lpms
+                        .iter()
+                        .zip(&state.keep)
+                        .filter(|&(_, &keep)| keep)
+                        .map(|(lpm, _)| lpm.clone())
+                        .collect(),
+                )
+            }
+            Request::ReleaseQuery { query } => {
+                // Idempotent: the end-of-pipeline release must succeed
+                // even after an eviction or a duplicate release.
+                self.queries.remove(&query.0);
+                ResponseBody::Ack
+            }
+            Request::WorkerStatus { .. } => ResponseBody::Status(self.status()),
             Request::Shutdown => unreachable!("handled in SiteWorker::handle"),
         }
     }
 
-    fn query_and_fragment(&self) -> Result<(&EncodedQuery, &Fragment), ResponseBody> {
-        let Some(f) = self.fragment.get() else {
-            return Err(ResponseBody::Error("no fragment installed".into()));
-        };
-        let Some(q) = self.query.as_ref() else {
-            return Err(ResponseBody::Error("no query installed".into()));
-        };
-        Ok((q, f))
+    fn evict_lru(&mut self) {
+        if let Some(&lru) = self
+            .queries
+            .iter()
+            .min_by_key(|(_, s)| s.last_touch)
+            .map(|(id, _)| id)
+        {
+            self.queries.remove(&lru);
+            self.evictions += 1;
+        }
     }
 }
 
-/// Serve a worker on a TCP listener: accept one coordinator connection at
-/// a time, run a fresh [`SiteWorker`] over it, and go back to accepting
-/// when the coordinator disconnects. Returns after a `Shutdown` request.
+/// Touch `query`'s slot (refresh its LRU stamp) and return it, or the
+/// typed `UnknownQuery` reply. A free function over the table and clock
+/// — not a method — so dispatch arms that also hold the fragment borrow
+/// can split the borrow across disjoint fields.
+fn touch<'q>(
+    queries: &'q mut FxHashMap<u32, QueryState>,
+    clock: &mut u64,
+    query: QueryId,
+) -> Result<&'q mut QueryState, ResponseBody> {
+    *clock += 1;
+    match queries.get_mut(&query.0) {
+        Some(state) => {
+            state.last_touch = *clock;
+            Ok(state)
+        }
+        None => Err(ResponseBody::UnknownQuery(query)),
+    }
+}
+
+/// Serve a worker on a TCP listener: accept coordinator connections and
+/// serve each on its own thread with its own [`SiteWorker`] (connections
+/// are isolated — two sessions sharing a worker process cannot collide
+/// on query ids or fragments), until some connection sends `Shutdown`.
+///
+/// Frames *within* one connection may interleave the requests of many
+/// concurrent queries; the per-query state table keeps them apart.
 ///
 /// This is the body of the `gstored-worker` binary and of the test
-/// harnesses that stand up a local worker fleet.
+/// harnesses that stand up a local worker fleet. After `Shutdown` the
+/// listener stops accepting and the call returns; connections still being
+/// served are reaped when the hosting process exits.
 pub fn serve_tcp(listener: TcpListener) -> std::io::Result<()> {
+    serve_tcp_with_capacity(listener, DEFAULT_QUERY_CAPACITY)
+}
+
+/// [`serve_tcp`] with an explicit per-connection state-table capacity.
+pub fn serve_tcp_with_capacity(listener: TcpListener, capacity: usize) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    // The address a handler thread self-connects to so the accept loop
+    // wakes up and observes the stop flag. A wildcard bind (0.0.0.0 /
+    // [::]) is not connectable on every platform; loopback at the bound
+    // port is.
+    let wake_addr = {
+        let mut addr = listener.local_addr()?;
+        if addr.ip().is_unspecified() {
+            match addr {
+                std::net::SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                std::net::SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        addr
+    };
     loop {
         let (mut stream, _) = listener.accept()?;
-        stream.set_nodelay(true)?;
-        let mut worker = SiteWorker::empty();
-        match serve_stream(&mut stream, |frame| worker.handle(frame)) {
-            Ok(ServeOutcome::Disconnected) => continue,
-            Ok(ServeOutcome::Stopped) => return Ok(()),
-            // A torn connection only loses that coordinator; keep serving.
-            Err(_) => continue,
+        if stop.load(Ordering::SeqCst) {
+            // Woken by the handler that served the Shutdown frame.
+            return Ok(());
         }
+        stream.set_nodelay(true)?;
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut worker = SiteWorker::empty().with_capacity(capacity);
+            if let Ok(ServeOutcome::Stopped) =
+                serve_stream(&mut stream, |frame| worker.handle(frame))
+            {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(wake_addr);
+            }
+        });
     }
 }
 
@@ -265,7 +424,9 @@ pub fn send_shutdown<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<()>
 /// This is the harness behind `Engine::execute`'s default backend, public
 /// so tests can drive `Engine::execute_on` against a transport they can
 /// inspect (e.g. to compare shipment metrics with the transport's own
-/// frame counters).
+/// frame counters). Long-lived sessions use the equivalent persistent
+/// fleet kept by `gstored::GStoreD` instead, so concurrent queries share
+/// one set of workers.
 pub fn with_in_process_workers<T>(
     dist: &DistributedGraph,
     f: impl FnOnce(&InProcessTransport) -> T,
@@ -294,6 +455,8 @@ mod tests {
     use gstored_rdf::{RdfGraph, Term, Triple};
     use gstored_sparql::{parse_query, QueryGraph};
 
+    const Q0: QueryId = QueryId(0);
+
     fn setup() -> (DistributedGraph, EncodedQuery) {
         let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
         let g = RdfGraph::from_triples(vec![
@@ -312,26 +475,39 @@ mod tests {
 
     fn roundtrip(worker: &mut SiteWorker<'_>, req: &Request) -> ResponseBody {
         let reply = worker.handle(protocol::encode_request(req)).unwrap();
-        protocol::decode_response(reply).unwrap().body
+        let resp = protocol::decode_response(reply).unwrap();
+        assert_eq!(
+            resp.query,
+            req.query_id(),
+            "replies must echo the request's query id"
+        );
+        resp.body
+    }
+
+    fn install(worker: &mut SiteWorker<'_>, id: QueryId, q: &EncodedQuery) -> ResponseBody {
+        roundtrip(
+            worker,
+            &Request::InstallQuery {
+                query: id,
+                encoded: Box::new(q.clone()),
+            },
+        )
     }
 
     #[test]
     fn worker_requires_fragment_and_query() {
         let mut w = SiteWorker::empty();
         assert!(matches!(
-            roundtrip(&mut w, &Request::PartialEval),
+            roundtrip(&mut w, &Request::PartialEval { query: Q0 }),
             ResponseBody::Error(_)
         ));
         let (dist, q) = setup();
         let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
         assert!(matches!(
-            roundtrip(&mut w, &Request::StarMatches { center: 0 }),
-            ResponseBody::Error(_)
+            roundtrip(&mut w, &Request::StarMatches { query: Q0, center: 0 }),
+            ResponseBody::UnknownQuery(id) if id == Q0
         ));
-        assert!(matches!(
-            roundtrip(&mut w, &Request::InstallQuery(Box::new(q))),
-            ResponseBody::Ack
-        ));
+        assert!(matches!(install(&mut w, Q0, &q), ResponseBody::Ack));
     }
 
     #[test]
@@ -348,13 +524,13 @@ mod tests {
                 ResponseBody::Ack
             ));
             for w in [&mut borrowed, &mut owned] {
-                roundtrip(w, &Request::InstallQuery(Box::new(q.clone())));
+                install(w, Q0, &q);
             }
-            let a = roundtrip(&mut borrowed, &Request::PartialEval);
-            let b = roundtrip(&mut owned, &Request::PartialEval);
+            let a = roundtrip(&mut borrowed, &Request::PartialEval { query: Q0 });
+            let b = roundtrip(&mut owned, &Request::PartialEval { query: Q0 });
             assert_eq!(a, b, "site {site}");
-            let a = roundtrip(&mut borrowed, &Request::ShipSurvivors);
-            let b = roundtrip(&mut owned, &Request::ShipSurvivors);
+            let a = roundtrip(&mut borrowed, &Request::ShipSurvivors { query: Q0 });
+            let b = roundtrip(&mut owned, &Request::ShipSurvivors { query: Q0 });
             assert_eq!(a, b, "site {site}");
         }
     }
@@ -365,19 +541,33 @@ mod tests {
         // Find a site with at least one LPM.
         for fragment in &dist.fragments {
             let mut w = SiteWorker::for_fragment(fragment);
-            roundtrip(&mut w, &Request::InstallQuery(Box::new(q.clone())));
+            install(&mut w, Q0, &q);
             let ResponseBody::PartialEval { lpm_count, .. } =
-                roundtrip(&mut w, &Request::PartialEval)
+                roundtrip(&mut w, &Request::PartialEval { query: Q0 })
             else {
                 panic!("wrong response");
             };
             if lpm_count == 0 {
                 continue;
             }
-            roundtrip(&mut w, &Request::ComputeLecFeatures { first_id: 100 });
+            roundtrip(
+                &mut w,
+                &Request::ComputeLecFeatures {
+                    query: Q0,
+                    first_id: 100,
+                },
+            );
             // Dropping everything leaves no survivors.
-            roundtrip(&mut w, &Request::DropPruned { useful: vec![] });
-            let ResponseBody::Survivors(none) = roundtrip(&mut w, &Request::ShipSurvivors) else {
+            roundtrip(
+                &mut w,
+                &Request::DropPruned {
+                    query: Q0,
+                    useful: vec![],
+                },
+            );
+            let ResponseBody::Survivors(none) =
+                roundtrip(&mut w, &Request::ShipSurvivors { query: Q0 })
+            else {
                 panic!("wrong response");
             };
             assert!(none.is_empty());
@@ -387,14 +577,153 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_queries_keep_disjoint_state() {
+        let (dist, q) = setup();
+        let star = {
+            let qg = QueryGraph::from_query(
+                &parse_query("SELECT * WHERE { ?x <http://p> ?y }").unwrap(),
+            )
+            .unwrap();
+            EncodedQuery::encode(&qg, dist.dict()).unwrap()
+        };
+        for fragment in &dist.fragments {
+            // Reference: each query alone on a fresh worker.
+            let solo = |eq: &EncodedQuery| {
+                let mut w = SiteWorker::for_fragment(fragment);
+                install(&mut w, Q0, eq);
+                roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+                roundtrip(&mut w, &Request::ShipSurvivors { query: Q0 })
+            };
+            let path_alone = solo(&q);
+            let star_alone = solo(&star);
+
+            // Interleaved: both resident at once, stages alternating.
+            let mut w = SiteWorker::for_fragment(fragment);
+            let (a, b) = (QueryId(7), QueryId(8));
+            install(&mut w, a, &q);
+            install(&mut w, b, &star);
+            roundtrip(&mut w, &Request::PartialEval { query: a });
+            roundtrip(&mut w, &Request::PartialEval { query: b });
+            let path_inter = roundtrip(&mut w, &Request::ShipSurvivors { query: a });
+            let star_inter = roundtrip(&mut w, &Request::ShipSurvivors { query: b });
+            assert_eq!(path_inter, path_alone);
+            assert_eq!(star_inter, star_alone);
+
+            // Releasing one leaves the other intact.
+            roundtrip(&mut w, &Request::ReleaseQuery { query: a });
+            assert!(matches!(
+                roundtrip(&mut w, &Request::ShipSurvivors { query: a }),
+                ResponseBody::UnknownQuery(_)
+            ));
+            assert_eq!(
+                roundtrip(&mut w, &Request::ShipSurvivors { query: b }),
+                star_alone
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_install_is_rejected_not_clobbered() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        install(&mut w, Q0, &q);
+        let before = roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+        // A duplicate install must not reset the in-flight state...
+        assert!(matches!(install(&mut w, Q0, &q), ResponseBody::Error(_)));
+        // ...so the enumerated LPMs are still there.
+        let after = roundtrip(&mut w, &Request::ShipSurvivors { query: Q0 });
+        if let ResponseBody::PartialEval { lpm_count, .. } = before {
+            if let ResponseBody::Survivors(s) = &after {
+                assert_eq!(s.len() as u64, lpm_count);
+            } else {
+                panic!("wrong response");
+            }
+        }
+    }
+
+    #[test]
+    fn release_is_idempotent_and_empties_the_table() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        install(&mut w, Q0, &q);
+        roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+        assert!(w.status().resident_queries == 1);
+        assert!(matches!(
+            roundtrip(&mut w, &Request::ReleaseQuery { query: Q0 }),
+            ResponseBody::Ack
+        ));
+        assert_eq!(w.status().resident_queries, 0);
+        assert_eq!(w.status().resident_lpms, 0);
+        // Releasing again (or a never-installed id) still acks.
+        assert!(matches!(
+            roundtrip(&mut w, &Request::ReleaseQuery { query: Q0 }),
+            ResponseBody::Ack
+        ));
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::ReleaseQuery {
+                    query: QueryId(999)
+                }
+            ),
+            ResponseBody::Ack
+        ));
+    }
+
+    #[test]
+    fn capacity_cap_evicts_least_recently_used() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]).with_capacity(2);
+        install(&mut w, QueryId(1), &q);
+        install(&mut w, QueryId(2), &q);
+        // Touch 1 so 2 becomes the LRU.
+        roundtrip(&mut w, &Request::PartialEval { query: QueryId(1) });
+        install(&mut w, QueryId(3), &q);
+        assert_eq!(w.status().evictions, 1);
+        assert_eq!(w.status().resident_queries, 2);
+        // 2 was evicted; 1 and 3 survive.
+        assert!(matches!(
+            roundtrip(&mut w, &Request::PartialEval { query: QueryId(2) }),
+            ResponseBody::UnknownQuery(id) if id == QueryId(2)
+        ));
+        assert!(matches!(
+            roundtrip(&mut w, &Request::PartialEval { query: QueryId(3) }),
+            ResponseBody::PartialEval { .. }
+        ));
+    }
+
+    #[test]
+    fn status_reports_occupancy() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        let ResponseBody::Status(s) = roundtrip(&mut w, &Request::WorkerStatus { query: Q0 })
+        else {
+            panic!("wrong response");
+        };
+        assert_eq!(s.resident_queries, 0);
+        assert_eq!(s.capacity, DEFAULT_QUERY_CAPACITY as u64);
+        install(&mut w, Q0, &q);
+        roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+        let ResponseBody::Status(s) = roundtrip(&mut w, &Request::WorkerStatus { query: Q0 })
+        else {
+            panic!("wrong response");
+        };
+        assert_eq!(s.resident_queries, 1);
+        let expected = {
+            let filter = CandidateFilter::none(q.vertex_count());
+            enumerate_local_partial_matches(&dist.fragments[0], &q, &filter).len() as u64
+        };
+        assert_eq!(s.resident_lpms, expected);
+    }
+
+    #[test]
     fn malformed_frame_yields_error_not_death() {
         let (dist, _) = setup();
         let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
         let reply = w.handle(Bytes::from_static(&[0xff, 0xff])).unwrap();
-        assert!(matches!(
-            protocol::decode_response(reply).unwrap().body,
-            ResponseBody::Error(_)
-        ));
+        let resp = protocol::decode_response(reply).unwrap();
+        assert_eq!(resp.query, QueryId::CONTROL);
+        assert!(matches!(resp.body, ResponseBody::Error(_)));
     }
 
     #[test]

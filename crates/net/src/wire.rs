@@ -60,6 +60,16 @@ impl WireWriter {
         self
     }
 
+    /// Write a fixed-width little-endian u32 (used for query ids, where
+    /// varint encoding would make frame lengths — and therefore the
+    /// shipment metrics — depend on how many queries a session has run).
+    pub fn u32_fixed(&mut self, v: u32) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.buf.put_u8(b);
+        }
+        self
+    }
+
     /// Write an optional u64 (presence byte + varint).
     pub fn opt_u64(&mut self, v: Option<u64>) -> &mut Self {
         match v {
@@ -166,6 +176,18 @@ impl WireReader {
             return Err(WireError("truncated fixed u64"));
         }
         Ok(self.buf.get_u64_le())
+    }
+
+    /// Read a fixed-width little-endian u32.
+    pub fn u32_fixed(&mut self) -> Result<u32, WireError> {
+        if self.buf.remaining() < 4 {
+            return Err(WireError("truncated fixed u32"));
+        }
+        let mut le = [0u8; 4];
+        for b in &mut le {
+            *b = self.buf.get_u8();
+        }
+        Ok(u32::from_le_bytes(le))
     }
 
     /// Read an optional u64.

@@ -1,0 +1,145 @@
+//! N client threads hammering one `GStoreD` session over a TCP worker
+//! fleet — the concurrent multi-query runtime, end to end.
+//!
+//! Usage:
+//!
+//! ```text
+//! # Self-contained demo (spawns its own worker fleet in-process):
+//! cargo run --example concurrent_clients
+//!
+//! # Against real worker processes, with a chosen client count:
+//! ./target/release/gstored-worker 127.0.0.1:7601 &
+//! ./target/release/gstored-worker 127.0.0.1:7602 &
+//! ./target/release/gstored-worker 127.0.0.1:7603 &
+//! cargo run --example concurrent_clients -- \
+//!     --clients 8 127.0.0.1:7601 127.0.0.1:7602 127.0.0.1:7603
+//! ```
+//!
+//! All clients share one session: one fleet connection per site, the
+//! fragments shipped once, and every client's pipeline frames
+//! interleaved on the same sockets under distinct query ids. Each client
+//! checks its own results against a sequential baseline, and the demo
+//! finishes by probing the fleet's state tables to show nothing leaked.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gstored::core::worker::{send_shutdown, serve_tcp};
+use gstored::prelude::*;
+
+fn main() -> Result<(), gstored::Error> {
+    let mut clients = 4usize;
+    let mut supplied: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--clients" {
+            clients = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--clients needs a number");
+        } else {
+            supplied.push(arg);
+        }
+    }
+
+    let (addrs, spawned) = if supplied.is_empty() {
+        let addrs: Vec<String> = (0..3)
+            .map(|_| {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker");
+                let addr = listener.local_addr().expect("local addr").to_string();
+                std::thread::spawn(move || serve_tcp(listener));
+                addr
+            })
+            .collect();
+        println!("spawned a local worker fleet: {}", addrs.join(", "));
+        (addrs, true)
+    } else {
+        (supplied, false)
+    };
+
+    // A small social graph with crossing edges under any partitioning.
+    let mut nt = String::new();
+    for i in 0..40 {
+        nt.push_str(&format!(
+            "<http://ex/p{i}> <http://ex/knows> <http://ex/p{}> .\n",
+            (i + 1) % 40
+        ));
+        nt.push_str(&format!(
+            "<http://ex/p{i}> <http://ex/likes> <http://ex/topic{}> .\n",
+            i % 5
+        ));
+    }
+
+    let db = GStoreD::builder()
+        .ntriples(&nt)?
+        .partitioner(HashPartitioner::new(addrs.len()))
+        .tcp_workers(addrs.clone())
+        .max_concurrent_queries(clients.max(1))
+        .build()?;
+
+    let queries = [
+        "SELECT * WHERE { ?a <http://ex/knows> ?b . ?b <http://ex/knows> ?c }",
+        "SELECT * WHERE { ?p <http://ex/knows> ?q . ?p <http://ex/likes> ?t }",
+    ];
+
+    // Sequential baselines for the correctness check.
+    let baselines: Vec<usize> = queries
+        .iter()
+        .map(|q| db.query(q).map(|r| r.len()))
+        .collect::<Result<_, _>>()?;
+    println!(
+        "baselines: {} / {} solutions for the two queries",
+        baselines[0], baselines[1]
+    );
+
+    let executed = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let db = &db;
+            let queries = &queries;
+            let baselines = &baselines;
+            let executed = &executed;
+            scope.spawn(move || {
+                // Prepare once per client, execute repeatedly; clients
+                // start on different queries so pipelines interleave.
+                for round in 0..5 {
+                    let qi = (client + round) % queries.len();
+                    let results = db.query(queries[qi]).expect("query");
+                    assert_eq!(
+                        results.len(),
+                        baselines[qi],
+                        "client {client} saw different results than the baseline"
+                    );
+                    executed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let total = executed.load(Ordering::Relaxed);
+    println!(
+        "{clients} clients x 5 rounds: {total} queries in {:.1} ms \
+         ({:.1} queries/s), all results equal to the sequential baseline",
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64(),
+    );
+
+    // Nothing left behind on any site.
+    for (site, status) in db.fleet_status()?.into_iter().enumerate() {
+        println!(
+            "site {site}: {} resident queries, {} resident LPMs \
+             (capacity {}, {} evictions)",
+            status.resident_queries, status.resident_lpms, status.capacity, status.evictions
+        );
+        assert_eq!(status.resident_queries, 0, "no leaked query state");
+    }
+
+    if spawned {
+        for addr in &addrs {
+            let _ = send_shutdown(addr);
+        }
+        println!("fleet shut down.");
+    }
+    Ok(())
+}

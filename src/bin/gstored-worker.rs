@@ -1,12 +1,15 @@
 //! A standalone gStoreD site worker.
 //!
-//! Listens on a TCP address, accepts one coordinator connection at a
-//! time, and serves the engine's protocol: the coordinator installs this
-//! site's graph fragment, then drives the per-query stages (candidate
-//! exchange, partial evaluation, LEC features, LPM shipment) as typed
-//! frames. When the coordinator disconnects, the worker goes back to
-//! accepting — it is a persistent process, stopped by a `Shutdown`
-//! request or by killing it.
+//! Listens on a TCP address and serves every coordinator connection on
+//! its own thread (connections are isolated from each other): the
+//! coordinator installs this site's graph fragment, then drives the
+//! per-query stages (candidate exchange, partial evaluation, LEC
+//! features, LPM shipment) as typed frames. One connection can carry
+//! many concurrent queries' frames interleaved — the per-query state
+//! table keyed by query id keeps them apart, bounded by `--capacity`
+//! (LRU eviction past it). When a coordinator disconnects, its state is
+//! dropped and the worker keeps serving the others — it is a persistent
+//! process, stopped by a `Shutdown` request or by killing it.
 //!
 //! Start one worker per fragment, then point the engine at them:
 //!
@@ -30,15 +33,34 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let usage = "usage: gstored-worker [<host:port>] [--capacity N]   \
+                 (default 127.0.0.1:7600, capacity 64)";
+    let mut addr: Option<String> = None;
+    let mut capacity = gstored::core::worker::DEFAULT_QUERY_CAPACITY;
     let mut args = std::env::args().skip(1);
-    let addr = match (args.next(), args.next()) {
-        (Some(addr), None) if addr != "--help" && addr != "-h" => addr,
-        (None, _) => "127.0.0.1:7600".to_string(),
-        _ => {
-            eprintln!("usage: gstored-worker [<host:port>]   (default 127.0.0.1:7600)");
-            return ExitCode::FAILURE;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return ExitCode::FAILURE;
+            }
+            "--capacity" => {
+                capacity = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("gstored-worker: --capacity needs a number\n{usage}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if addr.is_none() => addr = Some(other.to_string()),
+            _ => {
+                eprintln!("{usage}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
+    }
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:7600".to_string());
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {
@@ -46,8 +68,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("gstored-worker: serving on {addr}");
-    match gstored::core::worker::serve_tcp(listener) {
+    eprintln!("gstored-worker: serving on {addr} (query capacity {capacity})");
+    match gstored::core::worker::serve_tcp_with_capacity(listener, capacity) {
         Ok(()) => {
             eprintln!("gstored-worker: shutdown requested, exiting");
             ExitCode::SUCCESS

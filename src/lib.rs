@@ -46,6 +46,7 @@ pub mod prelude {
     };
     pub use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
     pub use gstored_core::prepared::PreparedPlan;
+    pub use gstored_core::{QueryId, WorkerStatus};
     pub use gstored_partition::fragment::DistributedGraph;
     pub use gstored_partition::{
         HashPartitioner, MetisLikePartitioner, Partitioner, SemanticHashPartitioner,

@@ -18,12 +18,15 @@
 //! execution-time split.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
 use gstored_core::prepared::PreparedPlan;
-use gstored_core::EngineError;
-use gstored_net::{QueryMetrics, TcpTransport};
+use gstored_core::runtime::{QueryExecutor, ReplyRouter, WorkerPool};
+use gstored_core::worker::SiteWorker;
+use gstored_core::{EngineError, WorkerStatus};
+use gstored_net::worker::serve_endpoint;
+use gstored_net::{InProcessTransport, QueryMetrics, Transport};
 use gstored_partition::{DistributedGraph, HashPartitioner, PartitionAssignment, Partitioner};
 use gstored_rdf::{parse_ntriples, Dictionary, RdfGraph, Term, Triple, VertexId};
 use gstored_sparql::{parse_query, QueryGraph, ShapeReport};
@@ -50,6 +53,82 @@ pub struct SessionStats {
     pub queries_prepared: u64,
     /// Number of engine executions.
     pub executions: u64,
+}
+
+/// The session's connected worker fleet, shared by every concurrent
+/// query: the transport (in-process channels or TCP sockets), the reply
+/// router demultiplexing interleaved replies, and — for the in-process
+/// backend — the worker threads themselves.
+///
+/// Established lazily on first execution and held for the session's
+/// lifetime behind an `Arc`, so in-flight queries keep a dropped-from-
+/// cache fleet alive until they finish. For TCP, the fragments ship once
+/// at establishment (deployment setup); in-process workers borrow them
+/// through the session's `Arc<DistributedGraph>`.
+struct Fleet {
+    /// `Option` only so `Drop` can close the transport (ending the
+    /// in-process worker loops) before joining the worker threads.
+    transport: Option<Box<dyn Transport>>,
+    router: ReplyRouter,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Persistent in-process workers, one thread per fragment, borrowing
+    /// the fragments through the session's shared graph. The state-table
+    /// capacity must exceed the session's admission bound, or legitimate
+    /// concurrent load would LRU-evict in-flight queries; remote
+    /// `gstored-worker` processes need the same headroom via
+    /// `--capacity`.
+    fn in_process(dist: &Arc<DistributedGraph>, max_concurrent: usize) -> Fleet {
+        let capacity =
+            gstored_core::worker::DEFAULT_QUERY_CAPACITY.max(max_concurrent.saturating_mul(2));
+        let sites = dist.fragment_count();
+        let (transport, endpoints) = InProcessTransport::pair(sites);
+        let mut workers = Vec::with_capacity(sites);
+        for (site, endpoint) in endpoints.into_iter().enumerate() {
+            let dist = Arc::clone(dist);
+            workers.push(std::thread::spawn(move || {
+                let mut worker =
+                    SiteWorker::for_fragment(&dist.fragments[site]).with_capacity(capacity);
+                serve_endpoint(endpoint, |frame| worker.handle(frame));
+            }));
+        }
+        Fleet {
+            transport: Some(Box::new(transport)),
+            router: ReplyRouter::new(sites),
+            workers,
+        }
+    }
+
+    /// Wrap an already-connected remote fleet (fragments installed).
+    fn remote(transport: impl Transport + 'static) -> Fleet {
+        let sites = transport.sites();
+        Fleet {
+            transport: Some(Box::new(transport)),
+            router: ReplyRouter::new(sites),
+            workers: Vec::new(),
+        }
+    }
+
+    fn transport(&self) -> &dyn Transport {
+        self.transport
+            .as_deref()
+            .expect("fleet transport only taken in Drop")
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // Closing the transport ends the in-process serve loops (their
+        // channels hang up); then the threads can be joined. TCP fleets
+        // have no threads — dropping the sockets disconnects the remote
+        // workers, which go back to accepting coordinators.
+        self.transport.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// How the builder receives its data.
@@ -143,6 +222,14 @@ impl GStoreDBuilder {
         self
     }
 
+    /// How many query pipelines the session admits onto its shared
+    /// worker fleet at once (minimum 1; default 8). Further concurrent
+    /// callers queue until a slot frees.
+    pub fn max_concurrent_queries(mut self, max: usize) -> Self {
+        self.config.max_concurrent_queries = max;
+        self
+    }
+
     /// Distributed runtime backend: in-process worker threads (default)
     /// or remote `gstored-worker` processes over TCP. Both exchange
     /// byte-identical protocol frames, so results and shipment metrics
@@ -179,12 +266,7 @@ impl GStoreDBuilder {
                     "partitioning violates Definition 1: {violation}"
                 )));
             }
-            return Ok(GStoreD {
-                dist,
-                engine: Engine::new(self.config),
-                counters: SessionCounters::default(),
-                remote: Mutex::new(None),
-            });
+            return Ok(GStoreD::assemble(dist, self.config));
         }
 
         let mut graph = match self.data {
@@ -220,34 +302,62 @@ impl GStoreDBuilder {
             )));
         }
 
-        Ok(GStoreD {
-            dist,
-            engine: Engine::new(self.config),
-            counters: SessionCounters::default(),
-            remote: Mutex::new(None),
-        })
+        Ok(GStoreD::assemble(dist, self.config))
     }
 }
 
-/// A gStoreD session: partitioned data + engine + prepared-query cache
-/// counters. All methods take `&self`; sessions are `Sync` and can serve
-/// concurrent readers.
+/// A gStoreD session: partitioned data + engine + the concurrent query
+/// scheduler. All methods take `&self`; sessions are `Send + Sync` and
+/// serve **concurrent queries**: any number of threads can prepare and
+/// execute at once, sharing one persistent worker fleet, with up to
+/// [`EngineConfig::max_concurrent_queries`] pipelines admitted at a time
+/// (further callers queue).
+///
+/// ```
+/// use gstored::prelude::*;
+///
+/// let db = GStoreD::builder()
+///     .ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .")?
+///     .build()?;
+/// std::thread::scope(|scope| {
+///     for _ in 0..2 {
+///         scope.spawn(|| db.query("SELECT * WHERE { ?s <http://ex/p> ?o }").unwrap().len());
+///     }
+/// });
+/// # Ok::<(), gstored::Error>(())
+/// ```
 pub struct GStoreD {
-    dist: DistributedGraph,
+    dist: Arc<DistributedGraph>,
     engine: Engine,
     counters: SessionCounters,
-    /// For [`Backend::Tcp`]: the connected worker fleet, established (and
-    /// the fragments installed) on first execution and reused for the
-    /// session's lifetime, so repeated executions never re-ship the
-    /// graph. Remote executions serialize on this lock — the workers
-    /// serve one coordinator conversation at a time by design.
-    remote: Mutex<Option<TcpTransport>>,
+    /// Allocates query ids and admits up to `max_concurrent_queries`
+    /// pipelines onto the shared fleet at once.
+    executor: QueryExecutor,
+    /// The session's worker fleet (both backends), established lazily on
+    /// first execution and reused for the session's lifetime, so for TCP
+    /// the fragments ship exactly once. Behind `Arc` so concurrent
+    /// queries share it without holding this lock while executing; a
+    /// connection-implicating failure drops the cached entry (a
+    /// possibly-desynchronized stream is never reused) and the next
+    /// execution re-establishes it.
+    fleet: Mutex<Option<Arc<Fleet>>>,
 }
 
 impl GStoreD {
     /// Start configuring a session.
     pub fn builder() -> GStoreDBuilder {
         GStoreDBuilder::new()
+    }
+
+    fn assemble(dist: DistributedGraph, config: EngineConfig) -> GStoreD {
+        let executor = QueryExecutor::new(config.max_concurrent_queries);
+        GStoreD {
+            dist: Arc::new(dist),
+            engine: Engine::new(config),
+            counters: SessionCounters::default(),
+            executor,
+            fleet: Mutex::new(None),
+        }
     }
 
     /// Prepare a SPARQL query for repeated execution.
@@ -294,25 +404,87 @@ impl GStoreD {
         self.dist.fragment_count()
     }
 
-    /// Run a prepared plan on the session's backend. For TCP backends
-    /// the worker connection (and the one-time fragment installation) is
-    /// cached across executions; any execution failure drops the cached
-    /// connection — conservatively, so a possibly-desynchronized stream
-    /// is never reused — and the next execution reconnects afresh.
+    /// Run a prepared plan as one of the session's concurrent queries:
+    /// wait for an admission slot, then drive the pipeline over the
+    /// shared fleet under a fresh query id. A failure that implicates
+    /// the connection (transport breakage, protocol violation — the
+    /// stream may be desynchronized) drops the cached fleet, and the
+    /// next execution re-establishes it; in-flight queries finish on
+    /// the old fleet, which their `Arc` keeps alive. Per-query failures
+    /// that leave the streams fully drained (worker errors, evicted
+    /// query ids, plan validation) keep the fleet — tearing down what
+    /// every concurrent caller shares over one query's error would turn
+    /// a local failure into a global stall.
     fn run_plan(&self, plan: &PreparedPlan) -> Result<QueryOutput, EngineError> {
-        if !matches!(self.engine.config().backend, Backend::Tcp { .. }) {
-            return self.engine.execute(&self.dist, plan);
-        }
-        let mut remote = self.remote.lock().expect("remote transport poisoned");
-        if remote.is_none() {
-            *remote = Some(self.engine.connect_workers(&self.dist)?);
-        }
-        let transport = remote.as_ref().expect("just connected");
-        let result = self.engine.execute_on(transport, &self.dist, plan);
-        if result.is_err() {
-            *remote = None;
+        let ticket = self.executor.admit();
+        let fleet = self.fleet()?;
+        let result = self.engine.execute_routed(
+            fleet.transport(),
+            &fleet.router,
+            &self.dist,
+            plan,
+            ticket.query(),
+        );
+        if matches!(
+            result,
+            Err(EngineError::Transport(_)) | Err(EngineError::Protocol(_))
+        ) {
+            self.invalidate_fleet(&fleet);
         }
         result
+    }
+
+    /// The cached fleet, establishing it if this is the first execution.
+    fn fleet(&self) -> Result<Arc<Fleet>, EngineError> {
+        let mut cache = self.fleet.lock().expect("fleet cache poisoned");
+        if let Some(fleet) = cache.as_ref() {
+            return Ok(Arc::clone(fleet));
+        }
+        let fleet = match &self.engine.config().backend {
+            Backend::InProcess => {
+                Fleet::in_process(&self.dist, self.engine.config().max_concurrent_queries)
+            }
+            Backend::Tcp { .. } => Fleet::remote(self.engine.connect_workers(&self.dist)?),
+        };
+        let fleet = Arc::new(fleet);
+        *cache = Some(Arc::clone(&fleet));
+        Ok(fleet)
+    }
+
+    /// Drop `fleet` from the cache if it is still the cached one (a
+    /// concurrent failure may have replaced it already).
+    fn invalidate_fleet(&self, fleet: &Arc<Fleet>) {
+        let mut cache = self.fleet.lock().expect("fleet cache poisoned");
+        if cache.as_ref().is_some_and(|f| Arc::ptr_eq(f, fleet)) {
+            *cache = None;
+        }
+    }
+
+    /// Probe every site worker's state-table occupancy (resident
+    /// queries, resident LPMs, capacity, evictions).
+    ///
+    /// An operational observability call — it takes an admission slot
+    /// like a query (so the probe itself is flow-controlled) but charges
+    /// nothing to any query's metrics. Establishes the fleet if no query
+    /// has run yet. The no-leak tests assert through this that completed
+    /// queries leave every site's table empty.
+    pub fn fleet_status(&self) -> Result<Vec<WorkerStatus>, Error> {
+        let ticket = self.executor.admit();
+        let fleet = self.fleet()?;
+        let pool = WorkerPool::new(
+            fleet.transport(),
+            &fleet.router,
+            self.engine.config().network,
+            ticket.query(),
+        );
+        let status = pool.worker_status();
+        if matches!(
+            status,
+            Err(EngineError::Transport(_)) | Err(EngineError::Protocol(_))
+        ) {
+            self.invalidate_fleet(&fleet);
+        }
+        Ok(status?)
     }
 
     /// Snapshot of the session's prepare/execute counters.

@@ -1,0 +1,332 @@
+//! The concurrent multi-query runtime acceptance tests: N threads share
+//! one `GStoreD` session over one worker fleet, on both backends, and
+//! - every query's results equal the sequential baseline,
+//! - per-query metrics do not bleed across concurrent queries,
+//! - the workers' state tables are empty when the dust settles (no
+//!   leaks), and
+//! - arbitrarily interleaved `InstallQuery`/`ReleaseQuery`/stage frames
+//!   never corrupt another query's state (property test).
+
+use std::net::TcpListener;
+
+use proptest::prelude::*;
+
+use gstored::core::protocol::{self, QueryId, Request, ResponseBody};
+use gstored::core::worker::{serve_tcp, SiteWorker};
+use gstored::net::QueryMetrics;
+use gstored::prelude::*;
+use gstored::rdf::Triple;
+
+const P: &str = "http://x/p";
+const Q: &str = "http://x/q";
+
+/// A graph with both intra-fragment and crossing matches under every
+/// partitioner: chains a{i} -p-> b{i} -q-> c{i} -p-> d{i}.
+fn graph() -> RdfGraph {
+    let t = |s: String, p: &str, o: String| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+    let mut triples = Vec::new();
+    for i in 0..12 {
+        triples.push(t(format!("http://v/a{i}"), P, format!("http://v/b{i}")));
+        triples.push(t(format!("http://v/b{i}"), Q, format!("http://v/c{i}")));
+        triples.push(t(format!("http://v/c{i}"), P, format!("http://v/d{i}")));
+    }
+    RdfGraph::from_triples(triples)
+}
+
+const PATH_QUERY: &str =
+    "SELECT * WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z . ?z <http://x/p> ?w }";
+// A 2-edge path is a star centered on its middle vertex, so this takes
+// the Section VIII-B fast path.
+const STAR_QUERY: &str = "SELECT * WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z }";
+const QUERIES: [&str; 2] = [PATH_QUERY, STAR_QUERY];
+
+fn spawn_tcp_fleet(k: usize) -> Vec<String> {
+    (0..k)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || serve_tcp(listener));
+            addr
+        })
+        .collect()
+}
+
+fn builder_for(backend: Option<Vec<String>>) -> GStoreD {
+    let b = GStoreD::builder()
+        .graph(graph())
+        .partitioner(HashPartitioner::new(3))
+        .variant(Variant::Full);
+    let b = match backend {
+        Some(addrs) => b.tcp_workers(addrs),
+        None => b,
+    };
+    b.build().unwrap()
+}
+
+fn stage_signature(m: &QueryMetrics) -> Vec<(u64, u64)> {
+    [
+        &m.candidates,
+        &m.partial_evaluation,
+        &m.lec_optimization,
+        &m.assembly,
+    ]
+    .iter()
+    .map(|s| (s.bytes_shipped, s.messages))
+    .collect()
+}
+
+/// Per-query baseline: the sequential rows plus the per-stage
+/// `(bytes, messages)` shipment signature.
+type QueryBaseline = (Vec<Vec<TermId>>, Vec<(u64, u64)>);
+
+/// The shared-session scenario on one backend: sequential baselines,
+/// then 4 threads x 3 iterations of mixed path/star queries, with result
+/// equality, metric-bleed and leak checks.
+fn concurrent_scenario(tcp: bool) {
+    let addrs = tcp.then(|| spawn_tcp_fleet(3));
+    let db = builder_for(addrs);
+
+    // Sequential baselines: rows and per-stage shipment per query.
+    let baseline: Vec<QueryBaseline> = QUERIES
+        .iter()
+        .map(|q| {
+            let r = db.query(q).unwrap();
+            assert!(!r.is_empty(), "trivial baseline for {q}");
+            (r.vertex_rows().to_vec(), stage_signature(r.metrics()))
+        })
+        .collect();
+
+    // 4 client threads, each running both queries repeatedly against the
+    // same prepared handles (prepare is shared too).
+    let prepared: Vec<_> = QUERIES.iter().map(|q| db.prepare(q).unwrap()).collect();
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let prepared = &prepared;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    // Stagger which query each client starts with so the
+                    // fleet really sees interleaved pipelines.
+                    for qi in [client % 2, (client + 1) % 2] {
+                        let results = prepared[qi].execute().unwrap();
+                        let (rows, stages) = &baseline[qi];
+                        assert_eq!(
+                            results.vertex_rows(),
+                            rows.as_slice(),
+                            "client {client} round {round} query {qi}: rows drifted"
+                        );
+                        assert_eq!(
+                            &stage_signature(results.metrics()),
+                            stages,
+                            "client {client} round {round} query {qi}: \
+                             metrics bled across concurrent queries"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // No leaks: every worker's state table is empty after completion.
+    for (site, status) in db.fleet_status().unwrap().into_iter().enumerate() {
+        assert_eq!(status.resident_queries, 0, "site {site} leaked a query");
+        assert_eq!(status.resident_lpms, 0, "site {site} leaked LPMs");
+    }
+
+    // 2 baselines + 4 clients x 3 rounds x 2 queries.
+    assert_eq!(db.stats().executions, 2 + 24);
+}
+
+#[test]
+fn concurrent_queries_match_sequential_in_process() {
+    concurrent_scenario(false);
+}
+
+#[test]
+fn concurrent_queries_match_sequential_over_tcp() {
+    concurrent_scenario(true);
+}
+
+#[test]
+fn admission_cap_of_one_still_serves_concurrent_callers() {
+    let db = GStoreD::builder()
+        .graph(graph())
+        .partitioner(HashPartitioner::new(3))
+        .max_concurrent_queries(1)
+        .build()
+        .unwrap();
+    let baseline = db.query(PATH_QUERY).unwrap().vertex_rows().to_vec();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let db = &db;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                let r = db.query(PATH_QUERY).unwrap();
+                assert_eq!(r.vertex_rows(), baseline.as_slice());
+            });
+        }
+    });
+    for status in db.fleet_status().unwrap() {
+        assert_eq!(status.resident_queries, 0);
+    }
+}
+
+#[test]
+fn variants_serve_concurrently_too() {
+    // LEC pruning (LO) exercises the DropPruned/ComputeLecFeatures legs
+    // under concurrency as well.
+    let db = GStoreD::builder()
+        .graph(graph())
+        .partitioner(HashPartitioner::new(3))
+        .variant(Variant::LecOptimization)
+        .build()
+        .unwrap();
+    let baseline = db.query(PATH_QUERY).unwrap().vertex_rows().to_vec();
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let db = &db;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    let r = db.query(PATH_QUERY).unwrap();
+                    assert_eq!(r.vertex_rows(), baseline.as_slice());
+                }
+            });
+        }
+    });
+    for status in db.fleet_status().unwrap() {
+        assert_eq!(status.resident_queries, 0);
+    }
+}
+
+// --- property test: interleaved install/release frames never corrupt
+// another query's state ---
+
+/// One step of the interleaving: which request to send for which of the
+/// four candidate query ids.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Install(u32),
+    Release(u32),
+    PartialEval(u32),
+    ShipSurvivors(u32),
+}
+
+/// Decode `(id, kind)` pairs from the generator into ops (the vendored
+/// proptest shim has no `prop_map`).
+fn to_op((id, kind): (u32, u8)) -> Op {
+    match kind {
+        0 => Op::Install(id),
+        1 => Op::Release(id),
+        2 => Op::PartialEval(id),
+        _ => Op::ShipSurvivors(id),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interleaved_install_release_never_corrupts_state(
+        raw_ops in prop::collection::vec((0u32..4, 0u8..4), 1..40),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(to_op).collect();
+        let g = graph();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let encoded = {
+            let qg = QueryGraph::from_query(&parse_query(PATH_QUERY).unwrap()).unwrap();
+            gstored::store::EncodedQuery::encode(&qg, dist.dict()).unwrap()
+        };
+        let fragment = &dist.fragments[0];
+
+        // Oracle: the solo answers of a single-query worker.
+        let solo = {
+            let mut w = SiteWorker::for_fragment(fragment);
+            let ack = w
+                .handle(protocol::encode_request(&Request::InstallQuery {
+                    query: QueryId(0),
+                    encoded: Box::new(encoded.clone()),
+                }))
+                .unwrap();
+            prop_assert!(matches!(
+                protocol::decode_response(ack).unwrap().body,
+                ResponseBody::Ack
+            ));
+            let pe = w
+                .handle(protocol::encode_request(&Request::PartialEval {
+                    query: QueryId(0),
+                }))
+                .unwrap();
+            let pe = protocol::decode_response(pe).unwrap().body;
+            let sv = w
+                .handle(protocol::encode_request(&Request::ShipSurvivors {
+                    query: QueryId(0),
+                }))
+                .unwrap();
+            let sv = protocol::decode_response(sv).unwrap().body;
+            (pe, sv)
+        };
+
+        // Model of what should be resident: id -> has PartialEval run.
+        let mut resident: std::collections::HashMap<u32, bool> = Default::default();
+        let mut worker = SiteWorker::for_fragment(fragment);
+        let send = |worker: &mut SiteWorker<'_>, req: &Request| {
+            let reply = worker.handle(protocol::encode_request(req)).unwrap();
+            let resp = protocol::decode_response(reply).unwrap();
+            prop_assert_eq!(resp.query, req.query_id());
+            Ok(resp.body)
+        };
+        for op in ops {
+            match op {
+                Op::Install(id) => {
+                    let body = send(&mut worker, &Request::InstallQuery {
+                        query: QueryId(id),
+                        encoded: Box::new(encoded.clone()),
+                    })?;
+                    if let std::collections::hash_map::Entry::Vacant(slot) = resident.entry(id) {
+                        prop_assert!(matches!(body, ResponseBody::Ack));
+                        slot.insert(false);
+                    } else {
+                        // Duplicate installs are rejected, state intact.
+                        prop_assert!(matches!(body, ResponseBody::Error(_)));
+                    }
+                }
+                Op::Release(id) => {
+                    let body =
+                        send(&mut worker, &Request::ReleaseQuery { query: QueryId(id) })?;
+                    prop_assert!(matches!(body, ResponseBody::Ack), "release always acks");
+                    resident.remove(&id);
+                }
+                Op::PartialEval(id) => {
+                    let body =
+                        send(&mut worker, &Request::PartialEval { query: QueryId(id) })?;
+                    match resident.get_mut(&id) {
+                        Some(evaluated) => {
+                            prop_assert_eq!(&body, &solo.0, "PartialEval answer drifted");
+                            *evaluated = true;
+                        }
+                        None => prop_assert!(
+                            matches!(body, ResponseBody::UnknownQuery(q) if q == QueryId(id))
+                        ),
+                    }
+                }
+                Op::ShipSurvivors(id) => {
+                    let body =
+                        send(&mut worker, &Request::ShipSurvivors { query: QueryId(id) })?;
+                    match resident.get(&id) {
+                        Some(true) => prop_assert_eq!(&body, &solo.1, "survivors drifted"),
+                        Some(false) => prop_assert!(
+                            matches!(&body, ResponseBody::Survivors(s) if s.is_empty()),
+                            "no LPMs before PartialEval"
+                        ),
+                        None => prop_assert!(
+                            matches!(body, ResponseBody::UnknownQuery(q) if q == QueryId(id))
+                        ),
+                    }
+                }
+            }
+            // The table never exceeds the resident model.
+            prop_assert_eq!(worker.status().resident_queries, resident.len() as u64);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use gstored::core::lec::LecFeature;
-use gstored::core::protocol::{self, Request, Response, ResponseBody};
+use gstored::core::protocol::{self, QueryId, Request, Response, ResponseBody, WorkerStatus};
 use gstored::net::{WireReader, WireWriter};
 use gstored::rdf::{EdgeRef, Literal, Term, TermId, Triple};
 use gstored::store::candidates::BitVectorFilter;
@@ -155,16 +155,19 @@ proptest! {
 
     #[test]
     fn request_envelope_roundtrip(
+        qid in 0u32..u32::MAX,
         center in 0usize..64,
         bits in 64usize..8192,
         first_id in any::<u32>(),
         useful in prop::collection::vec(any::<u32>(), 0..32),
         filter_vertices in prop::collection::vec((0usize..8, 0u64..512), 0..4),
     ) {
+        let query = QueryId(qid);
         let requests = vec![
-            Request::StarMatches { center },
-            Request::ComputeCandidates { bits },
+            Request::StarMatches { query, center },
+            Request::ComputeCandidates { query, bits },
             Request::SetCandidateFilter {
+                query,
                 vectors: filter_vertices
                     .iter()
                     .map(|&(v, seed)| {
@@ -174,10 +177,12 @@ proptest! {
                     })
                     .collect(),
             },
-            Request::PartialEval,
-            Request::ComputeLecFeatures { first_id },
-            Request::DropPruned { useful: useful.clone() },
-            Request::ShipSurvivors,
+            Request::PartialEval { query },
+            Request::ComputeLecFeatures { query, first_id },
+            Request::DropPruned { query, useful: useful.clone() },
+            Request::ShipSurvivors { query },
+            Request::ReleaseQuery { query },
+            Request::WorkerStatus { query },
             Request::Shutdown,
         ];
         for req in requests {
@@ -185,13 +190,37 @@ proptest! {
             let decoded = protocol::decode_request(frame.clone()).unwrap();
             // Request carries non-PartialEq payloads; canonical
             // re-encoding must be byte-identical.
+            prop_assert_eq!(decoded.query_id(), req.query_id());
             prop_assert_eq!(protocol::encode_request(&decoded), frame);
+        }
+    }
+
+    #[test]
+    fn request_frame_length_ignores_query_id(
+        a in 0u32..u32::MAX,
+        b in 0u32..u32::MAX,
+    ) {
+        // Per-session shipment determinism: ids are fixed-width, so the
+        // thousandth query of a session ships the same bytes as its
+        // first.
+        for (x, y) in [
+            (
+                protocol::encode_request(&Request::PartialEval { query: QueryId(a) }),
+                protocol::encode_request(&Request::PartialEval { query: QueryId(b) }),
+            ),
+            (
+                protocol::encode_request(&Request::ReleaseQuery { query: QueryId(a) }),
+                protocol::encode_request(&Request::ReleaseQuery { query: QueryId(b) }),
+            ),
+        ] {
+            prop_assert_eq!(x.len(), y.len());
         }
     }
 
     #[test]
     fn response_envelope_roundtrip(
         elapsed_nanos in any::<u64>(),
+        qid in any::<u32>(),
         rows in prop::collection::vec(prop::collection::vec(any::<u64>(), 2), 0..8),
         lpm_count in any::<u64>(),
         fragment in 0usize..16,
@@ -199,6 +228,7 @@ proptest! {
         crossings in prop::collection::vec((0u64..1000, 0u64..50, 0u64..1000, 0usize..8), 0..3),
         mask in any::<u64>(),
         message in "[ -~]{0,40}",
+        status in prop::collection::vec(any::<u64>(), 4),
     ) {
         let locals: Vec<Vec<TermId>> = rows
             .iter()
@@ -212,10 +242,17 @@ proptest! {
             ResponseBody::PartialEval { locals, lpm_count },
             ResponseBody::Features(vec![LecFeature::of_lpm(&lpm)]),
             ResponseBody::Survivors(vec![lpm]),
+            ResponseBody::Status(WorkerStatus {
+                resident_queries: status[0],
+                resident_lpms: status[1],
+                capacity: status[2],
+                evictions: status[3],
+            }),
+            ResponseBody::UnknownQuery(QueryId(qid.wrapping_add(1))),
             ResponseBody::Error(message),
         ];
         for body in bodies {
-            let resp = Response { elapsed_nanos, body };
+            let resp = Response { elapsed_nanos, query: QueryId(qid), body };
             let frame = protocol::encode_response(&resp);
             let decoded = protocol::decode_response(frame).unwrap();
             prop_assert_eq!(decoded, resp);
@@ -223,16 +260,19 @@ proptest! {
     }
 
     #[test]
-    fn response_frame_length_ignores_elapsed(
+    fn response_frame_length_ignores_elapsed_and_query_id(
         a in any::<u64>(),
         b in any::<u64>(),
+        qa in any::<u32>(),
+        qb in any::<u32>(),
         lpm_count in any::<u64>(),
     ) {
         // Shipment determinism across backends hinges on this: the
-        // elapsed stamp is fixed-width, so timing never changes sizes.
+        // elapsed stamp and query id are fixed-width, so neither timing
+        // nor how many queries ran before changes frame sizes.
         let body = ResponseBody::PartialEval { locals: vec![], lpm_count };
-        let fast = Response { elapsed_nanos: a, body: body.clone() };
-        let slow = Response { elapsed_nanos: b, body };
+        let fast = Response { elapsed_nanos: a, query: QueryId(qa), body: body.clone() };
+        let slow = Response { elapsed_nanos: b, query: QueryId(qb), body };
         prop_assert_eq!(
             protocol::encode_response(&fast).len(),
             protocol::encode_response(&slow).len()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the repo's docs resolves.
+
+Scans README.md, ARCHITECTURE.md and everything under docs/ for inline
+Markdown links (``[text](target)``), skips absolute URLs and pure
+anchors, and verifies each relative target exists on disk (anchors are
+checked against the target file's headings). Exits non-zero listing
+every broken link. Run from the repo root; CI runs it as the
+``docs-links`` job.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop
+    everything that is not alphanumeric, dash or underscore."""
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9\-_]", "", slug)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def check_file(path: str) -> list:
+    errors = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Ignore links inside fenced code blocks (diagrams, examples).
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_path, _, anchor = target.partition("#")
+        if not target_path:
+            # Pure in-page anchor.
+            if anchor and slugify(anchor) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor #{anchor}")
+            continue
+        resolved = os.path.normpath(os.path.join(base, target_path))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link {target}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if slugify(anchor) not in anchors_of(resolved):
+                errors.append(f"{path}: broken anchor {target}")
+    return errors
+
+
+def main() -> int:
+    files = ["README.md", "ARCHITECTURE.md"]
+    for root, _, names in os.walk("docs"):
+        files.extend(os.path.join(root, n) for n in names if n.endswith(".md"))
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        print("missing expected docs:", ", ".join(missing))
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
