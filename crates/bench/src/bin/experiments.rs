@@ -6,6 +6,7 @@
 //! experiments bench-pr3 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr4 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr5 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr6 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
@@ -17,7 +18,9 @@
 //! non-zero when validation fails. `--smoke` runs the tiny CI
 //! configuration.
 
-use gstored_bench::{bench_pr3, bench_pr4, bench_pr5, datasets, experiments, format::Table};
+use gstored_bench::{
+    bench_pr3, bench_pr4, bench_pr5, bench_pr6, datasets, experiments, format::Table,
+};
 
 struct Args {
     what: Vec<String>,
@@ -144,12 +147,36 @@ fn run_bench_pr5(args: &Args) {
     eprintln!("# bench-pr5: wrote {} bytes, schema OK", json.len());
 }
 
+fn run_bench_pr6(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr6::BenchPr6Config::smoke()
+    } else {
+        bench_pr6::BenchPr6Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR6.json");
+    eprintln!("# bench-pr6: {config:?} -> {path}");
+    let json = bench_pr6::run(&config);
+    if let Err(e) = bench_pr6::validate(&json) {
+        eprintln!("bench-pr6: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr6: wrote {} bytes, schema OK", json.len());
+}
+
 fn main() {
     let args = parse_args();
     for (name, runner) in [
         ("bench-pr3", run_bench_pr3 as fn(&Args)),
         ("bench-pr4", run_bench_pr4 as fn(&Args)),
         ("bench-pr5", run_bench_pr5 as fn(&Args)),
+        ("bench-pr6", run_bench_pr6 as fn(&Args)),
     ] {
         if args.what.iter().any(|w| w == name) {
             if args.what.len() > 1 {
@@ -166,7 +193,7 @@ fn main() {
         }
     }
     if args.smoke || args.out.is_some() {
-        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4/bench-pr5; ignoring");
+        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4/bench-pr5/bench-pr6; ignoring");
     }
     let scale = args.scale.unwrap_or(datasets::DEFAULT_SCALE);
     let sites = args.sites.unwrap_or(datasets::DEFAULT_SITES);

@@ -28,6 +28,7 @@
 pub mod bench_pr3;
 pub mod bench_pr4;
 pub mod bench_pr5;
+pub mod bench_pr6;
 pub mod datasets;
 pub mod experiments;
 pub mod format;

@@ -202,6 +202,24 @@ impl QueryExecutor {
         }
     }
 
+    /// Claim a slot only if one is free right now: `None` means the gate
+    /// is at capacity. The non-blocking twin of [`QueryExecutor::admit`]
+    /// for callers with their own overload answer — the HTTP server's
+    /// admission layer turns a `None` here into a fast `429` instead of
+    /// parking the connection on the condvar.
+    pub fn try_admit(&self) -> Option<QueryTicket<'_>> {
+        let mut running = self.running.lock().expect("query executor poisoned");
+        if *running >= self.max_concurrent {
+            return None;
+        }
+        *running += 1;
+        drop(running);
+        Some(QueryTicket {
+            query: self.allocate_id(),
+            executor: self,
+        })
+    }
+
     fn allocate_id(&self) -> QueryId {
         loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -619,6 +637,18 @@ mod tests {
             let q3 = handle.join().unwrap();
             assert_ne!(q3, t2.query());
         });
+    }
+
+    #[test]
+    fn try_admit_refuses_at_capacity_instead_of_blocking() {
+        let executor = QueryExecutor::new(2);
+        let t1 = executor.try_admit().expect("first slot free");
+        let t2 = executor.try_admit().expect("second slot free");
+        assert_ne!(t1.query(), t2.query());
+        assert!(executor.try_admit().is_none(), "gate full: None, not wait");
+        drop(t1);
+        let t3 = executor.try_admit().expect("freed slot reclaimable");
+        assert_ne!(t3.query(), t2.query());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Just enough to drive [`crate::SparqlServer`] from the integration
+//! tests, the `bench-pr6` closed-loop throughput benchmark, and quick
+//! scripts — one request per connection (`Connection: close`), bodies
+//! read by `Content-Length` or to end-of-stream. Not a general HTTP
+//! client and not trying to be one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue a `GET` for `path` (which may carry a query string) with an
+/// optional `Accept` header.
+pub fn get(addr: SocketAddr, path: &str, accept: Option<&str>) -> std::io::Result<HttpReply> {
+    request(addr, "GET", path, accept, None)
+}
+
+/// Issue a `POST` with a body and its `Content-Type`, plus an optional
+/// `Accept` header.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    accept: Option<&str>,
+) -> std::io::Result<HttpReply> {
+    request(addr, "POST", path, accept, Some((content_type, body)))
+}
+
+/// Issue one request on a fresh connection and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    accept: Option<&str>,
+    body: Option<(&str, &[u8])>,
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(accept) = accept {
+        head.push_str(&format!("Accept: {accept}\r\n"));
+    }
+    if let Some((content_type, body)) = body {
+        head.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some((_, body)) = body {
+        stream.write_all(body)?;
+    }
+    stream.flush()?;
+    read_reply(&mut BufReader::new(stream))
+}
+
+/// Parse a response off a buffered stream.
+pub fn read_reply(reader: &mut impl BufRead) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line: {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated response head"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(&format!("bad header line: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match length {
+        Some(length) => {
+            body.resize(length, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canned_response() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/csv\r\nContent-Length: 5\r\n\r\nhello";
+        let reply = read_reply(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("content-type"), Some("text/csv"));
+        assert_eq!(reply.body_str(), "hello");
+    }
+
+    #[test]
+    fn reads_to_eof_without_content_length() {
+        let raw = "HTTP/1.1 500 Internal Server Error\r\n\r\noops";
+        let reply = read_reply(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(reply.status, 500);
+        assert_eq!(reply.body_str(), "oops");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_reply(&mut BufReader::new("not http".as_bytes())).is_err());
+    }
+}

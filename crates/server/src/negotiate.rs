@@ -1,0 +1,207 @@
+//! SPARQL result formats and `Accept`-header content negotiation.
+//!
+//! The server serializes a result set in the four W3C formats; the
+//! client picks one through the standard `Accept` dance (media ranges
+//! with `q`-weights, wildcards, and the usual loose aliases like
+//! `application/json`). Ties and `*/*` resolve in server preference
+//! order — JSON first, the format every SPARQL client library reads.
+
+/// One of the four result serializations the server can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResultFormat {
+    /// SPARQL 1.1 Query Results JSON (`application/sparql-results+json`).
+    Json,
+    /// SPARQL Query Results XML (`application/sparql-results+xml`).
+    Xml,
+    /// SPARQL 1.1 Query Results TSV (`text/tab-separated-values`).
+    Tsv,
+    /// SPARQL 1.1 Query Results CSV (`text/csv`).
+    Csv,
+}
+
+impl ResultFormat {
+    /// Every format, in server preference order (most preferred first).
+    pub const ALL: [ResultFormat; 4] = [
+        ResultFormat::Json,
+        ResultFormat::Xml,
+        ResultFormat::Tsv,
+        ResultFormat::Csv,
+    ];
+
+    /// The canonical media type, without parameters.
+    pub fn media_type(self) -> &'static str {
+        match self {
+            ResultFormat::Json => "application/sparql-results+json",
+            ResultFormat::Xml => "application/sparql-results+xml",
+            ResultFormat::Tsv => "text/tab-separated-values",
+            ResultFormat::Csv => "text/csv",
+        }
+    }
+
+    /// The `Content-Type` header value responses carry.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            ResultFormat::Json => "application/sparql-results+json",
+            ResultFormat::Xml => "application/sparql-results+xml",
+            ResultFormat::Tsv => "text/tab-separated-values; charset=utf-8",
+            ResultFormat::Csv => "text/csv; charset=utf-8",
+        }
+    }
+
+    /// A short lowercase name (`json`/`xml`/`tsv`/`csv`), used by CLI
+    /// flags and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResultFormat::Json => "json",
+            ResultFormat::Xml => "xml",
+            ResultFormat::Tsv => "tsv",
+            ResultFormat::Csv => "csv",
+        }
+    }
+
+    /// Parse a short name (the inverse of [`ResultFormat::name`]).
+    pub fn from_name(name: &str) -> Option<ResultFormat> {
+        ResultFormat::ALL
+            .into_iter()
+            .find(|f| f.name() == name.to_ascii_lowercase())
+    }
+
+    /// Whether a media range (already lowercased, no parameters) matches
+    /// this format.
+    fn matches(self, range: &str) -> bool {
+        if range == "*/*" || range == self.media_type() {
+            return true;
+        }
+        match self {
+            ResultFormat::Json => {
+                matches!(range, "application/*" | "application/json" | "text/json")
+            }
+            ResultFormat::Xml => matches!(range, "application/xml" | "text/xml"),
+            ResultFormat::Tsv => matches!(range, "text/*" | "text/tsv"),
+            ResultFormat::Csv => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ResultFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.media_type())
+    }
+}
+
+/// Pick the response format for an `Accept` header.
+///
+/// A missing or empty header means "anything" and yields JSON. `Err`
+/// carries the offending header for the `406 Not Acceptable` body.
+///
+/// ```
+/// use gstored_server::negotiate::{negotiate, ResultFormat};
+///
+/// assert_eq!(negotiate(None), Ok(ResultFormat::Json));
+/// assert_eq!(negotiate(Some("text/csv")), Ok(ResultFormat::Csv));
+/// assert_eq!(
+///     negotiate(Some("text/csv;q=0.5, application/sparql-results+xml")),
+///     Ok(ResultFormat::Xml)
+/// );
+/// assert!(negotiate(Some("image/png")).is_err());
+/// ```
+pub fn negotiate(accept: Option<&str>) -> Result<ResultFormat, String> {
+    let header = match accept.map(str::trim) {
+        None | Some("") => return Ok(ResultFormat::Json),
+        Some(h) => h,
+    };
+    let mut best: Option<(f32, usize, ResultFormat)> = None;
+    for item in header.split(',') {
+        let mut parts = item.split(';');
+        let range = match parts.next() {
+            Some(r) => r.trim().to_ascii_lowercase(),
+            None => continue,
+        };
+        if range.is_empty() {
+            continue;
+        }
+        let q: f32 = parts
+            .filter_map(|p| p.trim().strip_prefix("q=").map(str::trim))
+            .next()
+            .and_then(|v| v.parse::<f32>().ok())
+            .unwrap_or(1.0)
+            .clamp(0.0, 1.0);
+        if q == 0.0 {
+            continue;
+        }
+        for (pref, format) in ResultFormat::ALL.into_iter().enumerate() {
+            if !format.matches(&range) {
+                continue;
+            }
+            // Prefer higher q; break ties by server preference order.
+            let better = match best {
+                None => true,
+                Some((bq, bpref, _)) => q > bq || (q == bq && pref < bpref),
+            };
+            if better {
+                best = Some((q, pref, format));
+            }
+        }
+    }
+    best.map(|(_, _, f)| f).ok_or_else(|| header.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_media_types_win() {
+        for f in ResultFormat::ALL {
+            assert_eq!(negotiate(Some(f.media_type())), Ok(f));
+        }
+    }
+
+    #[test]
+    fn wildcard_and_missing_default_to_json() {
+        assert_eq!(negotiate(None), Ok(ResultFormat::Json));
+        assert_eq!(negotiate(Some("*/*")), Ok(ResultFormat::Json));
+        assert_eq!(negotiate(Some("")), Ok(ResultFormat::Json));
+        assert_eq!(negotiate(Some("application/*")), Ok(ResultFormat::Json));
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(negotiate(Some("application/json")), Ok(ResultFormat::Json));
+        assert_eq!(negotiate(Some("text/xml")), Ok(ResultFormat::Xml));
+        assert_eq!(negotiate(Some("text/*")), Ok(ResultFormat::Tsv));
+    }
+
+    #[test]
+    fn q_values_rank_choices() {
+        assert_eq!(
+            negotiate(Some("text/csv;q=0.9, text/tab-separated-values;q=0.4")),
+            Ok(ResultFormat::Csv)
+        );
+        assert_eq!(
+            negotiate(Some("text/csv;q=0, */*;q=0.1")),
+            Ok(ResultFormat::Json),
+            "q=0 excludes csv; wildcard falls back to json"
+        );
+        assert_eq!(
+            negotiate(Some("text/csv; q=1, application/sparql-results+json")),
+            Ok(ResultFormat::Json),
+            "tie resolves by server preference"
+        );
+    }
+
+    #[test]
+    fn unservable_header_is_an_error() {
+        let err = negotiate(Some("image/png, audio/ogg;q=0.5")).unwrap_err();
+        assert!(err.contains("image/png"));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for f in ResultFormat::ALL {
+            assert_eq!(ResultFormat::from_name(f.name()), Some(f));
+            assert_eq!(ResultFormat::from_name(&f.name().to_uppercase()), Some(f));
+        }
+        assert_eq!(ResultFormat::from_name("yaml"), None);
+    }
+}

@@ -1,0 +1,536 @@
+//! The SPARQL-Protocol HTTP server.
+//!
+//! [`SparqlServer`] binds a [`GStoreD`] session behind the W3C SPARQL
+//! Protocol: `GET /query?query=…` and `POST /query` (raw
+//! `application/sparql-query` or form-encoded bodies), with
+//! `Accept`-negotiated result serialization, plus the `GET /status`
+//! observability endpoint. Requests flow through the admission layer of
+//! [`crate::admission`]: a bounded worker pool serves connections from a
+//! bounded queue, and overload is answered with an immediate `429`.
+//!
+//! Error mapping is typed and deliberate:
+//!
+//! | Condition | Status |
+//! |---|---|
+//! | parse / prepare failure (the query's fault) | `400` + JSON body |
+//! | unknown path | `404` |
+//! | method other than GET/POST on `/query` | `405` + `Allow` |
+//! | no servable format in `Accept` | `406` |
+//! | body too large | `413` |
+//! | POST with an unsupported `Content-Type` | `415` |
+//! | worker pool and queue full | `429` + `Retry-After` |
+//! | engine failure during execution | `500` + JSON body |
+//!
+//! A `500` never takes the fleet down with it: the session already
+//! confines teardown to connection-implicating transport errors, so one
+//! query's failure is one response, not an outage.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gstored::{Error, GStoreD};
+
+use crate::admission::{BoundedQueue, CountersSnapshot, ServerCounters};
+use crate::http::{read_request, HttpRequest, HttpResponse, Limits, RequestError};
+use crate::negotiate::{negotiate, ResultFormat};
+use crate::serializer::{json_escape, serialize_results};
+
+/// Server knobs. The defaults match the session's: 8 concurrent
+/// requests, a 16-deep pending queue.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — the number of requests served at once. Keep it
+    /// at or below the session's `max_concurrent_queries` so the HTTP
+    /// pool, not the engine gate, is where requests wait.
+    pub max_concurrent: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this,
+    /// `429`.
+    pub queue_depth: usize,
+    /// The `Retry-After` hint (seconds) on `429` responses.
+    pub retry_after_secs: u32,
+    /// Per-connection socket read timeout. Bounds how long an idle
+    /// keep-alive connection can hold a worker (and therefore how long
+    /// graceful shutdown can take).
+    pub read_timeout: Duration,
+    /// HTTP parsing limits (head/body sizes).
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent: 8,
+            queue_depth: 16,
+            retry_after_secs: 1,
+            read_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A SPARQL-Protocol HTTP front-end over one shared [`GStoreD`] session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gstored::GStoreD;
+/// use gstored_server::{ServerConfig, SparqlServer};
+///
+/// let session = GStoreD::builder()
+///     .ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .")?
+///     .build()?;
+/// let server = SparqlServer::new(Arc::new(session), ServerConfig::default());
+/// let handle = server.start(std::net::TcpListener::bind("127.0.0.1:0")?)?;
+///
+/// let reply = gstored_server::client::get(
+///     handle.addr(),
+///     "/query?query=SELECT%20*%20WHERE%20%7B%20%3Fs%20%3Chttp://ex/p%3E%20%3Fo%20%7D",
+///     Some("application/sparql-results+json"),
+/// )?;
+/// assert_eq!(reply.status, 200);
+/// assert!(reply.body_str().contains("http://ex/b"));
+/// handle.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SparqlServer {
+    session: Arc<GStoreD>,
+    config: ServerConfig,
+}
+
+impl SparqlServer {
+    /// Wrap a session with a server configuration.
+    pub fn new(session: Arc<GStoreD>, config: ServerConfig) -> SparqlServer {
+        SparqlServer { session, config }
+    }
+
+    /// Spawn the accept loop and worker pool on `listener` and return
+    /// the running server's handle.
+    pub fn start(self, listener: TcpListener) -> std::io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        // Poll accept so the loop also notices the shutdown flag; the
+        // interval only bounds shutdown latency, not request latency.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(self.config.queue_depth.max(1)));
+        let counters = Arc::new(ServerCounters::default());
+        let config = Arc::new(self.config);
+        let session = self.session;
+
+        let mut workers = Vec::with_capacity(config.max_concurrent.max(1));
+        for _ in 0..config.max_concurrent.max(1) {
+            let queue = Arc::clone(&queue);
+            let session = Arc::clone(&session);
+            let counters = Arc::clone(&counters);
+            let config = Arc::clone(&config);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    serve_connection(&session, &config, &counters, &queue, &shutdown, stream);
+                }
+            }));
+        }
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            let config = Arc::clone(&config);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_read_timeout(Some(config.read_timeout));
+                            let _ = stream.set_nodelay(true);
+                            match queue.push(stream) {
+                                Ok(()) => {
+                                    counters.admitted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(mut stream) => {
+                                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                                    let _ = reject_overload(&config, &mut stream);
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => {
+                            // Transient accept failures (e.g. a peer that
+                            // reset mid-handshake) are not fatal.
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            queue,
+            counters,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// The fast-path refusal the accept loop writes when the pool and queue
+/// are both full.
+fn reject_overload(config: &ServerConfig, stream: &mut TcpStream) -> std::io::Result<()> {
+    HttpResponse::new(429)
+        .header("Retry-After", config.retry_after_secs.to_string())
+        .body(
+            "application/json",
+            format!(
+                "{{\"error\":\"overloaded\",\"message\":\"request queue is full; retry after \
+                 {}s\"}}",
+                config.retry_after_secs
+            ),
+        )
+        .write_to(stream, true)
+}
+
+/// A running server: its bound address and the shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    counters: Arc<ServerCounters>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the real port when
+    /// bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the admission/outcome counters.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown without waiting: stop accepting and close the
+    /// queue. [`ServerHandle::shutdown`] (or dropping the handle) still
+    /// has to run to join the threads.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting new connections, serve
+    /// everything already admitted (in-flight requests run to
+    /// completion, queued connections get one response), then join every
+    /// thread. The session itself — and with it the worker fleet — is
+    /// released when the last `Arc<GStoreD>` holder drops it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // After the accept loop exits nothing new can be pushed; close
+        // so workers drain the queue and then stop.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serve one admitted connection: requests in sequence (keep-alive)
+/// until the peer closes, asks to close, errors, or shutdown starts.
+fn serve_connection(
+    session: &GStoreD,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+    queue: &BoundedQueue<TcpStream>,
+    shutdown: &AtomicBool,
+    stream: TcpStream,
+) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader, &config.limits) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(RequestError::Io(_)) => return,
+            Err(e) => {
+                let status = match e {
+                    RequestError::BodyTooLarge(_) => 413,
+                    _ => 400,
+                };
+                let response = error_response(status, "bad-request", &e.to_string());
+                counters.record_status(status);
+                let _ = response.write_to(&mut stream, true);
+                return;
+            }
+        };
+        counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        let response = handle_request(session, counters, queue, &request);
+        counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        counters.record_status(response.status);
+        // During shutdown, finish this response but do not keep the
+        // connection alive — the worker has a queue to drain.
+        let close = request.wants_close() || shutdown.load(Ordering::SeqCst);
+        if response.write_to(&mut stream, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Route one parsed request to its endpoint.
+pub(crate) fn handle_request(
+    session: &GStoreD,
+    counters: &ServerCounters,
+    queue: &BoundedQueue<TcpStream>,
+    request: &HttpRequest,
+) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/") => HttpResponse::new(200).body(
+            "text/plain; charset=utf-8",
+            "gstored-server: W3C SPARQL Protocol endpoint\n\
+             \n\
+             GET  /query?query=<urlencoded sparql>\n\
+             POST /query   (application/sparql-query or \
+             application/x-www-form-urlencoded)\n\
+             GET  /status  (admission + fleet occupancy as JSON)\n\
+             \n\
+             Result formats via Accept: application/sparql-results+json, \
+             application/sparql-results+xml, text/tab-separated-values, \
+             text/csv\n",
+        ),
+        ("GET", "/query") => match request.param("query") {
+            Some(query) => run_query(session, request, query),
+            None => error_response(400, "missing-query", "GET /query needs a ?query= parameter"),
+        },
+        ("POST", "/query") => match request.content_type().as_deref() {
+            Some("application/sparql-query") => match std::str::from_utf8(&request.body) {
+                Ok(query) => run_query(session, request, query),
+                Err(_) => error_response(400, "bad-request", "query body is not UTF-8"),
+            },
+            Some("application/x-www-form-urlencoded") => {
+                let form = std::str::from_utf8(&request.body)
+                    .map(crate::http::parse_form)
+                    .unwrap_or_default();
+                match form.iter().find(|(k, _)| k == "query") {
+                    Some((_, query)) => run_query(session, request, query),
+                    None => error_response(400, "missing-query", "form body has no query= field"),
+                }
+            }
+            other => error_response(
+                415,
+                "unsupported-media-type",
+                &format!(
+                    "POST /query takes application/sparql-query or \
+                     application/x-www-form-urlencoded, not {}",
+                    other.unwrap_or("an unspecified Content-Type")
+                ),
+            ),
+        },
+        ("GET", "/status") => status_response(session, counters, queue),
+        (_, "/query") | (_, "/status") | (_, "/") => {
+            HttpResponse::new(405).header("Allow", "GET, POST").body(
+                "application/json",
+                format!(
+                    "{{\"error\":\"method-not-allowed\",\"message\":\"{} is not supported \
+                     here\"}}",
+                    json_escape(&request.method)
+                ),
+            )
+        }
+        (_, path) => error_response(404, "not-found", &format!("no endpoint at {path}")),
+    }
+}
+
+/// Parse, execute and serialize one SPARQL query.
+fn run_query(session: &GStoreD, request: &HttpRequest, query: &str) -> HttpResponse {
+    let format = match negotiate(request.header("accept")) {
+        Ok(format) => format,
+        Err(header) => {
+            return error_response(
+                406,
+                "not-acceptable",
+                &format!(
+                    "no servable result format in Accept: {header} (supported: {})",
+                    ResultFormat::ALL.map(|f| f.media_type()).join(", ")
+                ),
+            )
+        }
+    };
+    // Prepare-time failures (parse, lowering, encoding, shape analysis)
+    // are the query's fault: typed 400. Execution failures are ours: 500.
+    let prepared = match session.prepare(query) {
+        Ok(prepared) => prepared,
+        Err(Error::Parse(e)) => return error_response(400, "parse", &e.to_string()),
+        Err(e) => return error_response(400, "unsupported", &e.to_string()),
+    };
+    match prepared.execute() {
+        Ok(results) => {
+            HttpResponse::new(200).body(format.content_type(), serialize_results(format, &results))
+        }
+        Err(e) => error_response(500, "engine", &e.to_string()),
+    }
+}
+
+/// The `GET /status` document: HTTP admission state, session counters
+/// and per-site fleet occupancy.
+fn status_response(
+    session: &GStoreD,
+    counters: &ServerCounters,
+    queue: &BoundedQueue<TcpStream>,
+) -> HttpResponse {
+    let snap = counters.snapshot();
+    let stats = session.stats();
+    let fleet = match session.fleet_status() {
+        Ok(fleet) => fleet,
+        Err(e) => return error_response(500, "engine", &e.to_string()),
+    };
+    let sites: Vec<String> = fleet
+        .iter()
+        .enumerate()
+        .map(|(site, s)| {
+            format!(
+                "{{\"site\":{site},\"resident_queries\":{},\"resident_lpms\":{},\
+                 \"capacity\":{},\"evictions\":{}}}",
+                s.resident_queries, s.resident_lpms, s.capacity, s.evictions
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"server\":{{\"admitted\":{},\"rejected_429\":{},\"ok\":{},\"client_errors\":{},\
+         \"server_errors\":{},\"in_flight\":{},\"queued\":{},\"queue_depth\":{}}},\
+         \"session\":{{\"queries_prepared\":{},\"executions\":{}}},\
+         \"fleet\":[{}]}}",
+        snap.admitted,
+        snap.rejected,
+        snap.ok,
+        snap.client_errors,
+        snap.server_errors,
+        snap.in_flight,
+        queue.pending(),
+        queue.depth(),
+        stats.queries_prepared,
+        stats.executions,
+        sites.join(",")
+    );
+    HttpResponse::new(200).body("application/json", body)
+}
+
+/// A JSON error body: `{"error": <kind>, "message": <detail>}`.
+fn error_response(status: u16, kind: &str, message: &str) -> HttpResponse {
+    HttpResponse::new(status).body(
+        "application/json",
+        format!(
+            "{{\"error\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(kind),
+            json_escape(message)
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, query: &[(&str, &str)]) -> HttpRequest {
+        HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+        }
+    }
+
+    fn session() -> GStoreD {
+        GStoreD::builder()
+            .ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn handle(session: &GStoreD, request: &HttpRequest) -> HttpResponse {
+        let counters = ServerCounters::default();
+        let queue = BoundedQueue::new(1);
+        handle_request(session, &counters, &queue, request)
+    }
+
+    #[test]
+    fn get_query_roundtrips() {
+        let db = session();
+        let req = request(
+            "GET",
+            "/query",
+            &[("query", "SELECT * WHERE { ?s <http://ex/p> ?o }")],
+        );
+        let resp = handle(&db, &req);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("http://ex/a") && body.contains("http://ex/b"));
+    }
+
+    #[test]
+    fn typed_errors_per_endpoint() {
+        let db = session();
+        assert_eq!(handle(&db, &request("GET", "/query", &[])).status, 400);
+        assert_eq!(
+            handle(&db, &request("GET", "/query", &[("query", "SELECT WHERE")])).status,
+            400
+        );
+        assert_eq!(handle(&db, &request("GET", "/nope", &[])).status, 404);
+        assert_eq!(handle(&db, &request("DELETE", "/query", &[])).status, 405);
+        let mut req = request("GET", "/query", &[("query", "SELECT * WHERE { ?s ?p ?o }")]);
+        req.headers.push(("accept".into(), "image/png".into()));
+        assert_eq!(handle(&db, &req).status, 406);
+        let mut post = request("POST", "/query", &[]);
+        post.headers
+            .push(("content-type".into(), "text/yaml".into()));
+        assert_eq!(handle(&db, &post).status, 415);
+    }
+
+    #[test]
+    fn status_reports_fleet_and_counters() {
+        let db = session();
+        let resp = handle(&db, &request("GET", "/status", &[]));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"queue_depth\":1"));
+        assert!(body.contains("\"resident_queries\":0"));
+        assert!(body.contains("\"rejected_429\":0"));
+    }
+
+    #[test]
+    fn index_page_documents_the_endpoints() {
+        let db = session();
+        let resp = handle(&db, &request("GET", "/", &[]));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("/query"));
+    }
+}

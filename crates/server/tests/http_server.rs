@@ -1,0 +1,237 @@
+//! End-to-end tests over a real TCP socket: the server is started on an
+//! ephemeral port and driven with [`gstored_server::client`], asserting
+//! the W3C protocol surface (both verbs, all four result formats, the
+//! typed error statuses), row equality against the embedded session,
+//! overload admission (`429`) and graceful drain on shutdown.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gstored::rdf::write_ntriples;
+use gstored::GStoreD;
+use gstored_datagen::lubm::{self, LubmConfig};
+use gstored_datagen::queries;
+use gstored_server::{client, serialize_results, ResultFormat, ServerConfig, SparqlServer};
+
+fn lubm_session() -> GStoreD {
+    let triples = lubm::generate(&LubmConfig::with_target_triples(600, 7));
+    let mut text = Vec::new();
+    write_ntriples(&mut text, &triples).unwrap();
+    GStoreD::builder()
+        .ntriples(std::str::from_utf8(&text).unwrap())
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn start(config: ServerConfig) -> (Arc<GStoreD>, gstored_server::ServerHandle) {
+    let session = Arc::new(lubm_session());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = SparqlServer::new(Arc::clone(&session), config)
+        .start(listener)
+        .unwrap();
+    (session, handle)
+}
+
+fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Every format, both verbs: the HTTP body must be byte-identical to
+/// serializing the embedded session's result set directly.
+#[test]
+fn all_formats_row_equal_to_embedded() {
+    let (session, handle) = start(ServerConfig::default());
+    let query = &queries::lubm_queries()[0].text;
+    let results = session.query(query).unwrap();
+    assert!(!results.is_empty(), "fixture query must produce rows");
+    for format in ResultFormat::ALL {
+        let expected = serialize_results(format, &results);
+        let path = format!("/query?query={}", urlencode(query));
+        let via_get = client::get(handle.addr(), &path, Some(format.media_type())).unwrap();
+        assert_eq!(via_get.status, 200, "GET {format:?}");
+        assert_eq!(
+            via_get.header("content-type"),
+            Some(format.content_type()),
+            "GET {format:?}"
+        );
+        assert_eq!(via_get.body, expected, "GET body {format:?}");
+
+        let via_post = client::post(
+            handle.addr(),
+            "/query",
+            "application/sparql-query",
+            query.as_bytes(),
+            Some(format.media_type()),
+        )
+        .unwrap();
+        assert_eq!(via_post.status, 200, "POST {format:?}");
+        assert_eq!(via_post.body, expected, "POST body {format:?}");
+    }
+    // Form-encoded POST is the third spec-mandated way in.
+    let form = format!("query={}", urlencode(query));
+    let reply = client::post(
+        handle.addr(),
+        "/query",
+        "application/x-www-form-urlencoded",
+        form.as_bytes(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body, serialize_results(ResultFormat::Json, &results));
+    handle.shutdown();
+}
+
+#[test]
+fn typed_error_statuses_over_the_wire() {
+    let (_session, handle) = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let missing = client::get(addr, "/query", None).unwrap();
+    assert_eq!(missing.status, 400);
+    assert!(missing.body_str().contains("missing-query"));
+
+    let parse = client::get(addr, "/query?query=NOT%20SPARQL", None).unwrap();
+    assert_eq!(parse.status, 400);
+    assert!(parse.body_str().contains("\"error\":\"parse\""));
+
+    assert_eq!(client::get(addr, "/nowhere", None).unwrap().status, 404);
+
+    let method = client::request(addr, "DELETE", "/query", None, None).unwrap();
+    assert_eq!(method.status, 405);
+    assert_eq!(method.header("allow"), Some("GET, POST"));
+
+    let accept = client::get(
+        addr,
+        "/query?query=SELECT%20*%20WHERE%20%7B%20%3Fs%20%3Fp%20%3Fo%20%7D",
+        Some("image/png"),
+    )
+    .unwrap();
+    assert_eq!(accept.status, 406);
+
+    let media = client::post(addr, "/query", "text/yaml", b"query: no", None).unwrap();
+    assert_eq!(media.status, 415);
+
+    let status = client::get(addr, "/status", None).unwrap();
+    assert_eq!(status.status, 200);
+    let body = status.body_str();
+    assert!(body.contains("\"fleet\":["));
+    assert!(body.contains("\"client_errors\":"));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let mut config = ServerConfig::default();
+    config.limits.max_body_bytes = 64;
+    let (_session, handle) = start(config);
+    let big = "SELECT * WHERE { ?s ?p ?o }".repeat(8);
+    let reply = client::post(
+        handle.addr(),
+        "/query",
+        "application/sparql-query",
+        big.as_bytes(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 413);
+    handle.shutdown();
+}
+
+/// With a single worker and a one-deep queue, a third concurrent
+/// connection must be refused immediately with `429` + `Retry-After` —
+/// overload turns into fast rejection, not unbounded queueing.
+#[test]
+fn overload_yields_fast_429() {
+    let (_session, handle) = start(ServerConfig {
+        max_concurrent: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    // Two idle connections: one occupies the single worker (blocked
+    // reading a request that never comes), one fills the queue.
+    let hold_worker = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let hold_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let reply = client::get(addr, "/status", None).unwrap();
+    assert_eq!(reply.status, 429, "pool + queue full must reject");
+    assert_eq!(reply.header("retry-after"), Some("1"));
+    assert!(reply.body_str().contains("overloaded"));
+
+    // Freeing the pool restores service.
+    drop(hold_worker);
+    drop(hold_queue);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(client::get(addr, "/status", None).unwrap().status, 200);
+    let counters = handle.counters();
+    assert!(counters.rejected >= 1, "429 must be counted");
+    handle.shutdown();
+}
+
+/// Shutdown must serve the request already on the wire before the
+/// workers exit, and refuse service afterwards.
+#[test]
+fn graceful_shutdown_drains_in_flight() {
+    let (_session, handle) = start(ServerConfig {
+        max_concurrent: 2,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    // Park a request mid-head so a worker is holding it when shutdown
+    // starts, then complete it from another thread.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /status HTTP/1.1\r\nHost: test\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let finisher = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        stream.write_all(b"\r\n").unwrap();
+        client::read_reply(&mut std::io::BufReader::new(stream)).unwrap()
+    });
+    handle.shutdown(); // must block until the in-flight response is out
+    let reply = finisher.join().unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("close"));
+    assert!(client::get(addr, "/status", None).is_err());
+}
+
+/// Two requests over one kept-alive connection get two responses.
+#[test]
+fn keep_alive_serves_sequential_requests() {
+    let (_session, handle) = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /status HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+    }
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..2 {
+        let reply = client::read_reply(&mut reader).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_ne!(reply.header("connection"), Some("close"));
+    }
+    // Close our end before shutdown, or the drain waits out the idle
+    // keep-alive worker's read timeout.
+    drop(reader);
+    drop(stream);
+    handle.shutdown();
+}

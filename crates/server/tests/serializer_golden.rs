@@ -1,0 +1,221 @@
+//! Golden-file tests for the four SPARQL result serializers, plus
+//! property tests that the lossless formats' escaping round-trips.
+//!
+//! The committed documents under `tests/golden/` pin the exact bytes the
+//! server emits for a fixture covering every term kind, unbound
+//! variables, characters each format must escape (quotes, commas, tabs,
+//! newlines, XML markup) and non-ASCII text. A serializer change that
+//! alters any byte shows up as a golden diff, reviewable in the PR.
+
+use gstored::rdf::{Literal, Term};
+use gstored_server::serializer::{
+    csv_field, csv_term, parse_tsv_term, split_csv_row, split_tsv_row, tsv_term,
+};
+use gstored_server::{serialize_rows, ResultFormat};
+use proptest::prelude::*;
+
+/// A fixture that exercises every serializer branch: each term kind,
+/// an unbound variable, quoting/escaping hazards and unicode.
+fn fixture() -> (Vec<String>, Vec<Vec<Option<Term>>>) {
+    let variables = ["s", "name", "age", "note"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows = vec![
+        vec![
+            Some(Term::iri("http://example.org/alice")),
+            Some(Term::lang_lit("Ali\u{e9}nor \"the 1st\"", "fr")),
+            Some(Term::Literal(Literal::typed(
+                "42",
+                "http://www.w3.org/2001/XMLSchema#integer",
+            ))),
+            Some(Term::lit("line one\nline two\ttabbed")),
+        ],
+        vec![
+            Some(Term::blank("b0")),
+            Some(Term::lit("comma, separated & <tagged>")),
+            None,
+            Some(Term::lit("")),
+        ],
+        vec![
+            Some(Term::iri("http://example.org/caf\u{e9}")),
+            None,
+            None,
+            None,
+        ],
+    ];
+    (variables, rows)
+}
+
+fn serialize_fixture(format: ResultFormat) -> String {
+    let (variables, rows) = fixture();
+    let borrowed = rows
+        .iter()
+        .map(|row| row.iter().map(|t| t.as_ref()).collect::<Vec<_>>());
+    String::from_utf8(serialize_rows(format, &variables, borrowed)).unwrap()
+}
+
+/// Compare against (or, with `UPDATE_GOLDEN=1`, rewrite) a committed
+/// golden document.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    assert_eq!(actual, expected, "{name} drifted from its golden file");
+}
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+#[test]
+fn json_matches_golden() {
+    check_golden("results.srj", &serialize_fixture(ResultFormat::Json));
+}
+
+#[test]
+fn xml_matches_golden() {
+    check_golden("results.srx", &serialize_fixture(ResultFormat::Xml));
+}
+
+#[test]
+fn tsv_matches_golden() {
+    check_golden("results.tsv", &serialize_fixture(ResultFormat::Tsv));
+}
+
+#[test]
+fn csv_matches_golden() {
+    check_golden("results.csv", &serialize_fixture(ResultFormat::Csv));
+}
+
+#[test]
+fn tsv_golden_parses_back_to_the_fixture() {
+    let (variables, rows) = fixture();
+    let text = golden("results.tsv");
+    let mut lines = text.lines();
+    let head: Vec<String> = split_tsv_row(lines.next().unwrap())
+        .iter()
+        .map(|f| f.trim_start_matches('?').to_string())
+        .collect();
+    assert_eq!(head, variables);
+    for (line, row) in lines.zip(&rows) {
+        let parsed: Vec<Option<Term>> = split_tsv_row(line)
+            .iter()
+            .map(|f| parse_tsv_term(f))
+            .collect();
+        assert_eq!(&parsed, row);
+    }
+}
+
+/// The character palette the property tests draw term content from:
+/// everything the escapers have to defend against, plus unicode. The
+/// vendored proptest shim only generates ASCII classes, so strings are
+/// built from index vectors into this palette instead.
+const PALETTE: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\'',
+    ',',
+    '\t',
+    '\n',
+    '\r',
+    '\\',
+    '<',
+    '>',
+    '&',
+    '@',
+    '^',
+    '.',
+    ':',
+    '\u{e9}',
+    '\u{4e16}',
+    '\u{1f600}',
+];
+
+fn palette_string(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tsv_plain_literal_roundtrips(indices in prop::collection::vec(0usize..21, 0..24)) {
+        let term = Term::lit(palette_string(&indices));
+        let field = tsv_term(&term);
+        // TSV fields must never contain an unescaped tab or line break,
+        // or the row/field structure breaks.
+        prop_assert!(!field.contains(['\t', '\n', '\r']));
+        prop_assert_eq!(parse_tsv_term(&field), Some(term));
+    }
+
+    #[test]
+    fn tsv_lang_literal_roundtrips(
+        indices in prop::collection::vec(0usize..21, 0..16),
+        tag in "[a-z]{2,8}",
+    ) {
+        let term = Term::lang_lit(palette_string(&indices), &tag);
+        prop_assert_eq!(parse_tsv_term(&tsv_term(&term)), Some(term));
+    }
+
+    #[test]
+    fn tsv_typed_literal_roundtrips(
+        indices in prop::collection::vec(0usize..21, 0..16),
+        dt in "[a-z]{1,12}",
+    ) {
+        let term = Term::Literal(Literal::typed(
+            palette_string(&indices),
+            format!("http://www.w3.org/2001/XMLSchema#{dt}"),
+        ));
+        prop_assert_eq!(parse_tsv_term(&tsv_term(&term)), Some(term));
+    }
+
+    #[test]
+    fn tsv_rows_split_cleanly(
+        a in prop::collection::vec(0usize..21, 0..12),
+        b in prop::collection::vec(0usize..21, 0..12),
+    ) {
+        let left = Term::lit(palette_string(&a));
+        let right = Term::lit(palette_string(&b));
+        let row = format!("{}\t{}", tsv_term(&left), tsv_term(&right));
+        let fields = split_tsv_row(&row);
+        prop_assert_eq!(fields.len(), 2);
+        prop_assert_eq!(parse_tsv_term(fields[0]), Some(left));
+        prop_assert_eq!(parse_tsv_term(fields[1]), Some(right));
+    }
+
+    #[test]
+    fn csv_fields_roundtrip_through_a_record(
+        a in prop::collection::vec(0usize..21, 0..16),
+        b in prop::collection::vec(0usize..21, 0..16),
+        c in prop::collection::vec(0usize..21, 0..16),
+    ) {
+        // CSV is lossy on term *kind* but must preserve field *content*
+        // exactly, including embedded commas, quotes and line breaks.
+        let values = [palette_string(&a), palette_string(&b), palette_string(&c)];
+        let record: Vec<String> = values.iter().map(|v| csv_field(v)).collect();
+        let record = record.join(",");
+        let split = split_csv_row(&record).expect("balanced quoting");
+        prop_assert_eq!(split, values.to_vec());
+    }
+
+    #[test]
+    fn csv_term_preserves_the_lexical_form(
+        indices in prop::collection::vec(0usize..21, 0..24),
+    ) {
+        let lexical = palette_string(&indices);
+        let field = csv_term(&Term::lit(lexical.clone()));
+        let split = split_csv_row(&field).expect("balanced quoting");
+        prop_assert_eq!(split, vec![lexical]);
+    }
+}

@@ -11,6 +11,17 @@
 //! dropped and the worker keeps serving the others — it is a persistent
 //! process, stopped by a `Shutdown` request or by killing it.
 //!
+//! # Shutdown semantics
+//!
+//! Unlike `gstored-server`, this binary installs no signal handlers on
+//! purpose. Graceful stop is a *protocol-level* concern here: the
+//! coordinator that owns a fleet sends each worker a `Shutdown` frame
+//! when its session drops, and that is the orderly path. Killing a
+//! worker with a signal is also safe — all of its per-query state is
+//! rebuilt by the coordinator on reconnect (fragments are re-installed,
+//! in-flight queries fail with a typed transport error and only those
+//! queries are lost), so there is nothing for a SIGINT hook to flush.
+//!
 //! Start one worker per fragment, then point the engine at them:
 //!
 //! ```text

@@ -187,6 +187,13 @@ impl GStoreDBuilder {
         self
     }
 
+    /// Boxed form of [`GStoreDBuilder::partitioner`], for strategies
+    /// picked at runtime (e.g. the `gstored-server --partitioner` flag).
+    pub fn partitioner_boxed(mut self, partitioner: Box<dyn Partitioner>) -> Self {
+        self.partitioner = Some(partitioner);
+        self
+    }
+
     /// Fixed vertex→fragment assignment, overriding the partitioner
     /// (used for explicit layouts such as the paper's Fig. 1).
     pub fn assignment(mut self, assignment: PartitionAssignment) -> Self {

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Check that every relative Markdown link in the repo's docs resolves.
 
-Scans README.md, ARCHITECTURE.md and everything under docs/ for inline
+Scans README.md, ARCHITECTURE.md, crates/server/README.md and
+everything under docs/ for inline
 Markdown links (``[text](target)``), skips absolute URLs and pure
 anchors, and verifies each relative target exists on disk (anchors are
 checked against the target file's headings). Exits non-zero listing
@@ -57,7 +58,7 @@ def check_file(path: str) -> list:
 
 
 def main() -> int:
-    files = ["README.md", "ARCHITECTURE.md"]
+    files = ["README.md", "ARCHITECTURE.md", "crates/server/README.md"]
     for root, _, names in os.walk("docs"):
         files.extend(os.path.join(root, n) for n in names if n.endswith(".md"))
     missing = [f for f in files if not os.path.exists(f)]
