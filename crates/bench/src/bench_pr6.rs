@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gstored::prelude::*;
-use gstored_server::{client, serialize_results, ResultFormat, ServerConfig, SparqlServer};
+use gstored_server::{client, serialize_rows, ResultFormat, ServerConfig, SparqlServer};
 
 use crate::bench_pr3::num;
 use crate::datasets::{self, Dataset};
@@ -111,7 +111,13 @@ impl BenchPr6Config {
             overload_clients: 10,
             overload_pool: 4,
             overload_queue: 1,
-            overload_p50_budget: OVERLOAD_P50_BUDGET,
+            // Smoke-scale queries finish in ~15 ms, so the few
+            // milliseconds an admitted request now holds its engine slot
+            // while its streamed response drains (plus scheduler jitter)
+            // are a much larger *fraction* of p50 than at the committed
+            // run's ~125 ms scale, where the 1.5 budget holds with
+            // headroom (measured 1.08–1.14).
+            overload_p50_budget: 2.0,
         }
     }
 }
@@ -156,7 +162,11 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 }
 
 /// The fixed per-query request bodies and expected response bytes: every
-/// HTTP response must match serializing the embedded session's rows.
+/// HTTP response must match serializing the embedded session's stream
+/// (`/query` responses stream in assembly order, which is deterministic
+/// for a fixed graph and partitioning), and that stream's row set is
+/// checked here against `execute()`'s rows so byte-equality still pins
+/// the responses to the materialized results.
 struct Expectations {
     queries: Vec<String>,
     bodies: Vec<Vec<u8>>,
@@ -166,11 +176,38 @@ fn expectations(db: &GStoreD, dataset: &Dataset) -> Expectations {
     let mut queries = Vec::new();
     let mut bodies = Vec::new();
     for q in &dataset.queries {
-        let results = db
-            .query(&q.text)
+        let prepared = db
+            .prepare(&q.text)
             .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let results = prepared
+            .execute()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let stream_rows: Vec<Vec<Option<&Term>>> = prepared
+            .stream()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+            .map(|sol| {
+                let sol = sol.unwrap_or_else(|e| panic!("{}: {e}", q.id));
+                sol.iter().map(|(_, term)| Some(term)).collect()
+            })
+            .collect();
+        let mut sorted: Vec<Vec<Option<&Term>>> = stream_rows.clone();
+        sorted.sort_by_key(|r| format!("{r:?}"));
+        let mut executed: Vec<Vec<Option<&Term>>> = results
+            .iter()
+            .map(|sol| sol.iter().map(|(_, term)| Some(term)).collect())
+            .collect();
+        executed.sort_by_key(|r| format!("{r:?}"));
+        assert_eq!(
+            sorted, executed,
+            "{}: stream and execute row sets must match",
+            q.id
+        );
         queries.push(q.text.clone());
-        bodies.push(serialize_results(ResultFormat::Json, &results));
+        bodies.push(serialize_rows(
+            ResultFormat::Json,
+            results.variables(),
+            stream_rows.iter().cloned(),
+        ));
     }
     Expectations { queries, bodies }
 }

@@ -7,6 +7,7 @@
 //! experiments bench-pr4 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr5 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr6 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr7 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
@@ -19,7 +20,7 @@
 //! configuration.
 
 use gstored_bench::{
-    bench_pr3, bench_pr4, bench_pr5, bench_pr6, datasets, experiments, format::Table,
+    bench_pr3, bench_pr4, bench_pr5, bench_pr6, bench_pr7, datasets, experiments, format::Table,
 };
 
 struct Args {
@@ -170,6 +171,29 @@ fn run_bench_pr6(args: &Args) {
     eprintln!("# bench-pr6: wrote {} bytes, schema OK", json.len());
 }
 
+fn run_bench_pr7(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr7::BenchPr7Config::smoke()
+    } else {
+        bench_pr7::BenchPr7Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR7.json");
+    eprintln!("# bench-pr7: {config:?} -> {path}");
+    let json = bench_pr7::run(&config);
+    if let Err(e) = bench_pr7::validate(&json) {
+        eprintln!("bench-pr7: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr7: wrote {} bytes, schema OK", json.len());
+}
+
 fn main() {
     let args = parse_args();
     for (name, runner) in [
@@ -177,6 +201,7 @@ fn main() {
         ("bench-pr4", run_bench_pr4 as fn(&Args)),
         ("bench-pr5", run_bench_pr5 as fn(&Args)),
         ("bench-pr6", run_bench_pr6 as fn(&Args)),
+        ("bench-pr7", run_bench_pr7 as fn(&Args)),
     ] {
         if args.what.iter().any(|w| w == name) {
             if args.what.len() > 1 {
@@ -193,7 +218,7 @@ fn main() {
         }
     }
     if args.smoke || args.out.is_some() {
-        eprintln!("warning: --smoke/--out only apply to bench-pr3/bench-pr4/bench-pr5/bench-pr6; ignoring");
+        eprintln!("warning: --smoke/--out only apply to the bench-prN subcommands; ignoring");
     }
     let scale = args.scale.unwrap_or(datasets::DEFAULT_SCALE);
     let sites = args.sites.unwrap_or(datasets::DEFAULT_SITES);

@@ -23,12 +23,17 @@
 //! emits the concurrent multi-query throughput sweep (`BENCH_PR5.json`:
 //! closed-loop QPS and p50/p95 latency at 1/2/4/8 concurrent clients
 //! over one shared session, with result-equality and no-leak
-//! invariants).
+//! invariants). [`bench_pr7`] emits the streaming result-pipeline leg
+//! (`BENCH_PR7.json`: time-to-first-row for `stream()` vs `execute()`'s
+//! full materialization, the `LIMIT` short-circuit's wall-time fraction,
+//! and the coordinator's peak buffered join states, with sorted-row
+//! equality in every cell).
 
 pub mod bench_pr3;
 pub mod bench_pr4;
 pub mod bench_pr5;
 pub mod bench_pr6;
+pub mod bench_pr7;
 pub mod datasets;
 pub mod experiments;
 pub mod format;

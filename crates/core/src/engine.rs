@@ -37,7 +37,7 @@
 //! that concurrent entry point; the `GStoreD` session drives it through
 //! its `QueryExecutor` admission gate (see `docs/concurrency.md`).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use fxhash::FxHashSet;
@@ -47,7 +47,7 @@ use gstored_rdf::{Term, VertexId};
 use gstored_sparql::QueryGraph;
 use gstored_store::{EncodedQuery, LocalPartialMatch};
 
-use crate::assembly::{assemble_basic, assemble_lec};
+use crate::assembly::{assemble_basic, assemble_lec, IncrementalJoin};
 use crate::candidates::exchange_candidates;
 use crate::error::EngineError;
 use crate::prepared::PreparedPlan;
@@ -419,6 +419,108 @@ impl Engine {
         }
     }
 
+    /// Start a **streaming** evaluation of a prepared plan as one of many
+    /// concurrent queries on a shared fleet.
+    ///
+    /// Runs the pipeline's front half eagerly — stages 0–3 for general
+    /// queries (so pruning has spoken and every site holds its surviving
+    /// LPMs), or just `InstallQuery` for the star fast path — and returns
+    /// a [`StreamState`] that pulls the rest on demand: survivors arrive
+    /// in bounded [`Request::ShipSurvivorsChunk`] batches (at most
+    /// `chunk` LPMs per reply, clamped to ≥ 1; pass `usize::MAX` for
+    /// unbounded) and join incrementally at the coordinator, so complete
+    /// bindings surface as soon as their last LPM lands rather than
+    /// after a full-fleet gather.
+    ///
+    /// The caller owns id allocation and admission exactly as for
+    /// [`Engine::execute_routed`], plus the streaming obligations spelled
+    /// out on [`StreamState`]: keep pumping
+    /// [`StreamState::next_binding`] to exhaustion, or call
+    /// [`StreamState::cancel`] — otherwise the sites' per-query state
+    /// leaks until fleet teardown. If *this method* errors, the sites
+    /// have already been released.
+    pub fn start_stream(
+        &self,
+        transport: &dyn Transport,
+        router: &ReplyRouter,
+        dist: &DistributedGraph,
+        plan: &PreparedPlan,
+        query: QueryId,
+        chunk: usize,
+    ) -> Result<StreamState, EngineError> {
+        if plan.dict_uid() != dist.dict().uid() {
+            return Err(EngineError::PlanGraphMismatch {
+                plan_dict: plan.dict_uid(),
+                graph_dict: dist.dict().uid(),
+            });
+        }
+        if transport.sites() != dist.fragment_count() {
+            return Err(EngineError::Transport(format!(
+                "transport has {} sites but the graph has {} fragments",
+                transport.sites(),
+                dist.fragment_count()
+            )));
+        }
+        let q = plan.encoded();
+        let sites = transport.sites();
+        let chunk = chunk.max(1);
+        let mut state = StreamState {
+            query,
+            network: self.config.network,
+            paced: self.config.pace_network,
+            chunk,
+            vertex_count: q.vertex_count(),
+            edge_count: q.edge_count(),
+            mode: StreamMode::General,
+            site_done: vec![false; sites],
+            site_seq: vec![0; sites],
+            next_site: 0,
+            pending: VecDeque::new(),
+            joiner: None,
+            metrics: QueryMetrics::default(),
+            peak_resident: 0,
+            finished: false,
+            released: false,
+        };
+
+        if q.has_unsatisfiable() {
+            // Nothing was installed anywhere; the stream is born drained.
+            state.finished = true;
+            state.released = true;
+            return Ok(state);
+        }
+
+        let pool = WorkerPool::new(transport, router, self.config.network, query)
+            .with_pacing(self.config.pace_network);
+        let shape = plan.shape();
+        let star = self.config.star_fast_path && shape.is_star();
+        let setup = (|| -> Result<(), EngineError> {
+            if star {
+                let center = shape.star_center.expect("stars have centers");
+                expect_acks(pool.broadcast_frame(
+                    protocol::encode_install_query(query, q),
+                    &mut state.metrics.partial_evaluation,
+                )?)?;
+                state.mode = StreamMode::Star { center };
+            } else {
+                let complete = self.prepare_survivors(&pool, plan, &mut state.metrics)?;
+                state.pending.extend(complete);
+                state.joiner = Some(IncrementalJoin::new(q.vertex_count(), q.edge_count()));
+            }
+            Ok(())
+        })();
+        match setup {
+            Ok(()) => Ok(state),
+            Err(e) => {
+                // Mirror `execute_routed`: a failed setup releases the
+                // sites before surfacing (uncharged — no metrics consumer).
+                let mut scratch = gstored_net::StageMetrics::default();
+                pool.release_quietly(&mut scratch);
+                Err(e)
+            }
+        }
+    }
+
     /// The message-driven pipeline body: every stage of Fig. 4, all
     /// frames stamped with the pool's query id, ending with the
     /// `ReleaseQuery` broadcast that drops the sites' per-query state.
@@ -460,6 +562,26 @@ impl Engine {
             )?)?;
             return Ok(all);
         }
+
+        let complete = self.prepare_survivors(pool, plan, metrics)?;
+
+        // --- Stage 4: assembly at the coordinator ---
+        self.assemble_gathered(pool, plan, complete, metrics)
+    }
+
+    /// Stages 0–3 of the general pipeline: query distribution, candidate
+    /// exchange (Full), partial evaluation, and LEC pruning (LO/Full).
+    /// Returns the local complete matches; afterwards every site holds
+    /// its surviving LPMs ready to ship (in one gather for the batch
+    /// path, in bounded chunks for the streaming path).
+    fn prepare_survivors(
+        &self,
+        pool: &WorkerPool<'_>,
+        plan: &PreparedPlan,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let q = plan.encoded();
+        let query = pool.query();
 
         // --- Stage 0: distribute the query to every site ---
         {
@@ -558,7 +680,22 @@ impl Engine {
             )?)?;
         }
 
-        // --- Stage 4: assembly at the coordinator ---
+        Ok(complete)
+    }
+
+    /// Stage 4 of the batch path: gather every site's survivors in one
+    /// `ShipSurvivors` exchange, release the sites, and join at the
+    /// coordinator.
+    fn assemble_gathered(
+        &self,
+        pool: &WorkerPool<'_>,
+        plan: &PreparedPlan,
+        mut complete: Vec<Vec<VertexId>>,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let q = plan.encoded();
+        let query = pool.query();
+        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
         let bodies = pool.broadcast(&Request::ShipSurvivors { query }, &mut metrics.assembly)?;
         let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
         for body in bodies {
@@ -613,6 +750,258 @@ impl Engine {
             bindings,
             metrics,
         }
+    }
+}
+
+/// Which half of the pipeline a [`StreamState`] is pulling from.
+#[derive(Debug, Clone, Copy)]
+enum StreamMode {
+    /// Section VIII-B stars: one lazy `StarMatches` pull per site.
+    Star {
+        /// The star's center vertex (query-vertex index).
+        center: usize,
+    },
+    /// General queries: bounded `ShipSurvivorsChunk` pulls, round-robin
+    /// across sites, pushed through an [`IncrementalJoin`].
+    General,
+}
+
+/// The coordinator side of an in-flight streaming query: the pull-based
+/// tail of the pipeline started by [`Engine::start_stream`].
+///
+/// Holds no transport borrow — every pump call takes the fleet's
+/// transport and router as arguments, so the state can live inside an
+/// iterator that also owns (a handle to) the fleet. The obligations:
+///
+/// - Pump [`StreamState::next_binding`] until it returns `Ok(None)`
+///   (the stream then has sent `ReleaseQuery` itself), **or** call
+///   [`StreamState::cancel`] to stop early — otherwise every site keeps
+///   the query's state table entry until fleet teardown.
+/// - After an `Err`, the state has already cancelled the fleet and is
+///   fused: further pumps return `Ok(None)`.
+///
+/// Shipment charging: star pulls are charged to `partial_evaluation`
+/// (they *are* the evaluation), survivor chunks and the closing
+/// `ReleaseQuery`/`CancelQuery` frames to `assembly`, matching the batch
+/// path's stage accounting.
+#[derive(Debug)]
+pub struct StreamState {
+    query: QueryId,
+    network: NetworkModel,
+    paced: bool,
+    /// Maximum LPMs per `SurvivorsChunk` reply (≥ 1).
+    chunk: usize,
+    vertex_count: usize,
+    edge_count: usize,
+    mode: StreamMode,
+    /// Per-site: has the site reported its last chunk / star reply?
+    site_done: Vec<bool>,
+    /// Per-site next expected `ShipSurvivorsChunk` sequence number.
+    site_seq: Vec<u64>,
+    /// Round-robin cursor over undone sites.
+    next_site: usize,
+    /// Bindings produced but not yet pulled by the caller.
+    pending: VecDeque<Vec<VertexId>>,
+    joiner: Option<IncrementalJoin>,
+    metrics: QueryMetrics,
+    peak_resident: usize,
+    finished: bool,
+    released: bool,
+}
+
+impl StreamState {
+    /// Pull the next complete binding (over **all** query vertices, not
+    /// yet projected), fetching more survivor chunks from the fleet as
+    /// needed. `Ok(None)` means the stream is exhausted and the sites
+    /// have been released. On `Err` the fleet has been cancelled and the
+    /// stream is fused.
+    pub fn next_binding(
+        &mut self,
+        transport: &dyn Transport,
+        router: &ReplyRouter,
+    ) -> Result<Option<Vec<VertexId>>, EngineError> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            if let Err(e) = self.advance(transport, router) {
+                self.abort(transport, router);
+                return Err(e);
+            }
+        }
+    }
+
+    /// One round of progress: pull one star site or one survivor chunk,
+    /// or — once every site is drained — release the fleet.
+    fn advance(
+        &mut self,
+        transport: &dyn Transport,
+        router: &ReplyRouter,
+    ) -> Result<(), EngineError> {
+        let pool =
+            WorkerPool::new(transport, router, self.network, self.query).with_pacing(self.paced);
+        match self.mode {
+            StreamMode::Star { center } => {
+                let Some(site) = self.site_done.iter().position(|done| !done) else {
+                    expect_acks(pool.broadcast(
+                        &Request::ReleaseQuery { query: self.query },
+                        &mut self.metrics.partial_evaluation,
+                    )?)?;
+                    self.released = true;
+                    self.finished = true;
+                    return Ok(());
+                };
+                pool.send_to(
+                    site,
+                    &Request::StarMatches {
+                        query: self.query,
+                        center,
+                    },
+                    &mut self.metrics.partial_evaluation,
+                )?;
+                let body = pool.recv_from(site, &mut self.metrics.partial_evaluation)?;
+                let ResponseBody::Bindings(ms) = body else {
+                    return Err(unexpected("Bindings", "StarMatches", &body));
+                };
+                for row in &ms {
+                    self.check_row(row)?;
+                }
+                self.metrics.local_matches += ms.len() as u64;
+                self.site_done[site] = true;
+                self.pending.extend(ms);
+            }
+            StreamMode::General => {
+                let sites = self.site_done.len();
+                let Some(site) = (0..sites)
+                    .map(|i| (self.next_site + i) % sites)
+                    .find(|&s| !self.site_done[s])
+                else {
+                    expect_acks(pool.broadcast(
+                        &Request::ReleaseQuery { query: self.query },
+                        &mut self.metrics.assembly,
+                    )?)?;
+                    self.released = true;
+                    self.finished = true;
+                    if let Some(joiner) = &self.joiner {
+                        self.metrics.crossing_matches = joiner.found_count() as u64;
+                    }
+                    return Ok(());
+                };
+                pool.send_to(
+                    site,
+                    &Request::ShipSurvivorsChunk {
+                        query: self.query,
+                        seq: self.site_seq[site],
+                        max: self.chunk,
+                    },
+                    &mut self.metrics.assembly,
+                )?;
+                let body = pool.recv_from(site, &mut self.metrics.assembly)?;
+                let ResponseBody::SurvivorsChunk { lpms, seq, last } = body else {
+                    return Err(unexpected("SurvivorsChunk", "ShipSurvivorsChunk", &body));
+                };
+                if seq != self.site_seq[site] {
+                    return Err(EngineError::Protocol(format!(
+                        "site {site} answered survivor chunk seq {seq}, expected {}",
+                        self.site_seq[site]
+                    )));
+                }
+                self.site_seq[site] += 1;
+                if last {
+                    self.site_done[site] = true;
+                }
+                self.next_site = (site + 1) % sites;
+                self.metrics.surviving_partial_matches += lpms.len() as u64;
+                for lpm in &lpms {
+                    self.check_lpm(lpm)?;
+                }
+                let joiner = self.joiner.as_mut().expect("general streams have a joiner");
+                for lpm in &lpms {
+                    let emitted = self.metrics.assembly.time(|| joiner.push(lpm));
+                    self.pending.extend(emitted);
+                }
+                self.peak_resident = self.peak_resident.max(joiner.resident_states());
+            }
+        }
+        Ok(())
+    }
+
+    /// Stop the stream early: broadcast `CancelQuery` (idempotent; errors
+    /// swallowed — the fleet may already be gone) unless the sites were
+    /// already released, then fuse the stream. Safe to call repeatedly.
+    pub fn cancel(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
+        if !self.released {
+            let pool = WorkerPool::new(transport, router, self.network, self.query)
+                .with_pacing(self.paced);
+            pool.cancel_quietly(&mut self.metrics.assembly);
+            self.released = true;
+        }
+        self.finished = true;
+        self.pending.clear();
+    }
+
+    /// Post-error cleanup: cancel the fleet (uncharged) and fuse.
+    fn abort(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
+        if !self.released {
+            let pool = WorkerPool::new(transport, router, self.network, self.query)
+                .with_pacing(self.paced);
+            let mut scratch = gstored_net::StageMetrics::default();
+            pool.cancel_quietly(&mut scratch);
+            self.released = true;
+        }
+        self.finished = true;
+        self.pending.clear();
+    }
+
+    /// True once the stream is drained, cancelled, or errored — the
+    /// sites hold no state for this query anymore.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The stage metrics accumulated so far (complete once
+    /// [`StreamState::next_binding`] has returned `Ok(None)`).
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.metrics
+    }
+
+    /// High-water mark of partial join states resident at the
+    /// coordinator — the bounded-memory claim, measurable.
+    pub fn peak_resident_states(&self) -> usize {
+        self.peak_resident
+    }
+
+    fn check_row(&self, row: &[VertexId]) -> Result<(), EngineError> {
+        if row.len() != self.vertex_count {
+            return Err(EngineError::Protocol(format!(
+                "binding row has {} entries for a {}-vertex query",
+                row.len(),
+                self.vertex_count
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_lpm(&self, lpm: &LocalPartialMatch) -> Result<(), EngineError> {
+        if lpm.binding.len() != self.vertex_count {
+            return Err(EngineError::Protocol(format!(
+                "LPM binds {} vertices of a {}-vertex query",
+                lpm.binding.len(),
+                self.vertex_count
+            )));
+        }
+        for &(_, qe) in &lpm.crossing {
+            if qe >= self.edge_count {
+                return Err(EngineError::Protocol(format!(
+                    "LPM crossing entry maps query edge {qe} of {}",
+                    self.edge_count
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -675,6 +1064,7 @@ fn unexpected(wanted: &str, request: &str, got: &ResponseBody) -> EngineError {
         ResponseBody::PartialEval { .. } => "PartialEval",
         ResponseBody::Features(_) => "Features",
         ResponseBody::Survivors(_) => "Survivors",
+        ResponseBody::SurvivorsChunk { .. } => "SurvivorsChunk",
         ResponseBody::Status(_) => "Status",
         ResponseBody::UnknownQuery(_) => "UnknownQuery",
         ResponseBody::Error(_) => "Error",
@@ -1070,6 +1460,137 @@ mod tests {
         });
         let err = engine.try_run(&dist, &query);
         assert!(matches!(err, Err(EngineError::Transport(_))));
+    }
+
+    /// Drain a stream to completion, returning sorted bindings.
+    fn drain_stream(
+        engine: &Engine,
+        dist: &DistributedGraph,
+        plan: &PreparedPlan,
+        chunk: usize,
+    ) -> Vec<Vec<VertexId>> {
+        with_in_process_workers(dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let mut stream = engine
+                .start_stream(transport, &router, dist, plan, one_shot_query_id(), chunk)
+                .unwrap();
+            let mut rows = Vec::new();
+            while let Some(b) = stream.next_binding(transport, &router).unwrap() {
+                rows.push(b);
+            }
+            assert!(stream.is_finished());
+            rows.sort_unstable();
+            rows
+        })
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_variant_and_chunk_size() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let plan = PreparedPlan::new(query, dist.dict()).unwrap();
+        for variant in Variant::ALL {
+            let engine = Engine::with_variant(variant);
+            let batch = {
+                let mut b = engine.execute(&dist, &plan).unwrap().bindings;
+                b.sort_unstable();
+                b
+            };
+            assert!(!batch.is_empty());
+            for chunk in [1usize, 2, 7, usize::MAX] {
+                let streamed = drain_stream(&engine, &dist, &plan, chunk);
+                assert_eq!(streamed, batch, "variant {} chunk {chunk}", variant.label());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_star_fast_path_matches_batch() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query(
+                "SELECT * WHERE { ?x <http://o/mainInterest> ?a . ?x <http://o/name> ?b }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(3));
+        let plan = PreparedPlan::new(query, dist.dict()).unwrap();
+        let engine = Engine::with_variant(Variant::Full);
+        let batch = {
+            let mut b = engine.execute(&dist, &plan).unwrap().bindings;
+            b.sort_unstable();
+            b
+        };
+        assert!(!batch.is_empty());
+        let streamed = drain_stream(&engine, &dist, &plan, 4);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_unsatisfiable_query_is_born_drained() {
+        let g = paper_graph();
+        let query = QueryGraph::from_query(
+            &parse_query("SELECT ?x WHERE { ?x <http://o/doesNotExist> ?y }").unwrap(),
+        )
+        .unwrap();
+        let dist = DistributedGraph::build(g, &HashPartitioner::new(2));
+        let plan = PreparedPlan::new(query, dist.dict()).unwrap();
+        let engine = Engine::with_variant(Variant::Full);
+        let rows = drain_stream(&engine, &dist, &plan, 8);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn cancelling_a_stream_midway_releases_every_site() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let plan = PreparedPlan::new(query, dist.dict()).unwrap();
+        let engine = Engine::with_variant(Variant::Full);
+        with_in_process_workers(&dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let mut stream = engine
+                .start_stream(transport, &router, &dist, &plan, one_shot_query_id(), 1)
+                .unwrap();
+            // Pull exactly one binding, then walk away.
+            let first = stream.next_binding(transport, &router).unwrap();
+            assert!(first.is_some());
+            stream.cancel(transport, &router);
+            assert!(stream.is_finished());
+            // Every site's state table is empty again.
+            let pool = WorkerPool::new(transport, &router, NetworkModel::default(), QueryId(0));
+            for status in pool.worker_status().unwrap() {
+                assert_eq!(status.resident_queries, 0);
+            }
+            // Cancelling again is a no-op, and the fused stream stays dry.
+            stream.cancel(transport, &router);
+            assert_eq!(stream.next_binding(transport, &router).unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn streaming_peak_resident_is_bounded_by_total_survivors() {
+        let g = paper_graph();
+        let query = paper_query();
+        let partitioner = paper_partitioner(&g);
+        let dist = DistributedGraph::build(g, &partitioner);
+        let plan = PreparedPlan::new(query, dist.dict()).unwrap();
+        let engine = Engine::with_variant(Variant::Full);
+        with_in_process_workers(&dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let mut stream = engine
+                .start_stream(transport, &router, &dist, &plan, one_shot_query_id(), 1)
+                .unwrap();
+            while stream.next_binding(transport, &router).unwrap().is_some() {}
+            let m = stream.metrics();
+            assert!(m.surviving_partial_matches > 0);
+            assert!(stream.peak_resident_states() > 0);
+            assert_eq!(m.crossing_matches, stream.metrics().crossing_matches);
+        });
     }
 
     #[test]

@@ -544,6 +544,8 @@ const REQ_SHIP_SURVIVORS: u64 = 9;
 const REQ_SHUTDOWN: u64 = 10;
 const REQ_RELEASE_QUERY: u64 = 11;
 const REQ_WORKER_STATUS: u64 = 12;
+const REQ_SHIP_SURVIVORS_CHUNK: u64 = 13;
+const REQ_CANCEL_QUERY: u64 = 14;
 
 /// A coordinator → worker message: one step of the engine's four-stage
 /// pipeline (or of worker setup). Every variant maps to one frame on the
@@ -616,6 +618,28 @@ pub enum Request {
         /// The query being evaluated.
         query: QueryId,
     },
+    /// Streaming assembly: ship the next batch of at most `max` surviving
+    /// LPMs from the site's ship cursor; answer with `SurvivorsChunk`.
+    /// `seq` must equal the site's next expected chunk sequence number
+    /// (starting at 0) or the worker answers with a typed `Error` — a
+    /// reordered or replayed chunk request must never silently skip or
+    /// duplicate survivors.
+    ShipSurvivorsChunk {
+        /// The query being evaluated.
+        query: QueryId,
+        /// Expected chunk sequence number (0-based, echoed in the reply).
+        seq: u64,
+        /// Maximum number of LPMs in the reply (`usize::MAX` = all).
+        max: usize,
+    },
+    /// Abandon the query mid-stream: drop its state slot exactly like
+    /// `ReleaseQuery` (idempotent, always `Ack`), but named separately so
+    /// an aborted pipeline is distinguishable from a drained one on the
+    /// wire and in traces.
+    CancelQuery {
+        /// The query to cancel.
+        query: QueryId,
+    },
     /// Drop the query's state slot (LPMs, features, filter). Idempotent:
     /// releasing an unknown or already-evicted id is still an `Ack`, so
     /// the coordinator's end-of-pipeline release never fails.
@@ -649,6 +673,8 @@ impl Request {
             | Request::ComputeLecFeatures { query, .. }
             | Request::DropPruned { query, .. }
             | Request::ShipSurvivors { query }
+            | Request::ShipSurvivorsChunk { query, .. }
+            | Request::CancelQuery { query }
             | Request::ReleaseQuery { query }
             | Request::WorkerStatus { query } => *query,
         }
@@ -710,6 +736,19 @@ pub fn encode_request(req: &Request) -> Bytes {
         Request::ShipSurvivors { query } => {
             let mut w = WireWriter::new();
             w.u64(REQ_SHIP_SURVIVORS).u32_fixed(query.0);
+            w.finish()
+        }
+        Request::ShipSurvivorsChunk { query, seq, max } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_SHIP_SURVIVORS_CHUNK)
+                .u32_fixed(query.0)
+                .u64(*seq)
+                .usize(*max);
+            w.finish()
+        }
+        Request::CancelQuery { query } => {
+            let mut w = WireWriter::new();
+            w.u64(REQ_CANCEL_QUERY).u32_fixed(query.0);
             w.finish()
         }
         Request::ReleaseQuery { query } => {
@@ -797,6 +836,12 @@ pub fn decode_request(bytes: Bytes) -> Result<Request, WireError> {
             Request::DropPruned { query: qid, useful }
         }
         REQ_SHIP_SURVIVORS => Request::ShipSurvivors { query: qid },
+        REQ_SHIP_SURVIVORS_CHUNK => Request::ShipSurvivorsChunk {
+            query: qid,
+            seq: r.u64()?,
+            max: r.usize()?,
+        },
+        REQ_CANCEL_QUERY => Request::CancelQuery { query: qid },
         REQ_RELEASE_QUERY => Request::ReleaseQuery { query: qid },
         REQ_WORKER_STATUS => Request::WorkerStatus { query: qid },
         REQ_SHUTDOWN => Request::Shutdown,
@@ -817,6 +862,7 @@ const RESP_SURVIVORS: u64 = 6;
 const RESP_ERROR: u64 = 7;
 const RESP_STATUS: u64 = 8;
 const RESP_UNKNOWN_QUERY: u64 = 9;
+const RESP_SURVIVORS_CHUNK: u64 = 10;
 
 /// The payload of a worker → coordinator reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -839,6 +885,18 @@ pub enum ResponseBody {
     Features(Vec<LecFeature>),
     /// The LPMs that survived pruning (all LPMs when nothing was pruned).
     Survivors(Vec<LocalPartialMatch>),
+    /// One bounded batch of surviving LPMs from the site's ship cursor
+    /// ([`Request::ShipSurvivorsChunk`]). `seq` echoes the request;
+    /// `last` tells the coordinator the cursor is exhausted so it can
+    /// stop asking this site.
+    SurvivorsChunk {
+        /// The batch (at most the request's `max` LPMs, possibly empty).
+        lpms: Vec<LocalPartialMatch>,
+        /// Echo of the request's chunk sequence number.
+        seq: u64,
+        /// True when no survivors remain after this batch.
+        last: bool,
+    },
     /// The worker's state-table snapshot ([`Request::WorkerStatus`]).
     Status(WorkerStatus),
     /// The frame referenced a query id that is not resident on this
@@ -911,6 +969,10 @@ pub fn encode_response(resp: &Response) -> Bytes {
             w.u64(RESP_SURVIVORS);
             write_lpms(&mut w, lpms);
         }
+        ResponseBody::SurvivorsChunk { lpms, seq, last } => {
+            w.u64(RESP_SURVIVORS_CHUNK).u64(*seq).bool(*last);
+            write_lpms(&mut w, lpms);
+        }
         ResponseBody::Status(s) => {
             w.u64(RESP_STATUS)
                 .u64(s.resident_queries)
@@ -951,6 +1013,15 @@ pub fn decode_response(bytes: Bytes) -> Result<Response, WireError> {
         }
         RESP_FEATURES => ResponseBody::Features(read_features(&mut r)?),
         RESP_SURVIVORS => ResponseBody::Survivors(read_lpms(&mut r)?),
+        RESP_SURVIVORS_CHUNK => {
+            let seq = r.u64()?;
+            let last = r.bool()?;
+            ResponseBody::SurvivorsChunk {
+                lpms: read_lpms(&mut r)?,
+                seq,
+                last,
+            }
+        }
         RESP_STATUS => ResponseBody::Status(WorkerStatus {
             resident_queries: r.u64()?,
             resident_lpms: r.u64()?,
@@ -1131,6 +1202,17 @@ mod tests {
                 useful: vec![1, 5, 9],
             },
             Request::ShipSurvivors { query: q },
+            Request::ShipSurvivorsChunk {
+                query: q,
+                seq: 3,
+                max: 64,
+            },
+            Request::ShipSurvivorsChunk {
+                query: q,
+                seq: 0,
+                max: usize::MAX,
+            },
+            Request::CancelQuery { query: q },
             Request::ReleaseQuery { query: q },
             Request::WorkerStatus { query: q },
             Request::Shutdown,
@@ -1169,6 +1251,24 @@ mod tests {
                     query: QueryId(2_000_000),
                 },
             ),
+            (
+                Request::ShipSurvivorsChunk {
+                    query: QueryId(3),
+                    seq: 5,
+                    max: 64,
+                },
+                Request::ShipSurvivorsChunk {
+                    query: QueryId(3_000_000),
+                    seq: 5,
+                    max: 64,
+                },
+            ),
+            (
+                Request::CancelQuery { query: QueryId(4) },
+                Request::CancelQuery {
+                    query: QueryId(u32::MAX - 2),
+                },
+            ),
         ] {
             assert_eq!(encode_request(&a).len(), encode_request(&b).len());
         }
@@ -1202,6 +1302,24 @@ mod tests {
                 Duration::ZERO,
                 q,
                 ResponseBody::Survivors(vec![sample_lpm()]),
+            ),
+            Response::new(
+                Duration::from_micros(9),
+                q,
+                ResponseBody::SurvivorsChunk {
+                    lpms: vec![sample_lpm(), sample_lpm()],
+                    seq: 7,
+                    last: false,
+                },
+            ),
+            Response::new(
+                Duration::ZERO,
+                q,
+                ResponseBody::SurvivorsChunk {
+                    lpms: vec![],
+                    seq: 0,
+                    last: true,
+                },
             ),
             Response::new(
                 Duration::ZERO,
@@ -1321,6 +1439,15 @@ mod tests {
             .u32_fixed(0)
             .u64(RESP_SURVIVORS)
             .u64(u64::MAX >> 2);
+        assert!(decode_response(w.finish()).is_err());
+        // A survivors *chunk* reply with a colossal LPM count.
+        let mut w = WireWriter::new();
+        w.u64_fixed(0)
+            .u32_fixed(0)
+            .u64(RESP_SURVIVORS_CHUNK)
+            .u64(0)
+            .bool(false)
+            .u64(u64::MAX >> 3);
         assert!(decode_response(w.finish()).is_err());
         // And a persistent worker survives such a frame with an Error
         // reply instead of dying.

@@ -344,12 +344,53 @@ impl<'t> WorkerPool<'t> {
         self.gather(stage)
     }
 
+    /// Send one request to one site, charging the frame to `stage`. The
+    /// reply must later be collected with [`WorkerPool::recv_from`] (or a
+    /// gather) — the streaming pipeline uses this pair to pull survivor
+    /// chunks site by site instead of broadcasting to the whole fleet.
+    pub fn send_to(
+        &self,
+        site: usize,
+        req: &Request,
+        stage: &mut StageMetrics,
+    ) -> Result<(), EngineError> {
+        self.send_charged(site, protocol::encode_request(req), stage)
+    }
+
+    /// Receive this query's next reply from `site`, charging the frame to
+    /// `stage` and adding the worker's compute time to the stage wall.
+    /// Worker-side `Error` and `UnknownQuery` replies are mapped to the
+    /// same typed [`EngineError`]s a gather produces.
+    pub fn recv_from(
+        &self,
+        site: usize,
+        stage: &mut StageMetrics,
+    ) -> Result<ResponseBody, EngineError> {
+        let (len, response) = self.router.recv(self.transport, site, self.query)?;
+        self.charge(stage, len);
+        stage.wall += Duration::from_nanos(response.elapsed_nanos);
+        match response.body {
+            ResponseBody::Error(msg) => Err(EngineError::Worker(format!("site {site}: {msg}"))),
+            ResponseBody::UnknownQuery(q) => Err(EngineError::UnknownQuery { site, query: q.0 }),
+            body => Ok(body),
+        }
+    }
+
     /// Best-effort end-of-pipeline release of the pool's query on every
     /// site, swallowing errors — used on pipeline error paths where the
     /// transport may already be gone. Frames still charge to `stage` so
     /// shipment metrics cover everything that crossed the wire.
     pub fn release_quietly(&self, stage: &mut StageMetrics) {
         let _ = self.broadcast(&Request::ReleaseQuery { query: self.query }, stage);
+    }
+
+    /// Best-effort mid-stream abort: broadcast `CancelQuery` to every
+    /// site, swallowing errors — used when a solution iterator is dropped
+    /// (or a `LIMIT` fills) with survivor chunks still unpulled. Frames
+    /// still charge to `stage` so an aborted stream's shipment is
+    /// accounted like any other.
+    pub fn cancel_quietly(&self, stage: &mut StageMetrics) {
+        let _ = self.broadcast(&Request::CancelQuery { query: self.query }, stage);
     }
 
     /// Probe every site's state-table occupancy ([`WorkerStatus`]).
@@ -576,6 +617,43 @@ mod tests {
             pool_b.release_quietly(&mut sb);
             for s in pool_a.worker_status().unwrap() {
                 assert_eq!(s.resident_queries, 0, "releases drained the tables");
+            }
+        });
+    }
+
+    #[test]
+    fn per_site_chunk_pull_and_cancel_release_worker_state() {
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let pool = WorkerPool::new(transport, &router, NetworkModel::instant(), Q0);
+            let mut stage = StageMetrics::default();
+            expect_acks(
+                pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
+                    .unwrap(),
+            )
+            .unwrap();
+            pool.broadcast(&Request::PartialEval { query: Q0 }, &mut stage)
+                .unwrap();
+            // Pull one bounded chunk from a single site — strict
+            // request/response, no fleet barrier.
+            pool.send_to(
+                0,
+                &Request::ShipSurvivorsChunk {
+                    query: Q0,
+                    seq: 0,
+                    max: 1,
+                },
+                &mut stage,
+            )
+            .unwrap();
+            let body = pool.recv_from(0, &mut stage).unwrap();
+            assert!(matches!(body, ResponseBody::SurvivorsChunk { seq: 0, .. }));
+            // Abandon the stream: cancel must empty every state table.
+            pool.cancel_quietly(&mut stage);
+            for s in pool.worker_status().unwrap() {
+                assert_eq!(s.resident_queries, 0, "cancel drained the tables");
+                assert_eq!(s.resident_lpms, 0);
             }
         });
     }

@@ -81,6 +81,13 @@ struct QueryState {
     features: Vec<LecFeature>,
     feature_of_lpm: Vec<usize>,
     keep: Vec<bool>,
+    /// Streaming ship cursor: index into `lpms` of the first survivor not
+    /// yet shipped by a `ShipSurvivorsChunk`.
+    ship_pos: usize,
+    /// Next expected `ShipSurvivorsChunk` sequence number. A request with
+    /// any other `seq` is rejected so a replayed or reordered chunk frame
+    /// can never skip or duplicate survivors.
+    ship_seq: u64,
     /// Logical touch stamp for LRU eviction (monotone per worker).
     last_touch: u64,
 }
@@ -95,6 +102,8 @@ impl QueryState {
             features: Vec::new(),
             feature_of_lpm: Vec::new(),
             keep: Vec::new(),
+            ship_pos: 0,
+            ship_seq: 0,
             last_touch: touch,
         }
     }
@@ -312,6 +321,40 @@ impl<'a> SiteWorker<'a> {
                         .map(|(lpm, _)| lpm.clone())
                         .collect(),
                 )
+            }
+            Request::ShipSurvivorsChunk { query, seq, max } => {
+                let state = match self.state_mut(query) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                if seq != state.ship_seq {
+                    return ResponseBody::Error(format!(
+                        "survivor chunk seq {seq} does not match the site's \
+                         cursor (expected {})",
+                        state.ship_seq
+                    ));
+                }
+                // Walk the cursor forward, collecting at most `max` kept
+                // LPMs; the cursor only ever advances, so each survivor
+                // ships exactly once across the chunk sequence.
+                let mut lpms = Vec::new();
+                let mut pos = state.ship_pos;
+                while pos < state.lpms.len() && lpms.len() < max {
+                    if state.keep[pos] {
+                        lpms.push(state.lpms[pos].clone());
+                    }
+                    pos += 1;
+                }
+                let last = !state.keep[pos..].iter().any(|&k| k);
+                state.ship_pos = pos;
+                state.ship_seq += 1;
+                ResponseBody::SurvivorsChunk { lpms, seq, last }
+            }
+            Request::CancelQuery { query } => {
+                // Idempotent like ReleaseQuery: a cancel racing a release
+                // (or arriving after an eviction) must still succeed.
+                self.queries.remove(&query.0);
+                ResponseBody::Ack
             }
             Request::ReleaseQuery { query } => {
                 // Idempotent: the end-of-pipeline release must succeed
@@ -620,6 +663,188 @@ mod tests {
                 star_alone
             );
         }
+    }
+
+    /// Drain one site's survivors through the chunked cursor.
+    fn drain_chunks(
+        w: &mut SiteWorker<'_>,
+        id: QueryId,
+        max: usize,
+    ) -> (Vec<LocalPartialMatch>, u64) {
+        let mut all = Vec::new();
+        let mut seq = 0u64;
+        loop {
+            let ResponseBody::SurvivorsChunk {
+                lpms,
+                seq: echo,
+                last,
+            } = roundtrip(
+                w,
+                &Request::ShipSurvivorsChunk {
+                    query: id,
+                    seq,
+                    max,
+                },
+            )
+            else {
+                panic!("wrong response");
+            };
+            assert_eq!(echo, seq, "chunk replies echo the request seq");
+            assert!(lpms.len() <= max, "chunk respects the batch bound");
+            all.extend(lpms);
+            seq += 1;
+            if last {
+                return (all, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_shipping_equals_one_shot_for_every_chunk_size() {
+        let (dist, q) = setup();
+        for fragment in &dist.fragments {
+            let mut w = SiteWorker::for_fragment(fragment);
+            install(&mut w, Q0, &q);
+            roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+            let ResponseBody::Survivors(reference) =
+                roundtrip(&mut w, &Request::ShipSurvivors { query: Q0 })
+            else {
+                panic!("wrong response");
+            };
+            for max in [1usize, 2, 7, usize::MAX] {
+                // A fresh slot per chunk size: the cursor is one-way.
+                let id = QueryId(100 + max.min(50) as u32);
+                install(&mut w, id, &q);
+                roundtrip(&mut w, &Request::PartialEval { query: id });
+                let (chunked, chunks) = drain_chunks(&mut w, id, max);
+                assert_eq!(chunked, reference, "max {max}");
+                if max == usize::MAX {
+                    assert_eq!(chunks, 1, "unbounded chunk drains in one frame");
+                }
+                roundtrip(&mut w, &Request::ReleaseQuery { query: id });
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_sequence_chunk_request_is_rejected() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        install(&mut w, Q0, &q);
+        roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+        // The cursor starts at seq 0; asking for 1 (a replay of a lost
+        // reply, or a reordered frame) must not ship anything.
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::ShipSurvivorsChunk {
+                    query: Q0,
+                    seq: 1,
+                    max: 8,
+                }
+            ),
+            ResponseBody::Error(_)
+        ));
+        // The cursor is untouched: seq 0 still works.
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::ShipSurvivorsChunk {
+                    query: Q0,
+                    seq: 0,
+                    max: usize::MAX,
+                }
+            ),
+            ResponseBody::SurvivorsChunk { last: true, .. }
+        ));
+        // Replaying seq 0 after it was consumed is rejected too.
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::ShipSurvivorsChunk {
+                    query: Q0,
+                    seq: 0,
+                    max: usize::MAX,
+                }
+            ),
+            ResponseBody::Error(_)
+        ));
+    }
+
+    #[test]
+    fn chunked_shipping_respects_drop_pruned() {
+        let (dist, q) = setup();
+        for fragment in &dist.fragments {
+            let mut w = SiteWorker::for_fragment(fragment);
+            install(&mut w, Q0, &q);
+            let ResponseBody::PartialEval { lpm_count, .. } =
+                roundtrip(&mut w, &Request::PartialEval { query: Q0 })
+            else {
+                panic!("wrong response");
+            };
+            if lpm_count == 0 {
+                continue;
+            }
+            roundtrip(
+                &mut w,
+                &Request::ComputeLecFeatures {
+                    query: Q0,
+                    first_id: 0,
+                },
+            );
+            roundtrip(
+                &mut w,
+                &Request::DropPruned {
+                    query: Q0,
+                    useful: vec![],
+                },
+            );
+            let (chunked, _) = drain_chunks(&mut w, Q0, 1);
+            assert!(chunked.is_empty(), "pruned LPMs must not ship in chunks");
+            return;
+        }
+        panic!("no site produced LPMs");
+    }
+
+    #[test]
+    fn cancel_query_drops_the_slot_idempotently() {
+        let (dist, q) = setup();
+        let mut w = SiteWorker::for_fragment(&dist.fragments[0]);
+        install(&mut w, Q0, &q);
+        roundtrip(&mut w, &Request::PartialEval { query: Q0 });
+        assert_eq!(w.status().resident_queries, 1);
+        assert!(matches!(
+            roundtrip(&mut w, &Request::CancelQuery { query: Q0 }),
+            ResponseBody::Ack
+        ));
+        assert_eq!(w.status().resident_queries, 0);
+        assert_eq!(w.status().resident_lpms, 0);
+        // Cancelling again, or a never-installed id, still acks.
+        assert!(matches!(
+            roundtrip(&mut w, &Request::CancelQuery { query: Q0 }),
+            ResponseBody::Ack
+        ));
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::CancelQuery {
+                    query: QueryId(424242)
+                }
+            ),
+            ResponseBody::Ack
+        ));
+        // The cancelled query's chunk cursor is gone with the slot.
+        assert!(matches!(
+            roundtrip(
+                &mut w,
+                &Request::ShipSurvivorsChunk {
+                    query: Q0,
+                    seq: 0,
+                    max: 1,
+                }
+            ),
+            ResponseBody::UnknownQuery(id) if id == Q0
+        ));
     }
 
     #[test]

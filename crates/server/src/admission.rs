@@ -123,6 +123,13 @@ pub struct ServerCounters {
     pub server_errors: AtomicU64,
     /// Requests currently being handled by a worker.
     pub in_flight: AtomicU64,
+    /// Chunked-transfer `/query` responses started.
+    pub streams_started: AtomicU64,
+    /// Streamed responses that ran to their terminating chunk.
+    pub streams_completed: AtomicU64,
+    /// Streamed responses cut short mid-body (client disconnect or
+    /// engine failure) — each one also cancelled its engine query.
+    pub streams_cancelled: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerCounters`].
@@ -140,6 +147,12 @@ pub struct CountersSnapshot {
     pub server_errors: u64,
     /// Requests currently in a worker.
     pub in_flight: u64,
+    /// Chunked-transfer `/query` responses started.
+    pub streams_started: u64,
+    /// Streamed responses that ran to their terminating chunk.
+    pub streams_completed: u64,
+    /// Streamed responses cut short mid-body (and engine-cancelled).
+    pub streams_cancelled: u64,
 }
 
 impl ServerCounters {
@@ -152,6 +165,9 @@ impl ServerCounters {
             client_errors: self.client_errors.load(Ordering::Relaxed),
             server_errors: self.server_errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            streams_started: self.streams_started.load(Ordering::Relaxed),
+            streams_completed: self.streams_completed.load(Ordering::Relaxed),
+            streams_cancelled: self.streams_cancelled.load(Ordering::Relaxed),
         }
     }
 

@@ -1,10 +1,11 @@
 //! A minimal blocking HTTP/1.1 client.
 //!
 //! Just enough to drive [`crate::SparqlServer`] from the integration
-//! tests, the `bench-pr6` closed-loop throughput benchmark, and quick
-//! scripts — one request per connection (`Connection: close`), bodies
-//! read by `Content-Length` or to end-of-stream. Not a general HTTP
-//! client and not trying to be one.
+//! tests, the HTTP benchmarks, and quick scripts — one request per
+//! connection (`Connection: close`), bodies read by `Content-Length`,
+//! `Transfer-Encoding: chunked` (the server's streaming `/query`
+//! responses), or to end-of-stream. Not a general HTTP client and not
+//! trying to be one.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -108,18 +109,25 @@ pub fn read_reply(reader: &mut impl BufRead) -> std::io::Result<HttpReply> {
             .ok_or_else(|| bad(&format!("bad header line: {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
     let length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .and_then(|(_, v)| v.parse::<usize>().ok());
     let mut body = Vec::new();
-    match length {
-        Some(length) => {
-            body.resize(length, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            reader.read_to_end(&mut body)?;
+    if chunked {
+        body = crate::http::read_chunked_body(reader, MAX_REPLY_BYTES)?;
+    } else {
+        match length {
+            Some(length) => {
+                body.resize(length, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
         }
     }
     Ok(HttpReply {
@@ -128,6 +136,10 @@ pub fn read_reply(reader: &mut impl BufRead) -> std::io::Result<HttpReply> {
         body,
     })
 }
+
+/// Cap on a decoded chunked reply — a test/bench client never needs
+/// more, and a runaway stream should fail loudly rather than OOM.
+const MAX_REPLY_BYTES: usize = 256 * 1024 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -153,5 +165,22 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(read_reply(&mut BufReader::new("not http".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/csv\r\n\
+                   Transfer-Encoding: chunked\r\n\r\n\
+                   6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n";
+        let reply = read_reply(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("transfer-encoding"), Some("chunked"));
+        assert_eq!(reply.body_str(), "hello world");
+    }
+
+    #[test]
+    fn truncated_chunked_body_is_an_error_not_a_short_reply() {
+        let raw = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhel";
+        assert!(read_reply(&mut BufReader::new(raw.as_bytes())).is_err());
     }
 }

@@ -293,6 +293,145 @@ impl HttpResponse {
     }
 }
 
+/// Write a response head announcing a `Transfer-Encoding: chunked` body.
+///
+/// The streaming counterpart of [`HttpResponse::write_to`]: no
+/// `Content-Length` — the caller follows up with a [`ChunkedWriter`]
+/// over the same stream and must call [`ChunkedWriter::finish`] to
+/// terminate the body. Chunked framing is HTTP/1.1-only; for an
+/// HTTP/1.0 peer the server falls back to a buffered response.
+pub fn write_chunked_head(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason_phrase(status));
+    head.push_str(&format!("Content-Type: {content_type}\r\n"));
+    head.push_str("Transfer-Encoding: chunked\r\n");
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())
+}
+
+/// A `Transfer-Encoding: chunked` body encoder over any [`Write`] sink.
+///
+/// Bytes written accumulate in an internal buffer; once it reaches the
+/// threshold they ship as one `{len:x}\r\n…\r\n` chunk, so row-at-a-time
+/// writers produce sanely-sized chunks instead of one per row. Zero-size
+/// chunks are never emitted mid-body (a zero chunk terminates chunked
+/// encoding); [`ChunkedWriter::finish`] flushes the tail and writes the
+/// `0\r\n\r\n` terminator. Dropping the writer *without* `finish`
+/// deliberately leaves the body unterminated — a client then sees a
+/// truncated response rather than a silently complete-looking one, which
+/// is exactly what a mid-stream engine failure must look like.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    sink: W,
+    buf: Vec<u8>,
+    threshold: usize,
+}
+
+/// Default chunk-size threshold: small enough for quick first bytes,
+/// large enough to amortize chunk framing.
+pub const DEFAULT_CHUNK_THRESHOLD: usize = 8 * 1024;
+
+impl<W: Write> ChunkedWriter<W> {
+    /// A writer flushing chunks of about [`DEFAULT_CHUNK_THRESHOLD`].
+    pub fn new(sink: W) -> ChunkedWriter<W> {
+        ChunkedWriter::with_threshold(sink, DEFAULT_CHUNK_THRESHOLD)
+    }
+
+    /// A writer flushing a chunk whenever `threshold` bytes accumulate
+    /// (clamped to ≥ 1).
+    pub fn with_threshold(sink: W, threshold: usize) -> ChunkedWriter<W> {
+        ChunkedWriter {
+            sink,
+            buf: Vec::new(),
+            threshold: threshold.max(1),
+        }
+    }
+
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.sink, "{:x}\r\n", self.buf.len())?;
+        self.sink.write_all(&self.buf)?;
+        self.sink.write_all(b"\r\n")?;
+        self.buf.clear();
+        self.sink.flush()
+    }
+
+    /// Flush any buffered tail, write the terminating zero chunk, and
+    /// return the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_chunk()?;
+        self.sink.write_all(b"0\r\n\r\n")?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= self.threshold {
+            self.flush_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flush_chunk()
+    }
+}
+
+/// Decode a complete `Transfer-Encoding: chunked` body off a stream:
+/// `{len:x}\r\n…\r\n` frames up to the `0\r\n\r\n` terminator (trailer
+/// headers are consumed and dropped). Chunk sizes are added up against
+/// `max_bytes` *before* each allocation, so a hostile peer announcing a
+/// colossal chunk cannot make the caller allocate it.
+pub fn read_chunked_body(stream: &mut impl BufRead, max_bytes: usize) -> std::io::Result<Vec<u8>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if stream.read_line(&mut size_line)? == 0 {
+            return Err(bad("truncated chunked body"));
+        }
+        // Chunk extensions (`;name=value`) are legal; ignore them.
+        let size_text = size_line.trim_end().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| bad(&format!("bad chunk size {size_text:?}")))?;
+        if size == 0 {
+            // Consume optional trailers up to the blank line.
+            loop {
+                let mut line = String::new();
+                if stream.read_line(&mut line)? == 0 {
+                    return Err(bad("truncated chunked trailer"));
+                }
+                if line.trim_end().is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len().saturating_add(size) > max_bytes {
+            return Err(bad(&format!("chunked body exceeds {max_bytes} bytes")));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        stream.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        stream.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk data not CRLF-terminated"));
+        }
+    }
+}
+
 /// The standard reason phrase for the status codes this server emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
@@ -463,6 +602,57 @@ mod tests {
         assert!(text.contains("Content-Length: 4\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\nbusy"));
+    }
+
+    #[test]
+    fn chunked_writer_round_trips_through_the_decoder() {
+        let mut w = ChunkedWriter::with_threshold(Vec::new(), 4);
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"chunked ").unwrap();
+        w.write_all(b"world").unwrap();
+        let encoded = w.finish().unwrap();
+        let text = String::from_utf8(encoded.clone()).unwrap();
+        assert!(text.ends_with("0\r\n\r\n"), "terminator present: {text:?}");
+        let decoded = read_chunked_body(&mut BufReader::new(encoded.as_slice()), 1024).unwrap();
+        assert_eq!(decoded, b"hello chunked world");
+    }
+
+    #[test]
+    fn chunked_writer_emits_nothing_for_an_empty_body_but_still_terminates() {
+        let w = ChunkedWriter::new(Vec::new());
+        let encoded = w.finish().unwrap();
+        assert_eq!(encoded, b"0\r\n\r\n");
+        let decoded = read_chunked_body(&mut BufReader::new(encoded.as_slice()), 1024).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_hostile_and_truncated_bodies() {
+        // A colossal announced size fails before allocation.
+        let huge = b"ffffffffff\r\n".as_slice();
+        assert!(read_chunked_body(&mut BufReader::new(huge), 1024).is_err());
+        // Sum-of-chunks cap.
+        let mut w = ChunkedWriter::with_threshold(Vec::new(), 1);
+        w.write_all(b"0123456789").unwrap();
+        let encoded = w.finish().unwrap();
+        assert!(read_chunked_body(&mut BufReader::new(encoded.as_slice()), 5).is_err());
+        // Truncation (no terminator) is an error, not a short body.
+        assert!(read_chunked_body(&mut BufReader::new(b"5\r\nhel".as_slice()), 1024).is_err());
+        assert!(read_chunked_body(&mut BufReader::new(b"".as_slice()), 1024).is_err());
+        // Garbage size line.
+        assert!(read_chunked_body(&mut BufReader::new(b"xyz\r\n".as_slice()), 1024).is_err());
+    }
+
+    #[test]
+    fn chunked_head_announces_transfer_encoding() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "text/csv; charset=utf-8", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 
     #[test]

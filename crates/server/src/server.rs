@@ -31,12 +31,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use gstored::rdf::Term;
 use gstored::{Error, GStoreD};
 
 use crate::admission::{BoundedQueue, CountersSnapshot, ServerCounters};
-use crate::http::{read_request, HttpRequest, HttpResponse, Limits, RequestError};
+use crate::http::{
+    read_request, write_chunked_head, ChunkedWriter, HttpRequest, HttpResponse, Limits,
+    RequestError,
+};
 use crate::negotiate::{negotiate, ResultFormat};
-use crate::serializer::{json_escape, serialize_results};
+use crate::serializer::{json_escape, serialize_results, SolutionWriter};
 
 /// Server knobs. The defaults match the session's: 8 concurrent
 /// requests, a 16-deep pending queue.
@@ -288,13 +292,24 @@ fn serve_connection(
             }
         };
         counters.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = handle_request(session, counters, queue, &request);
-        counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        counters.record_status(response.status);
         // During shutdown, finish this response but do not keep the
         // connection alive — the worker has a queue to drain.
         let close = request.wants_close() || shutdown.load(Ordering::SeqCst);
-        if response.write_to(&mut stream, close).is_err() || close {
+        // Successful `/query` responses stream (chunked transfer, bounded
+        // memory) when the peer speaks HTTP/1.1; everything else — other
+        // endpoints, errors, HTTP/1.0 peers — goes out buffered.
+        let streamable = request.path == "/query"
+            && matches!(request.method.as_str(), "GET" | "POST")
+            && !request.http10;
+        let outcome = if streamable {
+            stream_query(session, counters, &request, &mut stream, close)
+        } else {
+            let response = handle_request(session, counters, queue, &request);
+            counters.record_status(response.status);
+            response.write_to(&mut stream, close)
+        };
+        counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if outcome.is_err() || close {
             return;
         }
     }
@@ -321,33 +336,9 @@ pub(crate) fn handle_request(
              application/sparql-results+xml, text/tab-separated-values, \
              text/csv\n",
         ),
-        ("GET", "/query") => match request.param("query") {
-            Some(query) => run_query(session, request, query),
-            None => error_response(400, "missing-query", "GET /query needs a ?query= parameter"),
-        },
-        ("POST", "/query") => match request.content_type().as_deref() {
-            Some("application/sparql-query") => match std::str::from_utf8(&request.body) {
-                Ok(query) => run_query(session, request, query),
-                Err(_) => error_response(400, "bad-request", "query body is not UTF-8"),
-            },
-            Some("application/x-www-form-urlencoded") => {
-                let form = std::str::from_utf8(&request.body)
-                    .map(crate::http::parse_form)
-                    .unwrap_or_default();
-                match form.iter().find(|(k, _)| k == "query") {
-                    Some((_, query)) => run_query(session, request, query),
-                    None => error_response(400, "missing-query", "form body has no query= field"),
-                }
-            }
-            other => error_response(
-                415,
-                "unsupported-media-type",
-                &format!(
-                    "POST /query takes application/sparql-query or \
-                     application/x-www-form-urlencoded, not {}",
-                    other.unwrap_or("an unspecified Content-Type")
-                ),
-            ),
+        ("GET", "/query") | ("POST", "/query") => match extract_query(request) {
+            Ok(query) => run_query(session, request, &query),
+            Err(resp) => *resp,
         },
         ("GET", "/status") => status_response(session, counters, queue),
         (_, "/query") | (_, "/status") | (_, "/") => {
@@ -364,7 +355,165 @@ pub(crate) fn handle_request(
     }
 }
 
-/// Parse, execute and serialize one SPARQL query.
+/// The `/query` endpoint's SPARQL text per the W3C protocol (GET
+/// parameter, raw `application/sparql-query` body, or form field), or
+/// the typed error response when the request carries none.
+fn extract_query(request: &HttpRequest) -> Result<String, Box<HttpResponse>> {
+    match request.method.as_str() {
+        "GET" => match request.param("query") {
+            Some(query) => Ok(query.to_string()),
+            None => Err(Box::new(error_response(
+                400,
+                "missing-query",
+                "GET /query needs a ?query= parameter",
+            ))),
+        },
+        _ => match request.content_type().as_deref() {
+            Some("application/sparql-query") => match std::str::from_utf8(&request.body) {
+                Ok(query) => Ok(query.to_string()),
+                Err(_) => Err(Box::new(error_response(
+                    400,
+                    "bad-request",
+                    "query body is not UTF-8",
+                ))),
+            },
+            Some("application/x-www-form-urlencoded") => {
+                let form = std::str::from_utf8(&request.body)
+                    .map(crate::http::parse_form)
+                    .unwrap_or_default();
+                match form.into_iter().find(|(k, _)| k == "query") {
+                    Some((_, query)) => Ok(query),
+                    None => Err(Box::new(error_response(
+                        400,
+                        "missing-query",
+                        "form body has no query= field",
+                    ))),
+                }
+            }
+            other => Err(Box::new(error_response(
+                415,
+                "unsupported-media-type",
+                &format!(
+                    "POST /query takes application/sparql-query or \
+                     application/x-www-form-urlencoded, not {}",
+                    other.unwrap_or("an unspecified Content-Type")
+                ),
+            ))),
+        },
+    }
+}
+
+/// Record and write one buffered response on the streaming path.
+fn send_buffered(
+    counters: &ServerCounters,
+    stream: &mut TcpStream,
+    response: HttpResponse,
+    close: bool,
+) -> std::io::Result<()> {
+    counters.record_status(response.status);
+    response.write_to(stream, close)
+}
+
+/// Serve one `/query` request with a **streamed** response: solutions
+/// flow from the engine's [`gstored::QuerySolutionIter`] straight
+/// through a [`SolutionWriter`] into chunked transfer encoding, so the
+/// response needs coordinator memory proportional to the join frontier,
+/// never to the result set.
+///
+/// Everything that fails *before the first byte* (bad request, parse
+/// error, no acceptable format, engine refusing to start) still goes out
+/// as an ordinary buffered error response. Once the `200` head is on the
+/// wire the only honest failure mode is truncation: the chunked body is
+/// left unterminated and the connection closes, and — crucially — the
+/// returned error drops the solution iterator, whose `Drop` broadcasts
+/// `CancelQuery` so a disconnected client's query stops occupying the
+/// fleet. `streams_cancelled` counts exactly those mid-body aborts.
+fn stream_query(
+    session: &GStoreD,
+    counters: &ServerCounters,
+    request: &HttpRequest,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    let query = match extract_query(request) {
+        Ok(query) => query,
+        Err(resp) => return send_buffered(counters, stream, *resp, close),
+    };
+    let format = match negotiate(request.header("accept")) {
+        Ok(format) => format,
+        Err(header) => {
+            let resp = error_response(
+                406,
+                "not-acceptable",
+                &format!(
+                    "no servable result format in Accept: {header} (supported: {})",
+                    ResultFormat::ALL.map(|f| f.media_type()).join(", ")
+                ),
+            );
+            return send_buffered(counters, stream, resp, close);
+        }
+    };
+    let prepared = match session.prepare(&query) {
+        Ok(prepared) => prepared,
+        Err(Error::Parse(e)) => {
+            return send_buffered(
+                counters,
+                stream,
+                error_response(400, "parse", &e.to_string()),
+                close,
+            )
+        }
+        Err(e) => {
+            return send_buffered(
+                counters,
+                stream,
+                error_response(400, "unsupported", &e.to_string()),
+                close,
+            )
+        }
+    };
+    let mut solutions = match prepared.stream() {
+        Ok(solutions) => solutions,
+        Err(e) => {
+            return send_buffered(
+                counters,
+                stream,
+                error_response(500, "engine", &e.to_string()),
+                close,
+            )
+        }
+    };
+    counters.streams_started.fetch_add(1, Ordering::Relaxed);
+    counters.record_status(200);
+    let variables = solutions.variables().to_vec();
+    let outcome: std::io::Result<()> = (|| {
+        write_chunked_head(stream, 200, format.content_type(), close)?;
+        let chunker = ChunkedWriter::new(&mut *stream);
+        let mut writer = SolutionWriter::start(chunker, format, &variables)?;
+        for solution in &mut solutions {
+            let solution = solution.map_err(|e| std::io::Error::other(format!("engine: {e}")))?;
+            let terms: Vec<Option<&Term>> = solution.iter().map(|(_, term)| Some(term)).collect();
+            writer.write_row(&terms)?;
+        }
+        writer.finish()?.finish()?;
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => {
+            counters.streams_completed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => {
+            // Dropping `solutions` below cancels the engine query.
+            counters.streams_cancelled.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
+
+/// Parse, execute and serialize one SPARQL query (the buffered path:
+/// unit harnesses and HTTP/1.0 peers, which cannot take chunked
+/// framing).
 fn run_query(session: &GStoreD, request: &HttpRequest, query: &str) -> HttpResponse {
     let format = match negotiate(request.header("accept")) {
         Ok(format) => format,
@@ -420,7 +569,8 @@ fn status_response(
         .collect();
     let body = format!(
         "{{\"server\":{{\"admitted\":{},\"rejected_429\":{},\"ok\":{},\"client_errors\":{},\
-         \"server_errors\":{},\"in_flight\":{},\"queued\":{},\"queue_depth\":{}}},\
+         \"server_errors\":{},\"in_flight\":{},\"streams_started\":{},\
+         \"streams_completed\":{},\"streams_cancelled\":{},\"queued\":{},\"queue_depth\":{}}},\
          \"session\":{{\"queries_prepared\":{},\"executions\":{}}},\
          \"fleet\":[{}]}}",
         snap.admitted,
@@ -429,6 +579,9 @@ fn status_response(
         snap.client_errors,
         snap.server_errors,
         snap.in_flight,
+        snap.streams_started,
+        snap.streams_completed,
+        snap.streams_cancelled,
         queue.pending(),
         queue.depth(),
         stats.queries_prepared,

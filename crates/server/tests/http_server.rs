@@ -9,11 +9,13 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use gstored::rdf::write_ntriples;
+use gstored::rdf::{write_ntriples, Term};
 use gstored::GStoreD;
 use gstored_datagen::lubm::{self, LubmConfig};
 use gstored_datagen::queries;
-use gstored_server::{client, serialize_results, ResultFormat, ServerConfig, SparqlServer};
+use gstored_server::{
+    client, serialize_results, serialize_rows, ResultFormat, ServerConfig, SparqlServer,
+};
 
 fn lubm_session() -> GStoreD {
     let triples = lubm::generate(&LubmConfig::with_target_triples(600, 7));
@@ -48,16 +50,42 @@ fn urlencode(s: &str) -> String {
     out
 }
 
-/// Every format, both verbs: the HTTP body must be byte-identical to
-/// serializing the embedded session's result set directly.
+/// Every format, both verbs: the decoded chunked HTTP body must be
+/// byte-identical to running the same serializer over the embedded
+/// session's *stream* (`/query` responses stream in assembly order,
+/// which is deterministic), and the streamed row set must equal
+/// `execute()`'s sorted rows exactly.
 #[test]
 fn all_formats_row_equal_to_embedded() {
     let (session, handle) = start(ServerConfig::default());
     let query = &queries::lubm_queries()[0].text;
     let results = session.query(query).unwrap();
     assert!(!results.is_empty(), "fixture query must produce rows");
+    // The stream's row order is deterministic: same data, same chunking,
+    // same arrival-driven join — so the server's chunked body must be
+    // byte-equal to serializing this locally collected stream.
+    let prepared = session.prepare(query).unwrap();
+    let stream_rows: Vec<Vec<Option<&Term>>> = prepared
+        .stream()
+        .unwrap()
+        .map(|sol| {
+            let sol = sol.unwrap();
+            sol.iter().map(|(_, term)| Some(term)).collect()
+        })
+        .collect();
+    {
+        // Same solution *set* as the buffered path (which sorts).
+        let mut sorted: Vec<Vec<Option<&Term>>> = stream_rows.clone();
+        sorted.sort_by_key(|r| format!("{r:?}"));
+        let mut executed: Vec<Vec<Option<&Term>>> = results
+            .iter()
+            .map(|sol| sol.iter().map(|(_, term)| Some(term)).collect())
+            .collect();
+        executed.sort_by_key(|r| format!("{r:?}"));
+        assert_eq!(sorted, executed, "stream and execute row sets must match");
+    }
     for format in ResultFormat::ALL {
-        let expected = serialize_results(format, &results);
+        let expected = serialize_rows(format, results.variables(), stream_rows.iter().cloned());
         let path = format!("/query?query={}", urlencode(query));
         let via_get = client::get(handle.addr(), &path, Some(format.media_type())).unwrap();
         assert_eq!(via_get.status, 200, "GET {format:?}");
@@ -65,6 +93,11 @@ fn all_formats_row_equal_to_embedded() {
             via_get.header("content-type"),
             Some(format.content_type()),
             "GET {format:?}"
+        );
+        assert_eq!(
+            via_get.header("transfer-encoding"),
+            Some("chunked"),
+            "/query responses stream ({format:?})"
         );
         assert_eq!(via_get.body, expected, "GET body {format:?}");
 
@@ -90,7 +123,125 @@ fn all_formats_row_equal_to_embedded() {
     )
     .unwrap();
     assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.body,
+        serialize_rows(
+            ResultFormat::Json,
+            results.variables(),
+            stream_rows.iter().cloned()
+        )
+    );
+    // The client sees the terminating chunk a moment before the worker
+    // thread increments `streams_completed`; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let counters = handle.counters();
+        assert_eq!(counters.streams_cancelled, 0);
+        if counters.streams_completed >= 9 {
+            assert_eq!(counters.streams_started, counters.streams_completed);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "9 streamed responses must complete: {counters:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+}
+
+/// An HTTP/1.0 peer cannot take chunked framing: `/query` falls back to
+/// the buffered path with a `Content-Length`, and the body is the
+/// sorted `execute()` serialization — byte-identical to PR6 behavior.
+#[test]
+fn http10_gets_the_buffered_content_length_path() {
+    let (session, handle) = start(ServerConfig::default());
+    let query = &queries::lubm_queries()[0].text;
+    let results = session.query(query).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(
+            format!(
+                "GET /query?query={} HTTP/1.0\r\nHost: test\r\n\
+                 Accept: application/sparql-results+json\r\n\r\n",
+                urlencode(query)
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let reply = client::read_reply(&mut std::io::BufReader::new(stream)).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("transfer-encoding"), None);
+    assert!(reply.header("content-length").is_some());
     assert_eq!(reply.body, serialize_results(ResultFormat::Json, &results));
+    assert_eq!(handle.counters().streams_started, 0);
+    handle.shutdown();
+}
+
+/// A client that disconnects mid-body must cancel the engine query: the
+/// server counts the aborted stream and every worker's query-state
+/// table drains back to empty (no leaked admission slot, no resident
+/// LPMs).
+#[test]
+fn client_disconnect_mid_body_cancels_the_query() {
+    // A result set far larger than the socket buffers, so the server is
+    // still streaming when the client hangs up.
+    let triples = lubm::generate(&LubmConfig::with_target_triples(20_000, 7));
+    let mut text = Vec::new();
+    write_ntriples(&mut text, &triples).unwrap();
+    let session = Arc::new(
+        GStoreD::builder()
+            .ntriples(std::str::from_utf8(&text).unwrap())
+            .unwrap()
+            .build()
+            .unwrap(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = SparqlServer::new(Arc::clone(&session), ServerConfig::default())
+        .start(listener)
+        .unwrap();
+
+    let query =
+        "SELECT * WHERE { ?s <http://swat.cse.lehigh.edu/onto/univ-bench.owl#takesCourse> ?c }";
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    (&stream)
+        .write_all(
+            format!(
+                "GET /query?query={} HTTP/1.1\r\nHost: test\r\nAccept: text/csv\r\n\r\n",
+                urlencode(query)
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    // Hang up without reading the body: the server's chunk flushes hit
+    // EPIPE once the FIN lands, the write error drops the solution
+    // iterator, and its Drop broadcasts CancelQuery.
+    drop(stream);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let counters = handle.counters();
+        let fleet = session.fleet_status().unwrap();
+        let drained = fleet
+            .iter()
+            .all(|s| s.resident_queries == 0 && s.resident_lpms == 0);
+        if counters.streams_cancelled >= 1 && counters.in_flight == 0 && drained {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stream not cancelled/drained: counters={counters:?} fleet={fleet:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The fleet is still serviceable after the abort.
+    let reply = client::get(
+        handle.addr(),
+        &format!("/query?query={}", urlencode(&format!("{query} LIMIT 1"))),
+        Some("text/csv"),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
     handle.shutdown();
 }
 

@@ -35,14 +35,16 @@ pub mod session;
 
 pub use error::Error;
 pub use session::{
-    GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, SessionStats,
+    GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, QuerySolutionIter,
+    SessionStats, StreamSolution, DEFAULT_STREAM_CHUNK,
 };
 
 /// Most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::error::Error;
     pub use crate::session::{
-        GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, SessionStats,
+        GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, QuerySolutionIter,
+        SessionStats, StreamSolution,
     };
     pub use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
     pub use gstored_core::prepared::PreparedPlan;

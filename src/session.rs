@@ -17,12 +17,13 @@
 //! See [`gstored_core::prepared`] for the exact prepare-time /
 //! execution-time split.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
+use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, StreamState, Variant};
 use gstored_core::prepared::PreparedPlan;
-use gstored_core::runtime::{QueryExecutor, ReplyRouter, WorkerPool};
+use gstored_core::runtime::{QueryExecutor, QueryTicket, ReplyRouter, WorkerPool};
 use gstored_core::worker::SiteWorker;
 use gstored_core::{EngineError, WorkerStatus};
 use gstored_net::worker::serve_endpoint;
@@ -541,6 +542,70 @@ impl<'s> PreparedQuery<'s> {
         })
     }
 
+    /// Execute the prepared plan as a **pull-based stream**: solutions
+    /// surface as soon as they are assembled, with survivors crossing
+    /// the fleet in bounded chunks instead of one full-fleet gather —
+    /// coordinator memory stays proportional to the join frontier, not
+    /// the result set.
+    ///
+    /// Differences from [`PreparedQuery::execute`]:
+    /// - Solutions arrive in **assembly order**, not sorted. The solution
+    ///   *set* is identical (the equivalence property tests pin this),
+    ///   but under a `LIMIT` the stream keeps the *first k assembled*
+    ///   rather than the k smallest.
+    /// - `LIMIT` (and dropping the iterator early) short-circuits the
+    ///   pipeline: the fleet gets a `CancelQuery` broadcast and the
+    ///   admission slot frees immediately, instead of after a full
+    ///   evaluation.
+    ///
+    /// The iterator holds one of the session's
+    /// [`EngineConfig::max_concurrent_queries`] admission slots until it
+    /// is exhausted, errors, or drops.
+    pub fn stream(&self) -> Result<QuerySolutionIter<'s>, Error> {
+        self.stream_with_chunk(DEFAULT_STREAM_CHUNK)
+    }
+
+    /// [`PreparedQuery::stream`] with an explicit survivor-chunk size:
+    /// at most `chunk` LPMs per `SurvivorsChunk` reply (clamped to ≥ 1;
+    /// `usize::MAX` means each site ships everything in one chunk).
+    /// Chunk size never changes the solution set — only frame sizes and
+    /// the arrival interleaving.
+    pub fn stream_with_chunk(&self, chunk: usize) -> Result<QuerySolutionIter<'s>, Error> {
+        let session = self.session;
+        let ticket = session.executor.admit();
+        let fleet = session.fleet()?;
+        let stream = match session.engine.start_stream(
+            fleet.transport(),
+            &fleet.router,
+            &session.dist,
+            &self.plan,
+            ticket.query(),
+            chunk,
+        ) {
+            Ok(stream) => stream,
+            Err(e) => {
+                if matches!(e, EngineError::Transport(_) | EngineError::Protocol(_)) {
+                    session.invalidate_fleet(&fleet);
+                }
+                return Err(e.into());
+            }
+        };
+        session.counters.executions.fetch_add(1, Ordering::Relaxed);
+        let query = self.plan.query();
+        Ok(QuerySolutionIter {
+            session,
+            fleet,
+            ticket: Some(ticket),
+            stream,
+            variables: self.plan.projection().to_vec().into(),
+            proj: self.plan.encoded().projection().to_vec(),
+            distinct: query.distinct,
+            seen: HashSet::new(),
+            remaining: query.limit,
+            done: false,
+        })
+    }
+
     /// The original SPARQL text.
     pub fn text(&self) -> &str {
         &self.text
@@ -559,6 +624,216 @@ impl<'s> PreparedQuery<'s> {
     /// The underlying cached plan.
     pub fn plan(&self) -> &PreparedPlan {
         &self.plan
+    }
+}
+
+/// Default survivor-chunk size for [`PreparedQuery::stream`]: how many
+/// LPMs a site ships per `SurvivorsChunk` reply. Large enough to
+/// amortize frame overhead, small enough that the coordinator's buffer
+/// stays bounded regardless of result-set size.
+pub const DEFAULT_STREAM_CHUNK: usize = 256;
+
+/// A pull-based stream of query solutions: the session-level surface of
+/// the chunked ship-and-join pipeline ([`PreparedQuery::stream`]).
+///
+/// Yields `Result<StreamSolution, Error>` in assembly order, applying
+/// projection, `DISTINCT` and `LIMIT` incrementally. Exhaustion,
+/// `LIMIT`, an error, or dropping the iterator all release the fleet's
+/// per-query state (via `ReleaseQuery`/`CancelQuery`) and the admission
+/// slot — a stream can never leak worker-side state. After an error the
+/// iterator is fused (further `next()` calls return `None`).
+pub struct QuerySolutionIter<'s> {
+    session: &'s GStoreD,
+    /// Keeps a dropped-from-cache fleet alive while this stream runs.
+    fleet: Arc<Fleet>,
+    /// `Some` while the stream holds its admission slot.
+    ticket: Option<QueryTicket<'s>>,
+    stream: StreamState,
+    variables: Arc<[String]>,
+    /// Projection: indices into the complete binding, in output order.
+    proj: Vec<usize>,
+    distinct: bool,
+    /// Projected rows already emitted (`DISTINCT` only).
+    seen: HashSet<Vec<VertexId>>,
+    /// Solutions still to emit under a `LIMIT` (`None` = unlimited).
+    remaining: Option<usize>,
+    done: bool,
+}
+
+impl<'s> QuerySolutionIter<'s> {
+    /// Projected variable names, in projection order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Stage metrics accumulated so far (complete once the stream is
+    /// exhausted; partial — covering only the work actually done — when
+    /// `LIMIT` or a drop short-circuited the pipeline).
+    pub fn metrics(&self) -> &QueryMetrics {
+        self.stream.metrics()
+    }
+
+    /// High-water mark of partial join states buffered at the
+    /// coordinator — the measurable bounded-memory claim.
+    pub fn peak_resident_states(&self) -> usize {
+        self.stream.peak_resident_states()
+    }
+
+    /// Stop the stream now: cancel the fleet's per-query state and
+    /// release the admission slot. Equivalent to dropping the iterator,
+    /// but callable mid-iteration and idempotent.
+    pub fn close(&mut self) {
+        if !self.stream.is_finished() {
+            self.stream
+                .cancel(self.fleet.transport(), &self.fleet.router);
+        }
+        self.ticket.take();
+        self.done = true;
+    }
+}
+
+impl<'s> Iterator for QuerySolutionIter<'s> {
+    type Item = Result<StreamSolution<'s>, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.remaining == Some(0) {
+            // LIMIT 0: short-circuit before pulling anything.
+            self.close();
+            return None;
+        }
+        loop {
+            let binding = match self
+                .stream
+                .next_binding(self.fleet.transport(), &self.fleet.router)
+            {
+                Ok(Some(binding)) => binding,
+                Ok(None) => {
+                    // Drained: the stream has already released the sites.
+                    self.ticket.take();
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    // The stream has already cancelled the fleet; mirror
+                    // `run_plan`'s fleet-invalidations and fuse.
+                    if matches!(e, EngineError::Transport(_) | EngineError::Protocol(_)) {
+                        self.session.invalidate_fleet(&self.fleet);
+                    }
+                    self.ticket.take();
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            let row: Vec<VertexId> = self.proj.iter().map(|&v| binding[v]).collect();
+            if self.distinct && !self.seen.insert(row.clone()) {
+                continue;
+            }
+            if let Some(remaining) = &mut self.remaining {
+                *remaining -= 1;
+            }
+            let solution = StreamSolution {
+                variables: Arc::clone(&self.variables),
+                row,
+                dict: self.session.dist.dict(),
+            };
+            if self.remaining == Some(0) {
+                // The LIMIT is filled by the row we are about to yield:
+                // cancel the fleet *now* so its state and the admission
+                // slot free without waiting for another `next()` call.
+                self.close();
+                self.done = true;
+            }
+            return Some(Ok(solution));
+        }
+    }
+}
+
+impl Drop for QuerySolutionIter<'_> {
+    fn drop(&mut self) {
+        if !self.stream.is_finished() {
+            self.stream
+                .cancel(self.fleet.transport(), &self.fleet.router);
+        }
+    }
+}
+
+impl std::fmt::Debug for QuerySolutionIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySolutionIter")
+            .field("variables", &self.variables)
+            .field("distinct", &self.distinct)
+            .field("remaining", &self.remaining)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// One streamed solution: an owned projected row, decoded lazily against
+/// the session's dictionary (the owning sibling of [`QuerySolution`],
+/// which borrows its row from a materialized result set).
+#[derive(Debug, Clone)]
+pub struct StreamSolution<'s> {
+    variables: Arc<[String]>,
+    row: Vec<VertexId>,
+    dict: &'s Dictionary,
+}
+
+impl<'s> StreamSolution<'s> {
+    /// Borrow as a [`QuerySolution`] for name/index addressing.
+    pub fn solution(&self) -> QuerySolution<'_> {
+        QuerySolution {
+            variables: &self.variables,
+            row: &self.row,
+            dict: self.dict,
+        }
+    }
+
+    /// Projected variable names, in projection order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The projected row, dictionary-encoded.
+    pub fn vertex_row(&self) -> &[VertexId] {
+        &self.row
+    }
+
+    /// Take the projected row, dictionary-encoded.
+    pub fn into_vertex_row(self) -> Vec<VertexId> {
+        self.row
+    }
+
+    /// The binding of a variable by name, if projected.
+    pub fn get(&self, name: &str) -> Option<&'s Term> {
+        let i = self.variables.iter().position(|v| v == name)?;
+        self.row.get(i).map(|&v| self.dict.resolve(v))
+    }
+
+    /// Iterate `(variable name, term)` pairs in projection order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &'s Term)> + '_ {
+        let dict = self.dict;
+        self.variables
+            .iter()
+            .zip(self.row.iter())
+            .map(move |(name, &v)| (name.as_str(), dict.resolve(v)))
+    }
+}
+
+impl std::ops::Index<&str> for StreamSolution<'_> {
+    type Output = Term;
+
+    /// `sol["x"]`: the binding of `?x`. Panics when `?x` is not
+    /// projected (use [`StreamSolution::get`] for the fallible form).
+    fn index(&self, name: &str) -> &Term {
+        self.get(name).unwrap_or_else(|| {
+            panic!(
+                "variable ?{name} is not projected (projection: {:?})",
+                self.variables
+            )
+        })
     }
 }
 
@@ -829,5 +1104,83 @@ mod tests {
     fn sessions_are_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<GStoreD>();
+    }
+
+    #[test]
+    fn stream_yields_the_same_solution_set_as_execute() {
+        let db = session();
+        let prepared = db
+            .prepare("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?b }")
+            .unwrap();
+        let executed: Vec<Vec<VertexId>> = prepared.execute().unwrap().vertex_rows().to_vec();
+        for chunk in [1usize, 7, usize::MAX] {
+            let mut streamed: Vec<Vec<VertexId>> = prepared
+                .stream_with_chunk(chunk)
+                .unwrap()
+                .map(|sol| sol.unwrap().into_vertex_row())
+                .collect();
+            streamed.sort_unstable();
+            assert_eq!(streamed, executed, "chunk {chunk}");
+        }
+        // Streamed solutions address by name like materialized ones.
+        let sol = prepared.stream().unwrap().next().unwrap().unwrap();
+        assert!(sol.get("a").is_some());
+        assert_eq!(sol.variables(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(sol["a"], *sol.solution().get("a").unwrap());
+    }
+
+    #[test]
+    fn limit_short_circuits_and_releases_the_fleet() {
+        let db = session();
+        let prepared = db
+            .prepare("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?b } LIMIT 1")
+            .unwrap();
+        let mut stream = prepared.stream_with_chunk(1).unwrap();
+        let first = stream.next();
+        assert!(matches!(first, Some(Ok(_))));
+        // The LIMIT filled on that row: the iterator is already fused and
+        // the fleet's state tables are empty without another next() call.
+        assert!(stream.next().is_none());
+        for status in db.fleet_status().unwrap() {
+            assert_eq!(status.resident_queries, 0);
+        }
+    }
+
+    #[test]
+    fn dropping_a_stream_midway_releases_the_fleet() {
+        let db = session();
+        let prepared = db
+            .prepare("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?b }")
+            .unwrap();
+        {
+            let mut stream = prepared.stream_with_chunk(1).unwrap();
+            assert!(matches!(stream.next(), Some(Ok(_))));
+            // Dropped mid-stream here.
+        }
+        for status in db.fleet_status().unwrap() {
+            assert_eq!(status.resident_queries, 0);
+        }
+        // And the admission slot is free: max_concurrent streams in a
+        // row would deadlock if any of them leaked its ticket.
+        for _ in 0..db.engine().config().max_concurrent_queries + 1 {
+            let mut s = prepared.stream().unwrap();
+            let _ = s.next();
+        }
+    }
+
+    #[test]
+    fn distinct_and_limit_apply_incrementally_on_streams() {
+        let db = session();
+        let prepared = db
+            .prepare("SELECT DISTINCT ?a WHERE { ?a <http://ex/knows> ?b } LIMIT 2")
+            .unwrap();
+        let rows: Vec<Vec<VertexId>> = prepared
+            .stream_with_chunk(1)
+            .unwrap()
+            .map(|sol| sol.unwrap().into_vertex_row())
+            .collect();
+        assert!(rows.len() <= 2);
+        let unique: HashSet<_> = rows.iter().collect();
+        assert_eq!(unique.len(), rows.len(), "DISTINCT deduplicates");
     }
 }

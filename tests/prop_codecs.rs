@@ -161,6 +161,8 @@ proptest! {
         first_id in any::<u32>(),
         useful in prop::collection::vec(any::<u32>(), 0..32),
         filter_vertices in prop::collection::vec((0usize..8, 0u64..512), 0..4),
+        seq in any::<u64>(),
+        max in any::<usize>(),
     ) {
         let query = QueryId(qid);
         let requests = vec![
@@ -181,6 +183,9 @@ proptest! {
             Request::ComputeLecFeatures { query, first_id },
             Request::DropPruned { query, useful: useful.clone() },
             Request::ShipSurvivors { query },
+            Request::ShipSurvivorsChunk { query, seq, max },
+            Request::ShipSurvivorsChunk { query, seq: 0, max: usize::MAX },
+            Request::CancelQuery { query },
             Request::ReleaseQuery { query },
             Request::WorkerStatus { query },
             Request::Shutdown,
@@ -229,6 +234,8 @@ proptest! {
         mask in any::<u64>(),
         message in "[ -~]{0,40}",
         status in prop::collection::vec(any::<u64>(), 4),
+        chunk_seq in any::<u64>(),
+        chunk_last in any::<bool>(),
     ) {
         let locals: Vec<Vec<TermId>> = rows
             .iter()
@@ -241,7 +248,13 @@ proptest! {
             ResponseBody::BitVectors(vec![BitVectorFilter::new(128)]),
             ResponseBody::PartialEval { locals, lpm_count },
             ResponseBody::Features(vec![LecFeature::of_lpm(&lpm)]),
-            ResponseBody::Survivors(vec![lpm]),
+            ResponseBody::Survivors(vec![lpm.clone()]),
+            ResponseBody::SurvivorsChunk {
+                lpms: vec![lpm.clone(), lpm],
+                seq: chunk_seq,
+                last: chunk_last,
+            },
+            ResponseBody::SurvivorsChunk { lpms: vec![], seq: 0, last: true },
             ResponseBody::Status(WorkerStatus {
                 resident_queries: status[0],
                 resident_lpms: status[1],
@@ -293,5 +306,64 @@ proptest! {
         let decoded =
             protocol::decode_bindings(protocol::encode_bindings(&bindings)).unwrap();
         prop_assert_eq!(decoded, bindings);
+    }
+
+    /// A hostile `SurvivorsChunk` reply claiming an enormous LPM count
+    /// must decode to a typed error — never a panic or a huge
+    /// `Vec::with_capacity` (a persistent coordinator reads frames from
+    /// workers it does not control).
+    #[test]
+    fn hostile_survivors_chunk_counts_are_decode_errors(
+        qid in any::<u32>(),
+        seq in any::<u64>(),
+        claimed in 1_000_000u64..u64::MAX / 2,
+    ) {
+        // Envelope layout: elapsed u64 fixed, query u32 fixed, tag 10
+        // (SurvivorsChunk), seq varint, last bool, then the LPM batch,
+        // which opens with its element count.
+        let mut w = gstored::net::WireWriter::new();
+        w.u64_fixed(0).u32_fixed(qid).u64(10).u64(seq).bool(true).u64(claimed);
+        prop_assert!(protocol::decode_response(w.finish()).is_err());
+    }
+
+    /// Truncated streaming request frames (ShipSurvivorsChunk missing its
+    /// cursor fields, CancelQuery missing its id) are decode errors, and
+    /// any prefix of a valid streaming frame decodes without panicking.
+    #[test]
+    fn truncated_streaming_frames_never_panic(
+        qid in any::<u32>(),
+        seq in any::<u64>(),
+        max in any::<usize>(),
+        cut in 0usize..64,
+    ) {
+        let query = QueryId(qid);
+        for frame in [
+            protocol::encode_request(&Request::ShipSurvivorsChunk { query, seq, max }),
+            protocol::encode_request(&Request::CancelQuery { query }),
+            protocol::encode_response(&Response {
+                elapsed_nanos: 1,
+                query,
+                body: ResponseBody::SurvivorsChunk { lpms: vec![], seq, last: false },
+            }),
+        ] {
+            let cut = cut.min(frame.len().saturating_sub(1));
+            let _ = protocol::decode_request(frame.slice(0..cut));
+            let _ = protocol::decode_response(frame.slice(0..cut));
+            // Full frames decode through exactly one of the two codecs.
+            let full = protocol::decode_request(frame.clone()).is_ok()
+                || protocol::decode_response(frame).is_ok();
+            prop_assert!(full);
+        }
+    }
+
+    /// Arbitrary byte soup through both envelope decoders: errors are
+    /// fine, panics and runaway allocations are not.
+    #[test]
+    fn random_bytes_never_panic_the_decoders(
+        soup in prop::collection::vec(0u64..256, 0..256),
+    ) {
+        let frame = bytes::Bytes::from(soup.into_iter().map(|b| b as u8).collect::<Vec<u8>>());
+        let _ = protocol::decode_request(frame.clone());
+        let _ = protocol::decode_response(frame);
     }
 }

@@ -1,0 +1,109 @@
+//! PR7 streaming-equivalence oracle.
+//!
+//! `PreparedQuery::stream()` re-plumbs the whole result path — chunked
+//! survivor shipping, the arrival-driven incremental join, lazy star
+//! pulls — but it is a pure re-engineering of the result *set*: on every
+//! input, the collected stream must equal `execute()`'s rows and the
+//! frozen centralized matcher, for every engine variant, every
+//! partitioner, and every survivor-chunk size. Chunk boundaries are a
+//! transport knob; they must never change (or reorder-into-loss,
+//! duplicate, or drop) a single solution.
+
+use proptest::prelude::*;
+
+use gstored::core::engine::Variant;
+use gstored::datagen::random::{random_graph, random_query, RandomGraphConfig};
+use gstored::partition::{
+    HashPartitioner, MetisLikePartitioner, Partitioner, SemanticHashPartitioner,
+};
+use gstored::prelude::*;
+use gstored::rdf::VertexId;
+use gstored::store::{find_matches, EncodedQuery};
+use gstored::GStoreD;
+
+fn partitioners(sites: usize) -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(HashPartitioner::new(sites)),
+        Box::new(SemanticHashPartitioner::new(sites)),
+        Box::new(MetisLikePartitioner::new(sites)),
+    ]
+}
+
+/// The survivor-chunk sizes under test: pathological (1), prime and
+/// smaller than most survivor sets (7), larger than most (64), and the
+/// "everything in one reply" degenerate case.
+const CHUNKS: [usize; 4] = [1, 7, 64, usize::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random graph × random query: collecting `stream()` equals
+    /// `execute()` equals the centralized oracle, across 4 variants × 3
+    /// partitioners × 4 chunk sizes.
+    #[test]
+    fn stream_equals_execute_equals_centralized(
+        graph_seed in 0u64..5000,
+        query_seed in 0u64..5000,
+        n_edges in 1usize..4,
+    ) {
+        let g = random_graph(&RandomGraphConfig {
+            vertices: 24,
+            edges: 48,
+            predicates: 3,
+            seed: graph_seed,
+        });
+        let text = random_query(n_edges, 3, None, query_seed);
+
+        // Frozen centralized oracle, projected exactly as the session
+        // projects (SELECT * keeps every variable, in query order).
+        let query = QueryGraph::from_query(
+            &gstored::sparql::parse_query(&text).expect("generated query parses"),
+        )
+        .expect("generated query is connected");
+        let eq = EncodedQuery::encode(&query, g.dict()).expect("no predicate projection");
+        let proj = eq.projection().to_vec();
+        let mut expected: Vec<Vec<VertexId>> = find_matches(&g, &eq)
+            .iter()
+            .map(|b| proj.iter().map(|&v| b[v]).collect())
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+
+        for pi in 0..partitioners(3).len() {
+            for variant in Variant::ALL {
+                let p = partitioners(3).swap_remove(pi);
+                let name = p.name();
+                let session = GStoreD::builder()
+                    .graph(g.clone())
+                    .partitioner_boxed(p)
+                    .variant(variant)
+                    .build()
+                    .expect("session builds");
+                let prepared = session.prepare(&text).expect("prepares");
+
+                let mut executed = prepared.execute().expect("executes").vertex_rows().to_vec();
+                executed.sort_unstable();
+                executed.dedup();
+                prop_assert_eq!(
+                    &executed, &expected,
+                    "execute() under {} / {} diverged on {}", name, variant.label(), text
+                );
+
+                for chunk in CHUNKS {
+                    let mut streamed: Vec<Vec<VertexId>> = prepared
+                        .stream_with_chunk(chunk)
+                        .expect("stream starts")
+                        .map(|sol| sol.expect("stream yields").into_vertex_row())
+                        .collect();
+                    streamed.sort_unstable();
+                    streamed.dedup();
+                    prop_assert_eq!(
+                        &streamed, &expected,
+                        "stream(chunk={}) under {} / {} diverged on {}",
+                        chunk, name, variant.label(), text
+                    );
+                }
+            }
+        }
+    }
+}

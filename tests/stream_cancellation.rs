@@ -1,0 +1,169 @@
+//! PR7 stream-cancellation leak tests.
+//!
+//! A dropped or LIMIT-short-circuited [`gstored::QuerySolutionIter`]
+//! must leave **no residue anywhere in the fleet**: every worker's
+//! query-state table empty (`fleet_status()` occupancy zero, no resident
+//! LPMs) and the session's admission slot released — on the in-process
+//! backend and over real TCP workers alike, since cancellation is a
+//! protocol broadcast (`CancelQuery`), not an in-process shortcut.
+
+use std::net::TcpListener;
+
+use gstored::core::engine::Backend;
+use gstored::core::worker::serve_tcp;
+use gstored::prelude::*;
+use gstored::rdf::Triple;
+use gstored::GStoreD;
+
+const P: &str = "http://x/p";
+const Q: &str = "http://x/q";
+
+/// A dense star (one hub, `n` leaves, each leaf with a tail edge): the
+/// star query below has `n²` solutions, so LIMIT 1 abandons almost all
+/// of them, and the path query keeps every site holding survivor state
+/// when a stream is dropped mid-flight.
+fn dense_star(n: usize) -> RdfGraph {
+    let t = |s: String, p: &str, o: String| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+    let mut triples = Vec::new();
+    for i in 0..n {
+        triples.push(t("http://v/hub".into(), P, format!("http://v/leaf{i}")));
+        triples.push(t(
+            format!("http://v/leaf{i}"),
+            Q,
+            format!("http://v/tail{i}"),
+        ));
+        triples.push(t(
+            format!("http://v/tail{i}"),
+            P,
+            format!("http://v/end{i}"),
+        ));
+    }
+    RdfGraph::from_triples(triples)
+}
+
+/// n² star solutions through the Section VIII-B fast path.
+const STAR_QUERY: &str = "SELECT * WHERE { ?h <http://x/p> ?a . ?h <http://x/p> ?b }";
+/// A 3-edge path — no star center, so it takes the general chunked
+/// survivor pipeline.
+const PATH_QUERY: &str =
+    "SELECT * WHERE { ?a <http://x/p> ?b . ?b <http://x/q> ?c . ?c <http://x/p> ?d }";
+
+/// Spawn `k` persistent TCP workers on ephemeral ports.
+fn spawn_tcp_fleet(k: usize) -> Vec<String> {
+    (0..k)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || serve_tcp(listener));
+            addr
+        })
+        .collect()
+}
+
+fn backends(k: usize) -> Vec<(&'static str, Backend)> {
+    vec![
+        ("in-process", Backend::InProcess),
+        (
+            "tcp",
+            Backend::Tcp {
+                workers: spawn_tcp_fleet(k),
+            },
+        ),
+    ]
+}
+
+fn session(backend: Backend, max_concurrent: usize) -> GStoreD {
+    GStoreD::builder()
+        .graph(dense_star(40))
+        .partitioner(HashPartitioner::new(3))
+        .backend(backend)
+        .max_concurrent_queries(max_concurrent)
+        .build()
+        .unwrap()
+}
+
+fn assert_fleet_drained(session: &GStoreD, context: &str) {
+    for (site, status) in session.fleet_status().unwrap().iter().enumerate() {
+        assert_eq!(
+            status.resident_queries, 0,
+            "{context}: site {site} still holds query state"
+        );
+        assert_eq!(
+            status.resident_lpms, 0,
+            "{context}: site {site} still holds LPMs"
+        );
+    }
+}
+
+/// Dropping an iterator mid-stream — with rows still pending on every
+/// site — must drain the whole fleet, on both backends. The repeat count
+/// exceeds `max_concurrent_queries`, so any leaked admission ticket
+/// deadlocks the test instead of passing silently.
+#[test]
+fn dropping_a_stream_midway_drains_the_fleet_on_both_backends() {
+    for (name, backend) in backends(3) {
+        let session = session(backend, 2);
+        for round in 0..5 {
+            for query in [STAR_QUERY, PATH_QUERY] {
+                let prepared = session.prepare(query).unwrap();
+                let mut stream = prepared.stream_with_chunk(1).unwrap();
+                let first = stream.next().expect("dense star has solutions").unwrap();
+                assert!(!first.vertex_row().is_empty());
+                drop(stream);
+                assert_fleet_drained(&session, &format!("{name}, drop round {round}, {query}"));
+            }
+        }
+    }
+}
+
+/// LIMIT 1 over the dense star: the iterator must cancel the fleet on
+/// the same `next()` call that fills the limit — occupancy is zero
+/// immediately after the first row, before the iterator is even
+/// exhausted or dropped.
+#[test]
+fn limit_one_over_a_dense_star_releases_the_fleet_on_both_backends() {
+    for (name, backend) in backends(3) {
+        let session = session(backend, 2);
+        for round in 0..5 {
+            for query in [
+                "SELECT * WHERE { ?h <http://x/p> ?a . ?h <http://x/p> ?b } LIMIT 1",
+                "SELECT * WHERE { ?a <http://x/p> ?b . ?b <http://x/q> ?c . \
+                 ?c <http://x/p> ?d } LIMIT 1",
+            ] {
+                let prepared = session.prepare(query).unwrap();
+                let mut stream = prepared.stream_with_chunk(1).unwrap();
+                let first = stream
+                    .next()
+                    .expect("limited query yields its row")
+                    .unwrap();
+                assert!(!first.vertex_row().is_empty());
+                // Limit filled on that very call: fleet must already be
+                // drained while the iterator is still alive.
+                assert_fleet_drained(&session, &format!("{name}, limit round {round}, {query}"));
+                assert!(stream.next().is_none(), "limit 1 means one row");
+            }
+        }
+    }
+}
+
+/// A fully drained stream releases everything too, and the solution set
+/// matches `execute()` on both backends — cancellation plumbing must not
+/// perturb the ordinary completion path.
+#[test]
+fn completed_streams_match_execute_and_release_on_both_backends() {
+    for (name, backend) in backends(3) {
+        let session = session(backend, 2);
+        for query in [STAR_QUERY, PATH_QUERY] {
+            let prepared = session.prepare(query).unwrap();
+            let expected = prepared.execute().unwrap().vertex_rows().to_vec();
+            let mut streamed: Vec<Vec<_>> = prepared
+                .stream_with_chunk(3)
+                .unwrap()
+                .map(|sol| sol.unwrap().into_vertex_row())
+                .collect();
+            streamed.sort_unstable();
+            assert_eq!(streamed, expected, "{name}: {query}");
+            assert_fleet_drained(&session, &format!("{name}, completed, {query}"));
+        }
+    }
+}
