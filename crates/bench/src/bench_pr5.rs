@@ -120,10 +120,10 @@ fn sweep_dataset(
     config: &BenchPr5Config,
 ) -> (String, Vec<(usize, f64)>, (bool, bool)) {
     let dist = partition(dataset.graph.clone(), "hash", config.sites);
-    let network = gstored::net::NetworkModel {
-        latency: Duration::from_micros(config.latency_us),
-        bytes_per_sec: config.bytes_per_sec,
-    };
+    let network = gstored::net::NetworkModel::new(
+        Duration::from_micros(config.latency_us),
+        config.bytes_per_sec,
+    );
     let max_clients = config.clients.iter().copied().max().unwrap_or(1);
     let db = GStoreD::builder()
         .distributed(dist)

@@ -334,10 +334,10 @@ fn run_overload(
 /// plus `(rows_equal, tables_empty, overload)`.
 fn sweep_dataset(dataset: &Dataset, config: &BenchPr6Config) -> (String, bool, bool, Overload) {
     let dist = partition(dataset.graph.clone(), "hash", config.sites);
-    let network = gstored::net::NetworkModel {
-        latency: Duration::from_micros(config.latency_us),
-        bytes_per_sec: config.bytes_per_sec,
-    };
+    let network = gstored::net::NetworkModel::new(
+        Duration::from_micros(config.latency_us),
+        config.bytes_per_sec,
+    );
     let max_clients = config.clients.iter().copied().max().unwrap_or(1);
     let db = Arc::new(
         GStoreD::builder()

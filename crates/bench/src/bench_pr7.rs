@@ -296,10 +296,10 @@ fn session_for(graph: RdfGraph, sites: usize, config: &BenchPr7Config) -> GStore
         .distributed(dist)
         .config(EngineConfig {
             variant: Variant::Full,
-            network: gstored::net::NetworkModel {
-                latency: Duration::from_micros(config.latency_us),
-                bytes_per_sec: config.bytes_per_sec,
-            },
+            network: gstored::net::NetworkModel::new(
+                Duration::from_micros(config.latency_us),
+                config.bytes_per_sec,
+            ),
             pace_network: true,
             ..EngineConfig::default()
         })

@@ -25,6 +25,53 @@ use crate::error::EngineError;
 use crate::protocol::{Request, ResponseBody};
 use crate::runtime::{expect_acks, WorkerPool};
 
+/// The query's variable vertices, in vertex order — the ones that get
+/// bit vectors (constants are checked directly).
+pub(crate) fn var_vertices(q: &EncodedQuery) -> Vec<usize> {
+    (0..q.vertex_count())
+        .filter(|&v| q.vertex(v).is_var())
+        .collect()
+}
+
+/// Union per-site `BitVectors` replies into one vector per variable
+/// (Algorithm 4 lines 2–6). Shared by the barriered exchange below and
+/// the engine's overlapped driver, which collects the same replies
+/// through per-site stage cursors instead of a fleet gather.
+pub(crate) fn union_bit_vectors(
+    bodies: &[ResponseBody],
+    var_count: usize,
+    bits_per_variable: usize,
+) -> Result<Vec<BitVectorFilter>, EngineError> {
+    let mut acc: Vec<BitVectorFilter> = (0..var_count)
+        .map(|_| BitVectorFilter::new(bits_per_variable))
+        .collect();
+    for body in bodies {
+        let ResponseBody::BitVectors(vectors) = body else {
+            return Err(EngineError::Protocol(
+                "expected BitVectors reply to ComputeCandidates".into(),
+            ));
+        };
+        if vectors.len() != acc.len() {
+            return Err(EngineError::Protocol(
+                "wrong bit-vector count from site".into(),
+            ));
+        }
+        for (a, b) in acc.iter_mut().zip(vectors) {
+            // union_with asserts equal widths; a mismatched reply
+            // must be a protocol error, not a coordinator abort.
+            if b.n_bits() != a.n_bits() {
+                return Err(EngineError::Protocol(format!(
+                    "bit vector of {} bits where {} were requested",
+                    b.n_bits(),
+                    a.n_bits()
+                )));
+            }
+            a.union_with(b);
+        }
+    }
+    Ok(acc)
+}
+
 /// Run Algorithm 4 over the pool's workers (the query must already be
 /// installed on every site). The workers adopt the unioned filter for
 /// their upcoming LPM enumeration; the same filter is also returned for
@@ -37,8 +84,7 @@ pub fn exchange_candidates(
     let mut stage = StageMetrics::default();
     let query = pool.query();
     let n = q.vertex_count();
-    // Variable vertices get bit vectors; constants are checked directly.
-    let var_vertices: Vec<usize> = (0..n).filter(|&v| q.vertex(v).is_var()).collect();
+    let vars = var_vertices(q);
 
     // Site side: find C(Q, v) and hash into B'_v (lines 10–15).
     let bodies = pool.broadcast(
@@ -50,47 +96,16 @@ pub fn exchange_candidates(
     )?;
 
     // Coordinator: union per variable (lines 2–6).
-    let unioned: Vec<BitVectorFilter> = stage.time(|| {
-        let mut acc: Vec<BitVectorFilter> = (0..var_vertices.len())
-            .map(|_| BitVectorFilter::new(bits_per_variable))
-            .collect();
-        for body in &bodies {
-            let ResponseBody::BitVectors(vectors) = body else {
-                return Err(EngineError::Protocol(
-                    "expected BitVectors reply to ComputeCandidates".into(),
-                ));
-            };
-            if vectors.len() != acc.len() {
-                return Err(EngineError::Protocol(
-                    "wrong bit-vector count from site".into(),
-                ));
-            }
-            for (a, b) in acc.iter_mut().zip(vectors) {
-                // union_with asserts equal widths; a mismatched reply
-                // must be a protocol error, not a coordinator abort.
-                if b.n_bits() != a.n_bits() {
-                    return Err(EngineError::Protocol(format!(
-                        "bit vector of {} bits where {} were requested",
-                        b.n_bits(),
-                        a.n_bits()
-                    )));
-                }
-                a.union_with(b);
-            }
-        }
-        Ok(acc)
-    })?;
+    let unioned: Vec<BitVectorFilter> =
+        stage.time(|| union_bit_vectors(&bodies, vars.len(), bits_per_variable))?;
 
     // Broadcast the result to every site (lines 7–8); sites adopt it.
-    let vectors: Vec<(usize, BitVectorFilter)> = var_vertices
-        .iter()
-        .copied()
-        .zip(unioned.iter().cloned())
-        .collect();
+    let vectors: Vec<(usize, BitVectorFilter)> =
+        vars.iter().copied().zip(unioned.iter().cloned()).collect();
     expect_acks(pool.broadcast(&Request::SetCandidateFilter { query, vectors }, &mut stage)?)?;
 
     let mut filter = CandidateFilter::none(n);
-    for (i, &v) in var_vertices.iter().enumerate() {
+    for (i, &v) in vars.iter().enumerate() {
         filter.extended_bits[v] = Some(unioned[i].clone());
     }
     Ok((filter, stage))

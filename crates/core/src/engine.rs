@@ -40,20 +40,21 @@
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use bytes::Bytes;
 use fxhash::FxHashSet;
-use gstored_net::{NetworkModel, QueryMetrics, TcpTransport, Transport};
+use gstored_net::{NetworkModel, QueryMetrics, ReactorTransport, TcpTransport, Transport};
 use gstored_partition::DistributedGraph;
 use gstored_rdf::{Term, VertexId};
 use gstored_sparql::QueryGraph;
 use gstored_store::{EncodedQuery, LocalPartialMatch};
 
 use crate::assembly::{assemble_basic, assemble_lec, IncrementalJoin};
-use crate::candidates::exchange_candidates;
+use crate::candidates::{exchange_candidates, union_bit_vectors, var_vertices};
 use crate::error::EngineError;
 use crate::prepared::PreparedPlan;
 use crate::protocol::{self, QueryId, Request, ResponseBody};
 use crate::prune::prune_features;
-use crate::runtime::{expect_acks, ReplyRouter, WorkerPool};
+use crate::runtime::{expect_acks, worker_failure, ReplyRouter, WorkerPool};
 use crate::worker::with_in_process_workers;
 
 /// Query ids for executions that bypass a session's `QueryExecutor`
@@ -159,6 +160,22 @@ pub struct EngineConfig {
     /// deliver. Off by default (tests and interactive use want raw
     /// speed); the closed-loop throughput benchmarks turn it on.
     pub pace_network: bool,
+    /// Overlap pipeline stages per site where the data dependencies
+    /// allow it (default): a site that has acked `InstallQuery` already
+    /// has its next stage frame queued behind it, so a straggler delays
+    /// only itself on dependency-free edges. Genuinely global steps —
+    /// candidate-vector union, LEC pruning — keep their barriers.
+    /// `false` restores the classic broadcast-then-gather driver; both
+    /// drivers exchange byte-identical frames with identical per-stage
+    /// charges (pinned by the overlap-equivalence proptests), only wall
+    /// clock differs.
+    pub overlap_stages: bool,
+    /// Drive [`Backend::Tcp`] fleets through the epoll-multiplexed
+    /// [`ReactorTransport`] — one coordinator I/O thread for the whole
+    /// fleet regardless of site count (default). `false` falls back to
+    /// the blocking per-site sockets of [`TcpTransport`]. Frames are
+    /// identical either way.
+    pub reactor_io: bool,
 }
 
 impl Default for EngineConfig {
@@ -171,6 +188,8 @@ impl Default for EngineConfig {
             backend: Backend::InProcess,
             max_concurrent_queries: 8,
             pace_network: false,
+            overlap_stages: true,
+            reactor_io: true,
         }
     }
 }
@@ -279,8 +298,13 @@ impl Engine {
                 with_in_process_workers(dist, |transport| self.execute_on(transport, dist, plan))
             }
             Backend::Tcp { .. } => {
-                let transport = self.connect_workers(dist)?;
-                self.execute_on(&transport, dist, plan)
+                if self.config.reactor_io {
+                    let transport = self.connect_workers_reactor(dist)?;
+                    self.execute_on(&transport, dist, plan)
+                } else {
+                    let transport = self.connect_workers(dist)?;
+                    self.execute_on(&transport, dist, plan)
+                }
             }
         }
     }
@@ -313,9 +337,38 @@ impl Engine {
         Ok(transport)
     }
 
+    /// Like [`Engine::connect_workers`], but through the
+    /// epoll-multiplexed [`ReactorTransport`]: every site socket is
+    /// serviced by **one** coordinator I/O thread, so the thread count
+    /// stays O(1) as the fleet grows. Same wire protocol, same frames.
+    pub fn connect_workers_reactor(
+        &self,
+        dist: &DistributedGraph,
+    ) -> Result<ReactorTransport, EngineError> {
+        let Backend::Tcp { workers } = &self.config.backend else {
+            return Err(EngineError::Transport(
+                "connect_workers_reactor requires Backend::Tcp".into(),
+            ));
+        };
+        if workers.len() != dist.fragment_count() {
+            return Err(EngineError::Transport(format!(
+                "{} worker addresses for {} fragments",
+                workers.len(),
+                dist.fragment_count()
+            )));
+        }
+        let addrs: Vec<&str> = workers.iter().map(|w| w.as_str()).collect();
+        let transport = ReactorTransport::connect(&addrs)?;
+        self.install_fragments(&transport, dist)?;
+        Ok(transport)
+    }
+
     /// Ship every fragment to its remote worker (deployment-time data
     /// loading — deliberately *not* charged as query data shipment).
-    fn install_fragments(
+    /// Public so harnesses connecting their own [`Transport`] (e.g. a
+    /// [`ReactorTransport`] over a custom listener set) can load the
+    /// fleet the same way the engine does.
+    pub fn install_fragments(
         &self,
         transport: &dyn Transport,
         dist: &DistributedGraph,
@@ -403,7 +456,7 @@ impl Engine {
             return Ok(self.finish(query_graph, q, Vec::new(), metrics));
         }
 
-        let pool = WorkerPool::new(transport, router, self.config.network, query)
+        let pool = WorkerPool::new(transport, router, self.config.network.clone(), query)
             .with_pacing(self.config.pace_network);
 
         match self.run_stages(&pool, plan, &mut metrics) {
@@ -466,7 +519,7 @@ impl Engine {
         let chunk = chunk.max(1);
         let mut state = StreamState {
             query,
-            network: self.config.network,
+            network: self.config.network.clone(),
             paced: self.config.pace_network,
             chunk,
             vertex_count: q.vertex_count(),
@@ -490,7 +543,7 @@ impl Engine {
             return Ok(state);
         }
 
-        let pool = WorkerPool::new(transport, router, self.config.network, query)
+        let pool = WorkerPool::new(transport, router, self.config.network.clone(), query)
             .with_pacing(self.config.pace_network);
         let shape = plan.shape();
         let star = self.config.star_fast_path && shape.is_star();
@@ -537,6 +590,9 @@ impl Engine {
         let shape = plan.shape();
         if self.config.star_fast_path && shape.is_star() {
             let center = shape.star_center.expect("stars have centers");
+            if self.config.overlap_stages {
+                return self.run_star_overlapped(pool, q, center, metrics);
+            }
             expect_acks(pool.broadcast_frame(
                 protocol::encode_install_query(query, q),
                 &mut metrics.partial_evaluation,
@@ -569,12 +625,94 @@ impl Engine {
         self.assemble_gathered(pool, plan, complete, metrics)
     }
 
+    /// The overlapped star fast path: every site gets its whole chain —
+    /// `InstallQuery; StarMatches; ReleaseQuery` — queued at once (each
+    /// edge is per-site: a star match never needs another site's data),
+    /// and the coordinator drains the three replies per site. Same
+    /// frames and `partial_evaluation` charges as the barriered path.
+    fn run_star_overlapped(
+        &self,
+        pool: &WorkerPool<'_>,
+        q: &EncodedQuery,
+        center: usize,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let query = pool.query();
+        let star = protocol::encode_request(&Request::StarMatches { query, center });
+        let release = protocol::encode_request(&Request::ReleaseQuery { query });
+        let install = protocol::encode_install_query(query, q);
+        for site in 0..pool.sites() {
+            pool.send_frame_to(site, install.clone(), &mut metrics.partial_evaluation)?;
+            pool.send_frame_to(site, star.clone(), &mut metrics.partial_evaluation)?;
+            pool.send_frame_to(site, release.clone(), &mut metrics.partial_evaluation)?;
+        }
+        let mut all = Vec::new();
+        let mut first_error: Option<EngineError> = None;
+        // One max per logical stage, mirroring the three gathers of the
+        // barriered driver (each adds its slowest site to the wall).
+        let mut slowest = [0u64; 3];
+        for site in 0..pool.sites() {
+            for (step, slow) in slowest.iter_mut().enumerate() {
+                let body = pool.recv_tracked(site, &mut metrics.partial_evaluation, slow)?;
+                if let Some(e) = worker_failure(site, &body) {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+                match (step, body) {
+                    (0, ResponseBody::Ack) | (2, ResponseBody::Ack) => {}
+                    (1, ResponseBody::Bindings(ms)) => {
+                        for row in &ms {
+                            check_binding_row(row, q)?;
+                        }
+                        all.extend(ms);
+                    }
+                    (_, other) => {
+                        let (want, req) = match step {
+                            1 => ("Bindings", "StarMatches"),
+                            _ => ("Ack", "InstallQuery/ReleaseQuery"),
+                        };
+                        first_error.get_or_insert(unexpected(want, req, &other));
+                    }
+                }
+            }
+        }
+        for nanos in slowest {
+            metrics.partial_evaluation.wall += std::time::Duration::from_nanos(nanos);
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        metrics.local_matches = all.len() as u64;
+        Ok(all)
+    }
+
     /// Stages 0–3 of the general pipeline: query distribution, candidate
     /// exchange (Full), partial evaluation, and LEC pruning (LO/Full).
     /// Returns the local complete matches; afterwards every site holds
     /// its surviving LPMs ready to ship (in one gather for the batch
     /// path, in bounded chunks for the streaming path).
+    ///
+    /// Two drivers, selected by [`EngineConfig::overlap_stages`],
+    /// exchange byte-identical frames with identical per-stage charges;
+    /// only the dispatch order — and therefore the wall clock under
+    /// skewed links — differs.
     fn prepare_survivors(
+        &self,
+        pool: &WorkerPool<'_>,
+        plan: &PreparedPlan,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        if self.config.overlap_stages {
+            self.prepare_survivors_overlapped(pool, plan, metrics)
+        } else {
+            self.prepare_survivors_barriered(pool, plan, metrics)
+        }
+    }
+
+    /// The classic driver: every stage is a full-fleet broadcast followed
+    /// by a full-fleet gather, so each collection point waits for the
+    /// slowest site before any site gets its next frame.
+    fn prepare_survivors_barriered(
         &self,
         pool: &WorkerPool<'_>,
         plan: &PreparedPlan,
@@ -621,29 +759,16 @@ impl Engine {
         }
         metrics.local_partial_matches = lpm_counts.iter().sum();
 
-        // Shared by pruning and assembly below.
-        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
-
         // --- Stage 3 (LO/Full): LEC feature optimization ---
         if self.config.variant.uses_lec_pruning() {
-            // Pre-assign disjoint global id ranges per site. The range
-            // width only needs to exceed the site's feature count; the
-            // LPM count is a safe bound.
-            let first_ids: Vec<u32> = {
-                let mut ids = Vec::with_capacity(lpm_counts.len());
-                let mut next = 0u32;
-                for &count in &lpm_counts {
-                    ids.push(next);
-                    next += count as u32 + 1;
-                }
-                ids
-            };
             // Sites compute features in parallel (Algorithm 1) and ship
-            // them — only them — to the coordinator.
+            // them — only them — to the coordinator, under statically
+            // pre-assigned disjoint feature-id ranges (same ids as the
+            // overlapped driver, so the frames match byte for byte).
             let bodies = pool.broadcast_with(
                 |site| Request::ComputeLecFeatures {
                     query,
-                    first_id: first_ids[site],
+                    first_id: lec_first_id(site, pool.sites()),
                 },
                 &mut metrics.lec_optimization,
             )?;
@@ -657,35 +782,242 @@ impl Engine {
                 }
                 all_features.extend(features);
             }
-            metrics.lec_features = all_features.len() as u64;
-
-            // Coordinator prunes (Algorithm 2)...
-            let useful: FxHashSet<u32> = metrics
-                .lec_optimization
-                .time(|| prune_features(&all_features, q.vertex_count(), &query_edges));
-
-            // ...and broadcasts the surviving ids back; sites drop the
-            // LPMs whose features lost.
-            let useful_ids: Vec<u32> = {
-                let mut v: Vec<u32> = useful.iter().copied().collect();
-                v.sort_unstable();
-                v
-            };
-            expect_acks(pool.broadcast(
-                &Request::DropPruned {
-                    query,
-                    useful: useful_ids,
-                },
-                &mut metrics.lec_optimization,
-            )?)?;
+            self.prune_and_drop(pool, q, all_features, metrics)?;
         }
 
         Ok(complete)
     }
 
-    /// Stage 4 of the batch path: gather every site's survivors in one
-    /// `ShipSurvivors` exchange, release the sites, and join at the
-    /// coordinator.
+    /// The readiness-driven driver: each site's dependency-free chain is
+    /// queued in one go and drained as replies arrive, so a straggler
+    /// delays only the phase's single collection point instead of every
+    /// stage boundary.
+    ///
+    /// Phases (Full variant; earlier variants skip the missing steps):
+    ///
+    /// 1. **Phase A**, per site pipelined: `InstallQuery;
+    ///    ComputeCandidates` — a site computes its candidate vectors the
+    ///    moment its own install lands.
+    /// 2. **Union barrier** (genuine): the candidate filter is the OR
+    ///    over *all* sites' vectors, so every reply must be in.
+    /// 3. **Phase B**, per site pipelined: `SetCandidateFilter;
+    ///    PartialEval; ComputeLecFeatures` — feature ids are assigned
+    ///    statically ([`lec_first_id`]), which is what frees the feature
+    ///    request from waiting on any other site's LPM count.
+    /// 4. **Prune barrier** (genuine): Algorithm 2 ranks features
+    ///    across the whole fleet; `DropPruned` broadcasts the verdict.
+    fn prepare_survivors_overlapped(
+        &self,
+        pool: &WorkerPool<'_>,
+        plan: &PreparedPlan,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let q = plan.encoded();
+        let query = pool.query();
+        let sites = pool.sites();
+        let variant = self.config.variant;
+        let install = protocol::encode_install_query(query, q);
+
+        // --- Phase A (Full only): install + candidate vectors, per-site ---
+        let filter_frame: Option<Bytes> = if variant.uses_candidate_exchange() {
+            let vars = var_vertices(q);
+            for site in 0..sites {
+                pool.send_frame_to(site, install.clone(), &mut metrics.candidates)?;
+                pool.send_to(
+                    site,
+                    &Request::ComputeCandidates {
+                        query,
+                        bits: self.config.candidate_bits,
+                    },
+                    &mut metrics.candidates,
+                )?;
+            }
+            let mut vector_bodies = Vec::with_capacity(sites);
+            let mut first_error: Option<EngineError> = None;
+            let mut slowest = [0u64; 2];
+            for site in 0..sites {
+                for (step, slow) in slowest.iter_mut().enumerate() {
+                    let body = pool.recv_tracked(site, &mut metrics.candidates, slow)?;
+                    if let Some(e) = worker_failure(site, &body) {
+                        first_error.get_or_insert(e);
+                        continue;
+                    }
+                    match (step, body) {
+                        (0, ResponseBody::Ack) => {}
+                        (1, body @ ResponseBody::BitVectors(_)) => vector_bodies.push(body),
+                        (0, other) => {
+                            first_error.get_or_insert(unexpected("Ack", "InstallQuery", &other));
+                        }
+                        (_, other) => {
+                            first_error.get_or_insert(unexpected(
+                                "BitVectors",
+                                "ComputeCandidates",
+                                &other,
+                            ));
+                        }
+                    }
+                }
+            }
+            for nanos in slowest {
+                metrics.candidates.wall += std::time::Duration::from_nanos(nanos);
+            }
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            // Union barrier: Algorithm 4 lines 2–6 need every site's
+            // vectors before any site may adopt the filter.
+            let unioned = metrics.candidates.time(|| {
+                union_bit_vectors(&vector_bodies, vars.len(), self.config.candidate_bits)
+            })?;
+            let vectors: Vec<_> = vars.iter().copied().zip(unioned).collect();
+            Some(protocol::encode_request(&Request::SetCandidateFilter {
+                query,
+                vectors,
+            }))
+        } else {
+            None
+        };
+
+        // --- Phase B: the per-site pipelined chain up to the features ---
+        let pruning = variant.uses_lec_pruning();
+        let pe_frame = protocol::encode_request(&Request::PartialEval { query });
+        for site in 0..sites {
+            if filter_frame.is_none() {
+                pool.send_frame_to(site, install.clone(), &mut metrics.partial_evaluation)?;
+            }
+            if let Some(frame) = &filter_frame {
+                pool.send_frame_to(site, frame.clone(), &mut metrics.candidates)?;
+            }
+            pool.send_frame_to(site, pe_frame.clone(), &mut metrics.partial_evaluation)?;
+            if pruning {
+                pool.send_to(
+                    site,
+                    &Request::ComputeLecFeatures {
+                        query,
+                        first_id: lec_first_id(site, sites),
+                    },
+                    &mut metrics.lec_optimization,
+                )?;
+            }
+        }
+
+        let mut complete: Vec<Vec<VertexId>> = Vec::new();
+        let mut all_features = Vec::new();
+        let mut lpm_total = 0u64;
+        let mut first_error: Option<EngineError> = None;
+        // Per-logical-stage maxes: the head ack (install or filter), the
+        // partial evaluation, and the feature computation.
+        let (mut slow_head, mut slow_pe, mut slow_clf) = (0u64, 0u64, 0u64);
+        for site in 0..sites {
+            let head_stage = if filter_frame.is_some() {
+                &mut metrics.candidates
+            } else {
+                &mut metrics.partial_evaluation
+            };
+            let body = pool.recv_tracked(site, head_stage, &mut slow_head)?;
+            if let Some(e) = worker_failure(site, &body) {
+                first_error.get_or_insert(e);
+            } else if !matches!(body, ResponseBody::Ack) {
+                first_error.get_or_insert(unexpected(
+                    "Ack",
+                    "InstallQuery/SetCandidateFilter",
+                    &body,
+                ));
+            }
+
+            let body = pool.recv_tracked(site, &mut metrics.partial_evaluation, &mut slow_pe)?;
+            if let Some(e) = worker_failure(site, &body) {
+                first_error.get_or_insert(e);
+            } else if let ResponseBody::PartialEval { locals, lpm_count } = body {
+                for row in &locals {
+                    check_binding_row(row, q)?;
+                }
+                metrics.local_matches += locals.len() as u64;
+                complete.extend(locals);
+                lpm_total += lpm_count;
+            } else {
+                first_error.get_or_insert(unexpected("PartialEval", "PartialEval", &body));
+            }
+
+            if pruning {
+                let body = pool.recv_tracked(site, &mut metrics.lec_optimization, &mut slow_clf)?;
+                if let Some(e) = worker_failure(site, &body) {
+                    first_error.get_or_insert(e);
+                } else if let ResponseBody::Features(features) = body {
+                    for feature in &features {
+                        check_feature(feature, q)?;
+                    }
+                    all_features.extend(features);
+                } else {
+                    first_error.get_or_insert(unexpected("Features", "ComputeLecFeatures", &body));
+                }
+            }
+        }
+        if filter_frame.is_some() {
+            metrics.candidates.wall += std::time::Duration::from_nanos(slow_head);
+        } else {
+            metrics.partial_evaluation.wall += std::time::Duration::from_nanos(slow_head);
+        }
+        metrics.partial_evaluation.wall += std::time::Duration::from_nanos(slow_pe);
+        metrics.lec_optimization.wall += std::time::Duration::from_nanos(slow_clf);
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        metrics.local_partial_matches = lpm_total;
+
+        // --- Prune barrier (LO/Full): genuinely global ---
+        if pruning {
+            self.prune_and_drop(pool, q, all_features, metrics)?;
+        }
+
+        Ok(complete)
+    }
+
+    /// The shared tail of stage 3: rank the gathered features across the
+    /// fleet (Algorithm 2) and broadcast the survivors' ids. A genuine
+    /// barrier in both drivers — pruning is a whole-fleet computation.
+    fn prune_and_drop(
+        &self,
+        pool: &WorkerPool<'_>,
+        q: &EncodedQuery,
+        all_features: Vec<crate::lec::LecFeature>,
+        metrics: &mut QueryMetrics,
+    ) -> Result<(), EngineError> {
+        let query = pool.query();
+        let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
+        metrics.lec_features = all_features.len() as u64;
+
+        // Coordinator prunes (Algorithm 2)...
+        let useful: FxHashSet<u32> = metrics
+            .lec_optimization
+            .time(|| prune_features(&all_features, q.vertex_count(), &query_edges));
+
+        // ...and broadcasts the surviving ids back; sites drop the
+        // LPMs whose features lost.
+        let useful_ids: Vec<u32> = {
+            let mut v: Vec<u32> = useful.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        expect_acks(pool.broadcast(
+            &Request::DropPruned {
+                query,
+                useful: useful_ids,
+            },
+            &mut metrics.lec_optimization,
+        )?)?;
+        Ok(())
+    }
+
+    /// Stage 4 of the batch path: gather every site's survivors, release
+    /// the sites, and join at the coordinator.
+    ///
+    /// Overlapped, each site's `ShipSurvivors; ReleaseQuery` pair is
+    /// queued together (releasing a site needs nothing from any other
+    /// site), so a finished site frees its per-query state while a
+    /// straggler is still shipping. Barriered, `ReleaseQuery` broadcasts
+    /// only after the whole fleet has shipped. Same frames, same
+    /// `assembly` charges either way.
     fn assemble_gathered(
         &self,
         pool: &WorkerPool<'_>,
@@ -696,21 +1028,68 @@ impl Engine {
         let q = plan.encoded();
         let query = pool.query();
         let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
-        let bodies = pool.broadcast(&Request::ShipSurvivors { query }, &mut metrics.assembly)?;
         let mut all_lpms: Vec<LocalPartialMatch> = Vec::new();
-        for body in bodies {
-            let ResponseBody::Survivors(lpms) = body else {
-                return Err(unexpected("Survivors", "ShipSurvivors", &body));
-            };
-            for lpm in &lpms {
-                check_lpm(lpm, q)?;
+        if self.config.overlap_stages {
+            let ship = protocol::encode_request(&Request::ShipSurvivors { query });
+            let release = protocol::encode_request(&Request::ReleaseQuery { query });
+            for site in 0..pool.sites() {
+                pool.send_frame_to(site, ship.clone(), &mut metrics.assembly)?;
+                pool.send_frame_to(site, release.clone(), &mut metrics.assembly)?;
             }
-            all_lpms.extend(lpms);
+            let mut first_error: Option<EngineError> = None;
+            let mut slowest = [0u64; 2];
+            for site in 0..pool.sites() {
+                for (step, slow) in slowest.iter_mut().enumerate() {
+                    let body = pool.recv_tracked(site, &mut metrics.assembly, slow)?;
+                    if let Some(e) = worker_failure(site, &body) {
+                        first_error.get_or_insert(e);
+                        continue;
+                    }
+                    match (step, body) {
+                        (0, ResponseBody::Survivors(lpms)) => {
+                            for lpm in &lpms {
+                                check_lpm(lpm, q)?;
+                            }
+                            all_lpms.extend(lpms);
+                        }
+                        (1, ResponseBody::Ack) => {}
+                        (0, other) => {
+                            first_error.get_or_insert(unexpected(
+                                "Survivors",
+                                "ShipSurvivors",
+                                &other,
+                            ));
+                        }
+                        (_, other) => {
+                            first_error.get_or_insert(unexpected("Ack", "ReleaseQuery", &other));
+                        }
+                    }
+                }
+            }
+            for nanos in slowest {
+                metrics.assembly.wall += std::time::Duration::from_nanos(nanos);
+            }
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            metrics.surviving_partial_matches = all_lpms.len() as u64;
+        } else {
+            let bodies =
+                pool.broadcast(&Request::ShipSurvivors { query }, &mut metrics.assembly)?;
+            for body in bodies {
+                let ResponseBody::Survivors(lpms) = body else {
+                    return Err(unexpected("Survivors", "ShipSurvivors", &body));
+                };
+                for lpm in &lpms {
+                    check_lpm(lpm, q)?;
+                }
+                all_lpms.extend(lpms);
+            }
+            metrics.surviving_partial_matches = all_lpms.len() as u64;
+            // The sites' part is done — drop their state before the
+            // coordinator-side join so worker memory frees while we compute.
+            expect_acks(pool.broadcast(&Request::ReleaseQuery { query }, &mut metrics.assembly)?)?;
         }
-        metrics.surviving_partial_matches = all_lpms.len() as u64;
-        // The sites' part is done — drop their state before the
-        // coordinator-side join so worker memory frees while we compute.
-        expect_acks(pool.broadcast(&Request::ReleaseQuery { query }, &mut metrics.assembly)?)?;
         let crossing = metrics.assembly.time(|| {
             if self.config.variant.uses_lec_assembly() {
                 assemble_lec(&all_lpms, q.vertex_count(), &query_edges)
@@ -841,8 +1220,8 @@ impl StreamState {
         transport: &dyn Transport,
         router: &ReplyRouter,
     ) -> Result<(), EngineError> {
-        let pool =
-            WorkerPool::new(transport, router, self.network, self.query).with_pacing(self.paced);
+        let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
+            .with_pacing(self.paced);
         match self.mode {
             StreamMode::Star { center } => {
                 let Some(site) = self.site_done.iter().position(|done| !done) else {
@@ -934,7 +1313,7 @@ impl StreamState {
     /// already released, then fuse the stream. Safe to call repeatedly.
     pub fn cancel(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
         if !self.released {
-            let pool = WorkerPool::new(transport, router, self.network, self.query)
+            let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
                 .with_pacing(self.paced);
             pool.cancel_quietly(&mut self.metrics.assembly);
             self.released = true;
@@ -946,7 +1325,7 @@ impl StreamState {
     /// Post-error cleanup: cancel the fleet (uncharged) and fuse.
     fn abort(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
         if !self.released {
-            let pool = WorkerPool::new(transport, router, self.network, self.query)
+            let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
                 .with_pacing(self.paced);
             let mut scratch = gstored_net::StageMetrics::default();
             pool.cancel_quietly(&mut scratch);
@@ -1003,6 +1382,17 @@ impl StreamState {
         }
         Ok(())
     }
+}
+
+/// Statically pre-assigned disjoint LEC feature-id range start for
+/// `site` in a fleet of `sites`. Deliberately independent of any LPM
+/// count: the overlapped driver queues `ComputeLecFeatures` right behind
+/// `PartialEval` *before* any site has reported how many LPMs it found,
+/// and the barriered driver uses the same ids so both drivers' frames
+/// are byte-identical. Each site owns `u32::MAX / sites` ids — orders of
+/// magnitude beyond any realistic per-site feature count.
+fn lec_first_id(site: usize, sites: usize) -> u32 {
+    (u32::MAX / sites as u32) * site as u32
 }
 
 /// Reject a wire-supplied binding row that does not fit the query. A

@@ -26,6 +26,7 @@
 //! condvar hands the reader role over when a pipeline leaves with its
 //! frame. No dedicated I/O threads, no reordering, no busy waiting.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -48,8 +49,12 @@ struct SiteSlot {
 #[derive(Debug, Default)]
 struct SlotState {
     /// Replies received for queries other than the reader's, keyed by
-    /// query id, with the frame length for shipment charging.
-    parked: FxHashMap<u32, (usize, Response)>,
+    /// query id, with the frame length for shipment charging. A *queue*
+    /// per query, not a slot: the overlapped stage driver keeps several
+    /// requests in flight per (query, site), so a reader may park two or
+    /// more of another pipeline's replies back to back — they hand over
+    /// in stream order, which per site is that query's request order.
+    parked: FxHashMap<u32, VecDeque<(usize, Response)>>,
     /// Whether some pipeline currently holds the site's reader role.
     reading: bool,
     /// Set when a read failed (transport broke, or a frame would not
@@ -112,7 +117,11 @@ impl ReplyRouter {
         })?;
         let mut state = slot.state.lock().expect("reply router poisoned");
         loop {
-            if let Some(hit) = state.parked.remove(&query.0) {
+            if let Some(queue) = state.parked.get_mut(&query.0) {
+                let hit = queue.pop_front().expect("parked queues are never empty");
+                if queue.is_empty() {
+                    state.parked.remove(&query.0);
+                }
                 return Ok(hit);
             }
             if let Some(msg) = &state.failed {
@@ -143,7 +152,11 @@ impl ReplyRouter {
                     if resp.query == query || resp.query == QueryId::CONTROL {
                         return Ok((len, resp));
                     }
-                    state.parked.insert(resp.query.0, (len, resp));
+                    state
+                        .parked
+                        .entry(resp.query.0)
+                        .or_default()
+                        .push_back((len, resp));
                     // Loop: maybe our reply is already parked, else read
                     // again (or wait, if someone grabbed the role).
                 }
@@ -357,6 +370,39 @@ impl<'t> WorkerPool<'t> {
         self.send_charged(site, protocol::encode_request(req), stage)
     }
 
+    /// Send an already-encoded frame to one site, charging it to `stage`.
+    /// The per-frame twin of [`WorkerPool::broadcast_frame`], used by the
+    /// overlapped stage driver to advance one site's cursor without
+    /// touching the rest of the fleet.
+    pub fn send_frame_to(
+        &self,
+        site: usize,
+        frame: Bytes,
+        stage: &mut StageMetrics,
+    ) -> Result<(), EngineError> {
+        self.send_charged(site, frame, stage)
+    }
+
+    /// Receive this query's next reply from `site` for an overlapped
+    /// collection: charges the frame to `stage`, folds the worker's
+    /// compute time into `slowest` (the caller adds the per-stage max to
+    /// the wall once, matching [gather](WorkerPool::broadcast)'s
+    /// max-over-sites accounting), and returns worker-side `Error`/
+    /// `UnknownQuery` replies as *bodies* rather than `Err` so the
+    /// caller can keep draining the remaining sites — use
+    /// [`worker_failure`] to convert them afterwards.
+    pub fn recv_tracked(
+        &self,
+        site: usize,
+        stage: &mut StageMetrics,
+        slowest: &mut u64,
+    ) -> Result<ResponseBody, EngineError> {
+        let (len, response) = self.router.recv(self.transport, site, self.query)?;
+        self.charge(site, stage, len);
+        *slowest = (*slowest).max(response.elapsed_nanos);
+        Ok(response.body)
+    }
+
     /// Receive this query's next reply from `site`, charging the frame to
     /// `stage` and adding the worker's compute time to the stage wall.
     /// Worker-side `Error` and `UnknownQuery` replies are mapped to the
@@ -367,12 +413,11 @@ impl<'t> WorkerPool<'t> {
         stage: &mut StageMetrics,
     ) -> Result<ResponseBody, EngineError> {
         let (len, response) = self.router.recv(self.transport, site, self.query)?;
-        self.charge(stage, len);
+        self.charge(site, stage, len);
         stage.wall += Duration::from_nanos(response.elapsed_nanos);
-        match response.body {
-            ResponseBody::Error(msg) => Err(EngineError::Worker(format!("site {site}: {msg}"))),
-            ResponseBody::UnknownQuery(q) => Err(EngineError::UnknownQuery { site, query: q.0 }),
-            body => Ok(body),
+        match worker_failure(site, &response.body) {
+            Some(e) => Err(e),
+            None => Ok(response.body),
         }
     }
 
@@ -416,7 +461,7 @@ impl<'t> WorkerPool<'t> {
         frame: Bytes,
         stage: &mut StageMetrics,
     ) -> Result<(), EngineError> {
-        self.charge(stage, frame.len());
+        self.charge(site, stage, frame.len());
         self.transport.send(site, frame)?;
         Ok(())
     }
@@ -430,28 +475,18 @@ impl<'t> WorkerPool<'t> {
         let mut slowest_nanos = 0u64;
         let mut first_error: Option<EngineError> = None;
         for site in 0..self.sites() {
-            let (len, response) = match self.router.recv(self.transport, site, self.query) {
-                Ok(ok) => ok,
+            let body = match self.recv_tracked(site, stage, &mut slowest_nanos) {
+                Ok(body) => body,
                 Err(e) => {
                     // The stream itself is broken; there is nothing left
                     // to drain from this or later sites reliably.
                     return Err(first_error.unwrap_or(e));
                 }
             };
-            self.charge(stage, len);
-            slowest_nanos = slowest_nanos.max(response.elapsed_nanos);
-            match &response.body {
-                ResponseBody::Error(msg) => {
-                    first_error
-                        .get_or_insert_with(|| EngineError::Worker(format!("site {site}: {msg}")));
-                }
-                ResponseBody::UnknownQuery(q) => {
-                    let q = *q;
-                    first_error.get_or_insert(EngineError::UnknownQuery { site, query: q.0 });
-                }
-                _ => {}
+            if let Some(e) = worker_failure(site, &body) {
+                first_error.get_or_insert(e);
             }
-            bodies.push(response.body);
+            bodies.push(body);
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -460,10 +495,10 @@ impl<'t> WorkerPool<'t> {
         Ok(bodies)
     }
 
-    fn charge(&self, stage: &mut StageMetrics, len: usize) {
+    fn charge(&self, site: usize, stage: &mut StageMetrics, len: usize) {
         stage.bytes_shipped += len as u64;
         stage.messages += 1;
-        let transfer = self.network.transfer_time(1, len as u64);
+        let transfer = self.network.transfer_time_for(site, 1, len as u64);
         stage.network += transfer;
         if self.paced && transfer > Duration::ZERO {
             // Emulate the interconnect: actually wait the transfer out.
@@ -472,6 +507,18 @@ impl<'t> WorkerPool<'t> {
             // what the multi-client throughput benchmark measures.
             std::thread::sleep(transfer);
         }
+    }
+}
+
+/// The typed error a worker-side failure reply maps to: `Error` bodies
+/// become [`EngineError::Worker`], `UnknownQuery` the matching typed
+/// variant, anything else `None`. Shared by [gathers](WorkerPool::broadcast)
+/// and the overlapped stage driver so both report identical errors.
+pub fn worker_failure(site: usize, body: &ResponseBody) -> Option<EngineError> {
+    match body {
+        ResponseBody::Error(msg) => Some(EngineError::Worker(format!("site {site}: {msg}"))),
+        ResponseBody::UnknownQuery(q) => Some(EngineError::UnknownQuery { site, query: q.0 }),
+        _ => None,
     }
 }
 
@@ -622,6 +669,58 @@ mod tests {
     }
 
     #[test]
+    fn router_queues_multiple_parked_replies_per_query() {
+        // The overlapped stage driver keeps several requests in flight
+        // per (query, site). If another pipeline drains the stream first
+        // it must park ALL of them — a single-slot map would overwrite
+        // the first reply with the second and strand the owner forever.
+        let (dist, q) = setup();
+        with_in_process_workers(&dist, |transport| {
+            let router = ReplyRouter::new(transport.sites());
+            let (qa, qb) = (QueryId(20), QueryId(21));
+            let pool_a = WorkerPool::new(transport, &router, NetworkModel::instant(), qa);
+            let pool_b = WorkerPool::new(transport, &router, NetworkModel::instant(), qb);
+            let mut sa = StageMetrics::default();
+            let mut sb = StageMetrics::default();
+            // A pipelines a 3-deep chain per site, then B queues its own
+            // install behind them.
+            for site in 0..pool_a.sites() {
+                pool_a
+                    .send_charged(site, protocol::encode_install_query(qa, &q), &mut sa)
+                    .unwrap();
+                pool_a
+                    .send_to(site, &Request::PartialEval { query: qa }, &mut sa)
+                    .unwrap();
+                pool_a
+                    .send_to(site, &Request::ReleaseQuery { query: qa }, &mut sa)
+                    .unwrap();
+            }
+            for site in 0..pool_b.sites() {
+                pool_b
+                    .send_charged(site, protocol::encode_install_query(qb, &q), &mut sb)
+                    .unwrap();
+            }
+            // B reads first: it must park all three of A's replies per
+            // site before reaching its own ack.
+            expect_acks(pool_b.gather(&mut sb).unwrap()).unwrap();
+            // A's chain hands over from the parked queues, in order.
+            for site in 0..pool_a.sites() {
+                let mut slow = 0u64;
+                let ack = pool_a.recv_tracked(site, &mut sa, &mut slow).unwrap();
+                assert!(matches!(ack, ResponseBody::Ack), "install ack first");
+                let pe = pool_a.recv_tracked(site, &mut sa, &mut slow).unwrap();
+                assert!(matches!(pe, ResponseBody::PartialEval { .. }));
+                let rel = pool_a.recv_tracked(site, &mut sa, &mut slow).unwrap();
+                assert!(matches!(rel, ResponseBody::Ack), "release ack last");
+            }
+            pool_b.release_quietly(&mut sb);
+            for s in pool_b.worker_status().unwrap() {
+                assert_eq!(s.resident_queries, 0);
+            }
+        });
+    }
+
+    #[test]
     fn per_site_chunk_pull_and_cancel_release_worker_state() {
         let (dist, q) = setup();
         with_in_process_workers(&dist, |transport| {
@@ -696,6 +795,37 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_mid_stage_fails_every_in_flight_query() {
+        use gstored_net::{InProcessTransport, Transport as _};
+        // A worker that dies mid-stage: consumes one request, replies to
+        // nothing, hangs up. Both in-flight queries must get the typed
+        // Transport error instead of one of them blocking forever.
+        let (transport, mut endpoints) = InProcessTransport::pair(1);
+        let ep = endpoints.pop().unwrap();
+        let worker = std::thread::spawn(move || {
+            let _ = ep.recv();
+            drop(ep);
+        });
+        let router = ReplyRouter::new(1);
+        transport.send(0, Bytes::from_static(b"a")).unwrap();
+        std::thread::scope(|scope| {
+            let waiters: Vec<_> = [QueryId(1), QueryId(2)]
+                .into_iter()
+                .map(|q| {
+                    let router = &router;
+                    let transport = &transport;
+                    scope.spawn(move || router.recv(transport, 0, q))
+                })
+                .collect();
+            for w in waiters {
+                let err = w.join().unwrap();
+                assert!(matches!(err, Err(EngineError::Transport(_))));
+            }
+        });
+        worker.join().unwrap();
+    }
+
+    #[test]
     fn executor_caps_concurrent_admissions() {
         let executor = QueryExecutor::new(2);
         let t1 = executor.admit();
@@ -751,12 +881,9 @@ mod tests {
     fn network_model_prices_frames() {
         let (dist, q) = setup();
         with_in_process_workers(&dist, |transport| {
-            let model = NetworkModel {
-                latency: Duration::from_millis(1),
-                bytes_per_sec: 1_000_000,
-            };
+            let model = NetworkModel::new(Duration::from_millis(1), 1_000_000);
             let router = ReplyRouter::new(transport.sites());
-            let pool = WorkerPool::new(transport, &router, model, Q0);
+            let pool = WorkerPool::new(transport, &router, model.clone(), Q0);
             let mut stage = StageMetrics::default();
             expect_acks(
                 pool.broadcast_frame(protocol::encode_install_query(Q0, &q), &mut stage)
@@ -776,10 +903,7 @@ mod tests {
     fn paced_pool_waits_out_the_simulated_network() {
         let (dist, q) = setup();
         with_in_process_workers(&dist, |transport| {
-            let model = NetworkModel {
-                latency: Duration::from_millis(2),
-                bytes_per_sec: u64::MAX,
-            };
+            let model = NetworkModel::new(Duration::from_millis(2), u64::MAX);
             let router = ReplyRouter::new(transport.sites());
             let pool = WorkerPool::new(transport, &router, model, Q0).with_pacing(true);
             let mut stage = StageMetrics::default();

@@ -11,9 +11,15 @@
 //! * [`wire`] — a compact varint-based binary codec; every message the
 //!   engine ships is encoded through it, so shipment numbers are real
 //!   serialized sizes, not estimates.
-//! * [`transport`] — the [`Transport`] trait plus its two backends:
-//!   [`InProcessTransport`] (threads + channels, deterministic) and
-//!   [`TcpTransport`] (length-prefixed frames over sockets).
+//! * [`transport`] — the [`Transport`] trait plus its two blocking
+//!   backends: [`InProcessTransport`] (threads + channels,
+//!   deterministic) and [`TcpTransport`] (length-prefixed frames over
+//!   sockets).
+//! * [`reactor`] — [`ReactorTransport`], the epoll-multiplexed TCP
+//!   backend: one coordinator I/O thread services every site socket
+//!   through per-connection partial-frame state machines.
+//! * [`paced`] — [`PacedTransport`], a link emulator that delays frames
+//!   per a [`NetworkModel`] with honest pipelining (benchmarks only).
 //! * [`worker`] — generic serve loops that drive a frame handler over
 //!   either backend; the engine-specific handler lives in
 //!   `gstored_core::worker`.
@@ -23,11 +29,15 @@
 
 pub mod cluster;
 pub mod metrics;
+pub mod paced;
+pub mod reactor;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
 pub use cluster::{Cluster, NetworkModel};
 pub use metrics::{QueryMetrics, StageMetrics};
+pub use paced::PacedTransport;
+pub use reactor::ReactorTransport;
 pub use transport::{InProcessTransport, TcpTransport, Transport, TransportError};
 pub use wire::{WireReader, WireWriter};

@@ -1,0 +1,329 @@
+//! Link emulation for benchmarks: a [`Transport`] wrapper that delays
+//! frames according to a [`NetworkModel`], honestly pipelined.
+//!
+//! The engine's paced mode (`EngineConfig::pace_network`) sleeps on the
+//! *caller's* thread per frame, which serializes sends and would mask
+//! exactly the overlap the PR8 straggler benchmark needs to measure.
+//! [`PacedTransport`] instead runs two relay threads per site — one per
+//! direction — that stamp each frame with a due time and hold it until
+//! then:
+//!
+//! ```text
+//! due = max(link_busy_until, now) + len / bandwidth_for(site)
+//!       + latency_for(site)
+//! ```
+//!
+//! `link_busy_until` models the serialization of a shared link (frames
+//! queue behind each other's transfer time), while the latency term
+//! pipelines: two frames sent back to back each pay the link latency
+//! *concurrently*, exactly like real sockets. A barriered stage driver
+//! therefore pays ~2·latency per collection point, while an overlapped
+//! driver pays ~2·latency per *phase* — the effect the straggler cell
+//! quantifies.
+//!
+//! Teardown: dropping the transport stops the uplink relays and joins
+//! them. The downlink relays block inside `inner.recv` and exit when the
+//! inner transport errors — send workers a `Shutdown` frame (or drop
+//! the inner endpoints) before expecting the process to wind down;
+//! otherwise those threads are detached, which the benchmarks accept.
+//!
+//! This is benchmark/test instrumentation, not a production transport:
+//! error handling favours simplicity (a failed relay surfaces as
+//! `Closed`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::cluster::NetworkModel;
+use crate::transport::{Transport, TransportError};
+
+/// One direction of one site's link: frames stamped with due times.
+#[derive(Debug, Default)]
+struct Lane {
+    queue: VecDeque<(Instant, Bytes)>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Link {
+    lane: Mutex<Lane>,
+    ready: Condvar,
+    /// When the link's serialized capacity frees up next.
+    busy_until: Mutex<Instant>,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            lane: Mutex::new(Lane::default()),
+            ready: Condvar::new(),
+            busy_until: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Stamp `frame` with its delivery time on this link and enqueue it.
+    fn push(&self, model: &NetworkModel, site: usize, frame: Bytes) {
+        let transfer = transfer_only(model, site, frame.len());
+        let latency = model.latency_for(site);
+        let due = {
+            let mut busy = self.busy_until.lock().expect("paced link poisoned");
+            let start = (*busy).max(Instant::now());
+            *busy = start + transfer;
+            start + transfer + latency
+        };
+        let mut lane = self.lane.lock().expect("paced lane poisoned");
+        lane.queue.push_back((due, frame));
+        self.ready.notify_all();
+    }
+
+    fn close(&self) {
+        let mut lane = self.lane.lock().expect("paced lane poisoned");
+        lane.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Block until the oldest frame is due (frames are FIFO per lane;
+    /// due times are monotone because the busy-window only moves
+    /// forward). `None` once closed and drained.
+    fn pop_due(&self) -> Option<Bytes> {
+        let mut lane = self.lane.lock().expect("paced lane poisoned");
+        loop {
+            if let Some((due, _)) = lane.queue.front() {
+                let now = Instant::now();
+                if *due <= now {
+                    return lane.queue.pop_front().map(|(_, f)| f);
+                }
+                let wait = *due - now;
+                let (next, _timeout) = self
+                    .ready
+                    .wait_timeout(lane, wait)
+                    .expect("paced lane poisoned");
+                lane = next;
+            } else if lane.closed {
+                return None;
+            } else {
+                lane = self.ready.wait(lane).expect("paced lane poisoned");
+            }
+        }
+    }
+}
+
+/// Per-site transfer time excluding latency (the serialized component).
+fn transfer_only(model: &NetworkModel, site: usize, len: usize) -> Duration {
+    let bw = model.bandwidth_for(site);
+    if bw == 0 || bw == u64::MAX {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(len as f64 / bw as f64)
+    }
+}
+
+/// [`Transport`] decorator that delays every frame per a
+/// [`NetworkModel`], with per-site relay threads so latencies pipeline
+/// instead of serializing on the caller. See the module docs.
+pub struct PacedTransport {
+    inner: Arc<dyn Transport>,
+    model: Arc<NetworkModel>,
+    /// Uplink staging lanes: `send` stamps into these, relays forward.
+    up: Vec<Arc<Link>>,
+    /// Downlink delivery lanes: relays stamp arrivals into these.
+    down: Vec<Arc<Link>>,
+    uplink_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PacedTransport {
+    /// Wrap `inner`, delaying frames per `model`. Spawns two relay
+    /// threads per site.
+    pub fn new(inner: impl Transport + 'static, model: NetworkModel) -> PacedTransport {
+        let inner: Arc<dyn Transport> = Arc::new(inner);
+        let sites = inner.sites();
+        let model = Arc::new(model);
+        let mut up = Vec::with_capacity(sites);
+        let mut down = Vec::with_capacity(sites);
+        let mut uplink_threads = Vec::with_capacity(sites);
+        for site in 0..sites {
+            let up_link = Arc::new(Link::new());
+            let down_link = Arc::new(Link::new());
+            // Uplink relay: waits out each frame's due time, then does
+            // the real (instant) send.
+            {
+                let link = Arc::clone(&up_link);
+                let inner = Arc::clone(&inner);
+                uplink_threads.push(std::thread::spawn(move || {
+                    while let Some(frame) = link.pop_due() {
+                        if inner.send(site, frame).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            // Downlink relay: pulls replies as they really arrive and
+            // stamps their delivery time; exits (detached) when the
+            // inner transport closes.
+            {
+                let link = Arc::clone(&down_link);
+                let inner = Arc::clone(&inner);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || loop {
+                    match inner.recv(site) {
+                        Ok(frame) => link.push(&model, site, frame),
+                        Err(_) => {
+                            link.close();
+                            break;
+                        }
+                    }
+                });
+            }
+            up.push(up_link);
+            down.push(down_link);
+        }
+        PacedTransport {
+            inner,
+            model,
+            up,
+            down,
+            uplink_threads,
+        }
+    }
+
+    /// The wrapped transport (e.g. to reach its counters).
+    pub fn inner(&self) -> &dyn Transport {
+        &*self.inner
+    }
+}
+
+impl Transport for PacedTransport {
+    fn sites(&self) -> usize {
+        self.inner.sites()
+    }
+
+    fn send(&self, site: usize, frame: Bytes) -> Result<(), TransportError> {
+        // Stamp at send time so the link-busy window reflects the order
+        // frames were issued, then let the relay pace the real send.
+        let link = self
+            .up
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        link.push(&self.model, site, frame);
+        Ok(())
+    }
+
+    fn recv(&self, site: usize) -> Result<Bytes, TransportError> {
+        let link = self
+            .down
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        link.pop_due().ok_or(TransportError::Closed { site })
+    }
+}
+
+impl Drop for PacedTransport {
+    fn drop(&mut self) {
+        for link in &self.up {
+            link.close();
+        }
+        for handle in self.uplink_threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Downlink relays exit when `inner` errors (worker shutdown /
+        // socket close); they hold their own Arcs and are detached.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcessTransport;
+    use crate::worker::serve_endpoint;
+
+    /// Echo fleet behind a paced link. Workers stop on an empty frame —
+    /// the downlink relays keep the inner transport alive, so tests must
+    /// tell the workers to exit (see the module docs on teardown) with
+    /// [`stop_workers`] before joining them.
+    fn paced_echo(
+        sites: usize,
+        model: NetworkModel,
+    ) -> (PacedTransport, Vec<std::thread::JoinHandle<()>>) {
+        let (inner, endpoints) = InProcessTransport::pair(sites);
+        let workers = endpoints
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    serve_endpoint(ep, |f: Bytes| if f.is_empty() { None } else { Some(f) });
+                })
+            })
+            .collect();
+        (PacedTransport::new(inner, model), workers)
+    }
+
+    /// Send every worker its stop frame and join it.
+    fn stop_workers(transport: PacedTransport, workers: Vec<std::thread::JoinHandle<()>>) {
+        for site in 0..transport.sites() {
+            transport.send(site, Bytes::new()).unwrap();
+        }
+        drop(transport); // joins the uplink relays, flushing the stops
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_paced_link() {
+        let (transport, workers) = paced_echo(2, NetworkModel::instant());
+        transport.send(0, Bytes::from_static(b"a")).unwrap();
+        transport.send(1, Bytes::from_static(b"b")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"a");
+        assert_eq!(transport.recv(1).unwrap().as_ref(), b"b");
+        stop_workers(transport, workers);
+    }
+
+    #[test]
+    fn latency_pipelines_across_back_to_back_frames() {
+        // 30ms one-way latency, effectively infinite bandwidth. Two
+        // frames sent back to back should complete the round trip in
+        // ~60ms + epsilon (latencies overlap), not ~120ms (serialized).
+        let model = NetworkModel::new(Duration::from_millis(30), u64::MAX);
+        let (transport, workers) = paced_echo(1, model);
+        let start = Instant::now();
+        transport.send(0, Bytes::from_static(b"one")).unwrap();
+        transport.send(0, Bytes::from_static(b"two")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"one");
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"two");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(60),
+            "too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(110),
+            "serialized: {elapsed:?}"
+        );
+        stop_workers(transport, workers);
+    }
+
+    #[test]
+    fn per_site_skew_delays_only_the_straggler() {
+        let model = NetworkModel::instant().with_site_latency(0, Duration::from_millis(50));
+        let (transport, workers) = paced_echo(2, model);
+        let start = Instant::now();
+        transport.send(1, Bytes::from_static(b"fast")).unwrap();
+        assert_eq!(transport.recv(1).unwrap().as_ref(), b"fast");
+        let fast = start.elapsed();
+        assert!(
+            fast < Duration::from_millis(40),
+            "fast site delayed: {fast:?}"
+        );
+        let start = Instant::now();
+        transport.send(0, Bytes::from_static(b"slow")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"slow");
+        let slow = start.elapsed();
+        assert!(
+            slow >= Duration::from_millis(100),
+            "straggler not delayed: {slow:?}"
+        );
+        stop_workers(transport, workers);
+    }
+}

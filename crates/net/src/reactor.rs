@@ -1,0 +1,568 @@
+//! Readiness-driven TCP transport: one I/O thread for the whole fleet.
+//!
+//! [`TcpTransport`](crate::transport::TcpTransport) performs blocking
+//! reads and writes under a per-site mutex, so a coordinator that wants
+//! to overlap work across `k` sites needs `k` threads parked in
+//! `read()`. [`ReactorTransport`] replaces that with a single event
+//! loop: every site socket is non-blocking and registered with an
+//! epoll-backed [`polling::Poller`]; one I/O thread multiplexes all
+//! reads and writes, maintaining a per-connection partial-frame state
+//! machine in each direction. Coordinator threads interact only with
+//! in-memory queues:
+//!
+//! * [`ReactorTransport::send`] appends the frame to the site's outbox
+//!   and wakes the poller; the I/O thread drains the outbox whenever the
+//!   socket is writable, registering write interest only while bytes
+//!   remain queued.
+//! * [`ReactorTransport::recv`] blocks on a condvar until the I/O thread
+//!   has reassembled the site's next complete frame (or the site
+//!   failed).
+//!
+//! The wire format is identical to `TcpTransport` — little-endian `u32`
+//! length prefix, payload, [`MAX_FRAME_LEN`] cap — so `gstored-worker`
+//! processes cannot tell which coordinator transport they are talking
+//! to. A length prefix above the cap fails the connection *before* any
+//! allocation, so a hostile peer cannot trigger an unbounded buffer.
+//!
+//! Thread-count contract: exactly one I/O thread regardless of fleet
+//! size ([`ReactorTransport::io_threads`] returns the constant; the PR8
+//! benchmark asserts it stays flat as sites sweep 4→32).
+//!
+//! Lock discipline: a site's outbox (`tx`) and inbox (`rx`) mutexes are
+//! never held together. The I/O loop takes one, releases it, then takes
+//! the other; failure propagation (`fail_site`) runs with no lock held
+//! and takes only `rx`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+use polling::{Event, Events, Poller};
+
+use crate::transport::{TransferCounters, Transport, TransportError, MAX_FRAME_LEN};
+
+/// Outbound side of one site connection: frames queued by `send`, plus
+/// the write cursor of the frame currently on the wire.
+#[derive(Debug, Default)]
+struct Outbox {
+    /// Frames not yet fully written, oldest first. The front frame may
+    /// be partially written (see `header`/`pos`).
+    queue: VecDeque<Bytes>,
+    /// Length prefix of the front frame, filled when it becomes front.
+    header: [u8; 4],
+    /// Bytes of header+payload already written for the front frame
+    /// (0..4 = inside the header, 4.. = inside the payload).
+    pos: usize,
+    /// Whether the front frame's header has been staged into `header`.
+    staged: bool,
+    /// Whether write interest is currently registered with the poller.
+    want_write: bool,
+}
+
+/// Inbound side of one site connection: the read-side frame state
+/// machine plus completed frames awaiting `recv`.
+#[derive(Debug, Default)]
+struct Inbox {
+    /// Fully reassembled frames, oldest first.
+    frames: VecDeque<Bytes>,
+    /// Set once the connection failed; every pending and future `recv`
+    /// returns a clone of this error.
+    failed: Option<TransportError>,
+    /// Partial length prefix.
+    header: [u8; 4],
+    /// Bytes of the length prefix received so far.
+    header_filled: usize,
+    /// Payload buffer, allocated once the (validated) prefix completes.
+    payload: Vec<u8>,
+    /// Bytes of the payload received so far.
+    payload_filled: usize,
+    /// Whether we are mid-payload (false = reading the prefix).
+    in_payload: bool,
+}
+
+/// One site connection: the socket plus its two directional queues.
+#[derive(Debug)]
+struct SiteState {
+    stream: TcpStream,
+    tx: Mutex<Outbox>,
+    rx: Mutex<Inbox>,
+    /// Signalled when `rx.frames` grows or `rx.failed` is set.
+    rx_ready: Condvar,
+}
+
+#[derive(Debug)]
+struct Shared {
+    poller: Poller,
+    sites: Vec<SiteState>,
+    counters: TransferCounters,
+    shutdown: AtomicBool,
+}
+
+/// Epoll-multiplexed TCP transport: all site sockets serviced by one
+/// I/O thread; see the module docs for the design.
+#[derive(Debug)]
+pub struct ReactorTransport {
+    shared: Arc<Shared>,
+    io_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorTransport {
+    /// Connect to one worker address per site, in site order, and start
+    /// the I/O thread. Every socket gets `TCP_NODELAY` (stage requests
+    /// are small; Nagle would add delays per frame) and is switched to
+    /// non-blocking mode.
+    pub fn connect<A: ToSocketAddrs>(workers: &[A]) -> Result<ReactorTransport, TransportError> {
+        assert!(!workers.is_empty(), "need at least one site");
+        let poller = Poller::new()?;
+        let mut sites = Vec::with_capacity(workers.len());
+        for (site, addr) in workers.iter().enumerate() {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            poller.add(&stream, Event::readable(site))?;
+            sites.push(SiteState {
+                stream,
+                tx: Mutex::new(Outbox::default()),
+                rx: Mutex::new(Inbox::default()),
+                rx_ready: Condvar::new(),
+            });
+        }
+        let shared = Arc::new(Shared {
+            poller,
+            sites,
+            counters: TransferCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let io_thread = std::thread::Builder::new()
+            .name("gstored-reactor".into())
+            .spawn(move || io_loop(&loop_shared))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(ReactorTransport {
+            shared,
+            io_thread: Some(io_thread),
+        })
+    }
+
+    /// Frame/byte totals moved through this transport so far.
+    pub fn counters(&self) -> &TransferCounters {
+        &self.shared.counters
+    }
+
+    /// Number of coordinator I/O threads this transport runs: always 1,
+    /// independent of fleet size. Exists so benchmarks can assert the
+    /// O(1)-threads property without groping `/proc`.
+    pub fn io_threads(&self) -> usize {
+        1
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn sites(&self) -> usize {
+        self.shared.sites.len()
+    }
+
+    fn send(&self, site: usize, frame: Bytes) -> Result<(), TransportError> {
+        let state = self
+            .shared
+            .sites
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        // A failed connection rejects sends immediately rather than
+        // queueing frames that can never leave.
+        {
+            let rx = state.rx.lock().expect("reactor inbox poisoned");
+            if let Some(err) = &rx.failed {
+                return Err(err.clone());
+            }
+        }
+        assert!(frame.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        self.shared.counters.record(frame.len());
+        {
+            let mut tx = state.tx.lock().expect("reactor outbox poisoned");
+            tx.queue.push_back(frame);
+        }
+        // Wake the I/O thread so it attempts the write now instead of
+        // at the next readiness event.
+        self.shared.poller.notify()?;
+        Ok(())
+    }
+
+    fn recv(&self, site: usize) -> Result<Bytes, TransportError> {
+        let state = self
+            .shared
+            .sites
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let mut rx = state.rx.lock().expect("reactor inbox poisoned");
+        loop {
+            if let Some(frame) = rx.frames.pop_front() {
+                self.shared.counters.record(frame.len());
+                return Ok(frame);
+            }
+            if let Some(err) = &rx.failed {
+                return Err(err.clone());
+            }
+            rx = state.rx_ready.wait(rx).expect("reactor inbox poisoned");
+        }
+    }
+}
+
+impl Drop for ReactorTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.shared.poller.notify();
+        if let Some(handle) = self.io_thread.take() {
+            let _ = handle.join();
+        }
+        // Sockets close when `shared.sites` drops with the last Arc.
+    }
+}
+
+/// The event loop: wait for readiness, service reads, then retry every
+/// queued write. Runs until `shutdown` is set and joined by `Drop`.
+fn io_loop(shared: &Shared) {
+    let mut events = Events::new();
+    loop {
+        // A modest timeout bounds how stale a missed wakeup can get;
+        // notify() makes the common path immediate.
+        if shared
+            .poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            // Poller broken: fail every live site and bail out.
+            for site in 0..shared.sites.len() {
+                fail_site(shared, site, TransportError::Io("poller failed".into()));
+            }
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for event in events.iter() {
+            let site = event.key;
+            if site >= shared.sites.len() {
+                continue;
+            }
+            if event.readable {
+                if let Err(e) = drain_read(shared, site) {
+                    fail_site(shared, site, e);
+                }
+            }
+        }
+        // Writes are retried for every site with a non-empty outbox, not
+        // just those with a writability event: a fresh `send` wakes us
+        // via notify() with no event at all. O(sites) per wake is cheap
+        // at the fleet sizes this coordinator drives.
+        for site in 0..shared.sites.len() {
+            if let Err(e) = drain_write(shared, site) {
+                fail_site(shared, site, e);
+            }
+        }
+    }
+}
+
+/// Read everything currently available on `site`'s socket, advancing the
+/// header/payload state machine. Completed frames go straight into the
+/// inbox under the lock, so an error return (which triggers `fail_site`
+/// and its wakeup) never loses frames reassembled earlier in the pass.
+fn drain_read(shared: &Shared, site: usize) -> Result<(), TransportError> {
+    let state = &shared.sites[site];
+    let mut stream = &state.stream;
+    let mut rx = state.rx.lock().expect("reactor inbox poisoned");
+    if rx.failed.is_some() {
+        return Ok(());
+    }
+    let mut delivered = false;
+    let result = loop {
+        if !rx.in_payload {
+            // Reading the 4-byte length prefix, possibly 1 byte at a
+            // time.
+            let filled = rx.header_filled;
+            let n = match stream.read(&mut rx.header[filled..]) {
+                Ok(0) => {
+                    break if rx.header_filled == 0 {
+                        // Clean close between frames: the polite hangup.
+                        Err(TransportError::Closed { site })
+                    } else {
+                        Err(TransportError::Io(
+                            "stream ended inside a frame header".into(),
+                        ))
+                    };
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e.into()),
+            };
+            rx.header_filled += n;
+            if rx.header_filled == 4 {
+                let len = u32::from_le_bytes(rx.header) as usize;
+                // Validate before allocating: a hostile prefix must not
+                // size a buffer.
+                if len > MAX_FRAME_LEN {
+                    break Err(TransportError::Io(
+                        "frame length exceeds MAX_FRAME_LEN".into(),
+                    ));
+                }
+                rx.payload = vec![0u8; len];
+                rx.payload_filled = 0;
+                rx.in_payload = true;
+            }
+        } else {
+            let filled = rx.payload_filled;
+            if filled == rx.payload.len() {
+                // Zero-length frame or payload complete.
+                let frame = Bytes::from(std::mem::take(&mut rx.payload));
+                rx.frames.push_back(frame);
+                delivered = true;
+                rx.payload_filled = 0;
+                rx.header_filled = 0;
+                rx.in_payload = false;
+                continue;
+            }
+            let n = match stream.read(&mut rx.payload[filled..]) {
+                Ok(0) => {
+                    break Err(TransportError::Io(
+                        "stream ended inside a frame payload".into(),
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e.into()),
+            };
+            rx.payload_filled += n;
+        }
+    };
+    if delivered {
+        state.rx_ready.notify_all();
+    }
+    result
+}
+
+/// Write as much of `site`'s outbox as the socket accepts, arming or
+/// disarming write interest to match whether bytes remain queued.
+fn drain_write(shared: &Shared, site: usize) -> Result<(), TransportError> {
+    let state = &shared.sites[site];
+    let mut stream = &state.stream;
+    let mut tx = state.tx.lock().expect("reactor outbox poisoned");
+    loop {
+        // Cheap refcount clone releases the queue borrow so the cursor
+        // fields can be updated while the frame is being written.
+        let Some(front) = tx.queue.front().cloned() else {
+            if tx.want_write {
+                tx.want_write = false;
+                shared.poller.modify(&state.stream, Event::readable(site))?;
+            }
+            return Ok(());
+        };
+        if !tx.staged {
+            tx.header = (front.len() as u32).to_le_bytes();
+            tx.pos = 0;
+            tx.staged = true;
+        }
+        let wrote = if tx.pos < 4 {
+            let pos = tx.pos;
+            stream.write(&tx.header[pos..])
+        } else {
+            let off = tx.pos - 4;
+            stream.write(&front[off..])
+        };
+        match wrote {
+            Ok(0) => return Err(TransportError::Io("socket write returned 0".into())),
+            Ok(n) => {
+                tx.pos += n;
+                if tx.pos == 4 + front.len() {
+                    tx.queue.pop_front();
+                    tx.staged = false;
+                    tx.pos = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !tx.want_write {
+                    tx.want_write = true;
+                    shared.poller.modify(&state.stream, Event::all(site))?;
+                }
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Mark `site` failed: stop polling the socket, drop undeliverable
+/// outbox frames, record the error in the inbox (keeping any frames
+/// already reassembled deliverable), and wake all `recv` waiters.
+/// Called by the I/O loop with no locks held; takes `tx` then `rx`
+/// sequentially, never together.
+fn fail_site(shared: &Shared, site: usize, error: TransportError) {
+    let state = &shared.sites[site];
+    let _ = shared.poller.delete(&state.stream);
+    {
+        let mut tx = state.tx.lock().expect("reactor outbox poisoned");
+        tx.queue.clear();
+        tx.staged = false;
+        tx.pos = 0;
+        tx.want_write = false;
+    }
+    let mut rx = state.rx.lock().expect("reactor inbox poisoned");
+    if rx.failed.is_none() {
+        rx.failed = Some(error);
+    }
+    state.rx_ready.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{read_frame, write_frame};
+    use std::net::TcpListener;
+
+    /// An echo worker that replies to each frame with its reverse.
+    fn reverse_echo_worker(listener: TcpListener) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Some(frame) = read_frame(&mut stream).unwrap_or(None) {
+                let mut reply = frame.to_vec();
+                reply.reverse();
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn roundtrip_and_counters_match_tcp_transport() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = reverse_echo_worker(listener);
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        assert_eq!(transport.io_threads(), 1);
+        transport.send(0, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"gnip");
+        // Same payload-byte accounting as TcpTransport: 4 out + 4 in.
+        assert_eq!(transport.counters().bytes(), 8);
+        assert_eq!(transport.counters().frames(), 2);
+        drop(transport);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_sends_preserve_fifo_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = reverse_echo_worker(listener);
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        // Queue many requests before reading a single reply.
+        for i in 0..100u32 {
+            transport
+                .send(0, Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..100u32 {
+            let mut expect = i.to_le_bytes().to_vec();
+            expect.reverse();
+            assert_eq!(transport.recv(0).unwrap().as_ref(), &expect[..]);
+        }
+        drop(transport);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn one_byte_writes_reassemble() {
+        // A peer trickling a frame 1 byte at a time (worst-case partial
+        // delivery) must still produce one intact frame.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            let payload = b"slow but intact";
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(payload);
+            for byte in wire {
+                use std::io::Write as _;
+                stream.write_all(&[byte]).unwrap();
+                stream.flush().unwrap();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Hold the socket open until the coordinator has read the
+            // frame, then close.
+            let _ = read_frame(&mut stream);
+        });
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"slow but intact");
+        drop(transport);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_surfaces_closed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate hangup
+        });
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        assert_eq!(transport.recv(0), Err(TransportError::Closed { site: 0 }));
+        // Failure is sticky: sends are rejected too.
+        assert_eq!(
+            transport.send(0, Bytes::from_static(b"x")),
+            Err(TransportError::Closed { site: 0 })
+        );
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn hostile_oversized_prefix_rejected_without_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            use std::io::Write as _;
+            // Claims a 4 GiB frame; the reactor must fail the site
+            // instead of allocating.
+            stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            stream.flush().unwrap();
+            // Keep the socket open so the error comes from validation,
+            // not a hangup.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        match transport.recv(0) {
+            Err(TransportError::Io(msg)) => {
+                assert!(msg.contains("MAX_FRAME_LEN"), "unexpected error: {msg}")
+            }
+            other => panic!("expected oversized-frame error, got {other:?}"),
+        }
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = reverse_echo_worker(listener);
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        assert_eq!(
+            transport.send(9, Bytes::new()),
+            Err(TransportError::UnknownSite { site: 9 })
+        );
+        assert_eq!(
+            transport.recv(9),
+            Err(TransportError::UnknownSite { site: 9 })
+        );
+        drop(transport);
+        worker.join().unwrap();
+    }
+}

@@ -68,11 +68,17 @@ impl From<io::Error> for TransportError {
 /// Coordinator-side view of `k` site workers: an ordered, reliable frame
 /// channel per site.
 ///
-/// The engine's contract is strict request/response per site: it never
-/// issues a second [`Transport::send`] to a site before receiving the
-/// reply to the first, so implementations need no per-site queueing
-/// beyond one in-flight frame. Sends to *different* sites happen back to
-/// back, which is what gives the scatter stages their parallelism.
+/// The engine's contract is FIFO pipelining per site: it may have
+/// several request frames in flight to one site at a time (the
+/// overlapped stage driver sends a site its next stage as soon as the
+/// previous reply arrives, and may queue a short chain up front), and
+/// the site answers every request in arrival order. Implementations
+/// must therefore preserve per-site frame order in both directions but
+/// need no reordering or windowing — `recv(site)` always yields the
+/// reply to the oldest unanswered request. Sends to *different* sites
+/// happen back to back, which is what gives the scatter stages their
+/// parallelism; the `ReplyRouter` one layer up handles interleaving
+/// *across* queries.
 ///
 /// ```
 /// use bytes::Bytes;
@@ -123,7 +129,7 @@ impl TransferCounters {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    fn record(&self, len: usize) {
+    pub(crate) fn record(&self, len: usize) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(len as u64, Ordering::Relaxed);
     }

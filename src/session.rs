@@ -452,6 +452,12 @@ impl GStoreD {
             Backend::InProcess => {
                 Fleet::in_process(&self.dist, self.engine.config().max_concurrent_queries)
             }
+            // TCP fleets default to the reactor: one epoll-driven I/O
+            // thread multiplexes every site socket, so the session's
+            // thread count stays O(1) in the fleet size.
+            Backend::Tcp { .. } if self.engine.config().reactor_io => {
+                Fleet::remote(self.engine.connect_workers_reactor(&self.dist)?)
+            }
             Backend::Tcp { .. } => Fleet::remote(self.engine.connect_workers(&self.dist)?),
         };
         let fleet = Arc::new(fleet);
@@ -482,7 +488,7 @@ impl GStoreD {
         let pool = WorkerPool::new(
             fleet.transport(),
             &fleet.router,
-            self.engine.config().network,
+            self.engine.config().network.clone(),
             ticket.query(),
         );
         let status = pool.worker_status();

@@ -1,0 +1,409 @@
+//! Offline stand-in for the crates.io `polling` crate: a minimal
+//! readiness poller over Linux `epoll`.
+//!
+//! Implements the subset of the `polling` v3 API this workspace uses:
+//! [`Poller`] (`new` / `add` / `modify` / `delete` / `wait` / `notify`),
+//! [`Event`] and [`Events`]. One deliberate deviation from the real
+//! crate: interests are **level-triggered and persistent** (plain epoll
+//! semantics) instead of oneshot, so callers do not need to re-arm after
+//! every wake — the reactor in `gstored-net` relies on that.
+//!
+//! On non-Linux targets the same API compiles but every constructor
+//! returns an `Unsupported` I/O error; the workspace's reactor transport
+//! is Linux-only and falls back to the blocking transport elsewhere.
+
+#![deny(missing_docs)]
+
+/// A readiness interest / readiness report for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source (e.g. a site index).
+    pub key: usize,
+    /// Interest in (or report of) read readiness.
+    pub readable: bool,
+    /// Interest in (or report of) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest; the source stays registered but silent.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Buffer that [`Poller::wait`] fills with ready events.
+#[derive(Debug, Default)]
+pub struct Events {
+    list: Vec<Event>,
+}
+
+impl Events {
+    /// An empty event buffer.
+    pub fn new() -> Events {
+        Events { list: Vec::new() }
+    }
+
+    /// Iterate over the events delivered by the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Number of events delivered by the last `wait`.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the last `wait` delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Discard all buffered events.
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Events};
+    use std::io;
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    // std already links libc; declare just the epoll/eventfd entry
+    // points instead of depending on the `libc` crate.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    /// The kernel's `struct epoll_event`; packed on x86-64 per the ABI.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Key reserved for the internal notify eventfd; never reported.
+    const NOTIFY_KEY: u64 = u64::MAX;
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Level-triggered epoll instance with an eventfd wakeup channel.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        event_fd: RawFd,
+    }
+
+    // The fds are used concurrently only through &self syscalls, which
+    // epoll and eventfd both permit from multiple threads.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// Create a new poller (epoll instance plus notify eventfd).
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let event_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, event_fd };
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY,
+            };
+            cvt(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.event_fd, &mut ev) })?;
+            Ok(poller)
+        }
+
+        fn mask(interest: Event) -> u32 {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            events
+        }
+
+        /// Register a source with the given interest.
+        ///
+        /// Unlike the real `polling` crate, interests here are
+        /// level-triggered and persistent: the source keeps reporting
+        /// readiness until [`Poller::modify`]d or [`Poller::delete`]d.
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, source.as_raw_fd(), &mut ev) })?;
+            Ok(())
+        }
+
+        /// Replace a registered source's interest.
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, source.as_raw_fd(), &mut ev) })?;
+            Ok(())
+        }
+
+        /// Deregister a source.
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, source.as_raw_fd(), &mut ev) })?;
+            Ok(())
+        }
+
+        /// Block until at least one source is ready, a [`Poller::notify`]
+        /// arrives, or `timeout` elapses (`None` = wait forever).
+        /// Returns the number of events written into `events`.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &buf[..n] {
+                let (bits, data) = (ev.events, ev.data);
+                if data == NOTIFY_KEY {
+                    // Drain the eventfd so the next notify re-arms.
+                    let mut b = [0u8; 8];
+                    unsafe { read(self.event_fd, b.as_mut_ptr(), b.len()) };
+                    continue;
+                }
+                events.list.push(Event {
+                    key: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(events.list.len())
+        }
+
+        /// Wake up a concurrent [`Poller::wait`] call.
+        pub fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret = unsafe { write(self.event_fd, &one as *const u64 as *const u8, 8) };
+            // EAGAIN means the counter is already nonzero: a wakeup is
+            // pending anyway, so that is a success.
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.event_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Events};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim: only the Linux epoll backend is implemented",
+        )
+    }
+
+    /// Stub poller for non-Linux targets; every constructor errors.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always fails with `Unsupported` on this target.
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed on this target).
+        pub fn add(&self, _source: &impl std::any::Any, _interest: Event) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed on this target).
+        pub fn modify(&self, _source: &impl std::any::Any, _interest: Event) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed on this target).
+        pub fn delete(&self, _source: &impl std::any::Any) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed on this target).
+        pub fn wait(&self, _events: &mut Events, _t: Option<Duration>) -> io::Result<usize> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed on this target).
+        pub fn notify(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn notify_wakes_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        // Wakes with zero events well before the 5s timeout.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn tcp_readability_is_reported_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.key == 7).expect("readable event");
+        assert!(ev.readable);
+
+        // Level-triggered: the unread byte keeps reporting readiness.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+        // Interest can be swapped to write-only and back.
+        poller.modify(&server, Event::none(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        poller.delete(&server).unwrap();
+    }
+}
