@@ -9,6 +9,7 @@
 //! experiments bench-pr6 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr7 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr8 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr9 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
@@ -21,8 +22,8 @@
 //! configuration.
 
 use gstored_bench::{
-    bench_pr3, bench_pr4, bench_pr5, bench_pr6, bench_pr7, bench_pr8, datasets, experiments,
-    format::Table,
+    bench_pr3, bench_pr4, bench_pr5, bench_pr6, bench_pr7, bench_pr8, bench_pr9, datasets,
+    experiments, format::Table,
 };
 
 struct Args {
@@ -219,6 +220,29 @@ fn run_bench_pr8(args: &Args) {
     eprintln!("# bench-pr8: wrote {} bytes, schema OK", json.len());
 }
 
+fn run_bench_pr9(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr9::BenchPr9Config::smoke()
+    } else {
+        bench_pr9::BenchPr9Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.chain_links = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR9.json");
+    eprintln!("# bench-pr9: {config:?} -> {path}");
+    let json = bench_pr9::run(&config);
+    if let Err(e) = bench_pr9::validate(&json) {
+        eprintln!("bench-pr9: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr9: wrote {} bytes, schema OK", json.len());
+}
+
 fn main() {
     let args = parse_args();
     for (name, runner) in [
@@ -228,6 +252,7 @@ fn main() {
         ("bench-pr6", run_bench_pr6 as fn(&Args)),
         ("bench-pr7", run_bench_pr7 as fn(&Args)),
         ("bench-pr8", run_bench_pr8 as fn(&Args)),
+        ("bench-pr9", run_bench_pr9 as fn(&Args)),
     ] {
         if args.what.iter().any(|w| w == name) {
             if args.what.len() > 1 {

@@ -31,7 +31,12 @@
 //! stage-overlap leg (`BENCH_PR8.json`: the overlapped driver's speedup
 //! over the barriered driver on a straggler-skewed paced network, and
 //! the O(1) coordinator I/O-thread count as a reactor-driven TCP fleet
-//! grows, again with sorted-row equality everywhere).
+//! grows, again with sorted-row equality everywhere). [`bench_pr9`]
+//! emits the robustness leg (`BENCH_PR9.json`: availability under a
+//! kill-and-restart of a TCP worker driven by a closed-loop client —
+//! bounded walls, typed errors, self-healing back to the fault-free
+//! rows — plus the happy-path overhead of the deadline/chaos/retry
+//! plumbing against the PR 8 configuration).
 
 pub mod bench_pr3;
 pub mod bench_pr4;
@@ -39,6 +44,7 @@ pub mod bench_pr5;
 pub mod bench_pr6;
 pub mod bench_pr7;
 pub mod bench_pr8;
+pub mod bench_pr9;
 pub mod datasets;
 pub mod experiments;
 pub mod format;

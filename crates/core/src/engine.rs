@@ -39,10 +39,13 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use fxhash::FxHashSet;
-use gstored_net::{NetworkModel, QueryMetrics, ReactorTransport, TcpTransport, Transport};
+use gstored_net::{
+    ChaosConfig, NetworkModel, QueryMetrics, ReactorTransport, TcpTransport, Transport,
+};
 use gstored_partition::DistributedGraph;
 use gstored_rdf::{Term, VertexId};
 use gstored_sparql::QueryGraph;
@@ -61,6 +64,13 @@ use crate::worker::with_in_process_workers;
 /// (`Engine::execute` / `Engine::execute_on` used directly). Process-wide
 /// so two engines accidentally sharing a fleet still cannot collide.
 static ONE_SHOT_QUERY_IDS: AtomicU32 = AtomicU32::new(0);
+
+/// Write timeout armed on the blocking TCP transport's sockets at
+/// connect time, bounding how long a `send` can block on a worker that
+/// stopped draining its socket. Generous on purpose: it only fires once
+/// the kernel send buffer is full *and* the peer makes no progress for
+/// this long — a dead worker, not a slow one.
+const TCP_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn one_shot_query_id() -> QueryId {
     loop {
@@ -176,6 +186,20 @@ pub struct EngineConfig {
     /// the blocking per-site sockets of [`TcpTransport`]. Frames are
     /// identical either way.
     pub reactor_io: bool,
+    /// Deadline budget per query pipeline (default 30 s; `None` waits
+    /// forever, the pre-deadline behaviour). The budget starts when the
+    /// pipeline starts — for streams, afresh at every pull — and every
+    /// reply wait inside it is bounded by what remains, so a dead or
+    /// hung site surfaces as a typed [`EngineError::Timeout`] naming the
+    /// site and stage instead of blocking the caller indefinitely. The
+    /// session's repair path then probes the implicated site.
+    pub query_deadline: Option<Duration>,
+    /// When set, the session wraps its fleet transport in a
+    /// [`gstored_net::ChaosTransport`] injecting this deterministic,
+    /// seed-driven fault schedule — the hook behind the chaos test
+    /// batteries and the availability benchmark. `None` (default) means
+    /// no wrapper at all: zero overhead on the fault-free path.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for EngineConfig {
@@ -190,6 +214,8 @@ impl Default for EngineConfig {
             pace_network: false,
             overlap_stages: true,
             reactor_io: true,
+            query_deadline: Some(Duration::from_secs(30)),
+            chaos: None,
         }
     }
 }
@@ -333,6 +359,12 @@ impl Engine {
             )));
         }
         let transport = TcpTransport::connect(workers)?;
+        // A worker that stops draining its socket must not wedge `send`
+        // forever: bound writes so backpressure from a dead peer turns
+        // into a typed transport error. Reads stay unbounded — recv
+        // deadlines arm per-call timeouts, and a global read timeout
+        // would tear healthy idle waits.
+        transport.set_io_timeouts(None, Some(TCP_WRITE_TIMEOUT))?;
         self.install_fragments(&transport, dist)?;
         Ok(transport)
     }
@@ -457,16 +489,20 @@ impl Engine {
         }
 
         let pool = WorkerPool::new(transport, router, self.config.network.clone(), query)
-            .with_pacing(self.config.pace_network);
+            .with_pacing(self.config.pace_network)
+            .with_deadline(self.config.query_deadline.map(|d| Instant::now() + d));
 
         match self.run_stages(&pool, plan, &mut metrics) {
             Ok(bindings) => Ok(self.finish(query_graph, q, bindings, metrics)),
             Err(e) => {
                 // Best-effort cleanup so an aborted pipeline does not
                 // strand state in the workers' tables (uncharged: the
-                // failed execution has no metrics consumer).
+                // failed execution has no metrics consumer). Straggler
+                // replies that would otherwise park forever under this
+                // retired query id are dropped at the router.
                 let mut scratch = gstored_net::StageMetrics::default();
                 pool.release_quietly(&mut scratch);
+                router.forget(query);
                 Err(e)
             }
         }
@@ -534,6 +570,7 @@ impl Engine {
             peak_resident: 0,
             finished: false,
             released: false,
+            deadline_budget: self.config.query_deadline,
         };
 
         if q.has_unsatisfiable() {
@@ -544,12 +581,14 @@ impl Engine {
         }
 
         let pool = WorkerPool::new(transport, router, self.config.network.clone(), query)
-            .with_pacing(self.config.pace_network);
+            .with_pacing(self.config.pace_network)
+            .with_deadline(self.config.query_deadline.map(|d| Instant::now() + d));
         let shape = plan.shape();
         let star = self.config.star_fast_path && shape.is_star();
         let setup = (|| -> Result<(), EngineError> {
             if star {
                 let center = shape.star_center.expect("stars have centers");
+                pool.set_stage("star");
                 expect_acks(pool.broadcast_frame(
                     protocol::encode_install_query(query, q),
                     &mut state.metrics.partial_evaluation,
@@ -569,6 +608,7 @@ impl Engine {
                 // sites before surfacing (uncharged — no metrics consumer).
                 let mut scratch = gstored_net::StageMetrics::default();
                 pool.release_quietly(&mut scratch);
+                router.forget(query);
                 Err(e)
             }
         }
@@ -590,6 +630,7 @@ impl Engine {
         let shape = plan.shape();
         if self.config.star_fast_path && shape.is_star() {
             let center = shape.star_center.expect("stars have centers");
+            pool.set_stage("star");
             if self.config.overlap_stages {
                 return self.run_star_overlapped(pool, q, center, metrics);
             }
@@ -722,6 +763,7 @@ impl Engine {
         let query = pool.query();
 
         // --- Stage 0: distribute the query to every site ---
+        pool.set_stage("install");
         {
             let stage = if self.config.variant.uses_candidate_exchange() {
                 &mut metrics.candidates
@@ -733,6 +775,7 @@ impl Engine {
 
         // --- Stage 1 (Full only): assemble variables' candidates ---
         if self.config.variant.uses_candidate_exchange() {
+            pool.set_stage("candidates");
             let (_filter, stage) = exchange_candidates(pool, q, self.config.candidate_bits)?;
             metrics.candidates.absorb(&stage);
         }
@@ -740,6 +783,7 @@ impl Engine {
         // --- Stage 2: partial evaluation at every site ---
         // Local complete matches ship back immediately (they are final);
         // the LPMs stay at their sites until pruning has spoken.
+        pool.set_stage("partial_evaluation");
         let bodies = pool.broadcast(
             &Request::PartialEval { query },
             &mut metrics.partial_evaluation,
@@ -761,6 +805,7 @@ impl Engine {
 
         // --- Stage 3 (LO/Full): LEC feature optimization ---
         if self.config.variant.uses_lec_pruning() {
+            pool.set_stage("lec_optimization");
             // Sites compute features in parallel (Algorithm 1) and ship
             // them — only them — to the coordinator, under statically
             // pre-assigned disjoint feature-id ranges (same ids as the
@@ -820,6 +865,7 @@ impl Engine {
 
         // --- Phase A (Full only): install + candidate vectors, per-site ---
         let filter_frame: Option<Bytes> = if variant.uses_candidate_exchange() {
+            pool.set_stage("install+candidates");
             let vars = var_vertices(q);
             for site in 0..sites {
                 pool.send_frame_to(site, install.clone(), &mut metrics.candidates)?;
@@ -879,6 +925,7 @@ impl Engine {
         };
 
         // --- Phase B: the per-site pipelined chain up to the features ---
+        pool.set_stage("partial_evaluation");
         let pruning = variant.uses_lec_pruning();
         let pe_frame = protocol::encode_request(&Request::PartialEval { query });
         for site in 0..sites {
@@ -983,6 +1030,7 @@ impl Engine {
         all_features: Vec<crate::lec::LecFeature>,
         metrics: &mut QueryMetrics,
     ) -> Result<(), EngineError> {
+        pool.set_stage("lec_optimization");
         let query = pool.query();
         let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
         metrics.lec_features = all_features.len() as u64;
@@ -1025,6 +1073,7 @@ impl Engine {
         mut complete: Vec<Vec<VertexId>>,
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        pool.set_stage("assembly");
         let q = plan.encoded();
         let query = pool.query();
         let query_edges: Vec<(usize, usize)> = q.edges().iter().map(|e| (e.from, e.to)).collect();
@@ -1186,6 +1235,10 @@ pub struct StreamState {
     peak_resident: usize,
     finished: bool,
     released: bool,
+    /// Deadline budget applied afresh to **each pull** (a stream may sit
+    /// idle between pulls for as long as the caller likes; only the time
+    /// spent waiting on sites counts).
+    deadline_budget: Option<Duration>,
 }
 
 impl StreamState {
@@ -1221,7 +1274,9 @@ impl StreamState {
         router: &ReplyRouter,
     ) -> Result<(), EngineError> {
         let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
-            .with_pacing(self.paced);
+            .with_pacing(self.paced)
+            .with_deadline(self.deadline_budget.map(|d| Instant::now() + d));
+        pool.set_stage("stream pull");
         match self.mode {
             StreamMode::Star { center } => {
                 let Some(site) = self.site_done.iter().position(|done| !done) else {
@@ -1313,8 +1368,11 @@ impl StreamState {
     /// already released, then fuse the stream. Safe to call repeatedly.
     pub fn cancel(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
         if !self.released {
+            // Deadline-armed like every pull: a site that went silent
+            // must not wedge the cancelling thread on the ack gather.
             let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
-                .with_pacing(self.paced);
+                .with_pacing(self.paced)
+                .with_deadline(self.deadline_budget.map(|d| Instant::now() + d));
             pool.cancel_quietly(&mut self.metrics.assembly);
             self.released = true;
         }
@@ -1322,15 +1380,18 @@ impl StreamState {
         self.pending.clear();
     }
 
-    /// Post-error cleanup: cancel the fleet (uncharged) and fuse.
+    /// Post-error cleanup: cancel the fleet (uncharged), drop any
+    /// straggler replies parked under the retired query id, and fuse.
     fn abort(&mut self, transport: &dyn Transport, router: &ReplyRouter) {
         if !self.released {
             let pool = WorkerPool::new(transport, router, self.network.clone(), self.query)
-                .with_pacing(self.paced);
+                .with_pacing(self.paced)
+                .with_deadline(self.deadline_budget.map(|d| Instant::now() + d));
             let mut scratch = gstored_net::StageMetrics::default();
             pool.cancel_quietly(&mut scratch);
             self.released = true;
         }
+        router.forget(self.query);
         self.finished = true;
         self.pending.clear();
     }

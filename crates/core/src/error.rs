@@ -23,6 +23,26 @@ pub enum EngineError {
     /// The transport to a site worker failed (connection refused, worker
     /// hung up mid-query, wrong worker count for the partitioning).
     Transport(String),
+    /// A site did not answer within the query's deadline budget
+    /// (`EngineConfig::query_deadline`). The site may be slow, hung, or
+    /// dead — the coordinator cannot tell from silence, so it surfaces
+    /// this typed error instead of blocking and lets the session's
+    /// repair path probe and recover the site.
+    Timeout {
+        /// Site that went silent.
+        site: usize,
+        /// Pipeline stage that was waiting on the reply.
+        stage: &'static str,
+    },
+    /// A site is down and the session's repair path (reconnect with
+    /// backoff + fragment re-install) could not bring it back. Queries
+    /// cannot be answered until the worker returns.
+    SiteUnavailable {
+        /// The irreparable site.
+        site: usize,
+        /// Why the last repair attempt failed.
+        reason: String,
+    },
     /// A frame violated the wire protocol (decode failure, or a response
     /// kind that does not answer the request that was sent).
     Protocol(String),
@@ -65,6 +85,13 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            EngineError::Timeout { site, stage } => write!(
+                f,
+                "site {site} did not answer within the deadline during {stage}"
+            ),
+            EngineError::SiteUnavailable { site, reason } => {
+                write!(f, "site {site} is unavailable and repair failed: {reason}")
+            }
             EngineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             EngineError::Worker(msg) => write!(f, "worker error: {msg}"),
             EngineError::UnknownQuery { site, query } => write!(
@@ -80,7 +107,16 @@ impl std::error::Error for EngineError {}
 
 impl From<gstored_net::TransportError> for EngineError {
     fn from(e: gstored_net::TransportError) -> Self {
-        EngineError::Transport(e.to_string())
+        match e {
+            // A failed dial names its site and means that worker is
+            // unreachable — the typed degradation signal (the HTTP
+            // layer's `503`), not an anonymous transport fault.
+            gstored_net::TransportError::Connect { site, detail } => EngineError::SiteUnavailable {
+                site,
+                reason: format!("cannot connect: {detail}"),
+            },
+            e => EngineError::Transport(e.to_string()),
+        }
     }
 }
 
@@ -105,5 +141,17 @@ mod tests {
             graph_dict: 9,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('9'));
+        let e = EngineError::Timeout {
+            site: 4,
+            stage: "partial_evaluation",
+        };
+        assert!(e.to_string().contains("site 4"));
+        assert!(e.to_string().contains("partial_evaluation"));
+        let e = EngineError::SiteUnavailable {
+            site: 2,
+            reason: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("site 2"));
+        assert!(e.to_string().contains("connection refused"));
     }
 }

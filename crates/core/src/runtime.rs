@@ -26,10 +26,11 @@
 //! condvar hands the reader role over when a pipeline leaves with its
 //! frame. No dedicated I/O threads, no reordering, no busy waiting.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use fxhash::FxHashMap;
@@ -104,13 +105,33 @@ impl ReplyRouter {
     /// site failed **for every pipeline**: all current and future
     /// `recv`s on it return the error instead of blocking on a reply
     /// that may never be distinguishable again. The session reacts by
-    /// dropping the fleet, so the failure is bounded to the queries in
-    /// flight on it.
+    /// repairing that one site (reconnect + fragment re-install +
+    /// [`ReplyRouter::reset`]), so the failure is bounded to the
+    /// queries in flight on it, not to the whole fleet.
     pub fn recv(
         &self,
         transport: &dyn Transport,
         site: usize,
         query: QueryId,
+    ) -> Result<(usize, Response), EngineError> {
+        self.recv_deadline(transport, site, query, None)
+    }
+
+    /// [`ReplyRouter::recv`] with an optional hard deadline.
+    ///
+    /// A deadline expiry surfaces as [`EngineError::Timeout`] and is
+    /// **per query, not per site**: whether this pipeline was parked on
+    /// the condvar or holding the reader role, giving up consumes no
+    /// frame and leaves the slot healthy, so concurrent pipelines with
+    /// laxer deadlines keep reading (our reply, if it ever arrives,
+    /// parks for nobody and is reclaimed by [`ReplyRouter::forget`]).
+    /// Only a genuine transport/decode failure marks the site failed.
+    pub fn recv_deadline(
+        &self,
+        transport: &dyn Transport,
+        site: usize,
+        query: QueryId,
+        deadline: Option<Instant>,
     ) -> Result<(usize, Response), EngineError> {
         let slot = self.sites.get(site).ok_or_else(|| {
             EngineError::Transport(format!("router has {} sites; no site {site}", self.sites()))
@@ -130,37 +151,74 @@ impl ReplyRouter {
             if state.reading {
                 // Another pipeline holds the reader role; it will either
                 // park our reply or hand the role over when it leaves.
-                state = slot.ready.wait(state).expect("reply router poisoned");
+                state = match deadline {
+                    None => slot.ready.wait(state).expect("reply router poisoned"),
+                    Some(d) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(EngineError::Timeout {
+                                site,
+                                stage: ROUTER_WAIT_STAGE,
+                            });
+                        }
+                        let (next, _) = slot
+                            .ready
+                            .wait_timeout(state, remaining)
+                            .expect("reply router poisoned");
+                        next
+                    }
+                };
                 continue;
             }
             state.reading = true;
             drop(state);
-            let read = transport
-                .recv(site)
-                .map_err(|e| EngineError::Transport(e.to_string()))
-                .and_then(|frame| {
-                    let len = frame.len();
-                    protocol::decode_response(frame)
-                        .map(|resp| (len, resp))
-                        .map_err(EngineError::from)
-                });
+            let raw = match deadline {
+                None => transport.recv(site),
+                Some(d) => transport.recv_deadline(site, d),
+            };
             state = slot.state.lock().expect("reply router poisoned");
             state.reading = false;
-            match read {
-                Ok((len, resp)) => {
-                    slot.ready.notify_all();
-                    if resp.query == query || resp.query == QueryId::CONTROL {
-                        return Ok((len, resp));
+            match raw {
+                Ok(frame) => {
+                    let len = frame.len();
+                    match protocol::decode_response(frame) {
+                        Ok(resp) => {
+                            slot.ready.notify_all();
+                            if resp.query == query || resp.query == QueryId::CONTROL {
+                                return Ok((len, resp));
+                            }
+                            state
+                                .parked
+                                .entry(resp.query.0)
+                                .or_default()
+                                .push_back((len, resp));
+                            // Loop: maybe our reply is already parked,
+                            // else read again (or wait, if someone
+                            // grabbed the role).
+                        }
+                        Err(e) => {
+                            // Undecodable: whose reply was consumed is
+                            // unknowable, so the stream can no longer
+                            // route — fail the site for everyone.
+                            let e = EngineError::from(e);
+                            state.failed = Some(e.to_string());
+                            slot.ready.notify_all();
+                            return Err(e);
+                        }
                     }
-                    state
-                        .parked
-                        .entry(resp.query.0)
-                        .or_default()
-                        .push_back((len, resp));
-                    // Loop: maybe our reply is already parked, else read
-                    // again (or wait, if someone grabbed the role).
+                }
+                Err(gstored_net::TransportError::TimedOut { .. }) => {
+                    // Clean boundary: no frame was consumed. This query
+                    // gives up; the slot stays healthy and another
+                    // pipeline takes over the reader role.
+                    slot.ready.notify_all();
+                    return Err(EngineError::Timeout {
+                        site,
+                        stage: ROUTER_WAIT_STAGE,
+                    });
                 }
                 Err(e) => {
+                    let e = EngineError::Transport(e.to_string());
                     state.failed = Some(e.to_string());
                     slot.ready.notify_all();
                     return Err(e);
@@ -168,7 +226,51 @@ impl ReplyRouter {
             }
         }
     }
+
+    /// Clear `site`'s routing state after a repair: parked frames from
+    /// the dead connection are dropped (their queries have already
+    /// failed or timed out) and the sticky failure is lifted so fresh
+    /// pipelines can use the reconnected stream. Call only once the
+    /// transport connection has actually been re-established.
+    pub fn reset(&self, site: usize) {
+        if let Some(slot) = self.sites.get(site) {
+            let mut state = slot.state.lock().expect("reply router poisoned");
+            state.parked.clear();
+            state.failed = None;
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Drop any parked replies addressed to `query` on every site.
+    /// Called when a pipeline abandons (error or timeout) with replies
+    /// possibly still in flight: its id is never reused, so frames that
+    /// straggle in afterwards would otherwise park forever.
+    pub fn forget(&self, query: QueryId) {
+        for slot in &self.sites {
+            let mut state = slot.state.lock().expect("reply router poisoned");
+            state.parked.remove(&query.0);
+        }
+    }
+
+    /// Whether `site` is currently marked failed (a transport or decode
+    /// error poisoned its stream and no repair has reset it yet).
+    pub fn is_failed(&self, site: usize) -> bool {
+        self.sites
+            .get(site)
+            .map(|slot| {
+                slot.state
+                    .lock()
+                    .expect("reply router poisoned")
+                    .failed
+                    .is_some()
+            })
+            .unwrap_or(false)
+    }
 }
+
+/// Stage label the router uses for timeouts it raises itself; the
+/// [`WorkerPool`] rewrites it with the pipeline stage it was waiting in.
+const ROUTER_WAIT_STAGE: &str = "reply wait";
 
 /// Allocates query ids and admits pipelines onto a shared fleet.
 ///
@@ -281,6 +383,14 @@ pub struct WorkerPool<'t> {
     network: NetworkModel,
     query: QueryId,
     paced: bool,
+    /// Absolute deadline for every receive in this query's pipeline
+    /// (`None` = wait forever, the pre-robustness behavior).
+    deadline: Option<Instant>,
+    /// The pipeline stage currently in flight, stamped into
+    /// [`EngineError::Timeout`]s so operators see *where* a site went
+    /// silent. A `Cell` because the pool is a per-query, per-thread
+    /// handle (concurrent pipelines each build their own pool).
+    stage_label: Cell<&'static str>,
 }
 
 impl<'t> WorkerPool<'t> {
@@ -297,6 +407,8 @@ impl<'t> WorkerPool<'t> {
             network,
             query,
             paced: false,
+            deadline: None,
+            stage_label: Cell::new("setup"),
         }
     }
 
@@ -307,6 +419,40 @@ impl<'t> WorkerPool<'t> {
     pub fn with_pacing(mut self, paced: bool) -> WorkerPool<'t> {
         self.paced = paced;
         self
+    }
+
+    /// Give every receive in this pipeline a hard deadline. Past it,
+    /// receives stop blocking and return [`EngineError::Timeout`] naming
+    /// the current [stage](WorkerPool::set_stage). `None` (the default)
+    /// waits forever.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> WorkerPool<'t> {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The pool's receive deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Name the pipeline stage now in flight; timeouts raised from this
+    /// point on carry it.
+    pub fn set_stage(&self, stage: &'static str) {
+        self.stage_label.set(stage);
+    }
+
+    /// Receive through the router, honouring the pool deadline and
+    /// stamping timeouts with the current stage label.
+    fn recv_routed(&self, site: usize) -> Result<(usize, Response), EngineError> {
+        self.router
+            .recv_deadline(self.transport, site, self.query, self.deadline)
+            .map_err(|e| match e {
+                EngineError::Timeout { site, .. } => EngineError::Timeout {
+                    site,
+                    stage: self.stage_label.get(),
+                },
+                other => other,
+            })
     }
 
     /// Number of sites behind the pool.
@@ -397,7 +543,7 @@ impl<'t> WorkerPool<'t> {
         stage: &mut StageMetrics,
         slowest: &mut u64,
     ) -> Result<ResponseBody, EngineError> {
-        let (len, response) = self.router.recv(self.transport, site, self.query)?;
+        let (len, response) = self.recv_routed(site)?;
         self.charge(site, stage, len);
         *slowest = (*slowest).max(response.elapsed_nanos);
         Ok(response.body)
@@ -412,7 +558,7 @@ impl<'t> WorkerPool<'t> {
         site: usize,
         stage: &mut StageMetrics,
     ) -> Result<ResponseBody, EngineError> {
-        let (len, response) = self.router.recv(self.transport, site, self.query)?;
+        let (len, response) = self.recv_routed(site)?;
         self.charge(site, stage, len);
         stage.wall += Duration::from_nanos(response.elapsed_nanos);
         match worker_failure(site, &response.body) {

@@ -20,6 +20,10 @@
 //!   through per-connection partial-frame state machines.
 //! * [`paced`] — [`PacedTransport`], a link emulator that delays frames
 //!   per a [`NetworkModel`] with honest pipelining (benchmarks only).
+//! * [`chaos`] — [`ChaosTransport`], a fault injector that perturbs any
+//!   backend with a deterministic seed-driven schedule of delays,
+//!   drops, truncations, corruptions, disconnects, and hangs
+//!   (robustness tests and benchmarks).
 //! * [`worker`] — generic serve loops that drive a frame handler over
 //!   either backend; the engine-specific handler lives in
 //!   `gstored_core::worker`.
@@ -27,6 +31,7 @@
 //! * [`cluster`] — the [`NetworkModel`] cost model and the legacy
 //!   scatter/gather executor still used by the baseline engines.
 
+pub mod chaos;
 pub mod cluster;
 pub mod metrics;
 pub mod paced;
@@ -35,6 +40,7 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
 pub use cluster::{Cluster, NetworkModel};
 pub use metrics::{QueryMetrics, StageMetrics};
 pub use paced::PacedTransport;

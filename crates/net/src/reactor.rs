@@ -29,16 +29,23 @@
 //! benchmark asserts it stays flat as sites sweep 4→32).
 //!
 //! Lock discipline: a site's outbox (`tx`) and inbox (`rx`) mutexes are
-//! never held together. The I/O loop takes one, releases it, then takes
-//! the other; failure propagation (`fail_site`) runs with no lock held
-//! and takes only `rx`.
+//! never held together, and where the stream mutex nests with either it
+//! is always taken first (the I/O loop holds the stream while filling a
+//! queue). Failure propagation (`fail_site`) and reconnection take each
+//! lock strictly one at a time.
+//!
+//! Failed sites are repairable: [`Transport::reconnect`] re-dials the
+//! stored worker address, registers the fresh socket with the poller,
+//! and clears the sticky failure, after which sends and receives flow
+//! again — the coordinator re-installs the site's fragment before
+//! reusing it.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use polling::{Event, Events, Poller};
@@ -85,9 +92,16 @@ struct Inbox {
 }
 
 /// One site connection: the socket plus its two directional queues.
+///
+/// The stream sits behind its own mutex so [`Transport::reconnect`]
+/// can swap in a fresh socket. Lock order where locks nest: `stream`
+/// before `tx` or `rx` (the I/O loop holds `stream` while it fills a
+/// queue); no path takes `tx` and `rx` together.
 #[derive(Debug)]
 struct SiteState {
-    stream: TcpStream,
+    stream: Mutex<TcpStream>,
+    /// The worker's address, kept for re-dialing on repair.
+    addr: SocketAddr,
     tx: Mutex<Outbox>,
     rx: Mutex<Inbox>,
     /// Signalled when `rx.frames` grows or `rx.failed` is set.
@@ -120,12 +134,19 @@ impl ReactorTransport {
         let poller = Poller::new()?;
         let mut sites = Vec::with_capacity(workers.len());
         for (site, addr) in workers.iter().enumerate() {
-            let stream = TcpStream::connect(addr)?;
+            let dial = |e: String| TransportError::Connect { site, detail: e };
+            let resolved = addr
+                .to_socket_addrs()
+                .map_err(|e| dial(e.to_string()))?
+                .next()
+                .ok_or_else(|| dial("address resolved to nothing".into()))?;
+            let stream = TcpStream::connect(resolved).map_err(|e| dial(e.to_string()))?;
             stream.set_nodelay(true)?;
             stream.set_nonblocking(true)?;
             poller.add(&stream, Event::readable(site))?;
             sites.push(SiteState {
-                stream,
+                stream: Mutex::new(stream),
+                addr: resolved,
                 tx: Mutex::new(Outbox::default()),
                 rx: Mutex::new(Inbox::default()),
                 rx_ready: Condvar::new(),
@@ -210,6 +231,83 @@ impl Transport for ReactorTransport {
             rx = state.rx_ready.wait(rx).expect("reactor inbox poisoned");
         }
     }
+
+    fn recv_deadline(&self, site: usize, deadline: Instant) -> Result<Bytes, TransportError> {
+        let state = self
+            .shared
+            .sites
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let mut rx = state.rx.lock().expect("reactor inbox poisoned");
+        loop {
+            if let Some(frame) = rx.frames.pop_front() {
+                self.shared.counters.record(frame.len());
+                return Ok(frame);
+            }
+            if let Some(err) = &rx.failed {
+                return Err(err.clone());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                // Giving up on the wait consumes nothing: the I/O thread
+                // keeps reassembling in the background, so this timeout
+                // is always at a clean boundary for the caller.
+                return Err(TransportError::TimedOut { site });
+            }
+            let (next, _timed_out) = state
+                .rx_ready
+                .wait_timeout(rx, remaining)
+                .expect("reactor inbox poisoned");
+            rx = next;
+        }
+    }
+
+    fn reconnect(&self, site: usize) -> Result<(), TransportError> {
+        let state = self
+            .shared
+            .sites
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        // Dial first; if the worker is still down the old (failed) state
+        // is left untouched. Locks are taken strictly one at a time.
+        let fresh = TcpStream::connect(state.addr).map_err(|e| TransportError::Connect {
+            site,
+            detail: e.to_string(),
+        })?;
+        fresh.set_nodelay(true)?;
+        fresh.set_nonblocking(true)?;
+        {
+            let mut stream = state.stream.lock().expect("reactor stream poisoned");
+            // The old socket may or may not still be registered
+            // (fail_site deletes it); either way is fine.
+            let _ = self.shared.poller.delete(&*stream);
+            self.shared.poller.add(&fresh, Event::readable(site))?;
+            *stream = fresh;
+        }
+        {
+            let mut tx = state.tx.lock().expect("reactor outbox poisoned");
+            tx.queue.clear();
+            tx.staged = false;
+            tx.pos = 0;
+            tx.want_write = false;
+        }
+        {
+            let mut rx = state.rx.lock().expect("reactor inbox poisoned");
+            rx.frames.clear();
+            rx.failed = None;
+            rx.header_filled = 0;
+            rx.payload = Vec::new();
+            rx.payload_filled = 0;
+            rx.in_payload = false;
+        }
+        // Kick the poller so the I/O thread notices the new registration.
+        self.shared.poller.notify()?;
+        Ok(())
+    }
+
+    fn can_reconnect(&self) -> bool {
+        true
+    }
 }
 
 impl Drop for ReactorTransport {
@@ -273,7 +371,8 @@ fn io_loop(shared: &Shared) {
 /// and its wakeup) never loses frames reassembled earlier in the pass.
 fn drain_read(shared: &Shared, site: usize) -> Result<(), TransportError> {
     let state = &shared.sites[site];
-    let mut stream = &state.stream;
+    let stream_guard = state.stream.lock().expect("reactor stream poisoned");
+    let mut stream = &*stream_guard;
     let mut rx = state.rx.lock().expect("reactor inbox poisoned");
     if rx.failed.is_some() {
         return Ok(());
@@ -350,7 +449,8 @@ fn drain_read(shared: &Shared, site: usize) -> Result<(), TransportError> {
 /// disarming write interest to match whether bytes remain queued.
 fn drain_write(shared: &Shared, site: usize) -> Result<(), TransportError> {
     let state = &shared.sites[site];
-    let mut stream = &state.stream;
+    let stream_guard = state.stream.lock().expect("reactor stream poisoned");
+    let mut stream = &*stream_guard;
     let mut tx = state.tx.lock().expect("reactor outbox poisoned");
     loop {
         // Cheap refcount clone releases the queue borrow so the cursor
@@ -358,7 +458,9 @@ fn drain_write(shared: &Shared, site: usize) -> Result<(), TransportError> {
         let Some(front) = tx.queue.front().cloned() else {
             if tx.want_write {
                 tx.want_write = false;
-                shared.poller.modify(&state.stream, Event::readable(site))?;
+                shared
+                    .poller
+                    .modify(&*stream_guard, Event::readable(site))?;
             }
             return Ok(());
         };
@@ -387,7 +489,7 @@ fn drain_write(shared: &Shared, site: usize) -> Result<(), TransportError> {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if !tx.want_write {
                     tx.want_write = true;
-                    shared.poller.modify(&state.stream, Event::all(site))?;
+                    shared.poller.modify(&*stream_guard, Event::all(site))?;
                 }
                 return Ok(());
             }
@@ -404,7 +506,10 @@ fn drain_write(shared: &Shared, site: usize) -> Result<(), TransportError> {
 /// sequentially, never together.
 fn fail_site(shared: &Shared, site: usize, error: TransportError) {
     let state = &shared.sites[site];
-    let _ = shared.poller.delete(&state.stream);
+    {
+        let stream = state.stream.lock().expect("reactor stream poisoned");
+        let _ = shared.poller.delete(&*stream);
+    }
     {
         let mut tx = state.tx.lock().expect("reactor outbox poisoned");
         tx.queue.clear();
@@ -545,6 +650,58 @@ mod tests {
             }
             other => panic!("expected oversized-frame error, got {other:?}"),
         }
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_without_failing_the_site() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+            write_frame(&mut stream, b"late").unwrap();
+            let _ = read_frame(&mut stream); // hold until coordinator closes
+        });
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_millis(10);
+        assert_eq!(
+            transport.recv_deadline(0, deadline),
+            Err(TransportError::TimedOut { site: 0 })
+        );
+        // The site is not failed — the frame arrives on a patient retry.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        assert_eq!(
+            transport.recv_deadline(0, deadline).unwrap().as_ref(),
+            b"late"
+        );
+        drop(transport);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_revives_a_failed_site() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // crash the first connection
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Some(frame) = read_frame(&mut stream).unwrap_or(None) {
+                let mut reply = frame.to_vec();
+                reply.reverse();
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+        });
+        let transport = ReactorTransport::connect(&[addr]).unwrap();
+        assert_eq!(transport.recv(0), Err(TransportError::Closed { site: 0 }));
+        assert!(transport.send(0, Bytes::from_static(b"x")).is_err());
+        transport.reconnect(0).unwrap();
+        transport.send(0, Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"gnop");
+        drop(transport);
         worker.join().unwrap();
     }
 

@@ -16,10 +16,11 @@
 //! opaque bytes and counts them.
 
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -41,6 +42,27 @@ pub enum TransportError {
         /// The offending site index.
         site: usize,
     },
+    /// No frame arrived from the site before the caller's deadline.
+    /// [`Transport::recv_deadline`] only returns this at a clean frame
+    /// boundary (a deadline that expires mid-frame is a connection
+    /// failure instead); a socket-level timeout from a plain `recv`
+    /// makes no such promise, so the coordinator treats a timed-out
+    /// site as needing repair either way.
+    TimedOut {
+        /// Site that failed to answer in time.
+        site: usize,
+    },
+    /// Dialing a site's worker address failed (connection refused,
+    /// unresolvable address). Carries the site index so the caller can
+    /// attribute the failure — a refused dial means *that worker* is
+    /// unreachable, which the session surfaces as site-unavailable
+    /// degradation rather than an anonymous transport fault.
+    Connect {
+        /// Site whose address could not be dialed.
+        site: usize,
+        /// The underlying dial failure.
+        detail: String,
+    },
     /// An I/O error from the underlying socket.
     Io(String),
 }
@@ -52,6 +74,12 @@ impl std::fmt::Display for TransportError {
                 write!(f, "transport to site {site} is closed")
             }
             TransportError::UnknownSite { site } => write!(f, "no such site: {site}"),
+            TransportError::TimedOut { site } => {
+                write!(f, "site {site} did not answer before the deadline")
+            }
+            TransportError::Connect { site, detail } => {
+                write!(f, "cannot connect to site {site}: {detail}")
+            }
             TransportError::Io(msg) => write!(f, "transport I/O error: {msg}"),
         }
     }
@@ -106,6 +134,40 @@ pub trait Transport: Send + Sync {
 
     /// Block until `site`'s next frame arrives.
     fn recv(&self, site: usize) -> Result<Bytes, TransportError>;
+
+    /// Block until `site`'s next frame arrives or `deadline` passes,
+    /// returning [`TransportError::TimedOut`] in the latter case.
+    ///
+    /// A timeout must leave the connection at a clean frame boundary
+    /// (no partial frame consumed) so the caller can either retry the
+    /// receive or declare the site dead — the provided backends all
+    /// guarantee this, failing the connection instead if a frame was
+    /// torn mid-read. The default implementation ignores the deadline
+    /// and blocks; every production backend overrides it.
+    fn recv_deadline(&self, site: usize, deadline: Instant) -> Result<Bytes, TransportError> {
+        let _ = deadline;
+        self.recv(site)
+    }
+
+    /// Tear down and re-establish the connection to `site`, clearing
+    /// any sticky failure state. Used by the coordinator's repair path
+    /// after a site is marked dead. Backends that cannot re-dial (the
+    /// in-process channels have no address to call back) return an
+    /// error, which the caller treats as "rebuild the fleet instead".
+    fn reconnect(&self, site: usize) -> Result<(), TransportError> {
+        Err(TransportError::Io(format!(
+            "transport cannot reconnect site {site}: backend does not support re-dialing"
+        )))
+    }
+
+    /// Whether [`Transport::reconnect`] can ever succeed on this
+    /// backend. Lets the coordinator pick a repair strategy up front:
+    /// re-dial and re-install one site, or tear the fleet down and
+    /// rebuild it wholesale (the only option for in-process channels,
+    /// whose worker threads die with the channel).
+    fn can_reconnect(&self) -> bool {
+        false
+    }
 }
 
 /// Running totals of frames and bytes moved through a transport, in both
@@ -228,13 +290,39 @@ impl Transport for InProcessTransport {
         self.counters.record(frame.len());
         Ok(frame)
     }
+
+    fn recv_deadline(&self, site: usize, deadline: Instant) -> Result<Bytes, TransportError> {
+        let rx = self
+            .from_workers
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let guard = rx.lock().expect("transport receiver poisoned");
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let frame = guard.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::TimedOut { site },
+            RecvTimeoutError::Disconnected => TransportError::Closed { site },
+        })?;
+        self.counters.record(frame.len());
+        Ok(frame)
+    }
 }
 
 /// TCP-backed transport: one socket per site, frames delimited by a
 /// little-endian `u32` length prefix (see [`write_frame`]/[`read_frame`]).
+///
+/// The resolved address of every site is retained, so a dead connection
+/// can be re-dialed in place with [`Transport::reconnect`] — the repair
+/// path the session uses after a worker restart. Optional socket
+/// timeouts ([`TcpTransport::set_io_timeouts`]) bound how long a plain
+/// `send`/`recv` can block even without a caller-supplied deadline.
 #[derive(Debug)]
 pub struct TcpTransport {
     streams: Vec<Mutex<TcpStream>>,
+    /// Resolved worker addresses, in site order, for `reconnect`.
+    addrs: Vec<SocketAddr>,
+    /// `(read, write)` socket timeouts applied to every stream,
+    /// including freshly reconnected ones.
+    io_timeouts: Mutex<(Option<Duration>, Option<Duration>)>,
     counters: TransferCounters,
 }
 
@@ -243,20 +331,130 @@ impl TcpTransport {
     pub fn connect<A: ToSocketAddrs>(workers: &[A]) -> Result<TcpTransport, TransportError> {
         assert!(!workers.is_empty(), "need at least one site");
         let mut streams = Vec::with_capacity(workers.len());
-        for addr in workers {
-            let stream = TcpStream::connect(addr)?;
+        let mut addrs = Vec::with_capacity(workers.len());
+        for (site, addr) in workers.iter().enumerate() {
+            let dial = |e: String| TransportError::Connect { site, detail: e };
+            let resolved = addr
+                .to_socket_addrs()
+                .map_err(|e| dial(e.to_string()))?
+                .next()
+                .ok_or_else(|| dial("address resolved to nothing".into()))?;
+            let stream = TcpStream::connect(resolved).map_err(|e| dial(e.to_string()))?;
             stream.set_nodelay(true)?;
             streams.push(Mutex::new(stream));
+            addrs.push(resolved);
         }
         Ok(TcpTransport {
             streams,
+            addrs,
+            io_timeouts: Mutex::new((None, None)),
             counters: TransferCounters::default(),
         })
+    }
+
+    /// Apply socket-level read/write timeouts to every site connection
+    /// (and remember them for reconnected sockets). `None` disables a
+    /// timeout. These are the backstop that keeps a blocking `send` or
+    /// deadline-less `recv` from wedging forever on a dead peer; a read
+    /// that trips the socket timeout surfaces as
+    /// [`TransportError::TimedOut`] if it hit at a frame boundary and
+    /// as a connection failure otherwise.
+    pub fn set_io_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), TransportError> {
+        *self.io_timeouts.lock().expect("timeout config poisoned") = (read, write);
+        for stream in &self.streams {
+            let stream = stream.lock().expect("transport stream poisoned");
+            stream.set_read_timeout(read)?;
+            stream.set_write_timeout(write)?;
+        }
+        Ok(())
     }
 
     /// Frame/byte totals moved through this transport so far.
     pub fn counters(&self) -> &TransferCounters {
         &self.counters
+    }
+}
+
+/// Whether an I/O error is a socket-timeout expiry (reported as
+/// `WouldBlock` or `TimedOut` depending on platform).
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame with a hard deadline, using per-call socket read
+/// timeouts. A deadline expiry *before any byte of the frame arrived*
+/// is a clean [`TransportError::TimedOut`]; an expiry mid-frame means
+/// the stream position is torn and surfaces as a connection-fatal
+/// `Io` error instead.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    site: usize,
+    deadline: Instant,
+) -> Result<Option<Bytes>, TransportError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(timeout_or_torn(site, filled == 0));
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(TransportError::Io(
+                    "stream ended inside a frame header".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Err(timeout_or_torn(site, filled == 0)),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(TransportError::Io(
+            "frame length exceeds MAX_FRAME_LEN".into(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(timeout_or_torn(site, false));
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(TransportError::Io(
+                    "stream ended inside a frame payload".into(),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => return Err(timeout_or_torn(site, false)),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(Bytes::from(payload)))
+}
+
+/// Timeout classification for `read_frame_deadline`: clean frame
+/// boundary → retryable `TimedOut`; mid-frame → torn stream.
+fn timeout_or_torn(site: usize, at_boundary: bool) -> TransportError {
+    if at_boundary {
+        TransportError::TimedOut { site }
+    } else {
+        TransportError::Io("read deadline expired mid-frame; stream position lost".into())
     }
 }
 
@@ -282,13 +480,63 @@ impl Transport for TcpTransport {
             .get(site)
             .ok_or(TransportError::UnknownSite { site })?;
         let mut stream = stream.lock().expect("transport stream poisoned");
-        match read_frame(&mut *stream)? {
-            Some(frame) => {
+        match read_frame(&mut *stream) {
+            Ok(Some(frame)) => {
                 self.counters.record(frame.len());
                 Ok(frame)
             }
-            None => Err(TransportError::Closed { site }),
+            Ok(None) => Err(TransportError::Closed { site }),
+            // A socket-timeout expiry (set via `set_io_timeouts`).
+            // read_frame cannot report whether it was mid-frame, so the
+            // caller must treat the connection as suspect — the router
+            // marks a timed-out site failed rather than reading on.
+            Err(e) if is_timeout(&e) => Err(TransportError::TimedOut { site }),
+            Err(e) => Err(e.into()),
         }
+    }
+
+    fn recv_deadline(&self, site: usize, deadline: Instant) -> Result<Bytes, TransportError> {
+        let stream = self
+            .streams
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let mut guard = stream.lock().expect("transport stream poisoned");
+        let result = read_frame_deadline(&mut guard, site, deadline);
+        // Restore the configured steady-state read timeout regardless of
+        // outcome, so later plain `recv` calls see their usual config.
+        let (read, _) = *self.io_timeouts.lock().expect("timeout config poisoned");
+        let _ = guard.set_read_timeout(read);
+        match result {
+            Ok(Some(frame)) => {
+                self.counters.record(frame.len());
+                Ok(frame)
+            }
+            Ok(None) => Err(TransportError::Closed { site }),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn reconnect(&self, site: usize) -> Result<(), TransportError> {
+        let slot = self
+            .streams
+            .get(site)
+            .ok_or(TransportError::UnknownSite { site })?;
+        let addr = self.addrs[site];
+        let fresh = TcpStream::connect(addr).map_err(|e| TransportError::Connect {
+            site,
+            detail: e.to_string(),
+        })?;
+        fresh.set_nodelay(true)?;
+        let (read, write) = *self.io_timeouts.lock().expect("timeout config poisoned");
+        fresh.set_read_timeout(read)?;
+        fresh.set_write_timeout(write)?;
+        // Swap under the lock; the old socket closes on drop.
+        *slot.lock().expect("transport stream poisoned") = fresh;
+        Ok(())
+    }
+
+    fn can_reconnect(&self) -> bool {
+        true
     }
 }
 
@@ -410,6 +658,90 @@ mod tests {
         buf.extend_from_slice(b"x");
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn in_process_recv_deadline_times_out_cleanly() {
+        let (transport, endpoints) = InProcessTransport::pair(1);
+        // No worker is serving, so nothing ever arrives.
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert_eq!(
+            transport.recv_deadline(0, deadline),
+            Err(TransportError::TimedOut { site: 0 })
+        );
+        // The channel is untouched: a frame sent later is received fine.
+        assert!(endpoints[0].send(Bytes::from_static(b"late")));
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"late");
+    }
+
+    #[test]
+    fn tcp_recv_deadline_times_out_then_recovers() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Stay silent past the first deadline, then answer.
+            std::thread::sleep(Duration::from_millis(60));
+            write_frame(&mut stream, b"eventually").unwrap();
+            let _ = read_frame(&mut stream); // wait for coordinator close
+        });
+        let transport = TcpTransport::connect(&[addr]).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(
+            transport.recv_deadline(0, deadline),
+            Err(TransportError::TimedOut { site: 0 })
+        );
+        // Timeout hit at a frame boundary, so a patient retry succeeds.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        assert_eq!(
+            transport.recv_deadline(0, deadline).unwrap().as_ref(),
+            b"eventually"
+        );
+        drop(transport);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_reconnect_replaces_a_dead_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: accept and hang up immediately.
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+            // Second connection: behave like an echo worker.
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Some(frame) = read_frame(&mut stream).unwrap() {
+                write_frame(&mut stream, &frame).unwrap();
+            }
+        });
+        let transport = TcpTransport::connect(&[addr]).unwrap();
+        assert_eq!(transport.recv(0), Err(TransportError::Closed { site: 0 }));
+        transport.reconnect(0).unwrap();
+        transport.send(0, Bytes::from_static(b"again")).unwrap();
+        assert_eq!(transport.recv(0).unwrap().as_ref(), b"again");
+        drop(transport);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_socket_read_timeout_surfaces_as_timed_out() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut stream); // hold open, never reply
+        });
+        let transport = TcpTransport::connect(&[addr]).unwrap();
+        transport
+            .set_io_timeouts(
+                Some(Duration::from_millis(20)),
+                Some(Duration::from_secs(5)),
+            )
+            .unwrap();
+        assert_eq!(transport.recv(0), Err(TransportError::TimedOut { site: 0 }));
+        drop(transport);
+        server.join().unwrap();
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! [`SparqlServer`] binds a [`GStoreD`] session behind the W3C SPARQL
 //! Protocol: `GET /query?query=…` and `POST /query` (raw
 //! `application/sparql-query` or form-encoded bodies), with
-//! `Accept`-negotiated result serialization, plus the `GET /status`
-//! observability endpoint. Requests flow through the admission layer of
-//! [`crate::admission`]: a bounded worker pool serves connections from a
-//! bounded queue, and overload is answered with an immediate `429`.
+//! `Accept`-negotiated result serialization, plus the `GET /status` and
+//! `GET /health` observability endpoints. Requests flow through the
+//! admission layer of [`crate::admission`]: a bounded worker pool serves
+//! connections from a bounded queue, and overload is answered with an
+//! immediate `429`.
 //!
 //! Error mapping is typed and deliberate:
 //!
@@ -19,11 +20,16 @@
 //! | body too large | `413` |
 //! | POST with an unsupported `Content-Type` | `415` |
 //! | worker pool and queue full | `429` + `Retry-After` |
-//! | engine failure during execution | `500` + JSON body |
+//! | deadline expiry / site unavailable | `503` + `Retry-After` |
+//! | any other engine failure during execution | `500` + JSON body |
 //!
-//! A `500` never takes the fleet down with it: the session already
-//! confines teardown to connection-implicating transport errors, so one
-//! query's failure is one response, not an outage.
+//! Neither a `500` nor a `503` takes the fleet down with it: the session
+//! repairs an implicated site in place (reconnect + fragment re-install)
+//! and only tears the fleet down on protocol desynchronization, so one
+//! query's failure is one response, not an outage. The `503`s are the
+//! *graceful degradation* surface — they tell clients the condition is
+//! transient and when to come back, while `/health` reports per-site
+//! liveness for load balancers.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,6 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use gstored::core::EngineError;
 use gstored::rdf::Term;
 use gstored::{Error, GStoreD};
 
@@ -330,7 +337,8 @@ pub(crate) fn handle_request(
              GET  /query?query=<urlencoded sparql>\n\
              POST /query   (application/sparql-query or \
              application/x-www-form-urlencoded)\n\
-             GET  /status  (admission + fleet occupancy as JSON)\n\
+             GET  /status  (admission + fleet occupancy + robustness counters as JSON)\n\
+             GET  /health  (per-site liveness; 503 when degraded)\n\
              \n\
              Result formats via Accept: application/sparql-results+json, \
              application/sparql-results+xml, text/tab-separated-values, \
@@ -341,7 +349,8 @@ pub(crate) fn handle_request(
             Err(resp) => *resp,
         },
         ("GET", "/status") => status_response(session, counters, queue),
-        (_, "/query") | (_, "/status") | (_, "/") => {
+        ("GET", "/health") => health_response(session),
+        (_, "/query") | (_, "/status") | (_, "/health") | (_, "/") => {
             HttpResponse::new(405).header("Allow", "GET, POST").body(
                 "application/json",
                 format!(
@@ -474,14 +483,7 @@ fn stream_query(
     };
     let mut solutions = match prepared.stream() {
         Ok(solutions) => solutions,
-        Err(e) => {
-            return send_buffered(
-                counters,
-                stream,
-                error_response(500, "engine", &e.to_string()),
-                close,
-            )
-        }
+        Err(e) => return send_buffered(counters, stream, engine_error_response(&e), close),
     };
     counters.streams_started.fetch_add(1, Ordering::Relaxed);
     counters.record_status(200);
@@ -539,12 +541,84 @@ fn run_query(session: &GStoreD, request: &HttpRequest, query: &str) -> HttpRespo
         Ok(results) => {
             HttpResponse::new(200).body(format.content_type(), serialize_results(format, &results))
         }
-        Err(e) => error_response(500, "engine", &e.to_string()),
+        Err(e) => engine_error_response(&e),
     }
 }
 
-/// The `GET /status` document: HTTP admission state, session counters
-/// and per-site fleet occupancy.
+/// The `Retry-After` hint (seconds) on degradation `503`s: long enough
+/// for the session's capped-backoff repair sequence to complete.
+const DEGRADED_RETRY_AFTER_SECS: u32 = 2;
+
+/// Map an execution failure to its HTTP status. Deadline expiry and an
+/// unrepairable site are *degradation*, not breakage: the session has
+/// already repaired (or is repairing) the implicated site, so a retry is
+/// likely to succeed — `503` + `Retry-After` tells the client exactly
+/// that. Anything else is an honest `500`.
+fn engine_error_response(e: &Error) -> HttpResponse {
+    match e {
+        Error::Engine(
+            err @ (EngineError::Timeout { .. } | EngineError::SiteUnavailable { .. }),
+        ) => HttpResponse::new(503)
+            .header("Retry-After", DEGRADED_RETRY_AFTER_SECS.to_string())
+            .body(
+                "application/json",
+                format!(
+                    "{{\"error\":\"degraded\",\"message\":\"{}\"}}",
+                    json_escape(&err.to_string())
+                ),
+            ),
+        e => error_response(500, "engine", &e.to_string()),
+    }
+}
+
+/// The `GET /health` document: per-site liveness from
+/// [`GStoreD::site_health`] probes. `200` with `"status":"ok"` when
+/// every site answers; `503` + `Retry-After` with `"status":"degraded"`
+/// (and the per-site errors) when any does not — the shape load
+/// balancers and orchestration health checks expect.
+fn health_response(session: &GStoreD) -> HttpResponse {
+    let health = match session.site_health() {
+        Ok(health) => health,
+        Err(e) => {
+            return HttpResponse::new(503)
+                .header("Retry-After", DEGRADED_RETRY_AFTER_SECS.to_string())
+                .body(
+                    "application/json",
+                    format!(
+                        "{{\"status\":\"down\",\"message\":\"{}\"}}",
+                        json_escape(&e.to_string())
+                    ),
+                )
+        }
+    };
+    let all_alive = health.iter().all(|h| h.is_alive());
+    let sites: Vec<String> = health
+        .iter()
+        .map(|h| match &h.error {
+            None => format!("{{\"site\":{},\"alive\":true}}", h.site),
+            Some(err) => format!(
+                "{{\"site\":{},\"alive\":false,\"error\":\"{}\"}}",
+                h.site,
+                json_escape(err)
+            ),
+        })
+        .collect();
+    let body = format!(
+        "{{\"status\":\"{}\",\"sites\":[{}]}}",
+        if all_alive { "ok" } else { "degraded" },
+        sites.join(",")
+    );
+    if all_alive {
+        HttpResponse::new(200).body("application/json", body)
+    } else {
+        HttpResponse::new(503)
+            .header("Retry-After", DEGRADED_RETRY_AFTER_SECS.to_string())
+            .body("application/json", body)
+    }
+}
+
+/// The `GET /status` document: HTTP admission state, session counters,
+/// failure-handling (robustness) counters and per-site fleet occupancy.
 fn status_response(
     session: &GStoreD,
     counters: &ServerCounters,
@@ -552,27 +626,39 @@ fn status_response(
 ) -> HttpResponse {
     let snap = counters.snapshot();
     let stats = session.stats();
-    let fleet = match session.fleet_status() {
-        Ok(fleet) => fleet,
-        Err(e) => return error_response(500, "engine", &e.to_string()),
+    let robustness = session.robustness_stats();
+    // A fleet that cannot be probed (a site is down) must not take the
+    // observability endpoint with it — counters still answer, and the
+    // probe failure itself is reported in place of the per-site table.
+    let fleet_field = match session.fleet_status() {
+        Ok(fleet) => {
+            let sites: Vec<String> = fleet
+                .iter()
+                .enumerate()
+                .map(|(site, s)| {
+                    format!(
+                        "{{\"site\":{site},\"resident_queries\":{},\"resident_lpms\":{},\
+                         \"capacity\":{},\"evictions\":{},\"ttl_evictions\":{}}}",
+                        s.resident_queries,
+                        s.resident_lpms,
+                        s.capacity,
+                        s.evictions,
+                        s.ttl_evictions
+                    )
+                })
+                .collect();
+            format!("\"fleet\":[{}]", sites.join(","))
+        }
+        Err(e) => format!("\"fleet_error\":\"{}\"", json_escape(&e.to_string())),
     };
-    let sites: Vec<String> = fleet
-        .iter()
-        .enumerate()
-        .map(|(site, s)| {
-            format!(
-                "{{\"site\":{site},\"resident_queries\":{},\"resident_lpms\":{},\
-                 \"capacity\":{},\"evictions\":{}}}",
-                s.resident_queries, s.resident_lpms, s.capacity, s.evictions
-            )
-        })
-        .collect();
     let body = format!(
         "{{\"server\":{{\"admitted\":{},\"rejected_429\":{},\"ok\":{},\"client_errors\":{},\
          \"server_errors\":{},\"in_flight\":{},\"streams_started\":{},\
          \"streams_completed\":{},\"streams_cancelled\":{},\"queued\":{},\"queue_depth\":{}}},\
          \"session\":{{\"queries_prepared\":{},\"executions\":{}}},\
-         \"fleet\":[{}]}}",
+         \"robustness\":{{\"timeouts\":{},\"retries\":{},\"reconnects\":{},\"repairs\":{},\
+         \"repairs_failed\":{},\"fleet_rebuilds\":{}}},\
+         {}}}",
         snap.admitted,
         snap.rejected,
         snap.ok,
@@ -586,7 +672,13 @@ fn status_response(
         queue.depth(),
         stats.queries_prepared,
         stats.executions,
-        sites.join(",")
+        robustness.timeouts,
+        robustness.retries,
+        robustness.reconnects,
+        robustness.repairs,
+        robustness.repairs_failed,
+        robustness.fleet_rebuilds,
+        fleet_field
     );
     HttpResponse::new(200).body("application/json", body)
 }
@@ -677,6 +769,43 @@ mod tests {
         assert!(body.contains("\"queue_depth\":1"));
         assert!(body.contains("\"resident_queries\":0"));
         assert!(body.contains("\"rejected_429\":0"));
+        assert!(body.contains("\"robustness\":"));
+        assert!(body.contains("\"fleet_rebuilds\":0"));
+        assert!(body.contains("\"ttl_evictions\":0"));
+    }
+
+    #[test]
+    fn health_reports_every_site_alive() {
+        let db = session();
+        let resp = handle(&db, &request("GET", "/health", &[]));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"alive\":true"));
+        // /health only takes GET.
+        assert_eq!(handle(&db, &request("POST", "/health", &[])).status, 405);
+    }
+
+    #[test]
+    fn degradation_errors_map_to_503_with_retry_after() {
+        let resp = engine_error_response(&Error::Engine(EngineError::Timeout {
+            site: 1,
+            stage: "assembly",
+        }));
+        assert_eq!(resp.status, 503);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && !v.is_empty()));
+        let resp = engine_error_response(&Error::Engine(EngineError::SiteUnavailable {
+            site: 0,
+            reason: "4 repair attempts failed".into(),
+        }));
+        assert_eq!(resp.status, 503);
+        // Other engine failures stay 500, without Retry-After.
+        let resp = engine_error_response(&Error::Engine(EngineError::Worker("boom".into())));
+        assert_eq!(resp.status, 500);
+        assert!(!resp.headers.iter().any(|(k, _)| k == "Retry-After"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod session;
 pub use error::Error;
 pub use session::{
     GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, QuerySolutionIter,
-    SessionStats, StreamSolution, DEFAULT_STREAM_CHUNK,
+    RobustnessStats, SessionStats, SiteHealth, StreamSolution, DEFAULT_STREAM_CHUNK,
 };
 
 /// Most commonly used items, for glob import in examples and tests.
@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::session::{
         GStoreD, GStoreDBuilder, PreparedQuery, QueryResults, QuerySolution, QuerySolutionIter,
-        SessionStats, StreamSolution,
+        RobustnessStats, SessionStats, SiteHealth, StreamSolution,
     };
     pub use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
     pub use gstored_core::prepared::PreparedPlan;

@@ -20,14 +20,16 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, StreamState, Variant};
 use gstored_core::prepared::PreparedPlan;
+use gstored_core::protocol::{self, QueryId, Request, ResponseBody};
 use gstored_core::runtime::{QueryExecutor, QueryTicket, ReplyRouter, WorkerPool};
 use gstored_core::worker::SiteWorker;
 use gstored_core::{EngineError, WorkerStatus};
 use gstored_net::worker::serve_endpoint;
-use gstored_net::{InProcessTransport, QueryMetrics, Transport};
+use gstored_net::{ChaosConfig, ChaosTransport, InProcessTransport, QueryMetrics, Transport};
 use gstored_partition::{DistributedGraph, HashPartitioner, PartitionAssignment, Partitioner};
 use gstored_rdf::{parse_ntriples, Dictionary, RdfGraph, Term, Triple, VertexId};
 use gstored_sparql::{parse_query, QueryGraph, ShapeReport};
@@ -56,6 +58,85 @@ pub struct SessionStats {
     pub executions: u64,
 }
 
+/// Running counters of the session's failure handling, mirrored into
+/// [`RobustnessStats`] snapshots.
+#[derive(Debug, Default)]
+struct RobustnessCounters {
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    repairs: AtomicU64,
+    repairs_failed: AtomicU64,
+    fleet_rebuilds: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`GStoreD::robustness_stats`]: how often
+/// the session's failure-handling machinery has fired. All zeros on a
+/// healthy fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Query pipelines that hit their [`EngineConfig::query_deadline`].
+    pub timeouts: u64,
+    /// Executions retried after a successful recovery (each retry runs
+    /// under a fresh query id; a retry is attempted at most once per
+    /// execution).
+    pub retries: u64,
+    /// Successful transport-level reconnects to individual sites.
+    pub reconnects: u64,
+    /// Completed single-site repairs (reconnect + router reset +
+    /// fragment re-install).
+    pub repairs: u64,
+    /// Repairs abandoned after exhausting every backoff attempt; the
+    /// triggering query surfaced [`EngineError::SiteUnavailable`].
+    pub repairs_failed: u64,
+    /// Wholesale fleet teardowns (protocol desynchronization, or any
+    /// failure on a backend that cannot re-dial a single site).
+    pub fleet_rebuilds: u64,
+}
+
+/// Liveness and state-table occupancy of one site worker, as reported by
+/// [`GStoreD::site_health`]. Exactly one of `status` / `error` is `Some`.
+#[derive(Debug, Clone)]
+pub struct SiteHealth {
+    /// The site (fragment) index.
+    pub site: usize,
+    /// The worker's status reply, when it answered within the probe
+    /// deadline.
+    pub status: Option<WorkerStatus>,
+    /// Why the probe failed (timeout, transport breakage), when it did.
+    pub error: Option<String>,
+}
+
+impl SiteHealth {
+    /// Whether the site answered its status probe.
+    pub fn is_alive(&self) -> bool {
+        self.status.is_some()
+    }
+}
+
+/// How [`GStoreD::recover`] disposed of an execution failure.
+enum Recovery {
+    /// The implicated sites were repaired (or the fleet was scheduled
+    /// for a rebuild); the execution is worth retrying once.
+    Repaired,
+    /// Repair itself failed; surface this error instead of the original.
+    Failed(EngineError),
+    /// The failure does not implicate the fleet (worker-side errors,
+    /// plan validation); nothing to recover, nothing to retry.
+    NotApplicable,
+}
+
+/// Bounded retry schedule for single-site repair: up to
+/// [`REPAIR_ATTEMPTS`] reconnect attempts, sleeping [`REPAIR_BACKOFF`]
+/// before each retry and doubling up to [`REPAIR_BACKOFF_CAP`].
+const REPAIR_ATTEMPTS: u32 = 4;
+const REPAIR_BACKOFF: Duration = Duration::from_millis(50);
+const REPAIR_BACKOFF_CAP: Duration = Duration::from_secs(1);
+/// How long a repair waits for the re-installed fragment's `Ack`.
+const REINSTALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// Per-site deadline of one [`GStoreD::site_health`] probe.
+const HEALTH_PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// The session's connected worker fleet, shared by every concurrent
 /// query: the transport (in-process channels or TCP sockets), the reply
 /// router demultiplexing interleaved replies, and — for the in-process
@@ -72,6 +153,10 @@ struct Fleet {
     transport: Option<Box<dyn Transport>>,
     router: ReplyRouter,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// One lock per site, serializing repairs of that site: concurrent
+    /// pipelines that all tripped over the same dead worker take turns
+    /// instead of racing reconnects against each other.
+    repair_locks: Vec<Mutex<()>>,
 }
 
 impl Fleet {
@@ -81,7 +166,11 @@ impl Fleet {
     /// concurrent load would LRU-evict in-flight queries; remote
     /// `gstored-worker` processes need the same headroom via
     /// `--capacity`.
-    fn in_process(dist: &Arc<DistributedGraph>, max_concurrent: usize) -> Fleet {
+    fn in_process(
+        dist: &Arc<DistributedGraph>,
+        max_concurrent: usize,
+        chaos: Option<&ChaosConfig>,
+    ) -> Fleet {
         let capacity =
             gstored_core::worker::DEFAULT_QUERY_CAPACITY.max(max_concurrent.saturating_mul(2));
         let sites = dist.fragment_count();
@@ -96,19 +185,33 @@ impl Fleet {
             }));
         }
         Fleet {
-            transport: Some(Box::new(transport)),
+            transport: Some(Self::maybe_chaos(transport, chaos)),
             router: ReplyRouter::new(sites),
             workers,
+            repair_locks: (0..sites).map(|_| Mutex::new(())).collect(),
         }
     }
 
     /// Wrap an already-connected remote fleet (fragments installed).
-    fn remote(transport: impl Transport + 'static) -> Fleet {
+    fn remote(transport: impl Transport + 'static, chaos: Option<&ChaosConfig>) -> Fleet {
         let sites = transport.sites();
         Fleet {
-            transport: Some(Box::new(transport)),
+            transport: Some(Self::maybe_chaos(transport, chaos)),
             router: ReplyRouter::new(sites),
             workers: Vec::new(),
+            repair_locks: (0..sites).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Interpose the fault-injection wrapper when the config asks for
+    /// it; the fault-free path gets the bare transport, no indirection.
+    fn maybe_chaos(
+        transport: impl Transport + 'static,
+        chaos: Option<&ChaosConfig>,
+    ) -> Box<dyn Transport> {
+        match chaos {
+            Some(config) => Box::new(ChaosTransport::new(transport, config.clone())),
+            None => Box::new(transport),
         }
     }
 
@@ -230,6 +333,21 @@ impl GStoreDBuilder {
         self
     }
 
+    /// Per-query deadline budget (`None` waits forever). See
+    /// [`EngineConfig::query_deadline`].
+    pub fn query_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.query_deadline = deadline;
+        self
+    }
+
+    /// Inject deterministic transport faults (latency, drops, truncated
+    /// and corrupted frames, disconnects, hangs) between the session and
+    /// its fleet — the chaos-testing hook. See [`EngineConfig::chaos`].
+    pub fn chaos(mut self, config: ChaosConfig) -> Self {
+        self.config.chaos = Some(config);
+        self
+    }
+
     /// How many query pipelines the session admits onto its shared
     /// worker fleet at once (minimum 1; default 8). Further concurrent
     /// callers queue until a slot frees.
@@ -344,11 +462,21 @@ pub struct GStoreD {
     /// The session's worker fleet (both backends), established lazily on
     /// first execution and reused for the session's lifetime, so for TCP
     /// the fragments ship exactly once. Behind `Arc` so concurrent
-    /// queries share it without holding this lock while executing; a
-    /// connection-implicating failure drops the cached entry (a
-    /// possibly-desynchronized stream is never reused) and the next
+    /// queries share it without holding this lock while executing. A
+    /// failure that implicates one site is repaired in place (reconnect
+    /// and fragment re-install); only unattributable breakage or
+    /// protocol desynchronization drops the cached entry, and the next
     /// execution re-establishes it.
     fleet: Mutex<Option<Arc<Fleet>>>,
+    /// Failure-handling counters, surfaced via
+    /// [`GStoreD::robustness_stats`].
+    robustness: RobustnessCounters,
+    /// Fleet incarnation counter, mixed into the chaos seed so a
+    /// rebuilt fleet draws a fresh fault script instead of replaying
+    /// the previous incarnation's from frame zero — a deterministic
+    /// schedule would otherwise reproduce the exact fault that forced
+    /// the rebuild, forever.
+    fleet_epoch: AtomicU64,
 }
 
 impl GStoreD {
@@ -365,6 +493,8 @@ impl GStoreD {
             counters: SessionCounters::default(),
             executor,
             fleet: Mutex::new(None),
+            robustness: RobustnessCounters::default(),
+            fleet_epoch: AtomicU64::new(0),
         }
     }
 
@@ -414,32 +544,192 @@ impl GStoreD {
 
     /// Run a prepared plan as one of the session's concurrent queries:
     /// wait for an admission slot, then drive the pipeline over the
-    /// shared fleet under a fresh query id. A failure that implicates
-    /// the connection (transport breakage, protocol violation — the
-    /// stream may be desynchronized) drops the cached fleet, and the
-    /// next execution re-establishes it; in-flight queries finish on
-    /// the old fleet, which their `Arc` keeps alive. Per-query failures
-    /// that leave the streams fully drained (worker errors, evicted
-    /// query ids, plan validation) keep the fleet — tearing down what
-    /// every concurrent caller shares over one query's error would turn
-    /// a local failure into a global stall.
+    /// shared fleet under a fresh query id.
+    ///
+    /// Failures that implicate the fleet go through [`GStoreD::recover`]:
+    /// a timeout or an attributable transport failure repairs just the
+    /// implicated sites (reconnect + fragment re-install) and **retries
+    /// the execution once** under a fresh query id — the per-site
+    /// pipeline is idempotent, so a retry is always safe. Only protocol
+    /// desynchronization or unattributable breakage tears down the
+    /// cached fleet; in-flight queries finish on the old fleet, which
+    /// their `Arc` keeps alive. Per-query failures that leave the
+    /// streams fully drained (worker errors, evicted query ids, plan
+    /// validation) touch nothing — tearing down what every concurrent
+    /// caller shares over one query's error would turn a local failure
+    /// into a global stall.
     fn run_plan(&self, plan: &PreparedPlan) -> Result<QueryOutput, EngineError> {
-        let ticket = self.executor.admit();
-        let fleet = self.fleet()?;
-        let result = self.engine.execute_routed(
-            fleet.transport(),
-            &fleet.router,
-            &self.dist,
-            plan,
-            ticket.query(),
-        );
-        if matches!(
-            result,
-            Err(EngineError::Transport(_)) | Err(EngineError::Protocol(_))
-        ) {
-            self.invalidate_fleet(&fleet);
+        let mut recovered = false;
+        loop {
+            let ticket = self.executor.admit();
+            let fleet = self.fleet()?;
+            let err = match self.engine.execute_routed(
+                fleet.transport(),
+                &fleet.router,
+                &self.dist,
+                plan,
+                ticket.query(),
+            ) {
+                Ok(output) => return Ok(output),
+                Err(e) => e,
+            };
+            drop(ticket);
+            if recovered {
+                // The retry failed too: give up, and make sure a
+                // possibly-desynchronized fleet is not left cached.
+                if matches!(err, EngineError::Transport(_) | EngineError::Protocol(_)) {
+                    self.invalidate_fleet(&fleet);
+                }
+                return Err(err);
+            }
+            match self.recover(&fleet, &err) {
+                Recovery::Repaired => {
+                    self.robustness.retries.fetch_add(1, Ordering::Relaxed);
+                    recovered = true;
+                }
+                Recovery::Failed(repair_err) => return Err(repair_err),
+                Recovery::NotApplicable => return Err(err),
+            }
         }
-        result
+    }
+
+    /// React to an execution failure on `fleet`: decide whether it
+    /// implicates the fleet's connections and, when it does, repair the
+    /// narrowest thing that explains it.
+    ///
+    /// - [`EngineError::Timeout`] names its site: repair exactly that
+    ///   one. The connection may be wedged (a hung worker never
+    ///   produces the reply), so re-dialing is the only way back to a
+    ///   known-clean frame boundary.
+    /// - [`EngineError::Transport`]: repair every site whose router
+    ///   slot is marked failed; when none is (e.g. the failure happened
+    ///   on the send side before any slot could be marked), fall back
+    ///   to a wholesale rebuild.
+    /// - [`EngineError::Protocol`]: the stream produced an undecodable
+    ///   or misdirected frame — nothing short of a fresh fleet is
+    ///   trustworthy.
+    ///
+    /// Backends that cannot re-dial one site ([`Transport::can_reconnect`]
+    /// is false — in-process channels, whose worker threads die with the
+    /// channel) always take the rebuild path.
+    fn recover(&self, fleet: &Arc<Fleet>, error: &EngineError) -> Recovery {
+        match error {
+            EngineError::Timeout { site, .. } => {
+                self.robustness.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.repair_or_rebuild(fleet, std::slice::from_ref(site))
+            }
+            EngineError::Transport(_) => {
+                let failed: Vec<usize> = (0..fleet.router.sites())
+                    .filter(|&site| fleet.router.is_failed(site))
+                    .collect();
+                if failed.is_empty() {
+                    self.rebuild(fleet);
+                    Recovery::Repaired
+                } else {
+                    self.repair_or_rebuild(fleet, &failed)
+                }
+            }
+            EngineError::Protocol(_) => {
+                self.rebuild(fleet);
+                Recovery::Repaired
+            }
+            _ => Recovery::NotApplicable,
+        }
+    }
+
+    /// Repair each of `sites` in place when the backend supports
+    /// re-dialing; otherwise drop the cached fleet so the next
+    /// execution rebuilds it wholesale.
+    fn repair_or_rebuild(&self, fleet: &Arc<Fleet>, sites: &[usize]) -> Recovery {
+        if !fleet.transport().can_reconnect() {
+            self.rebuild(fleet);
+            return Recovery::Repaired;
+        }
+        for &site in sites {
+            if let Err(e) = self.repair_site(fleet, site) {
+                return Recovery::Failed(e);
+            }
+        }
+        Recovery::Repaired
+    }
+
+    /// Drop the cached fleet (if `fleet` is still it) so the next
+    /// execution stands up a fresh one.
+    fn rebuild(&self, fleet: &Arc<Fleet>) {
+        self.invalidate_fleet(fleet);
+        self.robustness
+            .fleet_rebuilds
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bring one dead site back: reconnect the transport, clear the
+    /// router's sticky failure, and re-install the site's fragment,
+    /// under capped exponential backoff ([`REPAIR_ATTEMPTS`] attempts).
+    /// Serialized per site by the fleet's repair lock, so concurrent
+    /// queries that all tripped over the same dead worker produce one
+    /// repair sequence, not a stampede of reconnects.
+    ///
+    /// Exhausting every attempt surfaces
+    /// [`EngineError::SiteUnavailable`] — the typed signal the HTTP
+    /// layer maps to `503 Service Unavailable` + `Retry-After`.
+    fn repair_site(&self, fleet: &Fleet, site: usize) -> Result<(), EngineError> {
+        let _guard = fleet.repair_locks[site]
+            .lock()
+            .expect("repair lock poisoned");
+        let mut backoff = REPAIR_BACKOFF;
+        let mut last_err = String::from("never connected");
+        for attempt in 0..REPAIR_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(REPAIR_BACKOFF_CAP);
+            }
+            if let Err(e) = fleet.transport().reconnect(site) {
+                last_err = e.to_string();
+                continue;
+            }
+            self.robustness.reconnects.fetch_add(1, Ordering::Relaxed);
+            fleet.router.reset(site);
+            match self.reinstall_fragment(fleet, site) {
+                Ok(()) => {
+                    self.robustness.repairs.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        self.robustness
+            .repairs_failed
+            .fetch_add(1, Ordering::Relaxed);
+        Err(EngineError::SiteUnavailable {
+            site,
+            reason: format!("{REPAIR_ATTEMPTS} repair attempts failed; last error: {last_err}"),
+        })
+    }
+
+    /// Re-ship `site`'s fragment over a freshly reconnected stream and
+    /// wait (bounded) for the worker's `Ack`. The reply is stamped
+    /// [`QueryId::CONTROL`]; in the rare race where a concurrently
+    /// reading pipeline consumes it first, this times out and the
+    /// repair attempt retries after backoff.
+    fn reinstall_fragment(&self, fleet: &Fleet, site: usize) -> Result<(), EngineError> {
+        let fragment = &self.dist.fragments[site];
+        fleet
+            .transport()
+            .send(site, protocol::encode_install_fragment(fragment))?;
+        let deadline = Instant::now() + REINSTALL_TIMEOUT;
+        let (_, response) = fleet.router.recv_deadline(
+            fleet.transport(),
+            site,
+            QueryId::CONTROL,
+            Some(deadline),
+        )?;
+        match response.body {
+            ResponseBody::Ack => Ok(()),
+            ResponseBody::Error(msg) => Err(EngineError::Worker(format!("site {site}: {msg}"))),
+            other => Err(EngineError::Protocol(format!(
+                "expected Ack to re-installed fragment, got {other:?}"
+            ))),
+        }
     }
 
     /// The cached fleet, establishing it if this is the first execution.
@@ -448,17 +738,30 @@ impl GStoreD {
         if let Some(fleet) = cache.as_ref() {
             return Ok(Arc::clone(fleet));
         }
+        // Each incarnation shifts the chaos seed: the schedule stays
+        // deterministic for a given (seed, epoch), but a rebuilt fleet
+        // does not replay its predecessor's faults from frame zero.
+        let chaos = self.engine.config().chaos.as_ref().map(|config| {
+            let mut config = config.clone();
+            config.seed = config
+                .seed
+                .wrapping_add(self.fleet_epoch.fetch_add(1, Ordering::Relaxed));
+            config
+        });
+        let chaos = chaos.as_ref();
         let fleet = match &self.engine.config().backend {
-            Backend::InProcess => {
-                Fleet::in_process(&self.dist, self.engine.config().max_concurrent_queries)
-            }
+            Backend::InProcess => Fleet::in_process(
+                &self.dist,
+                self.engine.config().max_concurrent_queries,
+                chaos,
+            ),
             // TCP fleets default to the reactor: one epoll-driven I/O
             // thread multiplexes every site socket, so the session's
             // thread count stays O(1) in the fleet size.
             Backend::Tcp { .. } if self.engine.config().reactor_io => {
-                Fleet::remote(self.engine.connect_workers_reactor(&self.dist)?)
+                Fleet::remote(self.engine.connect_workers_reactor(&self.dist)?, chaos)
             }
-            Backend::Tcp { .. } => Fleet::remote(self.engine.connect_workers(&self.dist)?),
+            Backend::Tcp { .. } => Fleet::remote(self.engine.connect_workers(&self.dist)?, chaos),
         };
         let fleet = Arc::new(fleet);
         *cache = Some(Arc::clone(&fleet));
@@ -490,15 +793,88 @@ impl GStoreD {
             &fleet.router,
             self.engine.config().network.clone(),
             ticket.query(),
+        )
+        .with_deadline(
+            self.engine
+                .config()
+                .query_deadline
+                .map(|d| Instant::now() + d),
         );
         let status = pool.worker_status();
-        if matches!(
-            status,
-            Err(EngineError::Transport(_)) | Err(EngineError::Protocol(_))
-        ) {
-            self.invalidate_fleet(&fleet);
+        if let Err(e) = &status {
+            // Same containment as queries: repair the implicated site,
+            // tear down only what cannot be repaired.
+            let _ = self.recover(&fleet, e);
         }
         Ok(status?)
+    }
+
+    /// Probe each site worker individually for liveness: send it a
+    /// status request and wait a bounded `HEALTH_PROBE_TIMEOUT`.
+    /// Unlike [`GStoreD::fleet_status`], one dead site does not fail
+    /// the call — its entry reports the error and the remaining sites
+    /// are still probed. This is the `/health` endpoint's data source.
+    ///
+    /// Takes an admission slot like a query (the probe itself is
+    /// flow-controlled) and establishes the fleet if no query has run
+    /// yet.
+    pub fn site_health(&self) -> Result<Vec<SiteHealth>, Error> {
+        let ticket = self.executor.admit();
+        let fleet = self.fleet()?;
+        let frame = protocol::encode_request(&Request::WorkerStatus {
+            query: ticket.query(),
+        });
+        let sites = fleet.router.sites();
+        let mut health = Vec::with_capacity(sites);
+        for site in 0..sites {
+            let result = fleet
+                .transport()
+                .send(site, frame.clone())
+                .map_err(EngineError::from)
+                .and_then(|()| {
+                    let deadline = Instant::now() + HEALTH_PROBE_TIMEOUT;
+                    fleet.router.recv_deadline(
+                        fleet.transport(),
+                        site,
+                        ticket.query(),
+                        Some(deadline),
+                    )
+                });
+            health.push(match result {
+                Ok((_, response)) => match response.body {
+                    ResponseBody::Status(status) => SiteHealth {
+                        site,
+                        status: Some(status),
+                        error: None,
+                    },
+                    other => SiteHealth {
+                        site,
+                        status: None,
+                        error: Some(format!("unexpected status reply: {other:?}")),
+                    },
+                },
+                Err(e) => SiteHealth {
+                    site,
+                    status: None,
+                    error: Some(e.to_string()),
+                },
+            });
+        }
+        Ok(health)
+    }
+
+    /// Snapshot of the session's failure-handling counters: deadline
+    /// expiries, retried executions, per-site reconnects/repairs, and
+    /// wholesale fleet rebuilds.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        RobustnessStats {
+            timeouts: self.robustness.timeouts.load(Ordering::Relaxed),
+            retries: self.robustness.retries.load(Ordering::Relaxed),
+            reconnects: self.robustness.reconnects.load(Ordering::Relaxed),
+            repairs: self.robustness.repairs.load(Ordering::Relaxed),
+            repairs_failed: self.robustness.repairs_failed.load(Ordering::Relaxed),
+            fleet_rebuilds: self.robustness.fleet_rebuilds.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot of the session's prepare/execute counters.
@@ -578,22 +954,40 @@ impl<'s> PreparedQuery<'s> {
     /// the arrival interleaving.
     pub fn stream_with_chunk(&self, chunk: usize) -> Result<QuerySolutionIter<'s>, Error> {
         let session = self.session;
-        let ticket = session.executor.admit();
-        let fleet = session.fleet()?;
-        let stream = match session.engine.start_stream(
-            fleet.transport(),
-            &fleet.router,
-            &session.dist,
-            &self.plan,
-            ticket.query(),
-            chunk,
-        ) {
-            Ok(stream) => stream,
-            Err(e) => {
-                if matches!(e, EngineError::Transport(_) | EngineError::Protocol(_)) {
+        // Startup is idempotent — no solution has been delivered yet —
+        // so it gets the same recover-and-retry-once loop as
+        // `run_plan`. Mid-stream failures (after rows surfaced) still
+        // only repair for the next execution's benefit: replaying a
+        // partially-consumed stream could duplicate rows.
+        let mut recovered = false;
+        let (ticket, fleet, stream) = loop {
+            let ticket = session.executor.admit();
+            let fleet = session.fleet()?;
+            let err = match session.engine.start_stream(
+                fleet.transport(),
+                &fleet.router,
+                &session.dist,
+                &self.plan,
+                ticket.query(),
+                chunk,
+            ) {
+                Ok(stream) => break (ticket, fleet, stream),
+                Err(e) => e,
+            };
+            drop(ticket);
+            if recovered {
+                if matches!(err, EngineError::Transport(_) | EngineError::Protocol(_)) {
                     session.invalidate_fleet(&fleet);
                 }
-                return Err(e.into());
+                return Err(err.into());
+            }
+            match session.recover(&fleet, &err) {
+                Recovery::Repaired => {
+                    session.robustness.retries.fetch_add(1, Ordering::Relaxed);
+                    recovered = true;
+                }
+                Recovery::Failed(repair_err) => return Err(repair_err.into()),
+                Recovery::NotApplicable => return Err(err.into()),
             }
         };
         session.counters.executions.fetch_add(1, Ordering::Relaxed);
@@ -723,11 +1117,12 @@ impl<'s> Iterator for QuerySolutionIter<'s> {
                     return None;
                 }
                 Err(e) => {
-                    // The stream has already cancelled the fleet; mirror
-                    // `run_plan`'s fleet-invalidations and fuse.
-                    if matches!(e, EngineError::Transport(_) | EngineError::Protocol(_)) {
-                        self.session.invalidate_fleet(&self.fleet);
-                    }
+                    // The stream has already cancelled its fleet state.
+                    // Rows may already have been yielded, so a mid-stream
+                    // retry is impossible — but repair the implicated
+                    // site anyway (mirroring `run_plan`) so the *next*
+                    // execution finds a healthy fleet, then fuse.
+                    let _ = self.session.recover(&self.fleet, &e);
                     self.ticket.take();
                     self.done = true;
                     return Some(Err(e.into()));
@@ -1172,6 +1567,24 @@ mod tests {
             let mut s = prepared.stream().unwrap();
             let _ = s.next();
         }
+    }
+
+    #[test]
+    fn site_health_reports_every_site_alive() {
+        let db = session();
+        let health = db.site_health().unwrap();
+        assert_eq!(health.len(), 3);
+        for h in &health {
+            assert!(
+                h.is_alive(),
+                "site {} should be alive: {:?}",
+                h.site,
+                h.error
+            );
+            assert_eq!(h.status.as_ref().unwrap().resident_queries, 0);
+        }
+        // A healthy in-process fleet never trips the failure machinery.
+        assert_eq!(db.robustness_stats(), RobustnessStats::default());
     }
 
     #[test]

@@ -233,7 +233,7 @@ proptest! {
         crossings in prop::collection::vec((0u64..1000, 0u64..50, 0u64..1000, 0usize..8), 0..3),
         mask in any::<u64>(),
         message in "[ -~]{0,40}",
-        status in prop::collection::vec(any::<u64>(), 4),
+        status in prop::collection::vec(any::<u64>(), 5),
         chunk_seq in any::<u64>(),
         chunk_last in any::<bool>(),
     ) {
@@ -260,6 +260,7 @@ proptest! {
                 resident_lpms: status[1],
                 capacity: status[2],
                 evictions: status[3],
+                ttl_evictions: status[4],
             }),
             ResponseBody::UnknownQuery(QueryId(qid.wrapping_add(1))),
             ResponseBody::Error(message),
