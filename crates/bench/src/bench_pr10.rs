@@ -1,0 +1,342 @@
+//! `BENCH_PR10.json`: the cost-based planner leg of the repo's committed
+//! performance trajectory.
+//!
+//! `BENCH_PR4.json` established that no explicit variant wins everywhere
+//! — the best one flips with the workload and the partitioner. PR 10
+//! added [`Variant::Auto`]: a per-query cost model over cached
+//! per-fragment statistics that picks the variant instead of the caller.
+//! This module replays the PR4 sweep — LUBM and the crossing-heavy
+//! random dataset × hash/semantic/metis × every explicit variant — and
+//! runs `Auto` as a fifth column over the same cells, proving:
+//!
+//! * **rows_equal_everywhere** — `Auto` returns exactly the rows of the
+//!   explicit baseline on every (dataset × partitioner × query) cell;
+//! * **auto_within_bound** — `Auto`'s summed wall per cell lands at or
+//!   near the measured-best explicit variant (≤ 1.25× per cell), in
+//!   particular beating hard-coded `Basic` on RANDOM/hash and
+//!   hard-coded `Full` on semantically partitioned LUBM;
+//! * the per-query planner verdicts (chosen variant, estimated LPMs)
+//!   next to the measured stage times, so drift between the cost model
+//!   and reality is visible in the committed file.
+//!
+//! The emitted JSON is schema-checked by [`validate`], which the CI
+//! `bench-pr10 --smoke` job runs against a small-scale regeneration.
+
+use gstored_core::engine::{Engine, Variant};
+use gstored_rdf::VertexId;
+
+use crate::bench_pr3::num;
+use crate::datasets::{self, Dataset};
+use crate::experiments::{partition, prepare};
+
+/// Identifies the emitted schema; bump when the JSON shape changes.
+pub const SCHEMA: &str = "gstored-bench-pr10/v1";
+
+/// Knobs for one `BENCH_PR10.json` generation.
+#[derive(Debug, Clone)]
+pub struct BenchPr10Config {
+    /// Triples for the LUBM sweep dataset (the random dataset runs at a
+    /// third of this, exactly like `bench-pr3`/`bench-pr4`, so committed
+    /// trajectories stay comparable file-to-file).
+    pub scale: usize,
+    /// Simulated sites.
+    pub sites: usize,
+    /// Repetitions per (query × variant) cell; the committed file
+    /// records the per-query minimum, which suppresses scheduler noise
+    /// in the sub-100ms cells the 1.25× acceptance ratio compares.
+    pub iters: usize,
+}
+
+impl Default for BenchPr10Config {
+    fn default() -> Self {
+        BenchPr10Config {
+            scale: datasets::DEFAULT_SCALE,
+            sites: datasets::DEFAULT_SITES,
+            iters: 3,
+        }
+    }
+}
+
+impl BenchPr10Config {
+    /// A tiny configuration for smoke tests and the CI bench job:
+    /// seconds, not minutes, while exercising every code path and schema
+    /// field. Timing-based acceptance ratios are meaningless at this
+    /// scale (sub-millisecond cells); only the row-equality and schema
+    /// guarantees are asserted.
+    pub fn smoke() -> Self {
+        BenchPr10Config {
+            scale: 2_000,
+            sites: 3,
+            iters: 1,
+        }
+    }
+}
+
+/// One sweep cell: everything the acceptance block needs about one
+/// (dataset × partitioner) combination.
+struct Cell {
+    dataset: String,
+    partitioner: String,
+    /// Per explicit variant, the summed measured wall over the cell's
+    /// queries, in [`Variant::ALL`] order.
+    explicit_ms: Vec<f64>,
+    /// `Auto`'s summed measured wall over the same queries.
+    auto_ms: f64,
+    /// Whether `Auto` returned exactly the baseline rows on every query.
+    rows_equal: bool,
+}
+
+impl Cell {
+    fn best_explicit(&self) -> (Variant, f64) {
+        let mut best = (Variant::ALL[0], self.explicit_ms[0]);
+        for (i, &v) in Variant::ALL.iter().enumerate().skip(1) {
+            if self.explicit_ms[i] < best.1 {
+                best = (v, self.explicit_ms[i]);
+            }
+        }
+        best
+    }
+
+    fn explicit_of(&self, variant: Variant) -> f64 {
+        let i = Variant::ALL
+            .iter()
+            .position(|&v| v == variant)
+            .expect("explicit variant");
+        self.explicit_ms[i]
+    }
+
+    fn auto_vs_best(&self) -> f64 {
+        self.auto_ms / self.best_explicit().1.max(1e-9)
+    }
+}
+
+/// The explicit-variant × partitioner sweep plus the `Auto` column over
+/// one dataset's non-star queries. Returns the dataset's JSON block and
+/// the per-partitioner cell summaries.
+fn sweep_dataset(dataset: &Dataset, sites: usize, iters: usize) -> (String, Vec<Cell>) {
+    let mut cells = Vec::new();
+    let mut partitioner_blocks = Vec::new();
+    for strategy in ["hash", "semantic", "metis"] {
+        let dist = partition(dataset.graph.clone(), strategy, sites);
+        let queries: Vec<_> = dataset.queries.iter().filter(|q| !q.is_star()).collect();
+        let plans: Vec<_> = queries.iter().map(|q| prepare(&dist, q)).collect();
+
+        // Explicit variants: totals + the baseline row sets Auto must hit.
+        let mut explicit_ms = Vec::new();
+        let mut variant_blocks = Vec::new();
+        let mut baseline_rows: Vec<Vec<Vec<VertexId>>> = Vec::new();
+        for (vi, variant) in Variant::ALL.into_iter().enumerate() {
+            let engine = Engine::with_variant(variant);
+            let mut sum_ms = 0.0;
+            let mut rows_json = Vec::new();
+            for (q, plan) in queries.iter().zip(&plans) {
+                let mut ms = f64::INFINITY;
+                let mut out = None;
+                for _ in 0..iters.max(1) {
+                    let o = engine
+                        .execute(&dist, plan)
+                        .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+                    ms = ms.min(o.metrics.total_time().as_secs_f64() * 1e3);
+                    out = Some(o);
+                }
+                let out = out.expect("at least one iteration");
+                sum_ms += ms;
+                rows_json.push(format!(
+                    "{{\"id\": \"{}\", \"total_ms\": {}, \"rows\": {}}}",
+                    q.id,
+                    num(ms),
+                    out.rows.len()
+                ));
+                if vi == 0 {
+                    baseline_rows.push(out.rows);
+                } else {
+                    assert_eq!(
+                        baseline_rows[rows_json.len() - 1],
+                        out.rows,
+                        "{}: explicit variants disagree on rows",
+                        q.id
+                    );
+                }
+            }
+            explicit_ms.push(sum_ms);
+            variant_blocks.push(format!(
+                "{{\"variant\": \"{}\", \"total_ms\": {}, \"queries\": [{}]}}",
+                variant.label(),
+                num(sum_ms),
+                rows_json.join(", ")
+            ));
+        }
+
+        // The Auto column: same queries, planner picks the variant.
+        let auto_engine = Engine::with_variant(Variant::Auto);
+        let mut auto_ms = 0.0;
+        let mut rows_equal = true;
+        let mut auto_rows_json = Vec::new();
+        for (i, (q, plan)) in queries.iter().zip(&plans).enumerate() {
+            let mut ms = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..iters.max(1) {
+                let o = auto_engine
+                    .execute(&dist, plan)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+                ms = ms.min(o.metrics.total_time().as_secs_f64() * 1e3);
+                out = Some(o);
+            }
+            let out = out.expect("at least one iteration");
+            auto_ms += ms;
+            let decision = out.planner.as_ref().expect("Auto attaches its decision");
+            if out.rows != baseline_rows[i] {
+                rows_equal = false;
+            }
+            auto_rows_json.push(format!(
+                "{{\"id\": \"{}\", \"total_ms\": {}, \"rows\": {}, \"chosen\": \"{}\", \
+                 \"est_lpms\": {}, \"actual_lpms\": {}}}",
+                q.id,
+                num(ms),
+                out.rows.len(),
+                decision.chosen.label(),
+                num(decision.est_lpms),
+                out.metrics.local_partial_matches
+            ));
+        }
+        partitioner_blocks.push(format!(
+            "{{\"partitioner\": \"{strategy}\", \"variants\": [{}], \
+             \"auto\": {{\"variant\": \"gStoreD-Auto\", \"total_ms\": {}, \
+             \"rows_equal\": {}, \"queries\": [{}]}}}}",
+            variant_blocks.join(", "),
+            num(auto_ms),
+            rows_equal,
+            auto_rows_json.join(", ")
+        ));
+        cells.push(Cell {
+            dataset: dataset.name.to_string(),
+            partitioner: strategy.to_string(),
+            explicit_ms,
+            auto_ms,
+            rows_equal,
+        });
+    }
+    let block = format!(
+        "{{\"dataset\": \"{}\", \"partitioners\": [{}]}}",
+        dataset.name,
+        partitioner_blocks.join(", ")
+    );
+    (block, cells)
+}
+
+/// Generate the full `BENCH_PR10.json` document.
+pub fn run(config: &BenchPr10Config) -> String {
+    let lubm = datasets::lubm(config.scale);
+    let random = datasets::random_dense((config.scale / 3).max(300));
+    let (lubm_block, lubm_cells) = sweep_dataset(&lubm, config.sites, config.iters);
+    let (random_block, random_cells) = sweep_dataset(&random, config.sites, config.iters);
+
+    let cells: Vec<Cell> = lubm_cells.into_iter().chain(random_cells).collect();
+    let rows_equal_everywhere = cells.iter().all(|c| c.rows_equal);
+    let max_ratio = cells.iter().map(Cell::auto_vs_best).fold(0.0f64, f64::max);
+    let cell_of = |dataset: &str, partitioner: &str| {
+        cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.partitioner == partitioner)
+            .expect("sweep covers the cell")
+    };
+    let random_hash = cell_of("RANDOM", "hash");
+    let lubm_semantic = cell_of("LUBM", "semantic");
+    let cell_rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let (best, best_ms) = c.best_explicit();
+            format!(
+                "{{\"dataset\": \"{}\", \"partitioner\": \"{}\", \"auto_ms\": {}, \
+                 \"best_variant\": \"{}\", \"best_ms\": {}, \"auto_vs_best\": {}, \
+                 \"rows_equal\": {}}}",
+                c.dataset,
+                c.partitioner,
+                num(c.auto_ms),
+                best.label(),
+                num(best_ms),
+                num(c.auto_vs_best()),
+                c.rows_equal
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {{\"scale\": {}, \"sites\": {}, \"iters\": {}}},\n  \
+         \"sweep\": {{\"datasets\": [\n    {},\n    {}\n  ]}},\n  \
+         \"cells\": [\n    {}\n  ],\n  \
+         \"acceptance\": {{\"rows_equal_everywhere\": {}, \
+         \"max_auto_vs_best_ratio\": {}, \"auto_within_1_25x_everywhere\": {}, \
+         \"auto_beats_basic_on_random_hash\": {}, \
+         \"auto_beats_full_on_lubm_semantic\": {}}}\n}}\n",
+        config.scale,
+        config.sites,
+        config.iters,
+        lubm_block,
+        random_block,
+        cell_rows.join(",\n    "),
+        rows_equal_everywhere,
+        num(max_ratio),
+        max_ratio <= 1.25,
+        random_hash.auto_ms < random_hash.explicit_of(Variant::Basic),
+        lubm_semantic.auto_ms < lubm_semantic.explicit_of(Variant::Full),
+    )
+}
+
+/// Check that `json` is syntactically valid JSON and carries the
+/// `BENCH_PR10.json` schema: the schema tag, both sweep datasets with
+/// every partitioner, the four explicit variant columns plus the `Auto`
+/// column with per-query planner verdicts, the per-cell summary and the
+/// acceptance block with row equality holding everywhere.
+pub fn validate(json: &str) -> Result<(), String> {
+    crate::bench_pr3::json_syntax(json)?;
+    for needle in [
+        &format!("\"schema\": \"{SCHEMA}\"") as &str,
+        "\"config\"",
+        "\"sweep\"",
+        "\"dataset\": \"LUBM\"",
+        "\"dataset\": \"RANDOM\"",
+        "\"partitioner\": \"hash\"",
+        "\"partitioner\": \"semantic\"",
+        "\"partitioner\": \"metis\"",
+        "\"variant\": \"gStoreD-Basic\"",
+        "\"variant\": \"gStoreD-LA\"",
+        "\"variant\": \"gStoreD-LO\"",
+        "\"variant\": \"gStoreD\"",
+        "\"variant\": \"gStoreD-Auto\"",
+        "\"chosen\"",
+        "\"est_lpms\"",
+        "\"actual_lpms\"",
+        "\"cells\"",
+        "\"best_variant\"",
+        "\"auto_vs_best\"",
+        "\"acceptance\"",
+        "\"rows_equal_everywhere\": true",
+        "\"max_auto_vs_best_ratio\"",
+        "\"auto_within_1_25x_everywhere\"",
+        "\"auto_beats_basic_on_random_hash\"",
+        "\"auto_beats_full_on_lubm_semantic\"",
+    ] {
+        if !json.contains(needle) {
+            return Err(format!("schema key missing: {needle}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_real_output_and_rejects_garbage() {
+        let json = run(&BenchPr10Config::smoke());
+        validate(&json).unwrap_or_else(|e| panic!("{e}\n---\n{json}"));
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err(), "schema keys required");
+        let broken = json.replace("\"sweep\"", "\"nosweep\"");
+        assert!(validate(&broken).is_err());
+        let syntax = format!("{json},");
+        assert!(validate(&syntax).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 //! experiments bench-pr7 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr8 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! experiments bench-pr9 [--scale N] [--sites K] [--smoke] [--out PATH]
+//! experiments bench-pr10 [--scale N] [--sites K] [--smoke] [--out PATH]
 //! ```
 //!
 //! Default scale is 30k triples per dataset and 12 sites (the paper's
@@ -22,8 +23,8 @@
 //! configuration.
 
 use gstored_bench::{
-    bench_pr3, bench_pr4, bench_pr5, bench_pr6, bench_pr7, bench_pr8, bench_pr9, datasets,
-    experiments, format::Table,
+    bench_pr10, bench_pr3, bench_pr4, bench_pr5, bench_pr6, bench_pr7, bench_pr8, bench_pr9,
+    datasets, experiments, format::Table,
 };
 
 struct Args {
@@ -243,6 +244,29 @@ fn run_bench_pr9(args: &Args) {
     eprintln!("# bench-pr9: wrote {} bytes, schema OK", json.len());
 }
 
+fn run_bench_pr10(args: &Args) {
+    let mut config = if args.smoke {
+        bench_pr10::BenchPr10Config::smoke()
+    } else {
+        bench_pr10::BenchPr10Config::default()
+    };
+    if let Some(scale) = args.scale {
+        config.scale = scale;
+    }
+    if let Some(sites) = args.sites {
+        config.sites = sites;
+    }
+    let path = args.out.as_deref().unwrap_or("BENCH_PR10.json");
+    eprintln!("# bench-pr10: {config:?} -> {path}");
+    let json = bench_pr10::run(&config);
+    if let Err(e) = bench_pr10::validate(&json) {
+        eprintln!("bench-pr10: generated JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# bench-pr10: wrote {} bytes, schema OK", json.len());
+}
+
 fn main() {
     let args = parse_args();
     for (name, runner) in [
@@ -253,6 +277,7 @@ fn main() {
         ("bench-pr7", run_bench_pr7 as fn(&Args)),
         ("bench-pr8", run_bench_pr8 as fn(&Args)),
         ("bench-pr9", run_bench_pr9 as fn(&Args)),
+        ("bench-pr10", run_bench_pr10 as fn(&Args)),
     ] {
         if args.what.iter().any(|w| w == name) {
             if args.what.len() > 1 {

@@ -36,8 +36,13 @@
 //! kill-and-restart of a TCP worker driven by a closed-loop client —
 //! bounded walls, typed errors, self-healing back to the fault-free
 //! rows — plus the happy-path overhead of the deadline/chaos/retry
-//! plumbing against the PR 8 configuration).
+//! plumbing against the PR 8 configuration). [`bench_pr10`] emits the
+//! cost-based planner leg (`BENCH_PR10.json`: the PR4 sweep replayed
+//! with a fifth `Variant::Auto` column, proving row equality against
+//! every explicit baseline and that the planner's per-cell wall lands
+//! at the measured-best explicit variant).
 
+pub mod bench_pr10;
 pub mod bench_pr3;
 pub mod bench_pr4;
 pub mod bench_pr5;

@@ -1,26 +1,30 @@
-//! Frozen **pre-PR3 / pre-PR4** implementations of the hot paths, kept
-//! as benchmark baselines only.
+//! Frozen **pre-PR3 / pre-PR4 / pre-PR10** implementations of the hot
+//! paths, kept as benchmark and equivalence baselines only.
 //!
 //! PR 3 rewrote the site-local matcher (neighbor-driven enumeration) and
 //! Algorithm 3's `ComParJoin` (hash join on the shared-query-vertex
 //! binding signature). PR 4 rewrote the LEC pruning pipeline (Algorithms
 //! 1–2): interned mapping keys, the crossing-edge-indexed join graph and
-//! the memoized `ComLECFJoin`. These are byte-faithful copies of the
-//! previous implementations — the per-depth full-candidate-list scan,
-//! the linear-scan `checked.contains` consistency dedup, the pairwise
-//! `joinable` nested loops, the all-pairs `build_join_graph` sweep and
-//! the quadratic `next.contains` / `next.iter_mut().find` dedups — so
-//! that `BENCH_PR3.json`/`BENCH_PR4.json` and the
-//! `micro_store`/`micro_lec`/`micro_prune` benches can measure the
-//! optimized paths against the exact code they replaced, on any machine,
-//! forever.
+//! the memoized `ComLECFJoin`. PR 10 reordered `ComParJoin`'s frontier
+//! to visit the smallest-cardinality group first. These are byte-faithful
+//! copies of the previous implementations — the per-depth
+//! full-candidate-list scan, the linear-scan `checked.contains`
+//! consistency dedup, the pairwise `joinable` nested loops, the all-pairs
+//! `build_join_graph` sweep, the quadratic `next.contains` /
+//! `next.iter_mut().find` dedups and the insertion-order frontier walk —
+//! so that `BENCH_PR3.json`/`BENCH_PR4.json`, the
+//! `micro_store`/`micro_lec`/`micro_prune` benches and the
+//! planner-equivalence proptests can measure the current paths against
+//! the exact code they replaced, on any machine, forever.
 //!
 //! Nothing here is called by the engine. Do not "fix" these: their
 //! inefficiency is the point.
 
 use std::collections::HashSet;
 
-use gstored_core::lec::LecFeature;
+use fxhash::{FxHashMap, FxHashSet};
+use gstored_core::lec::{LecFeature, OwnedFeatureKey};
+use gstored_core::prune::{build_join_graph, FeatureGroup};
 use gstored_partition::Fragment;
 use gstored_rdf::{EdgeRef, RdfGraph, TermId, VertexId};
 use gstored_store::candidates::CandidateFilter;
@@ -776,6 +780,324 @@ fn com_par_join_prepr3(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pre-PR10 Algorithm 3: the PR3 hash join with the *insertion-order*
+// frontier walk. PR 10 reordered `ComParJoin`'s frontier to visit the
+// smallest-cardinality group first (the planner's join ordering); this
+// copy keeps the ascending-group-index walk so the planner-equivalence
+// proptests can pin that reordering changes the work, never the rows.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR10 copy of the engine's private compact join intermediate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JoinedPrePr10 {
+    fragment: usize,
+    binding: Vec<Option<VertexId>>,
+    edges: Vec<Option<EdgeRef>>,
+    internal_mask: u64,
+    bound_mask: u64,
+}
+
+impl JoinedPrePr10 {
+    fn of_lpm(lpm: &LocalPartialMatch, n_edges: usize) -> JoinedPrePr10 {
+        let mut edges: Vec<Option<EdgeRef>> = vec![None; n_edges];
+        for &(e, qe) in &lpm.crossing {
+            edges[qe] = Some(e);
+        }
+        JoinedPrePr10 {
+            fragment: lpm.fragment,
+            binding: lpm.binding.clone(),
+            edges,
+            internal_mask: lpm.internal_mask,
+            bound_mask: bound_mask_of_prepr10(&lpm.binding),
+        }
+    }
+
+    fn try_join(&self, other: &JoinedPrePr10) -> Option<JoinedPrePr10> {
+        if self.fragment == other.fragment {
+            return None;
+        }
+        if self.internal_mask & other.internal_mask != 0 {
+            return None;
+        }
+        let mut shared = false;
+        for (qe, be) in other.edges.iter().enumerate() {
+            let Some(be) = be else { continue };
+            match &self.edges[qe] {
+                Some(ae) if ae == be => shared = true,
+                Some(_) => return None,
+                None => {}
+            }
+        }
+        if !shared {
+            return None;
+        }
+        let common = self.bound_mask & other.bound_mask;
+        let mut bits = common;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.binding[v] != other.binding[v] {
+                return None;
+            }
+        }
+        let binding: Vec<Option<VertexId>> = self
+            .binding
+            .iter()
+            .zip(&other.binding)
+            .map(|(a, b)| a.or(*b))
+            .collect();
+        let edges: Vec<Option<EdgeRef>> = self
+            .edges
+            .iter()
+            .zip(&other.edges)
+            .map(|(a, b)| a.or(*b))
+            .collect();
+        Some(JoinedPrePr10 {
+            fragment: usize::MAX,
+            binding,
+            edges,
+            internal_mask: self.internal_mask | other.internal_mask,
+            bound_mask: self.bound_mask | other.bound_mask,
+        })
+    }
+
+    fn is_complete(&self, vertex_count: usize) -> bool {
+        self.internal_mask == full_mask_prepr10(vertex_count)
+    }
+
+    fn complete_binding(&self) -> Option<Vec<VertexId>> {
+        self.binding.iter().copied().collect()
+    }
+}
+
+#[inline]
+fn full_mask_prepr10(vertex_count: usize) -> u64 {
+    if vertex_count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vertex_count) - 1
+    }
+}
+
+#[inline]
+fn bound_mask_of_prepr10(binding: &[Option<VertexId>]) -> u64 {
+    let mut mask = 0u64;
+    for (i, b) in binding.iter().take(64).enumerate() {
+        if b.is_some() {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[inline]
+fn project_prepr10(binding: &[Option<VertexId>], mask: u64) -> Vec<VertexId> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut bits = mask;
+    while bits != 0 {
+        let v = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        key.push(binding[v].expect("projection vertex is bound"));
+    }
+    key
+}
+
+/// Pre-PR10 `assemble_lec`: identical to the optimized PR3 hash-join
+/// assembly except for `ComParJoin`'s frontier order — ascending group
+/// index, not smallest-estimated-cardinality first.
+#[allow(clippy::while_let_loop)] // frozen copy: the loop body mutates `alive`
+pub fn assemble_lec_prepr10(
+    lpms: &[LocalPartialMatch],
+    n_query_vertices: usize,
+    query_edges: &[(usize, usize)],
+) -> Vec<Vec<VertexId>> {
+    if lpms.is_empty() {
+        return Vec::new();
+    }
+    assert!(n_query_vertices <= 64, "LECSign masks are 64-bit");
+    let n_edges = lpms
+        .iter()
+        .flat_map(|m| m.crossing.iter().map(|&(_, qe)| qe + 1))
+        .max()
+        .unwrap_or(0)
+        .max(query_edges.len());
+    let prepared: Vec<JoinedPrePr10> = lpms
+        .iter()
+        .map(|m| JoinedPrePr10::of_lpm(m, n_edges))
+        .collect();
+
+    let mut group_of_sign: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, lpm) in lpms.iter().enumerate() {
+        let idx = *group_of_sign.entry(lpm.internal_mask).or_insert_with(|| {
+            groups.push((lpm.internal_mask, Vec::new()));
+            groups.len() - 1
+        });
+        groups[idx].1.push(i);
+    }
+    let mut feature_list: Vec<LecFeature> = Vec::new();
+    let mut feature_groups: Vec<FeatureGroup> = Vec::with_capacity(groups.len());
+    for (sign, members) in &groups {
+        let mut seen: FxHashSet<OwnedFeatureKey> = FxHashSet::default();
+        let mut idxs: Vec<u32> = Vec::new();
+        for &mi in members {
+            let f = LecFeature::of_lpm(&lpms[mi]);
+            if seen.insert((f.fragments, f.mapping.clone(), f.sign)) {
+                idxs.push(feature_list.len() as u32);
+                feature_list.push(f);
+            }
+        }
+        feature_groups.push(FeatureGroup {
+            sign: *sign,
+            members: idxs,
+        });
+    }
+    let adj = build_join_graph(&feature_list, &feature_groups, query_edges);
+
+    let mut found: FxHashSet<Vec<VertexId>> = FxHashSet::default();
+    let mut alive = vec![true; groups.len()];
+    loop {
+        let Some(vmin) = (0..groups.len())
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| groups[v].1.len())
+        else {
+            break;
+        };
+        let seed: Vec<JoinedPrePr10> = groups[vmin]
+            .1
+            .iter()
+            .map(|&mi| prepared[mi].clone())
+            .collect();
+        let mut visited_set = vec![false; groups.len()];
+        visited_set[vmin] = true;
+        com_par_join_prepr10(
+            &mut vec![vmin],
+            &mut visited_set,
+            seed,
+            &groups,
+            &prepared,
+            &adj,
+            &alive,
+            n_query_vertices,
+            &mut found,
+        );
+        alive[vmin] = false;
+        loop {
+            let mut removed = false;
+            for v in 0..groups.len() {
+                if alive[v] && !adj[v].iter().any(|&u| alive[u]) {
+                    alive[v] = false;
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+    let mut out: Vec<Vec<VertexId>> = found.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn com_par_join_prepr10(
+    visited: &mut Vec<usize>,
+    visited_set: &mut Vec<bool>,
+    current: Vec<JoinedPrePr10>,
+    groups: &[(u64, Vec<usize>)],
+    prepared: &[JoinedPrePr10],
+    adj: &[Vec<usize>],
+    alive: &[bool],
+    n_query_vertices: usize,
+    found: &mut FxHashSet<Vec<VertexId>>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    let mut frontier: Vec<usize> = visited
+        .iter()
+        .flat_map(|&v| adj[v].iter().copied())
+        .filter(|&u| alive[u] && !visited_set[u])
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+
+    for v in frontier {
+        let next = hash_join_prepr10(&current, &groups[v].1, prepared, n_query_vertices, found);
+        if !next.is_empty() {
+            visited.push(v);
+            visited_set[v] = true;
+            com_par_join_prepr10(
+                visited,
+                visited_set,
+                next,
+                groups,
+                prepared,
+                adj,
+                alive,
+                n_query_vertices,
+                found,
+            );
+            let popped = visited.pop().expect("pushed above");
+            visited_set[popped] = false;
+        }
+    }
+}
+
+fn hash_join_prepr10(
+    current: &[JoinedPrePr10],
+    members: &[usize],
+    prepared: &[JoinedPrePr10],
+    n_query_vertices: usize,
+    found: &mut FxHashSet<Vec<VertexId>>,
+) -> Vec<JoinedPrePr10> {
+    let mut member_masks: Vec<(u64, Vec<usize>)> = Vec::new();
+    for &mi in members {
+        let mask = prepared[mi].bound_mask;
+        match member_masks.iter_mut().find(|(m, _)| *m == mask) {
+            Some((_, v)) => v.push(mi),
+            None => member_masks.push((mask, vec![mi])),
+        }
+    }
+    let mut current_masks: Vec<u64> = current.iter().map(|a| a.bound_mask).collect();
+    current_masks.sort_unstable();
+    current_masks.dedup();
+
+    let mut next: FxHashSet<JoinedPrePr10> = FxHashSet::default();
+    for (mmask, midxs) in &member_masks {
+        for &cmask in &current_masks {
+            let common = mmask & cmask;
+            let mut index: FxHashMap<Vec<VertexId>, Vec<usize>> = FxHashMap::default();
+            for &mi in midxs {
+                index
+                    .entry(project_prepr10(&prepared[mi].binding, common))
+                    .or_default()
+                    .push(mi);
+            }
+            for a in current.iter().filter(|a| a.bound_mask == cmask) {
+                let Some(hits) = index.get(&project_prepr10(&a.binding, common)) else {
+                    continue;
+                };
+                for &mi in hits {
+                    let Some(joined) = a.try_join(&prepared[mi]) else {
+                        continue;
+                    };
+                    if joined.is_complete(n_query_vertices) {
+                        if let Some(binding) = joined.complete_binding() {
+                            found.insert(binding);
+                        }
+                    } else {
+                        next.insert(joined);
+                    }
+                }
+            }
+        }
+    }
+    next.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +1135,12 @@ mod tests {
             let lec = assemble_lec(&all_lpms, eq.vertex_count(), &query_edges);
             let old = assemble_lec_prepr3(&all_lpms, eq.vertex_count(), &query_edges);
             assert_eq!(lec, old, "{}: assembly drift", q.id);
+            assert_eq!(
+                lec,
+                assemble_lec_prepr10(&all_lpms, eq.vertex_count(), &query_edges),
+                "{}: join-reorder drift",
+                q.id
+            );
             assert_eq!(
                 lec,
                 assemble_basic(&all_lpms, eq.vertex_count()),

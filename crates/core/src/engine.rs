@@ -54,6 +54,7 @@ use gstored_store::{EncodedQuery, LocalPartialMatch};
 use crate::assembly::{assemble_basic, assemble_lec, IncrementalJoin};
 use crate::candidates::{exchange_candidates, union_bit_vectors, var_vertices};
 use crate::error::EngineError;
+use crate::planner::{plan_query, PlannerDecision};
 use crate::prepared::PreparedPlan;
 use crate::protocol::{self, QueryId, Request, ResponseBody};
 use crate::prune::prune_features;
@@ -81,7 +82,9 @@ fn one_shot_query_id() -> QueryId {
     }
 }
 
-/// The four engine variants compared in the paper's Fig. 9.
+/// The four engine variants compared in the paper's Fig. 9, plus
+/// [`Variant::Auto`], which defers the choice to the cost-based planner
+/// per query (see [`crate::planner`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// `gStoreD-Basic`: partial evaluation + the \[18\] partition join.
@@ -92,10 +95,18 @@ pub enum Variant {
     LecOptimization,
     /// `gStoreD`: + assembling variables' internal candidates (Alg. 4).
     Full,
+    /// Pick one of the four explicit variants per query via the
+    /// cost-based planner ([`crate::planner::plan_query`]). Resolved at
+    /// the top of each execution; the pipeline itself always runs a
+    /// concrete variant, and the decision is attached to the
+    /// [`QueryOutput`].
+    Auto,
 }
 
 impl Variant {
-    /// All variants, in the order of Fig. 9's legend.
+    /// The explicit variants, in the order of Fig. 9's legend
+    /// ([`Variant::Auto`] is a selection policy, not a fifth pipeline,
+    /// so it is deliberately not listed here).
     pub const ALL: [Variant; 4] = [
         Variant::Basic,
         Variant::LecAssembly,
@@ -110,7 +121,13 @@ impl Variant {
             Variant::LecAssembly => "gStoreD-LA",
             Variant::LecOptimization => "gStoreD-LO",
             Variant::Full => "gStoreD",
+            Variant::Auto => "gStoreD-Auto",
         }
+    }
+
+    /// Whether this is the planner-resolved [`Variant::Auto`] policy.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, Variant::Auto)
     }
 
     fn uses_lec_pruning(&self) -> bool {
@@ -239,6 +256,9 @@ pub struct QueryOutput {
     pub bindings: Vec<Vec<VertexId>>,
     /// Per-stage metrics (the columns of Tables I–III).
     pub metrics: QueryMetrics,
+    /// The planner's verdict when the engine ran with [`Variant::Auto`]
+    /// (`None` for explicit variants, which never consult the planner).
+    pub planner: Option<PlannerDecision>,
 }
 
 impl QueryOutput {
@@ -480,6 +500,21 @@ impl Engine {
                 dist.fragment_count()
             )));
         }
+        // `Auto` resolves here, after validation and before any frame is
+        // sent: price the variants against the cached partition stats,
+        // then delegate to an engine configured with the winner. Every
+        // downstream `self.config.variant` read thus sees a concrete
+        // variant; the decision rides back on the output.
+        if self.config.variant.is_auto() {
+            let decision = plan_query(dist, plan);
+            let resolved = Engine::new(EngineConfig {
+                variant: decision.chosen,
+                ..self.config.clone()
+            });
+            let mut out = resolved.execute_routed(transport, router, dist, plan, query)?;
+            out.planner = Some(decision);
+            return Ok(out);
+        }
         let query_graph = plan.query();
         let q = plan.encoded();
         let mut metrics = QueryMetrics::default();
@@ -550,6 +585,18 @@ impl Engine {
                 dist.fragment_count()
             )));
         }
+        // Mirror `execute_routed`: resolve `Auto` before any frame moves
+        // and stash the decision on the stream state.
+        if self.config.variant.is_auto() {
+            let decision = plan_query(dist, plan);
+            let resolved = Engine::new(EngineConfig {
+                variant: decision.chosen,
+                ..self.config.clone()
+            });
+            let mut state = resolved.start_stream(transport, router, dist, plan, query, chunk)?;
+            state.planner = Some(decision);
+            return Ok(state);
+        }
         let q = plan.encoded();
         let sites = transport.sites();
         let chunk = chunk.max(1);
@@ -571,6 +618,7 @@ impl Engine {
             finished: false,
             released: false,
             deadline_budget: self.config.query_deadline,
+            planner: None,
         };
 
         if q.has_unsatisfiable() {
@@ -1177,6 +1225,7 @@ impl Engine {
             rows,
             bindings,
             metrics,
+            planner: None,
         }
     }
 }
@@ -1239,9 +1288,18 @@ pub struct StreamState {
     /// idle between pulls for as long as the caller likes; only the time
     /// spent waiting on sites counts).
     deadline_budget: Option<Duration>,
+    /// The planner's verdict when the stream was started under
+    /// [`Variant::Auto`] (`None` for explicit variants).
+    planner: Option<PlannerDecision>,
 }
 
 impl StreamState {
+    /// The planner's verdict when this stream was started under
+    /// [`Variant::Auto`] (`None` for explicit variants).
+    pub fn planner(&self) -> Option<&PlannerDecision> {
+        self.planner.as_ref()
+    }
+
     /// Pull the next complete binding (over **all** query vertices, not
     /// yet projected), fetching more survivor chunks from the fleet as
     /// needed. `Ok(None)` means the stream is exhausted and the sites

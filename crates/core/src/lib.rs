@@ -34,12 +34,16 @@
 //! * [`prepared`] — the prepare-once / execute-many split:
 //!   [`PreparedPlan`] caches encoding and shape analysis so
 //!   [`engine::Engine::execute`] runs only per-execution work.
+//! * [`planner`] — the cost model behind [`Variant::Auto`]: estimate
+//!   each variant's pipeline cost from the cached per-fragment
+//!   statistics and the query shape, pick the cheapest per query.
 
 pub mod assembly;
 pub mod candidates;
 pub mod engine;
 pub mod error;
 pub mod lec;
+pub mod planner;
 pub mod prepared;
 pub mod protocol;
 pub mod prune;
@@ -49,6 +53,7 @@ pub mod worker;
 pub use engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
 pub use error::EngineError;
 pub use lec::LecFeature;
+pub use planner::{plan_query, PlanExplain, PlannerDecision};
 pub use prepared::PreparedPlan;
 pub use protocol::{QueryId, WorkerStatus};
 pub use runtime::{QueryExecutor, QueryTicket, ReplyRouter, WorkerPool};

@@ -13,7 +13,9 @@
 //!   LEC features join across fragments on shared crossing edges.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
+use gstored_rdf::stats::{FragmentStats, PartitionStats, PredicateCard, SelectivityHistogram};
 use gstored_rdf::{Dictionary, EdgeRef, RdfGraph, TermId, VertexId};
 
 use crate::Partitioner;
@@ -172,6 +174,43 @@ impl Fragment {
         entries
     }
 
+    /// Compute this fragment's planner statistics: per-predicate
+    /// internal/crossing cardinalities, per-class internal-vertex counts
+    /// and the internal out-degree histogram. `O(|E_i ∪ Ec_i| + |V_i|)`.
+    pub fn stats(&self) -> FragmentStats {
+        let mut predicates: HashMap<TermId, PredicateCard> = HashMap::new();
+        for e in &self.internal_edges {
+            predicates.entry(e.label).or_default().internal += 1;
+        }
+        for e in &self.crossing_edges {
+            predicates.entry(e.label).or_default().crossing += 1;
+        }
+        let mut predicate_cards: Vec<(TermId, PredicateCard)> = predicates.into_iter().collect();
+        predicate_cards.sort_unstable_by_key(|&(p, _)| p);
+
+        let mut classes: HashMap<TermId, usize> = HashMap::new();
+        let mut selectivity = SelectivityHistogram::default();
+        for &v in &self.internal {
+            for &c in self.classes_of(v) {
+                *classes.entry(c).or_default() += 1;
+            }
+            selectivity.record(self.out_edges(v).len());
+        }
+        let mut class_cards: Vec<(TermId, usize)> = classes.into_iter().collect();
+        class_cards.sort_unstable_by_key(|&(c, _)| c);
+
+        FragmentStats {
+            site: self.id,
+            internal_vertices: self.internal.len(),
+            extended_vertices: self.extended.len(),
+            internal_edges: self.internal_edges.len(),
+            crossing_edges: self.crossing_edges.len(),
+            predicate_cards,
+            class_cards,
+            selectivity,
+        }
+    }
+
     fn add_edge(&mut self, e: EdgeRef, crossing: bool) {
         self.out.entry(e.from).or_default().push((e.label, e.to));
         self.inc.entry(e.to).or_default().push((e.label, e.from));
@@ -220,6 +259,11 @@ pub struct DistributedGraph {
     pub total_edges: usize,
     /// Total number of vertices in the underlying graph.
     pub total_vertices: usize,
+    /// Lazily computed planner statistics ([`DistributedGraph::stats`]).
+    /// Behind `Arc` so clones of the graph share one cache — and so
+    /// sessions running an explicit variant, which never consult the
+    /// planner, never pay the computation at all.
+    stats: Arc<OnceLock<PartitionStats>>,
 }
 
 impl DistributedGraph {
@@ -280,7 +324,35 @@ impl DistributedGraph {
             assignment,
             total_edges,
             total_vertices,
+            stats: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The partitioning's planner statistics, computed on first call and
+    /// cached for the graph's lifetime (clones share the cache).
+    ///
+    /// The laziness is load-bearing: only `Variant::Auto` sessions ever
+    /// ask, so explicit-variant sessions pay nothing at partition *or*
+    /// query time — [`DistributedGraph::stats_computed`] lets tests pin
+    /// that down.
+    pub fn stats(&self) -> &PartitionStats {
+        self.stats.get_or_init(|| {
+            let sites: Vec<FragmentStats> = self.fragments.iter().map(Fragment::stats).collect();
+            let total_internal_edges = sites.iter().map(|s| s.internal_edges).sum();
+            let total_crossing_incidences = sites.iter().map(|s| s.crossing_edges).sum();
+            let total_vertices = sites.iter().map(|s| s.internal_vertices).sum();
+            PartitionStats {
+                sites,
+                total_internal_edges,
+                total_crossing_incidences,
+                total_vertices,
+            }
+        })
+    }
+
+    /// Whether [`DistributedGraph::stats`] has been computed yet.
+    pub fn stats_computed(&self) -> bool {
+        self.stats.get().is_some()
     }
 
     /// The shared dictionary.
@@ -397,6 +469,8 @@ impl DistributedGraph {
 mod tests {
     use super::*;
     use crate::hash::{ExplicitPartitioner, HashPartitioner};
+    use crate::metis_like::MetisLikePartitioner;
+    use crate::semantic::SemanticHashPartitioner;
     use gstored_rdf::{Term, Triple};
 
     fn chain_graph(n: usize) -> RdfGraph {
@@ -518,5 +592,110 @@ mod tests {
         assert_eq!(dist.validate(), None);
         assert!(dist.fragments[0].crossing_edges.is_empty());
         assert_eq!(dist.fragments[0].internal_edges.len(), 5);
+    }
+
+    /// A graph with several predicates, classes and hub vertices so the
+    /// per-fragment statistics have something to reconcile.
+    fn stats_graph() -> RdfGraph {
+        let mut triples = Vec::new();
+        for i in 0..24usize {
+            let p = format!("http://p/{}", i % 3);
+            triples.push(Triple::new(
+                Term::iri(format!("http://v/{i}")),
+                Term::iri(&p),
+                Term::iri(format!("http://v/{}", (i * 7 + 1) % 24)),
+            ));
+            triples.push(Triple::new(
+                Term::iri("http://hub"),
+                Term::iri(&p),
+                Term::iri(format!("http://v/{i}")),
+            ));
+            if i % 4 == 0 {
+                triples.push(Triple::new(
+                    Term::iri(format!("http://v/{i}")),
+                    Term::iri(gstored_rdf::vocab::rdf::TYPE),
+                    Term::iri(format!("http://Class/{}", i % 2)),
+                ));
+            }
+        }
+        let mut g = RdfGraph::from_triples(triples);
+        g.finalize();
+        g
+    }
+
+    /// Per-site statistics must reconcile with the whole-graph counts
+    /// under every partitioner: internal vertices partition `V`, each
+    /// crossing edge is counted from exactly two sides, and the
+    /// per-predicate and per-class sums add back up to the graph's own.
+    #[test]
+    fn fragment_stats_reconcile_with_whole_graph_under_all_partitioners() {
+        let g = stats_graph();
+        let partitioners: [(&str, Box<dyn Partitioner>); 3] = [
+            ("hash", Box::new(HashPartitioner::new(3))),
+            ("semantic", Box::new(SemanticHashPartitioner::new(3))),
+            ("metis", Box::new(MetisLikePartitioner::new(3))),
+        ];
+        for (name, p) in partitioners {
+            let dist = DistributedGraph::build(g.clone(), p.as_ref());
+            assert_eq!(dist.validate(), None, "{name}");
+            let stats = dist.stats();
+            assert_eq!(stats.sites.len(), dist.fragment_count(), "{name}");
+            assert_eq!(stats.total_vertices, g.vertex_count(), "{name}: vertices");
+            assert_eq!(
+                stats.total_crossing_incidences % 2,
+                0,
+                "{name}: every crossing edge has two sides"
+            );
+            assert_eq!(
+                stats.total_internal_edges + stats.total_crossing_incidences / 2,
+                g.edge_count(),
+                "{name}: edges"
+            );
+            assert_eq!(
+                stats.total_crossing_incidences / 2,
+                dist.crossing_edges().len(),
+                "{name}: crossing dedup"
+            );
+            for p in g.predicates() {
+                assert_eq!(
+                    stats.internal_count(Some(p)) + stats.crossing_count(Some(p)) / 2,
+                    g.edges_with_predicate(p).len(),
+                    "{name}: predicate {p:?}"
+                );
+            }
+            let mut classes: Vec<TermId> = g
+                .class_map()
+                .values()
+                .flat_map(|cs| cs.iter().copied())
+                .collect();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(!classes.is_empty(), "fixture must exercise classes");
+            for c in classes {
+                let whole = g.class_map().values().filter(|cs| cs.contains(&c)).count();
+                assert_eq!(stats.class_count(c), whole, "{name}: class {c:?}");
+            }
+            let histogram_total: usize = stats.sites.iter().map(|s| s.selectivity.total()).sum();
+            assert_eq!(
+                histogram_total,
+                g.vertex_count(),
+                "{name}: one histogram entry per internal vertex"
+            );
+        }
+    }
+
+    /// The statistics cache is lazy and shared across clones.
+    #[test]
+    fn stats_are_lazy_and_shared_by_clones() {
+        let dist = DistributedGraph::build(stats_graph(), &HashPartitioner::new(2));
+        assert!(!dist.stats_computed(), "nothing computed at build time");
+        let clone = dist.clone();
+        let _ = dist.stats();
+        assert!(dist.stats_computed());
+        assert!(
+            clone.stats_computed(),
+            "clones share the cache through the Arc"
+        );
+        assert_eq!(clone.stats(), dist.stats());
     }
 }

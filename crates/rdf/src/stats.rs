@@ -102,6 +102,166 @@ impl GraphStats {
     }
 }
 
+/// How many internal and crossing edges of one fragment carry a given
+/// predicate. The split matters to the planner: internal edges are
+/// matched entirely inside a site, while crossing edges seed local
+/// partial matches that must be shipped and joined at the coordinator —
+/// the quantity whose blowup decides which engine variant pays off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateCard {
+    /// Edges with both endpoints internal to the fragment.
+    pub internal: usize,
+    /// Edges with exactly one internal endpoint (Definition 1's crossing
+    /// edges, counted from this fragment's side).
+    pub crossing: usize,
+}
+
+/// A log₂-bucketed histogram of internal-vertex out-degrees, the
+/// per-site candidate-selectivity summary: bucket `i` counts vertices
+/// with out-degree in `[2^i, 2^(i+1))` (bucket 0 holds degree 0 and 1).
+/// High-bucket mass means hub vertices, i.e. candidate lists that stay
+/// fat after per-vertex filtering — exactly when Algorithm 4's exchanged
+/// bit vectors are worth their shipment cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectivityHistogram {
+    /// `buckets[i]` = number of vertices with out-degree in
+    /// `[2^i, 2^(i+1))`; degrees ≥ 2^7 land in the last bucket.
+    pub buckets: [usize; 8],
+}
+
+impl SelectivityHistogram {
+    /// Record one vertex of out-degree `degree`.
+    pub fn record(&mut self, degree: usize) {
+        let bucket = if degree <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - degree.leading_zeros()) as usize
+        };
+        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Total vertices recorded.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean out-degree implied by the bucket midpoints — a deliberately
+    /// coarse estimate (the histogram is 8 buckets), but monotone in the
+    /// recorded degrees and cheap to combine across sites.
+    pub fn mean_degree(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * ((1usize << i) as f64 * 1.5))
+            .sum();
+        weighted / total as f64
+    }
+}
+
+/// Per-site statistics of one fragment, computed once at partition time
+/// (by the partition layer, which owns the fragment representation) and
+/// cached on the distributed graph for the planner.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FragmentStats {
+    /// The fragment (site) index.
+    pub site: usize,
+    /// Internal vertices (Definition 1).
+    pub internal_vertices: usize,
+    /// Extended (boundary) vertices replicated from other sites.
+    pub extended_vertices: usize,
+    /// Edges with both endpoints internal.
+    pub internal_edges: usize,
+    /// Crossing edges incident to this fragment.
+    pub crossing_edges: usize,
+    /// Per-predicate internal/crossing cardinalities, sorted by
+    /// predicate id for binary search.
+    pub predicate_cards: Vec<(TermId, PredicateCard)>,
+    /// Internal vertices per class (`rdf:type`), sorted by class id.
+    pub class_cards: Vec<(TermId, usize)>,
+    /// Out-degree distribution of the internal vertices.
+    pub selectivity: SelectivityHistogram,
+}
+
+impl FragmentStats {
+    /// The internal/crossing cardinality of predicate `p` on this site.
+    pub fn predicate(&self, p: TermId) -> PredicateCard {
+        match self.predicate_cards.binary_search_by_key(&p, |&(id, _)| id) {
+            Ok(i) => self.predicate_cards[i].1,
+            Err(_) => PredicateCard::default(),
+        }
+    }
+
+    /// Internal vertices carrying class `c`.
+    pub fn class_count(&self, c: TermId) -> usize {
+        match self.class_cards.binary_search_by_key(&c, |&(id, _)| id) {
+            Ok(i) => self.class_cards[i].1,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Whole-partitioning statistics: one [`FragmentStats`] per site plus
+/// the cross-site aggregates the cost model consumes. Built by the
+/// partition layer and cached (lazily, behind a `OnceLock`) on the
+/// `DistributedGraph`, so sessions running an explicit variant never pay
+/// for it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionStats {
+    /// Per-site statistics, indexed by fragment id.
+    pub sites: Vec<FragmentStats>,
+    /// Internal edges summed over all sites (= total non-crossing edges).
+    pub total_internal_edges: usize,
+    /// Crossing-edge *incidences* summed over all sites. Each distinct
+    /// crossing edge is incident to exactly two fragments, so this is
+    /// twice the distinct crossing-edge count.
+    pub total_crossing_incidences: usize,
+    /// Internal vertices summed over all sites (= graph vertices).
+    pub total_vertices: usize,
+}
+
+impl PartitionStats {
+    /// Crossing-edge incidences matching predicate `p` (the whole
+    /// partitioning when `p` is `None`, i.e. a predicate variable).
+    pub fn crossing_count(&self, p: Option<TermId>) -> usize {
+        match p {
+            Some(p) => self.sites.iter().map(|s| s.predicate(p).crossing).sum(),
+            None => self.total_crossing_incidences,
+        }
+    }
+
+    /// Internal edges matching predicate `p` across all sites.
+    pub fn internal_count(&self, p: Option<TermId>) -> usize {
+        match p {
+            Some(p) => self.sites.iter().map(|s| s.predicate(p).internal).sum(),
+            None => self.total_internal_edges,
+        }
+    }
+
+    /// Internal vertices carrying class `c` across all sites.
+    pub fn class_count(&self, c: TermId) -> usize {
+        self.sites.iter().map(|s| s.class_count(c)).sum()
+    }
+
+    /// Mean internal out-degree across the fleet (selectivity-histogram
+    /// estimate, not exact).
+    pub fn mean_degree(&self) -> f64 {
+        let total: usize = self.sites.iter().map(|s| s.selectivity.total()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.sites
+            .iter()
+            .map(|s| s.selectivity.mean_degree() * s.selectivity.total() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +320,108 @@ mod tests {
         let s = graph_stats(&g);
         assert_eq!(s.vertices, 0);
         assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.distinct_predicates, 0);
+        assert_eq!(s.distinct_classes, 0);
+        assert_eq!(s.literal_vertices, 0);
+        assert!(s.top_predicates.is_empty());
+        assert_eq!(s.max_out_degree, 0);
+        assert_eq!(s.max_in_degree, 0);
+    }
+
+    /// Every object a literal: object vertices count as literal vertices
+    /// and never carry out-edges.
+    #[test]
+    fn all_literal_objects() {
+        let mut g = RdfGraph::from_triples(vec![
+            Triple::new(Term::iri("http://s"), Term::iri("http://p"), Term::lit("a")),
+            Triple::new(Term::iri("http://s"), Term::iri("http://p"), Term::lit("b")),
+            Triple::new(Term::iri("http://t"), Term::iri("http://q"), Term::lit("c")),
+        ]);
+        g.finalize();
+        let s = graph_stats(&g);
+        assert_eq!(s.literal_vertices, 3, "each literal object is a vertex");
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.max_out_degree, 2, "subject s");
+        assert_eq!(s.max_in_degree, 1, "literals have one in-edge each");
+        assert_eq!(s.distinct_classes, 0);
+    }
+
+    /// More than 10 predicates: `top_predicates` truncates to the 10
+    /// most frequent, descending, ties broken by predicate id.
+    #[test]
+    fn top_predicates_truncate_past_ten() {
+        let mut triples = Vec::new();
+        for p in 0..13usize {
+            // Predicate p gets p+1 edges, so frequencies are all distinct.
+            for i in 0..=p {
+                triples.push(Triple::new(
+                    Term::iri(format!("http://s{i}")),
+                    Term::iri(format!("http://p{p}")),
+                    Term::iri(format!("http://o{p}_{i}")),
+                ));
+            }
+        }
+        let mut g = RdfGraph::from_triples(triples);
+        g.finalize();
+        let s = graph_stats(&g);
+        assert_eq!(s.distinct_predicates, 13);
+        assert_eq!(s.top_predicates.len(), 10, "truncated to 10");
+        let counts: Vec<usize> = s.top_predicates.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![13, 12, 11, 10, 9, 8, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn selectivity_histogram_buckets_by_log2() {
+        let mut h = SelectivityHistogram::default();
+        for (degree, bucket) in [(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (127, 6), (4096, 7)] {
+            let mut one = SelectivityHistogram::default();
+            one.record(degree);
+            assert_eq!(one.buckets[bucket], 1, "degree {degree} -> bucket {bucket}");
+            h.record(degree);
+        }
+        assert_eq!(h.total(), 7);
+        assert!(h.mean_degree() > 0.0);
+        assert_eq!(SelectivityHistogram::default().mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn fragment_stats_lookups_handle_missing_keys() {
+        let fs = FragmentStats {
+            site: 0,
+            predicate_cards: vec![(
+                TermId(3),
+                PredicateCard {
+                    internal: 5,
+                    crossing: 2,
+                },
+            )],
+            class_cards: vec![(TermId(7), 4)],
+            ..FragmentStats::default()
+        };
+        assert_eq!(fs.predicate(TermId(3)).internal, 5);
+        assert_eq!(fs.predicate(TermId(3)).crossing, 2);
+        assert_eq!(fs.predicate(TermId(99)), PredicateCard::default());
+        assert_eq!(fs.class_count(TermId(7)), 4);
+        assert_eq!(fs.class_count(TermId(8)), 0);
+    }
+
+    #[test]
+    fn partition_stats_aggregates_across_sites() {
+        let site = |site, internal, crossing| FragmentStats {
+            site,
+            predicate_cards: vec![(TermId(1), PredicateCard { internal, crossing })],
+            ..FragmentStats::default()
+        };
+        let ps = PartitionStats {
+            sites: vec![site(0, 3, 1), site(1, 2, 1)],
+            total_internal_edges: 5,
+            total_crossing_incidences: 2,
+            total_vertices: 10,
+        };
+        assert_eq!(ps.internal_count(Some(TermId(1))), 5);
+        assert_eq!(ps.crossing_count(Some(TermId(1))), 2);
+        assert_eq!(ps.internal_count(None), 5);
+        assert_eq!(ps.crossing_count(None), 2);
+        assert_eq!(ps.internal_count(Some(TermId(9))), 0);
     }
 }

@@ -4,7 +4,7 @@
 //! gstored-server load <data.nt> [--sites K] [--partitioner hash|semantic|metis]
 //! gstored-server serve [--data <data.nt>] [--bind HOST:PORT]
 //!                      [--sites K] [--partitioner hash|semantic|metis]
-//!                      [--variant basic|la|lo|full]
+//!                      [--variant basic|la|lo|full|auto]
 //!                      [--max-concurrent N] [--queue-depth N]
 //!                      [--workers addr,addr,...]
 //! ```
@@ -30,7 +30,7 @@ const USAGE: &str = "usage:
   gstored-server load <data.nt> [--sites K] [--partitioner hash|semantic|metis]
   gstored-server serve [--data <data.nt>] [--bind HOST:PORT]
                        [--sites K] [--partitioner hash|semantic|metis]
-                       [--variant basic|la|lo|full]
+                       [--variant basic|la|lo|full|auto]
                        [--max-concurrent N] [--queue-depth N]
                        [--workers addr,addr,...]";
 
@@ -117,7 +117,10 @@ fn variant(name: &str) -> Result<Variant, String> {
         "la" => Ok(Variant::LecAssembly),
         "lo" => Ok(Variant::LecOptimization),
         "full" => Ok(Variant::Full),
-        other => Err(format!("unknown variant {other} (basic, la, lo or full)")),
+        "auto" => Ok(Variant::Auto),
+        other => Err(format!(
+            "unknown variant {other} (basic, la, lo, full or auto)"
+        )),
     }
 }
 

@@ -651,11 +651,22 @@ fn status_response(
         }
         Err(e) => format!("\"fleet_error\":\"{}\"", json_escape(&e.to_string())),
     };
+    // Planner observability: the configured variant, how many times the
+    // cost-based planner has resolved `Variant::Auto`, and the variant
+    // it chose last (absent until the first Auto execution).
+    let planner_field = match session.last_planner_decision() {
+        Some(decision) => format!(
+            ",\"last_planner_choice\":\"{}\"",
+            json_escape(decision.chosen.label())
+        ),
+        None => String::new(),
+    };
     let body = format!(
         "{{\"server\":{{\"admitted\":{},\"rejected_429\":{},\"ok\":{},\"client_errors\":{},\
          \"server_errors\":{},\"in_flight\":{},\"streams_started\":{},\
          \"streams_completed\":{},\"streams_cancelled\":{},\"queued\":{},\"queue_depth\":{}}},\
-         \"session\":{{\"queries_prepared\":{},\"executions\":{}}},\
+         \"session\":{{\"queries_prepared\":{},\"executions\":{},\"variant\":\"{}\",\
+         \"planner_decisions\":{}{}}},\
          \"robustness\":{{\"timeouts\":{},\"retries\":{},\"reconnects\":{},\"repairs\":{},\
          \"repairs_failed\":{},\"fleet_rebuilds\":{}}},\
          {}}}",
@@ -672,6 +683,9 @@ fn status_response(
         queue.depth(),
         stats.queries_prepared,
         stats.executions,
+        json_escape(session.engine().config().variant.label()),
+        stats.planner_decisions,
+        planner_field,
         robustness.timeouts,
         robustness.retries,
         robustness.reconnects,
@@ -772,6 +786,39 @@ mod tests {
         assert!(body.contains("\"robustness\":"));
         assert!(body.contains("\"fleet_rebuilds\":0"));
         assert!(body.contains("\"ttl_evictions\":0"));
+        // Explicit-variant session: configured variant reported, zero
+        // planner decisions, no last choice.
+        assert!(body.contains("\"variant\":\"gStoreD\""));
+        assert!(body.contains("\"planner_decisions\":0"));
+        assert!(!body.contains("last_planner_choice"));
+    }
+
+    #[test]
+    fn status_reports_planner_choice_on_auto_sessions() {
+        let db = GStoreD::builder()
+            .ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .")
+            .unwrap()
+            .variant(gstored::core::Variant::Auto)
+            .build()
+            .unwrap();
+        let before = handle(&db, &request("GET", "/status", &[]));
+        let body = String::from_utf8(before.body).unwrap();
+        assert!(body.contains("\"variant\":\"gStoreD-Auto\""));
+        assert!(!body.contains("last_planner_choice"), "no decision yet");
+        // One query through the planner, then the chosen variant shows.
+        let run = handle(
+            &db,
+            &request(
+                "GET",
+                "/query",
+                &[("query", "SELECT * WHERE { ?s <http://ex/p> ?o }")],
+            ),
+        );
+        assert_eq!(run.status, 200);
+        let after = handle(&db, &request("GET", "/status", &[]));
+        let body = String::from_utf8(after.body).unwrap();
+        assert!(body.contains("\"planner_decisions\":1"));
+        assert!(body.contains("\"last_planner_choice\":\"gStoreD"));
     }
 
     #[test]

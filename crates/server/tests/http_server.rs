@@ -386,3 +386,58 @@ fn keep_alive_serves_sequential_requests() {
     drop(stream);
     handle.shutdown();
 }
+
+/// A server launched over a `Variant::Auto` session reports the
+/// configured policy and — after a query resolves it — the planner's
+/// chosen variant in `/status`, and answers queries with the same rows
+/// as an explicit-variant server.
+#[test]
+fn auto_variant_server_reports_planner_choice_in_status() {
+    let triples = lubm::generate(&LubmConfig::with_target_triples(600, 7));
+    let mut text = Vec::new();
+    write_ntriples(&mut text, &triples).unwrap();
+    let session = Arc::new(
+        GStoreD::builder()
+            .ntriples(std::str::from_utf8(&text).unwrap())
+            .unwrap()
+            .variant(gstored::core::Variant::Auto)
+            .build()
+            .unwrap(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = SparqlServer::new(Arc::clone(&session), ServerConfig::default())
+        .start(listener)
+        .unwrap();
+    let addr = handle.addr();
+
+    let before = client::get(addr, "/status", None).unwrap();
+    assert_eq!(before.status, 200);
+    let body = String::from_utf8(before.body).unwrap();
+    assert!(body.contains("\"variant\":\"gStoreD-Auto\""), "{body}");
+    assert!(
+        !body.contains("last_planner_choice"),
+        "no decision yet: {body}"
+    );
+
+    // Drive one query through the wire; the planner resolves it.
+    let query = &queries::lubm_queries()[0].text;
+    let path = format!("/query?query={}", urlencode(query));
+    let reply = client::get(addr, &path, None).unwrap();
+    assert_eq!(reply.status, 200);
+
+    let after = client::get(addr, "/status", None).unwrap();
+    let body = String::from_utf8(after.body).unwrap();
+    assert!(body.contains("\"planner_decisions\":1"), "{body}");
+    assert!(body.contains("\"last_planner_choice\":\"gStoreD"), "{body}");
+
+    // Same rows as an explicit-variant server session.
+    let (explicit_session, explicit_handle) = start(ServerConfig::default());
+    let explicit_reply = client::get(explicit_handle.addr(), &path, None).unwrap();
+    assert_eq!(explicit_reply.status, 200);
+    let auto_rows = session.query(query).unwrap().len();
+    let explicit_rows = explicit_session.query(query).unwrap().len();
+    assert_eq!(auto_rows, explicit_rows);
+
+    handle.shutdown();
+    explicit_handle.shutdown();
+}

@@ -47,6 +47,7 @@ pub mod prelude {
         RobustnessStats, SessionStats, SiteHealth, StreamSolution,
     };
     pub use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, Variant};
+    pub use gstored_core::planner::{PlanExplain, PlannerDecision};
     pub use gstored_core::prepared::PreparedPlan;
     pub use gstored_core::{QueryId, WorkerStatus};
     pub use gstored_partition::fragment::DistributedGraph;

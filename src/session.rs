@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gstored_core::engine::{Backend, Engine, EngineConfig, QueryOutput, StreamState, Variant};
+use gstored_core::planner::{plan_query, PlanExplain, PlannerDecision};
 use gstored_core::prepared::PreparedPlan;
 use gstored_core::protocol::{self, QueryId, Request, ResponseBody};
 use gstored_core::runtime::{QueryExecutor, QueryTicket, ReplyRouter, WorkerPool};
@@ -42,11 +43,15 @@ use crate::error::Error;
 /// `executions` moves once per [`PreparedQuery::execute`]. The gap between
 /// the two is the amortization the prepared path exists for — tests assert
 /// on it to prove that re-executing a [`PreparedQuery`] never re-parses,
-/// re-encodes or re-analyzes.
+/// re-encodes or re-analyzes. `planner_decisions` moves once per
+/// cost-based variant resolution, which only [`Variant::Auto`] sessions
+/// perform — tests assert it stays zero for explicit variants, proving
+/// they never pay for planning or partition-statistics collection.
 #[derive(Debug, Default)]
 struct SessionCounters {
     queries_prepared: AtomicU64,
     executions: AtomicU64,
+    planner_decisions: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`GStoreD::stats`].
@@ -56,6 +61,9 @@ pub struct SessionStats {
     pub queries_prepared: u64,
     /// Number of engine executions.
     pub executions: u64,
+    /// Number of cost-based planner resolutions (always zero unless the
+    /// session was built with [`Variant::Auto`]).
+    pub planner_decisions: u64,
 }
 
 /// Running counters of the session's failure handling, mirrored into
@@ -477,6 +485,10 @@ pub struct GStoreD {
     /// schedule would otherwise reproduce the exact fault that forced
     /// the rebuild, forever.
     fleet_epoch: AtomicU64,
+    /// The most recent [`Variant::Auto`] planner verdict, surfaced via
+    /// [`GStoreD::last_planner_decision`] and the server's `/status`.
+    /// Stays `None` forever on explicit-variant sessions.
+    last_planner: Mutex<Option<PlannerDecision>>,
 }
 
 impl GStoreD {
@@ -495,6 +507,7 @@ impl GStoreD {
             fleet: Mutex::new(None),
             robustness: RobustnessCounters::default(),
             fleet_epoch: AtomicU64::new(0),
+            last_planner: Mutex::new(None),
         }
     }
 
@@ -570,7 +583,10 @@ impl GStoreD {
                 plan,
                 ticket.query(),
             ) {
-                Ok(output) => return Ok(output),
+                Ok(output) => {
+                    self.record_planner(output.planner.as_ref());
+                    return Ok(output);
+                }
                 Err(e) => e,
             };
             drop(ticket);
@@ -882,6 +898,27 @@ impl GStoreD {
         SessionStats {
             queries_prepared: self.counters.queries_prepared.load(Ordering::Relaxed),
             executions: self.counters.executions.load(Ordering::Relaxed),
+            planner_decisions: self.counters.planner_decisions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The most recent [`Variant::Auto`] planner verdict, when the
+    /// session has resolved one (`None` on explicit-variant sessions and
+    /// before the first Auto execution). Surfaced in the server's
+    /// `/status`.
+    pub fn last_planner_decision(&self) -> Option<PlannerDecision> {
+        self.last_planner.lock().expect("planner lock").clone()
+    }
+
+    /// Account one planner verdict: bump the counter and remember the
+    /// decision for [`GStoreD::last_planner_decision`]. No-op for
+    /// explicit-variant executions (which carry no decision).
+    fn record_planner(&self, decision: Option<&PlannerDecision>) {
+        if let Some(decision) = decision {
+            self.counters
+                .planner_decisions
+                .fetch_add(1, Ordering::Relaxed);
+            *self.last_planner.lock().expect("planner lock") = Some(decision.clone());
         }
     }
 }
@@ -991,6 +1028,7 @@ impl<'s> PreparedQuery<'s> {
             }
         };
         session.counters.executions.fetch_add(1, Ordering::Relaxed);
+        session.record_planner(stream.planner());
         let query = self.plan.query();
         Ok(QuerySolutionIter {
             session,
@@ -1003,6 +1041,38 @@ impl<'s> PreparedQuery<'s> {
             seen: HashSet::new(),
             remaining: query.limit,
             done: false,
+        })
+    }
+
+    /// Execute once and report the planner's estimates next to what the
+    /// execution actually measured: estimated vs. actual cardinalities,
+    /// the chosen variant and the join order.
+    ///
+    /// On a [`Variant::Auto`] session the decision is the one that
+    /// picked the executed variant. On an explicit-variant session the
+    /// planner runs *advisorily* here — `explain` is an explicit request
+    /// for its verdict, and the one place an explicit-variant session
+    /// does pay for partition statistics — while `chosen` reports the
+    /// configured variant that actually executed.
+    pub fn explain(&self) -> Result<PlanExplain, Error> {
+        let output = self.session.run_plan(&self.plan)?;
+        self.session
+            .counters
+            .executions
+            .fetch_add(1, Ordering::Relaxed);
+        let configured = self.session.engine.config().variant;
+        let (decision, chosen) = match &output.planner {
+            Some(d) => (d.clone(), d.chosen),
+            None => (plan_query(&self.session.dist, &self.plan), configured),
+        };
+        Ok(PlanExplain {
+            configured,
+            chosen,
+            decision,
+            actual_lpms: output.metrics.local_partial_matches,
+            actual_survivors: output.metrics.surviving_partial_matches,
+            actual_crossing_matches: output.metrics.crossing_matches,
+            rows: output.rows.len() as u64,
         })
     }
 
@@ -1449,6 +1519,90 @@ mod tests {
         let stats = db.stats();
         assert_eq!(stats.queries_prepared, 1, "prepare ran exactly once");
         assert_eq!(stats.executions, 5);
+    }
+
+    /// Satellite regression: explicit-variant sessions perform zero
+    /// planner work — no decisions counted, no partition statistics
+    /// computed — no matter how much they execute.
+    #[test]
+    fn explicit_variant_sessions_pay_no_planner_work() {
+        let db = session(); // default config: explicit Variant::Full
+        let prepared = db
+            .prepare("SELECT ?x WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }")
+            .unwrap();
+        for _ in 0..3 {
+            prepared.execute().unwrap();
+        }
+        let _ = prepared.stream().unwrap().count();
+        assert_eq!(db.stats().planner_decisions, 0);
+        assert!(db.last_planner_decision().is_none());
+        assert!(
+            !db.distributed_graph().stats_computed(),
+            "explicit variants must never trigger partition-statistics collection"
+        );
+    }
+
+    #[test]
+    fn auto_sessions_resolve_plan_and_match_explicit_rows() {
+        let auto = GStoreD::builder()
+            .ntriples(NT)
+            .unwrap()
+            .partitioner(HashPartitioner::new(3))
+            .variant(Variant::Auto)
+            .build()
+            .unwrap();
+        let text = "SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }";
+        let results = auto.query(text).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(auto.stats().planner_decisions, 1);
+        let decision = auto
+            .last_planner_decision()
+            .expect("a decision was recorded");
+        assert!(
+            !decision.chosen.is_auto(),
+            "Auto resolves to a concrete variant"
+        );
+        assert!(auto.distributed_graph().stats_computed());
+        // Streaming resolves (and records) too.
+        let streamed = auto.prepare(text).unwrap().stream().unwrap().count();
+        assert_eq!(streamed, 1);
+        assert_eq!(auto.stats().planner_decisions, 2);
+        // Rows agree with the explicit default-variant session.
+        let explicit_db = session();
+        let explicit = explicit_db.query(text).unwrap();
+        assert_eq!(results.len(), explicit.len());
+    }
+
+    #[test]
+    fn explain_reports_estimates_and_actuals() {
+        let auto = GStoreD::builder()
+            .ntriples(NT)
+            .unwrap()
+            .partitioner(HashPartitioner::new(3))
+            .variant(Variant::Auto)
+            .build()
+            .unwrap();
+        let prepared = auto
+            .prepare("SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }")
+            .unwrap();
+        let explain = prepared.explain().unwrap();
+        assert_eq!(explain.configured, Variant::Auto);
+        assert!(!explain.chosen.is_auto());
+        assert_eq!(explain.rows, 1);
+        assert_eq!(explain.decision.costs.len(), 4);
+        let report = explain.report();
+        assert!(report.contains("configured: gStoreD-Auto"));
+        assert!(report.contains("join order:"));
+        // Explicit sessions get an advisory decision; `chosen` is what ran.
+        let explicit = session();
+        let exp = explicit
+            .prepare("SELECT ?a ?b WHERE { ?a <http://ex/knows> ?b }")
+            .unwrap()
+            .explain()
+            .unwrap();
+        assert_eq!(exp.configured, Variant::Full);
+        assert_eq!(exp.chosen, Variant::Full);
+        assert_eq!(exp.rows, 2);
     }
 
     #[test]
